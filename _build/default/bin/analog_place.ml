@@ -1,0 +1,298 @@
+(* Command-line front end.
+
+     analog_place place  -- place a netlist (or a built-in benchmark)
+     analog_place size   -- layout-aware sizing of the Miller op amp
+     analog_place info   -- parse + recognize only
+
+   Examples:
+     analog_place place --netlist opamp.cir --engine hbstar --svg out.svg
+     analog_place place --bench lnamixbias --engine esf
+     analog_place size --mode aware
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let load_netlist path =
+  match Netlist.Parser.parse_string (read_file path) with
+  | Error e ->
+      Format.eprintf "%s: %a@." path Netlist.Parser.pp_error e;
+      exit 1
+  | Ok devices ->
+      let name = Filename.remove_extension (Filename.basename path) in
+      let circuit = Netlist.Parser.to_circuit ~name devices in
+      let { Netlist.Recognize.hierarchy; _ } =
+        Netlist.Recognize.recognize circuit
+      in
+      { Netlist.Benchmarks.label = name; circuit; hierarchy }
+
+let load_bench name =
+  match name with
+  | "miller" -> Netlist.Benchmarks.miller ()
+  | "fig2" -> Netlist.Benchmarks.fig2_design ()
+  | _ -> (
+      match
+        List.find_opt
+          (fun (b : Netlist.Benchmarks.bench) ->
+            String.lowercase_ascii b.label
+            = String.lowercase_ascii (String.map (function '-' -> ' ' | c -> c) name))
+          (Netlist.Benchmarks.table1_suite ())
+      with
+      | Some b -> b
+      | None ->
+          Format.eprintf
+            "unknown benchmark %s (try: miller fig2 \"miller-v2\" \
+             \"comparator-v2\" \"folded-casc.\" buffer biasynth lnamixbias)@."
+            name;
+          exit 1)
+
+(* ---- place ------------------------------------------------------- *)
+
+type engine = Sp | Bstar_flat | Hbstar | Esf | Rsf | Slicing
+
+let engine_conv =
+  let parse = function
+    | "sp" | "seqpair" -> Ok Sp
+    | "bstar" -> Ok Bstar_flat
+    | "hbstar" -> Ok Hbstar
+    | "esf" -> Ok Esf
+    | "rsf" -> Ok Rsf
+    | "slicing" -> Ok Slicing
+    | s -> Error (`Msg ("unknown engine " ^ s))
+  in
+  let print ppf e =
+    Format.pp_print_string ppf
+      (match e with
+      | Sp -> "sp"
+      | Bstar_flat -> "bstar"
+      | Hbstar -> "hbstar"
+      | Esf -> "esf"
+      | Rsf -> "rsf"
+      | Slicing -> "slicing")
+  in
+  Arg.conv (parse, print)
+
+let run_place netlist bench engine seed svg quiet cluster =
+  let b =
+    match (netlist, bench) with
+    | Some path, _ -> load_netlist path
+    | None, Some name -> load_bench name
+    | None, None ->
+        prerr_endline "need --netlist FILE or --bench NAME";
+        exit 1
+  in
+  let circuit = b.Netlist.Benchmarks.circuit in
+  let hierarchy =
+    if cluster then Netlist.Cluster.by_connectivity circuit
+    else b.Netlist.Benchmarks.hierarchy
+  in
+  let rng = Prelude.Rng.create seed in
+  let t0 = Sys.time () in
+  let placed =
+    match engine with
+    | Sp ->
+        let groups = Constraints.Symmetry_group.of_hierarchy hierarchy in
+        (Placer.Sa_seqpair.place ~groups ~rng circuit)
+          .Placer.Sa_seqpair.placement.Placer.Placement.placed
+    | Bstar_flat ->
+        (Placer.Sa_bstar.place ~rng circuit)
+          .Placer.Sa_bstar.placement.Placer.Placement.placed
+    | Hbstar -> (Bstar.Hbstar.place ~rng circuit hierarchy).Bstar.Hbstar.placed
+    | Esf ->
+        (Shapefn.Combine.place ~mode:Shapefn.Combine.Esf circuit hierarchy)
+          .Shapefn.Combine.placed
+    | Rsf ->
+        (Shapefn.Combine.place ~mode:Shapefn.Combine.Rsf circuit hierarchy)
+          .Shapefn.Combine.placed
+    | Slicing ->
+        (Placer.Slicing.place ~rng circuit)
+          .Placer.Slicing.placement.Placer.Placement.placed
+  in
+  let seconds = Sys.time () -. t0 in
+  let placement = Placer.Placement.make circuit placed in
+  (match Placer.Placement.validate placement with
+  | Ok () -> ()
+  | Error m ->
+      Printf.eprintf "internal error: invalid placement: %s\n" m;
+      exit 2);
+  Printf.printf
+    "%s: %d modules, %dx%d grid units, area %d (usage %.2f%%), HPWL %.0f, \
+     %.2fs\n"
+    b.Netlist.Benchmarks.label (Netlist.Circuit.size circuit)
+    (Placer.Placement.width placement)
+    (Placer.Placement.height placement)
+    (Placer.Placement.area placement)
+    (100.0
+    *. float_of_int (Placer.Placement.area placement)
+    /. float_of_int (max 1 (Netlist.Circuit.total_module_area circuit)))
+    (Placer.Placement.hpwl placement)
+    seconds;
+  let groups = Constraints.Symmetry_group.of_hierarchy hierarchy in
+  List.iter
+    (fun g ->
+      Printf.printf "symmetry %s: %s\n" g.Constraints.Symmetry_group.name
+        (match
+           Constraints.Placement_check.symmetry ~group:g placed
+         with
+        | Ok _ -> "exact"
+        | Error _ -> "not enforced by this engine"))
+    groups;
+  if not quiet then
+    print_string
+      (Placer.Plot.ascii ~width:72
+         ~labels:(Placer.Plot.device_labels placement)
+         placement);
+  match svg with
+  | Some path ->
+      Placer.Plot.write_svg ~path placement;
+      Printf.printf "wrote %s\n" path
+  | None -> ()
+
+let place_cmd =
+  let netlist =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "netlist"; "n" ] ~docv:"FILE"
+          ~doc:"SPICE-like netlist to place (hierarchy is auto-recognized).")
+  in
+  let bench =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench"; "b" ] ~docv:"NAME"
+          ~doc:"Built-in benchmark: miller, fig2, or a Table-I circuit.")
+  in
+  let engine =
+    Arg.(
+      value & opt engine_conv Hbstar
+      & info [ "engine"; "e" ] ~docv:"ENGINE"
+          ~doc:
+            "Placement engine: sp (annealed symmetric-feasible \
+             sequence-pair), bstar (flat B*-tree), hbstar (hierarchical \
+             B*-tree with constraints), esf / rsf (deterministic shape \
+             functions), slicing (baseline).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"INT" ~doc:"RNG seed.")
+  in
+  let svg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg" ] ~docv:"FILE" ~doc:"Write the placement as SVG.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No ASCII plot.")
+  in
+  let cluster =
+    Arg.(
+      value & flag
+      & info [ "cluster" ]
+          ~doc:
+            "Replace the recognized hierarchy by connectivity-based virtual \
+             clustering (useful when recognition finds no structure).")
+  in
+  Cmd.v
+    (Cmd.info "place" ~doc:"Place an analog circuit")
+    Term.(
+      const run_place $ netlist $ bench $ engine $ seed $ svg $ quiet $ cluster)
+
+(* ---- size -------------------------------------------------------- *)
+
+let run_size mode seed =
+  let mode =
+    match mode with
+    | "electrical" -> Sizing.Flow.Electrical_only
+    | "aware" -> Sizing.Flow.Layout_aware
+    | m ->
+        Printf.eprintf "unknown mode %s (electrical|aware)\n" m;
+        exit 1
+  in
+  let rng = Prelude.Rng.create seed in
+  let o = Sizing.Flow.run ~rng mode in
+  Format.printf "final sizing:@.%a@." Sizing.Design.pp o.Sizing.Flow.design;
+  Printf.printf "layout %.1f x %.1f um (area %.0f um^2)\n"
+    o.Sizing.Flow.layout.Sizing.Template.width_um
+    o.Sizing.Flow.layout.Sizing.Template.height_um
+    o.Sizing.Flow.layout.Sizing.Template.area_um2;
+  List.iter
+    (fun (name, nominal, met) ->
+      let extracted =
+        Option.value ~default:Float.nan
+          (Sizing.Spec.value o.Sizing.Flow.perf_extracted name)
+      in
+      Printf.printf "  %-12s nominal %10.3f  extracted %10.3f %s\n" name
+        nominal extracted
+        (if met then "" else "FAIL"))
+    (Sizing.Spec.report Sizing.Flow.default_specs o.Sizing.Flow.perf_nominal
+    |> List.map (fun (n, v, _) ->
+           ( n,
+             v,
+             Sizing.Spec.satisfied
+               (List.find
+                  (fun s -> s.Sizing.Spec.name = n)
+                  Sizing.Flow.default_specs)
+               o.Sizing.Flow.perf_extracted )));
+  Printf.printf
+    "specs met: nominal %b / extracted %b; %d evaluations, extraction %.0f%% \
+     of %.2fs\n"
+    o.Sizing.Flow.met_nominal o.Sizing.Flow.met_extracted
+    o.Sizing.Flow.evaluations
+    (100.0 *. Sizing.Flow.extraction_fraction o)
+    o.Sizing.Flow.seconds
+
+let size_cmd =
+  let mode =
+    Arg.(
+      value & opt string "aware"
+      & info [ "mode"; "m" ] ~docv:"MODE"
+          ~doc:"Sizing mode: electrical (layout-blind) or aware.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"INT" ~doc:"RNG seed.")
+  in
+  Cmd.v
+    (Cmd.info "size" ~doc:"Layout-aware sizing of the Miller op amp")
+    Term.(const run_size $ mode $ seed)
+
+(* ---- info -------------------------------------------------------- *)
+
+let run_info netlist =
+  let b = load_netlist netlist in
+  let circuit = b.Netlist.Benchmarks.circuit in
+  Format.printf "%a@." Netlist.Circuit.pp circuit;
+  let { Netlist.Recognize.structures; hierarchy } =
+    Netlist.Recognize.recognize circuit
+  in
+  List.iter
+    (fun s -> Format.printf "  %a@." Netlist.Recognize.pp_structure s)
+    structures;
+  Format.printf "hierarchy: %a@." Netlist.Hierarchy.pp hierarchy;
+  List.iter
+    (fun g -> Format.printf "symmetry group %a@." Constraints.Symmetry_group.pp g)
+    (Constraints.Symmetry_group.of_hierarchy hierarchy)
+
+let info_cmd =
+  let netlist =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Netlist to inspect.")
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Parse a netlist and report recognized structure")
+    Term.(const run_info $ netlist)
+
+let () =
+  let doc = "Analog layout synthesis: topological placement and sizing" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "analog_place" ~version:"1.0" ~doc)
+          [ place_cmd; size_cmd; info_cmd ]))

@@ -1,0 +1,1 @@
+examples/deterministic.ml: Array Format List Netlist Placer Printf Shapefn String Sys

@@ -1,0 +1,1 @@
+examples/deterministic.mli:

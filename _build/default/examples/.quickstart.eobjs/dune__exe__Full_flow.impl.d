@@ -1,0 +1,1 @@
+examples/full_flow.ml: Bstar Constraints List Netlist Placer Prelude Printf Route

@@ -1,0 +1,1 @@
+examples/full_flow.mli:

@@ -1,0 +1,1 @@
+examples/hierarchical.ml: Bstar Constraints Format List Netlist Placer Prelude Printf Result

@@ -1,0 +1,1 @@
+examples/layout_aware.ml: Format List Prelude Printf Sizing

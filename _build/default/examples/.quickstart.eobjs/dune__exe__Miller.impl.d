@@ -1,0 +1,1 @@
+examples/miller.ml: Bstar Constraints Format List Netlist Placer Prelude Printf Result Shapefn

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Constraints Format List Netlist Placer Prelude Printf Result

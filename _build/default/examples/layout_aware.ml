@@ -1,0 +1,48 @@
+(* Layout-aware sizing of the two-stage Miller op amp (survey SV):
+   the same optimizer run blind to layout and with in-loop template
+   generation + parasitic extraction, reproducing the Fig. 10 contrast.
+
+     dune exec examples/layout_aware.exe
+*)
+
+let print_perf label perf =
+  Printf.printf "%s\n" label;
+  List.iter (fun (k, v) -> Printf.printf "    %-12s %10.3f\n" k v) perf
+
+let () =
+  let specs = Sizing.Flow.default_specs in
+  Printf.printf "specifications:\n";
+  List.iter (fun s -> Format.printf "  %a@." Sizing.Spec.pp s) specs;
+
+  let run mode label =
+    let rng = Prelude.Rng.create 2009 in
+    let o = Sizing.Flow.run ~rng mode in
+    Printf.printf "\n=== %s ===\n" label;
+    Format.printf "final sizing:@.%a@." Sizing.Design.pp o.Sizing.Flow.design;
+    Printf.printf "layout: %.1f x %.1f um, area %.0f um^2\n"
+      o.Sizing.Flow.layout.Sizing.Template.width_um
+      o.Sizing.Flow.layout.Sizing.Template.height_um
+      o.Sizing.Flow.layout.Sizing.Template.area_um2;
+    print_perf "  performance without parasitics:" o.Sizing.Flow.perf_nominal;
+    print_perf "  performance with extracted parasitics:"
+      o.Sizing.Flow.perf_extracted;
+    Printf.printf
+      "  specs met: nominal %b, extracted %b; %d evaluations, extraction \
+       %.0f%% of %.2fs\n"
+      o.Sizing.Flow.met_nominal o.Sizing.Flow.met_extracted
+      o.Sizing.Flow.evaluations
+      (100.0 *. Sizing.Flow.extraction_fraction o)
+      o.Sizing.Flow.seconds;
+    o
+  in
+  let blind = run Sizing.Flow.Electrical_only "electrical-only sizing" in
+  let aware = run Sizing.Flow.Layout_aware "layout-aware sizing" in
+  Printf.printf
+    "\nconclusion: blind sizing met its specs on paper (%b) but not after \
+     extraction (%b);\n\
+     the layout-aware loop holds them with parasitics included (%b) on a \
+     layout %.1fx smaller.\n"
+    blind.Sizing.Flow.met_nominal blind.Sizing.Flow.met_extracted
+    aware.Sizing.Flow.met_extracted
+    (blind.Sizing.Flow.layout.Sizing.Template.area_um2
+    /. aware.Sizing.Flow.layout.Sizing.Template.area_um2)

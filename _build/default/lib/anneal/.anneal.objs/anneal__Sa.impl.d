@@ -1,0 +1,1 @@
+lib/anneal/sa.ml: Float Prelude Schedule

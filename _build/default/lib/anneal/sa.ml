@@ -1,0 +1,109 @@
+type 'a problem = {
+  init : 'a;
+  neighbor : Prelude.Rng.t -> 'a -> 'a;
+  cost : 'a -> float;
+}
+
+type params = {
+  initial_temperature : float option;
+  final_temperature : float;
+  moves_per_round : int;
+  schedule : Schedule.t;
+  frozen_rounds : int;
+  max_rounds : int;
+}
+
+let default_params ~n =
+  {
+    initial_temperature = None;
+    final_temperature = 1e-3;
+    moves_per_round = max 64 (8 * n);
+    schedule = Schedule.default;
+    frozen_rounds = 5;
+    max_rounds = 500;
+  }
+
+type 'a outcome = {
+  best : 'a;
+  best_cost : float;
+  rounds : int;
+  accepted : int;
+  evaluated : int;
+}
+
+let estimate_t0 ~rng problem ~samples =
+  let state = ref problem.init in
+  let cost = ref (problem.cost !state) in
+  let deltas = ref [] in
+  for _ = 1 to samples do
+    let next = problem.neighbor rng !state in
+    let c = problem.cost next in
+    deltas := Float.abs (c -. !cost) :: !deltas;
+    state := next;
+    cost := c
+  done;
+  let sd = Prelude.Stats.stddev !deltas in
+  Float.max 1e-6 (if sd > 0.0 then sd else Prelude.Stats.mean !deltas)
+
+let run ~rng params problem =
+  let t0 =
+    match params.initial_temperature with
+    | Some t -> t
+    | None -> 20.0 *. estimate_t0 ~rng problem ~samples:64
+  in
+  let current = ref problem.init in
+  let current_cost = ref (problem.cost !current) in
+  let best = ref !current and best_cost = ref !current_cost in
+  let accepted_total = ref 0 and evaluated = ref 0 in
+  let rec rounds temperature round frozen =
+    if
+      round >= params.max_rounds
+      || temperature <= params.final_temperature
+      || frozen >= params.frozen_rounds
+    then round
+    else begin
+      let accepted = ref 0 and improved = ref false in
+      for _ = 1 to params.moves_per_round do
+        let next = problem.neighbor rng !current in
+        let c = problem.cost next in
+        incr evaluated;
+        let delta = c -. !current_cost in
+        let accept =
+          delta <= 0.0
+          || Prelude.Rng.float rng 1.0 < exp (-.delta /. temperature)
+        in
+        if accept then begin
+          current := next;
+          current_cost := c;
+          incr accepted;
+          incr accepted_total;
+          if c < !best_cost then begin
+            best := next;
+            best_cost := c;
+            improved := true
+          end
+        end
+      done;
+      let acceptance =
+        float_of_int !accepted /. float_of_int params.moves_per_round
+      in
+      let temperature' =
+        Schedule.next params.schedule ~temperature ~acceptance
+      in
+      (* frozen = the walk has effectively stopped moving AND stopped
+         improving; high-temperature rounds without a new global best
+         are normal and must not terminate the run *)
+      let frozen' =
+        if acceptance < 0.02 && not !improved then frozen + 1 else 0
+      in
+      rounds temperature' (round + 1) frozen'
+    end
+  in
+  let total_rounds = rounds t0 0 0 in
+  {
+    best = !best;
+    best_cost = !best_cost;
+    rounds = total_rounds;
+    accepted = !accepted_total;
+    evaluated = !evaluated;
+  }

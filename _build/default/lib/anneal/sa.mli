@@ -1,0 +1,44 @@
+(** Generic simulated-annealing engine.
+
+    State type, move generator and cost function are supplied by the
+    caller; the engine owns the control loop: Metropolis acceptance,
+    temperature schedule, best-so-far tracking and freezing detection.
+    All placers in this repository (sequence-pair, B*-tree, HB*-tree,
+    and the layout-aware sizing optimizer of §V) instantiate it. *)
+
+type 'a problem = {
+  init : 'a;
+  neighbor : Prelude.Rng.t -> 'a -> 'a;
+  cost : 'a -> float;
+}
+
+type params = {
+  initial_temperature : float option;
+      (** [None]: estimated from the cost spread of random moves *)
+  final_temperature : float;
+  moves_per_round : int;  (** Metropolis steps at each temperature *)
+  schedule : Schedule.t;
+  frozen_rounds : int;
+      (** stop after this many consecutive rounds in which the walk is
+          effectively frozen: acceptance ratio below 2% and no new
+          best found *)
+  max_rounds : int;
+}
+
+val default_params : n:int -> params
+(** Sensible defaults scaled to problem size [n] (moves per round
+    [max 64 (8n)]). *)
+
+type 'a outcome = {
+  best : 'a;
+  best_cost : float;
+  rounds : int;
+  accepted : int;
+  evaluated : int;
+}
+
+val run : rng:Prelude.Rng.t -> params -> 'a problem -> 'a outcome
+
+val estimate_t0 : rng:Prelude.Rng.t -> 'a problem -> samples:int -> float
+(** Standard deviation of the cost change over random moves, the usual
+    starting temperature heuristic. *)

@@ -1,0 +1,17 @@
+type t =
+  | Geometric of float
+  | Adaptive of { base : float; low : float; high : float }
+
+let default = Geometric 0.95
+let adaptive = Adaptive { base = 0.95; low = 0.8; high = 0.04 }
+
+let next sched ~temperature ~acceptance =
+  match sched with
+  | Geometric alpha -> alpha *. temperature
+  | Adaptive { base; low; high } ->
+      let alpha =
+        if acceptance > 0.8 then base *. low
+        else if acceptance < 0.2 then Float.min 0.999 (base +. high)
+        else base
+      in
+      alpha *. temperature

@@ -1,0 +1,26 @@
+(** Annealing temperature schedules.
+
+    Simulated annealing (Kirkpatrick et al., survey ref [12]) was the
+    exploration engine of every stochastic placer the survey discusses;
+    ref [28] adds dynamic parameter adjustment. Both styles are
+    provided: fixed geometric cooling, and an adaptive variant that
+    speeds up cooling when almost everything is accepted (high
+    temperature wasted) and slows it near the freezing point. *)
+
+type t =
+  | Geometric of float
+      (** [T <- alpha * T]; [alpha] in (0,1), typically 0.9-0.99 *)
+  | Adaptive of { base : float; low : float; high : float }
+      (** cools by [base], but by [base*low] (faster) when the
+          acceptance ratio exceeds 0.8 and by [base**high_exp]... see
+          {!next}: by [min 0.999 (base +. high)] (slower) when it drops
+          below 0.2 *)
+
+val default : t
+(** [Geometric 0.95]. *)
+
+val adaptive : t
+(** A reasonable adaptive schedule. *)
+
+val next : t -> temperature:float -> acceptance:float -> float
+(** New temperature given the acceptance ratio of the last round. *)

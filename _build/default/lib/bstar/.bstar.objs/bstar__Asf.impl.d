@@ -1,0 +1,1 @@
+lib/bstar/asf.ml: Array Constraints Format Geometry Int List Orientation Prelude Rect Transform Tree

@@ -1,0 +1,1 @@
+lib/bstar/asf.mli: Constraints Format Geometry Prelude Tree

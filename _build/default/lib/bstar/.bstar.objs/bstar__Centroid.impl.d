@@ -1,0 +1,1 @@
+lib/bstar/centroid.ml: Array Geometry Int List Option Orientation Rect Transform

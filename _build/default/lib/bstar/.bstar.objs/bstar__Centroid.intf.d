@@ -1,0 +1,1 @@
+lib/bstar/centroid.mli: Geometry

@@ -1,0 +1,1 @@
+lib/bstar/count.ml: Array Fun List Option Tree

@@ -1,0 +1,1 @@
+lib/bstar/count.mli: Tree

@@ -1,0 +1,1 @@
+lib/bstar/hbstar.ml: Anneal Array Asf Centroid Constraints Contour Fun Geometry List Netlist Option Orientation Outline Perturb Prelude Rect Result Transform Tree

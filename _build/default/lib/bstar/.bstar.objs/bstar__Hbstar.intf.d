@@ -1,0 +1,1 @@
+lib/bstar/hbstar.mli: Anneal Geometry Netlist Prelude

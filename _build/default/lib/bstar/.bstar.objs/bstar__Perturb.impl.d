@@ -1,0 +1,1 @@
+lib/bstar/perturb.ml: Array Prelude Tree

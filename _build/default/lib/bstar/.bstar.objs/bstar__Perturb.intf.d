@@ -1,0 +1,1 @@
+lib/bstar/perturb.mli: Prelude Tree

@@ -1,0 +1,1 @@
+lib/bstar/tree.ml: Array Contour Format Geometry List Option Orientation Prelude Rect Transform

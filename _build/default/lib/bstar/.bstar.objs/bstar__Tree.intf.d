@@ -1,0 +1,1 @@
+lib/bstar/tree.mli: Format Geometry Prelude

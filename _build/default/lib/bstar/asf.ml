@@ -1,0 +1,129 @@
+open Geometry
+module G = Constraints.Symmetry_group
+
+type t = { grp : G.t; reps : int list; half : Tree.t }
+
+let group t = t.grp
+
+let is_self t c = List.mem c t.grp.G.selfs
+
+let insert_rep rng asf_grp tree cell =
+  let nodes = Tree.cells tree in
+  let target = Prelude.Rng.choose rng nodes in
+  let side =
+    if List.mem target asf_grp.G.selfs then `Left
+    else if Prelude.Rng.bool rng then `Left
+    else `Right
+  in
+  Tree.insert_at tree ~cell ~target ~side
+
+let make rng grp =
+  let reps = List.map snd grp.G.pairs in
+  let base =
+    match (grp.G.selfs, reps) with
+    | [], [] -> invalid_arg "Asf.make: empty symmetry group"
+    | [], r :: rest ->
+        (* no axis cells: random tree over representatives *)
+        List.fold_left
+          (fun t c -> insert_rep rng grp t c)
+          (Tree.leaf r) rest
+    | selfs, _ ->
+        let chain = Tree.column selfs in
+        List.fold_left (fun t c -> insert_rep rng grp t c) chain reps
+  in
+  { grp; reps; half = base }
+
+let rec right_chain t =
+  t.Tree.cell
+  :: (match t.Tree.right with None -> [] | Some r -> right_chain r)
+
+let of_tree grp tree =
+  let reps = List.map snd grp.G.pairs in
+  let expected = List.sort Int.compare (reps @ grp.G.selfs) in
+  let actual = List.sort Int.compare (Tree.cells tree) in
+  if expected <> actual then
+    invalid_arg "Asf.of_tree: tree cells do not match the group";
+  let chain = right_chain tree in
+  if not (List.for_all (fun f -> List.mem f chain) grp.G.selfs) then
+    invalid_arg "Asf.of_tree: self-symmetric cell off the axis chain";
+  { grp; reps; half = tree }
+
+let perturb rng t =
+  match t.reps with
+  | [] -> t
+  | [ only ] -> (
+      (* single representative: re-insert it somewhere else *)
+      match Tree.delete t.half only with
+      | None -> t
+      | Some rest -> { t with half = insert_rep rng t.grp rest only })
+  | _ -> (
+      if Prelude.Rng.bool rng then
+        let arr = Array.of_list t.reps in
+        let n = Array.length arr in
+        let i = Prelude.Rng.int rng n in
+        let j = (i + 1 + Prelude.Rng.int rng (n - 1)) mod n in
+        { t with half = Tree.swap_cells t.half arr.(i) arr.(j) }
+      else
+        let victim = Prelude.Rng.choose rng t.reps in
+        match Tree.delete t.half victim with
+        | None -> t
+        | Some rest -> { t with half = insert_rep rng t.grp rest victim })
+
+type island = {
+  placed : Transform.placed list;
+  axis2 : int;
+  width : int;
+  height : int;
+}
+
+let pack t dims =
+  let padded_w c =
+    let w, _ = dims c in
+    w + (w land 1)
+  in
+  let half_dims c =
+    let _, h = dims c in
+    if is_self t c then (padded_w c / 2, h) else dims c
+  in
+  let rects = Tree.pack_rects t.half half_dims in
+  let rect_of c =
+    match List.assoc_opt c rects with
+    | Some r -> r
+    | None -> invalid_arg "Asf.pack: cell missing from half tree"
+  in
+  (* Build the full island in axis-centered coordinates (axis at 0). *)
+  let pieces =
+    List.concat_map
+      (fun (l, r) ->
+        let rr = rect_of r in
+        let w = rr.Rect.w and h = rr.Rect.h in
+        [
+          (l, Rect.make ~x:(-(rr.Rect.x + w)) ~y:rr.Rect.y ~w ~h, Orientation.MY);
+          (r, rr, Orientation.R0);
+        ])
+      t.grp.G.pairs
+    @ List.map
+        (fun f ->
+          let rf = rect_of f in
+          assert (rf.Rect.x = 0);
+          let w = 2 * rf.Rect.w in
+          ( f,
+            Rect.make ~x:(-rf.Rect.w) ~y:rf.Rect.y ~w ~h:rf.Rect.h,
+            Orientation.R0 ))
+        t.grp.G.selfs
+  in
+  let min_x =
+    List.fold_left (fun acc (_, r, _) -> min acc r.Rect.x) 0 pieces
+  in
+  let dx = -min_x in
+  let placed =
+    List.map
+      (fun (cell, r, orient) ->
+        { Transform.cell; rect = Rect.translate r ~dx ~dy:0; orient })
+      pieces
+  in
+  let bbox = Rect.bbox_of_list (List.map (fun p -> p.Transform.rect) placed) in
+  { placed; axis2 = 2 * dx; width = Rect.x_max bbox; height = Rect.y_max bbox }
+
+let pp ppf t =
+  Format.fprintf ppf "@[ASF(%s): half %a@]" t.grp.G.name Tree.pp t.half

@@ -1,0 +1,47 @@
+(** Automatically symmetric-feasible B*-trees (ASF-B*-trees, survey
+    §III-B, ref [16]).
+
+    An ASF-B*-tree represents only the {e right half} of a symmetry
+    island: one representative per symmetric pair (full size) plus the
+    self-symmetric cells (half width), the latter pinned to the
+    axis-adjacent chain of right children from the root so they sit at
+    x = 0. Packing the half and mirroring it about x = 0 yields a
+    placement that is exactly mirror-symmetric {e by construction} — a
+    "symmetry island" that hierarchical placers treat as one block.
+
+    Self-symmetric cells of odd width are padded by one grid unit so
+    their half-width is integral. *)
+
+type t
+
+val group : t -> Constraints.Symmetry_group.t
+
+val make : Prelude.Rng.t -> Constraints.Symmetry_group.t -> t
+(** Random initial ASF-B*-tree for the group. For each pair the
+    {e second} cell is the representative (placed right of the axis). *)
+
+val of_tree : Constraints.Symmetry_group.t -> Tree.t -> t
+(** Adopt an explicit half-tree (over pair representatives — the
+    second cell of each pair — and the self-symmetric cells). Raises
+    [Invalid_argument] unless the tree covers exactly those cells and
+    every self-symmetric cell lies on the chain of right children from
+    the root (i.e. at x = 0). Used by the exhaustive enumerator. *)
+
+val perturb : Prelude.Rng.t -> t -> t
+(** Random swap/move among pair representatives, preserving the
+    self-cell chain invariant. *)
+
+type island = {
+  placed : Geometry.Transform.placed list;
+      (** all group cells; origin at (0,0) *)
+  axis2 : int;  (** doubled x-coordinate of the symmetry axis *)
+  width : int;
+  height : int;
+}
+
+val pack : t -> (int -> int * int) -> island
+(** Pack the half-tree against the contour and mirror. The result
+    passes {!Constraints.Placement_check.symmetry} and
+    {!Constraints.Placement_check.overlap_free} (tested). *)
+
+val pp : Format.formatter -> t -> unit

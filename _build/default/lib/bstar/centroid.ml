@@ -1,0 +1,112 @@
+open Geometry
+
+(* Interdigitated unit placement. Linearization: a single row for odd
+   totals (the lone odd owner holds the middle), otherwise two rows in
+   serpentine order (row 0 left-to-right, then row 1 right-to-left), so
+   that linear positions p and N-1-p are always point-symmetric about
+   the pattern center. *)
+let interdigitated ~counts ~unit_w ~unit_h =
+  let valid =
+    counts <> []
+    && List.for_all (fun (_, k) -> k > 0) counts
+    && List.length (List.sort_uniq Int.compare (List.map fst counts))
+       = List.length counts
+  in
+  if not valid then Error "Centroid.interdigitated: bad unit counts"
+  else begin
+    let odd_owners = List.filter (fun (_, k) -> k land 1 = 1) counts in
+    (* more than one odd owner cannot be point-symmetric: refine units *)
+    let counts, unit_w =
+      if List.length odd_owners > 1 then
+        (List.map (fun (o, k) -> (o, 2 * k)) counts, max 1 (unit_w / 2))
+      else (counts, unit_w)
+    in
+    let total = List.fold_left (fun acc (_, k) -> acc + k) 0 counts in
+    let middle_owner =
+      match List.filter (fun (_, k) -> k land 1 = 1) counts with
+      | [ (o, _) ] -> Some o
+      | [] -> None
+      | _ -> assert false
+    in
+    (* pairs per owner after the middle unit is set aside *)
+    let pair_budget =
+      List.map (fun (o, k) -> (o, k / 2)) counts
+      |> List.filter (fun (_, p) -> p > 0)
+    in
+    let m = total / 2 in
+    (* disperse: at each step give the pair slot to the owner with the
+       largest remaining share *)
+    let remaining = Array.of_list pair_budget in
+    let totals = Array.map snd remaining in
+    let half =
+      Array.init m (fun _ ->
+          let best = ref (-1) and best_share = ref (-1.0) in
+          Array.iteri
+            (fun i (_, r) ->
+              let share =
+                if r = 0 then -1.0
+                else float_of_int r /. float_of_int totals.(i)
+              in
+              if share > !best_share then begin
+                best := i;
+                best_share := share
+              end)
+            remaining;
+          let o, r = remaining.(!best) in
+          remaining.(!best) <- (o, r - 1);
+          o)
+    in
+    let owner_at p =
+      if p < m then half.(p)
+      else if p = m && total land 1 = 1 then Option.get middle_owner
+      else half.(total - 1 - p)
+    in
+    (* Row-major placement: reversing the linear index then equals the
+       point reflection through the pattern center (for two rows,
+       p <-> N-1-p lands at mirrored column on the other row). *)
+    let position p =
+      if total land 1 = 1 || total <= 6 then (* single row *)
+        Rect.make ~x:(p * unit_w) ~y:0 ~w:unit_w ~h:unit_h
+      else
+        let cols = total / 2 in
+        if p < cols then Rect.make ~x:(p * unit_w) ~y:0 ~w:unit_w ~h:unit_h
+        else Rect.make ~x:((p - cols) * unit_w) ~y:unit_h ~w:unit_w ~h:unit_h
+    in
+    Ok (List.init total (fun p -> (owner_at p, position p)))
+  end
+
+let place ~cells dims =
+  match cells with
+  | [] -> Error "Centroid.place: empty group"
+  | first :: rest ->
+      let w, h = dims first in
+      if List.exists (fun c -> dims c <> (w, h)) rest then
+        Error "Centroid.place: cells are not matched in size"
+      else
+        let k = List.length cells in
+        let arr = Array.of_list cells in
+        let placed =
+          if k mod 2 = 0 then
+            (* two rows: bottom row left-to-right, each cell's
+               point-symmetric twin in the top row mirrored column *)
+            let m = k / 2 in
+            List.init k (fun i ->
+                let col, row = if i < m then (i, 0) else (k - 1 - i, 1) in
+                {
+                  Transform.cell = arr.(i);
+                  rect = Rect.make ~x:(col * w) ~y:(row * h) ~w ~h;
+                  orient =
+                    (if row = 1 then Orientation.R180 else Orientation.R0);
+                })
+          else
+            (* single row: cell i pairs with cell k-1-i through the
+               centroid; the middle cell sits on it *)
+            List.init k (fun i ->
+                {
+                  Transform.cell = arr.(i);
+                  rect = Rect.make ~x:(i * w) ~y:0 ~w ~h;
+                  orient =
+                    (if i > k / 2 then Orientation.R180 else Orientation.R0);
+                })
+        in
+        Ok placed

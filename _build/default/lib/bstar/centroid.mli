@@ -1,0 +1,31 @@
+(** Common-centroid placement patterns (survey §III-A, Fig. 3(a)).
+
+    Whole-module common-centroid placement: the group's cells are
+    arranged so that the set of cell centers is point-symmetric about
+    the common centroid, which cancels linear process gradients. Equal
+    cell dimensions are required (matched devices); an even count uses
+    the classic two-row interdigitated pattern, an odd count a single
+    row with the middle cell on the centroid. *)
+
+val place :
+  cells:int list ->
+  (int -> int * int) ->
+  (Geometry.Transform.placed list, string) result
+(** Placements with origin at (0,0). Fails if the cells do not share
+    one dimension pair or the list is empty. The result passes
+    {!Constraints.Placement_check.common_centroid} (tested). *)
+
+val interdigitated :
+  counts:(int * int) list ->
+  unit_w:int ->
+  unit_h:int ->
+  ((int * Geometry.Rect.t) list, string) result
+(** Unit-decomposed common centroid: each [(owner, k)] contributes [k]
+    identical [unit_w]x[unit_h] fingers, interdigitated so that {e every
+    owner's} unit multiset is point-symmetric about the common centroid
+    (the classic A-B-B-A patterns, generalized to arbitrary ratios like
+    the 1:2:2 of a Miller bias mirror). Unit counts are doubled
+    internally when parity makes the direct assignment infeasible (more
+    than one odd count). Returns (owner, rect) per unit; one or two
+    rows depending on the total. Verified by
+    {!Constraints.Placement_check.common_centroid_units} (tested). *)

@@ -1,0 +1,79 @@
+let catalan n =
+  (* C(0)=1; C(n+1) = sum C(i)C(n-i). Table-based to avoid the binomial
+     overflow for mid-size n. *)
+  if n < 0 then invalid_arg "Count.catalan: negative";
+  if n > 33 then invalid_arg "Count.catalan: overflow";
+  let table = Array.make (n + 1) 0 in
+  table.(0) <- 1;
+  for k = 1 to n do
+    for i = 0 to k - 1 do
+      table.(k) <- table.(k) + (table.(i) * table.(k - 1 - i))
+    done
+  done;
+  table.(n)
+
+let factorial n =
+  let rec go acc k =
+    if k <= 1 then acc
+    else begin
+      if acc > max_int / k then invalid_arg "Count.count_placements: overflow";
+      go (acc * k) (k - 1)
+    end
+  in
+  go 1 n
+
+let count_placements n = factorial n * catalan n
+
+(* All shapes over k nodes, cells assigned later. Represent a shape as
+   a tree over dummy cell 0; sizes drive the recursion. *)
+let rec shapes k =
+  if k = 0 then [ None ]
+  else
+    List.concat_map
+      (fun left_size ->
+        let lefts = shapes left_size in
+        let rights = shapes (k - 1 - left_size) in
+        List.concat_map
+          (fun l ->
+            List.map (fun r -> Some { Tree.cell = 0; left = l; right = r }) rights)
+          lefts)
+      (List.init k Fun.id)
+
+(* Relabel a shape's nodes with the given cells in pre-order. *)
+let assign_preorder shape cells =
+  let remaining = ref cells in
+  let rec go t =
+    match !remaining with
+    | [] -> invalid_arg "Count.assign_preorder: not enough cells"
+    | c :: rest ->
+        remaining := rest;
+        let left = Option.map go t.Tree.left in
+        (* pre-order: node, then left subtree, then right subtree —
+           consume the cell before recursing, then left before right *)
+        let right = Option.map go t.Tree.right in
+        { Tree.cell = c; left; right }
+  in
+  go shape
+
+let enumerate_shapes n =
+  shapes n
+  |> List.filter_map Fun.id
+  |> List.map (fun s -> assign_preorder s (List.init n Fun.id))
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | cells ->
+      List.concat_map
+        (fun c ->
+          List.map
+            (fun rest -> c :: rest)
+            (permutations (List.filter (fun d -> d <> c) cells)))
+        cells
+
+let enumerate_trees cells =
+  let n = List.length cells in
+  let shape_list = shapes n |> List.filter_map Fun.id in
+  let perms = permutations cells in
+  List.concat_map
+    (fun shape -> List.map (assign_preorder shape) perms)
+    shape_list

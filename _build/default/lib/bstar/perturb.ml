@@ -1,0 +1,23 @@
+let swap rng t =
+  let cells = Tree.cells t in
+  match cells with
+  | [] | [ _ ] -> t
+  | _ ->
+      let arr = Array.of_list cells in
+      let n = Array.length arr in
+      let i = Prelude.Rng.int rng n in
+      let j = (i + 1 + Prelude.Rng.int rng (n - 1)) mod n in
+      Tree.swap_cells t arr.(i) arr.(j)
+
+let move rng t =
+  let cells = Tree.cells t in
+  match cells with
+  | [] | [ _ ] -> t
+  | _ -> (
+      let victim = Prelude.Rng.choose rng cells in
+      match Tree.delete t victim with
+      | None -> t
+      | Some t' -> Tree.insert_random rng t' ~cell:victim)
+
+let random rng t =
+  if Prelude.Rng.bool rng then swap rng t else move rng t

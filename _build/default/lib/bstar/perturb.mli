@@ -1,0 +1,16 @@
+(** Perturbation operations on B*-trees.
+
+    The classic B*-tree move set: swap the cells of two nodes, or
+    delete a node and re-insert its cell at a random position. Rotation
+    (the third classic move) acts on cell orientations, which live at
+    the placer level, not in the tree; see {!Placer.Sa_bstar}. *)
+
+val swap : Prelude.Rng.t -> Tree.t -> Tree.t
+(** Identity on single-node trees. *)
+
+val move : Prelude.Rng.t -> Tree.t -> Tree.t
+(** Delete a random cell and re-insert it elsewhere; identity on
+    single-node trees. *)
+
+val random : Prelude.Rng.t -> Tree.t -> Tree.t
+(** One of {!swap} and {!move}, uniformly. *)

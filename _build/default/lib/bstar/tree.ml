@@ -1,0 +1,150 @@
+open Geometry
+
+type t = { cell : int; left : t option; right : t option }
+
+let leaf cell = { cell; left = None; right = None }
+
+let row = function
+  | [] -> invalid_arg "Tree.row: empty"
+  | first :: rest ->
+      let rec build c = function
+        | [] -> leaf c
+        | next :: more -> { cell = c; left = Some (build next more); right = None }
+      in
+      build first rest
+
+let column = function
+  | [] -> invalid_arg "Tree.column: empty"
+  | first :: rest ->
+      let rec build c = function
+        | [] -> leaf c
+        | next :: more -> { cell = c; left = None; right = Some (build next more) }
+      in
+      build first rest
+
+(* Random shape: root takes the first cell, the rest split randomly
+   between the subtrees. Randomizing the cell order first makes the
+   root uniform as well. *)
+let random rng cells =
+  if cells = [] then invalid_arg "Tree.random: empty";
+  let arr = Array.of_list cells in
+  Prelude.Rng.shuffle rng arr;
+  let rec build lo hi =
+    (* cells arr.(lo..hi-1), non-empty *)
+    let c = arr.(lo) in
+    let rest = hi - lo - 1 in
+    if rest = 0 then leaf c
+    else
+      let split = Prelude.Rng.int rng (rest + 1) in
+      let left = if split > 0 then Some (build (lo + 1) (lo + 1 + split)) else None in
+      let right = if rest - split > 0 then Some (build (lo + 1 + split) hi) else None in
+      { cell = c; left; right }
+  in
+  build 0 (Array.length arr)
+
+let rec cells t =
+  (t.cell :: Option.fold ~none:[] ~some:cells t.left)
+  @ Option.fold ~none:[] ~some:cells t.right
+
+let size t = List.length (cells t)
+let mem t c = List.mem c (cells t)
+
+let rec map_cells f t =
+  {
+    cell = f t.cell;
+    left = Option.map (map_cells f) t.left;
+    right = Option.map (map_cells f) t.right;
+  }
+
+let pack_rects t dims =
+  let out = ref [] in
+  let contour = ref Contour.empty in
+  let rec go node x =
+    let w, h = dims node.cell in
+    let y, c' = Contour.drop !contour ~x ~w ~h in
+    contour := c';
+    out := (node.cell, Rect.make ~x ~y ~w ~h) :: !out;
+    Option.iter (fun l -> go l (x + w)) node.left;
+    Option.iter (fun r -> go r x) node.right
+  in
+  go t 0;
+  List.rev !out
+
+let pack t dims =
+  List.map
+    (fun (cell, rect) -> { Transform.cell; rect; orient = Orientation.R0 })
+    (pack_rects t dims)
+
+let rec swap_cells t a b =
+  let cell = if t.cell = a then b else if t.cell = b then a else t.cell in
+  {
+    cell;
+    left = Option.map (fun l -> swap_cells l a b) t.left;
+    right = Option.map (fun r -> swap_cells r a b) t.right;
+  }
+
+(* Splice out a node: promote the left child; its own rightmost
+   right-descendant adopts the removed node's right subtree. With no
+   left child the right child is promoted directly. *)
+let rec attach_right t sub =
+  match t.right with
+  | None -> { t with right = Some sub }
+  | Some r -> { t with right = Some (attach_right r sub) }
+
+let splice node =
+  match (node.left, node.right) with
+  | None, None -> None
+  | Some l, None -> Some l
+  | None, Some r -> Some r
+  | Some l, Some r -> Some (attach_right l r)
+
+let rec delete t target =
+  if t.cell = target then splice t
+  else
+    let left =
+      match t.left with
+      | Some l when mem l target -> delete l target
+      | other -> other
+    in
+    let right =
+      match t.right with
+      | Some r when mem r target -> delete r target
+      | other -> other
+    in
+    Some { t with left; right }
+
+let rec insert_at t ~cell ~target ~side =
+  if t.cell = target then
+    match side with
+    | `Left -> { t with left = Some { cell; left = t.left; right = None } }
+    | `Right -> { t with right = Some { cell; left = None; right = t.right } }
+  else
+    {
+      t with
+      left = Option.map (fun l -> insert_at l ~cell ~target ~side) t.left;
+      right = Option.map (fun r -> insert_at r ~cell ~target ~side) t.right;
+    }
+
+let insert_random rng t ~cell =
+  let target = Prelude.Rng.choose rng (cells t) in
+  let side = if Prelude.Rng.bool rng then `Left else `Right in
+  insert_at t ~cell ~target ~side
+
+let rec equal a b =
+  a.cell = b.cell
+  && Option.equal equal a.left b.left
+  && Option.equal equal a.right b.right
+
+let rec pp ppf t =
+  match (t.left, t.right) with
+  | None, None -> Format.fprintf ppf "%d" t.cell
+  | _ ->
+      Format.fprintf ppf "@[%d(%a,%a)@]" t.cell
+        (Format.pp_print_option
+           ~none:(fun ppf () -> Format.pp_print_string ppf "-")
+           pp)
+        t.left
+        (Format.pp_print_option
+           ~none:(fun ppf () -> Format.pp_print_string ppf "-")
+           pp)
+        t.right

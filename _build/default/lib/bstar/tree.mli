@@ -1,0 +1,64 @@
+(** B*-trees (Chang et al., survey ref [5]).
+
+    A B*-tree is an ordered binary tree over cells encoding a compacted
+    ("admissible") placement: the root sits at the origin; a node's
+    {e left} child is the lowest cell adjacent to its right edge (same
+    y-search, x = parent.x + parent.w); its {e right} child is the
+    lowest cell above it at the same x. Packing is a pre-order
+    traversal against a skyline contour, O(n) contour updates
+    amortized.
+
+    Trees here are immutable; perturbations (see {!Perturb}) return new
+    trees. *)
+
+type t = { cell : int; left : t option; right : t option }
+
+val leaf : int -> t
+
+val row : int list -> t
+(** Left-skewed chain: the cells side by side in one row. Raises
+    [Invalid_argument] on the empty list. *)
+
+val column : int list -> t
+(** Right-skewed chain: the cells stacked in one column. *)
+
+val random : Prelude.Rng.t -> int list -> t
+(** Uniformly-shaped random tree over the given cells (first cell list
+    order is randomized too). Raises [Invalid_argument] on []. *)
+
+val cells : t -> int list
+(** Pre-order cell list. *)
+
+val size : t -> int
+
+val mem : t -> int -> bool
+
+val map_cells : (int -> int) -> t -> t
+
+val pack : t -> (int -> int * int) -> Geometry.Transform.placed list
+(** Contour packing; placements are returned in pre-order. All
+    orientations are [R0] — orientation choices belong to the caller
+    (apply them inside the dims function and relabel afterwards). *)
+
+val pack_rects : t -> (int -> int * int) -> (int * Geometry.Rect.t) list
+(** Like {!pack} but just [(cell, rect)] pairs. *)
+
+val swap_cells : t -> int -> int -> t
+(** Exchange the cells at the nodes holding [a] and [b]. *)
+
+val delete : t -> int -> t option
+(** Remove the node holding the cell. An internal node is spliced by
+    promoting its left child (its right subtree re-attaches at the
+    promoted chain's rightmost node), preserving a valid tree. [None]
+    when the tree had one node. *)
+
+val insert_at :
+  t -> cell:int -> target:int -> side:[ `Left | `Right ] -> t
+(** Insert a new node holding [cell] as the [side] child of the node
+    holding [target]; an existing child moves down to the same side of
+    the new node. *)
+
+val insert_random : Prelude.Rng.t -> t -> cell:int -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/constraints/placement_check.ml: Array Format Geometry List Outline Rect Result Symmetry_group Transform

@@ -1,0 +1,1 @@
+lib/constraints/placement_check.mli: Format Geometry Symmetry_group

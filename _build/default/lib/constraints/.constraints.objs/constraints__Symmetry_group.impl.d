@@ -1,0 +1,1 @@
+lib/constraints/symmetry_group.ml: Format Int List Netlist

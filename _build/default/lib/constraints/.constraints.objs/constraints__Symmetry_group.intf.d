@@ -1,0 +1,1 @@
+lib/constraints/symmetry_group.mli: Format Netlist

@@ -1,0 +1,36 @@
+(** Symmetry groups (survey §II).
+
+    A symmetry group collects cells that must be placed mirror-
+    symmetrically about a common vertical axis: [pairs] of distinct
+    cells that mirror each other, and [selfs] — self-symmetric cells
+    centered on the axis. *)
+
+type t = { name : string; pairs : (int * int) list; selfs : int list }
+
+val make : ?name:string -> pairs:(int * int) list -> selfs:int list -> unit -> t
+(** Validates that no cell occurs twice (across pairs and selfs) and
+    that pairs relate distinct cells. *)
+
+val members : t -> int list
+(** All cells of the group. *)
+
+val cardinal : t -> int
+(** [2*p + s]: the count entering the search-space lemma. *)
+
+val mem : t -> int -> bool
+
+val sym : t -> int -> int option
+(** [sym g c] is the symmetric counterpart of [c]: its partner for a
+    paired cell, [c] itself for a self-symmetric cell, [None] if [c] is
+    not in the group. *)
+
+val of_hierarchy : Netlist.Hierarchy.t -> t list
+(** Extract flat symmetry groups from the [Symmetry] nodes of a
+    hierarchy. Within a symmetry node, direct leaf children pair up
+    consecutively with a trailing odd leaf self-symmetric; two-leaf
+    child symmetry nodes contribute their leaves as a pair; any other
+    child node is ignored here (it forms a self-symmetric island handled
+    by the hierarchical placers). Nested symmetry nodes yield their own
+    groups as well. *)
+
+val pp : Format.formatter -> t -> unit

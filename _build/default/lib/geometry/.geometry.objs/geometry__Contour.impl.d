@@ -1,0 +1,1 @@
+lib/geometry/contour.ml: Format Int List

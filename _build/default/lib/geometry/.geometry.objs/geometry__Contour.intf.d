@@ -1,0 +1,1 @@
+lib/geometry/contour.mli: Format

@@ -1,0 +1,1 @@
+lib/geometry/guard_ring.mli: Rect

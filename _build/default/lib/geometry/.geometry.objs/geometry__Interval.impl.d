@@ -1,0 +1,1 @@
+lib/geometry/interval.ml: Format Int

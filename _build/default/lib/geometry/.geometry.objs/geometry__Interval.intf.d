@@ -1,0 +1,1 @@
+lib/geometry/interval.mli: Format

@@ -1,0 +1,1 @@
+lib/geometry/orientation.ml: Format

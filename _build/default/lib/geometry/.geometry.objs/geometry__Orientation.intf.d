@@ -1,0 +1,1 @@
+lib/geometry/orientation.mli: Format

@@ -1,0 +1,1 @@
+lib/geometry/outline.ml: Array Contour Fun Int Interval List Rect

@@ -1,0 +1,1 @@
+lib/geometry/outline.mli: Contour Rect

@@ -1,0 +1,1 @@
+lib/geometry/rect.mli: Format Interval Orientation

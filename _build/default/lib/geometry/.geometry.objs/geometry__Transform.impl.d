@@ -1,0 +1,1 @@
+lib/geometry/transform.ml: Format Orientation Rect

@@ -1,0 +1,54 @@
+(** Skyline contours.
+
+    The packing procedures for B*-trees (and for HB*-tree macros with
+    rectilinear tops, the survey's "contour nodes") maintain the top
+    profile of the partial placement: a step function mapping every
+    x-position to the height of material below. Dropping a cell at a
+    given x lands it on top of the maximum of the profile under its
+    footprint.
+
+    The contour is a sorted list of constant-height segments covering
+    [\[0, +inf)]; the implicit initial height is 0 everywhere. *)
+
+type t
+
+type segment = { x0 : int; x1 : int; y : int }
+(** One step of the profile: height [y] over [\[x0, x1)]. *)
+
+val empty : t
+(** The flat contour at height 0. *)
+
+val of_segments : segment list -> t
+(** Build a contour from finite segments (height 0 elsewhere). Segments
+    must be disjoint; raises [Invalid_argument] otherwise. *)
+
+val height_at : t -> int -> int
+(** Profile height at a single x-position. *)
+
+val max_height : t -> x0:int -> x1:int -> int
+(** Maximum profile height over [\[x0, x1)]; 0 for empty ranges. *)
+
+val raise_to : t -> x0:int -> x1:int -> y:int -> t
+(** [raise_to c ~x0 ~x1 ~y] sets the profile over [\[x0, x1)] to exactly
+    [y] (the new top of a placed cell). The profile outside the range is
+    unchanged. *)
+
+val drop : t -> x:int -> w:int -> h:int -> int * t
+(** [drop c ~x ~w ~h] lands a [w]x[h] cell at horizontal position [x] on
+    the contour: returns its resting [y] (the max height under its
+    footprint) and the updated contour. *)
+
+val segments : t -> segment list
+(** Finite segments of the profile in increasing x order (heights > 0
+    only, maximally merged). *)
+
+val max_y : t -> int
+(** Highest point of the profile. *)
+
+val shift : t -> dx:int -> dy:int -> t
+(** Translate the profile. Heights never drop below 0: a negative [dy]
+    clamps at 0. Raises [Invalid_argument] if [dx] would move a segment
+    to a negative x. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,165 @@
+(* All operations run on a compressed grid: the distinct x (resp. y)
+   coordinates of every rectangle of interest cut the plane into slabs;
+   region membership is constant inside each slab cell, so boolean
+   operations and flood fills are exact. *)
+
+let inflate d (r : Rect.t) =
+  Rect.make ~x:(r.Rect.x - d) ~y:(r.Rect.y - d) ~w:(r.Rect.w + (2 * d))
+    ~h:(r.Rect.h + (2 * d))
+
+let compress coords =
+  let sorted = List.sort_uniq Int.compare coords in
+  Array.of_list sorted
+
+type grid = { xs : int array; ys : int array; cell : bool array array }
+(* cell.(i).(j) covers [xs.(i), xs.(i+1)) x [ys.(j), ys.(j+1)) *)
+
+let mark grid rects =
+  let covers (r : Rect.t) x0 x1 y0 y1 =
+    r.Rect.x <= x0 && Rect.x_max r >= x1 && r.Rect.y <= y0 && Rect.y_max r >= y1
+  in
+  for i = 0 to Array.length grid.xs - 2 do
+    for j = 0 to Array.length grid.ys - 2 do
+      if
+        List.exists
+          (fun r ->
+            covers r grid.xs.(i) grid.xs.(i + 1) grid.ys.(j) grid.ys.(j + 1))
+          rects
+      then grid.cell.(i).(j) <- true
+    done
+  done
+
+let make_grid coord_rects =
+  let xs =
+    compress
+      (List.concat_map (fun (r : Rect.t) -> [ r.Rect.x; Rect.x_max r ]) coord_rects)
+  in
+  let ys =
+    compress
+      (List.concat_map (fun (r : Rect.t) -> [ r.Rect.y; Rect.y_max r ]) coord_rects)
+  in
+  {
+    xs;
+    ys;
+    cell = Array.make_matrix (max 1 (Array.length xs - 1)) (max 1 (Array.length ys - 1)) false;
+  }
+
+(* Greedy decomposition of a marked cell set into maximal horizontal
+   strips merged vertically. *)
+let rects_of_cells grid marked =
+  let nx = Array.length grid.xs - 1 and ny = Array.length grid.ys - 1 in
+  let taken = Array.make_matrix nx ny false in
+  let out = ref [] in
+  for j = 0 to ny - 1 do
+    for i = 0 to nx - 1 do
+      if marked.(i).(j) && not (taken.(i).(j)) then begin
+        (* grow right *)
+        let i1 = ref i in
+        while
+          !i1 + 1 < nx && marked.(!i1 + 1).(j) && not taken.(!i1 + 1).(j)
+        do
+          incr i1
+        done;
+        (* grow up while the whole strip is markable *)
+        let j1 = ref j in
+        let strip_ok jj =
+          let ok = ref true in
+          for k = i to !i1 do
+            if (not marked.(k).(jj)) || taken.(k).(jj) then ok := false
+          done;
+          !ok
+        in
+        while !j1 + 1 < ny && strip_ok (!j1 + 1) do
+          incr j1
+        done;
+        for k = i to !i1 do
+          for l = j to !j1 do
+            taken.(k).(l) <- true
+          done
+        done;
+        out :=
+          Rect.make ~x:grid.xs.(i) ~y:grid.ys.(j)
+            ~w:(grid.xs.(!i1 + 1) - grid.xs.(i))
+            ~h:(grid.ys.(!j1 + 1) - grid.ys.(j))
+          :: !out
+      end
+    done
+  done;
+  !out
+
+let well ~clearance rects =
+  if rects = [] then invalid_arg "Guard_ring.well: empty group";
+  if clearance < 0 then invalid_arg "Guard_ring.well: clearance";
+  let inflated = List.map (inflate clearance) rects in
+  let grid = make_grid inflated in
+  mark grid inflated;
+  rects_of_cells grid grid.cell
+
+let generate ~clearance ~thickness rects =
+  if rects = [] then invalid_arg "Guard_ring.generate: empty group";
+  if thickness <= 0 then invalid_arg "Guard_ring.generate: thickness";
+  if clearance < 0 then invalid_arg "Guard_ring.generate: clearance";
+  let inner = List.map (inflate clearance) rects in
+  let outer = List.map (inflate (clearance + thickness)) rects in
+  let grid = make_grid (inner @ outer) in
+  let inner_grid = { grid with cell = Array.map Array.copy grid.cell } in
+  mark inner_grid inner;
+  let outer_grid = { grid with cell = Array.map Array.copy grid.cell } in
+  mark outer_grid outer;
+  let nx = Array.length grid.xs - 1 and ny = Array.length grid.ys - 1 in
+  let ring = Array.make_matrix nx ny false in
+  for i = 0 to nx - 1 do
+    for j = 0 to ny - 1 do
+      ring.(i).(j) <- outer_grid.cell.(i).(j) && not inner_grid.cell.(i).(j)
+    done
+  done;
+  rects_of_cells grid ring
+
+let encloses ~ring cells =
+  match cells with
+  | [] -> true
+  | _ ->
+      (* compressed grid over everything plus a border frame *)
+      let all = ring @ cells in
+      let bbox = Rect.bbox_of_list all in
+      let frame = inflate 1 bbox in
+      let grid = make_grid (frame :: all) in
+      let ring_grid = { grid with cell = Array.map Array.copy grid.cell } in
+      mark ring_grid ring;
+      let cell_grid = { grid with cell = Array.map Array.copy grid.cell } in
+      mark cell_grid cells;
+      let nx = Array.length grid.xs - 1 and ny = Array.length grid.ys - 1 in
+      (* flood fill the free region from the frame border *)
+      let reached = Array.make_matrix nx ny false in
+      let stack = ref [] in
+      for i = 0 to nx - 1 do
+        stack := (i, 0) :: (i, ny - 1) :: !stack
+      done;
+      for j = 0 to ny - 1 do
+        stack := (0, j) :: (nx - 1, j) :: !stack
+      done;
+      let rec flood () =
+        match !stack with
+        | [] -> ()
+        | (i, j) :: rest ->
+            stack := rest;
+            if
+              i >= 0 && i < nx && j >= 0 && j < ny
+              && (not reached.(i).(j))
+              && not ring_grid.cell.(i).(j)
+            then begin
+              reached.(i).(j) <- true;
+              stack :=
+                (i + 1, j) :: (i - 1, j) :: (i, j + 1) :: (i, j - 1) :: !stack
+            end;
+            flood ()
+      in
+      flood ();
+      (* sealed iff no protected cell area is reached from outside *)
+      let leak = ref false in
+      for i = 0 to nx - 1 do
+        for j = 0 to ny - 1 do
+          if cell_grid.cell.(i).(j) && reached.(i).(j) then leak := true
+        done
+      done;
+      not !leak

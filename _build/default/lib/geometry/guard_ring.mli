@@ -1,0 +1,32 @@
+(** Guard rings around cell groups.
+
+    Proximity-constrained sub-circuits share a substrate well and are
+    "surrounded by a common guard ring" (survey §III-A, Fig. 3(c)).
+    Given the placed rectangles of a group, {!generate} builds the ring
+    as a set of rectangles covering the region between the group's
+    outline inflated by [clearance] and by [clearance + thickness] —
+    i.e. a closed rectilinear band hugging the (possibly
+    non-rectangular) group shape.
+
+    The construction is exact over a compressed grid: the ring never
+    overlaps the protected cells, and every 4-connected path from the
+    group to the outside world crosses the ring (tested by flood
+    fill). *)
+
+val generate :
+  clearance:int -> thickness:int -> Rect.t list -> Rect.t list
+(** Raises [Invalid_argument] on an empty group or non-positive
+    [thickness]; [clearance] must be non-negative. The input rectangles
+    should be pairwise non-overlapping placed cells (overlaps are
+    tolerated). *)
+
+val well : clearance:int -> Rect.t list -> Rect.t list
+(** The shared substrate/well region of a proximity group: the union of
+    the cells inflated by [clearance], decomposed into disjoint
+    rectangles. Every input cell is contained in the union (tested). *)
+
+val encloses : ring:Rect.t list -> Rect.t list -> bool
+(** Does the ring seal the cells off — no 4-connected free path from
+    any cell to the bounding region's border? (The property {!generate}
+    guarantees; exported for tests and verification of hand-made
+    rings.) *)

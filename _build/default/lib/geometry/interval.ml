@@ -1,0 +1,33 @@
+type t = { lo : int; hi : int }
+
+let make lo hi =
+  if hi < lo then invalid_arg "Interval.make: hi < lo";
+  { lo; hi }
+
+let empty = { lo = 0; hi = 0 }
+let is_empty i = i.hi <= i.lo
+let length i = if is_empty i then 0 else i.hi - i.lo
+let contains i p = i.lo <= p && p < i.hi
+let overlaps a b = max a.lo b.lo < min a.hi b.hi
+
+let intersect a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if hi <= lo then empty else { lo; hi }
+
+let hull a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let shift i d = { lo = i.lo + d; hi = i.hi + d }
+
+(* Reflecting [lo, hi) about axis2/2 maps a point p to axis2 - p, so the
+   reflected interval is [axis2 - hi, axis2 - lo). *)
+let mirror ~axis2 i = { lo = axis2 - i.hi; hi = axis2 - i.lo }
+
+let compare a b =
+  let c = Int.compare a.lo b.lo in
+  if c <> 0 then c else Int.compare a.hi b.hi
+
+let equal a b = compare a b = 0
+let pp ppf i = Format.fprintf ppf "[%d,%d)" i.lo i.hi

@@ -1,0 +1,47 @@
+(** Closed-open integer intervals [\[lo, hi)] on a layout grid.
+
+    Intervals are the 1-D building block for rectangle overlap tests,
+    contour segments and symmetry-axis arithmetic. An interval is empty
+    when [hi <= lo]. *)
+
+type t = private { lo : int; hi : int }
+
+val make : int -> int -> t
+(** [make lo hi] is the interval [\[lo, hi)]. Raises [Invalid_argument]
+    if [hi < lo]. *)
+
+val empty : t
+(** The canonical empty interval [\[0, 0)]. *)
+
+val is_empty : t -> bool
+
+val length : t -> int
+(** [length i] is [hi - lo]; [0] for empty intervals. *)
+
+val contains : t -> int -> bool
+(** [contains i p] is [true] iff [lo <= p < hi]. *)
+
+val overlaps : t -> t -> bool
+(** [overlaps a b] is [true] iff the interiors intersect, i.e. the
+    intersection has positive length. Touching intervals do not overlap. *)
+
+val intersect : t -> t -> t
+(** [intersect a b] is the (possibly empty) common part. *)
+
+val hull : t -> t -> t
+(** [hull a b] is the smallest interval containing both; empty intervals
+    are neutral. *)
+
+val shift : t -> int -> t
+(** [shift i d] translates both ends by [d]. *)
+
+val mirror : axis2:int -> t -> t
+(** [mirror ~axis2 i] reflects [i] about the vertical line at coordinate
+    [axis2 / 2]. The doubled axis [axis2] keeps everything integral when
+    the true axis falls on a half-grid position. *)
+
+val compare : t -> t -> int
+(** Lexicographic order on [(lo, hi)]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

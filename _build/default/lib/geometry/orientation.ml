@@ -1,0 +1,54 @@
+type t = R0 | R90 | R180 | R270 | MY | MY90 | MX | MX90
+
+let all = [ R0; R90; R180; R270; MY; MY90; MX; MX90 ]
+
+let swaps_dims = function
+  | R90 | R270 | MY90 | MX90 -> true
+  | R0 | R180 | MY | MX -> false
+
+let dims o ~w ~h = if swaps_dims o then (h, w) else (w, h)
+
+let mirror_y = function
+  | R0 -> MY
+  | MY -> R0
+  | R180 -> MX
+  | MX -> R180
+  | R90 -> MX90
+  | MX90 -> R90
+  | R270 -> MY90
+  | MY90 -> R270
+
+let rotate90 = function
+  | R0 -> R90
+  | R90 -> R180
+  | R180 -> R270
+  | R270 -> R0
+  | MY -> MY90
+  | MY90 -> MX
+  | MX -> MX90
+  | MX90 -> MY
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | R0 -> "R0"
+  | R90 -> "R90"
+  | R180 -> "R180"
+  | R270 -> "R270"
+  | MY -> "MY"
+  | MY90 -> "MY90"
+  | MX -> "MX"
+  | MX90 -> "MX90"
+
+let of_string = function
+  | "R0" -> Some R0
+  | "R90" -> Some R90
+  | "R180" -> Some R180
+  | "R270" -> Some R270
+  | "MY" -> Some MY
+  | "MY90" -> Some MY90
+  | "MX" -> Some MX
+  | "MX90" -> Some MX90
+  | _ -> None
+
+let pp ppf o = Format.pp_print_string ppf (to_string o)

@@ -1,0 +1,40 @@
+(** Cell orientations.
+
+    Analog placers flip and rotate device cells to improve matching and
+    routing. We support the eight layout orientations (four rotations,
+    each optionally mirrored). For packing purposes only two facts
+    matter: whether width and height are swapped, and how the cell's
+    internal features are mirrored (relevant for symmetric device pairs,
+    which must use mirrored orientations of one another). *)
+
+type t =
+  | R0    (** as drawn *)
+  | R90   (** rotated 90 degrees counter-clockwise *)
+  | R180
+  | R270
+  | MY    (** mirrored about the vertical (Y) axis *)
+  | MY90  (** mirrored about Y, then rotated 90 *)
+  | MX    (** mirrored about the horizontal (X) axis *)
+  | MX90
+
+val all : t list
+(** All eight orientations, [R0] first. *)
+
+val swaps_dims : t -> bool
+(** [true] iff the orientation exchanges width and height. *)
+
+val dims : t -> w:int -> h:int -> int * int
+(** [dims o ~w ~h] is the bounding-box size of a [w]x[h] cell under [o]. *)
+
+val mirror_y : t -> t
+(** Compose with a mirror about the vertical axis — the orientation a
+    symmetric counterpart must adopt so that the pair is a true mirror
+    image. Involutive. *)
+
+val rotate90 : t -> t
+(** Compose with a further 90-degree counter-clockwise rotation. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

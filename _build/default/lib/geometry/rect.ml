@@ -1,0 +1,61 @@
+type t = { x : int; y : int; w : int; h : int }
+
+let make ~x ~y ~w ~h =
+  if w < 0 || h < 0 then invalid_arg "Rect.make: negative dimension";
+  { x; y; w; h }
+
+let at_origin ~w ~h = make ~x:0 ~y:0 ~w ~h
+let area r = r.w * r.h
+let x_span r = Interval.make r.x (r.x + r.w)
+let y_span r = Interval.make r.y (r.y + r.h)
+let x_max r = r.x + r.w
+let y_max r = r.y + r.h
+let center2 r = (2 * r.x + r.w, 2 * r.y + r.h)
+
+let overlaps a b =
+  Interval.overlaps (x_span a) (x_span b)
+  && Interval.overlaps (y_span a) (y_span b)
+
+let intersection_area a b =
+  Interval.length (Interval.intersect (x_span a) (x_span b))
+  * Interval.length (Interval.intersect (y_span a) (y_span b))
+
+let contains outer inner =
+  outer.x <= inner.x
+  && outer.y <= inner.y
+  && x_max inner <= x_max outer
+  && y_max inner <= y_max outer
+
+let is_degenerate r = r.w = 0 || r.h = 0
+
+let bbox a b =
+  if is_degenerate a then b
+  else if is_degenerate b then a
+  else
+    let x = min a.x b.x and y = min a.y b.y in
+    { x; y; w = max (x_max a) (x_max b) - x; h = max (y_max a) (y_max b) - y }
+
+let bbox_of_list = function
+  | [] -> invalid_arg "Rect.bbox_of_list: empty list"
+  | r :: rest -> List.fold_left bbox r rest
+
+let translate r ~dx ~dy = { r with x = r.x + dx; y = r.y + dy }
+let mirror_y ~axis2 r = { r with x = axis2 - r.x - r.w }
+let mirror_x ~axis2 r = { r with y = axis2 - r.y - r.h }
+
+let oriented o r =
+  let w, h = Orientation.dims o ~w:r.w ~h:r.h in
+  { r with w; h }
+
+let compare a b =
+  let c = Int.compare a.x b.x in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.y b.y in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.w b.w in
+      if c <> 0 then c else Int.compare a.h b.h
+
+let equal a b = compare a b = 0
+let pp ppf r = Format.fprintf ppf "@[%dx%d@@(%d,%d)@]" r.w r.h r.x r.y

@@ -1,0 +1,63 @@
+(** Axis-aligned rectangles on an integer layout grid.
+
+    A rectangle is the placed footprint of a device cell or of a
+    sub-circuit bounding box: origin at the lower-left corner, extending
+    [w] to the right and [h] upward. Widths and heights are
+    non-negative. *)
+
+type t = { x : int; y : int; w : int; h : int }
+
+val make : x:int -> y:int -> w:int -> h:int -> t
+(** Raises [Invalid_argument] on negative [w] or [h]. *)
+
+val at_origin : w:int -> h:int -> t
+
+val area : t -> int
+
+val x_span : t -> Interval.t
+(** Horizontal extent [\[x, x+w)]. *)
+
+val y_span : t -> Interval.t
+(** Vertical extent [\[y, y+h)]. *)
+
+val x_max : t -> int
+(** Right edge, [x + w]. *)
+
+val y_max : t -> int
+(** Top edge, [y + h]. *)
+
+val center2 : t -> int * int
+(** Doubled center [(2*cx, 2*cy)] — doubling keeps half-grid centers
+    integral, which matters for common-centroid checks. *)
+
+val overlaps : t -> t -> bool
+(** [true] iff the interiors intersect; edge-sharing rectangles do not
+    overlap. *)
+
+val intersection_area : t -> t -> int
+
+val contains : t -> t -> bool
+(** [contains outer inner] — is [inner] entirely within [outer]
+    (boundaries may touch)? *)
+
+val bbox : t -> t -> t
+(** Smallest rectangle covering both. Zero-area rectangles are neutral. *)
+
+val bbox_of_list : t list -> t
+(** Bounding box of a non-empty list; raises [Invalid_argument] on []. *)
+
+val translate : t -> dx:int -> dy:int -> t
+
+val mirror_y : axis2:int -> t -> t
+(** Reflect about the vertical line at [axis2 / 2] (doubled coordinate). *)
+
+val mirror_x : axis2:int -> t -> t
+(** Reflect about the horizontal line at [axis2 / 2]. *)
+
+val oriented : Orientation.t -> t -> t
+(** [oriented o r] keeps the origin of [r] and gives it the bounding
+    dimensions of the cell under orientation [o]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

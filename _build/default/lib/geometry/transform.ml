@@ -1,0 +1,18 @@
+type placed = { cell : int; rect : Rect.t; orient : Orientation.t }
+
+let place ~cell ~x ~y ~w ~h ~orient =
+  let w, h = Orientation.dims orient ~w ~h in
+  { cell; rect = Rect.make ~x ~y ~w ~h; orient }
+
+let mirror_y ~axis2 p =
+  {
+    p with
+    rect = Rect.mirror_y ~axis2 p.rect;
+    orient = Orientation.mirror_y p.orient;
+  }
+
+let translate p ~dx ~dy = { p with rect = Rect.translate p.rect ~dx ~dy }
+
+let pp ppf p =
+  Format.fprintf ppf "@[cell %d %a %a@]" p.cell Rect.pp p.rect Orientation.pp
+    p.orient

@@ -1,0 +1,25 @@
+(** Rigid placements of oriented cells.
+
+    A [placed] value records where a cell of intrinsic size [w]x[h]
+    ended up: its orientation and the lower-left corner of its oriented
+    bounding box. This is the common currency between the topological
+    representations (sequence-pair, B*-trees, shape functions) and the
+    constraint checkers. *)
+
+type placed = {
+  cell : int;  (** index of the cell in its circuit's module table *)
+  rect : Rect.t;  (** oriented bounding box, as placed *)
+  orient : Orientation.t;
+}
+
+val place : cell:int -> x:int -> y:int -> w:int -> h:int ->
+  orient:Orientation.t -> placed
+(** [w] and [h] are the intrinsic (unoriented) cell dimensions; the
+    stored rectangle uses the oriented ones. *)
+
+val mirror_y : axis2:int -> placed -> placed
+(** Mirror a placed cell about the vertical line at [axis2 / 2]:
+    position is reflected and the orientation composed with [MY]. *)
+
+val translate : placed -> dx:int -> dy:int -> placed
+val pp : Format.formatter -> placed -> unit

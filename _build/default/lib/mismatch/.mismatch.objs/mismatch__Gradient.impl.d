@@ -1,0 +1,1 @@
+lib/mismatch/gradient.ml: Float Geometry List Prelude Rect

@@ -1,0 +1,1 @@
+lib/mismatch/gradient.mli: Geometry Prelude

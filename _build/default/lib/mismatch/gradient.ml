@@ -1,0 +1,36 @@
+open Geometry
+
+type model = { slope : float; theta : float; local_sigma : float }
+
+let sample_model rng ~slope_mag ~local_sigma =
+  {
+    slope = slope_mag *. Float.abs (Prelude.Rng.gaussian rng);
+    theta = Prelude.Rng.float rng (2.0 *. Float.pi);
+    local_sigma;
+  }
+
+let gradient_at m (x, y) =
+  m.slope *. ((x *. cos m.theta) +. (y *. sin m.theta))
+
+let center (r : Rect.t) =
+  let cx2, cy2 = Rect.center2 r in
+  (float_of_int cx2 /. 2.0, float_of_int cy2 /. 2.0)
+
+let device_value m rng units =
+  if units = [] then invalid_arg "Gradient.device_value: no units";
+  let n = float_of_int (List.length units) in
+  let grad =
+    List.fold_left (fun acc u -> acc +. gradient_at m (center u)) 0.0 units
+    /. n
+  in
+  grad +. (m.local_sigma /. sqrt n *. Prelude.Rng.gaussian rng)
+
+let pair_offset m rng a b = device_value m rng a -. device_value m rng b
+
+let monte_carlo rng ~trials ~slope_mag ~local_sigma (a, b) =
+  let offsets =
+    List.init trials (fun _ ->
+        let m = sample_model rng ~slope_mag ~local_sigma in
+        pair_offset m rng a b)
+  in
+  Prelude.Stats.stddev offsets

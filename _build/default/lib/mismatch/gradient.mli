@@ -1,0 +1,48 @@
+(** Process-gradient mismatch model (Pelgrom-style).
+
+    §III-A: the common-centroid constraint exists "to reduce
+    process-induced mismatches among the devices". The standard model
+    splits a matched parameter's variation into
+
+    - a {e linear process gradient} across the die — oxide thickness,
+      implant dose etc. drifting with position — and
+    - a {e local} (area-dependent) random term, sigma = A / sqrt(WL).
+
+    A device built from several unit fingers samples the gradient at
+    each unit's center; the device value is the unit average. A layout
+    whose devices share a common centroid cancels the gradient term
+    {e exactly}, whatever the gradient direction — which is what the
+    Monte-Carlo experiment (bench `mismatch`) shows against
+    side-by-side and separated layouts. *)
+
+type model = {
+  slope : float;  (** gradient magnitude, parameter units per grid unit *)
+  theta : float;  (** gradient direction, radians *)
+  local_sigma : float;  (** local sigma for one unit *)
+}
+
+val sample_model :
+  Prelude.Rng.t -> slope_mag:float -> local_sigma:float -> model
+(** Random direction, slope magnitude scaled by |N(0,1)|. *)
+
+val gradient_at : model -> float * float -> float
+(** The gradient term at a point. *)
+
+val device_value : model -> Prelude.Rng.t -> Geometry.Rect.t list -> float
+(** Parameter deviation of a device realized as the given unit
+    rectangles: mean gradient over unit centers plus one local random
+    term scaled by [1 / sqrt #units]. Raises [Invalid_argument] on []. *)
+
+val pair_offset :
+  model -> Prelude.Rng.t -> Geometry.Rect.t list -> Geometry.Rect.t list -> float
+(** Deviation difference between two devices (their mismatch). *)
+
+val monte_carlo :
+  Prelude.Rng.t ->
+  trials:int ->
+  slope_mag:float ->
+  local_sigma:float ->
+  (Geometry.Rect.t list * Geometry.Rect.t list) ->
+  float
+(** Standard deviation of the pair offset over random gradient
+    directions and local noise. *)

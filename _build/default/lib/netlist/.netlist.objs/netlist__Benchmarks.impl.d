@@ -1,0 +1,1 @@
+lib/netlist/benchmarks.ml: Circuit Format Hierarchy Int List Net Parser Prelude Printf Recognize

@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Array Device Format Hashtbl List Net Printf String

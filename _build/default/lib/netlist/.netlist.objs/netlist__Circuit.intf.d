@@ -1,0 +1,1 @@
+lib/netlist/circuit.mli: Device Format Net

@@ -1,0 +1,1 @@
+lib/netlist/cluster.ml: Array Circuit Hierarchy List Net Printf

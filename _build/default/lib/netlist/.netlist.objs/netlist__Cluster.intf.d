@@ -1,0 +1,1 @@
+lib/netlist/cluster.mli: Circuit Hierarchy

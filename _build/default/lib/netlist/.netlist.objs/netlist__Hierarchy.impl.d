@@ -1,0 +1,1 @@
+lib/netlist/hierarchy.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/netlist/hierarchy.mli: Format

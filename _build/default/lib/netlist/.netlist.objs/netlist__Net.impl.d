@@ -1,0 +1,1 @@
+lib/netlist/net.ml: Format Int List

@@ -1,0 +1,1 @@
+lib/netlist/parser.ml: Buffer Char Circuit Device Format Hashtbl Int List Net Option Printf Result String

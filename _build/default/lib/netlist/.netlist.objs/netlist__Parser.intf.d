@@ -1,0 +1,1 @@
+lib/netlist/parser.mli: Circuit Device Format

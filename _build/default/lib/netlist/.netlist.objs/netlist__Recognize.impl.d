@@ -1,0 +1,1 @@
+lib/netlist/recognize.ml: Array Circuit Device Format Fun Hashtbl Hierarchy Int List Option Printf String

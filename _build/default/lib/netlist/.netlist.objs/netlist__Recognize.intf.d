@@ -1,0 +1,1 @@
+lib/netlist/recognize.mli: Circuit Format Hierarchy

@@ -1,0 +1,1 @@
+lib/netlist/wirelength.ml: List Net

@@ -1,0 +1,255 @@
+type bench = { label : string; circuit : Circuit.t; hierarchy : Hierarchy.t }
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1: seven cells with symmetry group { (C,D), (B,G), A, F }.     *)
+
+let fig1_circuit () =
+  let m = Circuit.block in
+  Circuit.make ~name:"fig1"
+    ~modules:
+      [
+        m ~name:"A" ~w:240 ~h:100;  (* self-symmetric, wide *)
+        m ~name:"B" ~w:120 ~h:160;  (* pair with G *)
+        m ~name:"C" ~w:100 ~h:120;  (* pair with D *)
+        m ~name:"D" ~w:100 ~h:120;
+        m ~name:"E" ~w:140 ~h:380;  (* free tall cell at the left *)
+        m ~name:"F" ~w:360 ~h:90;   (* self-symmetric, wide *)
+        m ~name:"G" ~w:120 ~h:160;
+      ]
+    ~nets:
+      [
+        Net.make ~name:"n1" ~pins:[ 1; 2; 6; 3 ] ();
+        Net.make ~name:"n2" ~pins:[ 0; 5 ] ();
+        Net.make ~name:"n3" ~pins:[ 4; 1 ] ();
+      ]
+
+let fig1_symmetry = ([ (2, 3); (1, 6) ], [ 0; 5 ])
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2 / Fig. 4: hierarchical design with all three constraints.    *)
+
+let fig2_design () =
+  let m = Circuit.block in
+  (* indices: A=0 B=1 C=2 D=3 E=4 F=5 G=6 H=7 I=8 J=9 K=10 *)
+  let circuit =
+    Circuit.make ~name:"fig2"
+      ~modules:
+        [
+          m ~name:"A" ~w:200 ~h:80;
+          m ~name:"B" ~w:150 ~h:150;
+          m ~name:"C" ~w:120 ~h:220;
+          m ~name:"D" ~w:110 ~h:140;
+          m ~name:"E" ~w:110 ~h:140;
+          m ~name:"F" ~w:180 ~h:100;
+          m ~name:"G" ~w:90 ~h:90;
+          m ~name:"H" ~w:120 ~h:100;
+          m ~name:"I" ~w:120 ~h:100;
+          m ~name:"J" ~w:100 ~h:130;
+          m ~name:"K" ~w:100 ~h:130;
+        ]
+      ~nets:
+        [
+          Net.make ~name:"sig" ~pins:[ 3; 4; 7; 8 ] ();
+          Net.make ~name:"bias" ~pins:[ 0; 6; 9; 10 ] ();
+          Net.make ~name:"misc" ~pins:[ 1; 2; 5 ] ();
+        ]
+  in
+  let open Hierarchy in
+  let hierarchy =
+    node "top"
+      [
+        node ~kind:Symmetry "SYM"
+          [
+            node ~kind:Symmetry "DPDE" [ Leaf 3; Leaf 4 ];
+            Leaf 0;
+            node ~kind:Common_centroid "CCHI" [ Leaf 7; Leaf 8 ];
+          ];
+        node ~kind:Proximity "PROX" [ Leaf 6; Leaf 9; Leaf 10 ];
+        Leaf 1;
+        Leaf 2;
+        Leaf 5;
+      ]
+  in
+  { label = "fig2"; circuit; hierarchy }
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: Miller op amp, recognized from a netlist.                   *)
+
+let miller_netlist =
+  "* Miller op amp (survey Fig. 6)\n\
+   MP5 ibias ibias vdd vdd pmos W=10u L=1u\n\
+   MP6 tail  ibias vdd vdd pmos W=20u L=1u\n\
+   MP7 out   ibias vdd vdd pmos W=20u L=1u\n\
+   MP1 x1 inp tail vdd pmos W=40u L=0.5u M=2\n\
+   MP2 x2 inn tail vdd pmos W=40u L=0.5u M=2\n\
+   MN3 x1 x1 vss vss nmos W=10u L=1u\n\
+   MN4 x2 x1 vss vss nmos W=10u L=1u\n\
+   MN8 out x2 vss vss nmos W=60u L=0.5u M=4\n\
+   CC1 x2 out 1p\n\
+   .end\n"
+
+let miller () =
+  match Parser.parse_string miller_netlist with
+  | Error e ->
+      invalid_arg
+        (Format.asprintf "Benchmarks.miller: %a" Parser.pp_error e)
+  | Ok devices ->
+      let circuit = Parser.to_circuit ~name:"miller" devices in
+      let { Recognize.hierarchy; _ } = Recognize.recognize circuit in
+      { label = "miller"; circuit; hierarchy }
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic Table-I-scale circuits.                                   *)
+
+(* Analog module dimension archetypes (grid units; 100 units = 1 um). *)
+let random_dims rng =
+  match Prelude.Rng.int rng 10 with
+  | 0 | 1 | 2 | 3 ->
+      (* transistor stack: wide and flat *)
+      (Prelude.Rng.int_in rng 80 420, Prelude.Rng.int_in rng 50 180)
+  | 4 | 5 | 6 ->
+      (* folded transistor: near square *)
+      let side = Prelude.Rng.int_in rng 80 260 in
+      (side, side + Prelude.Rng.int_in rng 0 80)
+  | 7 | 8 ->
+      (* capacitor: large square *)
+      let side = Prelude.Rng.int_in rng 180 550 in
+      (side, side)
+  | _ ->
+      (* resistor: tall serpentine *)
+      (Prelude.Rng.int_in rng 40 120, Prelude.Rng.int_in rng 180 420)
+
+type set_spec = {
+  kind : Hierarchy.constraint_kind;
+  dims : (int * int) list;  (** per module in the set *)
+}
+
+let random_set rng ~remaining =
+  let pick_size hi = min remaining (Prelude.Rng.int_in rng 2 hi) in
+  match Prelude.Rng.int rng 10 with
+  | 0 | 1 | 2 ->
+      (* symmetric pair (+ optional self-symmetric cell) *)
+      let d = random_dims rng in
+      let selfs =
+        if remaining >= 3 && Prelude.Rng.bool rng then [ random_dims rng ]
+        else []
+      in
+      { kind = Hierarchy.Symmetry; dims = [ d; d ] @ selfs }
+  | 3 | 4 ->
+      let d = random_dims rng in
+      let size = pick_size 4 in
+      { kind = Hierarchy.Common_centroid; dims = List.init size (fun _ -> d) }
+  | 5 | 6 ->
+      let size = pick_size 4 in
+      { kind = Hierarchy.Proximity;
+        dims = List.init size (fun _ -> random_dims rng) }
+  | _ ->
+      let size = pick_size 5 in
+      { kind = Hierarchy.Free;
+        dims = List.init size (fun _ -> random_dims rng) }
+
+let synthetic ~label ~n ~seed =
+  let rng = Prelude.Rng.create seed in
+  (* 1. basic module sets until n modules exist *)
+  let rec gen_sets acc count =
+    if count >= n then List.rev acc
+    else
+      let remaining = n - count in
+      if remaining = 1 then
+        List.rev ({ kind = Hierarchy.Free; dims = [ random_dims rng ] } :: acc)
+      else
+        let set = random_set rng ~remaining in
+        gen_sets (set :: acc) (count + List.length set.dims)
+  in
+  let sets = gen_sets [] 0 in
+  let modules = ref [] and next = ref 0 and set_nodes = ref [] in
+  List.iteri
+    (fun si set ->
+      let idxs =
+        List.mapi
+          (fun j (w, h) ->
+            let idx = !next in
+            incr next;
+            modules :=
+              Circuit.block ~name:(Printf.sprintf "m%d_%d" si j) ~w ~h
+              :: !modules;
+            idx)
+          set.dims
+      in
+      let node =
+        match idxs with
+        | [ only ] -> Hierarchy.Leaf only
+        | _ ->
+            Hierarchy.node ~kind:set.kind
+              (Printf.sprintf "set%d" si)
+              (List.map (fun i -> Hierarchy.Leaf i) idxs)
+      in
+      set_nodes := (node, idxs) :: !set_nodes)
+    sets;
+  let set_nodes = List.rev !set_nodes in
+  (* 2. intra-set nets + sparse cross-set nets *)
+  let nets = ref [] in
+  List.iteri
+    (fun si (_, idxs) ->
+      if List.length idxs >= 2 then
+        nets :=
+          Net.make ~name:(Printf.sprintf "local%d" si) ~pins:idxs ()
+          :: !nets)
+    set_nodes;
+  let n_cross = max 1 (n / 4) in
+  for k = 0 to n_cross - 1 do
+    let deg = Prelude.Rng.int_in rng 2 4 in
+    let pins = List.init deg (fun _ -> Prelude.Rng.int rng n) in
+    let pins = List.sort_uniq Int.compare pins in
+    if List.length pins >= 2 then
+      nets := Net.make ~name:(Printf.sprintf "net%d" k) ~pins () :: !nets
+  done;
+  (* 3. combine set nodes into a random tree of fan-out 2-4 *)
+  let rec combine level nodes =
+    match nodes with
+    | [ only ] -> only
+    | _ ->
+        let rec chunk acc i = function
+          | [] -> List.rev acc
+          | rest ->
+              let fanout = Prelude.Rng.int_in rng 2 4 in
+              let taken, remainder =
+                let rec take k = function
+                  | [] -> ([], [])
+                  | xs when k = 0 -> ([], xs)
+                  | x :: xs ->
+                      let t, r = take (k - 1) xs in
+                      (x :: t, r)
+                in
+                take fanout rest
+              in
+              let node =
+                match taken with
+                | [ only ] -> only
+                | _ ->
+                    Hierarchy.node
+                      (Printf.sprintf "h%d_%d" level i)
+                      taken
+              in
+              chunk (node :: acc) (i + 1) remainder
+        in
+        combine (level + 1) (chunk [] 0 nodes)
+  in
+  let hierarchy = combine 0 (List.map fst set_nodes) in
+  let circuit =
+    Circuit.make ~name:label ~modules:(List.rev !modules) ~nets:!nets
+  in
+  (match Hierarchy.validate hierarchy ~n_modules:n with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Benchmarks.synthetic: " ^ msg));
+  { label; circuit; hierarchy }
+
+let table1_suite () =
+  [
+    synthetic ~label:"Miller V2" ~n:13 ~seed:101;
+    synthetic ~label:"Comparator V2" ~n:10 ~seed:102;
+    synthetic ~label:"Folded casc." ~n:22 ~seed:103;
+    synthetic ~label:"Buffer" ~n:46 ~seed:104;
+    synthetic ~label:"biasynth" ~n:65 ~seed:105;
+    synthetic ~label:"lnamixbias" ~n:110 ~seed:106;
+  ]

@@ -1,0 +1,49 @@
+(** Benchmark circuits.
+
+    The circuits behind the survey's experiments are not public and no
+    parsers exist for their formats, so this module provides:
+
+    - the {e exact} small examples the paper draws (Fig. 1 cell set,
+      Fig. 2 hierarchical design, Fig. 6 Miller op amp netlist), and
+    - a seeded synthetic generator reproducing the {e scale} of the
+      Table I suite (module counts 13/10/22/46/65/110) with
+      analog-typical module dimensions and hierarchy shapes.
+
+    All generation is deterministic for a given seed. *)
+
+type bench = {
+  label : string;
+  circuit : Circuit.t;
+  hierarchy : Hierarchy.t;
+}
+
+val fig1_circuit : unit -> Circuit.t
+(** The seven cells A..G of Fig. 1, indices in alphabetical order
+    (A=0 .. G=6). Symmetric counterparts have matched dimensions. *)
+
+val fig1_symmetry : (int * int) list * int list
+(** The symmetry group of Fig. 1: pairs [(C,D); (B,G)], selfs [A; F]
+    as module indices of {!fig1_circuit}. *)
+
+val fig2_design : unit -> bench
+(** The Fig. 2 layout-design hierarchy: a hierarchical-symmetry
+    sub-circuit (pair (D,E), self A, nested common-centroid \{H,I\} as in
+    Fig. 4), a proximity sub-circuit \{G,J,K\} and free cells B, C, F. *)
+
+val miller_netlist : string
+(** SPICE-like source of the Fig. 6 Miller op amp. *)
+
+val miller : unit -> bench
+(** Fig. 6 Miller op amp: parsed from {!miller_netlist}, hierarchy
+    obtained by {!Recognize.recognize} (CORE\{DP,CM1\}, CM2, N8, C). *)
+
+val synthetic : label:string -> n:int -> seed:int -> bench
+(** Synthetic analog circuit with [n] modules: basic module sets of 2-5
+    matched or free devices under symmetry / common-centroid / proximity
+    / free constraints, combined by a random hierarchy of fan-out 2-4,
+    with intra-set and some cross-set nets. *)
+
+val table1_suite : unit -> bench list
+(** The six-circuit suite of Table I: Miller V2 (13 modules),
+    Comparator V2 (10), Folded cascode (22), Buffer (46),
+    biasynth (65), lnamixbias (110). *)

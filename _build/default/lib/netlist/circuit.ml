@@ -1,0 +1,64 @@
+type module_ = { name : string; w : int; h : int; device : Device.t option }
+type t = { name : string; modules : module_ array; nets : Net.t list }
+
+let make ~name ~modules ~nets =
+  let modules = Array.of_list modules in
+  let n = Array.length modules in
+  List.iter
+    (fun (net : Net.t) ->
+      List.iter
+        (fun pin ->
+          if pin < 0 || pin >= n then
+            invalid_arg
+              (Printf.sprintf "Circuit.make: net %s pin %d out of range"
+                 net.Net.name pin))
+        net.Net.pins)
+    nets;
+  { name; modules; nets }
+
+let module_of_device d =
+  let w, h = Device.footprint d in
+  { name = d.Device.name; w; h; device = Some d }
+
+let block ~name ~w ~h = { name; w; h; device = None }
+let size c = Array.length c.modules
+
+let total_module_area c =
+  Array.fold_left (fun acc m -> acc + (m.w * m.h)) 0 c.modules
+
+let dims c i =
+  let m = c.modules.(i) in
+  (m.w, m.h)
+
+let find_module c name =
+  let rec search i =
+    if i >= Array.length c.modules then raise Not_found
+    else if String.equal c.modules.(i).name name then i
+    else search (i + 1)
+  in
+  search 0
+
+let subcircuit c ~name idxs =
+  let old_of_new = Array.of_list idxs in
+  let new_of_old = Hashtbl.create 16 in
+  Array.iteri (fun ni oi -> Hashtbl.replace new_of_old oi ni) old_of_new;
+  let modules = List.map (fun i -> c.modules.(i)) idxs in
+  let nets =
+    List.filter_map
+      (fun (net : Net.t) ->
+        let inside =
+          List.filter_map (fun p -> Hashtbl.find_opt new_of_old p) net.Net.pins
+        in
+        if List.length inside >= 2 && List.length inside = List.length net.Net.pins
+        then Some (Net.make ~weight:net.Net.weight ~name:net.Net.name ~pins:inside ())
+        else None)
+      c.nets
+  in
+  (make ~name ~modules ~nets, old_of_new)
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>circuit %s: %d modules, %d nets@,%a@]" c.name
+    (size c) (List.length c.nets)
+    (Format.pp_print_list (fun ppf (m : module_) ->
+         Format.fprintf ppf "  %s %dx%d" m.name m.w m.h))
+    (Array.to_list c.modules)

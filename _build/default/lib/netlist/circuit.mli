@@ -1,0 +1,47 @@
+(** Placement-level circuits.
+
+    A circuit is an array of placeable modules (device cells or
+    pre-packed macros) plus the nets among them. Module indices are the
+    identifiers all topological representations work with. *)
+
+type module_ = {
+  name : string;
+  w : int;  (** intrinsic width, grid units *)
+  h : int;  (** intrinsic height, grid units *)
+  device : Device.t option;  (** payload when the module is one device *)
+}
+
+type t = {
+  name : string;
+  modules : module_ array;
+  nets : Net.t list;
+}
+
+val make : name:string -> modules:module_ list -> nets:Net.t list -> t
+(** Validates that every net pin indexes a module. *)
+
+val module_of_device : Device.t -> module_
+(** Module with the device's footprint. *)
+
+val block : name:string -> w:int -> h:int -> module_
+(** An opaque rectangular module. *)
+
+val size : t -> int
+(** Number of modules. *)
+
+val total_module_area : t -> int
+(** Sum of module areas — the denominator of the survey's "area usage"
+    metric (Table I). *)
+
+val dims : t -> int -> int * int
+(** [(w, h)] of module [i]. *)
+
+val find_module : t -> string -> int
+(** Index of the module with the given name; raises [Not_found]. *)
+
+val subcircuit : t -> name:string -> int list -> t * int array
+(** [subcircuit c ~name idxs] extracts the modules [idxs] (in order)
+    and the nets entirely inside them, with pins renumbered; also
+    returns the map from new index to old index. *)
+
+val pp : Format.formatter -> t -> unit

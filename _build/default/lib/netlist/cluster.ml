@@ -1,0 +1,83 @@
+let connectivity (c : Circuit.t) a b =
+  List.fold_left
+    (fun acc (net : Net.t) ->
+      if List.mem a net.Net.pins && List.mem b net.Net.pins then
+        acc +. net.Net.weight
+      else acc)
+    0.0 c.Circuit.nets
+
+type cluster = { tree : Hierarchy.t; members : int list }
+
+let cluster_connectivity (c : Circuit.t) c1 c2 =
+  List.fold_left
+    (fun acc (net : Net.t) ->
+      let touches members = List.exists (fun m -> List.mem m members) net.Net.pins in
+      if touches c1.members && touches c2.members then acc +. net.Net.weight
+      else acc)
+    0.0 c.Circuit.nets
+
+(* Merging two small clusters keeps basic sets flat (one node over
+   leaves); larger merges become plain grouping nodes. *)
+let merge ~max_cluster counter a b =
+  incr counter;
+  let name = Printf.sprintf "cluster%d" !counter in
+  let flat_leaves t =
+    match t with
+    | Hierarchy.Leaf i -> Some [ i ]
+    | Hierarchy.Node { children; _ }
+      when List.for_all
+             (function Hierarchy.Leaf _ -> true | Hierarchy.Node _ -> false)
+             children ->
+        Some (Hierarchy.leaves t)
+    | Hierarchy.Node _ -> None
+  in
+  let members = a.members @ b.members in
+  let tree =
+    match (flat_leaves a.tree, flat_leaves b.tree) with
+    | Some la, Some lb when List.length la + List.length lb <= max_cluster ->
+        Hierarchy.node name
+          (List.map (fun i -> Hierarchy.Leaf i) (la @ lb))
+    | _ -> Hierarchy.node name [ a.tree; b.tree ]
+  in
+  { tree; members }
+
+let by_connectivity ?(max_cluster = 4) (c : Circuit.t) =
+  let n = Circuit.size c in
+  if n = 0 then invalid_arg "Cluster.by_connectivity: empty circuit";
+  let counter = ref 0 in
+  let clusters =
+    ref
+      (List.init n (fun i -> { tree = Hierarchy.Leaf i; members = [ i ] }))
+  in
+  while List.length !clusters > 1 do
+    (* the most-connected pair; ties and zero-connectivity fall back to
+       the first pair so disconnected designs still terminate *)
+    let arr = Array.of_list !clusters in
+    let best = ref (0, 1) and best_w = ref neg_infinity in
+    for i = 0 to Array.length arr - 1 do
+      for j = i + 1 to Array.length arr - 1 do
+        let w = cluster_connectivity c arr.(i) arr.(j) in
+        (* prefer small merges at equal connectivity *)
+        let size =
+          List.length arr.(i).members + List.length arr.(j).members
+        in
+        let key = w -. (1e-9 *. float_of_int size) in
+        if key > !best_w then begin
+          best_w := key;
+          best := (i, j)
+        end
+      done
+    done;
+    let i, j = !best in
+    let merged = merge ~max_cluster counter arr.(i) arr.(j) in
+    clusters :=
+      merged
+      :: (Array.to_list arr
+         |> List.filteri (fun k _ -> k <> i && k <> j))
+  done;
+  match !clusters with
+  | [ { tree; _ } ] ->
+      (match Hierarchy.validate tree ~n_modules:n with
+      | Ok () -> tree
+      | Error msg -> invalid_arg ("Cluster.by_connectivity: " ^ msg))
+  | _ -> assert false

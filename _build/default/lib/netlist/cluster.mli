@@ -1,0 +1,21 @@
+(** Virtual hierarchy by connectivity clustering (survey §III-A).
+
+    The layout design hierarchy "may contain both exact and virtual
+    hierarchies"; the virtual one consists of "hierarchical clusters"
+    of devices gathered by functionality or connectivity (refs
+    [9],[21],[17]). When structure recognition finds nothing (opaque
+    block designs), this module builds that virtual hierarchy
+    bottom-up: repeatedly merge the pair of clusters with the highest
+    net connectivity between them, bounding cluster (basic-set) sizes
+    so the result suits both the HB*-tree placer and the deterministic
+    enumerator. *)
+
+val connectivity : Circuit.t -> int -> int -> float
+(** Total weight of nets joining two modules. *)
+
+val by_connectivity : ?max_cluster:int -> Circuit.t -> Hierarchy.t
+(** Agglomerative clustering over the circuit's nets. Clusters are
+    capped at [max_cluster] leaves (default 4, a basic-module-set
+    size); merging continues above the cap into [Free] grouping nodes
+    until a single root remains. Every module appears exactly once
+    (validated). Isolated modules join the root. *)

@@ -1,0 +1,73 @@
+type mos_kind = Nmos | Pmos
+
+type kind =
+  | Mos of { mos : mos_kind; w_um : float; l_um : float; folds : int }
+  | Cap of { farads : float }
+  | Res of { ohms : float }
+  | Block of { w : int; h : int }
+
+type t = { name : string; kind : kind; pins : (string * string) list }
+
+let make ~name ~kind ~pins = { name; kind; pins }
+
+let grid_per_um = 100
+
+let grid_of_um um = max 1 (int_of_float (Float.round (um *. float_of_int grid_per_um)))
+
+(* MOS cell: [folds] fingers, each of width W/folds, stacked with
+   diffusion/contact pitch around each gate. Width of the cell follows
+   the finger width; height grows with finger count and channel
+   length. The constants model a generic 180 nm-class process. *)
+let mos_footprint ~w_um ~l_um ~folds =
+  let folds = max 1 folds in
+  let finger_w = w_um /. float_of_int folds in
+  let pitch_um = l_um +. 0.8 (* contacted gate pitch *) in
+  let cell_w = grid_of_um (finger_w +. 1.2 (* well/contact margin *)) in
+  let cell_h = grid_of_um ((pitch_um *. float_of_int folds) +. 0.6) in
+  (cell_w, cell_h)
+
+(* MiM cap: ~1 fF/um^2 density, near-square. *)
+let cap_footprint farads =
+  let area_um2 = farads /. 1e-15 in
+  let side = sqrt (Float.max 1.0 area_um2) in
+  (grid_of_um side, grid_of_um side)
+
+(* Poly resistor: ~200 ohm/sq serpentine, 0.5 um track, folded to a
+   roughly 1:3 aspect. *)
+let res_footprint ohms =
+  let squares = Float.max 1.0 (ohms /. 200.0) in
+  let length_um = squares *. 0.5 in
+  let strips = Float.max 1.0 (Float.round (sqrt (length_um /. 3.0))) in
+  let w = grid_of_um (strips *. 1.0) in
+  let h = grid_of_um (length_um /. strips) in
+  (w, max w h)
+
+let footprint d =
+  match d.kind with
+  | Mos { w_um; l_um; folds; _ } -> mos_footprint ~w_um ~l_um ~folds
+  | Cap { farads } -> cap_footprint farads
+  | Res { ohms } -> res_footprint ohms
+  | Block { w; h } -> (w, h)
+
+let net_of_pin d pin = List.assoc_opt pin d.pins
+let is_mos d = match d.kind with Mos _ -> true | Cap _ | Res _ | Block _ -> false
+
+let mos_kind d =
+  match d.kind with
+  | Mos { mos; _ } -> Some mos
+  | Cap _ | Res _ | Block _ -> None
+
+let with_geometry d ~w_um ~l_um ~folds =
+  match d.kind with
+  | Mos m -> { d with kind = Mos { m with w_um; l_um; folds } }
+  | Cap _ | Res _ | Block _ -> d
+
+let pp ppf d =
+  match d.kind with
+  | Mos { mos; w_um; l_um; folds } ->
+      Format.fprintf ppf "%s %s W=%.2fu L=%.2fu m=%d" d.name
+        (match mos with Nmos -> "nmos" | Pmos -> "pmos")
+        w_um l_um folds
+  | Cap { farads } -> Format.fprintf ppf "%s cap %.3gF" d.name farads
+  | Res { ohms } -> Format.fprintf ppf "%s res %.3gohm" d.name ohms
+  | Block { w; h } -> Format.fprintf ppf "%s block %dx%d" d.name w h

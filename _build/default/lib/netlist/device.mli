@@ -1,0 +1,44 @@
+(** Device-level circuit elements.
+
+    Devices carry the electrical parameters the layout flow needs: MOS
+    width/length/fold count (folds change both the cell footprint and
+    the junction parasitics, the coupling §V of the survey exploits),
+    capacitor and resistor values. Footprints are derived from these
+    parameters on a 10 nm layout grid. *)
+
+type mos_kind = Nmos | Pmos
+
+type kind =
+  | Mos of { mos : mos_kind; w_um : float; l_um : float; folds : int }
+  | Cap of { farads : float }
+  | Res of { ohms : float }
+  | Block of { w : int; h : int }
+      (** an opaque pre-sized macro (grid units) *)
+
+type t = {
+  name : string;
+  kind : kind;
+  pins : (string * string) list;
+      (** terminal name -> net name, e.g. [("d", "out")] *)
+}
+
+val make : name:string -> kind:kind -> pins:(string * string) list -> t
+
+val grid_per_um : int
+(** Layout grid units per micrometer (100, i.e. a 10 nm grid). *)
+
+val footprint : t -> int * int
+(** [(w, h)] of the device cell in grid units. MOS cells widen with
+    W/folds and stack fingers vertically; capacitors are near-square
+    with area proportional to value; resistors are tall serpentines. *)
+
+val net_of_pin : t -> string -> string option
+(** Net attached to a named terminal, if any. *)
+
+val is_mos : t -> bool
+val mos_kind : t -> mos_kind option
+
+val with_geometry : t -> w_um:float -> l_um:float -> folds:int -> t
+(** Resize a MOS device (identity for non-MOS). *)
+
+val pp : Format.formatter -> t -> unit

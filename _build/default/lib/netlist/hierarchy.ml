@@ -1,0 +1,74 @@
+type constraint_kind = Free | Symmetry | Common_centroid | Proximity
+
+type t =
+  | Leaf of int
+  | Node of { name : string; kind : constraint_kind; children : t list }
+
+let node ?(kind = Free) name children =
+  if children = [] then invalid_arg "Hierarchy.node: no children";
+  Node { name; kind; children }
+
+let rec leaves = function
+  | Leaf i -> [ i ]
+  | Node { children; _ } -> List.concat_map leaves children
+
+let size t = List.length (leaves t)
+
+let rec depth = function
+  | Leaf _ -> 1
+  | Node { children; _ } ->
+      1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children
+
+let validate t ~n_modules =
+  let ls = leaves t in
+  let seen = Array.make n_modules 0 in
+  let out_of_range = List.filter (fun i -> i < 0 || i >= n_modules) ls in
+  if out_of_range <> [] then
+    Error
+      (Printf.sprintf "leaf index %d out of range" (List.hd out_of_range))
+  else begin
+    List.iter (fun i -> seen.(i) <- seen.(i) + 1) ls;
+    let bad = ref None in
+    Array.iteri
+      (fun i c -> if c <> 1 && !bad = None then bad := Some (i, c))
+      seen;
+    match !bad with
+    | None -> Ok ()
+    | Some (i, 0) -> Error (Printf.sprintf "module %d missing from hierarchy" i)
+    | Some (i, c) ->
+        Error (Printf.sprintf "module %d occurs %d times in hierarchy" i c)
+  end
+
+let is_leaf = function Leaf _ -> true | Node _ -> false
+
+let rec basic_module_sets = function
+  | Leaf _ -> []
+  | Node { name; kind; children } ->
+      if List.for_all is_leaf children then
+        [ (name, kind, List.concat_map leaves children) ]
+      else List.concat_map basic_module_sets children
+
+let rec constraint_nodes = function
+  | Leaf _ -> []
+  | Node { name; kind; children } as n ->
+      (name, kind, leaves n) :: List.concat_map constraint_nodes children
+
+let rec map_leaves f = function
+  | Leaf i -> Leaf (f i)
+  | Node { name; kind; children } ->
+      Node { name; kind; children = List.map (map_leaves f) children }
+
+let kind_to_string = function
+  | Free -> "free"
+  | Symmetry -> "symmetry"
+  | Common_centroid -> "common-centroid"
+  | Proximity -> "proximity"
+
+let rec pp ppf = function
+  | Leaf i -> Format.fprintf ppf "#%d" i
+  | Node { name; kind; children } ->
+      Format.fprintf ppf "@[<hov 2>%s[%s](%a)@]" name (kind_to_string kind)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+           pp)
+        children

@@ -1,0 +1,48 @@
+(** Layout design hierarchy (survey §III-A, Fig. 2; §IV, Fig. 6).
+
+    The hierarchy tree combines the *exact* circuit hierarchy with
+    *virtual* clusters (devices grouped by model, function or
+    constraint). Leaves are module indices of a {!Circuit.t}; internal
+    nodes carry the layout constraint that applies to the sub-circuit:
+    symmetry (possibly hierarchical), common-centroid or proximity. *)
+
+type constraint_kind =
+  | Free  (** no constraint; plain grouping *)
+  | Symmetry  (** mirror placement about a vertical axis *)
+  | Common_centroid  (** interdigitated placement sharing a centroid *)
+  | Proximity  (** connected placement, shared well / guard ring *)
+
+type t =
+  | Leaf of int
+  | Node of { name : string; kind : constraint_kind; children : t list }
+
+val node : ?kind:constraint_kind -> string -> t list -> t
+(** Internal node, default [kind] is [Free]. Raises [Invalid_argument]
+    on an empty child list. *)
+
+val leaves : t -> int list
+(** Module indices in left-to-right order. *)
+
+val size : t -> int
+(** Number of leaves. *)
+
+val depth : t -> int
+(** 1 for a leaf. *)
+
+val validate : t -> n_modules:int -> (unit, string) result
+(** Check that every module index in [0..n_modules-1] occurs exactly
+    once. *)
+
+val basic_module_sets : t -> (string * constraint_kind * int list) list
+(** The survey's "basic module sets": maximal internal nodes whose
+    children are all leaves, in tree order. Isolated leaves directly
+    under higher nodes are not included. *)
+
+val constraint_nodes : t -> (string * constraint_kind * int list) list
+(** All internal nodes with their constraint kind and leaf sets,
+    pre-order. *)
+
+val map_leaves : (int -> int) -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val kind_to_string : constraint_kind -> string

@@ -1,0 +1,13 @@
+type t = { name : string; pins : int list; weight : float }
+
+let make ?(weight = 1.0) ~name ~pins () =
+  { name; pins = List.sort_uniq Int.compare pins; weight }
+
+let degree n = List.length n.pins
+
+let pp ppf n =
+  Format.fprintf ppf "@[%s(%a)w=%.1f@]" n.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    n.pins n.weight

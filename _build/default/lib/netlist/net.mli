@@ -1,0 +1,14 @@
+(** Electrical nets at the placement level.
+
+    A net connects a set of module indices (pins collapse to the module
+    owning them). Nets drive the wirelength term of placement cost; the
+    [weight] lets performance-critical nets (the differential signal
+    path, say) count more, as performance-driven placers do. *)
+
+type t = { name : string; pins : int list; weight : float }
+
+val make : ?weight:float -> name:string -> pins:int list -> unit -> t
+(** Duplicated pins are collapsed; default [weight] is 1. *)
+
+val degree : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,160 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+let suffixes =
+  [
+    ("meg", 1e6); ("f", 1e-15); ("p", 1e-12); ("n", 1e-9); ("u", 1e-6);
+    ("m", 1e-3); ("k", 1e3); ("g", 1e9);
+  ]
+
+let parse_value s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let try_suffix (suf, mult) =
+    if String.length s > String.length suf
+       && String.ends_with ~suffix:suf s then
+      let num = String.sub s 0 (String.length s - String.length suf) in
+      Option.map (fun v -> v *. mult) (float_of_string_opt num)
+    else None
+  in
+  (* "meg" must be tried before "m"; the list is ordered accordingly. *)
+  let rec first = function
+    | [] -> float_of_string_opt s
+    | sm :: rest -> ( match try_suffix sm with Some v -> Some v | None -> first rest)
+  in
+  first suffixes
+
+let tokens line =
+  String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)
+  |> List.filter (fun t -> t <> "")
+
+let keyed_param key toks =
+  let prefix = key ^ "=" in
+  List.find_map
+    (fun t ->
+      let t = String.lowercase_ascii t in
+      if String.starts_with ~prefix t then
+        parse_value (String.sub t (String.length prefix)
+                       (String.length t - String.length prefix))
+      else None)
+    toks
+
+let parse_mos ~line_no name toks =
+  match toks with
+  | d :: g :: s :: b :: model :: params ->
+      let mos =
+        match String.lowercase_ascii model with
+        | "nmos" -> Ok Device.Nmos
+        | "pmos" -> Ok Device.Pmos
+        | other -> Error { line = line_no; message = "unknown MOS model " ^ other }
+      in
+      Result.bind mos (fun mos ->
+          match (keyed_param "w" params, keyed_param "l" params) with
+          | Some w, Some l ->
+              let folds =
+                match keyed_param "m" params with
+                | Some m -> max 1 (int_of_float m)
+                | None -> 1
+              in
+              Ok
+                (Device.make ~name
+                   ~kind:(Device.Mos { mos; w_um = w *. 1e6; l_um = l *. 1e6; folds })
+                   ~pins:[ ("d", d); ("g", g); ("s", s); ("b", b) ])
+          | _ -> Error { line = line_no; message = "MOS needs W= and L=" })
+  | _ -> Error { line = line_no; message = "MOS card: M<name> d g s b model W= L=" }
+
+let parse_two_pin ~line_no ~what name toks mk =
+  match toks with
+  | p :: n :: value :: _ -> (
+      match parse_value value with
+      | Some v -> Ok (Device.make ~name ~kind:(mk v) ~pins:[ ("p", p); ("n", n) ])
+      | None -> Error { line = line_no; message = "bad " ^ what ^ " value " ^ value })
+  | _ -> Error { line = line_no; message = what ^ " card: two nodes + value" }
+
+let strip_comment line =
+  match String.index_opt line ';' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go line_no acc = function
+    | [] -> Ok (List.rev acc)
+    | raw :: rest -> (
+        let line = String.trim (strip_comment raw) in
+        if line = "" || line.[0] = '*' || line.[0] = '.' then
+          go (line_no + 1) acc rest
+        else
+          match tokens line with
+          | [] -> go (line_no + 1) acc rest
+          | name :: toks -> (
+              let parsed =
+                match Char.lowercase_ascii name.[0] with
+                | 'm' -> parse_mos ~line_no name toks
+                | 'c' ->
+                    parse_two_pin ~line_no ~what:"capacitor" name toks
+                      (fun v -> Device.Cap { farads = v })
+                | 'r' ->
+                    parse_two_pin ~line_no ~what:"resistor" name toks
+                      (fun v -> Device.Res { ohms = v })
+                | _ ->
+                    Error
+                      { line = line_no; message = "unknown element " ^ name }
+              in
+              match parsed with
+              | Ok d -> go (line_no + 1) (d :: acc) rest
+              | Error e -> Error e))
+  in
+  go 1 [] lines
+
+let print_netlist ?(title = "generated netlist") devices =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("* " ^ title ^ "\n");
+  List.iter
+    (fun (d : Device.t) ->
+      let pin p = Option.value (Device.net_of_pin d p) ~default:"0" in
+      match d.Device.kind with
+      | Device.Mos { mos; w_um; l_um; folds } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s %s %s %s %s W=%gu L=%gu M=%d\n"
+               d.Device.name (pin "d") (pin "g") (pin "s") (pin "b")
+               (match mos with Device.Nmos -> "nmos" | Device.Pmos -> "pmos")
+               w_um l_um folds)
+      | Device.Cap { farads } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s %s %g\n" d.Device.name (pin "p") (pin "n")
+               farads)
+      | Device.Res { ohms } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s %s %g\n" d.Device.name (pin "p") (pin "n")
+               ohms)
+      | Device.Block _ -> ())
+    devices;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let default_ignore = [ "vdd"; "vss"; "gnd"; "0" ]
+
+let to_circuit ?(ignore_nets = default_ignore) ~name devices =
+  let modules = List.map Circuit.module_of_device devices in
+  let net_pins : (string, int list) Hashtbl.t = Hashtbl.create 32 in
+  List.iteri
+    (fun idx (d : Device.t) ->
+      List.iter
+        (fun (_, net) ->
+          let net = String.lowercase_ascii net in
+          if not (List.mem net ignore_nets) then
+            Hashtbl.replace net_pins net
+              (idx :: Option.value ~default:[] (Hashtbl.find_opt net_pins net)))
+        d.Device.pins)
+    devices;
+  let nets =
+    Hashtbl.fold
+      (fun net pins acc ->
+        let pins = List.sort_uniq Int.compare pins in
+        if List.length pins >= 2 then Net.make ~name:net ~pins () :: acc
+        else acc)
+      net_pins []
+    |> List.sort (fun (a : Net.t) b -> String.compare a.name b.name)
+  in
+  Circuit.make ~name ~modules ~nets

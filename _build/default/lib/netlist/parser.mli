@@ -1,0 +1,40 @@
+(** Parser for a small SPICE-like netlist dialect.
+
+    No public parsers exist for the benchmark formats the surveyed tools
+    consumed, so this repository defines a minimal flat dialect, enough
+    to describe the op-amp style circuits of the paper:
+
+    {v
+    * comment
+    M1 out inp tail vss nmos W=20u L=0.5u M=4
+    C1 out vss 1p
+    R1 a b 10k
+    .end
+    v}
+
+    Element cards start with [M] (MOS: drain gate source bulk, model
+    [nmos]/[pmos], parameters [W=], [L=], optional [M=] fold count),
+    [C] (cap: two nodes, value) or [R] (resistor: two nodes, value).
+    Values accept the usual engineering suffixes
+    ([f p n u m k meg g]). Parsing is case-insensitive; [*] and [;]
+    start comments; [.end] and blank lines are ignored. *)
+
+type error = { line : int; message : string }
+
+val parse_value : string -> float option
+(** ["2.5u"] -> [Some 2.5e-6], etc. *)
+
+val parse_string : string -> (Device.t list, error) result
+
+val print_netlist : ?title:string -> Device.t list -> string
+(** Emit devices back in the dialect above ({!parse_string} of the
+    output reproduces the devices — tested). [Block] devices have no
+    card syntax and are skipped. *)
+
+val to_circuit :
+  ?ignore_nets:string list -> name:string -> Device.t list -> Circuit.t
+(** One module per device; a net per net name connecting >= 2 devices.
+    Nets named in [ignore_nets] (default supply/ground:
+    ["vdd"; "vss"; "gnd"; "0"]) carry no wirelength and are dropped. *)
+
+val pp_error : Format.formatter -> error -> unit

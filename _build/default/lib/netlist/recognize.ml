@@ -1,0 +1,221 @@
+type structure =
+  | Diff_pair of int * int
+  | Current_mirror of int list
+  | Cascode_pair of int * int
+
+type result = { structures : structure list; hierarchy : Hierarchy.t }
+
+let structure_modules = function
+  | Diff_pair (a, b) | Cascode_pair (a, b) -> [ a; b ]
+  | Current_mirror ms -> ms
+
+let pp_structure ppf s =
+  let pins = structure_modules s in
+  let label =
+    match s with
+    | Diff_pair _ -> "diff-pair"
+    | Current_mirror _ -> "current-mirror"
+    | Cascode_pair _ -> "cascode"
+  in
+  Format.fprintf ppf "%s(%a)" label
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    pins
+
+type mos_info = {
+  idx : int;
+  mos : Device.mos_kind;
+  d : string;
+  g : string;
+  s : string;
+}
+
+let mos_infos (c : Circuit.t) =
+  Array.to_list c.modules
+  |> List.mapi (fun idx (m : Circuit.module_) ->
+         match m.device with
+         | Some dev -> (
+             match (Device.mos_kind dev,
+                    Device.net_of_pin dev "d",
+                    Device.net_of_pin dev "g",
+                    Device.net_of_pin dev "s") with
+             | Some mos, Some d, Some g, Some s -> Some { idx; mos; d; g; s }
+             | _ -> None)
+         | None -> None)
+  |> List.filter_map Fun.id
+
+let diode_connected m = String.equal m.d m.g
+
+(* Current mirrors: group by (polarity, gate net, source net); keep
+   groups of >= 2 containing a diode-connected device. *)
+let find_mirrors infos =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      let key = (m.mos, m.g, m.s) in
+      Hashtbl.replace tbl key
+        (m :: Option.value ~default:[] (Hashtbl.find_opt tbl key)))
+    infos;
+  Hashtbl.fold
+    (fun _ group acc ->
+      if List.length group >= 2 && List.exists diode_connected group then
+        List.rev_map (fun m -> m.idx) group :: acc
+      else acc)
+    tbl []
+  |> List.map (List.sort Int.compare)
+  |> List.sort compare
+
+(* Differential pairs among the not-yet-claimed devices: common source,
+   distinct gates and drains, neither diode-connected. *)
+let find_diff_pairs infos =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | m :: rest -> (
+        let partner =
+          List.find_opt
+            (fun m' ->
+              m.mos = m'.mos
+              && String.equal m.s m'.s
+              && (not (String.equal m.g m'.g))
+              && (not (String.equal m.d m'.d))
+              && (not (diode_connected m))
+              && not (diode_connected m'))
+            rest
+        in
+        match partner with
+        | Some m' ->
+            go ((min m.idx m'.idx, max m.idx m'.idx) :: acc)
+              (List.filter (fun x -> x.idx <> m'.idx) rest)
+        | None -> go acc rest)
+  in
+  go [] infos
+
+(* Cascode pairs among the remainder: same polarity, drain of the lower
+   device is the source of the upper one. *)
+let find_cascodes infos =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | m :: rest -> (
+        let partner =
+          List.find_opt
+            (fun m' ->
+              m.mos = m'.mos
+              && (String.equal m.d m'.s || String.equal m'.d m.s))
+            rest
+        in
+        match partner with
+        | Some m' ->
+            go ((min m.idx m'.idx, max m.idx m'.idx) :: acc)
+              (List.filter (fun x -> x.idx <> m'.idx) rest)
+        | None -> go acc rest)
+  in
+  go [] infos
+
+let drain_nets infos idxs =
+  List.filter_map
+    (fun i -> List.find_opt (fun m -> m.idx = i) infos)
+    idxs
+  |> List.map (fun m -> m.d)
+
+let recognize (c : Circuit.t) =
+  let infos = mos_infos c in
+  let mirrors = find_mirrors infos in
+  let claimed = Hashtbl.create 16 in
+  List.iter
+    (fun ms -> List.iter (fun i -> Hashtbl.replace claimed i ()) ms)
+    mirrors;
+  let free_infos =
+    List.filter (fun m -> not (Hashtbl.mem claimed m.idx)) infos
+  in
+  let dps = find_diff_pairs free_infos in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace claimed a ();
+      Hashtbl.replace claimed b ())
+    dps;
+  let free_infos =
+    List.filter (fun m -> not (Hashtbl.mem claimed m.idx)) infos
+  in
+  let cascodes = find_cascodes free_infos in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace claimed a ();
+      Hashtbl.replace claimed b ())
+    cascodes;
+  let structures =
+    List.map (fun ms -> Current_mirror ms) mirrors
+    @ List.map (fun (a, b) -> Diff_pair (a, b)) dps
+    @ List.map (fun (a, b) -> Cascode_pair (a, b)) cascodes
+  in
+  (* Hierarchy: pair each diff pair with the mirror loading its drains
+     into a hierarchical-symmetry CORE node (Fig. 6). *)
+  let counter = ref 0 in
+  let fresh prefix =
+    incr counter;
+    Printf.sprintf "%s%d" prefix !counter
+  in
+  let dp_nodes =
+    List.map
+      (fun (a, b) ->
+        ((a, b), Hierarchy.node ~kind:Hierarchy.Symmetry (fresh "DP")
+                   [ Hierarchy.Leaf a; Hierarchy.Leaf b ]))
+      dps
+  in
+  let mirror_nodes =
+    List.map
+      (fun ms ->
+        (ms, Hierarchy.node ~kind:Hierarchy.Common_centroid (fresh "CM")
+               (List.map (fun i -> Hierarchy.Leaf i) ms)))
+      mirrors
+  in
+  let cascode_nodes =
+    List.map
+      (fun (a, b) ->
+        Hierarchy.node ~kind:Hierarchy.Proximity (fresh "CAS")
+          [ Hierarchy.Leaf a; Hierarchy.Leaf b ])
+      cascodes
+  in
+  (* CORE formation consumes each mirror at most once. *)
+  let used_mirror = Hashtbl.create 4 in
+  let cores, lone_dps =
+    List.partition_map
+      (fun ((a, b), dp_node) ->
+        let dp_drains = drain_nets infos [ a; b ] in
+        let load =
+          List.find_opt
+            (fun (ms, _) ->
+              (not (Hashtbl.mem used_mirror ms))
+              && List.exists (fun d -> List.mem d dp_drains)
+                   (drain_nets infos ms))
+            mirror_nodes
+        in
+        match load with
+        | Some (ms, cm_node) ->
+            Hashtbl.replace used_mirror ms ();
+            Left
+              (Hierarchy.node ~kind:Hierarchy.Symmetry (fresh "CORE")
+                 [ dp_node; cm_node ])
+        | None -> Right dp_node)
+      dp_nodes
+  in
+  let unused_mirrors =
+    List.filter_map
+      (fun (ms, node) ->
+        if Hashtbl.mem used_mirror ms then None else Some node)
+      mirror_nodes
+  in
+  let singleton_leaves =
+    List.init (Circuit.size c) Fun.id
+    |> List.filter (fun i -> not (Hashtbl.mem claimed i))
+    |> List.map (fun i -> Hierarchy.Leaf i)
+  in
+  let children =
+    cores @ lone_dps @ unused_mirrors @ cascode_nodes @ singleton_leaves
+  in
+  let hierarchy =
+    match children with
+    | [ (Hierarchy.Node _ as only) ] -> only
+    | _ -> Hierarchy.node c.Circuit.name children
+  in
+  { structures; hierarchy }

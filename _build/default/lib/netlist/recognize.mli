@@ -1,0 +1,35 @@
+(** Automatic structure recognition (sizing-rules method, survey refs
+    [9],[21]; used in §III–§IV to obtain the layout hierarchy).
+
+    Recognizes the basic analog building blocks from device
+    connectivity:
+
+    - {b current mirrors}: two or more same-polarity MOS sharing gate and
+      source nets, at least one diode-connected — placed with a
+      common-centroid constraint;
+    - {b differential pairs}: two same-polarity MOS with a common source
+      (tail) net and distinct gates/drains — placed with a symmetry
+      constraint;
+    - {b cascode pairs}: a MOS stacked on another (drain feeding source)
+      with the same polarity — placed with a proximity constraint.
+
+    A differential pair together with the current-mirror load on its
+    drains forms a hierarchical-symmetry core (the survey's Fig. 6
+    CORE = DP + CM1). Remaining devices become free leaves. *)
+
+type structure =
+  | Diff_pair of int * int
+  | Current_mirror of int list
+  | Cascode_pair of int * int
+
+type result = {
+  structures : structure list;
+  hierarchy : Hierarchy.t;  (** full hierarchy over all modules *)
+}
+
+val recognize : Circuit.t -> result
+(** Detection priority: mirrors, then differential pairs, then cascodes;
+    every module ends up in exactly one hierarchy leaf. *)
+
+val structure_modules : structure -> int list
+val pp_structure : Format.formatter -> structure -> unit

@@ -1,0 +1,18 @@
+let hpwl nets ~center2 =
+  List.fold_left
+    (fun acc (net : Net.t) ->
+      let centers = List.filter_map center2 net.Net.pins in
+      match centers with
+      | [] | [ _ ] -> acc
+      | (x0, y0) :: rest ->
+          let min_x, max_x, min_y, max_y =
+            List.fold_left
+              (fun (a, b, c, d) (x, y) ->
+                (min a x, max b x, min c y, max d y))
+              (x0, x0, y0, y0) rest
+          in
+          acc
+          +. (net.Net.weight
+              *. float_of_int (max_x - min_x + max_y - min_y)
+              /. 2.0))
+    0.0 nets

@@ -1,0 +1,12 @@
+(** Half-perimeter wirelength (HPWL).
+
+    The standard placement wirelength estimate: per net, the
+    semi-perimeter of the bounding box of its pins' cell centers,
+    weighted by the net weight. Used by every annealing cost function
+    in this repository. *)
+
+val hpwl :
+  Net.t list -> center2:(int -> (int * int) option) -> float
+(** [center2 m] is the doubled center of module [m]'s placed rectangle
+    ([None] if unplaced; such pins are skipped). The result is in grid
+    units (the doubling is compensated). *)

@@ -1,0 +1,1 @@
+lib/placer/compact.ml: Array Fun Geometry Int Interval List Placement Rect Transform

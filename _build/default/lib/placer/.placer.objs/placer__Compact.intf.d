@@ -1,0 +1,1 @@
+lib/placer/compact.mli: Placement

@@ -1,0 +1,1 @@
+lib/placer/cost.ml: Placement

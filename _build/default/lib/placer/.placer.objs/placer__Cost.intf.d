@@ -1,0 +1,1 @@
+lib/placer/cost.mli: Placement

@@ -1,0 +1,1 @@
+lib/placer/finishing.ml: Geometry Guard_ring List Netlist Placement Rect Transform

@@ -1,0 +1,1 @@
+lib/placer/finishing.mli: Geometry Netlist Placement

@@ -1,0 +1,1 @@
+lib/placer/placement.ml: Array Constraints Format Geometry List Netlist Option Outline Printf Rect Result Transform

@@ -1,0 +1,1 @@
+lib/placer/placement.mli: Format Geometry Netlist

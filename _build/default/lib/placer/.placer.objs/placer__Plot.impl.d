@@ -1,0 +1,1 @@
+lib/placer/plot.ml: Array Buffer Float Geometry List Netlist Option Placement Printf Rect String Transform

@@ -1,0 +1,1 @@
+lib/placer/plot.mli: Geometry Placement

@@ -1,0 +1,1 @@
+lib/placer/sa_absolute.ml: Anneal Array Compact Cost Geometry List Netlist Orientation Placement Prelude Rect Transform

@@ -1,0 +1,1 @@
+lib/placer/sa_absolute.mli: Anneal Cost Netlist Placement Prelude

@@ -1,0 +1,1 @@
+lib/placer/sa_bstar.ml: Anneal Array Bstar Cost Fun List Netlist Placement Prelude

@@ -1,0 +1,1 @@
+lib/placer/sa_bstar.mli: Anneal Cost Netlist Placement Prelude

@@ -1,0 +1,1 @@
+lib/placer/sa_seqpair.ml: Anneal Array Constraints Cost List Netlist Placement Prelude Seqpair

@@ -1,0 +1,1 @@
+lib/placer/sa_seqpair.mli: Anneal Constraints Cost Netlist Placement Prelude

@@ -1,0 +1,1 @@
+lib/placer/sa_tcg.ml: Anneal Array Cost Netlist Placement Prelude Seqpair

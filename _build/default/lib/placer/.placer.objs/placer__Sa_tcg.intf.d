@@ -1,0 +1,1 @@
+lib/placer/sa_tcg.mli: Anneal Cost Netlist Placement Prelude

@@ -1,0 +1,1 @@
+lib/placer/slicing.ml: Anneal Array Cost Fun List Netlist Placement Prelude Shapefn

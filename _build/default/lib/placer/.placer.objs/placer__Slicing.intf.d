@@ -1,0 +1,1 @@
+lib/placer/slicing.mli: Anneal Cost Netlist Placement Prelude

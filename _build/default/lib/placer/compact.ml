@@ -1,0 +1,104 @@
+open Geometry
+
+(* a must stay left of b iff their y spans overlap and a currently ends
+   at or before b's left edge. Cells disjoint in y are unconstrained in
+   x: they cannot collide while y stays fixed. *)
+let x_pass placed =
+  let arr = Array.of_list placed in
+  let order = Array.init (Array.length arr) Fun.id in
+  Array.sort
+    (fun i j ->
+      Int.compare arr.(i).Transform.rect.Rect.x arr.(j).Transform.rect.Rect.x)
+    order;
+  let new_x = Array.make (Array.length arr) 0 in
+  Array.iter
+    (fun bi ->
+      let b = arr.(bi).Transform.rect in
+      let x = ref 0 in
+      Array.iter
+        (fun ai ->
+          let a = arr.(ai).Transform.rect in
+          if
+            ai <> bi
+            && Interval.overlaps (Rect.y_span a) (Rect.y_span b)
+            && Rect.x_max a <= b.Rect.x
+          then x := max !x (new_x.(ai) + a.Rect.w))
+        order;
+      new_x.(bi) <- !x)
+    order;
+  List.mapi
+    (fun i (p : Transform.placed) ->
+      { p with Transform.rect = { p.Transform.rect with Rect.x = new_x.(i) } })
+    placed
+
+let transpose placed =
+  List.map
+    (fun (p : Transform.placed) ->
+      let r = p.Transform.rect in
+      {
+        p with
+        Transform.rect = Rect.make ~x:r.Rect.y ~y:r.Rect.x ~w:r.Rect.h ~h:r.Rect.w;
+      })
+    placed
+
+let compact_x (p : Placement.t) =
+  { p with Placement.placed = x_pass p.Placement.placed }
+
+let compact_y (p : Placement.t) =
+  {
+    p with
+    Placement.placed = transpose (x_pass (transpose p.Placement.placed));
+  }
+
+let compact p =
+  let rec go p k =
+    let p' = compact_y (compact_x p) in
+    if k = 0 || p'.Placement.placed = p.Placement.placed then p'
+    else go p' (k - 1)
+  in
+  go p 8
+
+let rect_of placed cell =
+  List.find_map
+    (fun (p : Transform.placed) ->
+      if p.Transform.cell = cell then Some p.Transform.rect else None)
+    placed
+
+let preserves ?(frozen = []) (p1 : Placement.t) (p2 : Placement.t) =
+  let cells =
+    List.map (fun (p : Transform.placed) -> p.Transform.cell) p1.Placement.placed
+  in
+  let ok_pair a b =
+    match
+      ( rect_of p1.Placement.placed a,
+        rect_of p1.Placement.placed b,
+        rect_of p2.Placement.placed a,
+        rect_of p2.Placement.placed b )
+    with
+    | Some r1a, Some r1b, Some r2a, Some r2b ->
+        let x_order_kept =
+          if
+            Interval.overlaps (Rect.y_span r1a) (Rect.y_span r1b)
+            && Rect.x_max r1a <= r1b.Rect.x
+          then Rect.x_max r2a <= r2b.Rect.x
+          else true
+        in
+        let y_order_kept =
+          if
+            Interval.overlaps (Rect.x_span r1a) (Rect.x_span r1b)
+            && Rect.y_max r1a <= r1b.Rect.y
+          then Rect.y_max r2a <= r2b.Rect.y
+          else true
+        in
+        x_order_kept && y_order_kept
+    | _ -> false
+  in
+  let frozen_ok =
+    List.for_all
+      (fun c -> rect_of p1.Placement.placed c = rect_of p2.Placement.placed c)
+      frozen
+  in
+  frozen_ok
+  && List.for_all
+       (fun a -> List.for_all (fun b -> a = b || ok_pair a b) cells)
+       cells

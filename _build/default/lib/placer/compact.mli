@@ -1,0 +1,24 @@
+(** Constraint-graph compaction.
+
+    One-dimensional compaction in the classic style: derive the
+    left-of / below relations from the current placement, then shove
+    every cell as far left (or down) as those relations allow — the
+    longest-path positions of the induced constraint graph. Relative
+    order is preserved, overlaps can never appear, and the bounding box
+    never grows (all tested). Placements coming out of halo-padded or
+    annealed flows often leave slack that a compaction pass reclaims. *)
+
+val compact_x : Placement.t -> Placement.t
+(** Push cells left. *)
+
+val compact_y : Placement.t -> Placement.t
+(** Push cells down. *)
+
+val compact : Placement.t -> Placement.t
+(** Alternate x and y passes until a fixpoint (at most a few
+    iterations). *)
+
+val preserves : ?frozen:int list -> Placement.t -> Placement.t -> bool
+(** Do two placements agree on every pairwise left-of/below relation
+    (the invariant compaction maintains)? Cells in [frozen] are
+    additionally required to be unmoved. Exported for tests. *)

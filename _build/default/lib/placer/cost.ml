@@ -1,0 +1,26 @@
+type weights = {
+  area : float;
+  wirelength : float;
+  aspect : float;
+  target_aspect : float;
+}
+
+let area_only =
+  { area = 1.0; wirelength = 0.0; aspect = 0.0; target_aspect = 1.0 }
+
+let default =
+  { area = 1.0; wirelength = 0.2; aspect = 0.0; target_aspect = 1.0 }
+
+let evaluate w p =
+  let area = float_of_int (Placement.area p) in
+  let aspect_term =
+    if w.aspect = 0.0 then 0.0
+    else
+      let hgt = float_of_int (Placement.height p) in
+      if hgt = 0.0 then 0.0
+      else
+        let ratio = float_of_int (Placement.width p) /. hgt in
+        (* scale by area so the term is commensurate with the others *)
+        w.aspect *. area *. abs_float (log (ratio /. w.target_aspect))
+  in
+  (w.area *. area) +. (w.wirelength *. Placement.hpwl p) +. aspect_term

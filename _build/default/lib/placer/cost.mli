@@ -1,0 +1,18 @@
+(** Placement cost functions.
+
+    The weighted sum the survey's stochastic placers minimize: chip
+    area, total (weighted half-perimeter) net length, and an optional
+    aspect-ratio term pulling toward a target width/height ratio. *)
+
+type weights = {
+  area : float;
+  wirelength : float;
+  aspect : float;  (** weight of the aspect-ratio deviation term *)
+  target_aspect : float;  (** desired w/h, usually 1.0 *)
+}
+
+val area_only : weights
+val default : weights
+(** area 1.0, wirelength 0.2, aspect 0. *)
+
+val evaluate : weights -> Placement.t -> float

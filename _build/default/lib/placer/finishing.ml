@@ -1,0 +1,50 @@
+open Geometry
+
+type ring = {
+  node : string;
+  members : int list;
+  segments : Rect.t list;
+  clear : bool;
+  sealed : bool;
+}
+
+let guard_rings ?(clearance = 10) ?(thickness = 20) placement hierarchy =
+  let proximity_nodes =
+    Netlist.Hierarchy.constraint_nodes hierarchy
+    |> List.filter_map (fun (name, kind, members) ->
+           match kind with
+           | Netlist.Hierarchy.Proximity -> Some (name, members)
+           | Netlist.Hierarchy.Free | Netlist.Hierarchy.Symmetry
+           | Netlist.Hierarchy.Common_centroid ->
+               None)
+  in
+  List.filter_map
+    (fun (node, members) ->
+      let rects =
+        List.filter_map (Placement.rect_of placement) members
+      in
+      if List.length rects <> List.length members then None
+      else
+        let segments = Guard_ring.generate ~clearance ~thickness rects in
+        let outsiders =
+          List.filter_map
+            (fun (p : Transform.placed) ->
+              if List.mem p.Transform.cell members then None
+              else Some p.Transform.rect)
+            placement.Placement.placed
+        in
+        let clear =
+          List.for_all
+            (fun seg ->
+              List.for_all (fun o -> not (Rect.overlaps seg o)) outsiders)
+            segments
+        in
+        Some
+          {
+            node;
+            members;
+            segments;
+            clear;
+            sealed = Guard_ring.encloses ~ring:segments rects;
+          })
+    proximity_nodes

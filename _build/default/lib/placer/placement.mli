@@ -1,0 +1,30 @@
+(** Placements of a circuit: the common result type of every placer. *)
+
+type t = {
+  circuit : Netlist.Circuit.t;
+  placed : Geometry.Transform.placed list;
+}
+
+val make : Netlist.Circuit.t -> Geometry.Transform.placed list -> t
+
+val bbox : t -> Geometry.Rect.t
+(** Bounding box anchored at the origin (covers (0,0) .. max extents). *)
+
+val area : t -> int
+val width : t -> int
+val height : t -> int
+
+val hpwl : t -> float
+(** Half-perimeter wirelength over the circuit's nets. *)
+
+val dead_space : t -> int
+(** Bounding-box area not covered by modules. *)
+
+val rect_of : t -> int -> Geometry.Rect.t option
+(** Placed rectangle of a module. *)
+
+val validate : t -> (unit, string) result
+(** Every module placed exactly once, inside the first quadrant, with
+    no overlaps. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,189 @@
+open Geometry
+
+let default_label (p : Placement.t) m =
+  let modules = p.circuit.Netlist.Circuit.modules in
+  if m >= 0 && m < Array.length modules then
+    modules.(m).Netlist.Circuit.name
+  else string_of_int m
+
+let device_labels (p : Placement.t) =
+  let modules = p.circuit.Netlist.Circuit.modules in
+  let is_mos_name n = String.length n > 1 && (n.[0] = 'M' || n.[0] = 'm') in
+  let mos_names =
+    Array.fold_left
+      (fun acc (m : Netlist.Circuit.module_) ->
+        if is_mos_name m.Netlist.Circuit.name then acc + 1 else acc)
+      0 modules
+  in
+  fun m ->
+    let name = default_label p m in
+    if mos_names > 1 && is_mos_name name then
+      String.sub name 1 (String.length name - 1)
+    else name
+
+let ascii ?(width = 72) ?labels p =
+  let labels = Option.value labels ~default:(default_label p) in
+  let bw = max 1 (Placement.width p) and bh = max 1 (Placement.height p) in
+  let cols = min width bw in
+  (* character cells are roughly twice as tall as wide *)
+  let scale_x = float_of_int bw /. float_of_int cols in
+  let rows = max 1 (int_of_float (float_of_int bh /. scale_x /. 2.0)) in
+  let scale_y = float_of_int bh /. float_of_int rows in
+  let grid = Array.make_matrix rows cols '.' in
+  List.iter
+    (fun (pl : Transform.placed) ->
+      let r = pl.Transform.rect in
+      let label = labels pl.Transform.cell in
+      let ch = if String.length label > 0 then label.[0] else '#' in
+      let c0 = int_of_float (float_of_int r.Rect.x /. scale_x) in
+      let c1 =
+        int_of_float (ceil (float_of_int (Rect.x_max r) /. scale_x)) - 1
+      in
+      let r0 = int_of_float (float_of_int r.Rect.y /. scale_y) in
+      let r1 =
+        int_of_float (ceil (float_of_int (Rect.y_max r) /. scale_y)) - 1
+      in
+      for row = max 0 r0 to min (rows - 1) (max r0 r1) do
+        for col = max 0 c0 to min (cols - 1) (max c0 c1) do
+          grid.(row).(col) <- ch
+        done
+      done)
+    p.Placement.placed;
+  (* y grows upward: print top row first *)
+  let buf = Buffer.create (rows * (cols + 1)) in
+  for row = rows - 1 downto 0 do
+    Buffer.add_string buf (String.init cols (fun c -> grid.(row).(c)));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let svg ?(scale = 0.25) ?labels p =
+  let labels = Option.value labels ~default:(default_label p) in
+  let s v = float_of_int v *. scale in
+  let bw = s (Placement.width p) and bh = s (Placement.height p) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.1f\" \
+        height=\"%.1f\" viewBox=\"0 0 %.1f %.1f\">\n"
+       bw bh bw bh);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<rect x=\"0\" y=\"0\" width=\"%.1f\" height=\"%.1f\" \
+        fill=\"#f8f8f8\" stroke=\"#333\"/>\n"
+       bw bh);
+  List.iteri
+    (fun i (pl : Transform.placed) ->
+      let r = pl.Transform.rect in
+      let hue = (i * 47) mod 360 in
+      (* flip y: SVG grows downward *)
+      let y = bh -. s (Rect.y_max r) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+            fill=\"hsl(%d,55%%,75%%)\" stroke=\"#222\" stroke-width=\"0.5\"/>\n"
+           (s r.Rect.x) y (s r.Rect.w) (s r.Rect.h) hue);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%.1f\" y=\"%.1f\" font-size=\"%.1f\" \
+            text-anchor=\"middle\" dominant-baseline=\"middle\">%s</text>\n"
+           (s r.Rect.x +. (s r.Rect.w /. 2.0))
+           (y +. (s r.Rect.h /. 2.0))
+           (Float.min 12.0 (Float.max 4.0 (s r.Rect.h /. 4.0)))
+           (labels pl.Transform.cell)))
+    p.Placement.placed;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let svg_full ?(scale = 0.25) ?(rings = []) ?(wires = []) p =
+  let base = svg ~scale p in
+  (* splice extra elements before the closing tag *)
+  let cut = String.length base - String.length "</svg>\n" in
+  let head = String.sub base 0 cut in
+  let s v = float_of_int v *. scale in
+  let bw = s (Placement.width p) and bh = s (Placement.height p) in
+  ignore bw;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf head;
+  List.iter
+    (fun (r : Geometry.Rect.t) ->
+      let y = bh -. s (Geometry.Rect.y_max r) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+            fill=\"#888\" fill-opacity=\"0.45\" stroke=\"#444\" \
+            stroke-width=\"0.4\"/>\n"
+           (s r.Geometry.Rect.x) y (s r.Geometry.Rect.w) (s r.Geometry.Rect.h)))
+    rings;
+  List.iteri
+    (fun i points ->
+      match points with
+      | [] -> ()
+      | _ ->
+          let hue = (120 + (i * 67)) mod 360 in
+          let coords =
+            String.concat " "
+              (List.map
+                 (fun (x, y) ->
+                   Printf.sprintf "%.1f,%.1f" (s x) (bh -. s y))
+                 points)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<polyline points=\"%s\" fill=\"none\" \
+                stroke=\"hsl(%d,80%%,35%%)\" stroke-width=\"1.2\"/>\n"
+               coords hue))
+    wires;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_svg_full ~path ?scale ?rings ?wires p =
+  let oc = open_out path in
+  output_string oc (svg_full ?scale ?rings ?wires p);
+  close_out oc
+
+let write_svg ~path ?scale p =
+  let oc = open_out path in
+  output_string oc (svg ?scale p);
+  close_out oc
+
+let ascii_shape_fn ?(width = 64) ?(height = 24) series =
+  let all_points = List.concat series in
+  match all_points with
+  | [] -> ""
+  | _ ->
+      let max_w = List.fold_left (fun a (w, _) -> max a w) 1 all_points in
+      let max_h = List.fold_left (fun a (_, h) -> max a h) 1 all_points in
+      let grid = Array.make_matrix height width ' ' in
+      let glyphs = [| '*'; 'o'; '+'; 'x'; '#' |] in
+      List.iteri
+        (fun si points ->
+          let g = glyphs.(si mod Array.length glyphs) in
+          List.iter
+            (fun (w, h) ->
+              let col =
+                min (width - 1) (w * (width - 1) / max_w)
+              in
+              let row =
+                min (height - 1) (h * (height - 1) / max_h)
+              in
+              grid.(row).(col) <- g)
+            points)
+        series;
+      let buf = Buffer.create (height * (width + 3)) in
+      Buffer.add_string buf
+        (Printf.sprintf "h (max %d) ^  series: %s\n" max_h
+           (String.concat " "
+              (List.mapi
+                 (fun i _ ->
+                   Printf.sprintf "[%d]=%c" i
+                     glyphs.(i mod Array.length glyphs))
+                 series)));
+      for row = height - 1 downto 0 do
+        Buffer.add_string buf "  |";
+        Buffer.add_string buf (String.init width (fun c -> grid.(row).(c)));
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf ("  +" ^ String.make width '-');
+      Buffer.add_string buf (Printf.sprintf "> w (max %d)\n" max_w);
+      Buffer.contents buf

@@ -1,0 +1,44 @@
+(** Rendering placements for inspection.
+
+    ASCII art for terminals (the benchmark harness prints the paper's
+    figure examples this way) and standalone SVG for everything
+    larger. *)
+
+val device_labels : Placement.t -> int -> string
+(** Module names with the SPICE element prefix dropped when every name
+    shares it (so "MP1"/"MN3" render as "P1"/"N3" rather than all
+    'M'). *)
+
+val ascii : ?width:int -> ?labels:(int -> string) -> Placement.t -> string
+(** Scale the placement to at most [width] text columns (default 72)
+    and draw each module as a box filled with its label's first
+    character. [labels] defaults to the circuit's module names. *)
+
+val svg : ?scale:float -> ?labels:(int -> string) -> Placement.t -> string
+(** A standalone SVG document. [scale] converts grid units to SVG user
+    units (default 0.25). *)
+
+val write_svg : path:string -> ?scale:float -> Placement.t -> unit
+
+val svg_full :
+  ?scale:float ->
+  ?rings:Geometry.Rect.t list ->
+  ?wires:(int * int) list list ->
+  Placement.t ->
+  string
+(** Like {!svg} plus guard-ring segments (hatched) and routed wires
+    (polylines through layout-coordinate points). *)
+
+val write_svg_full :
+  path:string ->
+  ?scale:float ->
+  ?rings:Geometry.Rect.t list ->
+  ?wires:(int * int) list list ->
+  Placement.t ->
+  unit
+
+val ascii_shape_fn :
+  ?width:int -> ?height:int -> (int * int) list list -> string
+(** Overlay several shape-function fronts (lists of (w,h) Pareto
+    points) in one character grid, one glyph per series — the Fig. 8
+    style comparison plot. *)

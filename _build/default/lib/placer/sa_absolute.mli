@@ -1,0 +1,33 @@
+(** Absolute-coordinate annealing placement — the {e traditional}
+    style the survey's §II describes (Jepsen–Gelatt macro placement;
+    ILAC, KOAN/ANAGRAM II, PUPPY-A, LAYLA): cells move by translations
+    and orientation changes in the chip plane, overlaps are allowed
+    during the walk and discouraged by a penalty, so the explored space
+    contains both feasible and infeasible solutions.
+
+    §II's argument for topological representations is precisely that
+    this style "may exhibit a slow convergence due to the, typically,
+    huge size of the search space" — experiment E16 (bench `absolute`)
+    measures that against the sequence-pair placer at equal evaluation
+    budgets. A final greedy legalization (shift overlapping cells
+    right) plus compaction turns the annealed configuration into a
+    valid placement; the pre-legalization overlap is reported. *)
+
+type outcome = {
+  placement : Placement.t;  (** legalized, always valid *)
+  raw_overlap : int;
+      (** total pairwise overlap area the anneal left behind *)
+  cost : float;
+  sa_rounds : int;
+  evaluated : int;
+}
+
+val place :
+  ?weights:Cost.weights ->
+  ?overlap_weight:float ->
+  ?params:Anneal.Sa.params ->
+  rng:Prelude.Rng.t ->
+  Netlist.Circuit.t ->
+  outcome
+(** [overlap_weight] (default 4.0) scales the overlap-area penalty
+    relative to the area term. *)

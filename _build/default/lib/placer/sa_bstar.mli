@@ -1,0 +1,20 @@
+(** Simulated-annealing placement over flat B*-trees (survey §III,
+    ref [5]).
+
+    The unconstrained counterpart of {!Bstar.Hbstar}: one B*-tree over
+    all modules plus rotation flags. Used as the B*-tree arm of the
+    representation ablation (experiment E10). *)
+
+type outcome = {
+  placement : Placement.t;
+  cost : float;
+  sa_rounds : int;
+  evaluated : int;
+}
+
+val place :
+  ?weights:Cost.weights ->
+  ?params:Anneal.Sa.params ->
+  rng:Prelude.Rng.t ->
+  Netlist.Circuit.t ->
+  outcome

@@ -1,0 +1,73 @@
+module G = Constraints.Symmetry_group
+
+type state = { sp : Seqpair.Sp.t; rot : bool array }
+
+type outcome = {
+  placement : Placement.t;
+  cost : float;
+  sa_rounds : int;
+  evaluated : int;
+}
+
+let dims_of circuit rot c =
+  let w, h = Netlist.Circuit.dims circuit c in
+  if rot.(c) then (h, w) else (w, h)
+
+let flip_rotation rng groups rot =
+  let n = Array.length rot in
+  let c = Prelude.Rng.int rng n in
+  let rot = Array.copy rot in
+  let flip c = rot.(c) <- not rot.(c) in
+  (match List.find_opt (fun g -> G.mem g c) groups with
+  | Some g -> (
+      match G.sym g c with
+      | Some partner when partner <> c ->
+          flip c;
+          flip partner
+      | Some _ | None -> flip c)
+  | None -> flip c);
+  rot
+
+let evaluate circuit groups st =
+  let dims = dims_of circuit st.rot in
+  let placed =
+    match groups with
+    | [] -> Seqpair.Pack.pack_fast st.sp dims
+    | _ -> (
+        match Seqpair.Symmetry.pack_symmetric st.sp dims groups with
+        | Ok placed -> placed
+        | Error msg -> invalid_arg ("Sa_seqpair: " ^ msg))
+  in
+  Placement.make circuit placed
+
+let place ?(weights = Cost.default) ?params ?(groups = []) ~rng circuit =
+  let n = Netlist.Circuit.size circuit in
+  let params =
+    match params with Some p -> p | None -> Anneal.Sa.default_params ~n
+  in
+  let init_sp =
+    match groups with
+    | [] -> Seqpair.Sp.random rng n
+    | _ -> Seqpair.Symmetry.random_feasible rng ~n groups
+  in
+  let init = { sp = init_sp; rot = Array.make n false } in
+  let neighbor rng st =
+    if Prelude.Rng.int rng 10 < 8 then
+      let sp =
+        match groups with
+        | [] -> Seqpair.Moves.random_neighbor rng st.sp
+        | _ -> Seqpair.Moves.random_neighbor_sf rng st.sp groups
+      in
+      { st with sp }
+    else { st with rot = flip_rotation rng groups st.rot }
+  in
+  let cost st = Cost.evaluate weights (evaluate circuit groups st) in
+  let problem = { Anneal.Sa.init; neighbor; cost } in
+  let result = Anneal.Sa.run ~rng params problem in
+  let placement = evaluate circuit groups result.Anneal.Sa.best in
+  {
+    placement;
+    cost = result.Anneal.Sa.best_cost;
+    sa_rounds = result.Anneal.Sa.rounds;
+    evaluated = result.Anneal.Sa.evaluated;
+  }

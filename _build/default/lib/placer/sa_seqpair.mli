@@ -1,0 +1,26 @@
+(** Simulated-annealing placement over sequence-pairs (survey §II).
+
+    The state is a sequence-pair plus per-cell rotation flags. With
+    symmetry groups the exploration is restricted to the
+    symmetric-feasible subspace: the initial code is repaired to S-F,
+    every move applies its symmetric companion (see {!Seqpair.Moves}),
+    rotations flip both cells of a pair together, and evaluation uses
+    the exact symmetric packing, so every visited placement keeps all
+    groups mirror-symmetric. *)
+
+type outcome = {
+  placement : Placement.t;
+  cost : float;
+  sa_rounds : int;
+  evaluated : int;
+}
+
+val place :
+  ?weights:Cost.weights ->
+  ?params:Anneal.Sa.params ->
+  ?groups:Constraints.Symmetry_group.t list ->
+  rng:Prelude.Rng.t ->
+  Netlist.Circuit.t ->
+  outcome
+(** Default weights {!Cost.default}; default SA parameters scale with
+    the circuit size. *)

@@ -1,0 +1,46 @@
+type state = { tcg : Seqpair.Tcg.t; rot : bool array }
+
+type outcome = {
+  placement : Placement.t;
+  cost : float;
+  sa_rounds : int;
+  evaluated : int;
+}
+
+let evaluate circuit st =
+  let dims c =
+    let w, h = Netlist.Circuit.dims circuit c in
+    if st.rot.(c) then (h, w) else (w, h)
+  in
+  Placement.make circuit (Seqpair.Tcg.pack st.tcg dims)
+
+let place ?(weights = Cost.default) ?params ~rng circuit =
+  let n = Netlist.Circuit.size circuit in
+  let params =
+    match params with Some p -> p | None -> Anneal.Sa.default_params ~n
+  in
+  let init =
+    {
+      tcg = Seqpair.Tcg.of_seqpair (Seqpair.Sp.random rng n);
+      rot = Array.make n false;
+    }
+  in
+  let neighbor rng st =
+    if Prelude.Rng.int rng 10 < 8 then
+      { st with tcg = Seqpair.Tcg.random_neighbor rng st.tcg }
+    else begin
+      let rot = Array.copy st.rot in
+      let c = Prelude.Rng.int rng n in
+      rot.(c) <- not rot.(c);
+      { st with rot }
+    end
+  in
+  let cost st = Cost.evaluate weights (evaluate circuit st) in
+  let result = Anneal.Sa.run ~rng params { Anneal.Sa.init; neighbor; cost } in
+  let placement = evaluate circuit result.Anneal.Sa.best in
+  {
+    placement;
+    cost = result.Anneal.Sa.best_cost;
+    sa_rounds = result.Anneal.Sa.rounds;
+    evaluated = result.Anneal.Sa.evaluated;
+  }

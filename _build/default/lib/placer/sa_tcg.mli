@@ -1,0 +1,17 @@
+(** Simulated-annealing placement over transitive closure graphs
+    (survey §II, ref [15]) — the third non-slicing arm of the
+    representation ablation. Limited to 62 modules (see {!Seqpair.Tcg}). *)
+
+type outcome = {
+  placement : Placement.t;
+  cost : float;
+  sa_rounds : int;
+  evaluated : int;
+}
+
+val place :
+  ?weights:Cost.weights ->
+  ?params:Anneal.Sa.params ->
+  rng:Prelude.Rng.t ->
+  Netlist.Circuit.t ->
+  outcome

@@ -1,0 +1,15 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geo_mean = function
+  | [] -> 0.0
+  | xs -> exp (mean (List.map log xs))
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+      let m = mean xs in
+      sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) xs))
+
+let percent part whole = if whole = 0.0 then 0.0 else 100.0 *. part /. whole

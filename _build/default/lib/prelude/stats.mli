@@ -1,0 +1,13 @@
+(** Small statistics helpers used by the benchmark harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val geo_mean : float list -> float
+(** Geometric mean of positive values; 0 for the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for lists shorter than 2. *)
+
+val percent : float -> float -> float
+(** [percent part whole] is [100 * part / whole]; 0 when [whole = 0]. *)

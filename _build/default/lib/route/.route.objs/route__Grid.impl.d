@@ -1,0 +1,1 @@
+lib/route/grid.ml: Bytes List Placer

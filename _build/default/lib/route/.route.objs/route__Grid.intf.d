@@ -1,0 +1,1 @@
+lib/route/grid.mli: Placer

@@ -1,0 +1,1 @@
+lib/route/maze.ml: Array Grid Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/route/maze.mli: Grid

@@ -1,0 +1,1 @@
+lib/route/router.ml: Constraints Geometry Grid Hashtbl Int List Maze Netlist Placer Rect

@@ -1,0 +1,1 @@
+lib/route/router.mli: Constraints Grid Placer

@@ -1,0 +1,70 @@
+let neighbors (c, r) = [ (c + 1, r); (c - 1, r); (c, r + 1); (c, r - 1) ]
+
+let path grid ~src ~dst =
+  let cols = Grid.cols grid and rows = Grid.rows grid in
+  let parent = Array.make (cols * rows) (-2) in
+  (* -2 unvisited, -1 source, otherwise predecessor index *)
+  let idx (c, r) = (r * cols) + c in
+  let of_idx i = (i mod cols, i / cols) in
+  let dst_set = Hashtbl.create 8 in
+  List.iter
+    (fun p -> if Grid.in_bounds grid p then Hashtbl.replace dst_set (idx p) ())
+    dst;
+  let queue = Queue.create () in
+  List.iter
+    (fun p ->
+      if Grid.in_bounds grid p && parent.(idx p) = -2 then begin
+        parent.(idx p) <- -1;
+        Queue.add p queue
+      end)
+    src;
+  let found = ref None in
+  let rec walk_back acc i =
+    let acc = of_idx i :: acc in
+    if parent.(i) = -1 then acc else walk_back acc parent.(i)
+  in
+  (try
+     while not (Queue.is_empty queue) do
+       let p = Queue.take queue in
+       let pi = idx p in
+       if Hashtbl.mem dst_set pi then begin
+         found := Some (List.rev (walk_back [] pi));
+         raise Exit
+       end;
+       List.iter
+         (fun q ->
+           if Grid.in_bounds grid q && parent.(idx q) = -2 then
+             (* intermediate cells must be free; destinations are
+                always enterable *)
+             if Hashtbl.mem dst_set (idx q) || not (Grid.blocked grid q) then begin
+               parent.(idx q) <- pi;
+               Queue.add q queue
+             end)
+         (neighbors p)
+     done
+   with Exit -> ());
+  Option.map List.rev !found
+
+let clamp grid (c, r) =
+  (max 0 (min (Grid.cols grid - 1) c), max 0 (min (Grid.rows grid - 1) r))
+
+let route_net grid ~terminals =
+  match List.map (clamp grid) terminals with
+  | [] -> Some []
+  | first :: rest ->
+      let tree = ref [ first ] in
+      let ok =
+        List.for_all
+          (fun terminal ->
+            if List.mem terminal !tree then true
+            else
+              match path grid ~src:!tree ~dst:[ terminal ] with
+              | None -> false
+              | Some points ->
+                  tree :=
+                    List.filter (fun p -> not (List.mem p !tree)) points
+                    @ !tree;
+                  true)
+          rest
+      in
+      if ok then Some !tree else None

@@ -1,0 +1,22 @@
+(** Lee-style maze routing.
+
+    Breadth-first wave expansion on the grid: {!path} finds a shortest
+    unblocked Manhattan path between two points; {!route_net} connects
+    a terminal set by growing a Steiner-ish tree — each further
+    terminal is connected by a shortest path to the {e whole} tree
+    built so far (the classic multi-terminal extension of Lee's
+    algorithm). *)
+
+val path :
+  Grid.t -> src:Grid.point list -> dst:Grid.point list -> Grid.point list option
+(** Shortest path from any source to any destination; sources and
+    destinations may be blocked (pins on used tracks are still
+    reachable endpoints), intermediate cells may not. Returns the
+    full point sequence including endpoints. *)
+
+val route_net :
+  Grid.t -> terminals:Grid.point list -> Grid.point list option
+(** The union of grid cells of a tree connecting all terminals, or
+    [None] if some terminal cannot be reached. Does not modify the
+    grid — callers decide whether to claim the cells. Terminals outside
+    the grid are clamped to its border. *)

@@ -1,0 +1,218 @@
+open Geometry
+
+type route = { net : string; points : Grid.point list }
+
+type result = {
+  routed : route list;
+  failed : string list;
+  wirelength : int;
+  mirrored_pairs : (string * string) list;
+  grid : Grid.t;
+}
+
+let default_pitch = 20
+let default_margin = 4
+
+let pin_point ~pitch ~margin placement m =
+  match Placer.Placement.rect_of placement m with
+  | None -> None
+  | Some r ->
+      let cx2, cy2 = Rect.center2 r in
+      Some (Grid.snap ~pitch ~margin (cx2 / 2, cy2 / 2))
+
+let net_pins ~pitch ~margin placement (net : Netlist.Net.t) =
+  List.filter_map (pin_point ~pitch ~margin placement) net.Netlist.Net.pins
+
+(* Grid-column reflection constant for a group: derived from an actual
+   mirrored pair so pin images land exactly on pins. *)
+let axis2_grid_of_group ~pitch ~margin placement
+    (g : Constraints.Symmetry_group.t) =
+  match
+    Constraints.Placement_check.symmetry ~group:g
+      placement.Placer.Placement.placed
+  with
+  | Error _ -> None
+  | Ok _ -> (
+      match (g.Constraints.Symmetry_group.pairs, g.Constraints.Symmetry_group.selfs) with
+      | (a, b) :: _, _ -> (
+          match
+            ( pin_point ~pitch ~margin placement a,
+              pin_point ~pitch ~margin placement b )
+          with
+          | Some (ca, _), Some (cb, _) -> Some (ca + cb)
+          | _ -> None)
+      | [], f :: _ -> (
+          match pin_point ~pitch ~margin placement f with
+          | Some (cf, _) -> Some (2 * cf)
+          | None -> None)
+      | [], [] -> None)
+
+let close (c1, r1) (c2, r2) = abs (c1 - c2) <= 1 && abs (r1 - r2) <= 1
+
+(* multiset match with tolerance: greedy bipartite *)
+let pins_match mirrored actual =
+  let rec go remaining = function
+    | [] -> remaining = []
+    | p :: rest -> (
+        match List.partition (close p) remaining with
+        | _ :: extra, others -> go (extra @ others) rest
+        | [], _ -> false)
+  in
+  List.length mirrored = List.length actual && go actual mirrored
+
+let mirror_twins ~axis2 ~pitch ~margin placement =
+  let nets = placement.Placer.Placement.circuit.Netlist.Circuit.nets in
+  (* axis2 is a doubled layout coordinate: the mirror image of layout
+     point x is axis2 - x; snap the image back onto the grid *)
+  let reflect (c, r) =
+    let x = (c - margin) * pitch in
+    let gx = fst (Grid.snap ~pitch ~margin (axis2 - x, 0)) in
+    (gx, r)
+  in
+  let with_pins =
+    List.map (fun n -> (n, net_pins ~pitch ~margin placement n)) nets
+  in
+  let rec pairs acc = function
+    | [] -> List.rev acc
+    | ((n1 : Netlist.Net.t), p1) :: rest -> (
+        let mirrored = List.map reflect p1 in
+        match
+          List.find_opt (fun ((_ : Netlist.Net.t), p2) -> pins_match mirrored p2) rest
+        with
+        | Some ((n2, _) as hit) ->
+            pairs
+              ((n1.Netlist.Net.name, n2.Netlist.Net.name) :: acc)
+              (List.filter (fun x -> x != hit) rest)
+        | None -> pairs acc rest)
+  in
+  pairs [] with_pins
+
+let bbox_semi pins =
+  match pins with
+  | [] -> 0
+  | (c0, r0) :: rest ->
+      let minc, maxc, minr, maxr =
+        List.fold_left
+          (fun (a, b, c, d) (pc, pr) ->
+            (min a pc, max b pc, min c pr, max d pr))
+          (c0, c0, r0, r0) rest
+      in
+      maxc - minc + maxr - minr
+
+let is_mirror_route ~axis2_grid a b =
+  let reflect (c, r) = (axis2_grid - c, r) in
+  let norm pts = List.sort_uniq compare pts in
+  norm (List.map reflect a) = norm b
+
+let route_all ?(pitch = default_pitch) ?(margin = default_margin)
+    ?(symmetric = []) placement =
+  let grid = Grid.of_placement ~pitch ~margin placement in
+  let nets = placement.Placer.Placement.circuit.Netlist.Circuit.nets in
+  let pins_of = net_pins ~pitch ~margin placement in
+  let axes =
+    List.filter_map (axis2_grid_of_group ~pitch ~margin placement) symmetric
+  in
+  (* twin detection per axis, first match wins, disjoint *)
+  let twin_of = Hashtbl.create 8 in
+  List.iter
+    (fun axis2_grid ->
+      let with_pins = List.map (fun n -> (n, pins_of n)) nets in
+      let reflect (c, r) = (axis2_grid - c, r) in
+      let rec scan = function
+        | [] -> ()
+        | ((n1 : Netlist.Net.t), p1) :: rest ->
+            if not (Hashtbl.mem twin_of n1.Netlist.Net.name) then begin
+              let mirrored = List.map reflect p1 in
+              match
+                List.find_opt
+                  (fun ((n2 : Netlist.Net.t), p2) ->
+                    (not (Hashtbl.mem twin_of n2.Netlist.Net.name))
+                    && pins_match mirrored p2)
+                  rest
+              with
+              | Some ((n2 : Netlist.Net.t), _) ->
+                  Hashtbl.replace twin_of n1.Netlist.Net.name
+                    (n2.Netlist.Net.name, axis2_grid, true);
+                  Hashtbl.replace twin_of n2.Netlist.Net.name
+                    (n1.Netlist.Net.name, axis2_grid, false);
+                  scan rest
+              | None -> scan rest
+            end
+            else scan rest
+      in
+      scan with_pins)
+    axes;
+  let order =
+    List.sort
+      (fun (a : Netlist.Net.t) b ->
+        let twin n = if Hashtbl.mem twin_of n.Netlist.Net.name then 0 else 1 in
+        let c = Int.compare (twin a) (twin b) in
+        if c <> 0 then c
+        else Int.compare (bbox_semi (pins_of a)) (bbox_semi (pins_of b)))
+      nets
+  in
+  let routed = ref [] and failed = ref [] and mirrored = ref [] in
+  let done_nets = Hashtbl.create 16 in
+  let claim points = Grid.block_many grid points in
+  let route_plain (net : Netlist.Net.t) =
+    match Maze.route_net grid ~terminals:(pins_of net) with
+    | Some points ->
+        claim points;
+        routed := { net = net.Netlist.Net.name; points } :: !routed
+    | None -> failed := net.Netlist.Net.name :: !failed
+  in
+  List.iter
+    (fun (net : Netlist.Net.t) ->
+      let name = net.Netlist.Net.name in
+      if not (Hashtbl.mem done_nets name) then begin
+        Hashtbl.replace done_nets name ();
+        match Hashtbl.find_opt twin_of name with
+        | Some (twin, axis2_grid, _) when not (Hashtbl.mem done_nets twin) ->
+            Hashtbl.replace done_nets twin ();
+            (* route the reference, mirror for the twin *)
+            let reflect (c, r) = (axis2_grid - c, r) in
+            (match Maze.route_net grid ~terminals:(pins_of net) with
+            | Some points ->
+                let image = List.map reflect points in
+                let image_free =
+                  List.for_all
+                    (fun p -> Grid.in_bounds grid p && not (Grid.blocked grid p))
+                    image
+                in
+                if image_free then begin
+                  claim points;
+                  claim image;
+                  routed := { net = name; points } :: !routed;
+                  routed := { net = twin; points = image } :: !routed;
+                  mirrored := (name, twin) :: !mirrored
+                end
+                else begin
+                  (* mirrored tracks taken: route both independently *)
+                  claim points;
+                  routed := { net = name; points } :: !routed;
+                  let twin_net =
+                    List.find
+                      (fun (n : Netlist.Net.t) -> n.Netlist.Net.name = twin)
+                      nets
+                  in
+                  route_plain twin_net
+                end
+            | None ->
+                failed := name :: !failed;
+                let twin_net =
+                  List.find
+                    (fun (n : Netlist.Net.t) -> n.Netlist.Net.name = twin)
+                    nets
+                in
+                route_plain twin_net)
+        | Some _ | None -> route_plain net
+      end)
+    order;
+  {
+    routed = List.rev !routed;
+    failed = List.rev !failed;
+    wirelength =
+      List.fold_left (fun acc r -> acc + List.length r.points) 0 !routed;
+    mirrored_pairs = List.rev !mirrored;
+    grid;
+  }

@@ -1,0 +1,45 @@
+(** Net-by-net global routing with mirrored symmetric nets (§II:
+    "symmetric placement (and routing, as well)" matches the
+    layout-induced parasitics of the two differential half-circuits).
+
+    Nets are routed shortest-first by Lee maze expansion; each finished
+    route claims its tracks. Nets recognized as mirror twins — their
+    pin sets map onto each other under the symmetry group's axis — are
+    routed as a pair: the reference net is routed, its mirror image is
+    claimed for the twin, so both halves see {e identical} wire lengths
+    and topology by construction. *)
+
+type route = { net : string; points : Grid.point list }
+
+type result = {
+  routed : route list;
+  failed : string list;  (** nets with no legal path left *)
+  wirelength : int;  (** total grid cells used *)
+  mirrored_pairs : (string * string) list;
+  grid : Grid.t;  (** final occupancy *)
+}
+
+val mirror_twins :
+  axis2:int ->
+  pitch:int ->
+  margin:int ->
+  Placer.Placement.t ->
+  (string * string) list
+(** Net pairs whose pin centers are mirror images about the axis
+    (doubled layout coordinate [axis2]), up to grid rounding. *)
+
+val route_all :
+  ?pitch:int ->
+  ?margin:int ->
+  ?symmetric:Constraints.Symmetry_group.t list ->
+  Placer.Placement.t ->
+  result
+(** Route every net of the placement's circuit (pins at module
+    centers). [symmetric] groups contribute their placement axes; twin
+    nets across each axis are routed mirrored. Default [pitch] 20 grid
+    units, [margin] 4 tracks. *)
+
+val is_mirror_route :
+  axis2_grid:int -> Grid.point list -> Grid.point list -> bool
+(** Do two routes map onto each other under grid-column reflection
+    [c -> axis2_grid - c]? (Used by tests.) *)

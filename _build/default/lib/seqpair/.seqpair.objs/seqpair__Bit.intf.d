@@ -1,0 +1,1 @@
+lib/seqpair/bit.mli:

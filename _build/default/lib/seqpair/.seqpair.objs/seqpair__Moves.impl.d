@@ -1,0 +1,1 @@
+lib/seqpair/moves.ml: Constraints List Perm Prelude Sp Symmetry

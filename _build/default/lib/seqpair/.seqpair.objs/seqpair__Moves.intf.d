@@ -1,0 +1,1 @@
+lib/seqpair/moves.mli: Constraints Prelude Sp

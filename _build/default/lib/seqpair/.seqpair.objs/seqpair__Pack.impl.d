@@ -1,0 +1,1 @@
+lib/seqpair/pack.ml: Array Bit Geometry List Orientation Perm Rect Sp Transform Veb

@@ -1,0 +1,1 @@
+lib/seqpair/pack.mli: Geometry Sp

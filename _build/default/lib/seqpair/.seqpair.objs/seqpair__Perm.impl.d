@@ -1,0 +1,1 @@
+lib/seqpair/perm.ml: Array Format Fun Int List Prelude

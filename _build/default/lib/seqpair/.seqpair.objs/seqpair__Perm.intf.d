@@ -1,0 +1,1 @@
+lib/seqpair/perm.mli: Format Prelude

@@ -1,0 +1,1 @@
+lib/seqpair/sp.ml: Array Char Format List Perm String

@@ -1,0 +1,1 @@
+lib/seqpair/sp.mli: Format Perm Prelude

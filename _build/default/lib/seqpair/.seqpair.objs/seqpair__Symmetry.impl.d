@@ -1,0 +1,1 @@
+lib/seqpair/symmetry.ml: Array Bool Constraints Fun Geometry Hashtbl Int List Option Orientation Pack Perm Printf Rect Sp Transform

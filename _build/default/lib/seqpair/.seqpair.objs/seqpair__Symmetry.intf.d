@@ -1,0 +1,1 @@
+lib/seqpair/symmetry.mli: Constraints Geometry Pack Prelude Sp

@@ -1,0 +1,1 @@
+lib/seqpair/tcg.ml: Array Geometry List Orientation Perm Prelude Printf Result Sp Transform

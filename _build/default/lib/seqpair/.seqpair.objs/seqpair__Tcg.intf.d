@@ -1,0 +1,1 @@
+lib/seqpair/tcg.mli: Geometry Pack Prelude Sp

@@ -1,0 +1,1 @@
+lib/seqpair/veb.ml: Array Option

@@ -1,0 +1,21 @@
+(* Classic Fenwick layout over 1-based internal indices; the max monoid
+   only supports monotone (increase-only) updates, which is all the
+   packing algorithm needs. *)
+type t = { tree : int array; n : int }
+
+let create n = { tree = Array.make (n + 1) 0; n }
+
+let update t i v =
+  let rec go i =
+    if i <= t.n then begin
+      if t.tree.(i) < v then t.tree.(i) <- v;
+      go (i + (i land -i))
+    end
+  in
+  go (i + 1)
+
+let prefix_max t i =
+  let rec go i acc =
+    if i <= 0 then acc else go (i - (i land -i)) (max acc t.tree.(i))
+  in
+  if i < 0 then 0 else go (min (i + 1) t.n) 0

@@ -1,0 +1,83 @@
+type t = Sp.t
+
+module G = Constraints.Symmetry_group
+
+let two_distinct rng n =
+  let a = Prelude.Rng.int rng n in
+  let b = (a + 1 + Prelude.Rng.int rng (n - 1)) mod n in
+  (a, b)
+
+let swap_alpha rng sp =
+  let a, b = two_distinct rng (Sp.size sp) in
+  Sp.make
+    ~alpha:(Perm.swap_cells sp.Sp.alpha a b)
+    ~beta:sp.Sp.beta
+
+let swap_beta rng sp =
+  let a, b = two_distinct rng (Sp.size sp) in
+  Sp.make ~alpha:sp.Sp.alpha
+    ~beta:(Perm.swap_cells sp.Sp.beta a b)
+
+let swap_both rng sp =
+  let a, b = two_distinct rng (Sp.size sp) in
+  Sp.make
+    ~alpha:(Perm.swap_cells sp.Sp.alpha a b)
+    ~beta:(Perm.swap_cells sp.Sp.beta a b)
+
+let random_neighbor rng sp =
+  match Prelude.Rng.int rng 3 with
+  | 0 -> swap_alpha rng sp
+  | 1 -> swap_beta rng sp
+  | _ -> swap_both rng sp
+
+let sym_of groups c =
+  List.find_map (fun g -> if G.mem g c then G.sym g c else None) groups
+
+(* Companion swaps: interchanging x and y in alpha requires
+   interchanging sym(x) and sym(y) in beta (and vice versa) whenever
+   both cells belong to symmetry groups. Mixed group/free swaps are
+   proposed in both-sequence form; whatever a proposal breaks is caught
+   by the final feasibility check and repaired. *)
+let random_neighbor_sf rng sp groups =
+  let n = Sp.size sp in
+  let a, b = two_distinct rng n in
+  let candidate =
+    match Prelude.Rng.int rng 3 with
+    | 0 -> (
+        (* alpha swap + beta companion *)
+        match (sym_of groups a, sym_of groups b) with
+        | Some sa, Some sb ->
+            Sp.make
+              ~alpha:(Perm.swap_cells sp.Sp.alpha a b)
+              ~beta:(Perm.swap_cells sp.Sp.beta sa sb)
+        | None, None ->
+            Sp.make
+              ~alpha:(Perm.swap_cells sp.Sp.alpha a b)
+              ~beta:sp.Sp.beta
+        | Some _, None | None, Some _ ->
+            Sp.make
+              ~alpha:(Perm.swap_cells sp.Sp.alpha a b)
+              ~beta:(Perm.swap_cells sp.Sp.beta a b))
+    | 1 -> (
+        (* beta swap + alpha companion *)
+        match (sym_of groups a, sym_of groups b) with
+        | Some sa, Some sb ->
+            Sp.make
+              ~alpha:(Perm.swap_cells sp.Sp.alpha sa sb)
+              ~beta:(Perm.swap_cells sp.Sp.beta a b)
+        | None, None ->
+            Sp.make ~alpha:sp.Sp.alpha
+              ~beta:(Perm.swap_cells sp.Sp.beta a b)
+        | Some _, None | None, Some _ ->
+            Sp.make
+              ~alpha:(Perm.swap_cells sp.Sp.alpha a b)
+              ~beta:(Perm.swap_cells sp.Sp.beta a b))
+    | _ ->
+        Sp.make
+          ~alpha:(Perm.swap_cells sp.Sp.alpha a b)
+          ~beta:(Perm.swap_cells sp.Sp.beta a b)
+  in
+  if Symmetry.is_feasible_all candidate groups then candidate
+  else
+    let repaired = Symmetry.make_feasible candidate groups in
+    if Symmetry.is_feasible_all repaired groups then repaired else sp

@@ -1,0 +1,26 @@
+(** Perturbation moves on sequence-pairs.
+
+    For unconstrained placement the classic move set applies: swap two
+    cells in alpha, in beta, or in both. With symmetry groups the moves
+    come in "companion" form (survey §II): whenever two group cells are
+    interchanged in one sequence, their symmetric counterparts are
+    interchanged in the other, so property (1) is preserved and the
+    whole annealing walk stays inside the symmetric-feasible
+    subspace. Every generated neighbour is additionally checked and
+    repaired, so the invariant holds unconditionally. *)
+
+type t = Sp.t
+
+val swap_alpha : Prelude.Rng.t -> t -> t
+val swap_beta : Prelude.Rng.t -> t -> t
+val swap_both : Prelude.Rng.t -> t -> t
+
+val random_neighbor : Prelude.Rng.t -> t -> t
+(** One of the three unconstrained moves, uniformly. *)
+
+val random_neighbor_sf :
+  Prelude.Rng.t -> t -> Constraints.Symmetry_group.t list -> t
+(** A random move with symmetric companion application; the result is
+    always symmetric-feasible (falls back to {!Symmetry.make_feasible}
+    repair, and ultimately to the input, if a proposed move broke
+    property (1)). *)

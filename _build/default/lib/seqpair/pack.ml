@@ -1,0 +1,114 @@
+open Geometry
+
+type dims = int -> int * int
+
+let widths sp dims =
+  Array.init (Sp.size sp) (fun c -> fst (dims c))
+
+let heights sp dims =
+  Array.init (Sp.size sp) (fun c -> snd (dims c))
+
+let to_placed sp dims x y =
+  List.init (Sp.size sp) (fun c ->
+      let w, h = dims c in
+      Transform.place ~cell:c ~x:x.(c) ~y:y.(c) ~w ~h
+        ~orient:Orientation.R0)
+
+(* O(n^2): explicit longest path over the left-of / below relations. *)
+let pack sp dims =
+  let n = Sp.size sp in
+  let w = widths sp dims and h = heights sp dims in
+  let x = Array.make n 0 and y = Array.make n 0 in
+  (* x: process cells in alpha order; predecessors are earlier in both
+     sequences. *)
+  for pos = 0 to n - 1 do
+    let b = Perm.cell_at sp.Sp.alpha pos in
+    for pos_a = 0 to pos - 1 do
+      let a = Perm.cell_at sp.Sp.alpha pos_a in
+      if Perm.pos_of sp.Sp.beta a < Perm.pos_of sp.Sp.beta b then
+        x.(b) <- max x.(b) (x.(a) + w.(a))
+    done
+  done;
+  (* y: a is below b iff a follows b in alpha and precedes it in beta;
+     process in reverse alpha order. *)
+  for pos = n - 1 downto 0 do
+    let b = Perm.cell_at sp.Sp.alpha pos in
+    for pos_a = pos + 1 to n - 1 do
+      let a = Perm.cell_at sp.Sp.alpha pos_a in
+      if Perm.pos_of sp.Sp.beta a < Perm.pos_of sp.Sp.beta b then
+        y.(b) <- max y.(b) (y.(a) + h.(a))
+    done
+  done;
+  to_placed sp dims x y
+
+(* O(n log n): the longest-path recurrences only ever ask for the
+   maximum over a prefix of beta positions, served by a Fenwick tree. *)
+let pack_fast sp dims =
+  let n = Sp.size sp in
+  let w = widths sp dims and h = heights sp dims in
+  let x = Array.make n 0 and y = Array.make n 0 in
+  let bit = Bit.create n in
+  for pos = 0 to n - 1 do
+    let b = Perm.cell_at sp.Sp.alpha pos in
+    let bp = Perm.pos_of sp.Sp.beta b in
+    x.(b) <- Bit.prefix_max bit (bp - 1);
+    Bit.update bit bp (x.(b) + w.(b))
+  done;
+  let bit = Bit.create n in
+  for pos = n - 1 downto 0 do
+    let b = Perm.cell_at sp.Sp.alpha pos in
+    let bp = Perm.pos_of sp.Sp.beta b in
+    y.(b) <- Bit.prefix_max bit (bp - 1);
+    Bit.update bit bp (y.(b) + h.(b))
+  done;
+  to_placed sp dims x y
+
+(* O(n log log n): keep only the dominant "matches" -- beta positions
+   whose running coordinate strictly increases -- in a vEB tree, so the
+   prefix maximum is just the value at the predecessor position. Every
+   position is inserted and deleted at most once. *)
+let sweep_veb n order bpos extent coord =
+  let set = Veb.create (max 1 n) in
+  let value = Array.make (max 1 n) 0 in
+  Array.iter
+    (fun b ->
+      let p = bpos b in
+      coord.(b) <-
+        (match Veb.predecessor set p with
+        | Some q -> value.(q)
+        | None -> 0);
+      let v = coord.(b) + extent.(b) in
+      let dominated =
+        match if Veb.mem set p then Some p else Veb.predecessor set p with
+        | Some q -> value.(q) >= v
+        | None -> false
+      in
+      if not dominated then begin
+        Veb.insert set p;
+        value.(p) <- v;
+        let rec prune () =
+          match Veb.successor set p with
+          | Some s when value.(s) <= v ->
+              Veb.delete set s;
+              prune ()
+          | Some _ | None -> ()
+        in
+        prune ()
+      end)
+    order
+
+let pack_veb sp dims =
+  let n = Sp.size sp in
+  let w = widths sp dims and h = heights sp dims in
+  let x = Array.make n 0 and y = Array.make n 0 in
+  let alpha_order = Array.init n (Perm.cell_at sp.Sp.alpha) in
+  let rev_alpha_order = Array.init n (fun i -> alpha_order.(n - 1 - i)) in
+  let bpos c = Perm.pos_of sp.Sp.beta c in
+  sweep_veb n alpha_order bpos w x;
+  sweep_veb n rev_alpha_order bpos h y;
+  to_placed sp dims x y
+
+let bounding_box placed =
+  match placed with
+  | [] -> Rect.at_origin ~w:0 ~h:0
+  | _ -> Rect.bbox_of_list (List.map (fun p -> p.Transform.rect) placed)

@@ -1,0 +1,27 @@
+(** Sequence-pair evaluation: topological code -> placement.
+
+    Both evaluators compute, for every cell, the longest path to it in
+    the horizontal (left-of) and vertical (below) constraint graphs
+    implied by the sequence-pair, which is the minimum-area packing for
+    the encoded topology.
+
+    [pack] is the O(n^2) reference; [pack_fast] is the O(n log n)
+    weighted-LCS formulation of FAST-SP (survey ref [26]) over a binary
+    indexed tree. They produce identical placements (tested). *)
+
+type dims = int -> int * int
+(** Cell index -> (width, height). *)
+
+val pack : Sp.t -> dims -> Geometry.Transform.placed list
+(** Placements in cell-index order, orientation [R0]. *)
+
+val pack_fast : Sp.t -> dims -> Geometry.Transform.placed list
+
+val pack_veb : Sp.t -> dims -> Geometry.Transform.placed list
+(** The O(n log log n) evaluation the survey cites ([13] via the
+    priority-queue model of [26]): a dominance-pruned match list over a
+    van Emde Boas tree keyed by beta positions. Identical output to
+    {!pack} (tested). *)
+
+val bounding_box : Geometry.Transform.placed list -> Geometry.Rect.t
+(** Bounding box of the placed cells ([0x0] at the origin when empty). *)

@@ -1,0 +1,66 @@
+type t = { order : int array; inv : int array }
+
+let compute_inv order =
+  let n = Array.length order in
+  let inv = Array.make n (-1) in
+  Array.iteri (fun pos cell -> inv.(cell) <- pos) order;
+  inv
+
+let of_array arr =
+  let n = Array.length arr in
+  let seen = Array.make n false in
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= n || seen.(c) then
+        invalid_arg "Perm.of_array: not a permutation";
+      seen.(c) <- true)
+    arr;
+  let order = Array.copy arr in
+  { order; inv = compute_inv order }
+
+let identity n = of_array (Array.init n Fun.id)
+let random rng n = of_array (Prelude.Rng.permutation rng n)
+let size p = Array.length p.order
+let cell_at p pos = p.order.(pos)
+let pos_of p cell = p.inv.(cell)
+
+let swap_positions p i j =
+  let order = Array.copy p.order in
+  let tmp = order.(i) in
+  order.(i) <- order.(j);
+  order.(j) <- tmp;
+  { order; inv = compute_inv order }
+
+let swap_cells p a b = swap_positions p p.inv.(a) p.inv.(b)
+
+let insert p ~cell ~at =
+  let n = size p in
+  if at < 0 || at >= n then invalid_arg "Perm.insert: position out of range";
+  let without =
+    Array.of_list (List.filter (fun c -> c <> cell) (Array.to_list p.order))
+  in
+  let order = Array.make n 0 in
+  Array.blit without 0 order 0 at;
+  order.(at) <- cell;
+  Array.blit without at order (at + 1) (n - at - 1);
+  { order; inv = compute_inv order }
+
+let reorder_cells p ~cells ~order:new_order =
+  let positions =
+    List.map (fun c -> p.inv.(c)) cells |> List.sort Int.compare
+  in
+  if List.length positions <> List.length new_order then
+    invalid_arg "Perm.reorder_cells: length mismatch";
+  let order = Array.copy p.order in
+  List.iter2 (fun pos cell -> order.(pos) <- cell) positions new_order;
+  of_array order
+
+let to_list p = Array.to_list p.order
+let equal a b = a.order = b.order
+
+let pp ppf p =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Format.pp_print_int)
+    (to_list p)

@@ -1,0 +1,40 @@
+(** Permutations of cell indices.
+
+    A permutation is stored as the array [order] with [order.(pos)] =
+    the cell at position [pos]; its inverse gives each cell's
+    position — the alpha^-1 / beta^-1 maps of the survey's property (1). *)
+
+type t
+
+val of_array : int array -> t
+(** Validates that the array is a permutation of [0 .. n-1]; the array
+    is copied. *)
+
+val identity : int -> t
+val random : Prelude.Rng.t -> int -> t
+val size : t -> int
+
+val cell_at : t -> int -> int
+(** [cell_at p pos] is the cell at position [pos]. *)
+
+val pos_of : t -> int -> int
+(** [pos_of p cell] is the position of [cell] (the inverse map), O(1). *)
+
+val swap_positions : t -> int -> int -> t
+(** Exchange the cells at two positions (pure). *)
+
+val swap_cells : t -> int -> int -> t
+(** Exchange the positions of two cells (pure). *)
+
+val insert : t -> cell:int -> at:int -> t
+(** Remove [cell] and re-insert it so that it ends at position [at]. *)
+
+val reorder_cells : t -> cells:int list -> order:int list -> t
+(** [reorder_cells p ~cells ~order]: the positions currently holding
+    [cells] are refilled with the cells of [order] (a permutation of
+    [cells]) in increasing-position order. Used to force the relative
+    order of a symmetry group. *)
+
+val to_list : t -> int list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+(** Symmetric-feasible sequence-pairs (survey §II, refs [13], [2], [3]).
+
+    A sequence-pair [(alpha, beta)] is {e symmetric-feasible} (S-F) for
+    a symmetry group when for any two distinct group cells [x], [y]:
+
+    {v alpha^-1(x) < alpha^-1(y)  <=>  beta^-1(sym y) < beta^-1(sym x) v}
+
+    (property (1) of the survey) — equivalently, the group members
+    appear in [beta] exactly in the reverse [alpha]-order of their
+    symmetric counterparts. S-F codes admit packings in which every
+    group is exactly mirror-symmetric about a common vertical axis. *)
+
+type group = Constraints.Symmetry_group.t
+
+val is_feasible : Sp.t -> group -> bool
+(** Property (1) for one group. *)
+
+val is_feasible_all : Sp.t -> group list -> bool
+
+val count_upper_bound : n:int -> group list -> int
+(** The survey's Lemma: [(n!)^2 / prod (2 p_k + s_k)!]. Raises
+    [Invalid_argument] if the intermediate factorials overflow 63-bit
+    integers (n > 17). *)
+
+val count_exhaustive : n:int -> group list -> int
+(** Exact count of S-F sequence-pairs by enumerating all [(n!)^2]
+    codes. Feasible up to n = 7 (a few seconds); intended for
+    validating the Lemma. *)
+
+val make_feasible : Sp.t -> group list -> Sp.t
+(** Minimal repair: reorder each group's members within [beta] to the
+    order property (1) dictates. [alpha] and the [beta]-positions used
+    by each group are preserved. *)
+
+val random_feasible : Prelude.Rng.t -> n:int -> group list -> Sp.t
+(** A uniformly random [alpha] and [beta] repaired by
+    {!make_feasible}. *)
+
+val pack_symmetric :
+  Sp.t ->
+  Pack.dims ->
+  group list ->
+  (Geometry.Transform.placed list, string) result
+(** Build the minimum packing that satisfies every symmetry group
+    {e exactly}: symmetric pairs mirror about their group's common
+    vertical axis at equal [y]; self-symmetric cells are centered on
+    it. Uses a coupled constraint-graph fixpoint: longest-path lower
+    bounds alternate with per-group axis lifting until stable.
+
+    Self-symmetric cells whose width parity disagrees with the group
+    axis are padded by one grid unit so the axis falls on the integer
+    half-grid (documented substitution; pads are visible in the
+    returned widths). Pair cells are mirrored with orientation [MY].
+
+    Errors if the code is not symmetric-feasible or (never observed for
+    S-F codes) the fixpoint fails to converge. *)
+
+val axis2_of : Geometry.Transform.placed list -> group -> int option
+(** The doubled axis the group actually sits on, if it is symmetric. *)

@@ -1,0 +1,156 @@
+(* CLRS-style van Emde Boas tree: the minimum is kept out of the
+   clusters, giving O(log log U) inserts, deletes and neighbour
+   queries. Universes are rounded up to powers of two. *)
+
+type t = {
+  bits : int;  (* universe = 2^bits *)
+  requested : int;  (* user-visible universe bound *)
+  mutable vmin : int;  (* -1 when empty *)
+  mutable vmax : int;
+  summary : t option;
+  clusters : t array;  (* [||] at the base *)
+  low_bits : int;
+}
+
+let rec make_bits bits requested =
+  if bits <= 1 then
+    {
+      bits = 1;
+      requested;
+      vmin = -1;
+      vmax = -1;
+      summary = None;
+      clusters = [||];
+      low_bits = 0;
+    }
+  else
+    let low_bits = bits / 2 in
+    let high_bits = bits - low_bits in
+    {
+      bits;
+      requested;
+      vmin = -1;
+      vmax = -1;
+      summary = Some (make_bits high_bits 0);
+      clusters = Array.init (1 lsl high_bits) (fun _ -> make_bits low_bits 0);
+      low_bits;
+    }
+
+let create u =
+  if u <= 0 then invalid_arg "Veb.create: non-positive universe";
+  let rec bits_for b = if 1 lsl b >= u then b else bits_for (b + 1) in
+  make_bits (max 1 (bits_for 1)) u
+
+let universe t = if t.requested > 0 then t.requested else 1 lsl t.bits
+let is_empty t = t.vmin < 0
+let high t x = x lsr t.low_bits
+let low t x = x land ((1 lsl t.low_bits) - 1)
+let index t h l = (h lsl t.low_bits) lor l
+
+let rec mem t x =
+  if t.vmin < 0 then false
+  else if x = t.vmin || x = t.vmax then true
+  else if t.bits = 1 then false
+  else mem t.clusters.(high t x) (low t x)
+
+let rec insert t x =
+  if t.vmin < 0 then begin
+    t.vmin <- x;
+    t.vmax <- x
+  end
+  else if x <> t.vmin && x <> t.vmax then begin
+    let x = if x < t.vmin then (let m = t.vmin in t.vmin <- x; m) else x in
+    if t.bits > 1 then begin
+      let h = high t x and l = low t x in
+      let c = t.clusters.(h) in
+      if c.vmin < 0 then
+        Option.iter (fun s -> insert s h) t.summary;
+      insert c l
+    end;
+    if x > t.vmax then t.vmax <- x
+  end
+
+let rec delete t x =
+  if t.vmin >= 0 then
+    if t.vmin = t.vmax then begin
+      if x = t.vmin then begin
+        t.vmin <- -1;
+        t.vmax <- -1
+      end
+    end
+    else if t.bits = 1 then begin
+      (* members are exactly {0,1} here *)
+      if x = 0 then t.vmin <- 1 else t.vmax <- 0;
+      if t.vmin > t.vmax then begin
+        t.vmin <- -1;
+        t.vmax <- -1
+      end
+    end
+    else begin
+      let summary = Option.get t.summary in
+      let x =
+        if x = t.vmin then begin
+          (* pull the true second-smallest up into vmin *)
+          let first = summary.vmin in
+          let next = index t first t.clusters.(first).vmin in
+          t.vmin <- next;
+          next
+        end
+        else x
+      in
+      let h = high t x and l = low t x in
+      if mem t.clusters.(h) l then begin
+        delete t.clusters.(h) l;
+        if t.clusters.(h).vmin < 0 then delete summary h;
+        if x = t.vmax then
+          if summary.vmin < 0 then t.vmax <- t.vmin
+          else
+            let top = summary.vmax in
+            t.vmax <- index t top t.clusters.(top).vmax
+      end
+      else if x = t.vmax then begin
+        (* vmax duplicated vmin-side bookkeeping: recompute *)
+        if summary.vmin < 0 then t.vmax <- t.vmin
+        else
+          let top = summary.vmax in
+          t.vmax <- index t top t.clusters.(top).vmax
+      end
+    end
+
+let min_elt t = if t.vmin < 0 then None else Some t.vmin
+let max_elt t = if t.vmin < 0 then None else Some t.vmax
+
+let rec successor t x =
+  if t.bits = 1 then
+    if x = 0 && t.vmax = 1 then Some 1 else None
+  else if t.vmin >= 0 && x < t.vmin then Some t.vmin
+  else
+    let h = high t x and l = low t x in
+    let c = t.clusters.(h) in
+    if c.vmin >= 0 && l < c.vmax then
+      Option.map (fun l' -> index t h l') (successor c l)
+    else
+      match Option.get t.summary |> fun s -> successor s h with
+      | None -> None
+      | Some h' -> Some (index t h' t.clusters.(h').vmin)
+
+let rec predecessor t x =
+  if t.bits = 1 then
+    if x = 1 && t.vmin = 0 then Some 0 else None
+  else if t.vmax >= 0 && x > t.vmax then Some t.vmax
+  else
+    let h = high t x and l = low t x in
+    let c = t.clusters.(h) in
+    if c.vmin >= 0 && l > c.vmin then
+      Option.map (fun l' -> index t h l') (predecessor c l)
+    else
+      match Option.get t.summary |> fun s -> predecessor s h with
+      | Some h' -> Some (index t h' t.clusters.(h').vmax)
+      | None -> if t.vmin >= 0 && x > t.vmin then Some t.vmin else None
+
+let insert t x =
+  if x < 0 || x >= universe t then invalid_arg "Veb.insert: out of range";
+  insert t x
+
+let delete t x = if x >= 0 && x < universe t then delete t x
+let mem t x = x >= 0 && x < universe t && mem t x

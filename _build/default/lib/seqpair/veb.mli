@@ -1,0 +1,31 @@
+(** Van Emde Boas tree over a bounded integer universe.
+
+    The "efficient model of priority queue" behind the survey's
+    O(G * n log log n) symmetric-feasible evaluation complexity
+    (refs [13], [26]): predecessor/successor queries and updates in
+    O(log log U) over the universe [0, U). Keys here are beta-sequence
+    positions, so U = n. *)
+
+type t
+
+val create : int -> t
+(** [create u] — empty set over universe [0, u). *)
+
+val universe : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+
+val insert : t -> int -> unit
+(** No-op if present. Raises [Invalid_argument] if out of range. *)
+
+val delete : t -> int -> unit
+(** No-op if absent. *)
+
+val min_elt : t -> int option
+val max_elt : t -> int option
+
+val predecessor : t -> int -> int option
+(** Greatest member strictly below the key. *)
+
+val successor : t -> int -> int option
+(** Least member strictly above the key. *)

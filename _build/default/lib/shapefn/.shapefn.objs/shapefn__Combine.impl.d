@@ -1,0 +1,1 @@
+lib/shapefn/combine.ml: Enumerate Esf Geometry List Netlist Prelude Shape Shape_fn Sys

@@ -1,0 +1,1 @@
+lib/shapefn/combine.mli: Geometry Netlist Shape Shape_fn

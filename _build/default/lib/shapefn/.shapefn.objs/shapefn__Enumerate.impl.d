@@ -1,0 +1,1 @@
+lib/shapefn/enumerate.ml: Bstar Constraints Geometry List Netlist Option Outline Prelude Rect Shape Shape_fn Transform

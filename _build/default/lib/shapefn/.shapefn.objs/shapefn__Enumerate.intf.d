@@ -1,0 +1,1 @@
+lib/shapefn/enumerate.mli: Constraints Netlist Shape_fn

@@ -1,0 +1,1 @@
+lib/shapefn/esf.ml: Bstar Geometry List Option Rect Shape Transform

@@ -1,0 +1,1 @@
+lib/shapefn/esf.mli: Shape

@@ -1,0 +1,1 @@
+lib/shapefn/shape.ml: Bstar Format Geometry List Orientation Rect Transform

@@ -1,0 +1,1 @@
+lib/shapefn/shape.mli: Bstar Format Geometry

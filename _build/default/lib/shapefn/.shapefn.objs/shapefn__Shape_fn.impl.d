@@ -1,0 +1,1 @@
+lib/shapefn/shape_fn.ml: Array Float Format Int List Shape

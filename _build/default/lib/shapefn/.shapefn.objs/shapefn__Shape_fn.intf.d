@@ -1,0 +1,1 @@
+lib/shapefn/shape_fn.mli: Format Shape

@@ -1,0 +1,106 @@
+module H = Netlist.Hierarchy
+
+type mode = Esf | Rsf
+
+type result = {
+  shape_fn : Shape_fn.t;
+  best : Shape.t;
+  placed : Geometry.Transform.placed list;
+  area_usage : float;
+  seconds : float;
+}
+
+let default_cap = 32
+
+let add_fns ~mode ~cap f1 f2 =
+  (* ESF additions are a strict superset of the bounding-box sums: a
+     tree merge can interleave (Fig. 7) but can also land under an
+     overhang and come out worse, so the plain abutments stay in the
+     candidate set and the Pareto prune picks per point. *)
+  let adds s1 s2 =
+    match mode with
+    | Esf ->
+        [
+          Esf.esf_hadd s1 s2;
+          Esf.esf_vadd s1 s2;
+          Esf.rsf_hadd s1 s2;
+          Esf.rsf_vadd s1 s2;
+        ]
+    | Rsf -> [ Esf.rsf_hadd s1 s2; Esf.rsf_vadd s1 s2 ]
+  in
+  let sums =
+    List.concat_map
+      (fun s1 -> List.concat_map (fun s2 -> adds s1 s2) (Shape_fn.shapes f2))
+      (Shape_fn.shapes f1)
+  in
+  Shape_fn.of_shapes ~cap sums
+
+let is_leaf = function H.Leaf _ -> true | H.Node _ -> false
+
+(* In RSF mode shapes are rigid boxes all the way up. *)
+let to_mode ~mode fn =
+  match mode with
+  | Esf -> fn
+  | Rsf ->
+      Shape_fn.of_shapes
+        (List.map
+           (fun s -> Shape.of_rigid (Shape.realize s))
+           (Shape_fn.shapes fn))
+
+let module_fn circuit c =
+  let w, h = Netlist.Circuit.dims circuit c in
+  let shapes =
+    if w = h then [ Shape.of_module ~cell:c ~w ~h ~rotated:false ]
+    else
+      [
+        Shape.of_module ~cell:c ~w ~h ~rotated:false;
+        Shape.of_module ~cell:c ~w ~h ~rotated:true;
+      ]
+  in
+  Shape_fn.of_shapes shapes
+
+let shape_function ?(cap = default_cap) ~mode circuit hierarchy =
+  let dims = Netlist.Circuit.dims circuit in
+  let rec fn_of node =
+    match node with
+    | H.Leaf c -> to_mode ~mode (module_fn circuit c)
+    | H.Node { kind; children; _ } when List.for_all is_leaf children ->
+        let cells = H.leaves node in
+        to_mode ~mode (Enumerate.of_basic_set ~cap ~dims ~kind cells)
+    | H.Node { kind; children; _ } -> (
+        let child_fns = List.map fn_of children in
+        let combined =
+          match child_fns with
+          | [] -> invalid_arg "Combine.shape_function: empty node"
+          | first :: rest ->
+              List.fold_left (fun acc f -> add_fns ~mode ~cap acc f) first rest
+        in
+        (* Rigid-freeze hierarchical symmetry so later additions cannot
+           tear the island apart. *)
+        match kind with
+        | H.Symmetry ->
+            Shape_fn.of_shapes ~cap
+              (List.map
+                 (fun s -> Shape.of_rigid (Shape.realize s))
+                 (Shape_fn.shapes combined))
+        | H.Free | H.Proximity | H.Common_centroid -> combined)
+  in
+  fn_of hierarchy
+
+let place ?(cap = default_cap) ~mode circuit hierarchy =
+  (match
+     H.validate hierarchy ~n_modules:(Netlist.Circuit.size circuit)
+   with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Combine.place: " ^ msg));
+  let t0 = Sys.time () in
+  let shape_fn = shape_function ~cap ~mode circuit hierarchy in
+  let best = Shape_fn.min_area shape_fn in
+  let placed = Shape.realize best in
+  let seconds = Sys.time () -. t0 in
+  let area_usage =
+    Prelude.Stats.percent
+      (float_of_int (Shape.area best))
+      (float_of_int (Netlist.Circuit.total_module_area circuit))
+  in
+  { shape_fn; best; placed; area_usage; seconds }

@@ -1,0 +1,52 @@
+(** The deterministic hierarchically-bounded-enumeration placer
+    (survey §IV, ref [25]).
+
+    Two steps, exactly as the survey describes: (1) enumerate all
+    placements of every basic module set into shape functions;
+    (2) combine the shape functions bottom-up along the hierarchy tree,
+    trying both addition directions for every shape pair and pruning to
+    the Pareto front. The mode selects the addition algebra:
+
+    - [Rsf]: bounding-box additions (regular shape functions);
+    - [Esf]: B*-tree-merge additions (enhanced shape functions), which
+      interleave placements and find more compact results at higher
+      computational cost — the trade-off Table I quantifies.
+
+    The capacity bound [cap] keeps combination polynomial; it applies
+    identically to both modes so the comparison stays fair. *)
+
+type mode = Esf | Rsf
+
+type result = {
+  shape_fn : Shape_fn.t;  (** the root shape function *)
+  best : Shape.t;  (** minimum-area root shape *)
+  placed : Geometry.Transform.placed list;  (** realized best placement *)
+  area_usage : float;
+      (** bounding-rect area of [best] / total module area, in percent
+          (Table I's "area usage") *)
+  seconds : float;  (** CPU time of the whole run *)
+}
+
+val default_cap : int
+
+val shape_function :
+  ?cap:int ->
+  mode:mode ->
+  Netlist.Circuit.t ->
+  Netlist.Hierarchy.t ->
+  Shape_fn.t
+(** The root shape function only (used for the Fig. 8 curves). *)
+
+val place :
+  ?cap:int ->
+  mode:mode ->
+  Netlist.Circuit.t ->
+  Netlist.Hierarchy.t ->
+  result
+(** Raises [Invalid_argument] if the hierarchy does not cover the
+    circuit exactly once.
+
+    Hierarchical symmetry above the basic-set level is kept rigid: a
+    symmetry node's children are combined and the node's best shapes
+    enter the parent as rigid blocks, so enumerated islands are never
+    torn apart by later repacking. *)

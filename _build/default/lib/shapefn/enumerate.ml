@@ -1,0 +1,146 @@
+open Geometry
+
+let max_exhaustive = 6
+
+let trees_for cells =
+  let n = List.length cells in
+  if n <= max_exhaustive then Bstar.Count.enumerate_trees cells
+  else begin
+    (* sampled stand-in for very large basic sets; seeded for
+       reproducibility *)
+    let rng = Prelude.Rng.create (17 * n) in
+    List.init 20_000 (fun _ -> Bstar.Tree.random rng cells)
+  end
+
+(* All rotation assignments for the cells: bitmask over the cells whose
+   dimensions actually change under rotation. *)
+let rotation_choices dims cells =
+  let rotatable = List.filter (fun c -> let w, h = dims c in w <> h) cells in
+  let k = List.length rotatable in
+  let k = min k 12 (* cap the mask width; beyond this sets are sampled anyway *) in
+  let rotatable = List.filteri (fun i _ -> i < k) rotatable in
+  List.init (1 lsl k) (fun mask ->
+      List.filteri (fun i _ -> mask land (1 lsl i) <> 0) rotatable)
+
+let oriented_dims dims rotated c =
+  let w, h = dims c in
+  if List.mem c rotated then (h, w) else (w, h)
+
+let shapes_of_trees ~dims cells ~keep trees =
+  let rotations = rotation_choices dims cells in
+  List.concat_map
+    (fun tree ->
+      List.filter_map
+        (fun rotated ->
+          let d = oriented_dims dims rotated in
+          let rects = Bstar.Tree.pack_rects tree d in
+          if keep rects then
+            let bbox = Rect.bbox_of_list (List.map snd rects) in
+            Some
+              {
+                Shape.w = Rect.x_max bbox;
+                h = Rect.y_max bbox;
+                payload =
+                  Shape.Btree
+                    {
+                      tree;
+                      dims = List.map (fun c -> (c, d c)) cells;
+                      rigid = [];
+                    };
+              }
+          else None)
+        rotations)
+    trees
+
+let free_set ?cap ~dims cells =
+  Shape_fn.of_shapes ?cap
+    (shapes_of_trees ~dims cells ~keep:(fun _ -> true) (trees_for cells))
+
+let proximity_set ?cap ~dims cells =
+  let keep rects = Outline.connected (List.map snd rects) in
+  let shapes = shapes_of_trees ~dims cells ~keep (trees_for cells) in
+  match shapes with
+  | [] -> free_set ?cap ~dims cells
+  | _ -> Shape_fn.of_shapes ?cap shapes
+
+(* Symmetry islands: enumerate half-trees over representatives + selfs,
+   keeping those where every self lies on the root's right chain, and
+   mirror. Rotations apply to representatives and selfs alike. *)
+let symmetric_set ?cap ~dims (grp : Constraints.Symmetry_group.t) =
+  let reps = List.map snd grp.Constraints.Symmetry_group.pairs in
+  let selfs = grp.Constraints.Symmetry_group.selfs in
+  let half_cells = reps @ selfs in
+  let trees = trees_for half_cells in
+  let rotations = rotation_choices dims half_cells in
+  let shapes =
+    List.concat_map
+      (fun tree ->
+        match Bstar.Asf.of_tree grp tree with
+        | exception Invalid_argument _ -> []
+        | asf ->
+            List.map
+              (fun rotated ->
+                let d c =
+                  (* a pair's left cell inherits the representative's
+                     chosen orientation *)
+                  let rep =
+                    List.find_map
+                      (fun (l, r) ->
+                        if l = c then Some r else None)
+                      grp.Constraints.Symmetry_group.pairs
+                  in
+                  oriented_dims dims rotated (Option.value rep ~default:c)
+                in
+                let island = Bstar.Asf.pack asf d in
+                Shape.of_rigid island.Bstar.Asf.placed)
+              rotations)
+      trees
+  in
+  Shape_fn.of_shapes ?cap shapes
+
+let centroid_set ?cap ~dims cells =
+  match Bstar.Centroid.place ~cells dims with
+  | Error _ -> None
+  | Ok horizontal ->
+      let transpose placed =
+        List.map
+          (fun (p : Transform.placed) ->
+            let r = p.Transform.rect in
+            {
+              p with
+              Transform.rect =
+                Rect.make ~x:r.Rect.y ~y:r.Rect.x ~w:r.Rect.h ~h:r.Rect.w;
+            })
+          placed
+      in
+      Some
+        (Shape_fn.of_shapes ?cap
+           [ Shape.of_rigid horizontal; Shape.of_rigid (transpose horizontal) ])
+
+let rec pair_up = function
+  | a :: b :: rest ->
+      let ps, ss = pair_up rest in
+      ((a, b) :: ps, ss)
+  | [ a ] -> ([], [ a ])
+  | [] -> ([], [])
+
+let of_basic_set ?cap ~dims ~kind cells =
+  match kind with
+  | Netlist.Hierarchy.Free -> free_set ?cap ~dims cells
+  | Netlist.Hierarchy.Proximity -> proximity_set ?cap ~dims cells
+  | Netlist.Hierarchy.Common_centroid -> (
+      match centroid_set ?cap ~dims cells with
+      | Some fn -> fn
+      | None -> free_set ?cap ~dims cells)
+  | Netlist.Hierarchy.Symmetry -> (
+      let pairs, selfs = pair_up cells in
+      let matched =
+        List.for_all (fun (a, b) -> dims a = dims b) pairs
+      in
+      if not matched then free_set ?cap ~dims cells
+      else
+        match
+          Constraints.Symmetry_group.make ~name:"basic" ~pairs ~selfs ()
+        with
+        | exception Invalid_argument _ -> free_set ?cap ~dims cells
+        | grp -> symmetric_set ?cap ~dims grp)

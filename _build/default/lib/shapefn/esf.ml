@@ -1,0 +1,91 @@
+open Geometry
+
+let rsf_add ~horizontal a b =
+  let pa = Shape.realize a in
+  let dx, dy = if horizontal then (a.Shape.w, 0) else (0, a.Shape.h) in
+  let pb = List.map (fun p -> Transform.translate p ~dx ~dy) (Shape.realize b) in
+  Shape.of_rigid (pa @ pb)
+
+let rsf_hadd a b = rsf_add ~horizontal:true a b
+let rsf_vadd a b = rsf_add ~horizontal:false a b
+
+(* Pseudo-cell ids for rigid blocks embedded in ESF trees; real module
+   indices stay far below this range. *)
+let pseudo_counter = ref 1_000_000
+
+let next_pseudo () =
+  incr pseudo_counter;
+  !pseudo_counter
+
+let wrap_rigid s =
+  match s.Shape.payload with
+  | Shape.Btree _ -> s
+  | Shape.Boxes placed ->
+      let id = next_pseudo () in
+      {
+        s with
+        Shape.payload =
+          Shape.Btree
+            {
+              tree = Bstar.Tree.leaf id;
+              dims = [ (id, (s.Shape.w, s.Shape.h)) ];
+              rigid = [ (id, placed) ];
+            };
+      }
+
+let rec bottom_spine_end t =
+  match t.Bstar.Tree.left with
+  | None -> t.Bstar.Tree.cell
+  | Some l -> bottom_spine_end l
+
+let rec left_column_end t =
+  match t.Bstar.Tree.right with
+  | None -> t.Bstar.Tree.cell
+  | Some r -> left_column_end r
+
+let rec graft t ~at ~sub ~side =
+  if t.Bstar.Tree.cell = at then
+    match side with
+    | `Left ->
+        assert (t.Bstar.Tree.left = None);
+        { t with Bstar.Tree.left = Some sub }
+    | `Right ->
+        assert (t.Bstar.Tree.right = None);
+        { t with Bstar.Tree.right = Some sub }
+  else
+    {
+      t with
+      Bstar.Tree.left = Option.map (fun l -> graft l ~at ~sub ~side) t.Bstar.Tree.left;
+      Bstar.Tree.right = Option.map (fun r -> graft r ~at ~sub ~side) t.Bstar.Tree.right;
+    }
+
+let esf_add ~horizontal a b =
+  let a = wrap_rigid a and b = wrap_rigid b in
+  match (a.Shape.payload, b.Shape.payload) with
+  | Shape.Btree ta, Shape.Btree tb ->
+      let tree =
+        if horizontal then
+          graft ta.tree ~at:(bottom_spine_end ta.tree) ~sub:tb.tree ~side:`Left
+        else
+          graft ta.tree ~at:(left_column_end ta.tree) ~sub:tb.tree ~side:`Right
+      in
+      let dims = ta.dims @ tb.dims in
+      let rigid = ta.rigid @ tb.rigid in
+      let lookup c =
+        match List.assoc_opt c dims with
+        | Some d -> d
+        | None -> invalid_arg "Esf.esf_add: missing cell dimensions"
+      in
+      let rects = Bstar.Tree.pack_rects tree lookup in
+      let bbox = Rect.bbox_of_list (List.map snd rects) in
+      {
+        Shape.w = Rect.x_max bbox;
+        h = Rect.y_max bbox;
+        payload = Shape.Btree { tree; dims; rigid };
+      }
+  | (Shape.Boxes _ | Shape.Btree _), _ ->
+      (* unreachable: wrap_rigid guarantees Btree payloads *)
+      assert false
+
+let esf_hadd a b = esf_add ~horizontal:true a b
+let esf_vadd a b = esf_add ~horizontal:false a b

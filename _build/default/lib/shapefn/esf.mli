@@ -1,0 +1,30 @@
+(** Shape additions (survey §IV-A, Fig. 7).
+
+    Combining two module groups side by side (horizontal addition) or
+    stacked (vertical addition):
+
+    - {b RSF} addition abuts the bounding rectangles:
+      [(w1+w2, max h1 h2)] and [(max w1 w2, h1+h2)];
+    - {b ESF} addition splices the second shape's B*-tree onto the
+      first's bottom spine (horizontal) or left-column spine (vertical)
+      and {e repacks}, so the placements interleave — the resulting
+      width can be [w_imp] smaller than the bounding-box sum, which is
+      exactly the effect of the survey's Fig. 7.
+
+    Additions never mutate their arguments. *)
+
+val rsf_hadd : Shape.t -> Shape.t -> Shape.t
+val rsf_vadd : Shape.t -> Shape.t -> Shape.t
+
+val esf_hadd : Shape.t -> Shape.t -> Shape.t
+(** Tree-merge addition; rigid ([Boxes]) operands are wrapped as
+    pseudo-cells first. The result satisfies
+    [w <= w1 + w2 && h >= max h1 h2 - slack] — in general it is the
+    exact packed size of the merged tree. *)
+
+val esf_vadd : Shape.t -> Shape.t -> Shape.t
+
+val wrap_rigid : Shape.t -> Shape.t
+(** Any shape as a single rigid pseudo-cell B*-tree shape (used to
+    embed symmetry islands and common-centroid patterns into ESF
+    trees). *)

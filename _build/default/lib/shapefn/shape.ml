@@ -1,0 +1,67 @@
+open Geometry
+
+type payload =
+  | Boxes of Transform.placed list
+  | Btree of {
+      tree : Bstar.Tree.t;
+      dims : (int * (int * int)) list;
+      rigid : (int * Transform.placed list) list;
+    }
+
+type t = { w : int; h : int; payload : payload }
+
+let area s = s.w * s.h
+
+let of_module ~cell ~w ~h ~rotated =
+  let w, h = if rotated then (h, w) else (w, h) in
+  {
+    w;
+    h;
+    payload =
+      Btree { tree = Bstar.Tree.leaf cell; dims = [ (cell, (w, h)) ]; rigid = [] };
+  }
+
+let normalize placed =
+  match placed with
+  | [] -> []
+  | _ ->
+      let bbox =
+        Rect.bbox_of_list (List.map (fun p -> p.Transform.rect) placed)
+      in
+      List.map
+        (fun p -> Transform.translate p ~dx:(-bbox.Rect.x) ~dy:(-bbox.Rect.y))
+        placed
+
+let of_rigid placed =
+  let placed = normalize placed in
+  match placed with
+  | [] -> { w = 0; h = 0; payload = Boxes [] }
+  | _ ->
+      let bbox =
+        Rect.bbox_of_list (List.map (fun p -> p.Transform.rect) placed)
+      in
+      { w = Rect.x_max bbox; h = Rect.y_max bbox; payload = Boxes placed }
+
+let realize s =
+  match s.payload with
+  | Boxes placed -> placed
+  | Btree { tree; dims; rigid } ->
+      let lookup c =
+        match List.assoc_opt c dims with
+        | Some d -> d
+        | None -> invalid_arg "Shape.realize: missing cell dimensions"
+      in
+      let packed = Bstar.Tree.pack_rects tree lookup in
+      List.concat_map
+        (fun (c, (r : Rect.t)) ->
+          match List.assoc_opt c rigid with
+          | Some inner ->
+              List.map
+                (fun p -> Transform.translate p ~dx:r.Rect.x ~dy:r.Rect.y)
+                inner
+          | None ->
+              [ { Transform.cell = c; rect = r; orient = Orientation.R0 } ])
+        packed
+
+let dominates a b = a.w <= b.w && a.h <= b.h
+let pp ppf s = Format.fprintf ppf "%dx%d" s.w s.h

@@ -1,0 +1,48 @@
+(** Shapes: one realizable placement of a module group.
+
+    A shape is a bounding box [(w, h)] plus the data needed to rebuild
+    the placement it stands for:
+
+    - {b RSF} shapes (regular shape functions, Otten, survey ref [23])
+      carry the finished sub-placement as a rigid box — additions only
+      ever abut bounding boxes;
+    - {b ESF} shapes (enhanced shape functions, survey §IV, ref [25])
+      carry the B*-tree and the chosen cell dimensions, so additions
+      can merge trees and let the packings interleave (Fig. 7).
+
+    Rigid blocks (symmetry islands, common-centroid patterns) appear
+    inside ESF trees as pseudo-cells with attached sub-placements. *)
+
+type payload =
+  | Boxes of Geometry.Transform.placed list
+      (** a rigid placement with origin (0,0) *)
+  | Btree of {
+      tree : Bstar.Tree.t;
+      dims : (int * (int * int)) list;
+          (** oriented dimensions per tree cell (real or pseudo) *)
+      rigid : (int * Geometry.Transform.placed list) list;
+          (** pseudo-cell id -> its internal placement *)
+    }
+
+type t = { w : int; h : int; payload : payload }
+
+val area : t -> int
+
+val of_module : cell:int -> w:int -> h:int -> rotated:bool -> t
+(** Single-module shape ([Btree] with one node); [rotated] swaps the
+    stored dimensions. *)
+
+val of_rigid : Geometry.Transform.placed list -> t
+(** RSF-style rigid shape of a finished placement (normalized to the
+    origin). *)
+
+val realize : t -> Geometry.Transform.placed list
+(** Rebuild the concrete placement: pack the B*-tree (if any) and
+    splice rigid blocks. Module placements only — pseudo-cells are
+    expanded. *)
+
+val dominates : t -> t -> bool
+(** [dominates a b]: a is no larger in either dimension (so [b] is
+    redundant in a shape function if [a] is present and [a <> b]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+type t = Shape.t list (* sorted by w increasing, h strictly decreasing *)
+
+let prune_sorted sorted =
+  (* sorted by (w asc, h asc): keep a shape iff its height is strictly
+     below every kept shape so far (those have smaller-or-equal
+     width). *)
+  let rec go best_h acc = function
+    | [] -> List.rev acc
+    | (s : Shape.t) :: rest ->
+        if s.Shape.h < best_h then go s.Shape.h (s :: acc) rest
+        else go best_h acc rest
+  in
+  go max_int [] sorted
+
+let thin cap front =
+  let n = List.length front in
+  if n <= cap then front
+  else
+    let arr = Array.of_list front in
+    let must_keep =
+      (* min width = first, min height = last, min area *)
+      let min_area_idx = ref 0 in
+      Array.iteri
+        (fun i s ->
+          if Shape.area s < Shape.area arr.(!min_area_idx) then
+            min_area_idx := i)
+        arr;
+      [ 0; n - 1; !min_area_idx ]
+    in
+    let step = float_of_int (n - 1) /. float_of_int (max 1 (cap - 1)) in
+    let picked =
+      List.init cap (fun k -> int_of_float (Float.round (float_of_int k *. step)))
+      @ must_keep
+      |> List.sort_uniq Int.compare
+    in
+    List.map (fun i -> arr.(i)) picked
+
+let of_shapes ?cap shapes =
+  if shapes = [] then invalid_arg "Shape_fn.of_shapes: empty";
+  let sorted =
+    List.sort
+      (fun (a : Shape.t) (b : Shape.t) ->
+        let c = Int.compare a.Shape.w b.Shape.w in
+        if c <> 0 then c else Int.compare a.Shape.h b.Shape.h)
+      shapes
+  in
+  let front = prune_sorted sorted in
+  match cap with Some c -> thin c front | None -> front
+
+let shapes t = t
+let cardinal = List.length
+
+let min_area = function
+  | [] -> invalid_arg "Shape_fn.min_area: empty"
+  | first :: rest ->
+      List.fold_left
+        (fun best s -> if Shape.area s < Shape.area best then s else best)
+        first rest
+
+let best_within ?(max_w = max_int) ?(max_h = max_int) t =
+  List.filter (fun (s : Shape.t) -> s.Shape.w <= max_w && s.Shape.h <= max_h) t
+  |> function
+  | [] -> None
+  | fits -> Some (min_area fits)
+
+let points t = List.map (fun (s : Shape.t) -> (s.Shape.w, s.Shape.h)) t
+let merge ?cap a b = of_shapes ?cap (a @ b)
+
+let dominates_fn a b =
+  List.for_all
+    (fun (sb : Shape.t) ->
+      List.exists (fun (sa : Shape.t) -> Shape.dominates sa sb) a)
+    b
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Shape.pp)
+    t

@@ -1,0 +1,42 @@
+(** Shape functions: Pareto fronts of realizable shapes.
+
+    A shape function is the set of non-redundant (width, height) points
+    a module group can realize — "placements which have a greater
+    height, while having the same or even a greater width than some
+    other shape are redundant and therefore removed" (survey §IV-A).
+    Kept sorted by increasing width (hence strictly decreasing
+    height). A capacity bound thins dense fronts to keep the
+    deterministic placer polynomial; the minimum-area, minimum-width
+    and minimum-height shapes always survive thinning. *)
+
+type t
+
+val of_shapes : ?cap:int -> Shape.t list -> t
+(** Prune dominated and duplicate shapes; raises [Invalid_argument] on
+    the empty list. Default [cap] is unlimited. *)
+
+val shapes : t -> Shape.t list
+(** Increasing width, decreasing height. *)
+
+val cardinal : t -> int
+
+val min_area : t -> Shape.t
+
+val best_within : ?max_w:int -> ?max_h:int -> t -> Shape.t option
+(** Minimum-area shape honoring a fixed outline — the "pre-defined
+    layout aspect ratio, or a maximum width or height" restriction of
+    the survey's §V geometric constraints, applied to shape functions.
+    [None] when no front point fits. *)
+
+val points : t -> (int * int) list
+(** The (w, h) Pareto points (for plotting Fig. 8). *)
+
+val merge : ?cap:int -> t -> t -> t
+(** Union of two fronts over the same module group (e.g. from the two
+    addition directions), re-pruned. *)
+
+val dominates_fn : t -> t -> bool
+(** Every shape of the second front is (weakly) dominated by some shape
+    of the first. *)
+
+val pp : Format.formatter -> t -> unit

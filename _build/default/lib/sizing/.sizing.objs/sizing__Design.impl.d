@@ -1,0 +1,1 @@
+lib/sizing/design.ml: Float Format Mos Prelude

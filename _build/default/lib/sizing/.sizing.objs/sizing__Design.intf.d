@@ -1,0 +1,1 @@
+lib/sizing/design.mli: Format Mos Prelude

@@ -1,0 +1,1 @@
+lib/sizing/extract.ml: Design List Mos Perf Template

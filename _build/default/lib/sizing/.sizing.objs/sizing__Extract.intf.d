@@ -1,0 +1,1 @@
+lib/sizing/extract.mli: Design Perf Template

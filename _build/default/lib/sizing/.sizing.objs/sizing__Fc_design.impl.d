@@ -1,0 +1,1 @@
+lib/sizing/fc_design.ml: Float Format Mos Prelude

@@ -1,0 +1,1 @@
+lib/sizing/fc_design.mli: Format Mos Prelude

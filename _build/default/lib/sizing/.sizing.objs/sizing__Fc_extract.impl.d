@@ -1,0 +1,1 @@
+lib/sizing/fc_extract.ml: Extract Fc_design List Mos Perf Template

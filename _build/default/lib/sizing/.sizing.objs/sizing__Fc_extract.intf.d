@@ -1,0 +1,1 @@
+lib/sizing/fc_extract.mli: Fc_design Perf Template

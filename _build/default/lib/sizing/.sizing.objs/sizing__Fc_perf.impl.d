@@ -1,0 +1,1 @@
+lib/sizing/fc_perf.ml: Complex Fc_design Float Mos Perf

@@ -1,0 +1,1 @@
+lib/sizing/fc_perf.mli: Fc_design Perf Spec

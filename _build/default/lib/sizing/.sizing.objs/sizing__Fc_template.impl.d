@@ -1,0 +1,1 @@
+lib/sizing/fc_template.ml: Fc_design Float Geometry List Mos Rect String Template

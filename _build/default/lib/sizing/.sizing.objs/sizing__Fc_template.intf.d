@@ -1,0 +1,1 @@
+lib/sizing/fc_template.mli: Fc_design Template

@@ -1,0 +1,1 @@
+lib/sizing/flow.ml: Anneal Design Extract Fc_design Fc_extract Fc_perf Fc_template Float Option Perf Prelude Spec Sys Template

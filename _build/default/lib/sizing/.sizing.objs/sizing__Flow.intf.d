@@ -1,0 +1,1 @@
+lib/sizing/flow.mli: Anneal Design Fc_design Perf Prelude Spec Template

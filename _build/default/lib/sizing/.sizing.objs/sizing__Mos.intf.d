@@ -1,0 +1,1 @@
+lib/sizing/mos.mli:

@@ -1,0 +1,1 @@
+lib/sizing/perf.ml: Complex Design Float Mos

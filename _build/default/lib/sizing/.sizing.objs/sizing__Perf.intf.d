@@ -1,0 +1,1 @@
+lib/sizing/perf.mli: Design Spec

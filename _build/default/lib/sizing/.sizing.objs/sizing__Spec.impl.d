@@ -1,0 +1,1 @@
+lib/sizing/spec.ml: Float Format List Option

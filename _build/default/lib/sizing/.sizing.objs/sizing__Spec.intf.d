@@ -1,0 +1,1 @@
+lib/sizing/spec.mli: Format

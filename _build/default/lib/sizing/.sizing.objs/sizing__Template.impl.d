@@ -1,0 +1,1 @@
+lib/sizing/template.ml: Design Float Geometry List Mos Rect String

@@ -1,0 +1,1 @@
+lib/sizing/template.mli: Design Geometry

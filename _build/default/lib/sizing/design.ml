@@ -1,0 +1,91 @@
+type t = {
+  dp : Mos.geometry;
+  load : Mos.geometry;
+  tail : Mos.geometry;
+  bias : Mos.geometry;
+  stage2 : Mos.geometry;
+  src2 : Mos.geometry;
+  cc : float;
+  ibias : float;
+}
+
+let um = 1e-6
+
+let default =
+  {
+    dp = { Mos.w = 40.0 *. um; l = 0.5 *. um; folds = 1 };
+    load = { Mos.w = 10.0 *. um; l = 1.0 *. um; folds = 1 };
+    tail = { Mos.w = 20.0 *. um; l = 1.0 *. um; folds = 1 };
+    bias = { Mos.w = 10.0 *. um; l = 1.0 *. um; folds = 1 };
+    stage2 = { Mos.w = 60.0 *. um; l = 0.5 *. um; folds = 1 };
+    src2 = { Mos.w = 40.0 *. um; l = 1.0 *. um; folds = 1 };
+    cc = 1.0e-12;
+    ibias = 20e-6;
+  }
+
+(* Variable ranges keeping the square-law model in a sensible regime. *)
+let w_range = (1.0 *. um, 500.0 *. um)
+let l_range = (0.18 *. um, 4.0 *. um)
+let cc_range = (0.2e-12, 10e-12)
+let ib_range = (2e-6, 200e-6)
+
+let clamp (lo, hi) v = Float.max lo (Float.min hi v)
+
+let lognormal_step rng v range =
+  clamp range (v *. exp (0.25 *. Prelude.Rng.gaussian rng))
+
+let step_folds rng (g : Mos.geometry) =
+  let delta = if Prelude.Rng.bool rng then 1 else -1 in
+  { g with Mos.folds = max 1 (min 16 (g.Mos.folds + delta)) }
+
+let perturb rng ?(fold_moves = true) d =
+  let pick = Prelude.Rng.int rng (if fold_moves then 16 else 14) in
+  let step_w (g : Mos.geometry) =
+    { g with Mos.w = lognormal_step rng g.Mos.w w_range }
+  in
+  let step_l (g : Mos.geometry) =
+    { g with Mos.l = lognormal_step rng g.Mos.l l_range }
+  in
+  match pick with
+  | 0 -> { d with dp = step_w d.dp }
+  | 1 -> { d with dp = step_l d.dp }
+  | 2 -> { d with load = step_w d.load }
+  | 3 -> { d with load = step_l d.load }
+  | 4 -> { d with tail = step_w d.tail }
+  | 5 -> { d with tail = step_l d.tail }
+  | 6 -> { d with bias = step_w d.bias }
+  | 7 -> { d with bias = step_l d.bias }
+  | 8 -> { d with stage2 = step_w d.stage2 }
+  | 9 -> { d with stage2 = step_l d.stage2 }
+  | 10 -> { d with src2 = step_w d.src2 }
+  | 11 -> { d with src2 = step_l d.src2 }
+  | 12 -> { d with cc = lognormal_step rng d.cc cc_range }
+  | 13 -> { d with ibias = lognormal_step rng d.ibias ib_range }
+  | 14 ->
+      (* fold move on a random folding-relevant device *)
+      (match Prelude.Rng.int rng 3 with
+      | 0 -> { d with dp = step_folds rng d.dp }
+      | 1 -> { d with stage2 = step_folds rng d.stage2 }
+      | _ -> { d with src2 = step_folds rng d.src2 })
+  | _ -> (
+      match Prelude.Rng.int rng 3 with
+      | 0 -> { d with load = step_folds rng d.load }
+      | 1 -> { d with tail = step_folds rng d.tail }
+      | _ -> { d with bias = step_folds rng d.bias })
+
+let ratio (a : Mos.geometry) (b : Mos.geometry) =
+  a.Mos.w /. a.Mos.l /. (b.Mos.w /. b.Mos.l)
+
+let tail_current d = d.ibias *. ratio d.tail d.bias
+let stage2_current d = d.ibias *. ratio d.src2 d.bias
+
+let pp_geo ppf (g : Mos.geometry) =
+  Format.fprintf ppf "W=%.2fu L=%.2fu m=%d" (g.Mos.w /. um) (g.Mos.l /. um)
+    g.Mos.folds
+
+let pp ppf d =
+  Format.fprintf ppf
+    "@[<v>dp: %a@,load: %a@,tail: %a@,bias: %a@,stage2: %a@,src2: %a@,\
+     Cc=%.2fpF Ib=%.1fuA@]"
+    pp_geo d.dp pp_geo d.load pp_geo d.tail pp_geo d.bias pp_geo d.stage2
+    pp_geo d.src2 (d.cc *. 1e12) (d.ibias *. 1e6)

@@ -1,0 +1,34 @@
+(** Sizing vector of the two-stage Miller op amp.
+
+    The design variables of the §V flow: channel geometries (including
+    the {e fold counts}, the geometric parameters the survey singles
+    out), the compensation capacitor and the reference current. *)
+
+type t = {
+  dp : Mos.geometry;  (** P1/P2 input differential pair (PMOS) *)
+  load : Mos.geometry;  (** N3/N4 mirror load (NMOS) *)
+  tail : Mos.geometry;  (** P6 tail current source *)
+  bias : Mos.geometry;  (** P5 bias diode *)
+  stage2 : Mos.geometry;  (** N8 second-stage driver *)
+  src2 : Mos.geometry;  (** P7 second-stage current source *)
+  cc : float;  (** Miller compensation capacitor, F *)
+  ibias : float;  (** reference current, A *)
+}
+
+val default : t
+(** A sane textbook starting point. *)
+
+val perturb :
+  Prelude.Rng.t -> ?fold_moves:bool -> t -> t
+(** Multiply one randomly chosen continuous variable by a log-normal
+    step (bounded to the variable's range), or — when [fold_moves] is
+    true (default) — occasionally step one device's fold count by
+    +-1 within [1, 16]. *)
+
+val tail_current : t -> float
+(** Current through the tail source: ibias mirrored by the
+    tail/bias width ratio. *)
+
+val stage2_current : t -> float
+
+val pp : Format.formatter -> t -> unit

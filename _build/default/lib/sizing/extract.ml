@@ -1,0 +1,17 @@
+let wire_cap_per_um = 0.2e-15
+
+let extract (d : Design.t) (inst : Template.instance) =
+  (* net lengths are reported in um; wire_cap_per_um is F per um *)
+  let wire net =
+    match List.assoc_opt net inst.Template.net_length_um with
+    | Some len -> len *. wire_cap_per_um
+    | None -> 0.0
+  in
+  let cdb_n g = Mos.drain_junction Mos.nmos g in
+  let cdb_p g = Mos.drain_junction Mos.pmos g in
+  {
+    Perf.c_x1 = cdb_p d.Design.dp +. cdb_n d.Design.load +. wire "x1";
+    c_x2 = cdb_p d.Design.dp +. cdb_n d.Design.load +. wire "x2";
+    c_out = cdb_n d.Design.stage2 +. cdb_p d.Design.src2 +. wire "out";
+    c_cc_route = 0.5 *. wire "x2";
+  }

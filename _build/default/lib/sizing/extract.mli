@@ -1,0 +1,18 @@
+(** Parasitic extraction over template instances.
+
+    The survey's observation — "extraction within sizing is not as
+    expensive as it has been traditionally considered" — holds because
+    the template fixes the wiring topology: extraction is a handful of
+    closed-form contributions per node:
+
+    - drain-junction capacitance of every device on the node (a
+      function of the device's fold count), and
+    - wiring capacitance proportional to the template's estimated net
+      length.
+
+    The result feeds straight back into {!Perf.evaluate}. *)
+
+val wire_cap_per_um : float
+(** 0.2 fF/um of routed net. *)
+
+val extract : Design.t -> Template.instance -> Perf.parasitics

@@ -1,0 +1,84 @@
+type t = {
+  dp : Mos.geometry;
+  tail : Mos.geometry;
+  src : Mos.geometry;
+  casc_p : Mos.geometry;
+  casc_n : Mos.geometry;
+  mirror : Mos.geometry;
+  bias : Mos.geometry;
+  ibias : float;
+}
+
+let um = 1e-6
+
+let default =
+  {
+    dp = { Mos.w = 60.0 *. um; l = 0.4 *. um; folds = 1 };
+    tail = { Mos.w = 30.0 *. um; l = 1.0 *. um; folds = 1 };
+    src = { Mos.w = 60.0 *. um; l = 0.8 *. um; folds = 1 };
+    casc_p = { Mos.w = 40.0 *. um; l = 0.4 *. um; folds = 1 };
+    casc_n = { Mos.w = 20.0 *. um; l = 0.4 *. um; folds = 1 };
+    mirror = { Mos.w = 20.0 *. um; l = 0.8 *. um; folds = 1 };
+    bias = { Mos.w = 10.0 *. um; l = 1.0 *. um; folds = 1 };
+    ibias = 25e-6;
+  }
+
+let w_range = (1.0 *. um, 500.0 *. um)
+let l_range = (0.18 *. um, 4.0 *. um)
+let ib_range = (2e-6, 200e-6)
+
+let clamp (lo, hi) v = Float.max lo (Float.min hi v)
+
+let lognormal_step rng v range =
+  clamp range (v *. exp (0.25 *. Prelude.Rng.gaussian rng))
+
+let step_w rng (g : Mos.geometry) =
+  { g with Mos.w = lognormal_step rng g.Mos.w w_range }
+
+let step_l rng (g : Mos.geometry) =
+  { g with Mos.l = lognormal_step rng g.Mos.l l_range }
+
+let step_folds rng (g : Mos.geometry) =
+  let delta = if Prelude.Rng.bool rng then 1 else -1 in
+  { g with Mos.folds = max 1 (min 16 (g.Mos.folds + delta)) }
+
+let perturb rng ?(fold_moves = true) d =
+  match Prelude.Rng.int rng (if fold_moves then 16 else 15) with
+  | 0 -> { d with dp = step_w rng d.dp }
+  | 1 -> { d with dp = step_l rng d.dp }
+  | 2 -> { d with tail = step_w rng d.tail }
+  | 3 -> { d with tail = step_l rng d.tail }
+  | 4 -> { d with src = step_w rng d.src }
+  | 5 -> { d with src = step_l rng d.src }
+  | 6 -> { d with casc_p = step_w rng d.casc_p }
+  | 7 -> { d with casc_p = step_l rng d.casc_p }
+  | 8 -> { d with casc_n = step_w rng d.casc_n }
+  | 9 -> { d with casc_n = step_l rng d.casc_n }
+  | 10 -> { d with mirror = step_w rng d.mirror }
+  | 11 -> { d with mirror = step_l rng d.mirror }
+  | 12 -> { d with bias = step_w rng d.bias }
+  | 13 -> { d with bias = step_l rng d.bias }
+  | 14 -> { d with ibias = lognormal_step rng d.ibias ib_range }
+  | _ -> (
+      match Prelude.Rng.int rng 4 with
+      | 0 -> { d with dp = step_folds rng d.dp }
+      | 1 -> { d with src = step_folds rng d.src }
+      | 2 -> { d with casc_p = step_folds rng d.casc_p }
+      | _ -> { d with mirror = step_folds rng d.mirror })
+
+let ratio (a : Mos.geometry) (b : Mos.geometry) =
+  a.Mos.w /. a.Mos.l /. (b.Mos.w /. b.Mos.l)
+
+let tail_current d = d.ibias *. ratio d.tail d.bias
+let branch_current d = tail_current d /. 2.0
+
+let pp_geo ppf (g : Mos.geometry) =
+  Format.fprintf ppf "W=%.2fu L=%.2fu m=%d" (g.Mos.w /. um) (g.Mos.l /. um)
+    g.Mos.folds
+
+let pp ppf d =
+  Format.fprintf ppf
+    "@[<v>dp: %a@,tail: %a@,src: %a@,casc_p: %a@,casc_n: %a@,mirror: %a@,\
+     bias: %a@,Ib=%.1fuA@]"
+    pp_geo d.dp pp_geo d.tail pp_geo d.src pp_geo d.casc_p pp_geo d.casc_n
+    pp_geo d.mirror pp_geo d.bias (d.ibias *. 1e6)

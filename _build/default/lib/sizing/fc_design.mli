@@ -1,0 +1,28 @@
+(** Sizing vector of the folded-cascode OTA.
+
+    The survey's Fig. 10 experiments sized a (fully differential)
+    folded-cascode amplifier; this is the single-ended-output
+    equivalent: NMOS input pair, PMOS folding current sources, PMOS
+    cascodes, NMOS cascode mirror load. *)
+
+type t = {
+  dp : Mos.geometry;  (** input differential pair (NMOS) *)
+  tail : Mos.geometry;  (** tail current source (NMOS) *)
+  src : Mos.geometry;  (** folding current sources (PMOS, top) *)
+  casc_p : Mos.geometry;  (** PMOS cascodes *)
+  casc_n : Mos.geometry;  (** NMOS cascodes *)
+  mirror : Mos.geometry;  (** NMOS mirror at the bottom *)
+  bias : Mos.geometry;  (** bias diode *)
+  ibias : float;  (** reference current, A *)
+}
+
+val default : t
+
+val perturb : Prelude.Rng.t -> ?fold_moves:bool -> t -> t
+(** Log-normal steps on one variable, or a fold-count step. *)
+
+val tail_current : t -> float
+val branch_current : t -> float
+(** Current in each folded branch: sources carry tail/2 + branch. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+let extract (d : Fc_design.t) (inst : Template.instance) =
+  let wire net =
+    match List.assoc_opt net inst.Template.net_length_um with
+    | Some len -> len *. Extract.wire_cap_per_um
+    | None -> 0.0
+  in
+  {
+    Perf.c_x1 =
+      Mos.drain_junction Mos.nmos d.Fc_design.dp
+      +. Mos.drain_junction Mos.pmos d.Fc_design.src
+      +. wire "x1";
+    c_x2 = 0.0;
+    c_out =
+      Mos.drain_junction Mos.pmos d.Fc_design.casc_p
+      +. Mos.drain_junction Mos.nmos d.Fc_design.casc_n
+      +. wire "out";
+    c_cc_route = 0.0;
+  }

@@ -1,0 +1,7 @@
+(** Parasitic extraction for the folded-cascode template: junction
+    capacitances of the devices on each node plus wiring proportional
+    to the template's net lengths, mapped onto the reinterpreted
+    {!Perf.parasitics} fields ([c_x1] = folding node, [c_out] =
+    output). *)
+
+val extract : Fc_design.t -> Template.instance -> Perf.parasitics

@@ -1,0 +1,60 @@
+let pi = Float.pi
+
+let evaluate ?(parasitics = Perf.no_parasitics) (env : Perf.env)
+    (d : Fc_design.t) =
+  let i_tail = Fc_design.tail_current d in
+  let i_branch = Fc_design.branch_current d in
+  let dp = Mos.operating_point Mos.nmos d.Fc_design.dp ~id:i_branch in
+  let tail = Mos.operating_point Mos.nmos d.Fc_design.tail ~id:i_tail in
+  (* folding sources carry the input branch plus the cascode branch *)
+  let src = Mos.operating_point Mos.pmos d.Fc_design.src ~id:i_tail in
+  let casc_p = Mos.operating_point Mos.pmos d.Fc_design.casc_p ~id:i_branch in
+  let casc_n = Mos.operating_point Mos.nmos d.Fc_design.casc_n ~id:i_branch in
+  let mirror = Mos.operating_point Mos.nmos d.Fc_design.mirror ~id:i_branch in
+  (* cascoded output resistance *)
+  let r_up =
+    casc_p.Mos.gm /. casc_p.Mos.gds /. (src.Mos.gds +. dp.Mos.gds)
+  in
+  let r_down = casc_n.Mos.gm /. casc_n.Mos.gds /. mirror.Mos.gds in
+  let r_out = r_up *. r_down /. (r_up +. r_down) in
+  let a0_lin = Float.max 1e-9 (dp.Mos.gm *. r_out) in
+  let a0_db = 20.0 *. log10 a0_lin in
+  let c_out = env.Perf.cl +. parasitics.Perf.c_out in
+  let c_fold = casc_p.Mos.cgs +. parasitics.Perf.c_x1 in
+  let p1 = 1.0 /. (2.0 *. pi *. r_out *. c_out) in
+  let p2 = casc_p.Mos.gm /. (2.0 *. pi *. c_fold) in
+  let response f =
+    let open Complex in
+    let pole p = { re = 1.0; im = f /. p } in
+    div { re = a0_lin; im = 0.0 } (mul (pole p1) (pole p2))
+  in
+  let magnitude f = Complex.norm (response f) in
+  let gbw =
+    let lo = ref (Float.max 1.0 p1) and hi = ref 1e12 in
+    if magnitude !lo <= 1.0 then !lo
+    else begin
+      for _ = 1 to 60 do
+        let mid = sqrt (!lo *. !hi) in
+        if magnitude mid > 1.0 then lo := mid else hi := mid
+      done;
+      sqrt (!lo *. !hi)
+    end
+  in
+  let pm = 180.0 +. (Complex.arg (response gbw) *. 180.0 /. pi) in
+  let slew = i_branch /. c_out in
+  let power = env.Perf.vdd *. (d.Fc_design.ibias +. i_tail +. (2.0 *. i_tail)) in
+  let swing =
+    env.Perf.vdd -. src.Mos.vov -. casc_p.Mos.vov -. casc_n.Mos.vov
+    -. mirror.Mos.vov
+  in
+  let vgs_dp = Mos.required_vgs Mos.nmos d.Fc_design.dp ~id:i_branch in
+  let headroom = (env.Perf.vdd /. 2.0) -. (tail.Mos.vov +. vgs_dp -. 0.45) in
+  [
+    ("a0_db", a0_db);
+    ("gbw_mhz", gbw /. 1e6);
+    ("pm_deg", pm);
+    ("slew_vus", slew /. 1e6);
+    ("power_mw", power *. 1e3);
+    ("swing_v", swing);
+    ("headroom_v", headroom);
+  ]

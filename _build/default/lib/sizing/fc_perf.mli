@@ -1,0 +1,12 @@
+(** Analytic performance of the folded-cascode OTA.
+
+    Single-stage cascoded gain, dominant pole at the (high-impedance)
+    output, non-dominant pole at the folding node; evaluated
+    numerically like {!Perf}. The {!Perf.parasitics} record is
+    reinterpreted for this topology's nodes: [c_x1] loads the folding
+    node, [c_out] the output; [c_x2] and [c_cc_route] are unused.
+    Performance keys are identical to {!Perf}, so the same {!Spec}
+    lists apply. *)
+
+val evaluate :
+  ?parasitics:Perf.parasitics -> Perf.env -> Fc_design.t -> Spec.performance

@@ -1,0 +1,84 @@
+open Geometry
+
+let grid um =
+  max 1
+    (int_of_float
+       (Float.round (um *. float_of_int Template.grid_per_um)))
+
+let mos_cell (g : Mos.geometry) =
+  let w_um = g.Mos.w *. 1e6 and l_um = g.Mos.l *. 1e6 in
+  let folds = max 1 g.Mos.folds in
+  let finger = w_um /. float_of_int folds in
+  let pitch = l_um +. 0.8 in
+  (grid (finger +. 1.2), grid ((pitch *. float_of_int folds) +. 0.6))
+
+let generate (d : Fc_design.t) =
+  let dp_w, dp_h = mos_cell d.Fc_design.dp in
+  let tail_w, tail_h = mos_cell d.Fc_design.tail in
+  let src_w, src_h = mos_cell d.Fc_design.src in
+  let cp_w, cp_h = mos_cell d.Fc_design.casc_p in
+  let cn_w, cn_h = mos_cell d.Fc_design.casc_n in
+  let mr_w, mr_h = mos_cell d.Fc_design.mirror in
+  let bias_w, bias_h = mos_cell d.Fc_design.bias in
+  let gap = grid 0.8 in
+  (* mirrored column pairs around the template axis, rows bottom-up *)
+  let row_pair name_l name_r y w h devs =
+    let left = Rect.make ~x:0 ~y ~w ~h in
+    let right = Rect.make ~x:(w + gap) ~y ~w ~h in
+    ({ Template.name = name_l; rect = left }
+     :: { Template.name = name_r; rect = right }
+     :: devs,
+     y + h + gap)
+  in
+  let devs, y = row_pair "MR1" "MR2" 0 mr_w mr_h [] in
+  let devs, y = row_pair "CN1" "CN2" y cn_w cn_h devs in
+  let devs, y = row_pair "P1" "P2" y dp_w dp_h devs in
+  let devs, y = row_pair "CP1" "CP2" y cp_w cp_h devs in
+  let devs, _ = row_pair "SRC1" "SRC2" y src_w src_h devs in
+  (* tail + bias column to the right of the core *)
+  let core_w =
+    List.fold_left (fun acc pd -> max acc (Rect.x_max pd.Template.rect)) 0 devs
+  in
+  let tail_rect = Rect.make ~x:(core_w + gap) ~y:0 ~w:tail_w ~h:tail_h in
+  let bias_rect =
+    Rect.make ~x:(core_w + gap) ~y:(tail_h + gap) ~w:bias_w ~h:bias_h
+  in
+  let devices =
+    List.rev
+      ({ Template.name = "BIAS"; rect = bias_rect }
+      :: { Template.name = "TAIL"; rect = tail_rect }
+      :: devs)
+  in
+  let bbox = Rect.bbox_of_list (List.map (fun pd -> pd.Template.rect) devices) in
+  let to_um g = float_of_int g /. float_of_int Template.grid_per_um in
+  let center name =
+    let pd = List.find (fun pd -> String.equal pd.Template.name name) devices in
+    let cx2, cy2 = Rect.center2 pd.Template.rect in
+    (float_of_int cx2 /. 2.0, float_of_int cy2 /. 2.0)
+  in
+  let manhattan (x1, y1) (x2, y2) =
+    Float.abs (x1 -. x2) +. Float.abs (y1 -. y2)
+  in
+  let path points =
+    let rec go acc = function
+      | a :: (b :: _ as rest) -> go (acc +. manhattan a b) rest
+      | [ _ ] | [] -> acc
+    in
+    to_um (int_of_float (go 0.0 points))
+  in
+  let net_length_um =
+    [
+      (* folding node: input drain -> source drain -> PMOS cascode *)
+      ("x1", path [ center "P2"; center "SRC2"; center "CP2" ]);
+      ("out", path [ center "CP2"; center "CN2" ]);
+      ("tail", path [ center "TAIL"; center "P1"; center "P2" ]);
+      ("bias", path [ center "BIAS"; center "TAIL" ]);
+    ]
+  in
+  {
+    Template.devices;
+    width_um = to_um (Rect.x_max bbox);
+    height_um = to_um (Rect.y_max bbox);
+    area_um2 = to_um (Rect.x_max bbox) *. to_um (Rect.y_max bbox);
+    net_length_um;
+  }

@@ -1,0 +1,10 @@
+(** Procedural layout template of the folded-cascode OTA.
+
+    Row structure, bottom to top: NMOS mirror row (M1, M2), NMOS
+    cascode row, input pair row with the tail and bias alongside, PMOS
+    cascode row, PMOS source row. Produces the same topology-agnostic
+    {!Template.instance} as the Miller template, so extraction and the
+    sizing flow are shared. Net length estimates cover the folding
+    nodes ("x1") and the output ("out"). *)
+
+val generate : Fc_design.t -> Template.instance

@@ -1,0 +1,76 @@
+(** The layout-aware sizing flow (survey §V, ref [4], Figs. 9-10).
+
+    Two sizing modes share the same annealing engine, specifications
+    and performance model; they differ exactly where the survey says
+    they should:
+
+    - [Electrical_only]: the cost sees performances {e without} layout
+      parasitics and carries no geometric objective; fold counts stay
+      at 1 (no geometric optimization). This is Fig. 10(a): the result
+      looks fine at schematic level and is then re-verified with
+      extracted parasitics.
+    - [Layout_aware]: every cost evaluation instantiates the layout
+      template, extracts parasitics, and evaluates the specs {e with}
+      them; area and aspect-ratio terms join the cost, and fold counts
+      are free variables. This is Fig. 10(b).
+
+    The flow records the share of wall-clock time spent inside
+    extraction — the survey reports ~17%, demonstrating that in-loop
+    extraction is affordable. *)
+
+type mode = Electrical_only | Layout_aware
+
+val default_specs : Spec.t list
+(** dc-gain >= 60 dB, GBW >= 25 MHz, PM >= 60 deg, slew >= 15 V/us,
+    power <= 2.5 mW, swing >= 0.9 V, headroom >= 0.05 V. *)
+
+type config = {
+  specs : Spec.t list;
+  env : Perf.env;
+  violation_weight : float;
+  area_weight : float;  (** Layout_aware only *)
+  aspect_weight : float;  (** Layout_aware only; pulls toward square *)
+  power_weight : float;
+  sa : Anneal.Sa.params;
+}
+
+val default_config : config
+
+type 'd outcome = {
+  mode : mode;
+  design : 'd;  (** the topology's sizing vector *)
+  layout : Template.instance;
+  perf_nominal : Spec.performance;  (** without layout parasitics *)
+  perf_extracted : Spec.performance;  (** with extracted parasitics *)
+  met_nominal : bool;
+  met_extracted : bool;
+  evaluations : int;
+  seconds : float;
+  extraction_seconds : float;
+}
+
+val extraction_fraction : 'd outcome -> float
+
+type 'd driver = {
+  initial : 'd;
+  perturb : Prelude.Rng.t -> fold_moves:bool -> 'd -> 'd;
+  evaluate : ?parasitics:Perf.parasitics -> Perf.env -> 'd -> Spec.performance;
+  template : 'd -> Template.instance;
+  extract : 'd -> Template.instance -> Perf.parasitics;
+}
+(** Everything a topology must provide to participate in the flow. *)
+
+val miller_driver : Design.t driver
+val folded_cascode_driver : Fc_design.t driver
+
+val run_driver :
+  'd driver -> ?config:config -> rng:Prelude.Rng.t -> mode -> 'd outcome
+
+val run :
+  ?config:config -> rng:Prelude.Rng.t -> mode -> Design.t outcome
+(** The two-stage Miller op amp (the repository's reference flow). *)
+
+val run_folded_cascode :
+  ?config:config -> rng:Prelude.Rng.t -> mode -> Fc_design.t outcome
+(** The folded-cascode OTA — the amplifier class of the survey's
+    Fig. 10 experiments. *)

@@ -1,0 +1,88 @@
+type params = {
+  kp : float;
+  vth : float;
+  lambda : float;
+  cox : float;
+  cj : float;
+  cjsw : float;
+  ldiff : float;
+}
+
+let nmos =
+  {
+    kp = 300e-6;
+    vth = 0.45;
+    lambda = 0.08;
+    cox = 8.5e-3;
+    cj = 1.0e-3;
+    cjsw = 2.0e-10;
+    ldiff = 0.5e-6;
+  }
+
+let pmos =
+  {
+    kp = 90e-6;
+    vth = 0.45;
+    lambda = 0.10;
+    cox = 8.5e-3;
+    cj = 1.1e-3;
+    cjsw = 2.2e-10;
+    ldiff = 0.5e-6;
+  }
+
+type geometry = { w : float; l : float; folds : int }
+
+type op_point = {
+  gm : float;
+  gds : float;
+  vov : float;
+  cgs : float;
+  cgd : float;
+  cdb : float;
+  csb : float;
+}
+
+let check g ~id =
+  if g.w <= 0.0 || g.l <= 0.0 || g.folds < 1 then
+    invalid_arg "Mos: non-positive geometry";
+  if id <= 0.0 then invalid_arg "Mos: non-positive current"
+
+(* An m-finger device: drain diffusions are shared between adjacent
+   finger pairs, so there are ceil(m/2) drain stripes of width w/m (and
+   floor(m/2)+1 source stripes). Junction area scales accordingly. *)
+let junction p g ~stripes =
+  let finger_w = g.w /. float_of_int g.folds in
+  let area = float_of_int stripes *. finger_w *. p.ldiff in
+  let perimeter =
+    float_of_int stripes *. 2.0 *. (finger_w +. p.ldiff)
+  in
+  (p.cj *. area) +. (p.cjsw *. perimeter)
+
+let drain_stripes folds = (folds + 1) / 2
+let source_stripes folds = (folds / 2) + 1
+
+let drain_junction p g = junction p g ~stripes:(drain_stripes g.folds)
+
+let operating_point p g ~id =
+  check g ~id;
+  let wl = g.w /. g.l in
+  let vov = sqrt (2.0 *. id /. (p.kp *. wl)) in
+  let gm = sqrt (2.0 *. p.kp *. wl *. id) in
+  (* channel-length modulation weakens with longer channels *)
+  let lambda_eff = p.lambda *. (1.0e-6 /. g.l) in
+  let gds = lambda_eff *. id in
+  let cgs = 2.0 /. 3.0 *. g.w *. g.l *. p.cox in
+  let cgd = 0.3e-9 *. g.w (* overlap, ~0.3 fF/um *) in
+  {
+    gm;
+    gds;
+    vov;
+    cgs;
+    cgd;
+    cdb = junction p g ~stripes:(drain_stripes g.folds);
+    csb = junction p g ~stripes:(source_stripes g.folds);
+  }
+
+let required_vgs p g ~id =
+  check g ~id;
+  p.vth +. sqrt (2.0 *. id /. (p.kp *. (g.w /. g.l)))

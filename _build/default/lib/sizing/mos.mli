@@ -1,0 +1,54 @@
+(** Square-law MOS transistor model.
+
+    The survey's layout-aware sizing (§V) relies on numerical
+    simulation; with no SPICE engine available we substitute the
+    classic long-channel square-law equations with channel-length
+    modulation and junction capacitances (documented in DESIGN.md).
+    What matters for reproducing the flow is captured faithfully:
+
+    - transconductance and output conductance as functions of W/L and
+      bias current, and
+    - drain junction capacitance as a function of device {e folding} —
+      an m-finger device shares drain diffusions between finger pairs,
+      so more folds mean less junction capacitance, which is exactly
+      the geometry/electrical coupling the survey highlights
+      ("different foldings change the junction capacitances"). *)
+
+type params = {
+  kp : float;  (** transconductance factor, A/V^2 *)
+  vth : float;  (** threshold voltage magnitude, V *)
+  lambda : float;  (** channel-length modulation at L = 1um, 1/V *)
+  cox : float;  (** gate capacitance, F/m^2 *)
+  cj : float;  (** junction area capacitance, F/m^2 *)
+  cjsw : float;  (** junction sidewall capacitance, F/m *)
+  ldiff : float;  (** source/drain diffusion extent, m *)
+}
+
+val nmos : params
+(** Generic 180nm-class NMOS. *)
+
+val pmos : params
+
+type geometry = { w : float; l : float; folds : int }
+(** Channel width/length in meters; [folds] >= 1 fingers. *)
+
+type op_point = {
+  gm : float;  (** transconductance, S *)
+  gds : float;  (** output conductance, S *)
+  vov : float;  (** overdrive voltage, V *)
+  cgs : float;  (** gate-source capacitance, F *)
+  cgd : float;  (** gate-drain (overlap) capacitance, F *)
+  cdb : float;  (** drain-bulk junction capacitance, F *)
+  csb : float;  (** source-bulk junction capacitance, F *)
+}
+
+val operating_point : params -> geometry -> id:float -> op_point
+(** Saturation-region small-signal parameters at drain current [id]
+    (absolute value, amperes). Raises [Invalid_argument] on
+    non-positive dimensions or current. *)
+
+val drain_junction : params -> geometry -> float
+(** Drain-bulk junction capacitance alone (used by the extractor). *)
+
+val required_vgs : params -> geometry -> id:float -> float
+(** |Vgs| to conduct [id] in saturation. *)

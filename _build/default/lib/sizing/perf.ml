@@ -1,0 +1,93 @@
+type parasitics = {
+  c_x1 : float;
+  c_x2 : float;
+  c_out : float;
+  c_cc_route : float;
+}
+
+let no_parasitics = { c_x1 = 0.0; c_x2 = 0.0; c_out = 0.0; c_cc_route = 0.0 }
+
+type env = { vdd : float; cl : float }
+
+let default_env = { vdd = 1.8; cl = 2e-12 }
+
+let pi = Float.pi
+
+let evaluate ?(parasitics = no_parasitics) env (d : Design.t) =
+  let i_tail = Design.tail_current d in
+  let i1 = i_tail /. 2.0 in
+  let i2 = Design.stage2_current d in
+  let dp = Mos.operating_point Mos.pmos d.Design.dp ~id:i1 in
+  let load = Mos.operating_point Mos.nmos d.Design.load ~id:i1 in
+  let tail = Mos.operating_point Mos.pmos d.Design.tail ~id:i_tail in
+  let stage2 = Mos.operating_point Mos.nmos d.Design.stage2 ~id:i2 in
+  let src2 = Mos.operating_point Mos.pmos d.Design.src2 ~id:i2 in
+  let cc = d.Design.cc +. parasitics.c_cc_route in
+  (* gains *)
+  let a1 = dp.Mos.gm /. (dp.Mos.gds +. load.Mos.gds) in
+  let a2 = stage2.Mos.gm /. (stage2.Mos.gds +. src2.Mos.gds) in
+  let a0_db = 20.0 *. log10 (Float.max 1e-9 (a1 *. a2)) in
+  (* Node capacitances. Gate capacitances are schematic-intrinsic;
+     junction (drain diffusion) and wiring capacitances are layout-
+     dependent and enter only through [parasitics] — that split is what
+     makes "sizing without parasitic considerations" blind to them. *)
+  let c_x2 = stage2.Mos.cgs +. parasitics.c_x2 in
+  let c_out = env.cl +. parasitics.c_out in
+  (* Poles and zero of the Miller-compensated two-stage; the frequency
+     response is then evaluated numerically (a small AC analysis, our
+     stand-in for the survey's in-loop SPICE runs) to find the
+     unity-gain frequency and the phase margin. *)
+  let a0_lin = Float.max 1e-9 (a1 *. a2) in
+  let gbw_est = dp.Mos.gm /. (2.0 *. pi *. cc) in
+  let p1 = gbw_est /. a0_lin in
+  let p2 =
+    stage2.Mos.gm *. cc
+    /. (2.0 *. pi *. ((c_x2 *. c_out) +. (cc *. (c_x2 +. c_out))))
+  in
+  let z = stage2.Mos.gm /. (2.0 *. pi *. cc) in
+  let c_x1 = (load.Mos.cgs *. 2.0) +. parasitics.c_x1 in
+  let p_mirror = load.Mos.gm /. (2.0 *. pi *. c_x1) in
+  let response f =
+    let open Complex in
+    let jf p = { re = 1.0; im = f /. p } in
+    let num = { re = 1.0; im = -.(f /. z) } in
+    div
+      (mul { re = a0_lin; im = 0.0 } num)
+      (mul (mul (jf p1) (jf p2)) (jf p_mirror))
+  in
+  let magnitude f = Complex.norm (response f) in
+  (* |H| is monotonically decreasing past p1; bisect for |H| = 1 *)
+  let gbw =
+    let lo = ref (Float.max 1.0 p1) and hi = ref 1e12 in
+    if magnitude !lo <= 1.0 then !lo
+    else begin
+      for _ = 1 to 60 do
+        let mid = sqrt (!lo *. !hi) in
+        if magnitude mid > 1.0 then lo := mid else hi := mid
+      done;
+      sqrt (!lo *. !hi)
+    end
+  in
+  let pm =
+    let h = response gbw in
+    180.0 +. (Complex.arg h *. 180.0 /. pi)
+  in
+  (* large-signal *)
+  let slew_int = i_tail /. cc in
+  let slew_ext = i2 /. c_out in
+  let slew = Float.min slew_int slew_ext in
+  let power = env.vdd *. (d.Design.ibias +. i_tail +. i2) in
+  let swing = env.vdd -. stage2.Mos.vov -. src2.Mos.vov in
+  (* can the input stage bias up? vdd must cover tail vov + dp vgs
+     around mid-rail input *)
+  let vgs_dp = Mos.required_vgs Mos.pmos d.Design.dp ~id:i1 in
+  let headroom = env.vdd /. 2.0 -. (tail.Mos.vov +. vgs_dp -. 0.45) in
+  [
+    ("a0_db", a0_db);
+    ("gbw_mhz", gbw /. 1e6);
+    ("pm_deg", pm);
+    ("slew_vus", slew /. 1e6);
+    ("power_mw", power *. 1e3);
+    ("swing_v", swing);
+    ("headroom_v", headroom);
+  ]

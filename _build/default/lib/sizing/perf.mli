@@ -1,0 +1,31 @@
+(** Analytic performance evaluation of the two-stage Miller op amp.
+
+    Stands in for the SPICE simulation of the survey's §V flow (see
+    DESIGN.md): standard two-stage small-signal formulas over the
+    square-law operating points, with an explicit parasitic budget per
+    circuit node so the layout-aware loop can feed extracted
+    capacitances back into the evaluation.
+
+    Performance keys (all in {!Spec.performance}):
+    ["a0_db"] dc gain, ["gbw_mhz"] unity-gain bandwidth,
+    ["pm_deg"] phase margin, ["slew_vus"] slew rate,
+    ["power_mw"] static power, ["swing_v"] output swing,
+    ["headroom_v"] input-stage bias headroom (negative = stage does not
+    bias up). *)
+
+type parasitics = {
+  c_x1 : float;  (** extra capacitance on the mirror (diode) node, F *)
+  c_x2 : float;  (** extra capacitance on the first-stage output, F *)
+  c_out : float;  (** extra capacitance on the output node, F *)
+  c_cc_route : float;  (** wiring in parallel with the Miller cap, F *)
+}
+
+val no_parasitics : parasitics
+
+type env = { vdd : float; cl : float }
+(** Supply voltage and external load capacitance. *)
+
+val default_env : env
+(** 1.8 V, 2 pF. *)
+
+val evaluate : ?parasitics:parasitics -> env -> Design.t -> Spec.performance

@@ -1,0 +1,41 @@
+type bound = At_least of float | At_most of float
+type t = { name : string; bound : bound; unit_ : string }
+type performance = (string * float) list
+
+let make ~name ~bound ~unit_ = { name; bound; unit_ }
+let value perf name = List.assoc_opt name perf
+
+let satisfied spec perf =
+  match value perf spec.name with
+  | None -> false
+  | Some v -> (
+      match spec.bound with
+      | At_least b -> v >= b
+      | At_most b -> v <= b)
+
+let all_satisfied specs perf = List.for_all (fun s -> satisfied s perf) specs
+
+let violation spec perf =
+  match value perf spec.name with
+  | None -> 1.0
+  | Some v -> (
+      let rel shortfall bound =
+        shortfall /. Float.max 1e-12 (Float.abs bound)
+      in
+      match spec.bound with
+      | At_least b -> if v >= b then 0.0 else rel (b -. v) b
+      | At_most b -> if v <= b then 0.0 else rel (v -. b) b)
+
+let total_violation specs perf =
+  List.fold_left (fun acc s -> acc +. violation s perf) 0.0 specs
+
+let report specs perf =
+  List.map
+    (fun s ->
+      let v = Option.value (value perf s.name) ~default:Float.nan in
+      (s.name, v, satisfied s perf))
+    specs
+
+let pp ppf s =
+  let op, b = match s.bound with At_least b -> (">=", b) | At_most b -> ("<=", b) in
+  Format.fprintf ppf "%s %s %g %s" s.name op b s.unit_

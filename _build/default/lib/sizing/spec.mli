@@ -1,0 +1,33 @@
+(** Performance specifications and measured performances.
+
+    A specification is a named bound ("dc-gain higher than 50 dB"); a
+    performance is a set of measured values. The sizing optimizer
+    (survey §V) minimizes spec violations plus design objectives. *)
+
+type bound = At_least of float | At_most of float
+
+type t = { name : string; bound : bound; unit_ : string }
+
+type performance = (string * float) list
+
+val make : name:string -> bound:bound -> unit_:string -> t
+
+val value : performance -> string -> float option
+
+val satisfied : t -> performance -> bool
+(** An absent measurement fails the spec. *)
+
+val all_satisfied : t list -> performance -> bool
+
+val violation : t -> performance -> float
+(** Normalized violation in [0, inf): 0 when satisfied, otherwise the
+    relative distance to the bound (missing measurement counts 1). *)
+
+val total_violation : t list -> performance -> float
+
+val report :
+  t list -> performance -> (string * float * bool) list
+(** Per-spec (name, measured value, satisfied) rows — the Fig. 10
+    tables. Missing measurements report [nan]. *)
+
+val pp : Format.formatter -> t -> unit

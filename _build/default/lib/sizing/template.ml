@@ -1,0 +1,110 @@
+open Geometry
+
+type placed_device = { name : string; rect : Rect.t }
+
+type instance = {
+  devices : placed_device list;
+  width_um : float;
+  height_um : float;
+  area_um2 : float;
+  net_length_um : (string * float) list;
+}
+
+let grid_per_um = 100
+
+let grid um = max 1 (int_of_float (Float.round (um *. float_of_int grid_per_um)))
+
+(* Folded MOS cell footprint: fingers of width w/m stacked at the
+   contacted gate pitch. Mirrors Device.mos_footprint in lib/netlist
+   but works on the meter-based sizing geometry. *)
+let mos_cell (g : Mos.geometry) =
+  let w_um = g.Mos.w *. 1e6 and l_um = g.Mos.l *. 1e6 in
+  let folds = max 1 g.Mos.folds in
+  let finger = w_um /. float_of_int folds in
+  let pitch = l_um +. 0.8 in
+  (grid (finger +. 1.2), grid ((pitch *. float_of_int folds) +. 0.6))
+
+let cap_cell farads =
+  let area_um2 = farads /. 1e-15 in
+  let side = sqrt (Float.max 1.0 area_um2) in
+  (grid side, grid side)
+
+let center r =
+  let cx2, cy2 = Rect.center2 r in
+  (float_of_int cx2 /. 2.0, float_of_int cy2 /. 2.0)
+
+let manhattan (x1, y1) (x2, y2) = Float.abs (x1 -. x2) +. Float.abs (y1 -. y2)
+
+let generate (d : Design.t) =
+  let dp_w, dp_h = mos_cell d.Design.dp in
+  let load_w, load_h = mos_cell d.Design.load in
+  let tail_w, tail_h = mos_cell d.Design.tail in
+  let bias_w, bias_h = mos_cell d.Design.bias in
+  let st2_w, st2_h = mos_cell d.Design.stage2 in
+  let src2_w, src2_h = mos_cell d.Design.src2 in
+  let cc_w, cc_h = cap_cell d.Design.cc in
+  let gap = grid 0.8 in
+  (* bottom row: N3 N8 N4 (load mirror flanks the driver) *)
+  let row0_h = max load_h st2_h in
+  let n3 = Rect.make ~x:0 ~y:0 ~w:load_w ~h:load_h in
+  let n8 = Rect.make ~x:(load_w + gap) ~y:0 ~w:st2_w ~h:st2_h in
+  let n4 = Rect.make ~x:(load_w + gap + st2_w + gap) ~y:0 ~w:load_w ~h:load_h in
+  (* middle row: P1 P2 differential pair *)
+  let y1 = row0_h + gap in
+  let p1 = Rect.make ~x:0 ~y:y1 ~w:dp_w ~h:dp_h in
+  let p2 = Rect.make ~x:(dp_w + gap) ~y:y1 ~w:dp_w ~h:dp_h in
+  (* top row: P5 P6 P7 bias devices *)
+  let y2 = y1 + dp_h + gap in
+  let p5 = Rect.make ~x:0 ~y:y2 ~w:bias_w ~h:bias_h in
+  let p6 = Rect.make ~x:(bias_w + gap) ~y:y2 ~w:tail_w ~h:tail_h in
+  let p7 = Rect.make ~x:(bias_w + gap + tail_w + gap) ~y:y2 ~w:src2_w ~h:src2_h in
+  (* capacitor column to the right of everything *)
+  let core_w =
+    List.fold_left max 0
+      [ Rect.x_max n4; Rect.x_max p2; Rect.x_max p7 ]
+  in
+  let cc_rect = Rect.make ~x:(core_w + gap) ~y:0 ~w:cc_w ~h:cc_h in
+  let devices =
+    [
+      { name = "N3"; rect = n3 };
+      { name = "N8"; rect = n8 };
+      { name = "N4"; rect = n4 };
+      { name = "P1"; rect = p1 };
+      { name = "P2"; rect = p2 };
+      { name = "P5"; rect = p5 };
+      { name = "P6"; rect = p6 };
+      { name = "P7"; rect = p7 };
+      { name = "CC"; rect = cc_rect };
+    ]
+  in
+  let bbox = Rect.bbox_of_list (List.map (fun pd -> pd.rect) devices) in
+  let to_um g = float_of_int g /. float_of_int grid_per_um in
+  let c name =
+    center (List.find (fun pd -> String.equal pd.name name) devices).rect
+  in
+  let path points =
+    let rec go acc = function
+      | a :: (b :: _ as rest) -> go (acc +. manhattan a b) rest
+      | [ _ ] | [] -> acc
+    in
+    to_um (int_of_float (go 0.0 points))
+  in
+  let net_length_um =
+    [
+      ("x1", path [ c "P1"; c "N3"; c "N4" ]);
+      ("x2", path [ c "P2"; c "N4"; c "N8"; c "CC" ]);
+      ("out", path [ c "N8"; c "P7"; c "CC" ]);
+      ("tail", path [ c "P6"; c "P1"; c "P2" ]);
+      ("bias", path [ c "P5"; c "P6"; c "P7" ]);
+    ]
+  in
+  {
+    devices;
+    width_um = to_um (Rect.x_max bbox);
+    height_um = to_um (Rect.y_max bbox);
+    area_um2 = to_um (Rect.x_max bbox) *. to_um (Rect.y_max bbox);
+    net_length_um;
+  }
+
+let aspect_ratio inst =
+  if inst.height_um = 0.0 then 1.0 else inst.width_um /. inst.height_um

@@ -1,0 +1,36 @@
+(** Procedural layout template of the two-stage Miller op amp.
+
+    Stands in for the survey's Cadence PCELL/SKILL templates (§V): a
+    deterministic row-based generator that turns a sizing vector into a
+    placement in microseconds — fast enough to run inside every
+    iteration of the optimization loop, which is the property the
+    survey's template-based approach exists to provide.
+
+    Template structure (bottom to top): NMOS row (mirror load flanking
+    the second-stage driver), PMOS differential pair row (mirrored
+    about the template axis), PMOS bias row (tail, diode, second-stage
+    source), with the compensation capacitor alongside. All devices are
+    folded as the sizing vector dictates. *)
+
+type placed_device = {
+  name : string;
+  rect : Geometry.Rect.t;  (** grid units, 100 per um *)
+}
+
+type instance = {
+  devices : placed_device list;
+  width_um : float;
+  height_um : float;
+  area_um2 : float;
+  net_length_um : (string * float) list;
+      (** estimated wiring length per net: x1, x2, out, tail, bias *)
+}
+
+val grid_per_um : int
+
+val generate : Design.t -> instance
+(** Never fails: every sizing in the {!Design.perturb} ranges maps to a
+    legal (overlap-free — tested) template instance. *)
+
+val aspect_ratio : instance -> float
+(** width / height. *)

@@ -1,0 +1,1 @@
+lib/thermal/field.ml: Float Geometry List Rect Transform

@@ -1,0 +1,1 @@
+lib/thermal/field.mli: Geometry

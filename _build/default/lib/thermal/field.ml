@@ -1,0 +1,59 @@
+open Geometry
+
+type source = { cx : float; cy : float; power : float }
+
+let r0 = 50.0
+
+let center (p : Transform.placed) =
+  let cx2, cy2 = Rect.center2 p.Transform.rect in
+  (float_of_int cx2 /. 2.0, float_of_int cy2 /. 2.0)
+
+let sources_of_placement ~power placed =
+  List.filter_map
+    (fun (p : Transform.placed) ->
+      let w = power p.Transform.cell in
+      if w > 0.0 then
+        let cx, cy = center p in
+        Some { cx; cy; power = w }
+      else None)
+    placed
+
+let temperature sources ~x ~y =
+  List.fold_left
+    (fun acc s ->
+      let dx = x -. s.cx and dy = y -. s.cy in
+      acc +. (s.power /. (sqrt ((dx *. dx) +. (dy *. dy)) +. r0)))
+    0.0 sources
+
+let find placed cell =
+  match
+    List.find_opt (fun (p : Transform.placed) -> p.Transform.cell = cell) placed
+  with
+  | Some p -> p
+  | None -> raise Not_found
+
+let at_cell sources placed cell =
+  let p = find placed cell in
+  let x, y = center p in
+  (* exclude the cell's own radiator: self-heating is common mode *)
+  let others =
+    List.filter (fun s -> not (s.cx = x && s.cy = y)) sources
+  in
+  temperature others ~x ~y
+
+let pair_mismatch sources placed (a, b) =
+  Float.abs (at_cell sources placed a -. at_cell sources placed b)
+
+let worst_gradient sources placed =
+  let temps =
+    List.map
+      (fun (p : Transform.placed) -> at_cell sources placed p.Transform.cell)
+      placed
+  in
+  match temps with
+  | [] -> 0.0
+  | t :: rest ->
+      let lo, hi =
+        List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (t, t) rest
+      in
+      hi -. lo

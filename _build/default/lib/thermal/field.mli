@@ -1,0 +1,45 @@
+(** Steady-state thermal field over a placement.
+
+    §II of the survey motivates symmetric placement thermally: devices
+    "exhibit a strong sensitivity to ambient temperature", and placing
+    a sensitive couple symmetrically about the thermally-radiating
+    devices makes the couple equidistant from every radiator, so both
+    see "roughly identical ambient temperatures and no temperature
+    induced mismatch results".
+
+    The field model is the standard far-field superposition of point
+    sources on a die: each radiator of power [p] (watts) at distance
+    [r] (grid units) contributes [p / (r + r0)] kelvins, with [r0]
+    regularizing the near field. Superposition is exact for the
+    steady-state heat equation; the kernel shape only scales the
+    numbers, not the symmetry argument — a pair mirrored about an axis
+    containing all radiators sees {e exactly} equal temperatures. *)
+
+type source = { cx : float; cy : float; power : float }
+(** A radiator: center coordinates (grid units) and dissipated power. *)
+
+val r0 : float
+(** Near-field regularization radius (50 grid units = 0.5 um). *)
+
+val sources_of_placement :
+  power:(int -> float) -> Geometry.Transform.placed list -> source list
+(** One source per placed cell with positive [power] (watts), at the
+    cell's center. *)
+
+val temperature : source list -> x:float -> y:float -> float
+(** Temperature rise at a point, kelvins (arbitrary conductance
+    scale). *)
+
+val at_cell : source list -> Geometry.Transform.placed list -> int -> float
+(** Temperature at a placed cell's center, excluding the cell's own
+    contribution (self-heating is common mode). Raises [Not_found] for
+    an unplaced cell. *)
+
+val pair_mismatch :
+  source list -> Geometry.Transform.placed list -> int * int -> float
+(** |T(a) - T(b)| between two cells' centers — the §II
+    "temperature-difference mismatch" of a sensitive couple. *)
+
+val worst_gradient :
+  source list -> Geometry.Transform.placed list -> float
+(** Largest temperature difference across any two placed cells. *)

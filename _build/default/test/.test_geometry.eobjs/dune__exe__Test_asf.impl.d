@@ -1,0 +1,1 @@
+test/test_asf.ml: Alcotest Array Bstar Constraints Geometry Int List Prelude

@@ -1,0 +1,1 @@
+test/test_bstar.ml: Alcotest Array Bstar Centroid Constraints Count Fun Geometry Int List Option Perturb Prelude Printf QCheck QCheck_alcotest Result Tree

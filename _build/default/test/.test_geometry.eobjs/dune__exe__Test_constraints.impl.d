@@ -1,0 +1,1 @@
+test/test_constraints.ml: Alcotest Constraints Format Geometry List Netlist Orientation Result Transform

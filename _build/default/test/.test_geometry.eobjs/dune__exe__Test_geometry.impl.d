@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Contour Format Gen Geometry Guard_ring Interval List Option Orientation Outline Prelude QCheck QCheck_alcotest Rect Transform

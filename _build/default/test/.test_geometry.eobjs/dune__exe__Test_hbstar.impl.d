@@ -1,0 +1,1 @@
+test/test_hbstar.ml: Alcotest Anneal Bstar Constraints List Netlist Placer Prelude Result

@@ -1,0 +1,1 @@
+test/test_mismatch.ml: Alcotest Float Geometry List Mismatch Prelude Printf Rect

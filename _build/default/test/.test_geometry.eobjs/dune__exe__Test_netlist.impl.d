@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Benchmarks Circuit Cluster Device Float Format Gen Hierarchy Int List Net Netlist Parser Prelude Printf QCheck QCheck_alcotest Recognize Result String Wirelength

@@ -1,0 +1,1 @@
+test/test_placer.ml: Alcotest Anneal Constraints Geometry List Netlist Placer Prelude Printf QCheck QCheck_alcotest Result Seqpair String

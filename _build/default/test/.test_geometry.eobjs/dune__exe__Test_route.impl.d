@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Anneal Constraints Geometry Hashtbl List Netlist Placer Prelude Route

@@ -1,0 +1,1 @@
+test/test_seqpair.ml: Alcotest Array Bit Constraints Fun Geometry Int List Moves Pack Perm Prelude Printf QCheck QCheck_alcotest Result Seqpair Sp Veb

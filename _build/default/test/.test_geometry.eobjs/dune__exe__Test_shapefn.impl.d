@@ -1,0 +1,1 @@
+test/test_shapefn.ml: Alcotest Bstar Circuit Combine Constraints Enumerate Esf Geometry Hierarchy List Netlist Placer Printf Result Shape Shape_fn Shapefn

@@ -1,0 +1,1 @@
+test/test_sizing.ml: Alcotest Anneal Constraints Design Extract Fc_design Fc_extract Fc_perf Fc_template Float Flow Geometry List Mos Option Perf Prelude Sizing Spec Template

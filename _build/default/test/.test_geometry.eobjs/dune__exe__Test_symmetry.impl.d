@@ -1,0 +1,1 @@
+test/test_symmetry.ml: Alcotest Array Constraints List Moves Perm Prelude Printf Result Seqpair Sp Symmetry

@@ -1,0 +1,1 @@
+test/test_tcg.ml: Alcotest Anneal Array Constraints List Netlist Pack Placer Prelude QCheck QCheck_alcotest Result Seqpair Sp Tcg

@@ -1,0 +1,1 @@
+test/test_thermal.ml: Alcotest Anneal Constraints Geometry Netlist Orientation Placer Prelude Thermal Transform

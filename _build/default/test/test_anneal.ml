@@ -1,0 +1,72 @@
+let test_schedule_geometric () =
+  let t =
+    Anneal.Schedule.next (Anneal.Schedule.Geometric 0.9) ~temperature:100.0
+      ~acceptance:0.5
+  in
+  Alcotest.(check (float 1e-9)) "geometric" 90.0 t
+
+let test_schedule_adaptive () =
+  let s = Anneal.Schedule.adaptive in
+  let hot = Anneal.Schedule.next s ~temperature:100.0 ~acceptance:0.95 in
+  let mid = Anneal.Schedule.next s ~temperature:100.0 ~acceptance:0.5 in
+  let cold = Anneal.Schedule.next s ~temperature:100.0 ~acceptance:0.05 in
+  Alcotest.(check bool) "hot cools faster" true (hot < mid);
+  Alcotest.(check bool) "cold cools slower" true (cold > mid)
+
+(* A rugged 1-D landscape the walker must cross barriers on. *)
+let problem =
+  {
+    Anneal.Sa.init = 80;
+    neighbor =
+      (fun rng x ->
+        let step = Prelude.Rng.int_in rng (-3) 3 in
+        max (-100) (min 100 (x + step)));
+    cost =
+      (fun x ->
+        let fx = float_of_int x in
+        (0.01 *. fx *. fx) +. (3.0 *. sin (fx /. 4.0)));
+  }
+
+let test_sa_minimizes () =
+  let rng = Prelude.Rng.create 17 in
+  let params =
+    { (Anneal.Sa.default_params ~n:10) with Anneal.Sa.max_rounds = 200 }
+  in
+  let out = Anneal.Sa.run ~rng params problem in
+  (* global minimum is near x = -6 .. 0 with cost around -2.7 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "found near-optimum (best %d cost %.2f)" out.Anneal.Sa.best
+       out.Anneal.Sa.best_cost)
+    true
+    (out.Anneal.Sa.best_cost < -2.0);
+  Alcotest.(check bool) "improved on init" true
+    (out.Anneal.Sa.best_cost < problem.Anneal.Sa.cost problem.Anneal.Sa.init);
+  Alcotest.(check bool) "counted evaluations" true (out.Anneal.Sa.evaluated > 0)
+
+let test_estimate_t0 () =
+  let rng = Prelude.Rng.create 5 in
+  let t0 = Anneal.Sa.estimate_t0 ~rng problem ~samples:50 in
+  Alcotest.(check bool) "positive" true (t0 > 0.0)
+
+let test_deterministic () =
+  let run () =
+    let rng = Prelude.Rng.create 17 in
+    (Anneal.Sa.run ~rng (Anneal.Sa.default_params ~n:10) problem).Anneal.Sa.best
+  in
+  Alcotest.(check int) "same seed same best" (run ()) (run ())
+
+let () =
+  Alcotest.run "anneal"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "geometric" `Quick test_schedule_geometric;
+          Alcotest.test_case "adaptive" `Quick test_schedule_adaptive;
+        ] );
+      ( "sa",
+        [
+          Alcotest.test_case "minimizes" `Quick test_sa_minimizes;
+          Alcotest.test_case "estimate t0" `Quick test_estimate_t0;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+    ]

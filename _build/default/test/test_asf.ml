@@ -1,0 +1,112 @@
+module G = Constraints.Symmetry_group
+module Check = Constraints.Placement_check
+
+let random_dims rng n pairs =
+  let base =
+    Array.init n (fun _ ->
+        (2 + Prelude.Rng.int rng 30, 2 + Prelude.Rng.int rng 30))
+  in
+  List.iter (fun (a, b) -> base.(b) <- base.(a)) pairs;
+  fun c -> base.(c)
+
+let test_islands_random () =
+  let rng = Prelude.Rng.create 7 in
+  for _ = 1 to 300 do
+    let pairs, selfs =
+      match Prelude.Rng.int rng 4 with
+      | 0 -> ([ (0, 1) ], [])
+      | 1 -> ([ (0, 1) ], [ 2 ])
+      | 2 -> ([ (0, 1); (2, 3) ], [ 4 ])
+      | _ -> ([ (0, 1); (2, 3) ], [ 4; 5 ])
+    in
+    let n = List.length pairs * 2 + List.length selfs in
+    let grp = G.make ~pairs ~selfs () in
+    let dims = random_dims rng n pairs in
+    let asf = ref (Bstar.Asf.make rng grp) in
+    for _ = 1 to 5 do
+      asf := Bstar.Asf.perturb rng !asf
+    done;
+    let island = Bstar.Asf.pack !asf dims in
+    (match Check.overlap_free island.Bstar.Asf.placed with
+    | Ok () -> ()
+    | Error v -> Alcotest.failf "overlap: %a" Check.pp_violation v);
+    (match Check.symmetry ~group:grp island.Bstar.Asf.placed with
+    | Ok axis2 ->
+        Alcotest.(check bool) "axis inside island" true
+          (axis2 >= 0 && axis2 <= 2 * island.Bstar.Asf.width)
+    | Error v -> Alcotest.failf "asymmetric: %a" Check.pp_violation v);
+    (* island anchored at origin *)
+    List.iter
+      (fun (p : Geometry.Transform.placed) ->
+        if p.Geometry.Transform.rect.Geometry.Rect.x < 0
+           || p.Geometry.Transform.rect.Geometry.Rect.y < 0 then
+          Alcotest.fail "negative coordinates")
+      island.Bstar.Asf.placed
+  done
+
+let test_island_all_cells () =
+  let rng = Prelude.Rng.create 3 in
+  let grp = G.make ~pairs:[ (0, 1); (2, 3) ] ~selfs:[ 4 ] () in
+  let dims = random_dims rng 5 grp.G.pairs in
+  let island = Bstar.Asf.pack (Bstar.Asf.make rng grp) dims in
+  let cells =
+    List.sort Int.compare
+      (List.map (fun (p : Geometry.Transform.placed) -> p.Geometry.Transform.cell)
+         island.Bstar.Asf.placed)
+  in
+  Alcotest.(check (list int)) "all group cells placed" [ 0; 1; 2; 3; 4 ] cells
+
+let test_mirror_orientation () =
+  let rng = Prelude.Rng.create 5 in
+  let grp = G.make ~pairs:[ (0, 1) ] ~selfs:[] () in
+  let island = Bstar.Asf.pack (Bstar.Asf.make rng grp) (fun _ -> (10, 6)) in
+  let orient c =
+    (List.find
+       (fun (p : Geometry.Transform.placed) -> p.Geometry.Transform.cell = c)
+       island.Bstar.Asf.placed)
+      .Geometry.Transform.orient
+  in
+  Alcotest.(check bool) "left cell mirrored" true
+    (Geometry.Orientation.equal (orient 0) Geometry.Orientation.MY);
+  Alcotest.(check bool) "right cell as drawn" true
+    (Geometry.Orientation.equal (orient 1) Geometry.Orientation.R0)
+
+let test_of_tree_validation () =
+  let grp = G.make ~pairs:[ (0, 1) ] ~selfs:[ 2 ] () in
+  (* valid: self 2 at root, rep 1 as left child *)
+  let good = { Bstar.Tree.cell = 2; left = Some (Bstar.Tree.leaf 1); right = None } in
+  (match Bstar.Asf.of_tree grp good with
+  | _ -> ());
+  (* invalid: self 2 as a left child (off the axis chain) *)
+  let bad = { Bstar.Tree.cell = 1; left = Some (Bstar.Tree.leaf 2); right = None } in
+  (match Bstar.Asf.of_tree grp bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "off-chain self accepted");
+  (* invalid: wrong cell set (left cell of the pair instead of rep) *)
+  let wrong = { Bstar.Tree.cell = 2; left = Some (Bstar.Tree.leaf 0); right = None } in
+  match Bstar.Asf.of_tree grp wrong with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong cells accepted"
+
+let test_self_odd_width_padded () =
+  let rng = Prelude.Rng.create 9 in
+  let grp = G.make ~pairs:[ (0, 1) ] ~selfs:[ 2 ] () in
+  let dims = function 2 -> (7, 5) | _ -> (10, 6) in
+  let island = Bstar.Asf.pack (Bstar.Asf.make rng grp) dims in
+  match Check.symmetry ~group:grp island.Bstar.Asf.placed with
+  | Ok _ -> ()
+  | Error v -> Alcotest.failf "odd self: %a" Check.pp_violation v
+
+let () =
+  Alcotest.run "asf"
+    [
+      ( "islands",
+        [
+          Alcotest.test_case "random islands symmetric" `Quick test_islands_random;
+          Alcotest.test_case "all cells placed" `Quick test_island_all_cells;
+          Alcotest.test_case "mirror orientation" `Quick test_mirror_orientation;
+          Alcotest.test_case "odd self padded" `Quick test_self_odd_width_padded;
+        ] );
+      ( "of_tree",
+        [ Alcotest.test_case "validation" `Quick test_of_tree_validation ] );
+    ]

@@ -1,0 +1,256 @@
+open Bstar
+
+let sorted_cells t = List.sort Int.compare (Tree.cells t)
+
+let test_row_column () =
+  let r = Tree.row [ 0; 1; 2 ] in
+  let placed = Tree.pack r (fun _ -> (4, 3)) in
+  List.iteri
+    (fun i (p : Geometry.Transform.placed) ->
+      Alcotest.(check int) "row x" (4 * i) p.Geometry.Transform.rect.Geometry.Rect.x;
+      Alcotest.(check int) "row y" 0 p.Geometry.Transform.rect.Geometry.Rect.y)
+    placed;
+  let c = Tree.column [ 0; 1; 2 ] in
+  let placed = Tree.pack c (fun _ -> (4, 3)) in
+  List.iteri
+    (fun i (p : Geometry.Transform.placed) ->
+      Alcotest.(check int) "col x" 0 p.Geometry.Transform.rect.Geometry.Rect.x;
+      Alcotest.(check int) "col y" (3 * i) p.Geometry.Transform.rect.Geometry.Rect.y)
+    placed
+
+let test_left_child_abuts () =
+  (* root 10x5 with left child: child starts at x=10 *)
+  let t =
+    { Tree.cell = 0; left = Some (Tree.leaf 1); right = Some (Tree.leaf 2) }
+  in
+  let dims = function 0 -> (10, 5) | 1 -> (4, 4) | _ -> (6, 2) in
+  let rects = Tree.pack_rects t dims in
+  let r c = List.assoc c rects in
+  Alcotest.(check int) "left child x" 10 (r 1).Geometry.Rect.x;
+  Alcotest.(check int) "left child on ground" 0 (r 1).Geometry.Rect.y;
+  Alcotest.(check int) "right child same x" 0 (r 2).Geometry.Rect.x;
+  Alcotest.(check int) "right child above" 5 (r 2).Geometry.Rect.y
+
+let test_contour_tuck () =
+  (* a tall root, a short left child, then the root's right child can
+     span over the short child only where the contour allows *)
+  let t =
+    {
+      Tree.cell = 0;
+      left = Some (Tree.leaf 1);
+      right = Some (Tree.leaf 2);
+    }
+  in
+  let dims = function 0 -> (5, 10) | 1 -> (5, 2) | _ -> (12, 3) in
+  let rects = Tree.pack_rects t dims in
+  let r c = List.assoc c rects in
+  (* cell 2 spans x=0..12 over both; rests on max(10, 2) = 10 *)
+  Alcotest.(check int) "rests on tallest" 10 (r 2).Geometry.Rect.y
+
+let test_delete_insert_swap () =
+  let rng = Prelude.Rng.create 2 in
+  let t = Tree.random rng [ 0; 1; 2; 3; 4; 5 ] in
+  let t' = Option.get (Tree.delete t 3) in
+  Alcotest.(check (list int)) "delete removes" [ 0; 1; 2; 4; 5 ] (sorted_cells t');
+  let t'' = Tree.insert_random rng t' ~cell:3 in
+  Alcotest.(check (list int)) "insert restores" [ 0; 1; 2; 3; 4; 5 ]
+    (sorted_cells t'');
+  let s = Tree.swap_cells t 0 5 in
+  Alcotest.(check (list int)) "swap preserves set" (sorted_cells t) (sorted_cells s);
+  Alcotest.(check bool) "delete to empty" true (Tree.delete (Tree.leaf 7) 7 = None)
+
+let test_catalan () =
+  let expect = [ 1; 1; 2; 5; 14; 42; 132; 429; 1430 ] in
+  List.iteri
+    (fun n c -> Alcotest.(check int) (Printf.sprintf "catalan %d" n) c (Count.catalan n))
+    expect
+
+let test_count_placements () =
+  Alcotest.(check int) "survey's 8-module count" 57_657_600
+    (Count.count_placements 8)
+
+let test_enumerate_sizes () =
+  for n = 1 to 4 do
+    Alcotest.(check int)
+      (Printf.sprintf "shapes %d" n)
+      (Count.catalan n)
+      (List.length (Count.enumerate_shapes n));
+    let trees = Count.enumerate_trees (List.init n Fun.id) in
+    Alcotest.(check int)
+      (Printf.sprintf "trees %d" n)
+      (Count.count_placements n)
+      (List.length trees);
+    (* all distinct *)
+    let rec distinct = function
+      | [] -> true
+      | t :: rest -> (not (List.exists (Tree.equal t) rest)) && distinct rest
+    in
+    Alcotest.(check bool) "distinct" true (distinct trees)
+  done
+
+let test_centroid_patterns () =
+  let dims _ = (6, 4) in
+  (* even *)
+  (match Centroid.place ~cells:[ 0; 1; 2; 3 ] dims with
+  | Error m -> Alcotest.fail m
+  | Ok placed ->
+      Alcotest.(check bool) "even point-symmetric" true
+        (Result.is_ok
+           (Constraints.Placement_check.common_centroid
+              ~members:[ 0; 1; 2; 3 ] placed));
+      Alcotest.(check bool) "even overlap-free" true
+        (Result.is_ok (Constraints.Placement_check.overlap_free placed)));
+  (* odd *)
+  (match Centroid.place ~cells:[ 0; 1; 2 ] dims with
+  | Error m -> Alcotest.fail m
+  | Ok placed ->
+      Alcotest.(check bool) "odd point-symmetric" true
+        (Result.is_ok
+           (Constraints.Placement_check.common_centroid ~members:[ 0; 1; 2 ]
+              placed)));
+  (* mismatched sizes rejected *)
+  let dims c = if c = 0 then (6, 4) else (5, 4) in
+  match Centroid.place ~cells:[ 0; 1 ] dims with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mismatch accepted"
+
+let test_interdigitated () =
+  let check ?(expect_units = None) counts =
+    match Centroid.interdigitated ~counts ~unit_w:10 ~unit_h:8 with
+    | Error m -> Alcotest.fail m
+    | Ok units ->
+        (match expect_units with
+        | Some n -> Alcotest.(check int) "unit count" n (List.length units)
+        | None -> ());
+        (match Constraints.Placement_check.common_centroid_units units with
+        | Ok () -> ()
+        | Error v ->
+            Alcotest.failf "units: %a" Constraints.Placement_check.pp_violation
+              v);
+        (* every owner got its units *)
+        List.iter
+          (fun (o, k) ->
+            let mine =
+              List.length (List.filter (fun (o', _) -> o' = o) units)
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "owner %d units" o)
+              true
+              (mine = k || mine = 2 * k (* parity refinement *)))
+          counts
+  in
+  (* the Miller bias mirror 1:2:2 *)
+  check ~expect_units:(Some 5) [ (0, 1); (1, 2); (2, 2) ];
+  (* classic ABBA *)
+  check ~expect_units:(Some 4) [ (0, 2); (1, 2) ];
+  (* a single odd owner holds the middle of an odd total: feasible as-is *)
+  check ~expect_units:(Some 3) [ (0, 1); (1, 2) ];
+  (* two odd owners force refinement into 2x units *)
+  check ~expect_units:(Some 4) [ (0, 1); (1, 1) ];
+  (* larger two-row pattern *)
+  check ~expect_units:(Some 12) [ (0, 4); (1, 6); (2, 2) ];
+  (* degenerate: single owner *)
+  check ~expect_units:(Some 2) [ (7, 2) ];
+  (* invalid input *)
+  match Centroid.interdigitated ~counts:[ (0, 0) ] ~unit_w:10 ~unit_h:8 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "zero count accepted"
+
+let test_interdigitated_pattern_shape () =
+  (* the 1:2:2 pattern must put the odd device exactly in the middle *)
+  match
+    Centroid.interdigitated ~counts:[ (0, 1); (1, 2); (2, 2) ] ~unit_w:10
+      ~unit_h:8
+  with
+  | Error m -> Alcotest.fail m
+  | Ok units ->
+      let sorted =
+        List.sort
+          (fun (_, (a : Geometry.Rect.t)) (_, b) ->
+            Int.compare a.Geometry.Rect.x b.Geometry.Rect.x)
+          units
+      in
+      let owners = List.map fst sorted in
+      (match owners with
+      | [ _; _; middle; _; _ ] ->
+          Alcotest.(check int) "odd owner centered" 0 middle
+      | _ -> Alcotest.fail "expected 5 units");
+      (* palindromic owner sequence *)
+      Alcotest.(check (list int)) "palindrome" owners (List.rev owners)
+
+let arb_tree_dims =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 20 >>= fun n ->
+      int_bound 1_000_000 >>= fun seed ->
+      let rng = Prelude.Rng.create seed in
+      let t = Tree.random rng (List.init n Fun.id) in
+      let dims =
+        Array.init n (fun _ ->
+            (1 + Prelude.Rng.int rng 30, 1 + Prelude.Rng.int rng 30))
+      in
+      return (t, dims))
+  in
+  QCheck.make gen
+
+let prop_pack_overlap_free =
+  QCheck.Test.make ~name:"pack overlap-free" ~count:300 arb_tree_dims
+    (fun (t, d) ->
+      Result.is_ok
+        (Constraints.Placement_check.overlap_free (Tree.pack t (fun c -> d.(c)))))
+
+let prop_root_at_origin =
+  QCheck.Test.make ~name:"root at origin" ~count:300 arb_tree_dims
+    (fun (t, d) ->
+      match Tree.pack t (fun c -> d.(c)) with
+      | root :: _ ->
+          root.Geometry.Transform.rect.Geometry.Rect.x = 0
+          && root.Geometry.Transform.rect.Geometry.Rect.y = 0
+      | [] -> false)
+
+let prop_perturb_preserves_cells =
+  QCheck.Test.make ~name:"perturb preserves cell set" ~count:300
+    QCheck.(pair (int_range 1 15) small_int)
+    (fun (n, seed) ->
+      let rng = Prelude.Rng.create seed in
+      let t = ref (Tree.random rng (List.init n Fun.id)) in
+      let expected = List.init n Fun.id in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        t := Perturb.random rng !t;
+        if sorted_cells !t <> expected then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "bstar"
+    [
+      ( "pack",
+        [
+          Alcotest.test_case "row/column" `Quick test_row_column;
+          Alcotest.test_case "children semantics" `Quick test_left_child_abuts;
+          Alcotest.test_case "contour" `Quick test_contour_tuck;
+        ] );
+      ( "edit",
+        [ Alcotest.test_case "delete/insert/swap" `Quick test_delete_insert_swap ] );
+      ( "count",
+        [
+          Alcotest.test_case "catalan" `Quick test_catalan;
+          Alcotest.test_case "8-module count" `Quick test_count_placements;
+          Alcotest.test_case "enumerations" `Quick test_enumerate_sizes;
+        ] );
+      ( "centroid",
+        [
+          Alcotest.test_case "patterns" `Quick test_centroid_patterns;
+          Alcotest.test_case "interdigitated" `Quick test_interdigitated;
+          Alcotest.test_case "pattern shape" `Quick
+            test_interdigitated_pattern_shape;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_pack_overlap_free;
+            prop_root_at_origin;
+            prop_perturb_preserves_cells;
+          ] );
+    ]

@@ -1,0 +1,113 @@
+open Geometry
+module G = Constraints.Symmetry_group
+module Check = Constraints.Placement_check
+
+let place cell x y w h =
+  Transform.place ~cell ~x ~y ~w ~h ~orient:Orientation.R0
+
+let test_group_make () =
+  let g = G.make ~pairs:[ (0, 1) ] ~selfs:[ 2 ] () in
+  Alcotest.(check int) "cardinal" 3 (G.cardinal g);
+  Alcotest.(check (option int)) "sym pair" (Some 1) (G.sym g 0);
+  Alcotest.(check (option int)) "sym self" (Some 2) (G.sym g 2);
+  Alcotest.(check (option int)) "sym outside" None (G.sym g 9);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Symmetry_group.make: duplicate cell") (fun () ->
+      ignore (G.make ~pairs:[ (0, 1) ] ~selfs:[ 1 ] ()));
+  Alcotest.check_raises "self pair"
+    (Invalid_argument "Symmetry_group.make: pair of equal cells") (fun () ->
+      ignore (G.make ~pairs:[ (3, 3) ] ~selfs:[] ()))
+
+let test_of_hierarchy_fig2 () =
+  let b = Netlist.Benchmarks.fig2_design () in
+  let groups = G.of_hierarchy b.Netlist.Benchmarks.hierarchy in
+  Alcotest.(check int) "one group" 1 (List.length groups);
+  match groups with
+  | [ g ] ->
+      Alcotest.(check (list (pair int int))) "pair D,E" [ (3, 4) ] g.G.pairs;
+      Alcotest.(check (list int)) "self A" [ 0 ] g.G.selfs
+  | _ -> Alcotest.fail "unexpected"
+
+let test_overlap_free () =
+  let good = [ place 0 0 0 5 5; place 1 5 0 5 5; place 2 0 5 10 2 ] in
+  Alcotest.(check bool) "disjoint ok" true (Result.is_ok (Check.overlap_free good));
+  let bad = place 3 4 4 3 3 :: good in
+  Alcotest.(check bool) "overlap caught" true (Result.is_error (Check.overlap_free bad))
+
+let test_symmetry_check () =
+  let g = G.make ~pairs:[ (0, 1) ] ~selfs:[ 2 ] () in
+  (* axis at x=10 (axis2=20): pair 0 at [2,6), 1 at [14,18), self 2 at [8,12) *)
+  let good = [ place 0 2 0 4 5; place 1 14 0 4 5; place 2 8 6 4 3 ] in
+  (match Check.symmetry ~group:g good with
+  | Ok axis2 -> Alcotest.(check int) "axis" 20 axis2
+  | Error v -> Alcotest.fail (Format.asprintf "%a" Check.pp_violation v));
+  let off_axis = [ place 0 2 0 4 5; place 1 14 0 4 5; place 2 9 6 4 3 ] in
+  Alcotest.(check bool) "self off axis caught" true
+    (Result.is_error (Check.symmetry ~group:g off_axis));
+  let y_mismatch = [ place 0 2 0 4 5; place 1 14 1 4 5; place 2 8 6 4 3 ] in
+  Alcotest.(check bool) "y mismatch caught" true
+    (Result.is_error (Check.symmetry ~group:g y_mismatch));
+  let dim_mismatch = [ place 0 2 0 4 5; place 1 14 0 5 5; place 2 8 6 4 3 ] in
+  Alcotest.(check bool) "dims mismatch caught" true
+    (Result.is_error (Check.symmetry ~group:g dim_mismatch));
+  let unplaced = [ place 0 2 0 4 5; place 2 8 6 4 3 ] in
+  Alcotest.(check bool) "missing cell caught" true
+    (Result.is_error (Check.symmetry ~group:g unplaced))
+
+let test_two_pairs_common_axis () =
+  let g = G.make ~pairs:[ (0, 1); (2, 3) ] ~selfs:[] () in
+  let good =
+    [ place 0 0 0 4 5; place 1 16 0 4 5; place 2 5 0 2 3; place 3 13 0 2 3 ]
+  in
+  (match Check.symmetry ~group:g good with
+  | Ok axis2 -> Alcotest.(check int) "axis" 20 axis2
+  | Error v -> Alcotest.fail (Format.asprintf "%a" Check.pp_violation v));
+  let skewed =
+    [ place 0 0 0 4 5; place 1 16 0 4 5; place 2 5 0 2 3; place 3 14 0 2 3 ]
+  in
+  Alcotest.(check bool) "inconsistent axes caught" true
+    (Result.is_error (Check.symmetry ~group:g skewed))
+
+let test_proximity () =
+  let connected = [ place 0 0 0 5 5; place 1 5 0 5 5 ] in
+  Alcotest.(check bool) "connected" true
+    (Result.is_ok (Check.proximity ~members:[ 0; 1 ] connected));
+  let gap = [ place 0 0 0 5 5; place 1 6 0 5 5 ] in
+  Alcotest.(check bool) "gap caught" true
+    (Result.is_error (Check.proximity ~members:[ 0; 1 ] gap))
+
+let test_common_centroid () =
+  (* 2x2 interdigitated, all 4x3 cells *)
+  let good =
+    [ place 0 0 0 4 3; place 1 4 0 4 3; place 2 4 3 4 3; place 3 0 3 4 3 ]
+  in
+  (* centers: (2,1.5) (6,1.5) (6,4.5) (2,4.5): centroid (4,3); 0<->2, 1<->3 *)
+  Alcotest.(check bool) "point symmetric ok" true
+    (Result.is_ok (Check.common_centroid ~members:[ 0; 1; 2; 3 ] good));
+  let bad =
+    [ place 0 0 0 4 3; place 1 4 0 4 3; place 2 4 3 4 3; place 3 1 3 4 3 ]
+  in
+  Alcotest.(check bool) "shifted caught" true
+    (Result.is_error (Check.common_centroid ~members:[ 0; 1; 2; 3 ] bad));
+  (* odd count: middle cell on centroid *)
+  let row = [ place 0 0 0 4 3; place 1 4 0 4 3; place 2 8 0 4 3 ] in
+  Alcotest.(check bool) "odd row ok" true
+    (Result.is_ok (Check.common_centroid ~members:[ 0; 1; 2 ] row))
+
+let () =
+  Alcotest.run "constraints"
+    [
+      ( "symmetry group",
+        [
+          Alcotest.test_case "make/sym" `Quick test_group_make;
+          Alcotest.test_case "of_hierarchy fig2" `Quick test_of_hierarchy_fig2;
+        ] );
+      ( "checks",
+        [
+          Alcotest.test_case "overlap" `Quick test_overlap_free;
+          Alcotest.test_case "symmetry" `Quick test_symmetry_check;
+          Alcotest.test_case "two pairs" `Quick test_two_pairs_common_axis;
+          Alcotest.test_case "proximity" `Quick test_proximity;
+          Alcotest.test_case "common centroid" `Quick test_common_centroid;
+        ] );
+    ]

@@ -1,0 +1,87 @@
+open Geometry
+
+let unit x y = Rect.make ~x ~y ~w:10 ~h:8
+
+let test_gradient_linear () =
+  let m = { Mismatch.Gradient.slope = 2.0; theta = 0.0; local_sigma = 0.0 } in
+  Alcotest.(check (float 1e-9)) "along x" 20.0
+    (Mismatch.Gradient.gradient_at m (10.0, 99.0));
+  let m90 =
+    { Mismatch.Gradient.slope = 2.0; theta = Float.pi /. 2.0; local_sigma = 0.0 }
+  in
+  Alcotest.(check bool) "along y" true
+    (Float.abs (Mismatch.Gradient.gradient_at m90 (99.0, 10.0) -. 20.0) < 1e-9)
+
+let test_centroid_cancels_gradient_exactly () =
+  (* ABBA: A at cols 0,3; B at cols 1,2 -- common centroid *)
+  let a = [ unit 0 0; unit 30 0 ] in
+  let b = [ unit 10 0; unit 20 0 ] in
+  let rng = Prelude.Rng.create 3 in
+  for _ = 1 to 100 do
+    let m =
+      {
+        (Mismatch.Gradient.sample_model rng ~slope_mag:1.0 ~local_sigma:0.0) with
+        Mismatch.Gradient.local_sigma = 0.0;
+      }
+    in
+    let off = Mismatch.Gradient.pair_offset m rng a b in
+    if Float.abs off > 1e-9 then
+      Alcotest.failf "gradient leaked through common centroid: %g" off
+  done
+
+let test_side_by_side_sees_gradient () =
+  (* AABB: centroids differ by 2 columns *)
+  let a = [ unit 0 0; unit 10 0 ] in
+  let b = [ unit 20 0; unit 30 0 ] in
+  let m = { Mismatch.Gradient.slope = 1.0; theta = 0.0; local_sigma = 0.0 } in
+  let rng = Prelude.Rng.create 1 in
+  let off = Mismatch.Gradient.pair_offset m rng a b in
+  Alcotest.(check (float 1e-9)) "offset = slope * centroid distance" 20.0
+    (Float.abs off)
+
+let test_local_floor_scales_with_units () =
+  let rng = Prelude.Rng.create 5 in
+  let mk k x0 = List.init k (fun i -> unit (x0 + (10 * i)) 0) in
+  (* no gradient: sigma(off) = local * sqrt(2/k) *)
+  let sigma k =
+    Mismatch.Gradient.monte_carlo rng ~trials:4000 ~slope_mag:0.0
+      ~local_sigma:1.0
+      (mk k 0, mk k 1000)
+  in
+  let s1 = sigma 1 and s4 = sigma 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "sqrt-k averaging (s1 %.3f s4 %.3f)" s1 s4)
+    true
+    (Float.abs (s1 -. sqrt 2.0) < 0.1 && Float.abs (s4 -. (sqrt 2.0 /. 2.0)) < 0.06)
+
+let test_mc_ordering () =
+  let rng = Prelude.Rng.create 9 in
+  let a_cc = [ unit 0 0; unit 30 0 ] and b_cc = [ unit 10 0; unit 20 0 ] in
+  let a_sbs = [ unit 0 0; unit 10 0 ] and b_sbs = [ unit 20 0; unit 30 0 ] in
+  let a_far = [ unit 0 0; unit 10 0 ] and b_far = [ unit 500 0; unit 510 0 ] in
+  let mc pair =
+    Mismatch.Gradient.monte_carlo rng ~trials:2000 ~slope_mag:0.01
+      ~local_sigma:0.02 pair
+  in
+  let cc = mc (a_cc, b_cc) and sbs = mc (a_sbs, b_sbs) and far = mc (a_far, b_far) in
+  Alcotest.(check bool)
+    (Printf.sprintf "cc %.4f < sbs %.4f < far %.4f" cc sbs far)
+    true
+    (cc < sbs && sbs < far)
+
+let () =
+  Alcotest.run "mismatch"
+    [
+      ( "gradient",
+        [
+          Alcotest.test_case "linearity" `Quick test_gradient_linear;
+          Alcotest.test_case "centroid cancels" `Quick
+            test_centroid_cancels_gradient_exactly;
+          Alcotest.test_case "side by side" `Quick test_side_by_side_sees_gradient;
+        ] );
+      ( "monte carlo",
+        [
+          Alcotest.test_case "local floor" `Quick test_local_floor_scales_with_units;
+          Alcotest.test_case "layout ordering" `Quick test_mc_ordering;
+        ] );
+    ]

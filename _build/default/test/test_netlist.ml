@@ -1,0 +1,366 @@
+open Netlist
+
+let test_parse_values () =
+  let check s expected =
+    match Parser.parse_value s with
+    | Some v ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s -> %g" s expected)
+          true
+          (Float.abs (v -. expected) <= Float.abs expected *. 1e-9)
+    | None -> Alcotest.fail ("failed to parse " ^ s)
+  in
+  check "1p" 1e-12;
+  check "2.5u" 2.5e-6;
+  check "10k" 1e4;
+  check "3meg" 3e6;
+  check "100f" 100e-15;
+  check "0.5" 0.5;
+  check "7n" 7e-9;
+  Alcotest.(check (option reject)) "garbage" None (Parser.parse_value "xyz")
+
+let test_parse_miller () =
+  match Parser.parse_string Benchmarks.miller_netlist with
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Parser.pp_error e)
+  | Ok devices ->
+      Alcotest.(check int) "9 devices" 9 (List.length devices);
+      let p1 = List.find (fun d -> d.Device.name = "MP1") devices in
+      (match p1.Device.kind with
+      | Device.Mos { mos = Device.Pmos; w_um; l_um; folds } ->
+          Alcotest.(check (float 1e-9)) "W" 40.0 w_um;
+          Alcotest.(check (float 1e-9)) "L" 0.5 l_um;
+          Alcotest.(check int) "folds" 2 folds
+      | _ -> Alcotest.fail "MP1 should be a PMOS");
+      Alcotest.(check (option string)) "gate net" (Some "inp")
+        (Device.net_of_pin p1 "g")
+
+let test_parse_errors () =
+  let expect_error text =
+    match Parser.parse_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("expected parse error for: " ^ text)
+  in
+  expect_error "M1 d g s b foo W=1u L=1u";
+  expect_error "M1 d g s b nmos L=1u";
+  expect_error "C1 a b garbage";
+  expect_error "Q1 a b c"
+
+let test_to_circuit () =
+  match Parser.parse_string Benchmarks.miller_netlist with
+  | Error _ -> Alcotest.fail "parse"
+  | Ok devices ->
+      let c = Parser.to_circuit ~name:"m" devices in
+      Alcotest.(check int) "9 modules" 9 (Circuit.size c);
+      (* supply nets dropped *)
+      Alcotest.(check bool) "no vdd net" true
+        (not (List.exists (fun (n : Net.t) -> n.Net.name = "vdd") c.Circuit.nets));
+      let x2 = List.find (fun (n : Net.t) -> n.Net.name = "x2") c.Circuit.nets in
+      Alcotest.(check int) "x2 degree" 4 (Net.degree x2)
+
+let test_footprints () =
+  let mos folds =
+    Device.make ~name:"m"
+      ~kind:(Device.Mos { mos = Device.Nmos; w_um = 40.0; l_um = 0.5; folds })
+      ~pins:[]
+  in
+  let w1, h1 = Device.footprint (mos 1) in
+  let w4, h4 = Device.footprint (mos 4) in
+  Alcotest.(check bool) "positive" true (w1 > 0 && h1 > 0);
+  Alcotest.(check bool) "folding narrows" true (w4 < w1);
+  Alcotest.(check bool) "folding raises" true (h4 > h1);
+  let cap =
+    Device.make ~name:"c" ~kind:(Device.Cap { farads = 1e-12 }) ~pins:[]
+  in
+  let cw, ch = Device.footprint cap in
+  Alcotest.(check bool) "cap square-ish" true (abs (cw - ch) <= 1)
+
+let test_recognize_miller () =
+  let b = Benchmarks.miller () in
+  let { Recognize.structures; hierarchy } = Recognize.recognize b.circuit in
+  let mirrors =
+    List.filter
+      (function Recognize.Current_mirror _ -> true | _ -> false)
+      structures
+  in
+  let dps =
+    List.filter (function Recognize.Diff_pair _ -> true | _ -> false) structures
+  in
+  Alcotest.(check int) "two mirrors" 2 (List.length mirrors);
+  Alcotest.(check int) "one diff pair" 1 (List.length dps);
+  (* the three-device bias mirror *)
+  Alcotest.(check bool) "3-device mirror present" true
+    (List.exists
+       (function
+         | Recognize.Current_mirror ms -> List.length ms = 3
+         | Recognize.Diff_pair _ | Recognize.Cascode_pair _ -> false)
+       structures);
+  (* CORE = DP + load mirror under one symmetry node *)
+  let cores =
+    Hierarchy.constraint_nodes hierarchy
+    |> List.filter (fun (name, kind, leaves) ->
+           kind = Hierarchy.Symmetry
+           && List.length leaves = 4
+           && String.length name >= 4
+           && String.sub name 0 4 = "CORE")
+  in
+  Alcotest.(check int) "one CORE node" 1 (List.length cores);
+  match Hierarchy.validate hierarchy ~n_modules:(Circuit.size b.circuit) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_hierarchy_ops () =
+  let open Hierarchy in
+  let t =
+    node "top"
+      [ node ~kind:Symmetry "s" [ Leaf 0; Leaf 1 ]; Leaf 2; node "g" [ Leaf 3 ] ]
+  in
+  Alcotest.(check (list int)) "leaves" [ 0; 1; 2; 3 ] (leaves t);
+  Alcotest.(check int) "size" 4 (size t);
+  Alcotest.(check int) "depth" 3 (depth t);
+  (match validate t ~n_modules:4 with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match validate t ~n_modules:5 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "missing module undetected");
+  let dup = node "top" [ Leaf 0; Leaf 0 ] in
+  (match validate dup ~n_modules:1 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate undetected");
+  let sets = basic_module_sets t in
+  Alcotest.(check int) "basic sets" 2 (List.length sets)
+
+let test_subcircuit () =
+  let b = Benchmarks.fig1_circuit () in
+  let sub, map = Circuit.subcircuit b ~name:"sub" [ 1; 2; 6 ] in
+  Alcotest.(check int) "3 modules" 3 (Circuit.size sub);
+  Alcotest.(check (array int)) "mapping" [| 1; 2; 6 |] map;
+  (* net n1 had pins 1,2,6,3 -> pin 3 outside, net dropped *)
+  Alcotest.(check int) "nets inside only" 0 (List.length sub.Circuit.nets)
+
+let test_wirelength () =
+  let nets = [ Net.make ~name:"n" ~pins:[ 0; 1 ] (); Net.make ~weight:2.0 ~name:"m" ~pins:[ 0; 2 ] () ] in
+  let centers = [| (0, 0); (20, 10); (6, 8) |] in
+  let center2 m = Some centers.(m) in
+  (* hpwl n = (20+10)/2 = 15; m = 2*(6+8)/2 = 14 *)
+  Alcotest.(check (float 1e-9)) "hpwl" 29.0 (Wirelength.hpwl nets ~center2);
+  Alcotest.(check (float 1e-9)) "skips unplaced" 15.0
+    (Wirelength.hpwl nets ~center2:(fun m -> if m = 2 then None else Some centers.(m)))
+
+let test_print_roundtrip_miller () =
+  match Parser.parse_string Benchmarks.miller_netlist with
+  | Error _ -> Alcotest.fail "parse"
+  | Ok devices -> (
+      let text = Parser.print_netlist devices in
+      match Parser.parse_string text with
+      | Error e -> Alcotest.failf "reparse: %a" Parser.pp_error e
+      | Ok devices' ->
+          Alcotest.(check int) "same count" (List.length devices)
+            (List.length devices');
+          List.iter2
+            (fun (a : Device.t) (b : Device.t) ->
+              Alcotest.(check string) "name" a.Device.name b.Device.name;
+              Alcotest.(check bool) "pins" true (a.Device.pins = b.Device.pins);
+              match (a.Device.kind, b.Device.kind) with
+              | ( Device.Mos { mos = m1; w_um = w1; l_um = l1; folds = f1 },
+                  Device.Mos { mos = m2; w_um = w2; l_um = l2; folds = f2 } ) ->
+                  Alcotest.(check bool) "mos equal" true
+                    (m1 = m2 && f1 = f2
+                    && Float.abs (w1 -. w2) < 1e-9
+                    && Float.abs (l1 -. l2) < 1e-9)
+              | Device.Cap { farads = v1 }, Device.Cap { farads = v2 }
+                ->
+                  Alcotest.(check bool) "cap equal" true
+                    (Float.abs (v1 -. v2) <= v1 *. 1e-9)
+              | Device.Res { ohms = v1 }, Device.Res { ohms = v2 } ->
+                  Alcotest.(check bool) "res equal" true
+                    (Float.abs (v1 -. v2) <= v1 *. 1e-9)
+              | _ -> Alcotest.fail "kind changed")
+            devices devices')
+
+let prop_roundtrip_random_netlists =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Prelude.Rng.create seed in
+      let n = 1 + Prelude.Rng.int rng 12 in
+      let net () = Printf.sprintf "n%d" (Prelude.Rng.int rng 8) in
+      let devices =
+        List.init n (fun i ->
+            match Prelude.Rng.int rng 3 with
+            | 0 ->
+                Device.make
+                  ~name:(Printf.sprintf "M%d" i)
+                  ~kind:
+                    (Device.Mos
+                       {
+                         mos =
+                           (if Prelude.Rng.bool rng then Device.Nmos
+                            else Device.Pmos);
+                         w_um = float_of_int (1 + Prelude.Rng.int rng 100);
+                         l_um = float_of_int (1 + Prelude.Rng.int rng 4);
+                         folds = 1 + Prelude.Rng.int rng 8;
+                       })
+                  ~pins:
+                    [ ("d", net ()); ("g", net ()); ("s", net ()); ("b", net ()) ]
+            | 1 ->
+                Device.make
+                  ~name:(Printf.sprintf "C%d" i)
+                  ~kind:
+                    (Device.Cap
+                       { farads = float_of_int (1 + Prelude.Rng.int rng 100) *. 1e-13 })
+                  ~pins:[ ("p", net ()); ("n", net ()) ]
+            | _ ->
+                Device.make
+                  ~name:(Printf.sprintf "R%d" i)
+                  ~kind:
+                    (Device.Res
+                       { ohms = float_of_int (1 + Prelude.Rng.int rng 100000) })
+                  ~pins:[ ("p", net ()); ("n", net ()) ])
+      in
+      match Parser.parse_string (Parser.print_netlist devices) with
+      | Error _ -> false
+      | Ok devices' ->
+          List.length devices = List.length devices'
+          && List.for_all2
+               (fun (a : Device.t) (b : Device.t) ->
+                 a.Device.name = b.Device.name && a.Device.pins = b.Device.pins)
+               devices devices')
+
+let prop_parser_never_crashes =
+  QCheck.Test.make ~name:"parser total on garbage" ~count:500
+    QCheck.(string_of_size Gen.(int_bound 200))
+    (fun text ->
+      match Parser.parse_string text with Ok _ | Error _ -> true)
+
+let test_table1_suite () =
+  let suite = Benchmarks.table1_suite () in
+  let sizes = List.map (fun (b : Benchmarks.bench) -> Circuit.size b.circuit) suite in
+  Alcotest.(check (list int)) "module counts" [ 13; 10; 22; 46; 65; 110 ] sizes;
+  List.iter
+    (fun (b : Benchmarks.bench) ->
+      match
+        Hierarchy.validate b.hierarchy ~n_modules:(Circuit.size b.circuit)
+      with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail (b.label ^ ": " ^ m))
+    suite
+
+let test_synthetic_deterministic () =
+  let a = Benchmarks.synthetic ~label:"x" ~n:25 ~seed:5 in
+  let b = Benchmarks.synthetic ~label:"x" ~n:25 ~seed:5 in
+  Alcotest.(check int) "same size" (Circuit.size a.circuit) (Circuit.size b.circuit);
+  Array.iteri
+    (fun i (m : Circuit.module_) ->
+      let m' = b.circuit.Circuit.modules.(i) in
+      Alcotest.(check (pair int int)) "same dims" (m.w, m.h) (m'.w, m'.h))
+    a.circuit.Circuit.modules
+
+let test_cluster_two_cliques () =
+  (* two 3-cliques joined by one weak net: clustering must put each
+     clique in its own subtree *)
+  let modules =
+    List.init 6 (fun i ->
+        Circuit.block ~name:(Printf.sprintf "m%d" i) ~w:10 ~h:10)
+  in
+  let nets =
+    [
+      Net.make ~weight:5.0 ~name:"a" ~pins:[ 0; 1; 2 ] ();
+      Net.make ~weight:5.0 ~name:"b" ~pins:[ 3; 4; 5 ] ();
+      Net.make ~weight:0.1 ~name:"bridge" ~pins:[ 2; 3 ] ();
+    ]
+  in
+  let c = Circuit.make ~name:"cliques" ~modules ~nets in
+  let h = Cluster.by_connectivity ~max_cluster:3 c in
+  (match Hierarchy.validate h ~n_modules:6 with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let sets = Hierarchy.basic_module_sets h in
+  let sorted_sets =
+    List.map (fun (_, _, cells) -> List.sort Int.compare cells) sets
+    |> List.sort compare
+  in
+  Alcotest.(check (list (list int))) "cliques become basic sets"
+    [ [ 0; 1; 2 ]; [ 3; 4; 5 ] ]
+    sorted_sets
+
+let test_cluster_disconnected () =
+  let modules =
+    List.init 5 (fun i ->
+        Circuit.block ~name:(Printf.sprintf "m%d" i) ~w:10 ~h:10)
+  in
+  let c = Circuit.make ~name:"island" ~modules ~nets:[] in
+  let h = Cluster.by_connectivity c in
+  match Hierarchy.validate h ~n_modules:5 with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_cluster_connectivity_metric () =
+  let c = (Benchmarks.miller ()).Benchmarks.circuit in
+  let p1 = Circuit.find_module c "MP1" in
+  let n3 = Circuit.find_module c "MN3" in
+  let p7 = Circuit.find_module c "MP7" in
+  Alcotest.(check bool) "P1 and N3 share x1" true
+    (Cluster.connectivity c p1 n3 > 0.0);
+  Alcotest.(check (float 0.0)) "P1 and P7 unconnected (signal nets)" 0.0
+    (Cluster.connectivity c p1 p7)
+
+let prop_cluster_covers_everything =
+  QCheck.Test.make ~name:"clustering covers all modules once" ~count:100
+    QCheck.(pair small_int (int_range 1 20))
+    (fun (seed, n) ->
+      let b = Benchmarks.synthetic ~label:"cl" ~n ~seed in
+      let h = Cluster.by_connectivity b.Benchmarks.circuit in
+      Result.is_ok (Hierarchy.validate h ~n_modules:n))
+
+let test_fig1 () =
+  let c = Benchmarks.fig1_circuit () in
+  Alcotest.(check int) "7 cells" 7 (Circuit.size c);
+  let pairs, selfs = Benchmarks.fig1_symmetry in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check (pair int int)) "pair dims match" (Circuit.dims c a)
+        (Circuit.dims c b))
+    pairs;
+  Alcotest.(check int) "two selfs" 2 (List.length selfs)
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "values" `Quick test_parse_values;
+          Alcotest.test_case "miller netlist" `Quick test_parse_miller;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "to_circuit" `Quick test_to_circuit;
+          Alcotest.test_case "print roundtrip" `Quick
+            test_print_roundtrip_miller;
+        ] );
+      ( "parser properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip_random_netlists; prop_parser_never_crashes ] );
+      ( "device",
+        [ Alcotest.test_case "footprints" `Quick test_footprints ] );
+      ( "recognize",
+        [ Alcotest.test_case "miller" `Quick test_recognize_miller ] );
+      ( "hierarchy",
+        [ Alcotest.test_case "ops" `Quick test_hierarchy_ops ] );
+      ( "circuit",
+        [
+          Alcotest.test_case "subcircuit" `Quick test_subcircuit;
+          Alcotest.test_case "wirelength" `Quick test_wirelength;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "two cliques" `Quick test_cluster_two_cliques;
+          Alcotest.test_case "disconnected" `Quick test_cluster_disconnected;
+          Alcotest.test_case "metric" `Quick test_cluster_connectivity_metric;
+        ] );
+      ( "cluster properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_cluster_covers_everything ] );
+      ( "benchmarks",
+        [
+          Alcotest.test_case "table1 suite" `Quick test_table1_suite;
+          Alcotest.test_case "deterministic" `Quick test_synthetic_deterministic;
+          Alcotest.test_case "fig1" `Quick test_fig1;
+        ] );
+    ]

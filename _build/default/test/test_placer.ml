@@ -1,0 +1,298 @@
+let small_params =
+  {
+    Anneal.Sa.initial_temperature = None;
+    final_temperature = 1e-2;
+    moves_per_round = 60;
+    schedule = Anneal.Schedule.default;
+    frozen_rounds = 4;
+    max_rounds = 40;
+  }
+
+let tiny_circuit () =
+  Netlist.Circuit.make ~name:"tiny"
+    ~modules:
+      [
+        Netlist.Circuit.block ~name:"a" ~w:10 ~h:6;
+        Netlist.Circuit.block ~name:"b" ~w:10 ~h:6;
+        Netlist.Circuit.block ~name:"c" ~w:4 ~h:12;
+        Netlist.Circuit.block ~name:"d" ~w:8 ~h:8;
+        Netlist.Circuit.block ~name:"e" ~w:6 ~h:6;
+      ]
+    ~nets:
+      [
+        Netlist.Net.make ~name:"n1" ~pins:[ 0; 1 ] ();
+        Netlist.Net.make ~name:"n2" ~pins:[ 2; 3; 4 ] ();
+      ]
+
+let test_validate () =
+  let c = tiny_circuit () in
+  let good =
+    List.mapi
+      (fun i (w, h) ->
+        Geometry.Transform.place ~cell:i ~x:(i * 12) ~y:0 ~w ~h
+          ~orient:Geometry.Orientation.R0)
+      [ (10, 6); (10, 6); (4, 12); (8, 8); (6, 6) ]
+  in
+  Alcotest.(check bool) "valid placement accepted" true
+    (Result.is_ok (Placer.Placement.validate (Placer.Placement.make c good)));
+  let missing = List.tl good in
+  Alcotest.(check bool) "missing module caught" true
+    (Result.is_error
+       (Placer.Placement.validate (Placer.Placement.make c missing)));
+  let negative =
+    Geometry.Transform.place ~cell:0 ~x:(-1) ~y:0 ~w:10 ~h:6
+      ~orient:Geometry.Orientation.R0
+    :: List.tl good
+  in
+  Alcotest.(check bool) "negative coordinate caught" true
+    (Result.is_error
+       (Placer.Placement.validate (Placer.Placement.make c negative)))
+
+let test_metrics () =
+  let c = tiny_circuit () in
+  let placed =
+    List.mapi
+      (fun i (w, h) ->
+        Geometry.Transform.place ~cell:i ~x:(i * 12) ~y:0 ~w ~h
+          ~orient:Geometry.Orientation.R0)
+      [ (10, 6); (10, 6); (4, 12); (8, 8); (6, 6) ]
+  in
+  let p = Placer.Placement.make c placed in
+  Alcotest.(check int) "width" 54 (Placer.Placement.width p);
+  Alcotest.(check int) "height" 12 (Placer.Placement.height p);
+  Alcotest.(check bool) "hpwl positive" true (Placer.Placement.hpwl p > 0.0);
+  Alcotest.(check bool) "dead space positive" true
+    (Placer.Placement.dead_space p > 0)
+
+let test_sa_seqpair_flat () =
+  let rng = Prelude.Rng.create 1 in
+  let out = Placer.Sa_seqpair.place ~params:small_params ~rng (tiny_circuit ()) in
+  match Placer.Placement.validate out.Placer.Sa_seqpair.placement with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_sa_seqpair_symmetric () =
+  let rng = Prelude.Rng.create 2 in
+  let grp = Constraints.Symmetry_group.make ~pairs:[ (0, 1) ] ~selfs:[ 2 ] () in
+  let out =
+    Placer.Sa_seqpair.place ~params:small_params ~groups:[ grp ] ~rng
+      (tiny_circuit ())
+  in
+  (match Placer.Placement.validate out.Placer.Sa_seqpair.placement with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  match
+    Constraints.Placement_check.symmetry ~group:grp
+      out.Placer.Sa_seqpair.placement.Placer.Placement.placed
+  with
+  | Ok _ -> ()
+  | Error v ->
+      Alcotest.failf "SA result not symmetric: %a"
+        Constraints.Placement_check.pp_violation v
+
+let test_sa_bstar () =
+  let rng = Prelude.Rng.create 3 in
+  let out = Placer.Sa_bstar.place ~params:small_params ~rng (tiny_circuit ()) in
+  match Placer.Placement.validate out.Placer.Sa_bstar.placement with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_slicing_normalized () =
+  let open Placer.Slicing in
+  Alcotest.(check bool) "valid" true
+    (is_normalized [ Operand 0; Operand 1; V; Operand 2; H ]);
+  Alcotest.(check bool) "balloting violated" false
+    (is_normalized [ Operand 0; V; Operand 1; Operand 2; H ]);
+  Alcotest.(check bool) "double operator" false
+    (is_normalized [ Operand 0; Operand 1; V; Operand 2; V; V ]);
+  Alcotest.(check bool) "adjacent same ops" false
+    (is_normalized [ Operand 0; Operand 1; Operand 2; H; H ]);
+  Alcotest.(check bool) "skewed chain with separating operand ok" true
+    (is_normalized [ Operand 0; Operand 1; H; Operand 2; H ]);
+  Alcotest.(check bool) "single operand" true (is_normalized [ Operand 0 ]);
+  Alcotest.(check bool) "empty invalid" false (is_normalized [])
+
+let test_slicing_place () =
+  let rng = Prelude.Rng.create 4 in
+  let out = Placer.Slicing.place ~params:small_params ~rng (tiny_circuit ()) in
+  match Placer.Placement.validate out.Placer.Slicing.placement with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_sa_improves () =
+  (* annealing should beat the un-annealed initial packing on average *)
+  let c = Netlist.Benchmarks.synthetic ~label:"s" ~n:12 ~seed:77 in
+  let rng = Prelude.Rng.create 5 in
+  let out =
+    Placer.Sa_seqpair.place ~params:small_params ~rng
+      c.Netlist.Benchmarks.circuit
+  in
+  let total = Netlist.Circuit.total_module_area c.Netlist.Benchmarks.circuit in
+  let usage =
+    float_of_int (Placer.Placement.area out.Placer.Sa_seqpair.placement)
+    /. float_of_int total
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "area usage %.2f within 2x of ideal" usage)
+    true (usage < 2.0)
+
+let test_plot_ascii () =
+  let c = tiny_circuit () in
+  let placed =
+    List.mapi
+      (fun i (w, h) ->
+        Geometry.Transform.place ~cell:i ~x:(i * 12) ~y:0 ~w ~h
+          ~orient:Geometry.Orientation.R0)
+      [ (10, 6); (10, 6); (4, 12); (8, 8); (6, 6) ]
+  in
+  let p = Placer.Placement.make c placed in
+  let art = Placer.Plot.ascii ~width:40 p in
+  Alcotest.(check bool) "non-empty" true (String.length art > 0);
+  Alcotest.(check bool) "contains module glyph" true (String.contains art 'a');
+  let svg = Placer.Plot.svg p in
+  Alcotest.(check bool) "svg wellformed" true
+    (String.length svg > 0
+    && String.sub svg 0 4 = "<svg"
+    && String.length svg >= 7
+    && String.sub svg (String.length svg - 7) 6 = "</svg>")
+
+let test_sa_absolute () =
+  let rng = Prelude.Rng.create 6 in
+  let out =
+    Placer.Sa_absolute.place ~params:small_params ~rng (tiny_circuit ())
+  in
+  (* legalization must always produce a valid placement *)
+  (match Placer.Placement.validate out.Placer.Sa_absolute.placement with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check bool) "overlap reported non-negative" true
+    (out.Placer.Sa_absolute.raw_overlap >= 0)
+
+let prop_absolute_legalizes =
+  QCheck.Test.make ~name:"absolute placer always legalizes" ~count:30
+    QCheck.(pair small_int (int_range 2 10))
+    (fun (seed, n) ->
+      let b = Netlist.Benchmarks.synthetic ~label:"a" ~n ~seed in
+      let rng = Prelude.Rng.create seed in
+      let out =
+        Placer.Sa_absolute.place ~params:small_params ~rng
+          b.Netlist.Benchmarks.circuit
+      in
+      Result.is_ok (Placer.Placement.validate out.Placer.Sa_absolute.placement))
+
+let test_compact_basics () =
+  let c = tiny_circuit () in
+  (* placement with obvious slack *)
+  let placed =
+    List.mapi
+      (fun i (w, h) ->
+        Geometry.Transform.place ~cell:i ~x:((i * 20) + 5) ~y:10 ~w ~h
+          ~orient:Geometry.Orientation.R0)
+      [ (10, 6); (10, 6); (4, 12); (8, 8); (6, 6) ]
+  in
+  let p = Placer.Placement.make c placed in
+  let q = Placer.Compact.compact p in
+  Alcotest.(check bool) "still valid" true
+    (Result.is_ok (Placer.Placement.validate q));
+  Alcotest.(check bool) "area shrank" true
+    (Placer.Placement.area q < Placer.Placement.area p);
+  Alcotest.(check bool) "relations preserved by x pass" true
+    (Placer.Compact.preserves p (Placer.Compact.compact_x p));
+  Alcotest.(check int) "row compacts to zero slack" 38
+    (Placer.Placement.width (Placer.Compact.compact_x p))
+
+let prop_compact_never_grows =
+  QCheck.Test.make ~name:"compaction keeps validity, never grows" ~count:150
+    QCheck.(pair small_int (int_range 2 15))
+    (fun (seed, n) ->
+      let rng = Prelude.Rng.create seed in
+      let b = Netlist.Benchmarks.synthetic ~label:"c" ~n ~seed in
+      let c = b.Netlist.Benchmarks.circuit in
+      (* random valid placement from a random sequence-pair *)
+      let sp = Seqpair.Sp.random rng n in
+      (* spread it out to create slack *)
+      let placed =
+        List.map
+          (fun (p : Geometry.Transform.placed) ->
+            Geometry.Transform.translate p
+              ~dx:(Prelude.Rng.int rng 40)
+              ~dy:(Prelude.Rng.int rng 40))
+          (Seqpair.Pack.pack sp (Netlist.Circuit.dims c))
+      in
+      let p = Placer.Placement.make c placed in
+      if Result.is_error (Placer.Placement.validate p) then true
+      else
+        let q = Placer.Compact.compact p in
+        Result.is_ok (Placer.Placement.validate q)
+        && Placer.Placement.area q <= Placer.Placement.area p)
+
+let test_finishing_well () =
+  let rects =
+    [
+      Geometry.Rect.make ~x:10 ~y:10 ~w:20 ~h:10;
+      Geometry.Rect.make ~x:30 ~y:10 ~w:10 ~h:25;
+    ]
+  in
+  let well = Geometry.Guard_ring.well ~clearance:5 rects in
+  Alcotest.(check bool) "nonempty" true (well <> []);
+  (* every cell inside the well union *)
+  (* well rects are disjoint, so summed intersections measure coverage *)
+  List.iter
+    (fun cell ->
+      let inter =
+        List.fold_left
+          (fun acc w -> acc + Geometry.Rect.intersection_area cell w)
+          0 well
+      in
+      Alcotest.(check int) "cell fully in well" (Geometry.Rect.area cell) inter)
+    rects
+
+let prop_slicing_moves_normalized =
+  QCheck.Test.make ~name:"slicing moves stay normalized" ~count:200
+    QCheck.(pair (int_range 2 12) small_int)
+    (fun (n, seed) ->
+      let rng = Prelude.Rng.create seed in
+      let expr = ref (Placer.Slicing.initial n) in
+      let ok = ref (Placer.Slicing.is_normalized !expr) in
+      for _ = 1 to 40 do
+        expr := Placer.Slicing.neighbor rng !expr;
+        if not (Placer.Slicing.is_normalized !expr) then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "placer"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "metrics" `Quick test_metrics;
+        ] );
+      ( "sa",
+        [
+          Alcotest.test_case "seqpair flat" `Quick test_sa_seqpair_flat;
+          Alcotest.test_case "seqpair symmetric" `Quick test_sa_seqpair_symmetric;
+          Alcotest.test_case "bstar" `Quick test_sa_bstar;
+          Alcotest.test_case "improves" `Quick test_sa_improves;
+        ] );
+      ( "slicing",
+        [
+          Alcotest.test_case "normalized" `Quick test_slicing_normalized;
+          Alcotest.test_case "place" `Quick test_slicing_place;
+        ] );
+      ( "plot",
+        [ Alcotest.test_case "ascii/svg" `Quick test_plot_ascii ] );
+      ( "compact",
+        [ Alcotest.test_case "basics" `Quick test_compact_basics ] );
+      ( "absolute",
+        [ Alcotest.test_case "legalizes" `Quick test_sa_absolute ] );
+      ( "finishing",
+        [ Alcotest.test_case "well generation" `Quick test_finishing_well ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_slicing_moves_normalized;
+            prop_compact_never_grows;
+            prop_absolute_legalizes;
+          ] );
+    ]

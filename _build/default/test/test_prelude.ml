@@ -1,0 +1,96 @@
+let test_determinism () =
+  let a = Prelude.Rng.create 7 and b = Prelude.Rng.create 7 in
+  let sa = List.init 100 (fun _ -> Prelude.Rng.int a 1000) in
+  let sb = List.init 100 (fun _ -> Prelude.Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed same stream" sa sb;
+  let c = Prelude.Rng.create 8 in
+  let sc = List.init 100 (fun _ -> Prelude.Rng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" true (sa <> sc)
+
+let test_split_independent () =
+  let a = Prelude.Rng.create 7 in
+  let b = Prelude.Rng.split a in
+  let sa = List.init 50 (fun _ -> Prelude.Rng.int a 1000) in
+  let sb = List.init 50 (fun _ -> Prelude.Rng.int b 1000) in
+  Alcotest.(check bool) "split stream differs" true (sa <> sb)
+
+let test_int_bounds () =
+  let rng = Prelude.Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Prelude.Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of range"
+  done;
+  Alcotest.(check_raises) "zero bound"
+    (Invalid_argument "Rng.int: non-positive bound") (fun () ->
+      ignore (Prelude.Rng.int rng 0))
+
+let test_int_in () =
+  let rng = Prelude.Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prelude.Rng.int_in rng (-3) 4 in
+    if v < -3 || v > 4 then Alcotest.fail "out of range"
+  done
+
+let test_permutation () =
+  let rng = Prelude.Rng.create 9 in
+  for n = 1 to 20 do
+    let p = Prelude.Rng.permutation rng n in
+    let sorted = Array.copy p in
+    Array.sort Int.compare sorted;
+    Alcotest.(check (array int)) "is a permutation" (Array.init n Fun.id) sorted
+  done
+
+let test_choose_weighted () =
+  let rng = Prelude.Rng.create 12 in
+  let picks =
+    List.init 2000 (fun _ ->
+        Prelude.Rng.choose_weighted rng [ (9.0, "a"); (1.0, "b") ])
+  in
+  let a_count = List.length (List.filter (String.equal "a") picks) in
+  Alcotest.(check bool) "weighting respected"
+    true
+    (a_count > 1500 && a_count < 2000)
+
+let test_gaussian () =
+  let rng = Prelude.Rng.create 21 in
+  let xs = List.init 5000 (fun _ -> Prelude.Rng.gaussian rng) in
+  let m = Prelude.Stats.mean xs and sd = Prelude.Stats.stddev xs in
+  Alcotest.(check bool) "mean near 0" true (Float.abs m < 0.1);
+  Alcotest.(check bool) "sd near 1" true (Float.abs (sd -. 1.0) < 0.1)
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Prelude.Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Prelude.Stats.mean []);
+  Alcotest.(check (float 1e-9)) "geo mean" 2.0
+    (Prelude.Stats.geo_mean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.(check (float 1e-6)) "stddev" 0.816496580927726
+    (Prelude.Stats.stddev [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "percent" 25.0 (Prelude.Stats.percent 1.0 4.0);
+  Alcotest.(check (float 1e-9)) "percent div0" 0.0 (Prelude.Stats.percent 1.0 0.0)
+
+let prop_shuffle_permutes =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let rng = Prelude.Rng.create seed in
+      let arr = Array.of_list xs in
+      Prelude.Rng.shuffle rng arr;
+      List.sort Int.compare (Array.to_list arr) = List.sort Int.compare xs)
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "split" `Quick test_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int_in" `Quick test_int_in;
+          Alcotest.test_case "permutation" `Quick test_permutation;
+          Alcotest.test_case "choose_weighted" `Quick test_choose_weighted;
+          Alcotest.test_case "gaussian" `Quick test_gaussian;
+        ] );
+      ("stats", [ Alcotest.test_case "basics" `Quick test_stats ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_shuffle_permutes ] );
+    ]

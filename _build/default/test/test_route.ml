@@ -1,0 +1,185 @@
+let test_grid_basics () =
+  let g = Route.Grid.create ~cols:10 ~rows:5 in
+  Alcotest.(check bool) "free initially" false (Route.Grid.blocked g (3, 3));
+  Route.Grid.block g (3, 3);
+  Alcotest.(check bool) "blocked after" true (Route.Grid.blocked g (3, 3));
+  Alcotest.(check bool) "bounds" false (Route.Grid.in_bounds g (10, 0));
+  Route.Grid.block g (99, 99) (* ignored *);
+  Alcotest.(check bool) "occupancy" true
+    (Route.Grid.occupancy g = 1.0 /. 50.0);
+  let copy = Route.Grid.copy g in
+  Route.Grid.block copy (0, 0);
+  Alcotest.(check bool) "copy independent" false (Route.Grid.blocked g (0, 0))
+
+let test_path_straight () =
+  let g = Route.Grid.create ~cols:10 ~rows:10 in
+  match Route.Maze.path g ~src:[ (0, 0) ] ~dst:[ (5, 0) ] with
+  | None -> Alcotest.fail "no path on empty grid"
+  | Some pts ->
+      Alcotest.(check int) "shortest length" 6 (List.length pts);
+      Alcotest.(check bool) "starts at src" true (List.hd pts = (0, 0));
+      Alcotest.(check bool) "ends at dst" true
+        (List.nth pts (List.length pts - 1) = (5, 0))
+
+let test_path_detour () =
+  let g = Route.Grid.create ~cols:10 ~rows:10 in
+  (* wall across column 3 except row 9 *)
+  for r = 0 to 8 do
+    Route.Grid.block g (3, r)
+  done;
+  match Route.Maze.path g ~src:[ (0, 0) ] ~dst:[ (6, 0) ] with
+  | None -> Alcotest.fail "detour exists"
+  | Some pts ->
+      (* must climb to row 9 and back: 6 right + 18 vertical + 1 = 25 *)
+      Alcotest.(check int) "detour length" 25 (List.length pts);
+      Alcotest.(check bool) "avoids wall" true
+        (List.for_all (fun (c, r) -> not (c = 3 && r <= 8)) pts)
+
+let test_path_blocked () =
+  let g = Route.Grid.create ~cols:10 ~rows:10 in
+  for r = 0 to 9 do
+    Route.Grid.block g (3, r)
+  done;
+  Alcotest.(check bool) "fully walled" true
+    (Route.Maze.path g ~src:[ (0, 0) ] ~dst:[ (6, 0) ] = None)
+
+let test_multi_terminal () =
+  let g = Route.Grid.create ~cols:20 ~rows:20 in
+  let terminals = [ (0, 0); (10, 0); (5, 9) ] in
+  match Route.Maze.route_net g ~terminals with
+  | None -> Alcotest.fail "routable"
+  | Some tree ->
+      List.iter
+        (fun t ->
+          Alcotest.(check bool) "terminal covered" true (List.mem t tree))
+        terminals;
+      (* tree is connected: BFS over the tree cells *)
+      let tbl = Hashtbl.create 64 in
+      List.iter (fun p -> Hashtbl.replace tbl p ()) tree;
+      let seen = Hashtbl.create 64 in
+      let rec visit p =
+        if Hashtbl.mem tbl p && not (Hashtbl.mem seen p) then begin
+          Hashtbl.replace seen p ();
+          let c, r = p in
+          List.iter visit [ (c + 1, r); (c - 1, r); (c, r + 1); (c, r - 1) ]
+        end
+      in
+      visit (List.hd tree);
+      Alcotest.(check int) "connected" (List.length tree)
+        (Hashtbl.length seen)
+
+let sym_placement () =
+  (* a mirrored pair + an on-axis tail, nets mirroring each other *)
+  let circuit =
+    Netlist.Circuit.make ~name:"dp"
+      ~modules:
+        [
+          Netlist.Circuit.block ~name:"l" ~w:100 ~h:100;
+          Netlist.Circuit.block ~name:"r" ~w:100 ~h:100;
+          Netlist.Circuit.block ~name:"tail" ~w:100 ~h:100;
+          Netlist.Circuit.block ~name:"outl" ~w:60 ~h:60;
+          Netlist.Circuit.block ~name:"outr" ~w:60 ~h:60;
+        ]
+      ~nets:
+        [
+          Netlist.Net.make ~name:"nl" ~pins:[ 0; 3 ] ();
+          Netlist.Net.make ~name:"nr" ~pins:[ 1; 4 ] ();
+        ]
+  in
+  let place cell x y w h =
+    Geometry.Transform.place ~cell ~x ~y ~w ~h ~orient:Geometry.Orientation.R0
+  in
+  (* axis at x = 300 (axis2 = 600) *)
+  let placed =
+    [
+      place 0 100 0 100 100;
+      place 1 400 0 100 100;
+      place 2 250 120 100 100;
+      place 3 0 240 60 60;
+      place 4 540 240 60 60;
+    ]
+  in
+  (Placer.Placement.make circuit placed,
+   Constraints.Symmetry_group.make ~pairs:[ (0, 1); (3, 4) ] ~selfs:[ 2 ] ())
+
+let test_mirrored_routing () =
+  let placement, grp = sym_placement () in
+  let result = Route.Router.route_all ~pitch:20 ~symmetric:[ grp ] placement in
+  Alcotest.(check (list string)) "nothing failed" [] result.Route.Router.failed;
+  Alcotest.(check int) "both nets routed" 2
+    (List.length result.Route.Router.routed);
+  Alcotest.(check int) "one mirrored pair" 1
+    (List.length result.Route.Router.mirrored_pairs);
+  (* exact mirror images *)
+  let route name =
+    (List.find (fun r -> r.Route.Router.net = name) result.Route.Router.routed)
+      .Route.Router.points
+  in
+  let nl = route "nl" and nr = route "nr" in
+  Alcotest.(check int) "equal lengths" (List.length nl) (List.length nr);
+  (* recover the reflection constant from the outer pin pair *)
+  let axis2_grid =
+    let gc x = fst (Route.Grid.snap ~pitch:20 ~margin:4 (x, 0)) in
+    gc 150 + gc 450
+  in
+  Alcotest.(check bool) "exact mirror" true
+    (Route.Router.is_mirror_route ~axis2_grid nl nr)
+
+let test_routes_disjoint () =
+  let placement, grp = sym_placement () in
+  let result = Route.Router.route_all ~pitch:20 ~symmetric:[ grp ] placement in
+  let all =
+    List.concat_map (fun r -> r.Route.Router.points) result.Route.Router.routed
+  in
+  let sorted = List.sort compare all in
+  let rec dup = function
+    | a :: b :: _ when a = b -> true
+    | _ :: rest -> dup rest
+    | [] -> false
+  in
+  Alcotest.(check bool) "no shared tracks" false (dup sorted)
+
+let test_route_random_circuits () =
+  let rng = Prelude.Rng.create 4 in
+  List.iter
+    (fun seed ->
+      let b = Netlist.Benchmarks.synthetic ~label:"r" ~n:12 ~seed in
+      let out =
+        Placer.Sa_seqpair.place
+          ~params:
+            {
+              (Anneal.Sa.default_params ~n:12) with
+              Anneal.Sa.max_rounds = 40;
+            }
+          ~rng b.Netlist.Benchmarks.circuit
+      in
+      let result = Route.Router.route_all out.Placer.Sa_seqpair.placement in
+      let total =
+        List.length result.Route.Router.routed
+        + List.length result.Route.Router.failed
+      in
+      Alcotest.(check int) "every net accounted for"
+        (List.length b.Netlist.Benchmarks.circuit.Netlist.Circuit.nets)
+        total;
+      Alcotest.(check bool) "wirelength positive" true
+        (result.Route.Router.wirelength > 0))
+    [ 1; 2; 3 ]
+
+let () =
+  Alcotest.run "route"
+    [
+      ("grid", [ Alcotest.test_case "basics" `Quick test_grid_basics ]);
+      ( "maze",
+        [
+          Alcotest.test_case "straight" `Quick test_path_straight;
+          Alcotest.test_case "detour" `Quick test_path_detour;
+          Alcotest.test_case "walled" `Quick test_path_blocked;
+          Alcotest.test_case "multi-terminal" `Quick test_multi_terminal;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "mirrored routing" `Quick test_mirrored_routing;
+          Alcotest.test_case "disjoint tracks" `Quick test_routes_disjoint;
+          Alcotest.test_case "random circuits" `Quick test_route_random_circuits;
+        ] );
+    ]

@@ -1,0 +1,250 @@
+open Sizing
+
+let um = 1e-6
+
+let test_mos_square_law () =
+  let g = { Mos.w = 20.0 *. um; l = 1.0 *. um; folds = 1 } in
+  let op = Mos.operating_point Mos.nmos g ~id:100e-6 in
+  (* gm = sqrt(2 kp W/L Id) = sqrt(2*300e-6*20*100e-6) *)
+  let expected = sqrt (2.0 *. 300e-6 *. 20.0 *. 100e-6) in
+  Alcotest.(check bool) "gm formula" true
+    (Float.abs (op.Mos.gm -. expected) < expected *. 1e-9);
+  Alcotest.(check bool) "vov positive" true (op.Mos.vov > 0.0);
+  (* doubling W/L raises gm *)
+  let op2 =
+    Mos.operating_point Mos.nmos { g with Mos.w = 40.0 *. um } ~id:100e-6
+  in
+  Alcotest.(check bool) "wider -> more gm" true (op2.Mos.gm > op.Mos.gm)
+
+let test_folding_reduces_junction () =
+  (* Folding shares drain stripes between finger pairs: going from one
+     finger to two halves the drain area; beyond that the area stays at
+     W*Ld/2 and only the sidewall perimeter creeps up slightly. *)
+  let mk folds = { Mos.w = 40.0 *. um; l = 0.5 *. um; folds } in
+  let c1 = Mos.drain_junction Mos.nmos (mk 1) in
+  let c2 = Mos.drain_junction Mos.nmos (mk 2) in
+  let c4 = Mos.drain_junction Mos.nmos (mk 4) in
+  Alcotest.(check bool) "2 folds nearly halves" true (c2 < 0.7 *. c1);
+  Alcotest.(check bool) "4 folds still well below 1" true (c4 < 0.8 *. c1)
+
+let test_mos_guards () =
+  let g = { Mos.w = 1.0 *. um; l = 1.0 *. um; folds = 1 } in
+  Alcotest.(check bool) "zero current rejected" true
+    (match Mos.operating_point Mos.nmos g ~id:0.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_spec () =
+  let s = Spec.make ~name:"a0_db" ~bound:(Spec.At_least 60.0) ~unit_:"dB" in
+  Alcotest.(check bool) "met" true (Spec.satisfied s [ ("a0_db", 65.0) ]);
+  Alcotest.(check bool) "unmet" false (Spec.satisfied s [ ("a0_db", 55.0) ]);
+  Alcotest.(check bool) "missing fails" false (Spec.satisfied s []);
+  Alcotest.(check (float 1e-9)) "violation" 0.25
+    (Spec.violation
+       (Spec.make ~name:"p" ~bound:(Spec.At_most 2.0) ~unit_:"")
+       [ ("p", 2.5) ]);
+  Alcotest.(check (float 1e-9)) "no violation when met" 0.0
+    (Spec.violation s [ ("a0_db", 80.0) ])
+
+let test_perf_sanity () =
+  let perf = Perf.evaluate Perf.default_env Design.default in
+  let get k = Option.get (Spec.value perf k) in
+  Alcotest.(check bool) "gain in plausible range" true
+    (get "a0_db" > 20.0 && get "a0_db" < 140.0);
+  Alcotest.(check bool) "gbw positive" true (get "gbw_mhz" > 0.0);
+  Alcotest.(check bool) "pm below 180" true (get "pm_deg" < 180.0);
+  Alcotest.(check bool) "power positive" true (get "power_mw" > 0.0)
+
+let test_bigger_cc_lowers_gbw () =
+  let d = Design.default in
+  let gbw cc =
+    Option.get
+      (Spec.value (Perf.evaluate Perf.default_env { d with Design.cc }) "gbw_mhz")
+  in
+  Alcotest.(check bool) "monotone in Cc" true (gbw 4e-12 < gbw 1e-12)
+
+let test_parasitics_degrade_pm () =
+  let d = Design.default in
+  let pm parasitics =
+    Option.get (Spec.value (Perf.evaluate ~parasitics Perf.default_env d) "pm_deg")
+  in
+  let loaded =
+    { Perf.c_x1 = 50e-15; c_x2 = 200e-15; c_out = 500e-15; c_cc_route = 0.0 }
+  in
+  Alcotest.(check bool) "parasitics reduce PM" true
+    (pm loaded < pm Perf.no_parasitics)
+
+let test_template_legal () =
+  let rng = Prelude.Rng.create 6 in
+  let d = ref Design.default in
+  for _ = 1 to 200 do
+    d := Design.perturb rng !d;
+    let inst = Template.generate !d in
+    let rects = List.map (fun pd -> pd.Template.rect) inst.Template.devices in
+    (* convert to placed for the overlap checker *)
+    let placed =
+      List.mapi
+        (fun i r ->
+          {
+            Geometry.Transform.cell = i;
+            rect = r;
+            orient = Geometry.Orientation.R0;
+          })
+        rects
+    in
+    (match Constraints.Placement_check.overlap_free placed with
+    | Ok () -> ()
+    | Error v ->
+        Alcotest.failf "template overlap: %a"
+          Constraints.Placement_check.pp_violation v);
+    Alcotest.(check bool) "positive size" true
+      (inst.Template.width_um > 0.0 && inst.Template.height_um > 0.0)
+  done
+
+let test_folding_narrows_template () =
+  let d = Design.default in
+  let wide = Template.generate d in
+  let folded =
+    Template.generate
+      { d with Design.dp = { d.Design.dp with Mos.folds = 4 };
+               Design.stage2 = { d.Design.stage2 with Mos.folds = 4 } }
+  in
+  Alcotest.(check bool) "folding narrows the template" true
+    (folded.Template.width_um < wide.Template.width_um)
+
+let test_extract () =
+  let d = Design.default in
+  let inst = Template.generate d in
+  let p = Extract.extract d inst in
+  Alcotest.(check bool) "positive caps" true
+    (p.Perf.c_x1 > 0.0 && p.Perf.c_x2 > 0.0 && p.Perf.c_out > 0.0);
+  (* more folds -> smaller junction share on x2 *)
+  let folded = { d with Design.dp = { d.Design.dp with Mos.folds = 8 } } in
+  let p' = Extract.extract folded (Template.generate folded) in
+  Alcotest.(check bool) "folding reduces c_x2" true (p'.Perf.c_x2 < p.Perf.c_x2)
+
+let quick_sa =
+  {
+    Anneal.Sa.initial_temperature = Some 10.0;
+    final_temperature = 1e-2;
+    moves_per_round = 80;
+    schedule = Anneal.Schedule.Geometric 0.9;
+    frozen_rounds = 6;
+    max_rounds = 50;
+  }
+
+let quick_config = { Flow.default_config with Flow.sa = quick_sa }
+
+let test_flow_outcome_consistent () =
+  let rng = Prelude.Rng.create 10 in
+  let o = Flow.run ~config:quick_config ~rng Flow.Layout_aware in
+  Alcotest.(check bool) "evaluations counted" true (o.Flow.evaluations > 0);
+  let f = Flow.extraction_fraction o in
+  Alcotest.(check bool) "extraction fraction sane" true (f >= 0.0 && f <= 1.0);
+  Alcotest.(check bool) "layout nonempty" true
+    (o.Flow.layout.Template.area_um2 > 0.0);
+  (* layout-aware mode evaluates what it optimizes: extracted = cost basis *)
+  Alcotest.(check bool) "perf keys present" true
+    (Spec.value o.Flow.perf_extracted "pm_deg" <> None)
+
+let test_flow_modes_differ () =
+  let rng = Prelude.Rng.create 11 in
+  let oe = Flow.run ~config:quick_config ~rng Flow.Electrical_only in
+  let ol = Flow.run ~config:quick_config ~rng Flow.Layout_aware in
+  (* electrical-only never folds; layout instance is single-fingered *)
+  Alcotest.(check int) "no folds in electrical mode" 1
+    oe.Flow.design.Design.dp.Mos.folds;
+  (* layout-aware layout should be closer to square *)
+  let skew inst = Float.abs (log (Template.aspect_ratio inst)) in
+  Alcotest.(check bool) "layout-aware more square" true
+    (skew ol.Flow.layout <= skew oe.Flow.layout +. 0.2)
+
+let test_fc_perf_sanity () =
+  let perf = Fc_perf.evaluate Perf.default_env Fc_design.default in
+  let get k = Option.get (Spec.value perf k) in
+  Alcotest.(check bool) "cascode gain high" true
+    (get "a0_db" > 40.0 && get "a0_db" < 140.0);
+  Alcotest.(check bool) "single stage PM healthy" true (get "pm_deg" > 45.0);
+  Alcotest.(check bool) "gbw positive" true (get "gbw_mhz" > 0.0)
+
+let test_fc_template_legal () =
+  let rng = Prelude.Rng.create 14 in
+  let d = ref Fc_design.default in
+  for _ = 1 to 150 do
+    d := Fc_design.perturb rng !d;
+    let inst = Fc_template.generate !d in
+    let placed =
+      List.mapi
+        (fun i pd ->
+          {
+            Geometry.Transform.cell = i;
+            rect = pd.Template.rect;
+            orient = Geometry.Orientation.R0;
+          })
+        inst.Template.devices
+    in
+    (match Constraints.Placement_check.overlap_free placed with
+    | Ok () -> ()
+    | Error v ->
+        Alcotest.failf "fc template overlap: %a"
+          Constraints.Placement_check.pp_violation v);
+    Alcotest.(check int) "12 devices" 12 (List.length inst.Template.devices)
+  done
+
+let test_fc_extract () =
+  let d = Fc_design.default in
+  let p = Fc_extract.extract d (Fc_template.generate d) in
+  Alcotest.(check bool) "fold node cap positive" true (p.Perf.c_x1 > 0.0);
+  Alcotest.(check bool) "output cap positive" true (p.Perf.c_out > 0.0);
+  (* parasitics must degrade the FC phase margin too *)
+  let pm parasitics =
+    Option.get
+      (Spec.value (Fc_perf.evaluate ~parasitics Perf.default_env d) "pm_deg")
+  in
+  Alcotest.(check bool) "extracted parasitics reduce PM" true
+    (pm p <= pm Perf.no_parasitics)
+
+let test_fc_flow () =
+  let rng = Prelude.Rng.create 20 in
+  let o = Flow.run_folded_cascode ~config:quick_config ~rng Flow.Layout_aware in
+  Alcotest.(check bool) "evaluations" true (o.Flow.evaluations > 0);
+  Alcotest.(check bool) "layout positive" true
+    (o.Flow.layout.Template.area_um2 > 0.0);
+  Alcotest.(check bool) "folds explored or kept" true
+    (o.Flow.design.Fc_design.dp.Mos.folds >= 1)
+
+let () =
+  Alcotest.run "sizing"
+    [
+      ( "mos",
+        [
+          Alcotest.test_case "square law" `Quick test_mos_square_law;
+          Alcotest.test_case "folding junction" `Quick test_folding_reduces_junction;
+          Alcotest.test_case "guards" `Quick test_mos_guards;
+        ] );
+      ("spec", [ Alcotest.test_case "bounds" `Quick test_spec ]);
+      ( "perf",
+        [
+          Alcotest.test_case "sanity" `Quick test_perf_sanity;
+          Alcotest.test_case "cc vs gbw" `Quick test_bigger_cc_lowers_gbw;
+          Alcotest.test_case "parasitics vs pm" `Quick test_parasitics_degrade_pm;
+        ] );
+      ( "template",
+        [
+          Alcotest.test_case "legal instances" `Quick test_template_legal;
+          Alcotest.test_case "folding narrows" `Quick test_folding_narrows_template;
+        ] );
+      ("extract", [ Alcotest.test_case "caps" `Quick test_extract ]);
+      ( "flow",
+        [
+          Alcotest.test_case "outcome consistent" `Slow test_flow_outcome_consistent;
+          Alcotest.test_case "modes differ" `Slow test_flow_modes_differ;
+        ] );
+      ( "folded cascode",
+        [
+          Alcotest.test_case "perf sanity" `Quick test_fc_perf_sanity;
+          Alcotest.test_case "template legal" `Quick test_fc_template_legal;
+          Alcotest.test_case "extract" `Quick test_fc_extract;
+          Alcotest.test_case "flow" `Slow test_fc_flow;
+        ] );
+    ]

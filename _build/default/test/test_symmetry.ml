@@ -1,0 +1,203 @@
+open Seqpair
+module G = Constraints.Symmetry_group
+module Check = Constraints.Placement_check
+
+let fig1 () =
+  let sp, mapping = Sp.of_strings ~alpha:"EBAFCDG" ~beta:"EBCDFAG" in
+  let idx c = List.assoc c mapping in
+  let grp =
+    G.make
+      ~pairs:[ (idx 'C', idx 'D'); (idx 'B', idx 'G') ]
+      ~selfs:[ idx 'A'; idx 'F' ] ()
+  in
+  (sp, grp)
+
+let test_fig1_feasible () =
+  let sp, grp = fig1 () in
+  Alcotest.(check bool) "paper example is S-F" true
+    (Symmetry.is_feasible sp grp)
+
+let test_violating_code () =
+  (* swapping C and D only in alpha breaks property (1) *)
+  let sp, grp = fig1 () in
+  let sp' =
+    Sp.make ~alpha:(Perm.swap_cells sp.Sp.alpha 2 3) ~beta:sp.Sp.beta
+  in
+  Alcotest.(check bool) "broken code detected" false
+    (Symmetry.is_feasible sp' grp)
+
+let test_lemma_fig1_numbers () =
+  (* the survey: n=7, one group with p=2, s=2 -> (7!)^2/6! = 35,280 *)
+  let _, grp = fig1 () in
+  Alcotest.(check int) "35280" 35_280 (Symmetry.count_upper_bound ~n:7 [ grp ]);
+  Alcotest.(check int) "total (7!)^2" 25_401_600 (5040 * 5040)
+
+let test_lemma_exhaustive_small () =
+  let cases =
+    [
+      (3, [ G.make ~pairs:[ (0, 1) ] ~selfs:[] () ]);
+      (4, [ G.make ~pairs:[ (0, 1) ] ~selfs:[ 2 ] () ]);
+      (4, [ G.make ~pairs:[ (0, 1); (2, 3) ] ~selfs:[] () ]);
+      (5, [ G.make ~pairs:[ (0, 1) ] ~selfs:[] ();
+            G.make ~pairs:[ (2, 3) ] ~selfs:[] () ]);
+      (5, [ G.make ~pairs:[ (0, 1); (2, 3) ] ~selfs:[ 4 ] () ]);
+    ]
+  in
+  List.iter
+    (fun (n, groups) ->
+      let exact = Symmetry.count_exhaustive ~n groups in
+      let bound = Symmetry.count_upper_bound ~n groups in
+      Alcotest.(check int) (Printf.sprintf "n=%d exact=bound" n) bound exact)
+    cases
+
+let test_make_feasible () =
+  let rng = Prelude.Rng.create 4 in
+  let grp = G.make ~pairs:[ (0, 1); (2, 3) ] ~selfs:[ 4 ] () in
+  for _ = 1 to 200 do
+    let sp = Sp.random rng 8 in
+    let fixed = Symmetry.make_feasible sp [ grp ] in
+    if not (Symmetry.is_feasible fixed grp) then
+      Alcotest.fail "repair failed";
+    (* alpha untouched *)
+    if not (Perm.equal fixed.Sp.alpha sp.Sp.alpha) then
+      Alcotest.fail "alpha changed"
+  done
+
+let random_group rng n =
+  (* partition a random subset of 0..n-1 into pairs and selfs *)
+  let cells = Array.to_list (Prelude.Rng.permutation rng n) in
+  let k = min n (2 + Prelude.Rng.int rng (max 1 (n - 1))) in
+  let members = List.filteri (fun i _ -> i < k) cells in
+  let rec split pairs selfs = function
+    | a :: b :: rest ->
+        if Prelude.Rng.bool rng then split ((a, b) :: pairs) selfs rest
+        else split pairs (a :: selfs) (b :: rest)
+    | [ a ] -> (pairs, a :: selfs)
+    | [] -> (pairs, selfs)
+  in
+  let pairs, selfs = split [] [] members in
+  G.make ~pairs ~selfs ()
+
+let test_pack_symmetric_random () =
+  let rng = Prelude.Rng.create 99 in
+  for _ = 1 to 300 do
+    let n = 3 + Prelude.Rng.int rng 12 in
+    let grp = random_group rng n in
+    let sp = Symmetry.random_feasible rng ~n [ grp ] in
+    let base =
+      Array.init n (fun _ ->
+          (2 + Prelude.Rng.int rng 30, 2 + Prelude.Rng.int rng 30))
+    in
+    (* matched dimensions for pairs *)
+    List.iter (fun (a, b) -> base.(b) <- base.(a)) grp.G.pairs;
+    let dims c = base.(c) in
+    match Symmetry.pack_symmetric sp dims [ grp ] with
+    | Error msg -> Alcotest.fail msg
+    | Ok placed ->
+        (match Check.overlap_free placed with
+        | Ok () -> ()
+        | Error v -> Alcotest.failf "overlap: %a" Check.pp_violation v);
+        (match Check.symmetry ~group:grp placed with
+        | Ok _ -> ()
+        | Error v -> Alcotest.failf "asymmetric: %a" Check.pp_violation v);
+        (match Symmetry.axis2_of placed grp with
+        | Some _ -> ()
+        | None -> Alcotest.fail "axis2_of failed")
+  done
+
+let test_pack_symmetric_two_groups () =
+  let rng = Prelude.Rng.create 123 in
+  for _ = 1 to 100 do
+    let n = 8 in
+    let g1 = G.make ~pairs:[ (0, 1) ] ~selfs:[ 2 ] () in
+    let g2 = G.make ~pairs:[ (3, 4) ] ~selfs:[ 5 ] () in
+    let sp = Symmetry.random_feasible rng ~n [ g1; g2 ] in
+    let base =
+      Array.init n (fun _ ->
+          (2 + Prelude.Rng.int rng 20, 2 + Prelude.Rng.int rng 20))
+    in
+    base.(1) <- base.(0);
+    base.(4) <- base.(3);
+    let dims c = base.(c) in
+    match Symmetry.pack_symmetric sp dims [ g1; g2 ] with
+    | Error msg -> Alcotest.fail msg
+    | Ok placed ->
+        Alcotest.(check bool) "overlap-free" true
+          (Result.is_ok (Check.overlap_free placed));
+        Alcotest.(check bool) "g1 symmetric" true
+          (Result.is_ok (Check.symmetry ~group:g1 placed));
+        Alcotest.(check bool) "g2 symmetric" true
+          (Result.is_ok (Check.symmetry ~group:g2 placed))
+  done
+
+let test_sf_moves_preserve () =
+  let rng = Prelude.Rng.create 31 in
+  let grp = G.make ~pairs:[ (0, 1); (2, 3) ] ~selfs:[ 4 ] () in
+  let sp = ref (Symmetry.random_feasible rng ~n:9 [ grp ]) in
+  for _ = 1 to 2000 do
+    sp := Moves.random_neighbor_sf rng !sp [ grp ];
+    if not (Symmetry.is_feasible !sp grp) then
+      Alcotest.fail "move left the S-F subspace"
+  done
+
+let test_pack_symmetric_rejects_non_sf () =
+  let sp =
+    Sp.make
+      ~alpha:(Perm.of_array [| 0; 1; 2 |])
+      ~beta:(Perm.of_array [| 0; 1; 2 |])
+  in
+  (* pair (0,1) in the same order in both sequences IS S-F (they are
+     left-right); force a violation with a vertical pair instead *)
+  let vert =
+    Sp.make
+      ~alpha:(Perm.of_array [| 1; 0; 2 |])
+      ~beta:(Perm.of_array [| 0; 1; 2 |])
+  in
+  let grp = G.make ~pairs:[ (0, 1) ] ~selfs:[] () in
+  ignore sp;
+  match Symmetry.pack_symmetric vert (fun _ -> (4, 4)) [ grp ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "vertical pair accepted"
+
+let test_self_padding () =
+  (* selfs with odd/even width mix must still produce an exact axis *)
+  let grp = G.make ~pairs:[ (0, 1) ] ~selfs:[ 2; 3 ] () in
+  let rng = Prelude.Rng.create 8 in
+  let sp = Symmetry.random_feasible rng ~n:4 [ grp ] in
+  let dims = function
+    | 0 | 1 -> (10, 5)
+    | 2 -> (7, 4) (* odd *)
+    | _ -> (8, 4) (* even *)
+  in
+  match Symmetry.pack_symmetric sp dims [ grp ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok placed ->
+      Alcotest.(check bool) "symmetric with padding" true
+        (Result.is_ok (Check.symmetry ~group:grp placed))
+
+let () =
+  Alcotest.run "symmetry"
+    [
+      ( "property (1)",
+        [
+          Alcotest.test_case "fig1 feasible" `Quick test_fig1_feasible;
+          Alcotest.test_case "violation detected" `Quick test_violating_code;
+        ] );
+      ( "lemma",
+        [
+          Alcotest.test_case "fig1 numbers" `Quick test_lemma_fig1_numbers;
+          Alcotest.test_case "exhaustive small" `Slow test_lemma_exhaustive_small;
+        ] );
+      ( "repair",
+        [ Alcotest.test_case "make_feasible" `Quick test_make_feasible ] );
+      ( "packing",
+        [
+          Alcotest.test_case "random groups" `Quick test_pack_symmetric_random;
+          Alcotest.test_case "two groups" `Quick test_pack_symmetric_two_groups;
+          Alcotest.test_case "rejects non-S-F" `Quick
+            test_pack_symmetric_rejects_non_sf;
+          Alcotest.test_case "self padding" `Quick test_self_padding;
+        ] );
+      ( "moves",
+        [ Alcotest.test_case "stay S-F" `Quick test_sf_moves_preserve ] );
+    ]

@@ -1,0 +1,158 @@
+open Seqpair
+
+let arb_sp_dims =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 16 >>= fun n ->
+      int_bound 1_000_000 >>= fun seed ->
+      let rng = Prelude.Rng.create seed in
+      let sp = Sp.random rng n in
+      let dims =
+        Array.init n (fun _ ->
+            (1 + Prelude.Rng.int rng 40, 1 + Prelude.Rng.int rng 40))
+      in
+      return (sp, dims))
+  in
+  QCheck.make gen
+
+let test_of_seqpair_valid () =
+  let rng = Prelude.Rng.create 3 in
+  for _ = 1 to 200 do
+    let n = 1 + Prelude.Rng.int rng 20 in
+    let tcg = Tcg.of_seqpair (Sp.random rng n) in
+    match Tcg.validate tcg with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail m
+  done
+
+let test_roundtrip () =
+  let rng = Prelude.Rng.create 5 in
+  for _ = 1 to 200 do
+    let n = 1 + Prelude.Rng.int rng 18 in
+    let sp = Sp.random rng n in
+    let sp' = Tcg.to_seqpair (Tcg.of_seqpair sp) in
+    (* the relations (not necessarily the sequences) must agree *)
+    for a = 0 to n - 1 do
+      for b = 0 to n - 1 do
+        if a <> b && Sp.relation sp a b <> Sp.relation sp' a b then
+          Alcotest.failf "relation (%d,%d) changed" a b
+      done
+    done
+  done
+
+let test_pack_matches_seqpair () =
+  let rng = Prelude.Rng.create 7 in
+  for _ = 1 to 200 do
+    let n = 1 + Prelude.Rng.int rng 16 in
+    let sp = Sp.random rng n in
+    let d =
+      Array.init n (fun _ ->
+          (1 + Prelude.Rng.int rng 30, 1 + Prelude.Rng.int rng 30))
+    in
+    let dims c = d.(c) in
+    let via_sp = Pack.pack sp dims in
+    let via_tcg = Tcg.pack (Tcg.of_seqpair sp) dims in
+    if via_sp <> via_tcg then Alcotest.fail "packings differ"
+  done
+
+let test_flip_changes_relation () =
+  let sp, _ = Sp.of_strings ~alpha:"ABC" ~beta:"ABC" in
+  let tcg = Tcg.of_seqpair sp in
+  (* A left of B; flipping makes A below B *)
+  match Tcg.flip tcg 0 1 with
+  | None -> Alcotest.fail "flip rejected on a row"
+  | Some t' -> (
+      match Tcg.relation t' 0 1 with
+      | Some (Tcg.Ver, `Forward) -> (
+          match Tcg.validate t' with
+          | Ok () -> ()
+          | Error m -> Alcotest.fail m)
+      | _ -> Alcotest.fail "unexpected relation after flip")
+
+let test_flip_rejects_closure_break () =
+  (* chain A left B left C: flipping (A,C) to vertical would violate
+     transitivity of Ch (A->B->C forces A->C horizontal) *)
+  let sp, _ = Sp.of_strings ~alpha:"ABC" ~beta:"ABC" in
+  let tcg = Tcg.of_seqpair sp in
+  (match Tcg.flip tcg 0 2 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "closure-breaking flip accepted");
+  match Tcg.reverse tcg 0 2 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "cycle-creating reverse accepted"
+
+let prop_moves_preserve_validity =
+  QCheck.Test.make ~name:"random moves keep TCG valid" ~count:200
+    QCheck.(pair (int_range 2 14) small_int)
+    (fun (n, seed) ->
+      let rng = Prelude.Rng.create seed in
+      let t = ref (Tcg.of_seqpair (Sp.random rng n)) in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        t := Tcg.random_neighbor rng !t;
+        if Result.is_error (Tcg.validate !t) then ok := false
+      done;
+      !ok)
+
+let prop_pack_overlap_free =
+  QCheck.Test.make ~name:"TCG pack overlap-free after moves" ~count:200
+    arb_sp_dims
+    (fun (sp, d) ->
+      let rng = Prelude.Rng.create 11 in
+      let t = ref (Tcg.of_seqpair sp) in
+      for _ = 1 to 15 do
+        t := Tcg.random_neighbor rng !t
+      done;
+      let dims c = d.(c) in
+      Result.is_ok
+        (Constraints.Placement_check.overlap_free (Tcg.pack !t dims)))
+
+let test_sa_place () =
+  let circuit =
+    Netlist.Circuit.make ~name:"t"
+      ~modules:
+        (List.init 8 (fun i ->
+             Netlist.Circuit.block
+               ~name:(string_of_int i)
+               ~w:(20 + (7 * i))
+               ~h:(30 - (2 * i))))
+      ~nets:[]
+  in
+  let params =
+    {
+      Anneal.Sa.initial_temperature = None;
+      final_temperature = 1e-2;
+      moves_per_round = 60;
+      schedule = Anneal.Schedule.default;
+      frozen_rounds = 4;
+      max_rounds = 40;
+    }
+  in
+  let rng = Prelude.Rng.create 9 in
+  let out = Placer.Sa_tcg.place ~params ~rng circuit in
+  match Placer.Placement.validate out.Placer.Sa_tcg.placement with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let () =
+  Alcotest.run "tcg"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "of_seqpair valid" `Quick test_of_seqpair_valid;
+          Alcotest.test_case "roundtrip relations" `Quick test_roundtrip;
+          Alcotest.test_case "pack = seqpair pack" `Quick
+            test_pack_matches_seqpair;
+        ] );
+      ( "moves",
+        [
+          Alcotest.test_case "flip valid" `Quick test_flip_changes_relation;
+          Alcotest.test_case "invalid rejected" `Quick
+            test_flip_rejects_closure_break;
+        ] );
+      ( "placer",
+        [ Alcotest.test_case "sa place" `Quick test_sa_place ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_moves_preserve_validity; prop_pack_overlap_free ] );
+    ]

@@ -1,0 +1,139 @@
+open Geometry
+
+let place cell x y w h =
+  Transform.place ~cell ~x ~y ~w ~h ~orient:Orientation.R0
+
+let test_kernel_decay () =
+  let s = [ { Thermal.Field.cx = 0.0; cy = 0.0; power = 1.0 } ] in
+  let near = Thermal.Field.temperature s ~x:10.0 ~y:0.0 in
+  let far = Thermal.Field.temperature s ~x:1000.0 ~y:0.0 in
+  Alcotest.(check bool) "monotone decay" true (near > far && far > 0.0)
+
+let test_superposition () =
+  let s1 = [ { Thermal.Field.cx = 0.0; cy = 0.0; power = 1.0 } ] in
+  let s2 = [ { Thermal.Field.cx = 100.0; cy = 50.0; power = 2.0 } ] in
+  let t1 = Thermal.Field.temperature s1 ~x:30.0 ~y:40.0 in
+  let t2 = Thermal.Field.temperature s2 ~x:30.0 ~y:40.0 in
+  let t12 = Thermal.Field.temperature (s1 @ s2) ~x:30.0 ~y:40.0 in
+  Alcotest.(check (float 1e-12)) "linear" (t1 +. t2) t12
+
+let test_symmetric_pair_zero_mismatch () =
+  (* radiator centered on the axis (x = 50), pair mirrored about it *)
+  let placed =
+    [
+      place 0 40 100 20 20 (* radiator, center x = 50 *);
+      place 1 0 0 10 10 (* left of pair, center x = 5 *);
+      place 2 90 0 10 10 (* right of pair, center x = 95 *);
+    ]
+  in
+  let sources =
+    Thermal.Field.sources_of_placement
+      ~power:(fun c -> if c = 0 then 0.05 else 0.0)
+      placed
+  in
+  Alcotest.(check (float 0.0)) "exactly zero mismatch" 0.0
+    (Thermal.Field.pair_mismatch sources placed (1, 2))
+
+let test_asymmetric_pair_mismatch () =
+  let placed =
+    [
+      place 0 40 100 20 20;
+      place 1 0 0 10 10;
+      place 2 60 0 10 10 (* not mirrored *);
+    ]
+  in
+  let sources =
+    Thermal.Field.sources_of_placement
+      ~power:(fun c -> if c = 0 then 0.05 else 0.0)
+      placed
+  in
+  Alcotest.(check bool) "positive mismatch" true
+    (Thermal.Field.pair_mismatch sources placed (1, 2) > 1e-9)
+
+let test_self_heating_excluded () =
+  let placed = [ place 0 0 0 10 10; place 1 100 0 10 10 ] in
+  let sources =
+    Thermal.Field.sources_of_placement ~power:(fun _ -> 1.0) placed
+  in
+  (* cell 0 sees only cell 1's radiator *)
+  let expect =
+    Thermal.Field.temperature
+      [ { Thermal.Field.cx = 105.0; cy = 5.0; power = 1.0 } ]
+      ~x:5.0 ~y:5.0
+  in
+  Alcotest.(check (float 1e-12)) "own source excluded" expect
+    (Thermal.Field.at_cell sources placed 0)
+
+let test_worst_gradient () =
+  let placed =
+    [ place 0 0 0 10 10; place 1 50 0 10 10; place 2 500 0 10 10 ]
+  in
+  let sources =
+    Thermal.Field.sources_of_placement
+      ~power:(fun c -> if c = 0 then 1.0 else 0.0)
+      placed
+  in
+  let g = Thermal.Field.worst_gradient sources placed in
+  Alcotest.(check bool) "positive gradient" true (g > 0.0);
+  (* the radiator cell itself sees no other source (temperature 0), so
+     the gradient runs from the near cell down to the radiator *)
+  let near = Thermal.Field.at_cell sources placed 1 in
+  Alcotest.(check (float 1e-12)) "near minus zero" near g
+
+let test_symmetric_placement_flow () =
+  (* end-to-end: symmetric SA placement of a pair + on-axis radiator
+     has exactly zero thermal mismatch; unconstrained placement
+     generally does not *)
+  let circuit =
+    Netlist.Circuit.make ~name:"thermal"
+      ~modules:
+        [
+          Netlist.Circuit.block ~name:"a" ~w:100 ~h:80;
+          Netlist.Circuit.block ~name:"a'" ~w:100 ~h:80;
+          Netlist.Circuit.block ~name:"heat" ~w:120 ~h:120;
+          Netlist.Circuit.block ~name:"x" ~w:60 ~h:140;
+          Netlist.Circuit.block ~name:"y" ~w:90 ~h:50;
+        ]
+      ~nets:[]
+  in
+  let grp =
+    Constraints.Symmetry_group.make ~pairs:[ (0, 1) ] ~selfs:[ 2 ] ()
+  in
+  let power c = if c = 2 then 0.1 else 0.0 in
+  let params =
+    {
+      Anneal.Sa.initial_temperature = None;
+      final_temperature = 1e-2;
+      moves_per_round = 50;
+      schedule = Anneal.Schedule.default;
+      frozen_rounds = 4;
+      max_rounds = 30;
+    }
+  in
+  let rng = Prelude.Rng.create 5 in
+  let sym = Placer.Sa_seqpair.place ~params ~groups:[ grp ] ~rng circuit in
+  let placed = sym.Placer.Sa_seqpair.placement.Placer.Placement.placed in
+  let sources = Thermal.Field.sources_of_placement ~power placed in
+  Alcotest.(check (float 0.0)) "symmetric placement: zero mismatch" 0.0
+    (Thermal.Field.pair_mismatch sources placed (0, 1))
+
+let () =
+  Alcotest.run "thermal"
+    [
+      ( "field",
+        [
+          Alcotest.test_case "kernel decay" `Quick test_kernel_decay;
+          Alcotest.test_case "superposition" `Quick test_superposition;
+          Alcotest.test_case "symmetric pair" `Quick
+            test_symmetric_pair_zero_mismatch;
+          Alcotest.test_case "asymmetric pair" `Quick
+            test_asymmetric_pair_mismatch;
+          Alcotest.test_case "self heating" `Quick test_self_heating_excluded;
+          Alcotest.test_case "worst gradient" `Quick test_worst_gradient;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "symmetric SA placement" `Quick
+            test_symmetric_placement_flow;
+        ] );
+    ]
