@@ -1,0 +1,22 @@
+.PHONY: all check test bench perf clean
+
+all:
+	dune build @all
+
+# tier-1 verification: full build + every test suite
+check:
+	dune build && dune runtest
+
+test: check
+
+# regenerate every paper artefact (micro/perf excluded, ~2 min)
+bench:
+	dune exec bench/main.exe
+
+# evaluation-engine throughput + parallel annealing scaling
+# (writes BENCH_perf.json)
+perf:
+	dune exec bench/main.exe -- perf
+
+clean:
+	dune clean

@@ -1,10 +1,10 @@
 (* Benchmark harness: regenerates every quantitative artefact of the
    survey (see DESIGN.md's experiment index).
 
-     dune exec bench/main.exe            -- all experiments (micro excluded)
+     dune exec bench/main.exe            -- all experiments (micro/perf excluded)
      dune exec bench/main.exe -- <name>  -- one experiment:
        fig1 lemma bstar-count fig7 table1 fig8 hier fig10 ablation thermal
-       routing mismatch hierarchy-reduction absolute micro *)
+       routing mismatch hierarchy-reduction absolute micro perf *)
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -837,6 +837,154 @@ let micro () =
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
 (* ------------------------------------------------------------------ *)
+(* E17: evaluation-engine throughput and parallel annealing scaling    *)
+
+(* ops/second of [f]: warm up once, then repeat until enough wall time
+   has accumulated for a stable estimate. *)
+let time_ops f =
+  f ();
+  let t0 = Unix.gettimeofday () in
+  let reps = ref 0 in
+  let elapsed = ref 0.0 in
+  while !elapsed < 0.25 do
+    f ();
+    incr reps;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  float_of_int !reps /. !elapsed
+
+let perf () =
+  section
+    "E17 (perf): allocation-free evaluation engine + parallel annealing";
+  let weights = Placer.Cost.default in
+  let ns = [ 20; 50; 100; 200 ] in
+  let last = List.length ns - 1 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"domains_available\": %d,\n"
+    (Domain.recommended_domain_count ());
+  (* packing throughput: list evaluators vs the buffer evaluator *)
+  Printf.printf "%5s | %11s %11s %11s %14s\n" "n" "pack/s" "fast/s" "veb/s"
+    "fast_into/s";
+  hr ();
+  Buffer.add_string buf "  \"packing\": [\n";
+  List.iteri
+    (fun i n ->
+      let rng = Prelude.Rng.create (9000 + n) in
+      let sp = Seqpair.Sp.random rng n in
+      let d =
+        Array.init n (fun _ ->
+            (1 + Prelude.Rng.int rng 100, 1 + Prelude.Rng.int rng 100))
+      in
+      let dims c = d.(c) in
+      let scratch = Seqpair.Pack.scratch n in
+      let w = Array.init n (fun c -> fst d.(c))
+      and h = Array.init n (fun c -> snd d.(c))
+      and x = Array.make n 0
+      and y = Array.make n 0 in
+      let r_pack = time_ops (fun () -> ignore (Seqpair.Pack.pack sp dims)) in
+      let r_fast =
+        time_ops (fun () -> ignore (Seqpair.Pack.pack_fast sp dims))
+      in
+      let r_veb = time_ops (fun () -> ignore (Seqpair.Pack.pack_veb sp dims)) in
+      let r_into =
+        time_ops (fun () -> Seqpair.Pack.pack_fast_into scratch sp ~w ~h ~x ~y)
+      in
+      Printf.printf "%5d | %11.0f %11.0f %11.0f %14.0f\n" n r_pack r_fast r_veb
+        r_into;
+      Printf.bprintf buf
+        "    {\"n\": %d, \"pack_per_s\": %.0f, \"pack_fast_per_s\": %.0f, \
+         \"pack_veb_per_s\": %.0f, \"pack_fast_into_per_s\": %.0f}%s\n"
+        n r_pack r_fast r_veb r_into
+        (if i = last then "" else ","))
+    ns;
+  Buffer.add_string buf "  ],\n";
+  hr ();
+  (* SA move throughput: the pre-arena list path (pack to a fresh list,
+     build a Placement, walk the nets) against the arena *)
+  Printf.printf "%5s | %14s %15s %9s\n" "n" "list moves/s" "arena moves/s"
+    "speedup";
+  hr ();
+  Buffer.add_string buf "  \"sa_moves\": [\n";
+  List.iteri
+    (fun i n ->
+      let b = Netlist.Benchmarks.synthetic ~label:"perf" ~n ~seed:(n + 1) in
+      let c = b.Netlist.Benchmarks.circuit in
+      let arena = Placer.Eval.create c in
+      let rng_list = Prelude.Rng.create 42
+      and rng_arena = Prelude.Rng.create 42 in
+      let sp_list = ref (Seqpair.Sp.random rng_list n)
+      and sp_arena = ref (Seqpair.Sp.random rng_arena n) in
+      let rot = Array.make n false in
+      let dims = Netlist.Circuit.dims c in
+      let list_move () =
+        sp_list := Seqpair.Moves.random_neighbor rng_list !sp_list;
+        ignore
+          (Placer.Cost.evaluate weights
+             (Placer.Placement.make c (Seqpair.Pack.pack_fast !sp_list dims)))
+      in
+      let arena_move () =
+        sp_arena := Seqpair.Moves.random_neighbor rng_arena !sp_arena;
+        ignore (Placer.Eval.cost_seqpair arena weights !sp_arena ~rot)
+      in
+      let r_list = time_ops list_move in
+      let r_arena = time_ops arena_move in
+      Printf.printf "%5d | %14.0f %15.0f %8.2fx\n" n r_list r_arena
+        (r_arena /. r_list);
+      Printf.bprintf buf
+        "    {\"n\": %d, \"list_moves_per_s\": %.0f, \"arena_moves_per_s\": \
+         %.0f, \"speedup\": %.2f}%s\n"
+        n r_list r_arena (r_arena /. r_list)
+        (if i = last then "" else ","))
+    ns;
+  Buffer.add_string buf "  ],\n";
+  hr ();
+  (* parallel multi-start: same 4 chains spread over 1/2/4 domains *)
+  let n = 40 in
+  let b = Netlist.Benchmarks.synthetic ~label:"par" ~n ~seed:5 in
+  let c = b.Netlist.Benchmarks.circuit in
+  let params =
+    {
+      (Anneal.Sa.default_params ~n) with
+      Anneal.Sa.max_rounds = 80;
+      moves_per_round = 200;
+      frozen_rounds = 5;
+    }
+  in
+  let run workers =
+    let rng = Prelude.Rng.create 99 in
+    let t0 = Unix.gettimeofday () in
+    let out = Placer.Sa_seqpair.place ~params ~workers ~chains:4 ~rng c in
+    (Unix.gettimeofday () -. t0, out.Placer.Sa_seqpair.cost)
+  in
+  let t1, c1 = run 1 in
+  let t2, c2 = run 2 in
+  let t4, c4 = run 4 in
+  let deterministic = c1 = c2 && c2 = c4 in
+  Printf.printf
+    "parallel multi-start (4 chains, n=%d): workers 1/2/4 = %.2fs / %.2fs / \
+     %.2fs\n"
+    n t1 t2 t4;
+  Printf.printf
+    "speedup vs 1 worker: %.2fx (2w), %.2fx (4w); identical best cost across \
+     worker counts: %b\n"
+    (t1 /. t2) (t1 /. t4) deterministic;
+  Printf.printf
+    "note: this host reports %d core(s) to the runtime; wall-clock scaling \
+     tops out there.\n"
+    (Domain.recommended_domain_count ());
+  Printf.bprintf buf
+    "  \"parallel\": {\"chains\": 4, \"n\": %d, \"seconds_1w\": %.3f, \
+     \"seconds_2w\": %.3f, \"seconds_4w\": %.3f, \"speedup_2w\": %.2f, \
+     \"speedup_4w\": %.2f, \"deterministic\": %b, \"best_cost\": %.6f}\n" n t1
+    t2 t4 (t1 /. t2) (t1 /. t4) deterministic c1;
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_perf.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_endline "wrote BENCH_perf.json"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -855,6 +1003,7 @@ let experiments =
     ("hierarchy-reduction", hierarchy_reduction);
     ("absolute", absolute);
     ("micro", micro);
+    ("perf", perf);
   ]
 
 let () =
@@ -865,7 +1014,7 @@ let () =
   match args with
   | [] ->
       List.iter
-        (fun (name, f) -> if name <> "micro" then f ())
+        (fun (name, f) -> if name <> "micro" && name <> "perf" then f ())
         experiments
   | names ->
       List.iter

@@ -1,0 +1,84 @@
+(* Deterministic multi-start annealing over OCaml 5 domains.
+
+   One chain per seed, each with a private splitmix64 stream and
+   private problem instance (so mutable evaluation arenas are never
+   shared). Chains are partitioned over worker domains round-robin and
+   advanced in slices of [exchange_every] rounds; at each slice
+   boundary — a full join, so a happens-before edge — the globally best
+   state is offered to every chain, which adopts it only when strictly
+   better than its own best. Because the slice boundaries, the
+   reduction order, and every chain's stream are all fixed by the seed
+   list alone, the result is identical for any worker count: [workers]
+   only chooses how much hardware the same computation uses. *)
+
+type 'a outcome = {
+  best : 'a;
+  best_cost : float;
+  winner : int;
+  chains : 'a Sa.outcome array;
+  evaluated : int;
+}
+
+let default_workers () = Domain.recommended_domain_count ()
+
+(* Index of the minimum best-cost chain; ties break to the lowest
+   index so the reduction is a pure function of the chain states. *)
+let best_index chains =
+  let bi = ref 0 in
+  Array.iteri
+    (fun i c -> if Sa.best_cost c < Sa.best_cost chains.(!bi) then bi := i)
+    chains;
+  !bi
+
+let run ?workers ?(exchange_every = 32) ~seeds params problem_of =
+  if seeds = [] then invalid_arg "Parallel.run: empty seed list";
+  let seeds = Array.of_list seeds in
+  let k = Array.length seeds in
+  let workers =
+    max 1 (min k (match workers with Some w -> w | None -> default_workers ()))
+  in
+  let slice = if exchange_every <= 0 then max_int else exchange_every in
+  (* Chain creation draws from each chain's own stream only, so order
+     does not matter; build them up front on the spawning domain. *)
+  let chains =
+    Array.init k (fun i ->
+        let rng = Prelude.Rng.create seeds.(i) in
+        (* bind before [start]: the problem draws its initial state
+           from the stream first, then [start] estimates t0 — the same
+           order as the sequential placers *)
+        let problem = problem_of rng in
+        Sa.start ~rng params problem)
+  in
+  let unfinished () = Array.exists (fun c -> not (Sa.finished c)) chains in
+  while unfinished () do
+    let advance d () =
+      for i = 0 to k - 1 do
+        if i mod workers = d then begin
+          let c = chains.(i) in
+          let budget = ref slice in
+          while !budget > 0 && not (Sa.finished c) do
+            Sa.step_round c;
+            decr budget
+          done
+        end
+      done
+    in
+    (* The spawning domain works the last partition itself. *)
+    let spawned =
+      List.init (workers - 1) (fun d -> Domain.spawn (advance d))
+    in
+    advance (workers - 1) ();
+    List.iter Domain.join spawned;
+    let b = chains.(best_index chains) in
+    let state = Sa.best b and cost = Sa.best_cost b in
+    Array.iter (fun c -> Sa.adopt c ~state ~cost) chains
+  done;
+  let outcomes = Array.map Sa.outcome_of_chain chains in
+  let winner = best_index chains in
+  {
+    best = outcomes.(winner).Sa.best;
+    best_cost = outcomes.(winner).Sa.best_cost;
+    winner;
+    chains = outcomes;
+    evaluated = Array.fold_left (fun acc o -> acc + o.Sa.evaluated) 0 outcomes;
+  }

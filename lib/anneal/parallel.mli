@@ -1,0 +1,43 @@
+(** Deterministic multi-start parallel annealing (OCaml 5 domains).
+
+    Runs one {!Sa} chain per seed, partitioned over [workers] domains,
+    with a periodic best-exchange: every [exchange_every] rounds all
+    domains synchronize and the globally best state is offered to every
+    chain ({!Sa.adopt} — taken only when strictly better than the
+    chain's own best). Used by the placers' [?workers] parameter.
+
+    Determinism: the outcome is a pure function of [seeds], [params]
+    and [exchange_every]. The worker count only distributes the same
+    computation over more cores — running with [workers = 1] or
+    [workers = 8] yields identical results, and a single seed with any
+    worker count reproduces [Sa.run ~rng:(Rng.create seed)] exactly
+    (both tested).
+
+    [problem_of] is called once per chain with the chain's private rng
+    (draw the initial state from it, exactly as the sequential placers
+    draw from theirs); any mutable evaluation state (e.g.
+    {!Placer.Eval} arenas) must be created inside it so no two chains
+    share buffers. *)
+
+type 'a outcome = {
+  best : 'a;
+  best_cost : float;
+  winner : int;  (** index into [seeds] of the winning chain *)
+  chains : 'a Sa.outcome array;  (** per-chain outcomes, seed order *)
+  evaluated : int;  (** total cost evaluations across chains *)
+}
+
+val default_workers : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val run :
+  ?workers:int ->
+  ?exchange_every:int ->
+  seeds:int list ->
+  Sa.params ->
+  (Prelude.Rng.t -> 'a Sa.problem) ->
+  'a outcome
+(** [workers] defaults to {!default_workers}, capped at the number of
+    seeds; [exchange_every] defaults to 32 rounds, and any
+    non-positive value disables exchange entirely (fully independent
+    restarts). Raises [Invalid_argument] on an empty seed list. *)

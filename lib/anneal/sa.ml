@@ -45,65 +45,112 @@ let estimate_t0 ~rng problem ~samples =
   let sd = Prelude.Stats.stddev !deltas in
   Float.max 1e-6 (if sd > 0.0 then sd else Prelude.Stats.mean !deltas)
 
-let run ~rng params problem =
+(* A chain is the walk's full mutable state, so callers can advance it
+   one temperature round at a time. [run] below is the classic closed
+   loop; {!Parallel} interleaves several chains and exchanges bests at
+   round boundaries. The stepwise decomposition is exact: run = start;
+   step until finished. *)
+type 'a chain = {
+  params : params;
+  problem : 'a problem;
+  rng : Prelude.Rng.t;
+  mutable temperature : float;
+  mutable current : 'a;
+  mutable current_cost : float;
+  mutable best : 'a;
+  mutable best_cost : float;
+  mutable round : int;
+  mutable frozen : int;
+  mutable accepted_total : int;
+  mutable evaluated : int;
+}
+
+let start ~rng params problem =
   let t0 =
     match params.initial_temperature with
     | Some t -> t
     | None -> 20.0 *. estimate_t0 ~rng problem ~samples:64
   in
-  let current = ref problem.init in
-  let current_cost = ref (problem.cost !current) in
-  let best = ref !current and best_cost = ref !current_cost in
-  let accepted_total = ref 0 and evaluated = ref 0 in
-  let rec rounds temperature round frozen =
-    if
-      round >= params.max_rounds
-      || temperature <= params.final_temperature
-      || frozen >= params.frozen_rounds
-    then round
-    else begin
-      let accepted = ref 0 and improved = ref false in
-      for _ = 1 to params.moves_per_round do
-        let next = problem.neighbor rng !current in
-        let c = problem.cost next in
-        incr evaluated;
-        let delta = c -. !current_cost in
-        let accept =
-          delta <= 0.0
-          || Prelude.Rng.float rng 1.0 < exp (-.delta /. temperature)
-        in
-        if accept then begin
-          current := next;
-          current_cost := c;
-          incr accepted;
-          incr accepted_total;
-          if c < !best_cost then begin
-            best := next;
-            best_cost := c;
-            improved := true
-          end
-        end
-      done;
-      let acceptance =
-        float_of_int !accepted /. float_of_int params.moves_per_round
-      in
-      let temperature' =
-        Schedule.next params.schedule ~temperature ~acceptance
-      in
-      (* frozen = the walk has effectively stopped moving AND stopped
-         improving; high-temperature rounds without a new global best
-         are normal and must not terminate the run *)
-      let frozen' =
-        if acceptance < 0.02 && not !improved then frozen + 1 else 0
-      in
-      rounds temperature' (round + 1) frozen'
-    end
-  in
-  let total_rounds = rounds t0 0 0 in
+  let cost = problem.cost problem.init in
   {
-    best = !best;
-    best_cost = !best_cost;
-    rounds = total_rounds;
-    accepted = !accepted_total;
-    evaluated = !evaluated;
+    params;
+    problem;
+    rng;
+    temperature = t0;
+    current = problem.init;
+    current_cost = cost;
+    best = problem.init;
+    best_cost = cost;
+    round = 0;
+    frozen = 0;
+    accepted_total = 0;
+    evaluated = 0;
   }
+
+let finished c =
+  c.round >= c.params.max_rounds
+  || c.temperature <= c.params.final_temperature
+  || c.frozen >= c.params.frozen_rounds
+
+let step_round c =
+  if not (finished c) then begin
+    let accepted = ref 0 and improved = ref false in
+    for _ = 1 to c.params.moves_per_round do
+      let next = c.problem.neighbor c.rng c.current in
+      let cost = c.problem.cost next in
+      c.evaluated <- c.evaluated + 1;
+      let delta = cost -. c.current_cost in
+      let accept =
+        delta <= 0.0
+        || Prelude.Rng.float c.rng 1.0 < exp (-.delta /. c.temperature)
+      in
+      if accept then begin
+        c.current <- next;
+        c.current_cost <- cost;
+        incr accepted;
+        c.accepted_total <- c.accepted_total + 1;
+        if cost < c.best_cost then begin
+          c.best <- next;
+          c.best_cost <- cost;
+          improved := true
+        end
+      end
+    done;
+    let acceptance =
+      float_of_int !accepted /. float_of_int c.params.moves_per_round
+    in
+    c.temperature <-
+      Schedule.next c.params.schedule ~temperature:c.temperature ~acceptance;
+    (* frozen = the walk has effectively stopped moving AND stopped
+       improving; high-temperature rounds without a new global best
+       are normal and must not terminate the run *)
+    c.frozen <- (if acceptance < 0.02 && not !improved then c.frozen + 1 else 0);
+    c.round <- c.round + 1
+  end
+
+let best_cost c = c.best_cost
+let best c = c.best
+
+let adopt c ~state ~cost =
+  if cost < c.best_cost then begin
+    c.best <- state;
+    c.best_cost <- cost;
+    c.current <- state;
+    c.current_cost <- cost
+  end
+
+let outcome_of_chain c =
+  {
+    best = c.best;
+    best_cost = c.best_cost;
+    rounds = c.round;
+    accepted = c.accepted_total;
+    evaluated = c.evaluated;
+  }
+
+let run ~rng params problem =
+  let c = start ~rng params problem in
+  while not (finished c) do
+    step_round c
+  done;
+  outcome_of_chain c

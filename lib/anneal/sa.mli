@@ -39,6 +39,43 @@ type 'a outcome = {
 
 val run : rng:Prelude.Rng.t -> params -> 'a problem -> 'a outcome
 
+(** {2 Stepwise chains}
+
+    The same walk, advanced one temperature round at a time so several
+    chains can be interleaved and coupled ({!Parallel} runs one chain
+    per seed across domains and exchanges bests at round boundaries).
+    The decomposition is exact: [run] is [start] followed by
+    [step_round] until [finished], so stepping a single chain to
+    completion reproduces [run] bit for bit (tested). *)
+
+type 'a chain
+
+val start : rng:Prelude.Rng.t -> params -> 'a problem -> 'a chain
+(** Evaluate the initial state (and, when [initial_temperature] is
+    [None], estimate t0 from 64 random moves, consuming the same rng
+    draws [run] would). *)
+
+val finished : 'a chain -> bool
+(** True once the round budget, final temperature, or freezing
+    criterion is reached. *)
+
+val step_round : 'a chain -> unit
+(** One temperature round ([moves_per_round] Metropolis steps followed
+    by one schedule update). No-op when [finished]. *)
+
+val best : 'a chain -> 'a
+
+val best_cost : 'a chain -> float
+
+val adopt : 'a chain -> state:'a -> cost:float -> unit
+(** Multi-start exchange: replace the chain's current and best state
+    when [cost] strictly improves on the chain's own best; no-op
+    otherwise — in particular, re-offering a chain its own best never
+    perturbs it, so a solo chain is exactly [run]. *)
+
+val outcome_of_chain : 'a chain -> 'a outcome
+(** Snapshot of the chain's progress so far. *)
+
 val estimate_t0 : rng:Prelude.Rng.t -> 'a problem -> samples:int -> float
 (** Standard deviation of the cost change over random moves, the usual
     starting temperature heuristic. *)

@@ -1,3 +1,58 @@
+(* Flattened nets: pin lists concatenated into one int array with a
+   CSR-style offset table, so the annealing hot path can walk every net
+   without touching a single list cell or allocating. *)
+type flat = {
+  off : int array;  (* length #nets + 1; net i owns pins off.(i) .. off.(i+1)-1 *)
+  pins : int array;
+  weight : float array;
+}
+
+let flatten nets =
+  let nets_arr = Array.of_list nets in
+  let k = Array.length nets_arr in
+  let off = Array.make (k + 1) 0 in
+  Array.iteri
+    (fun i (net : Net.t) -> off.(i + 1) <- off.(i) + List.length net.Net.pins)
+    nets_arr;
+  let pins = Array.make (max 1 off.(k)) 0 in
+  let weight = Array.make (max 1 k) 0.0 in
+  Array.iteri
+    (fun i (net : Net.t) ->
+      weight.(i) <- net.Net.weight;
+      List.iteri (fun j p -> pins.(off.(i) + j) <- p) net.Net.pins)
+    nets_arr;
+  { off; pins; weight }
+
+(* Same accumulation order and arithmetic as [hpwl] below, so the two
+   agree to the last bit when every pin is placed (tested). *)
+let hpwl_flat t ~cx2 ~cy2 =
+  let acc = ref 0.0 in
+  let k = Array.length t.off - 1 in
+  for i = 0 to k - 1 do
+    let lo = t.off.(i) and hi = t.off.(i + 1) in
+    if hi - lo >= 2 then begin
+      let p0 = t.pins.(lo) in
+      let min_x = ref cx2.(p0)
+      and max_x = ref cx2.(p0)
+      and min_y = ref cy2.(p0)
+      and max_y = ref cy2.(p0) in
+      for j = lo + 1 to hi - 1 do
+        let p = t.pins.(j) in
+        let x = cx2.(p) and y = cy2.(p) in
+        if x < !min_x then min_x := x;
+        if x > !max_x then max_x := x;
+        if y < !min_y then min_y := y;
+        if y > !max_y then max_y := y
+      done;
+      acc :=
+        !acc
+        +. (t.weight.(i)
+            *. float_of_int (!max_x - !min_x + !max_y - !min_y)
+            /. 2.0)
+    end
+  done;
+  !acc
+
 let hpwl nets ~center2 =
   List.fold_left
     (fun acc (net : Net.t) ->

@@ -10,3 +10,15 @@ val hpwl :
 (** [center2 m] is the doubled center of module [m]'s placed rectangle
     ([None] if unplaced; such pins are skipped). The result is in grid
     units (the doubling is compensated). *)
+
+type flat
+(** Nets flattened to CSR-style offset/pin/weight arrays, so the
+    annealing hot path walks every net allocation-free. Built once per
+    circuit (see {!Placer.Eval}). *)
+
+val flatten : Net.t list -> flat
+
+val hpwl_flat : flat -> cx2:int array -> cy2:int array -> float
+(** HPWL over flattened nets; [cx2]/[cy2] hold each module's doubled
+    center, indexed by cell. Every pin must be placed. Agrees exactly
+    with {!hpwl} in that case (tested). *)

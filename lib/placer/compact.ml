@@ -42,13 +42,11 @@ let transpose placed =
     placed
 
 let compact_x (p : Placement.t) =
-  { p with Placement.placed = x_pass p.Placement.placed }
+  Placement.make p.Placement.circuit (x_pass p.Placement.placed)
 
 let compact_y (p : Placement.t) =
-  {
-    p with
-    Placement.placed = transpose (x_pass (transpose p.Placement.placed));
-  }
+  Placement.make p.Placement.circuit
+    (transpose (x_pass (transpose p.Placement.placed)))
 
 let compact p =
   let rec go p k =

@@ -11,16 +11,23 @@ let area_only =
 let default =
   { area = 1.0; wirelength = 0.2; aspect = 0.0; target_aspect = 1.0 }
 
-let evaluate w p =
-  let area = float_of_int (Placement.area p) in
+(* The full weighted sum from already-computed scalars: the single
+   definition both the list path ([evaluate]) and the allocation-free
+   arena ({!Eval}) go through, so the two produce bit-identical costs. *)
+let compose w ~width ~height ~hpwl =
+  let area = float_of_int (width * height) in
   let aspect_term =
     if w.aspect = 0.0 then 0.0
     else
-      let hgt = float_of_int (Placement.height p) in
+      let hgt = float_of_int height in
       if hgt = 0.0 then 0.0
       else
-        let ratio = float_of_int (Placement.width p) /. hgt in
+        let ratio = float_of_int width /. hgt in
         (* scale by area so the term is commensurate with the others *)
         w.aspect *. area *. abs_float (log (ratio /. w.target_aspect))
   in
-  (w.area *. area) +. (w.wirelength *. Placement.hpwl p) +. aspect_term
+  (w.area *. area) +. (w.wirelength *. hpwl) +. aspect_term
+
+let evaluate w p =
+  compose w ~width:(Placement.width p) ~height:(Placement.height p)
+    ~hpwl:(Placement.hpwl p)

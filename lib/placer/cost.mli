@@ -16,3 +16,9 @@ val default : weights
 (** area 1.0, wirelength 0.2, aspect 0. *)
 
 val evaluate : weights -> Placement.t -> float
+
+val compose : weights -> width:int -> height:int -> hpwl:float -> float
+(** The weighted sum from already-computed bounding-box extents and
+    wirelength. [evaluate] and the allocation-free {!Eval} arena both
+    delegate here, so list-based and array-based evaluation agree to
+    the last bit. *)

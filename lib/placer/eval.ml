@@ -1,0 +1,115 @@
+(* Allocation-free evaluation arena.
+
+   Every simulated-annealing move needs the cost of one candidate
+   placement and nothing else; materializing a [Transform.placed] list,
+   a [Placement.t] and its cell index per move is pure garbage-collector
+   traffic. The arena preallocates every buffer the evaluation needs --
+   cell geometry arrays, pack scratch, flattened nets -- and computes
+   area + HPWL in one pass over them. The list-returning APIs remain
+   available for materializing the final best state. *)
+
+type t = {
+  circuit : Netlist.Circuit.t;
+  n : int;
+  base_w : int array;  (* unrotated module dimensions *)
+  base_h : int array;
+  w : int array;  (* effective dimensions, refreshed per evaluation *)
+  h : int array;
+  x : int array;  (* packed coordinates *)
+  y : int array;
+  cx2 : int array;  (* doubled centers for HPWL *)
+  cy2 : int array;
+  scratch : Seqpair.Pack.scratch;
+  nets : Netlist.Wirelength.flat;
+}
+
+let create circuit =
+  let n = Netlist.Circuit.size circuit in
+  let base_w = Array.make (max 1 n) 0 and base_h = Array.make (max 1 n) 0 in
+  for c = 0 to n - 1 do
+    let w, h = Netlist.Circuit.dims circuit c in
+    base_w.(c) <- w;
+    base_h.(c) <- h
+  done;
+  {
+    circuit;
+    n;
+    base_w;
+    base_h;
+    w = Array.make (max 1 n) 0;
+    h = Array.make (max 1 n) 0;
+    x = Array.make (max 1 n) 0;
+    y = Array.make (max 1 n) 0;
+    cx2 = Array.make (max 1 n) 0;
+    cy2 = Array.make (max 1 n) 0;
+    scratch = Seqpair.Pack.scratch (max 1 n);
+    nets = Netlist.Wirelength.flatten circuit.Netlist.Circuit.nets;
+  }
+
+let circuit t = t.circuit
+
+let set_rotation t rot =
+  for c = 0 to t.n - 1 do
+    if rot.(c) then begin
+      t.w.(c) <- t.base_h.(c);
+      t.h.(c) <- t.base_w.(c)
+    end
+    else begin
+      t.w.(c) <- t.base_w.(c);
+      t.h.(c) <- t.base_h.(c)
+    end
+  done
+
+let dims_of t rot c =
+  if rot.(c) then (t.base_h.(c), t.base_w.(c)) else (t.base_w.(c), t.base_h.(c))
+
+(* One pass over the coordinate arrays: bounding-box extents (anchored
+   at the origin, as [Placement.bbox]) and doubled centers. *)
+let finish t weights =
+  let width = ref 0 and height = ref 0 in
+  for c = 0 to t.n - 1 do
+    let xe = t.x.(c) + t.w.(c) and ye = t.y.(c) + t.h.(c) in
+    if xe > !width then width := xe;
+    if ye > !height then height := ye;
+    t.cx2.(c) <- (2 * t.x.(c)) + t.w.(c);
+    t.cy2.(c) <- (2 * t.y.(c)) + t.h.(c)
+  done;
+  let hpwl = Netlist.Wirelength.hpwl_flat t.nets ~cx2:t.cx2 ~cy2:t.cy2 in
+  Cost.compose weights ~width:!width ~height:!height ~hpwl
+
+let cost_seqpair t weights ?(groups = []) sp ~rot =
+  (match groups with
+  | [] ->
+      set_rotation t rot;
+      Seqpair.Pack.pack_fast_into t.scratch sp ~w:t.w ~h:t.h ~x:t.x ~y:t.y
+  | _ -> (
+      match
+        Seqpair.Symmetry.pack_symmetric_into ~x:t.x ~y:t.y ~w:t.w ~h:t.h sp
+          (dims_of t rot) groups
+      with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Sa_seqpair: " ^ msg)));
+  finish t weights
+
+let cost_placed t weights placed =
+  List.iter
+    (fun (p : Geometry.Transform.placed) ->
+      let r = p.Geometry.Transform.rect in
+      t.x.(p.Geometry.Transform.cell) <- r.Geometry.Rect.x;
+      t.y.(p.Geometry.Transform.cell) <- r.Geometry.Rect.y;
+      t.w.(p.Geometry.Transform.cell) <- r.Geometry.Rect.w;
+      t.h.(p.Geometry.Transform.cell) <- r.Geometry.Rect.h)
+    placed;
+  finish t weights
+
+let realize_seqpair t ?(groups = []) sp ~rot =
+  let dims = dims_of t rot in
+  let placed =
+    match groups with
+    | [] -> Seqpair.Pack.pack_fast sp dims
+    | _ -> (
+        match Seqpair.Symmetry.pack_symmetric sp dims groups with
+        | Ok placed -> placed
+        | Error msg -> invalid_arg ("Sa_seqpair: " ^ msg))
+  in
+  Placement.make t.circuit placed

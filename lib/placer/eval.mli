@@ -1,0 +1,52 @@
+(** Allocation-free evaluation arena for annealing placers.
+
+    A placer's inner loop evaluates tens of thousands of candidate
+    placements; the throughput of that evaluation is what makes
+    topological representations practical (FAST-SP's whole pitch,
+    survey ref [26]). The arena preallocates every buffer evaluation
+    needs — per-cell geometry arrays, pack scratch (Fenwick/vEB),
+    CSR-flattened nets — so a single cost query performs zero
+    allocation: the sequence-pair is packed into the arena's
+    coordinate arrays and area + HPWL are computed in one pass over
+    them.
+
+    Costs agree bit-for-bit with the list-based
+    [Cost.evaluate (Placement.make ...)] path (tested), because both
+    delegate to {!Cost.compose} and the packers write identical
+    coordinates.
+
+    One arena is single-threaded mutable state: give each parallel
+    annealing chain its own (see {!Anneal.Parallel}). *)
+
+type t
+
+val create : Netlist.Circuit.t -> t
+(** Buffers sized to the circuit; nets flattened once. *)
+
+val circuit : t -> Netlist.Circuit.t
+
+val cost_seqpair :
+  t ->
+  Cost.weights ->
+  ?groups:Constraints.Symmetry_group.t list ->
+  Seqpair.Sp.t ->
+  rot:bool array ->
+  float
+(** Pack the sequence-pair (with per-cell rotations; symmetric packing
+    when [groups] is non-empty) into the arena and return its cost.
+    Raises [Invalid_argument] if a symmetric pack is requested for a
+    non-symmetric-feasible code, like the list path it replaces. *)
+
+val cost_placed : t -> Cost.weights -> Geometry.Transform.placed list -> float
+(** Cost of an externally packed placement (e.g. a B*-tree pack)
+    without building a [Placement.t]. Every cell must appear exactly
+    once. *)
+
+val realize_seqpair :
+  t ->
+  ?groups:Constraints.Symmetry_group.t list ->
+  Seqpair.Sp.t ->
+  rot:bool array ->
+  Placement.t
+(** Materialize a full [Placement.t] through the list APIs — for the
+    final best state, off the hot path. *)

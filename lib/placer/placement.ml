@@ -1,8 +1,24 @@
 open Geometry
 
-type t = { circuit : Netlist.Circuit.t; placed : Transform.placed list }
+type t = {
+  circuit : Netlist.Circuit.t;
+  placed : Transform.placed list;
+  by_cell : Transform.placed option array;
+}
 
-let make circuit placed = { circuit; placed }
+(* [by_cell] indexes placements by cell id so [rect_of] (and through it
+   the per-pin lookups of [hpwl]) is O(1) instead of an O(n) list scan.
+   Out-of-range or duplicate cells keep the list as source of truth and
+   are reported by [validate]. *)
+let make circuit placed =
+  let n = Netlist.Circuit.size circuit in
+  let by_cell = Array.make n None in
+  List.iter
+    (fun (p : Transform.placed) ->
+      if p.cell >= 0 && p.cell < n && by_cell.(p.cell) = None then
+        by_cell.(p.cell) <- Some p)
+    placed;
+  { circuit; placed; by_cell }
 
 let bbox t =
   match t.placed with
@@ -16,9 +32,8 @@ let width t = (bbox t).Rect.w
 let height t = (bbox t).Rect.h
 
 let rect_of t m =
-  List.find_map
-    (fun (p : Transform.placed) -> if p.cell = m then Some p.rect else None)
-    t.placed
+  if m < 0 || m >= Array.length t.by_cell then None
+  else Option.map (fun (p : Transform.placed) -> p.rect) t.by_cell.(m)
 
 let hpwl t =
   let center2 m = Option.map Rect.center2 (rect_of t m) in

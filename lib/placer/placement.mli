@@ -1,8 +1,11 @@
 (** Placements of a circuit: the common result type of every placer. *)
 
-type t = {
+type t = private {
   circuit : Netlist.Circuit.t;
   placed : Geometry.Transform.placed list;
+  by_cell : Geometry.Transform.placed option array;
+      (** cell id -> placement, for O(1) [rect_of]; maintained by
+          [make], hence the private row *)
 }
 
 val make : Netlist.Circuit.t -> Geometry.Transform.placed list -> t

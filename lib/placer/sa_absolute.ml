@@ -58,7 +58,8 @@ let legalize placement =
       in
       fixed := { p with Transform.rect = settle p.Transform.rect } :: !fixed)
     sorted;
-  Compact.compact { placement with Placement.placed = List.rev !fixed }
+  Compact.compact
+    (Placement.make placement.Placement.circuit (List.rev !fixed))
 
 let place ?(weights = Cost.default) ?(overlap_weight = 4.0) ?params ~rng
     circuit =

@@ -7,18 +7,16 @@ type outcome = {
   evaluated : int;
 }
 
-let evaluate circuit st =
-  let dims c =
-    let w, h = Netlist.Circuit.dims circuit c in
-    if st.rot.(c) then (h, w) else (w, h)
-  in
-  Placement.make circuit (Bstar.Tree.pack st.tree dims)
+let dims_of circuit st c =
+  let w, h = Netlist.Circuit.dims circuit c in
+  if st.rot.(c) then (h, w) else (w, h)
 
-let place ?(weights = Cost.default) ?params ~rng circuit =
+let evaluate circuit st =
+  Placement.make circuit (Bstar.Tree.pack st.tree (dims_of circuit st))
+
+let problem_of ~weights circuit rng =
   let n = Netlist.Circuit.size circuit in
-  let params =
-    match params with Some p -> p | None -> Anneal.Sa.default_params ~n
-  in
+  let arena = Eval.create circuit in
   let init =
     { tree = Bstar.Tree.random rng (List.init n Fun.id);
       rot = Array.make n false }
@@ -33,12 +31,43 @@ let place ?(weights = Cost.default) ?params ~rng circuit =
       { st with rot }
     end
   in
-  let cost st = Cost.evaluate weights (evaluate circuit st) in
-  let result = Anneal.Sa.run ~rng params { Anneal.Sa.init; neighbor; cost } in
-  let placement = evaluate circuit result.Anneal.Sa.best in
-  {
-    placement;
-    cost = result.Anneal.Sa.best_cost;
-    sa_rounds = result.Anneal.Sa.rounds;
-    evaluated = result.Anneal.Sa.evaluated;
-  }
+  let cost st =
+    Eval.cost_placed arena weights (Bstar.Tree.pack st.tree (dims_of circuit st))
+  in
+  { Anneal.Sa.init; neighbor; cost }
+
+let place ?(weights = Cost.default) ?params ?workers ?chains ~rng circuit =
+  let n = Netlist.Circuit.size circuit in
+  let params =
+    match params with Some p -> p | None -> Anneal.Sa.default_params ~n
+  in
+  match (workers, chains) with
+  | None, None ->
+      let result = Anneal.Sa.run ~rng params (problem_of ~weights circuit rng) in
+      {
+        placement = evaluate circuit result.Anneal.Sa.best;
+        cost = result.Anneal.Sa.best_cost;
+        sa_rounds = result.Anneal.Sa.rounds;
+        evaluated = result.Anneal.Sa.evaluated;
+      }
+  | _ ->
+      let k =
+        match chains with
+        | Some k -> max 1 k
+        | None -> (
+            match workers with
+            | Some w -> max 1 w
+            | None -> Anneal.Parallel.default_workers ())
+      in
+      let seeds = List.init k (fun _ -> Prelude.Rng.int rng 0x3FFFFFFF) in
+      let result =
+        Anneal.Parallel.run ?workers ~seeds params (problem_of ~weights circuit)
+      in
+      {
+        placement = evaluate circuit result.Anneal.Parallel.best;
+        cost = result.Anneal.Parallel.best_cost;
+        sa_rounds =
+          result.Anneal.Parallel.chains.(result.Anneal.Parallel.winner)
+            .Anneal.Sa.rounds;
+        evaluated = result.Anneal.Parallel.evaluated;
+      }

@@ -15,6 +15,11 @@ type outcome = {
 val place :
   ?weights:Cost.weights ->
   ?params:Anneal.Sa.params ->
+  ?workers:int ->
+  ?chains:int ->
   rng:Prelude.Rng.t ->
   Netlist.Circuit.t ->
   outcome
+(** Costs are evaluated through the allocation-free {!Eval} arena.
+    [workers]/[chains] enable {!Anneal.Parallel} multi-start annealing
+    with the same semantics as {!Sa_seqpair.place}. *)

@@ -28,6 +28,7 @@ let flip_rotation rng groups rot =
   | None -> flip c);
   rot
 
+(* Materialization of the final best state, off the hot path. *)
 let evaluate circuit groups st =
   let dims = dims_of circuit st.rot in
   let placed =
@@ -40,11 +41,12 @@ let evaluate circuit groups st =
   in
   Placement.make circuit placed
 
-let place ?(weights = Cost.default) ?params ?(groups = []) ~rng circuit =
+(* One annealing problem per chain: its own initial code drawn from the
+   chain's rng and its own evaluation arena (the arena is mutable and
+   must never be shared across domains). *)
+let problem_of ~weights ~groups circuit rng =
   let n = Netlist.Circuit.size circuit in
-  let params =
-    match params with Some p -> p | None -> Anneal.Sa.default_params ~n
-  in
+  let arena = Eval.create circuit in
   let init_sp =
     match groups with
     | [] -> Seqpair.Sp.random rng n
@@ -61,13 +63,46 @@ let place ?(weights = Cost.default) ?params ?(groups = []) ~rng circuit =
       { st with sp }
     else { st with rot = flip_rotation rng groups st.rot }
   in
-  let cost st = Cost.evaluate weights (evaluate circuit groups st) in
-  let problem = { Anneal.Sa.init; neighbor; cost } in
-  let result = Anneal.Sa.run ~rng params problem in
-  let placement = evaluate circuit groups result.Anneal.Sa.best in
-  {
-    placement;
-    cost = result.Anneal.Sa.best_cost;
-    sa_rounds = result.Anneal.Sa.rounds;
-    evaluated = result.Anneal.Sa.evaluated;
-  }
+  let cost st = Eval.cost_seqpair arena weights ~groups st.sp ~rot:st.rot in
+  { Anneal.Sa.init; neighbor; cost }
+
+let place ?(weights = Cost.default) ?params ?(groups = []) ?workers ?chains
+    ~rng circuit =
+  let n = Netlist.Circuit.size circuit in
+  let params =
+    match params with Some p -> p | None -> Anneal.Sa.default_params ~n
+  in
+  match (workers, chains) with
+  | None, None ->
+      let problem = problem_of ~weights ~groups circuit rng in
+      let result = Anneal.Sa.run ~rng params problem in
+      {
+        placement = evaluate circuit groups result.Anneal.Sa.best;
+        cost = result.Anneal.Sa.best_cost;
+        sa_rounds = result.Anneal.Sa.rounds;
+        evaluated = result.Anneal.Sa.evaluated;
+      }
+  | _ ->
+      let k =
+        match chains with
+        | Some k -> max 1 k
+        | None -> (
+            match workers with
+            | Some w -> max 1 w
+            | None -> Anneal.Parallel.default_workers ())
+      in
+      (* Seeds drawn from the caller's rng: deterministic for a fixed
+         seed, distinct streams per chain. *)
+      let seeds = List.init k (fun _ -> Prelude.Rng.int rng 0x3FFFFFFF) in
+      let result =
+        Anneal.Parallel.run ?workers ~seeds params
+          (problem_of ~weights ~groups circuit)
+      in
+      {
+        placement = evaluate circuit groups result.Anneal.Parallel.best;
+        cost = result.Anneal.Parallel.best_cost;
+        sa_rounds =
+          result.Anneal.Parallel.chains.(result.Anneal.Parallel.winner)
+            .Anneal.Sa.rounds;
+        evaluated = result.Anneal.Parallel.evaluated;
+      }

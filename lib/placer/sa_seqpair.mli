@@ -6,21 +6,34 @@
     every move applies its symmetric companion (see {!Seqpair.Moves}),
     rotations flip both cells of a pair together, and evaluation uses
     the exact symmetric packing, so every visited placement keeps all
-    groups mirror-symmetric. *)
+    groups mirror-symmetric.
+
+    Candidate costs are computed through the allocation-free
+    {!Eval} arena; only the final best placement is materialized. *)
 
 type outcome = {
   placement : Placement.t;
   cost : float;
-  sa_rounds : int;
-  evaluated : int;
+  sa_rounds : int;  (** rounds of the winning chain *)
+  evaluated : int;  (** total cost evaluations, all chains *)
 }
 
 val place :
   ?weights:Cost.weights ->
   ?params:Anneal.Sa.params ->
   ?groups:Constraints.Symmetry_group.t list ->
+  ?workers:int ->
+  ?chains:int ->
   rng:Prelude.Rng.t ->
   Netlist.Circuit.t ->
   outcome
 (** Default weights {!Cost.default}; default SA parameters scale with
-    the circuit size. *)
+    the circuit size.
+
+    When [workers] or [chains] is given, runs {!Anneal.Parallel}
+    multi-start annealing: [chains] independent seeded chains (default
+    [workers], default {!Anneal.Parallel.default_workers}) spread over
+    [workers] domains with periodic best-exchange. Chain seeds are
+    drawn from [rng], so a fixed caller seed gives identical results
+    for any [workers] value. Without either parameter the classic
+    single-chain path runs on [rng] directly. *)

@@ -10,6 +10,10 @@ type t
 val create : int -> t
 (** [create n] — indices [0 .. n-1], all values 0. *)
 
+val clear : t -> unit
+(** Reset every value to 0 without reallocating, so one tree can serve
+    many packs (the evaluation arena reuses a single scratch tree). *)
+
 val update : t -> int -> int -> unit
 (** [update t i v] raises the value at [i] to [max current v]. *)
 

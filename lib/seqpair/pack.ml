@@ -2,11 +2,36 @@ open Geometry
 
 type dims = int -> int * int
 
-let widths sp dims =
-  Array.init (Sp.size sp) (fun c -> fst (dims c))
+(* Reusable scratch for the buffer-variant evaluators: one Fenwick
+   tree, one vEB tree and its value array, sized once for the largest
+   circuit the arena will see. Nothing is allocated per pack. *)
+type scratch = {
+  capacity : int;
+  bit : Bit.t;
+  veb : Veb.t;
+  value : int array;
+  order : int array;  (* alpha order, reused by the vEB sweeps *)
+}
 
-let heights sp dims =
-  Array.init (Sp.size sp) (fun c -> snd (dims c))
+let scratch capacity =
+  let capacity = max 1 capacity in
+  {
+    capacity;
+    bit = Bit.create capacity;
+    veb = Veb.create capacity;
+    value = Array.make capacity 0;
+    order = Array.make capacity 0;
+  }
+
+let check_capacity s n =
+  if n > s.capacity then invalid_arg "Pack: scratch smaller than circuit"
+
+let fill_dims sp dims ~w ~h =
+  for c = 0 to Sp.size sp - 1 do
+    let cw, ch = dims c in
+    w.(c) <- cw;
+    h.(c) <- ch
+  done
 
 let to_placed sp dims x y =
   List.init (Sp.size sp) (fun c ->
@@ -15,10 +40,10 @@ let to_placed sp dims x y =
         ~orient:Orientation.R0)
 
 (* O(n^2): explicit longest path over the left-of / below relations. *)
-let pack sp dims =
+let pack_into sp ~w ~h ~x ~y =
   let n = Sp.size sp in
-  let w = widths sp dims and h = heights sp dims in
-  let x = Array.make n 0 and y = Array.make n 0 in
+  Array.fill x 0 n 0;
+  Array.fill y 0 n 0;
   (* x: process cells in alpha order; predecessors are earlier in both
      sequences. *)
   for pos = 0 to n - 1 do
@@ -38,75 +63,89 @@ let pack sp dims =
       if Perm.pos_of sp.Sp.beta a < Perm.pos_of sp.Sp.beta b then
         y.(b) <- max y.(b) (y.(a) + h.(a))
     done
-  done;
-  to_placed sp dims x y
+  done
 
 (* O(n log n): the longest-path recurrences only ever ask for the
    maximum over a prefix of beta positions, served by a Fenwick tree. *)
-let pack_fast sp dims =
+let pack_fast_into s sp ~w ~h ~x ~y =
   let n = Sp.size sp in
-  let w = widths sp dims and h = heights sp dims in
-  let x = Array.make n 0 and y = Array.make n 0 in
-  let bit = Bit.create n in
+  check_capacity s n;
+  Bit.clear s.bit;
   for pos = 0 to n - 1 do
     let b = Perm.cell_at sp.Sp.alpha pos in
     let bp = Perm.pos_of sp.Sp.beta b in
-    x.(b) <- Bit.prefix_max bit (bp - 1);
-    Bit.update bit bp (x.(b) + w.(b))
+    x.(b) <- Bit.prefix_max s.bit (bp - 1);
+    Bit.update s.bit bp (x.(b) + w.(b))
   done;
-  let bit = Bit.create n in
+  Bit.clear s.bit;
   for pos = n - 1 downto 0 do
     let b = Perm.cell_at sp.Sp.alpha pos in
     let bp = Perm.pos_of sp.Sp.beta b in
-    y.(b) <- Bit.prefix_max bit (bp - 1);
-    Bit.update bit bp (y.(b) + h.(b))
-  done;
-  to_placed sp dims x y
+    y.(b) <- Bit.prefix_max s.bit (bp - 1);
+    Bit.update s.bit bp (y.(b) + h.(b))
+  done
 
 (* O(n log log n): keep only the dominant "matches" -- beta positions
    whose running coordinate strictly increases -- in a vEB tree, so the
    prefix maximum is just the value at the predecessor position. Every
    position is inserted and deleted at most once. *)
-let sweep_veb n order bpos extent coord =
-  let set = Veb.create (max 1 n) in
-  let value = Array.make (max 1 n) 0 in
-  Array.iter
-    (fun b ->
-      let p = bpos b in
-      coord.(b) <-
-        (match Veb.predecessor set p with
-        | Some q -> value.(q)
-        | None -> 0);
-      let v = coord.(b) + extent.(b) in
-      let dominated =
-        match if Veb.mem set p then Some p else Veb.predecessor set p with
-        | Some q -> value.(q) >= v
-        | None -> false
+let sweep_veb set value n order rev bpos extent coord =
+  Veb.clear set;
+  for i = 0 to n - 1 do
+    let b = order.(if rev then n - 1 - i else i) in
+    let p = bpos b in
+    coord.(b) <-
+      (match Veb.predecessor set p with
+      | Some q -> value.(q)
+      | None -> 0);
+    let v = coord.(b) + extent.(b) in
+    let dominated =
+      match if Veb.mem set p then Some p else Veb.predecessor set p with
+      | Some q -> value.(q) >= v
+      | None -> false
+    in
+    if not dominated then begin
+      Veb.insert set p;
+      value.(p) <- v;
+      let rec prune () =
+        match Veb.successor set p with
+        | Some s when value.(s) <= v ->
+            Veb.delete set s;
+            prune ()
+        | Some _ | None -> ()
       in
-      if not dominated then begin
-        Veb.insert set p;
-        value.(p) <- v;
-        let rec prune () =
-          match Veb.successor set p with
-          | Some s when value.(s) <= v ->
-              Veb.delete set s;
-              prune ()
-          | Some _ | None -> ()
-        in
-        prune ()
-      end)
-    order
+      prune ()
+    end
+  done
+
+let pack_veb_into s sp ~w ~h ~x ~y =
+  let n = Sp.size sp in
+  check_capacity s n;
+  for i = 0 to n - 1 do
+    s.order.(i) <- Perm.cell_at sp.Sp.alpha i
+  done;
+  let bpos c = Perm.pos_of sp.Sp.beta c in
+  sweep_veb s.veb s.value n s.order false bpos w x;
+  sweep_veb s.veb s.value n s.order true bpos h y
+
+(* List-returning wrappers: allocate fresh buffers, pack, materialize.
+   They remain the reference API; the [_into] variants above are the
+   hot path of {!Placer.Eval}. *)
+let with_buffers sp dims pack =
+  let n = Sp.size sp in
+  let w = Array.make n 0 and h = Array.make n 0 in
+  let x = Array.make n 0 and y = Array.make n 0 in
+  fill_dims sp dims ~w ~h;
+  pack ~w ~h ~x ~y;
+  to_placed sp dims x y
+
+let pack sp dims = with_buffers sp dims (pack_into sp)
+
+let pack_fast sp dims =
+  with_buffers sp dims (pack_fast_into (scratch (Sp.size sp)) sp)
 
 let pack_veb sp dims =
-  let n = Sp.size sp in
-  let w = widths sp dims and h = heights sp dims in
-  let x = Array.make n 0 and y = Array.make n 0 in
-  let alpha_order = Array.init n (Perm.cell_at sp.Sp.alpha) in
-  let rev_alpha_order = Array.init n (fun i -> alpha_order.(n - 1 - i)) in
-  let bpos c = Perm.pos_of sp.Sp.beta c in
-  sweep_veb n alpha_order bpos w x;
-  sweep_veb n rev_alpha_order bpos h y;
-  to_placed sp dims x y
+  with_buffers sp dims (pack_veb_into (scratch (Sp.size sp)) sp)
 
 let bounding_box placed =
   match placed with

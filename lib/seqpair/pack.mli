@@ -1,16 +1,58 @@
 (** Sequence-pair evaluation: topological code -> placement.
 
-    Both evaluators compute, for every cell, the longest path to it in
+    All evaluators compute, for every cell, the longest path to it in
     the horizontal (left-of) and vertical (below) constraint graphs
     implied by the sequence-pair, which is the minimum-area packing for
     the encoded topology.
 
     [pack] is the O(n^2) reference; [pack_fast] is the O(n log n)
     weighted-LCS formulation of FAST-SP (survey ref [26]) over a binary
-    indexed tree. They produce identical placements (tested). *)
+    indexed tree. They produce identical placements (tested).
+
+    Each evaluator also has an allocation-free [_into] variant that
+    writes coordinates into caller-supplied buffers; these are the hot
+    path of the annealing engine (see {!Placer.Eval}), where a packing
+    is evaluated tens of thousands of times per search and per-move
+    allocation dominates the runtime. *)
 
 type dims = int -> int * int
 (** Cell index -> (width, height). *)
+
+type scratch
+(** Reusable workspace (Fenwick tree, vEB tree, value buffers) for the
+    [_into] evaluators. Allocated once, valid for any sequence-pair of
+    size at most its capacity. *)
+
+val scratch : int -> scratch
+(** [scratch n] — workspace for circuits of up to [n] cells. *)
+
+val pack_into :
+  Sp.t -> w:int array -> h:int array -> x:int array -> y:int array -> unit
+(** O(n^2) reference evaluator over caller buffers: reads cell
+    dimensions from [w]/[h] (indexed by cell), writes coordinates into
+    [x]/[y]. Allocation-free. *)
+
+val pack_fast_into :
+  scratch ->
+  Sp.t ->
+  w:int array ->
+  h:int array ->
+  x:int array ->
+  y:int array ->
+  unit
+(** FAST-SP over a reused Fenwick tree. Allocation-free. Raises
+    [Invalid_argument] if the sequence-pair exceeds the scratch
+    capacity. *)
+
+val pack_veb_into :
+  scratch ->
+  Sp.t ->
+  w:int array ->
+  h:int array ->
+  x:int array ->
+  y:int array ->
+  unit
+(** O(n log log n) evaluator over a reused vEB tree. Allocation-free. *)
 
 val pack : Sp.t -> dims -> Geometry.Transform.placed list
 (** Placements in cell-index order, orientation [R0]. *)

@@ -125,14 +125,24 @@ exception Diverged
    cells, but the monotone iteration cannot inject slack on the left
    cells, so certain cross-pair chains make the axis grow without
    bound; those raise [Diverged] and the caller falls back to
-   symmetry-island segregation. *)
-let pack_coupled sp dims groups =
+   symmetry-island segregation.
+
+   The [_into] core writes coordinates (and possibly parity-padded
+   widths) into caller buffers and returns the cells placed on the
+   right-hand side of their axis, so the annealing arena can evaluate
+   symmetric packings without materializing placement lists. *)
+let pack_coupled_into ~x ~y ~w ~h sp dims groups =
   let n = Sp.size sp in
   begin
     if not (is_feasible_all sp groups) then
       raise (Infeasible "sequence-pair is not symmetric-feasible");
-    let w = Array.init n (fun c -> fst (dims c)) in
-    let h = Array.init n (fun c -> snd (dims c)) in
+    for c = 0 to n - 1 do
+      let cw, ch = dims c in
+      w.(c) <- cw;
+      h.(c) <- ch
+    done;
+    Array.fill x 0 n 0;
+    Array.fill y 0 n 0;
     (* Validate matched pair dimensions and orient pairs left/right. *)
     let oriented_pairs =
       List.map
@@ -175,7 +185,6 @@ let pack_coupled sp dims groups =
     (* Precompute the left-of and below predecessor lists. *)
     let alpha_order = Array.init n (Perm.cell_at sp.Sp.alpha) in
     let bpos c = Perm.pos_of sp.Sp.beta c in
-    let x = Array.make n 0 and y = Array.make n 0 in
     (* Longest-path pass respecting current values; true if anything
        rose. *)
     let propagate coord extent order =
@@ -270,20 +279,24 @@ let pack_coupled sp dims groups =
         let b = lift_y () in
         a || b)
       0;
-    let right_cells =
-      List.concat_map (fun (_, pairs) -> List.map snd pairs) oriented_pairs
-    in
-    List.init n (fun c ->
-        let orient =
-          if List.mem c right_cells then Orientation.MY else Orientation.R0
-        in
-        (* widths may have been padded; place with the padded size *)
-        {
-          Transform.cell = c;
-          rect = Rect.make ~x:x.(c) ~y:y.(c) ~w:w.(c) ~h:h.(c);
-          orient;
-        })
+    List.concat_map (fun (_, pairs) -> List.map snd pairs) oriented_pairs
   end
+
+let pack_coupled sp dims groups =
+  let n = Sp.size sp in
+  let x = Array.make n 0 and y = Array.make n 0 in
+  let w = Array.make n 0 and h = Array.make n 0 in
+  let right_cells = pack_coupled_into ~x ~y ~w ~h sp dims groups in
+  List.init n (fun c ->
+      let orient =
+        if List.mem c right_cells then Orientation.MY else Orientation.R0
+      in
+      (* widths may have been padded; place with the padded size *)
+      {
+        Transform.cell = c;
+        rect = Rect.make ~x:x.(c) ~y:y.(c) ~w:w.(c) ~h:h.(c);
+        orient;
+      })
 
 (* Terminal fallback for one group: rows of mirrored pairs around a
    column of self-symmetric cells — always symmetric and overlap-free,
@@ -451,4 +464,25 @@ let pack_symmetric sp dims groups =
   | exception Diverged -> (
       match pack_segregated sp dims groups with
       | placed -> Ok placed
+      | exception Infeasible msg -> Error msg)
+
+(* Buffer variant for the annealing arena: identical coordinates to
+   {!pack_symmetric} (tested), but written into caller arrays. The
+   coupled core writes in place; only the rare [Diverged] fallback
+   still materializes a list, whose coordinates are then copied. *)
+let pack_symmetric_into ~x ~y ~w ~h sp dims groups =
+  match pack_coupled_into ~x ~y ~w ~h sp dims groups with
+  | (_ : int list) -> Ok ()
+  | exception Infeasible msg -> Error msg
+  | exception Diverged -> (
+      match pack_segregated sp dims groups with
+      | placed ->
+          List.iter
+            (fun (p : Transform.placed) ->
+              x.(p.Transform.cell) <- p.Transform.rect.Rect.x;
+              y.(p.Transform.cell) <- p.Transform.rect.Rect.y;
+              w.(p.Transform.cell) <- p.Transform.rect.Rect.w;
+              h.(p.Transform.cell) <- p.Transform.rect.Rect.h)
+            placed;
+          Ok ()
       | exception Infeasible msg -> Error msg)

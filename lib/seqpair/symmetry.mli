@@ -55,5 +55,21 @@ val pack_symmetric :
     Errors if the code is not symmetric-feasible or (never observed for
     S-F codes) the fixpoint fails to converge. *)
 
+val pack_symmetric_into :
+  x:int array ->
+  y:int array ->
+  w:int array ->
+  h:int array ->
+  Sp.t ->
+  Pack.dims ->
+  group list ->
+  (unit, string) result
+(** Buffer variant of {!pack_symmetric} for the annealing arena: fills
+    [w]/[h] from [dims] (self-symmetric widths may come back padded, as
+    documented above) and writes the packed coordinates into [x]/[y],
+    all indexed by cell. Coordinates are identical to
+    {!pack_symmetric} (tested); per-pair mirror orientations are not
+    reported, as cost evaluation does not need them. *)
+
 val axis2_of : Geometry.Transform.placed list -> group -> int option
 (** The doubled axis the group actually sits on, if it is symmetric. *)

@@ -117,6 +117,14 @@ let rec delete t x =
       end
     end
 
+let rec clear t =
+  if t.vmin >= 0 then begin
+    t.vmin <- -1;
+    t.vmax <- -1;
+    Option.iter clear t.summary;
+    Array.iter clear t.clusters
+  end
+
 let min_elt t = if t.vmin < 0 then None else Some t.vmin
 let max_elt t = if t.vmin < 0 then None else Some t.vmax
 

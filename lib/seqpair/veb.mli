@@ -21,6 +21,11 @@ val insert : t -> int -> unit
 val delete : t -> int -> unit
 (** No-op if absent. *)
 
+val clear : t -> unit
+(** Empty the set without reallocating. Cost is proportional to the
+    number of non-empty clusters, not the universe, so a scratch tree
+    can be reused across many packs. *)
+
 val min_elt : t -> int option
 val max_elt : t -> int option
 

@@ -55,6 +55,69 @@ let test_deterministic () =
   in
   Alcotest.(check int) "same seed same best" (run ()) (run ())
 
+let par_params =
+  { (Anneal.Sa.default_params ~n:10) with Anneal.Sa.max_rounds = 120 }
+
+(* A single chain with no rivals must replay [Sa.run] on the same seed
+   exactly: same best, same cost, same evaluation count. *)
+let test_parallel_solo_matches_run () =
+  let seq = Anneal.Sa.run ~rng:(Prelude.Rng.create 17) par_params problem in
+  let par =
+    Anneal.Parallel.run ~workers:1 ~seeds:[ 17 ] par_params (fun _ -> problem)
+  in
+  Alcotest.(check int) "same best" seq.Anneal.Sa.best par.Anneal.Parallel.best;
+  Alcotest.(check (float 0.0))
+    "same cost" seq.Anneal.Sa.best_cost par.Anneal.Parallel.best_cost;
+  Alcotest.(check int)
+    "same evaluation count" seq.Anneal.Sa.evaluated
+    par.Anneal.Parallel.evaluated
+
+let test_parallel_worker_count_invariant () =
+  let seeds = [ 3; 11; 42; 99 ] in
+  let go workers =
+    Anneal.Parallel.run ~workers ~exchange_every:8 ~seeds par_params (fun _ ->
+        problem)
+  in
+  let a = go 1 and b = go 2 and c = go 4 in
+  Alcotest.(check int)
+    "1 vs 2 best" a.Anneal.Parallel.best b.Anneal.Parallel.best;
+  Alcotest.(check int)
+    "1 vs 4 best" a.Anneal.Parallel.best c.Anneal.Parallel.best;
+  Alcotest.(check (float 0.0))
+    "1 vs 2 cost" a.Anneal.Parallel.best_cost b.Anneal.Parallel.best_cost;
+  Alcotest.(check (float 0.0))
+    "1 vs 4 cost" a.Anneal.Parallel.best_cost c.Anneal.Parallel.best_cost;
+  Alcotest.(check int)
+    "1 vs 4 winner" a.Anneal.Parallel.winner c.Anneal.Parallel.winner;
+  Alcotest.(check int)
+    "1 vs 4 evaluations" a.Anneal.Parallel.evaluated
+    c.Anneal.Parallel.evaluated
+
+let test_parallel_deterministic () =
+  let go () =
+    (Anneal.Parallel.run ~workers:2 ~exchange_every:8 ~seeds:[ 5; 6; 7 ]
+       par_params (fun _ -> problem))
+      .Anneal.Parallel.best_cost
+  in
+  Alcotest.(check (float 0.0)) "same seeds same cost" (go ()) (go ())
+
+let test_parallel_multistart_minimizes () =
+  let out =
+    Anneal.Parallel.run ~workers:2 ~seeds:[ 1; 2; 3 ] par_params (fun _ ->
+        problem)
+  in
+  Alcotest.(check bool)
+    "found near-optimum" true
+    (out.Anneal.Parallel.best_cost < -2.0);
+  Alcotest.(check int)
+    "one outcome per seed" 3
+    (Array.length out.Anneal.Parallel.chains);
+  Alcotest.(check bool) "winner is the argmin" true
+    (Array.for_all
+       (fun (o : int Anneal.Sa.outcome) ->
+         out.Anneal.Parallel.best_cost <= o.Anneal.Sa.best_cost)
+       out.Anneal.Parallel.chains)
+
 let () =
   Alcotest.run "anneal"
     [
@@ -68,5 +131,15 @@ let () =
           Alcotest.test_case "minimizes" `Quick test_sa_minimizes;
           Alcotest.test_case "estimate t0" `Quick test_estimate_t0;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "workers=1 replays Sa.run" `Quick
+            test_parallel_solo_matches_run;
+          Alcotest.test_case "worker-count invariant" `Quick
+            test_parallel_worker_count_invariant;
+          Alcotest.test_case "deterministic" `Quick test_parallel_deterministic;
+          Alcotest.test_case "multi-start minimizes" `Quick
+            test_parallel_multistart_minimizes;
         ] );
     ]

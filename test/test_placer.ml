@@ -247,6 +247,132 @@ let test_finishing_well () =
       Alcotest.(check int) "cell fully in well" (Geometry.Rect.area cell) inter)
     rects
 
+let test_rect_of_index () =
+  let c = tiny_circuit () in
+  let sizes = [ (10, 6); (10, 6); (4, 12); (8, 8); (6, 6) ] in
+  let placed =
+    List.mapi
+      (fun i (w, h) ->
+        Geometry.Transform.place ~cell:i ~x:(i * 12) ~y:0 ~w ~h
+          ~orient:Geometry.Orientation.R0)
+      sizes
+  in
+  let p = Placer.Placement.make c placed in
+  List.iteri
+    (fun i (w, _) ->
+      match Placer.Placement.rect_of p i with
+      | Some r ->
+          Alcotest.(check int) "x" (i * 12) r.Geometry.Rect.x;
+          Alcotest.(check int) "w" w r.Geometry.Rect.w
+      | None -> Alcotest.failf "cell %d not indexed" i)
+    sizes;
+  Alcotest.(check bool) "negative id" true
+    (Placer.Placement.rect_of p (-1) = None);
+  Alcotest.(check bool) "past the end" true
+    (Placer.Placement.rect_of p 5 = None);
+  (* partial placements leave the missing cells unindexed *)
+  let partial = Placer.Placement.make c (List.tl placed) in
+  Alcotest.(check bool) "unplaced cell" true
+    (Placer.Placement.rect_of partial 0 = None)
+
+(* The arena must agree with the list-based cost path to the last
+   bit: both delegate to Cost.compose over identical coordinates. *)
+let test_eval_cost_parity () =
+  let b = Netlist.Benchmarks.synthetic ~label:"e" ~n:15 ~seed:21 in
+  let c = b.Netlist.Benchmarks.circuit in
+  let arena = Placer.Eval.create c in
+  let weights = Placer.Cost.default in
+  let rng = Prelude.Rng.create 9 in
+  let n = Netlist.Circuit.size c in
+  for _ = 1 to 50 do
+    let sp = Seqpair.Sp.random rng n in
+    let rot = Array.init n (fun _ -> Prelude.Rng.int rng 2 = 0) in
+    let arena_cost = Placer.Eval.cost_seqpair arena weights sp ~rot in
+    let dims cell =
+      let w, h = Netlist.Circuit.dims c cell in
+      if rot.(cell) then (h, w) else (w, h)
+    in
+    let reference =
+      Placer.Cost.evaluate weights
+        (Placer.Placement.make c (Seqpair.Pack.pack_fast sp dims))
+    in
+    Alcotest.(check (float 0.0)) "arena = list cost" reference arena_cost
+  done
+
+let test_eval_cost_parity_symmetric () =
+  let c = tiny_circuit () in
+  let grp = Constraints.Symmetry_group.make ~pairs:[ (0, 1) ] ~selfs:[ 2 ] () in
+  let arena = Placer.Eval.create c in
+  let weights = Placer.Cost.default in
+  let rng = Prelude.Rng.create 10 in
+  let n = Netlist.Circuit.size c in
+  for _ = 1 to 50 do
+    let sp = Seqpair.Symmetry.random_feasible rng ~n [ grp ] in
+    let rot = Array.make n false in
+    let arena_cost =
+      Placer.Eval.cost_seqpair arena weights ~groups:[ grp ] sp ~rot
+    in
+    let placed =
+      match
+        Seqpair.Symmetry.pack_symmetric sp (Netlist.Circuit.dims c) [ grp ]
+      with
+      | Ok placed -> placed
+      | Error m -> Alcotest.fail m
+    in
+    let reference =
+      Placer.Cost.evaluate weights (Placer.Placement.make c placed)
+    in
+    Alcotest.(check (float 0.0))
+      "symmetric arena = list cost" reference arena_cost
+  done
+
+let test_eval_cost_placed_parity () =
+  let b = Netlist.Benchmarks.synthetic ~label:"p" ~n:12 ~seed:33 in
+  let c = b.Netlist.Benchmarks.circuit in
+  let arena = Placer.Eval.create c in
+  let weights = Placer.Cost.default in
+  let rng = Prelude.Rng.create 11 in
+  let n = Netlist.Circuit.size c in
+  for _ = 1 to 50 do
+    let tree = Bstar.Tree.random rng (List.init n Fun.id) in
+    let placed = Bstar.Tree.pack tree (Netlist.Circuit.dims c) in
+    let arena_cost = Placer.Eval.cost_placed arena weights placed in
+    let reference =
+      Placer.Cost.evaluate weights (Placer.Placement.make c placed)
+    in
+    Alcotest.(check (float 0.0)) "placed arena = list cost" reference arena_cost
+  done
+
+let test_sa_seqpair_parallel () =
+  let c = tiny_circuit () in
+  let place workers =
+    Placer.Sa_seqpair.place ~params:small_params ~workers ~chains:3
+      ~rng:(Prelude.Rng.create 7) c
+  in
+  let a = place 1 and b = place 2 in
+  Alcotest.(check (float 0.0))
+    "worker count does not change the result" a.Placer.Sa_seqpair.cost
+    b.Placer.Sa_seqpair.cost;
+  (match Placer.Placement.validate a.Placer.Sa_seqpair.placement with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check bool) "chains counted" true
+    (a.Placer.Sa_seqpair.evaluated > 0)
+
+let test_sa_bstar_parallel () =
+  let c = tiny_circuit () in
+  let place workers =
+    Placer.Sa_bstar.place ~params:small_params ~workers ~chains:2
+      ~rng:(Prelude.Rng.create 8) c
+  in
+  let a = place 1 and b = place 2 in
+  Alcotest.(check (float 0.0))
+    "worker count does not change the result" a.Placer.Sa_bstar.cost
+    b.Placer.Sa_bstar.cost;
+  match Placer.Placement.validate a.Placer.Sa_bstar.placement with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
 let prop_slicing_moves_normalized =
   QCheck.Test.make ~name:"slicing moves stay normalized" ~count:200
     QCheck.(pair (int_range 2 12) small_int)
@@ -267,12 +393,23 @@ let () =
         [
           Alcotest.test_case "validate" `Quick test_validate;
           Alcotest.test_case "metrics" `Quick test_metrics;
+          Alcotest.test_case "rect_of index" `Quick test_rect_of_index;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "seqpair cost parity" `Quick test_eval_cost_parity;
+          Alcotest.test_case "symmetric cost parity" `Quick
+            test_eval_cost_parity_symmetric;
+          Alcotest.test_case "placed cost parity" `Quick
+            test_eval_cost_placed_parity;
         ] );
       ( "sa",
         [
           Alcotest.test_case "seqpair flat" `Quick test_sa_seqpair_flat;
           Alcotest.test_case "seqpair symmetric" `Quick test_sa_seqpair_symmetric;
+          Alcotest.test_case "seqpair parallel" `Quick test_sa_seqpair_parallel;
           Alcotest.test_case "bstar" `Quick test_sa_bstar;
+          Alcotest.test_case "bstar parallel" `Quick test_sa_bstar_parallel;
           Alcotest.test_case "improves" `Quick test_sa_improves;
         ] );
       ( "slicing",
