@@ -3,11 +3,13 @@
      analog_place place  -- place a netlist (or a built-in benchmark)
      analog_place size   -- layout-aware sizing of the Miller op amp
      analog_place info   -- parse + recognize only
+     analog_place lint   -- static constraint/netlist diagnostics
 
    Examples:
      analog_place place --netlist opamp.cir --engine hbstar --svg out.svg
      analog_place place --bench lnamixbias --engine esf
      analog_place size --mode aware
+     analog_place lint opamp.cir --json
 *)
 
 open Cmdliner
@@ -78,7 +80,7 @@ let engine_conv =
   in
   Arg.conv (parse, print)
 
-let run_place netlist bench engine seed svg quiet cluster =
+let run_place netlist bench engine seed svg quiet cluster validate =
   let b =
     match (netlist, bench) with
     | Some path, _ -> load_netlist path
@@ -98,10 +100,10 @@ let run_place netlist bench engine seed svg quiet cluster =
     match engine with
     | Sp ->
         let groups = Constraints.Symmetry_group.of_hierarchy hierarchy in
-        (Placer.Sa_seqpair.place ~groups ~rng circuit)
+        (Placer.Sa_seqpair.place ~groups ?validate ~rng circuit)
           .Placer.Sa_seqpair.placement.Placer.Placement.placed
     | Bstar_flat ->
-        (Placer.Sa_bstar.place ~rng circuit)
+        (Placer.Sa_bstar.place ?validate ~rng circuit)
           .Placer.Sa_bstar.placement.Placer.Placement.placed
     | Hbstar -> (Bstar.Hbstar.place ~rng circuit hierarchy).Bstar.Hbstar.placed
     | Esf ->
@@ -199,10 +201,20 @@ let place_cmd =
             "Replace the recognized hierarchy by connectivity-based virtual \
              clustering (useful when recognition finds no structure).")
   in
+  let validate =
+    Arg.(
+      value
+      & opt (some bool) None
+      & info [ "validate" ] ~docv:"BOOL"
+          ~doc:
+            "Run the invariant sanitizer after every SA move (sp and bstar \
+             engines). Defaults to the ANALOG_VALIDATE environment switch.")
+  in
   Cmd.v
     (Cmd.info "place" ~doc:"Place an analog circuit")
     Term.(
-      const run_place $ netlist $ bench $ engine $ seed $ svg $ quiet $ cluster)
+      const run_place $ netlist $ bench $ engine $ seed $ svg $ quiet $ cluster
+      $ validate)
 
 (* ---- size -------------------------------------------------------- *)
 
@@ -290,9 +302,65 @@ let info_cmd =
     (Cmd.info "info" ~doc:"Parse a netlist and report recognized structure")
     Term.(const run_info $ netlist)
 
+(* ---- lint -------------------------------------------------------- *)
+
+let run_lint netlist bench json threshold =
+  let b =
+    match (netlist, bench) with
+    | Some path, _ -> load_netlist path
+    | None, Some name -> load_bench name
+    | None, None ->
+        prerr_endline "need a netlist FILE or --bench NAME";
+        exit 1
+  in
+  let diags =
+    Analysis.Lint.all ~sf_threshold:threshold b.Netlist.Benchmarks.circuit
+      b.Netlist.Benchmarks.hierarchy
+  in
+  if json then print_endline (Analysis.Diagnostic.list_to_json diags)
+  else begin
+    Format.printf "%s: " b.Netlist.Benchmarks.label;
+    if diags = [] then Format.printf "clean@."
+    else Format.printf "@.%a" Analysis.Diagnostic.pp_list diags
+  end;
+  exit (if Analysis.Diagnostic.has_errors diags then 1 else 0)
+
+let lint_cmd =
+  let netlist =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Netlist to lint.")
+  in
+  let bench =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench"; "b" ] ~docv:"NAME"
+          ~doc:"Lint a built-in benchmark instead of a file.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit diagnostics as a JSON array.")
+  in
+  let threshold =
+    Arg.(
+      value & opt int 1000
+      & info [ "sf-threshold" ] ~docv:"INT"
+          ~doc:
+            "Warn (AL010) when the symmetric-feasible count bound falls \
+             below this value.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static constraint/netlist diagnostics (non-zero exit on errors)")
+    Term.(const run_lint $ netlist $ bench $ json $ threshold)
+
 let () =
   let doc = "Analog layout synthesis: topological placement and sizing" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "analog_place" ~version:"1.0" ~doc)
-          [ place_cmd; size_cmd; info_cmd ]))
+          [ place_cmd; size_cmd; info_cmd; lint_cmd ]))

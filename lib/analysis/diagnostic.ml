@@ -1,0 +1,82 @@
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  subject : string;
+  message : string;
+  hint : string option;
+}
+
+let make ?hint ~code ~severity ~subject message =
+  { code; severity; subject; message; hint }
+
+let error ?hint ~code ~subject message =
+  make ?hint ~code ~severity:Error ~subject message
+
+let warning ?hint ~code ~subject message =
+  make ?hint ~code ~severity:Warning ~subject message
+
+let info ?hint ~code ~subject message =
+  make ?hint ~code ~severity:Info ~subject message
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let codes ds =
+  List.sort_uniq String.compare (List.map (fun d -> d.code) ds)
+
+let pp ppf d =
+  Format.fprintf ppf "@[%s %s %s: %s%a@]" d.code
+    (severity_to_string d.severity)
+    d.subject d.message
+    (fun ppf -> function
+      | None -> ()
+      | Some h -> Format.fprintf ppf " (hint: %s)" h)
+    d.hint
+
+let pp_list ppf ds =
+  List.iter (fun d -> Format.fprintf ppf "%a@." pp d) ds;
+  let n_err = List.length (errors ds) in
+  let n_warn =
+    List.length (List.filter (fun d -> d.severity = Warning) ds)
+  in
+  Format.fprintf ppf "%d error%s, %d warning%s@." n_err
+    (if n_err = 1 then "" else "s")
+    n_warn
+    (if n_warn = 1 then "" else "s")
+
+(* Minimal JSON string escaping: the messages only ever hold names and
+   ASCII prose, but control characters must not corrupt the stream. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  Printf.sprintf
+    "{\"code\":\"%s\",\"severity\":\"%s\",\"subject\":\"%s\",\"message\":\"%s\",\"hint\":%s}"
+    (json_escape d.code)
+    (severity_to_string d.severity)
+    (json_escape d.subject) (json_escape d.message)
+    (match d.hint with
+    | None -> "null"
+    | Some h -> Printf.sprintf "\"%s\"" (json_escape h))
+
+let list_to_json ds =
+  "[" ^ String.concat ",\n " (List.map to_json ds) ^ "]"

@@ -1,0 +1,49 @@
+(** Structured diagnostics for netlist/constraint lints and runtime
+    invariant checks.
+
+    Every finding carries a stable code so tooling (CI, editors, the
+    [lint] subcommand's [--json] output) can match on it regardless of
+    message wording. Codes are never reused; the full table lives in
+    DESIGN.md. [AL0xx] codes are static lints, [AL1xx] codes are
+    representation/placement invariants raised by the sanitizer. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;  (** stable identifier, e.g. ["AL005"] *)
+  severity : severity;
+  subject : string;  (** what the finding is about, e.g. ["net tail"] *)
+  message : string;
+  hint : string option;  (** actionable fix suggestion *)
+}
+
+val make :
+  ?hint:string -> code:string -> severity:severity -> subject:string ->
+  string -> t
+
+val error : ?hint:string -> code:string -> subject:string -> string -> t
+val warning : ?hint:string -> code:string -> subject:string -> string -> t
+val info : ?hint:string -> code:string -> subject:string -> string -> t
+
+val severity_to_string : severity -> string
+
+val errors : t list -> t list
+(** The [Error]-severity subset. *)
+
+val has_errors : t list -> bool
+
+val codes : t list -> string list
+(** Distinct codes present, sorted. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [code severity subject: message (hint: ...)]. *)
+
+val pp_list : Format.formatter -> t list -> unit
+(** All diagnostics, one per line, followed by an error/warning count
+    summary. *)
+
+val to_json : t -> string
+(** One JSON object; [hint] is [null] when absent. *)
+
+val list_to_json : t list -> string
+(** JSON array of {!to_json} objects (newline-separated elements). *)

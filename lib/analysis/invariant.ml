@@ -1,0 +1,246 @@
+open Geometry
+module G = Constraints.Symmetry_group
+module D = Diagnostic
+
+exception Violation of string * Diagnostic.t list
+
+let () =
+  Printexc.register_printer (function
+    | Violation (context, ds) ->
+        Some
+          (Format.asprintf "@[<v>invariant violation in %s:@,%a@]" context
+             D.pp_list ds)
+    | _ -> None)
+
+let enabled_from_env () =
+  match Sys.getenv_opt "ANALOG_VALIDATE" with
+  | None | Some "" | Some "0" | Some "false" -> false
+  | Some _ -> true
+
+let raise_if_any ~context = function
+  | [] -> ()
+  | ds -> raise (Violation (context, ds))
+
+(* ---- representation checks ---------------------------------------- *)
+
+let check_perm ~n ~which p =
+  if Seqpair.Perm.size p <> n then
+    [
+      D.error ~code:"AL101" ~subject:which
+        (Printf.sprintf "permutation has size %d, circuit has %d cells"
+           (Seqpair.Perm.size p) n);
+    ]
+  else begin
+    let bad = ref [] in
+    for pos = 0 to n - 1 do
+      let c = Seqpair.Perm.cell_at p pos in
+      if c < 0 || c >= n then
+        bad :=
+          D.error ~code:"AL101" ~subject:which
+            (Printf.sprintf "cell %d at position %d is out of range" c pos)
+          :: !bad
+      else if Seqpair.Perm.pos_of p c <> pos then
+        bad :=
+          D.error ~code:"AL101" ~subject:which
+            (Printf.sprintf "pos_of (cell_at %d) = %d; inverse inconsistent"
+               pos (Seqpair.Perm.pos_of p c))
+          :: !bad
+    done;
+    List.rev !bad
+  end
+
+let check_sp ~n (sp : Seqpair.Sp.t) =
+  check_perm ~n ~which:"alpha" sp.Seqpair.Sp.alpha
+  @ check_perm ~n ~which:"beta" sp.Seqpair.Sp.beta
+
+let check_sf sp groups =
+  List.filter_map
+    (fun (g : G.t) ->
+      if Seqpair.Symmetry.is_feasible sp g then None
+      else
+        Some
+          (D.error ~code:"AL102"
+             ~subject:("group " ^ g.G.name)
+             "sequence-pair is not symmetric-feasible (property (1) \
+              violated)"
+             ~hint:"a move escaped the S-F subspace; repair with \
+                    Symmetry.make_feasible"))
+    groups
+
+let check_bstar ~n tree =
+  (* Budgeted traversal: a corrupted (shared or [let rec]-cyclic)
+     structure must be reported, not looped on. *)
+  let budget = ref (n + 1) in
+  let count = Array.make (max n 1) 0 in
+  let out_of_range = ref [] in
+  let rec go t =
+    if !budget > 0 then begin
+      decr budget;
+      let c = t.Bstar.Tree.cell in
+      if c < 0 || c >= n then
+        out_of_range :=
+          D.error ~code:"AL103" ~subject:"b*-tree"
+            (Printf.sprintf "node cell %d out of range [0, %d)" c n)
+          :: !out_of_range
+      else count.(c) <- count.(c) + 1;
+      Option.iter go t.Bstar.Tree.left;
+      Option.iter go t.Bstar.Tree.right
+    end
+  in
+  go tree;
+  if !budget = 0 then
+    [
+      D.error ~code:"AL103" ~subject:"b*-tree"
+        (Printf.sprintf
+           "traversal exceeded %d nodes: structure is cyclic or holds \
+            duplicated subtrees"
+           n);
+    ]
+  else
+    List.rev !out_of_range
+    @ List.concat
+        (List.init n (fun c ->
+             if count.(c) = 1 then []
+             else
+               [
+                 D.error ~code:"AL103" ~subject:"b*-tree"
+                   (Printf.sprintf "cell %d occurs %d times" c count.(c));
+               ]))
+
+(* ---- placement audit ---------------------------------------------- *)
+
+let audit_placed ?(groups = []) ?outline ~n placed =
+  let count = Array.make (max n 1) 0 in
+  (* two passes: the summary below must see the fully-filled [count]
+     array, and [e1 @ e2] does not promise left-to-right evaluation *)
+  let out_of_range =
+    List.concat_map
+      (fun (p : Transform.placed) ->
+        let c = p.Transform.cell in
+        if c < 0 || c >= n then
+          [
+            D.error ~code:"AL106" ~subject:"placement"
+              (Printf.sprintf "placed cell %d outside the circuit" c);
+          ]
+        else begin
+          count.(c) <- count.(c) + 1;
+          []
+        end)
+      placed
+  in
+  let multiplicity =
+    out_of_range
+    @ List.concat
+        (List.init n (fun c ->
+             if count.(c) = 1 then []
+             else
+               [
+                 D.error ~code:"AL106" ~subject:"placement"
+                   (Printf.sprintf "cell %d placed %d times" c count.(c));
+               ]))
+  in
+  let bounds =
+    List.filter_map
+      (fun (p : Transform.placed) ->
+        let r = p.Transform.rect in
+        let inside_outline =
+          match outline with
+          | None -> true
+          | Some (ow, oh) -> Rect.x_max r <= ow && Rect.y_max r <= oh
+        in
+        if r.Rect.x >= 0 && r.Rect.y >= 0 && inside_outline then None
+        else
+          Some
+            (D.error ~code:"AL107"
+               ~subject:(Printf.sprintf "cell %d" p.Transform.cell)
+               (Format.asprintf "rect %a outside the %s" Rect.pp r
+                  (match outline with
+                  | None -> "first quadrant"
+                  | Some (ow, oh) -> Printf.sprintf "%dx%d outline" ow oh))))
+      placed
+  in
+  let overlap =
+    match Constraints.Placement_check.overlap_free placed with
+    | Ok () -> []
+    | Error v ->
+        [
+          D.error ~code:"AL104" ~subject:v.Constraints.Placement_check.subject
+            v.Constraints.Placement_check.detail;
+        ]
+  in
+  let symmetry =
+    List.filter_map
+      (fun (g : G.t) ->
+        match Constraints.Placement_check.symmetry ~group:g placed with
+        | Ok _ -> None
+        | Error v ->
+            Some
+              (D.error ~code:"AL108"
+                 ~subject:
+                   ("group " ^ g.G.name ^ ": "
+                   ^ v.Constraints.Placement_check.subject)
+                 v.Constraints.Placement_check.detail))
+      groups
+  in
+  multiplicity @ bounds @ overlap @ symmetry
+
+let check_asf_island ~group (island : Bstar.Asf.island) =
+  let members = List.sort_uniq Int.compare (G.members group) in
+  let placed_cells =
+    List.sort Int.compare
+      (List.map (fun (p : Transform.placed) -> p.Transform.cell)
+         island.Bstar.Asf.placed)
+  in
+  let membership =
+    if placed_cells = members then []
+    else
+      [
+        D.error ~code:"AL105" ~subject:"asf island"
+          "island cells differ from the group members";
+      ]
+  in
+  let bounds =
+    List.filter_map
+      (fun (p : Transform.placed) ->
+        let r = p.Transform.rect in
+        if
+          r.Rect.x >= 0 && r.Rect.y >= 0
+          && Rect.x_max r <= island.Bstar.Asf.width
+          && Rect.y_max r <= island.Bstar.Asf.height
+        then None
+        else
+          Some
+            (D.error ~code:"AL105"
+               ~subject:(Printf.sprintf "cell %d" p.Transform.cell)
+               (Format.asprintf "rect %a outside the island box %dx%d"
+                  Rect.pp r island.Bstar.Asf.width island.Bstar.Asf.height)))
+      island.Bstar.Asf.placed
+  in
+  let overlap =
+    match Constraints.Placement_check.overlap_free island.Bstar.Asf.placed with
+    | Ok () -> []
+    | Error v ->
+        [
+          D.error ~code:"AL104" ~subject:v.Constraints.Placement_check.subject
+            v.Constraints.Placement_check.detail;
+        ]
+  in
+  let mirror =
+    match
+      Constraints.Placement_check.symmetry ~group island.Bstar.Asf.placed
+    with
+    | Ok axis2 when axis2 = island.Bstar.Asf.axis2 -> []
+    | Ok axis2 ->
+        [
+          D.error ~code:"AL105" ~subject:"asf island"
+            (Printf.sprintf "island axis2 %d but cells mirror about %d"
+               island.Bstar.Asf.axis2 axis2);
+        ]
+    | Error v ->
+        [
+          D.error ~code:"AL105"
+            ~subject:("asf island: " ^ v.Constraints.Placement_check.subject)
+            v.Constraints.Placement_check.detail;
+        ]
+  in
+  membership @ bounds @ overlap @ mirror

@@ -1,0 +1,64 @@
+(** Runtime invariant sanitizer for the topological representations.
+
+    The annealing placers trust their move sets to preserve the
+    representation invariants (S-F feasibility, B*-tree shape, exact
+    symmetric packing). These checkers re-verify them independently so
+    a debug mode can audit every SA move and fail fast — with a full
+    diagnostic dump — at the move that broke an invariant, instead of
+    returning a silently asymmetric layout.
+
+    Checks are opt-in: the placers take [?validate] (defaulting to
+    {!enabled_from_env}, the [ANALOG_VALIDATE=1] environment switch)
+    and install the checkers only when it is set, so the disabled mode
+    runs the exact closures it always ran — zero overhead.
+
+    Codes emitted here (invariants, [AL1xx]):
+
+    - [AL101] error: sequence-pair permutations inconsistent
+    - [AL102] error: sequence-pair not symmetric-feasible for a group
+    - [AL103] error: B*-tree malformed (cell missing, duplicated, out
+      of range, or structure cyclic)
+    - [AL104] error: packed placement has overlapping cells
+    - [AL105] error: ASF island violates its mirror invariant
+    - [AL106] error: a cell is placed a number of times other than once
+    - [AL107] error: a cell lies outside the first quadrant (or given
+      outline)
+    - [AL108] error: a symmetry group is not exactly mirrored *)
+
+exception Violation of string * Diagnostic.t list
+(** [(context, diagnostics)]; a printer is registered, so an uncaught
+    violation renders the whole dump. *)
+
+val enabled_from_env : unit -> bool
+(** True when [ANALOG_VALIDATE] is set to anything but [""], ["0"] or
+    ["false"]. Read on every call (cheap), so tests can toggle it. *)
+
+val raise_if_any : context:string -> Diagnostic.t list -> unit
+(** Raise {!Violation} when the list is non-empty. *)
+
+val check_sp : n:int -> Seqpair.Sp.t -> Diagnostic.t list
+(** Both permutations have size [n] and are position/cell consistent. *)
+
+val check_sf :
+  Seqpair.Sp.t -> Constraints.Symmetry_group.t list -> Diagnostic.t list
+(** Symmetric-feasibility (survey property (1)) of every group. *)
+
+val check_bstar : n:int -> Bstar.Tree.t -> Diagnostic.t list
+(** The tree holds each cell of [0..n-1] exactly once. The traversal is
+    budgeted, so a (deliberately corrupted) cyclic structure is
+    reported rather than looped on. *)
+
+val check_asf_island :
+  group:Constraints.Symmetry_group.t -> Bstar.Asf.island -> Diagnostic.t list
+(** The island is overlap-free, fits its stated [width]x[height] box,
+    and mirrors the group exactly about its stated axis. *)
+
+val audit_placed :
+  ?groups:Constraints.Symmetry_group.t list ->
+  ?outline:int * int ->
+  n:int ->
+  Geometry.Transform.placed list ->
+  Diagnostic.t list
+(** Full placement audit: each cell of [0..n-1] exactly once (AL106),
+    inside the first quadrant and the optional [outline] (AL107), no
+    overlaps (AL104), every group exactly mirrored (AL108). *)

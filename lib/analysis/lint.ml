@@ -1,0 +1,250 @@
+module C = Netlist.Circuit
+module G = Constraints.Symmetry_group
+module D = Diagnostic
+
+let module_name (c : C.t) i =
+  if i >= 0 && i < Array.length c.C.modules then c.C.modules.(i).C.name
+  else Printf.sprintf "#%d" i
+
+(* ---- netlist-only lints ------------------------------------------- *)
+
+let lint_pins (c : C.t) =
+  let n = Array.length c.C.modules in
+  List.concat_map
+    (fun (net : Netlist.Net.t) ->
+      List.filter_map
+        (fun p ->
+          if p >= 0 && p < n then None
+          else
+            Some
+              (D.error ~code:"AL001"
+                 ~subject:("net " ^ net.Netlist.Net.name)
+                 (Printf.sprintf "pin %d indexes no module (circuit has %d)"
+                    p n)
+                 ~hint:"pins must be module indices in [0, size)"))
+        net.Netlist.Net.pins)
+    c.C.nets
+
+let lint_duplicate_names (c : C.t) =
+  let seen = Hashtbl.create 16 in
+  Array.to_list c.C.modules
+  |> List.filter_map (fun (m : C.module_) ->
+         if Hashtbl.mem seen m.C.name then
+           Some
+             (D.error ~code:"AL002"
+                ~subject:("module " ^ m.C.name)
+                "duplicate module name"
+                ~hint:"rename the device; lookups by name are ambiguous")
+         else begin
+           Hashtbl.replace seen m.C.name ();
+           None
+         end)
+
+let lint_dims (c : C.t) =
+  Array.to_list c.C.modules
+  |> List.filter_map (fun (m : C.module_) ->
+         if m.C.w > 0 && m.C.h > 0 then None
+         else
+           Some
+             (D.error ~code:"AL003"
+                ~subject:("module " ^ m.C.name)
+                (Printf.sprintf "non-positive dimensions %dx%d" m.C.w m.C.h)
+                ~hint:"check the device W/L parameters"))
+
+let lint_net_degree (c : C.t) =
+  List.filter_map
+    (fun (net : Netlist.Net.t) ->
+      let d = Netlist.Net.degree net in
+      if d >= 2 then None
+      else
+        Some
+          (D.warning ~code:"AL008"
+             ~subject:("net " ^ net.Netlist.Net.name)
+             (Printf.sprintf "net has %d pin%s and contributes no wirelength"
+                d
+                (if d = 1 then "" else "s"))
+             ~hint:"drop the net or connect it to a second module"))
+    c.C.nets
+
+let lint_isolated (c : C.t) =
+  let n = Array.length c.C.modules in
+  let on_net = Array.make n false in
+  List.iter
+    (fun (net : Netlist.Net.t) ->
+      List.iter
+        (fun p -> if p >= 0 && p < n then on_net.(p) <- true)
+        net.Netlist.Net.pins)
+    c.C.nets;
+  List.init n Fun.id
+  |> List.filter_map (fun i ->
+         if on_net.(i) then None
+         else
+           Some
+             (D.info ~code:"AL012"
+                ~subject:("module " ^ module_name c i)
+                "module lies on no net; wirelength never constrains it"))
+
+let circuit c =
+  lint_pins c @ lint_duplicate_names c @ lint_dims c @ lint_net_degree c
+  @ lint_isolated c
+
+(* ---- symmetry-constraint lints ------------------------------------ *)
+
+let lint_group_range (c : C.t) (g : G.t) =
+  let n = C.size c in
+  List.filter_map
+    (fun m ->
+      if m >= 0 && m < n then None
+      else
+        Some
+          (D.error ~code:"AL004"
+             ~subject:("group " ^ g.G.name)
+             (Printf.sprintf "references cell %d absent from the circuit" m)
+             ~hint:"symmetry annotations must name placed modules"))
+    (G.members g)
+
+let lint_group_overlap (c : C.t) gs =
+  let owner = Hashtbl.create 16 in
+  List.concat_map
+    (fun (g : G.t) ->
+      List.filter_map
+        (fun m ->
+          match Hashtbl.find_opt owner m with
+          | Some prev when prev != g ->
+              Some
+                (D.error ~code:"AL005"
+                   ~subject:("cell " ^ module_name c m)
+                   (Printf.sprintf
+                      "cell belongs to symmetry groups %s and %s"
+                      prev.G.name g.G.name)
+                   ~hint:
+                     "symmetry groups must be disjoint; merge or split the \
+                      annotations")
+          | Some _ -> None
+          | None ->
+              Hashtbl.replace owner m g;
+              None)
+        (G.members g))
+    gs
+
+let lint_pair_dims (c : C.t) (g : G.t) =
+  let n = C.size c in
+  List.filter_map
+    (fun (a, b) ->
+      if a < 0 || a >= n || b < 0 || b >= n then None
+      else
+        let wa, ha = C.dims c a and wb, hb = C.dims c b in
+        if wa = wb && ha = hb then None
+        else
+          Some
+            (D.error ~code:"AL006"
+               ~subject:("group " ^ g.G.name)
+               (Printf.sprintf
+                  "pair (%s, %s) has mismatched dimensions %dx%d vs %dx%d; \
+                   exact mirroring is impossible"
+                  (module_name c a) (module_name c b) wa ha wb hb)
+               ~hint:"matched devices must share a footprint"))
+    g.G.pairs
+
+let lint_self_parity (c : C.t) (g : G.t) =
+  let n = C.size c in
+  let selfs = List.filter (fun s -> s >= 0 && s < n) g.G.selfs in
+  match selfs with
+  | [] | [ _ ] -> []
+  | first :: rest ->
+      let parity s = fst (C.dims c s) land 1 in
+      let p0 = parity first in
+      List.filter_map
+        (fun s ->
+          if parity s = p0 then None
+          else
+            Some
+              (D.warning ~code:"AL007"
+                 ~subject:("group " ^ g.G.name)
+                 (Printf.sprintf
+                    "self-symmetric cells %s and %s disagree in width \
+                     parity; the packer will pad one by a grid unit"
+                    (module_name c first) (module_name c s))
+                 ~hint:"give self-symmetric cells widths of equal parity"))
+        rest
+
+let lint_trivial (g : G.t) =
+  if G.cardinal g >= 2 then []
+  else
+    [
+      D.info ~code:"AL011"
+        ~subject:("group " ^ g.G.name)
+        "symmetry group with fewer than two members constrains nothing";
+    ]
+
+let lint_over_constrained ~sf_threshold (c : C.t) gs =
+  let n = C.size c in
+  match Seqpair.Symmetry.count_upper_bound ~n gs with
+  | bound when bound < sf_threshold ->
+      [
+        D.warning ~code:"AL010" ~subject:"symmetry constraints"
+          (Printf.sprintf
+             "S-F count bound is %d (< %d): the symmetry constraints \
+              collapse the sequence-pair search space"
+             bound sf_threshold)
+          ~hint:"the annealer has almost nothing to explore; consider \
+                 relaxing the annotations or placing deterministically";
+      ]
+  | _ -> []
+  | exception Invalid_argument _ -> []
+
+let groups ?(sf_threshold = 1000) c gs =
+  List.concat_map (lint_group_range c) gs
+  @ lint_group_overlap c gs
+  @ List.concat_map (lint_pair_dims c) gs
+  @ List.concat_map (lint_self_parity c) gs
+  @ lint_over_constrained ~sf_threshold c gs
+  @ List.concat_map lint_trivial gs
+
+(* ---- hierarchy lints ---------------------------------------------- *)
+
+(* Point symmetry about the common centroid maps each cell to a cell of
+   the same size; a cell may map to itself only by sitting exactly on
+   the centroid, which at most one cell can do. So at most one (w, h)
+   size class may hold an odd number of cells. *)
+let lint_centroid_parity (c : C.t) (name, members) =
+  let n = C.size c in
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      if m >= 0 && m < n then begin
+        let d = C.dims c m in
+        Hashtbl.replace counts d (1 + Option.value ~default:0 (Hashtbl.find_opt counts d))
+      end)
+    members;
+  let odd =
+    Hashtbl.fold (fun _ cnt acc -> if cnt land 1 = 1 then acc + 1 else acc)
+      counts 0
+  in
+  if odd <= 1 then []
+  else
+    [
+      D.warning ~code:"AL009"
+        ~subject:("common-centroid " ^ name)
+        (Printf.sprintf
+           "%d size classes have an odd cell count; the set cannot be \
+            point-symmetric about one centroid"
+           odd)
+        ~hint:"matched arrays need pairwise-equal cells (or one odd cell \
+               centered); split the device or fix the footprints";
+    ]
+
+let hierarchy c h =
+  Netlist.Hierarchy.constraint_nodes h
+  |> List.concat_map (fun (name, kind, members) ->
+         match kind with
+         | Netlist.Hierarchy.Common_centroid ->
+             lint_centroid_parity c (name, members)
+         | Netlist.Hierarchy.Free | Netlist.Hierarchy.Symmetry
+         | Netlist.Hierarchy.Proximity ->
+             [])
+
+let all ?sf_threshold c h =
+  circuit c
+  @ groups ?sf_threshold c (G.of_hierarchy h)
+  @ hierarchy c h

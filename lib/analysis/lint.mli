@@ -1,0 +1,59 @@
+(** Static lints over circuits and layout constraints.
+
+    The placers burn annealing rounds on whatever they are given;
+    these passes front-load the well-formedness conditions the
+    survey's constraint model implies (symmetric-feasibility
+    preconditions, disjoint symmetry groups, mirror-compatible
+    dimensions, centroid parity) so that bad inputs are rejected with
+    actionable diagnostics before any packing runs.
+
+    Codes emitted here (static lints, [AL0xx]):
+
+    - [AL001] error: a net pin indexes no module
+    - [AL002] error: two modules share a name
+    - [AL003] error: a module has non-positive dimensions
+    - [AL004] error: a symmetry group references a cell absent from the
+      circuit
+    - [AL005] error: a cell occurs in two symmetry groups
+    - [AL006] error: a symmetric pair's cell dimensions differ, so exact
+      mirroring is impossible
+    - [AL007] warning: self-symmetric cells of one group disagree in
+      width parity (the packer will pad widths to keep the axis on the
+      half-grid)
+    - [AL008] warning: a net has fewer than two pins and contributes no
+      wirelength
+    - [AL009] warning: a common-centroid set cannot be point-symmetric
+      (more than one size class with an odd cell count)
+    - [AL010] warning: the S-F count bound shows the symmetry
+      constraints collapse the search space below [sf_threshold]
+      codes — the input is likely over-constrained
+    - [AL011] info: a symmetry group with fewer than two members
+      constrains nothing
+    - [AL012] info: a module lies on no net, so wirelength never
+      constrains its position *)
+
+val circuit : Netlist.Circuit.t -> Diagnostic.t list
+(** Netlist-only lints: AL001, AL002, AL003, AL008, AL012. *)
+
+val groups :
+  ?sf_threshold:int ->
+  Netlist.Circuit.t ->
+  Constraints.Symmetry_group.t list ->
+  Diagnostic.t list
+(** Symmetry-constraint lints: AL004, AL005, AL006, AL007, AL010,
+    AL011. [sf_threshold] (default 1000) is the AL010 cut-off on
+    {!Seqpair.Symmetry.count_upper_bound}; the warning is suppressed
+    when the bound overflows 63 bits (the space is anything but
+    collapsed). *)
+
+val hierarchy :
+  Netlist.Circuit.t -> Netlist.Hierarchy.t -> Diagnostic.t list
+(** Hierarchy-node lints: AL009 on every common-centroid node. *)
+
+val all :
+  ?sf_threshold:int ->
+  Netlist.Circuit.t ->
+  Netlist.Hierarchy.t ->
+  Diagnostic.t list
+(** {!circuit}, {!groups} on the hierarchy's extracted symmetry groups,
+    and {!hierarchy}, concatenated in that order. *)

@@ -30,7 +30,8 @@ let best_index chains =
     chains;
   !bi
 
-let run ?workers ?(exchange_every = 32) ~seeds params problem_of =
+let run ?workers ?(exchange_every = 32) ?(check = ignore) ~seeds params
+    problem_of =
   if seeds = [] then invalid_arg "Parallel.run: empty seed list";
   let seeds = Array.of_list seeds in
   let k = Array.length seeds in
@@ -71,10 +72,12 @@ let run ?workers ?(exchange_every = 32) ~seeds params problem_of =
     List.iter Domain.join spawned;
     let b = chains.(best_index chains) in
     let state = Sa.best b and cost = Sa.best_cost b in
+    check state;
     Array.iter (fun c -> Sa.adopt c ~state ~cost) chains
   done;
   let outcomes = Array.map Sa.outcome_of_chain chains in
   let winner = best_index chains in
+  check outcomes.(winner).Sa.best;
   {
     best = outcomes.(winner).Sa.best;
     best_cost = outcomes.(winner).Sa.best_cost;

@@ -33,6 +33,7 @@ val default_workers : unit -> int
 val run :
   ?workers:int ->
   ?exchange_every:int ->
+  ?check:('a -> unit) ->
   seeds:int list ->
   Sa.params ->
   (Prelude.Rng.t -> 'a Sa.problem) ->
@@ -40,4 +41,10 @@ val run :
 (** [workers] defaults to {!default_workers}, capped at the number of
     seeds; [exchange_every] defaults to 32 rounds, and any
     non-positive value disables exchange entirely (fully independent
-    restarts). Raises [Invalid_argument] on an empty seed list. *)
+    restarts). Raises [Invalid_argument] on an empty seed list.
+
+    [check] is a sanitizer hook: it runs on the globally best state at
+    every exchange boundary (after the join, before the state is
+    offered to the chains) and once more on the final winner, on the
+    spawning domain. Raise from it to abort the run on an invariant
+    violation; the default does nothing. *)

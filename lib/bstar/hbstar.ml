@@ -7,7 +7,7 @@ type node_kind =
   | K_tree of { items : int list; proximity : bool }
   | K_centroid of { cells : int list }
 
-type node_info = { kind : node_kind; nested : int list }
+type node_info = { kind : node_kind }
 
 type tree_state = T_asf of Asf.t | T_tree of Tree.t | T_fixed
 
@@ -84,7 +84,7 @@ let build rng circuit hierarchy =
                 ~selfs:(leaf_selfs @ pseudo_selfs) ()
             in
             register
-              { kind = K_asf { grp }; nested }
+              { kind = K_asf { grp } }
               (T_asf (Asf.make rng grp))
         | H.Common_centroid ->
             let all_leaves =
@@ -103,7 +103,7 @@ let build rng circuit hierarchy =
                     rest
             in
             if all_leaves && matched then
-              register { kind = K_centroid { cells }; nested = [] } T_fixed
+              register { kind = K_centroid { cells } } T_fixed
             else begin
               (* documented fallback: unmatched or hierarchical
                  common-centroid degrades to a free B*-tree *)
@@ -119,7 +119,7 @@ let build rng circuit hierarchy =
                 @ List.map (fun id -> n + id) nested
               in
               register
-                { kind = K_tree { items; proximity = false }; nested }
+                { kind = K_tree { items; proximity = false } }
                 (T_tree (Tree.random rng items))
             end
         | H.Free | H.Proximity ->
@@ -135,15 +135,14 @@ let build rng circuit hierarchy =
               @ List.map (fun id -> n + id) nested
             in
             register
-              { kind = K_tree { items; proximity = (kind = H.Proximity) };
-                nested }
+              { kind = K_tree { items; proximity = (kind = H.Proximity) } }
               (T_tree (Tree.random rng items)))
   in
   let root =
     match hierarchy with
     | H.Leaf i ->
         register
-          { kind = K_tree { items = [ i ]; proximity = false }; nested = [] }
+          { kind = K_tree { items = [ i ]; proximity = false } }
           (T_tree (Tree.leaf i))
     | H.Node _ -> build_node hierarchy
   in

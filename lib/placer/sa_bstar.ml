@@ -14,7 +14,26 @@ let dims_of circuit st c =
 let evaluate circuit st =
   Placement.make circuit (Bstar.Tree.pack st.tree (dims_of circuit st))
 
-let problem_of ~weights circuit rng =
+(* Sanitizer for ?validate mode: tree well-formedness plus a full audit
+   of the contour-packed placement; see Sa_seqpair.audit. *)
+let audit circuit st =
+  let n = Netlist.Circuit.size circuit in
+  let rot_len =
+    if Array.length st.rot = n then []
+    else
+      [
+        Analysis.Diagnostic.error ~code:"AL101" ~subject:"rot"
+          (Printf.sprintf "rotation array has length %d, circuit %d"
+             (Array.length st.rot) n);
+      ]
+  in
+  Analysis.Invariant.raise_if_any ~context:"Sa_bstar state"
+    (rot_len @ Analysis.Invariant.check_bstar ~n st.tree);
+  Analysis.Invariant.raise_if_any ~context:"Sa_bstar placement"
+    (Analysis.Invariant.audit_placed ~n
+       (Bstar.Tree.pack st.tree (dims_of circuit st)))
+
+let problem_of ?(validate = false) ~weights circuit rng =
   let n = Netlist.Circuit.size circuit in
   let arena = Eval.create circuit in
   let init =
@@ -34,16 +53,33 @@ let problem_of ~weights circuit rng =
   let cost st =
     Eval.cost_placed arena weights (Bstar.Tree.pack st.tree (dims_of circuit st))
   in
-  { Anneal.Sa.init; neighbor; cost }
+  if not validate then { Anneal.Sa.init; neighbor; cost }
+  else begin
+    audit circuit init;
+    let neighbor rng st =
+      let st' = neighbor rng st in
+      audit circuit st';
+      st'
+    in
+    { Anneal.Sa.init; neighbor; cost }
+  end
 
-let place ?(weights = Cost.default) ?params ?workers ?chains ~rng circuit =
+let place ?(weights = Cost.default) ?params ?workers ?chains ?validate ~rng
+    circuit =
+  let validate =
+    match validate with
+    | Some v -> v
+    | None -> Analysis.Invariant.enabled_from_env ()
+  in
   let n = Netlist.Circuit.size circuit in
   let params =
     match params with Some p -> p | None -> Anneal.Sa.default_params ~n
   in
   match (workers, chains) with
   | None, None ->
-      let result = Anneal.Sa.run ~rng params (problem_of ~weights circuit rng) in
+      let result =
+        Anneal.Sa.run ~rng params (problem_of ~validate ~weights circuit rng)
+      in
       {
         placement = evaluate circuit result.Anneal.Sa.best;
         cost = result.Anneal.Sa.best_cost;
@@ -60,8 +96,10 @@ let place ?(weights = Cost.default) ?params ?workers ?chains ~rng circuit =
             | None -> Anneal.Parallel.default_workers ())
       in
       let seeds = List.init k (fun _ -> Prelude.Rng.int rng 0x3FFFFFFF) in
+      let check = if validate then Some (audit circuit) else None in
       let result =
-        Anneal.Parallel.run ?workers ~seeds params (problem_of ~weights circuit)
+        Anneal.Parallel.run ?workers ?check ~seeds params
+          (problem_of ~validate ~weights circuit)
       in
       {
         placement = evaluate circuit result.Anneal.Parallel.best;

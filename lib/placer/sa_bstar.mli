@@ -17,9 +17,17 @@ val place :
   ?params:Anneal.Sa.params ->
   ?workers:int ->
   ?chains:int ->
+  ?validate:bool ->
   rng:Prelude.Rng.t ->
   Netlist.Circuit.t ->
   outcome
 (** Costs are evaluated through the allocation-free {!Eval} arena.
     [workers]/[chains] enable {!Anneal.Parallel} multi-start annealing
-    with the same semantics as {!Sa_seqpair.place}. *)
+    with the same semantics as {!Sa_seqpair.place}.
+
+    [validate] (default: the [ANALOG_VALIDATE=1] environment switch,
+    see {!Analysis.Invariant}) audits the B*-tree and its packed
+    placement after every SA move and at every parallel exchange,
+    raising {!Analysis.Invariant.Violation} with a diagnostic dump on
+    the first corrupted state. Off, the annealer runs the exact same
+    closures as before — zero overhead. *)

@@ -28,6 +28,43 @@ let flip_rotation rng groups rot =
   | None -> flip c);
   rot
 
+(* Sanitizer for ?validate mode: representation invariants plus a full
+   audit of the exactly packed placement. Runs on the state produced by
+   every SA move and on the global best at Parallel exchanges, and
+   raises Analysis.Invariant.Violation with the diagnostic dump. *)
+let audit ~groups circuit st =
+  let n = Netlist.Circuit.size circuit in
+  let rot_len =
+    if Array.length st.rot = n then []
+    else
+      [
+        Analysis.Diagnostic.error ~code:"AL101" ~subject:"rot"
+          (Printf.sprintf "rotation array has length %d, circuit %d"
+             (Array.length st.rot) n);
+      ]
+  in
+  Analysis.Invariant.raise_if_any ~context:"Sa_seqpair state"
+    (rot_len
+    @ Analysis.Invariant.check_sp ~n st.sp
+    @ Analysis.Invariant.check_sf st.sp groups);
+  let dims = dims_of circuit st.rot in
+  let placed =
+    match groups with
+    | [] -> Seqpair.Pack.pack_fast st.sp dims
+    | _ -> (
+        match Seqpair.Symmetry.pack_symmetric st.sp dims groups with
+        | Ok placed -> placed
+        | Error msg ->
+            Analysis.Invariant.raise_if_any ~context:"Sa_seqpair pack"
+              [
+                Analysis.Diagnostic.error ~code:"AL102"
+                  ~subject:"symmetric pack" msg;
+              ];
+            assert false)
+  in
+  Analysis.Invariant.raise_if_any ~context:"Sa_seqpair placement"
+    (Analysis.Invariant.audit_placed ~groups ~n placed)
+
 (* Materialization of the final best state, off the hot path. *)
 let evaluate circuit groups st =
   let dims = dims_of circuit st.rot in
@@ -44,7 +81,7 @@ let evaluate circuit groups st =
 (* One annealing problem per chain: its own initial code drawn from the
    chain's rng and its own evaluation arena (the arena is mutable and
    must never be shared across domains). *)
-let problem_of ~weights ~groups circuit rng =
+let problem_of ?(validate = false) ~weights ~groups circuit rng =
   let n = Netlist.Circuit.size circuit in
   let arena = Eval.create circuit in
   let init_sp =
@@ -64,17 +101,33 @@ let problem_of ~weights ~groups circuit rng =
     else { st with rot = flip_rotation rng groups st.rot }
   in
   let cost st = Eval.cost_seqpair arena weights ~groups st.sp ~rot:st.rot in
-  { Anneal.Sa.init; neighbor; cost }
+  if not validate then { Anneal.Sa.init; neighbor; cost }
+  else begin
+    (* Debug mode: audit the initial state and the result of every
+       move. When off, the closures above run untouched. *)
+    audit ~groups circuit init;
+    let neighbor rng st =
+      let st' = neighbor rng st in
+      audit ~groups circuit st';
+      st'
+    in
+    { Anneal.Sa.init; neighbor; cost }
+  end
 
 let place ?(weights = Cost.default) ?params ?(groups = []) ?workers ?chains
-    ~rng circuit =
+    ?validate ~rng circuit =
+  let validate =
+    match validate with
+    | Some v -> v
+    | None -> Analysis.Invariant.enabled_from_env ()
+  in
   let n = Netlist.Circuit.size circuit in
   let params =
     match params with Some p -> p | None -> Anneal.Sa.default_params ~n
   in
   match (workers, chains) with
   | None, None ->
-      let problem = problem_of ~weights ~groups circuit rng in
+      let problem = problem_of ~validate ~weights ~groups circuit rng in
       let result = Anneal.Sa.run ~rng params problem in
       {
         placement = evaluate circuit groups result.Anneal.Sa.best;
@@ -94,9 +147,12 @@ let place ?(weights = Cost.default) ?params ?(groups = []) ?workers ?chains
       (* Seeds drawn from the caller's rng: deterministic for a fixed
          seed, distinct streams per chain. *)
       let seeds = List.init k (fun _ -> Prelude.Rng.int rng 0x3FFFFFFF) in
+      let check =
+        if validate then Some (audit ~groups circuit) else None
+      in
       let result =
-        Anneal.Parallel.run ?workers ~seeds params
-          (problem_of ~weights ~groups circuit)
+        Anneal.Parallel.run ?workers ?check ~seeds params
+          (problem_of ~validate ~weights ~groups circuit)
       in
       {
         placement = evaluate circuit groups result.Anneal.Parallel.best;

@@ -24,6 +24,7 @@ val place :
   ?groups:Constraints.Symmetry_group.t list ->
   ?workers:int ->
   ?chains:int ->
+  ?validate:bool ->
   rng:Prelude.Rng.t ->
   Netlist.Circuit.t ->
   outcome
@@ -36,4 +37,13 @@ val place :
     [workers] domains with periodic best-exchange. Chain seeds are
     drawn from [rng], so a fixed caller seed gives identical results
     for any [workers] value. Without either parameter the classic
-    single-chain path runs on [rng] directly. *)
+    single-chain path runs on [rng] directly.
+
+    [validate] (default: the [ANALOG_VALIDATE=1] environment switch,
+    see {!Analysis.Invariant}) audits every SA move and every parallel
+    exchange: sequence-pair consistency, symmetric-feasibility of all
+    groups, and a full audit of the exactly packed placement (overlap,
+    quadrant, mirror symmetry), raising
+    {!Analysis.Invariant.Violation} with a diagnostic dump on the
+    first corrupted state. Off, the annealer runs the exact same
+    closures as before — zero overhead. *)

@@ -30,13 +30,23 @@ let factorial n =
   in
   go 1 n
 
+let checked_mul a b =
+  if a <> 0 && b <> 0 && a > max_int / b then
+    invalid_arg "Symmetry.count_upper_bound: overflow"
+  else a * b
+
 let count_upper_bound ~n groups =
   let num = factorial n in
   let den =
-    List.fold_left (fun acc g -> acc * factorial (G.cardinal g)) 1 groups
+    List.fold_left
+      (fun acc g -> checked_mul acc (factorial (G.cardinal g)))
+      1 groups
   in
-  num / den * num (* (n!)^2 / prod: n! is divisible by each m! product
-                     only groupwise; divide first to delay overflow *)
+  (* (n!)^2 / prod: n! is divisible by the m! product of disjoint
+     groups (multinomial coefficient), so dividing first is exact and
+     delays overflow; the final multiply is checked so the bound
+     raises instead of wrapping. *)
+  checked_mul (num / den) num
 
 (* Enumerate permutations of 0..n-1 as arrays. *)
 let all_perms n =

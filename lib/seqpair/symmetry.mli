@@ -19,8 +19,11 @@ val is_feasible_all : Sp.t -> group list -> bool
 
 val count_upper_bound : n:int -> group list -> int
 (** The survey's Lemma: [(n!)^2 / prod (2 p_k + s_k)!]. Raises
-    [Invalid_argument] if the intermediate factorials overflow 63-bit
-    integers (n > 17). *)
+    [Invalid_argument] whenever an intermediate factorial or the bound
+    itself overflows 63-bit integers: without groups this happens for
+    [n > 12], and with group cardinalities up to 15 every [n > 17]
+    overflows while [n = 17] with a cardinality-15 group still fits
+    (the boundary the tests pin). *)
 
 val count_exhaustive : n:int -> group list -> int
 (** Exact count of S-F sequence-pairs by enumerating all [(n!)^2]

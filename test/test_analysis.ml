@@ -1,0 +1,566 @@
+open Geometry
+module G = Constraints.Symmetry_group
+module H = Netlist.Hierarchy
+module D = Analysis.Diagnostic
+module Lint = Analysis.Lint
+module Inv = Analysis.Invariant
+
+let block = Netlist.Circuit.block
+let net name pins = Netlist.Net.make ~name ~pins ()
+
+let circ ?(nets = []) mods =
+  Netlist.Circuit.make ~name:"t" ~modules:mods ~nets
+
+(* A well-formed 6-cell circuit used as the clean baseline: uniform
+   4x4 blocks (so any pairing mirrors), one net over all cells. *)
+let clean_circuit () =
+  circ
+    ~nets:[ net "all" [ 0; 1; 2; 3; 4; 5 ] ]
+    (List.init 6 (fun i -> block ~name:(Printf.sprintf "m%d" i) ~w:4 ~h:4))
+
+let has_code code ds = List.exists (fun (d : D.t) -> d.D.code = code) ds
+
+let check_code ~trigger ~clean code =
+  Alcotest.(check bool) (code ^ " triggered") true (has_code code trigger);
+  Alcotest.(check bool) (code ^ " clean") false (has_code code clean)
+
+let place cell x y w h =
+  Transform.place ~cell ~x ~y ~w ~h ~orient:Orientation.R0
+
+(* ---- diagnostics -------------------------------------------------- *)
+
+let test_diagnostic_basics () =
+  let d =
+    D.warning ~code:"AL008" ~subject:"net \"x\"" ~hint:"drop it"
+      "message with\nnewline"
+  in
+  let j = D.to_json d in
+  Alcotest.(check bool) "escapes newline" true
+    (String.length j > 0
+    && (not (String.contains j '\n'))
+    && String.length (D.list_to_json [ d; d ]) > (2 * String.length j));
+  Alcotest.(check (list string)) "codes" [ "AL008" ] (D.codes [ d; d ]);
+  Alcotest.(check bool) "warning is not error" false (D.has_errors [ d ]);
+  let line = Format.asprintf "%a" D.pp d in
+  Alcotest.(check bool) "pp mentions code and hint" true
+    (Astring.String.is_infix ~affix:"AL008" line
+     && Astring.String.is_infix ~affix:"drop it" line)
+
+(* ---- static lints: trigger + clean fixture per code --------------- *)
+
+let test_al001_pin_range () =
+  (* Circuit.make rejects out-of-range pins, so corrupt the record
+     directly — exactly what the lint exists to catch. *)
+  let bad =
+    {
+      Netlist.Circuit.name = "t";
+      modules = [| block ~name:"a" ~w:4 ~h:4 |];
+      nets = [ { Netlist.Net.name = "n"; pins = [ 0; 3 ]; weight = 1.0 } ];
+    }
+  in
+  check_code "AL001" ~trigger:(Lint.circuit bad)
+    ~clean:(Lint.circuit (clean_circuit ()))
+
+let test_al002_duplicate_names () =
+  let bad = circ [ block ~name:"a" ~w:4 ~h:4; block ~name:"a" ~w:4 ~h:4 ] in
+  check_code "AL002" ~trigger:(Lint.circuit bad)
+    ~clean:(Lint.circuit (clean_circuit ()))
+
+let test_al003_dims () =
+  let bad = circ [ block ~name:"a" ~w:0 ~h:4 ] in
+  check_code "AL003" ~trigger:(Lint.circuit bad)
+    ~clean:(Lint.circuit (clean_circuit ()))
+
+let test_al004_group_range () =
+  let c = clean_circuit () in
+  let g = G.make ~pairs:[ (0, 9) ] ~selfs:[] () in
+  check_code "AL004"
+    ~trigger:(Lint.groups c [ g ])
+    ~clean:(Lint.groups c [ G.make ~pairs:[ (0, 1) ] ~selfs:[] () ])
+
+let test_al005_group_overlap () =
+  let c = clean_circuit () in
+  let g1 = G.make ~name:"g1" ~pairs:[ (0, 1) ] ~selfs:[] () in
+  let g2 = G.make ~name:"g2" ~pairs:[ (1, 2) ] ~selfs:[] () in
+  let g2' = G.make ~name:"g2" ~pairs:[ (2, 3) ] ~selfs:[] () in
+  check_code "AL005"
+    ~trigger:(Lint.groups c [ g1; g2 ])
+    ~clean:(Lint.groups c [ g1; g2' ]);
+  (* pair-member of one group, self of another *)
+  let g3 = G.make ~name:"g3" ~pairs:[] ~selfs:[ 0 ] () in
+  Alcotest.(check bool) "pair+self overlap" true
+    (has_code "AL005" (Lint.groups c [ g1; g3 ]))
+
+let test_al006_pair_dims () =
+  let c =
+    circ [ block ~name:"a" ~w:4 ~h:5; block ~name:"b" ~w:5 ~h:5 ]
+  in
+  let g = G.make ~pairs:[ (0, 1) ] ~selfs:[] () in
+  check_code "AL006"
+    ~trigger:(Lint.groups c [ g ])
+    ~clean:(Lint.groups (clean_circuit ()) [ g ])
+
+let test_al007_self_parity () =
+  let c =
+    circ [ block ~name:"a" ~w:4 ~h:4; block ~name:"b" ~w:5 ~h:4 ]
+  in
+  let g = G.make ~pairs:[] ~selfs:[ 0; 1 ] () in
+  let c' =
+    circ [ block ~name:"a" ~w:4 ~h:4; block ~name:"b" ~w:6 ~h:4 ]
+  in
+  check_code "AL007"
+    ~trigger:(Lint.groups c [ g ])
+    ~clean:(Lint.groups c' [ g ])
+
+let test_al008_net_degree () =
+  let bad =
+    circ
+      ~nets:[ net "dangling" [ 0 ]; net "ok" [ 0; 1 ] ]
+      [ block ~name:"a" ~w:4 ~h:4; block ~name:"b" ~w:4 ~h:4 ]
+  in
+  check_code "AL008" ~trigger:(Lint.circuit bad)
+    ~clean:(Lint.circuit (clean_circuit ()))
+
+let test_al009_centroid_parity () =
+  let c =
+    circ
+      [
+        block ~name:"a" ~w:4 ~h:4;
+        block ~name:"b" ~w:6 ~h:4;
+        block ~name:"c" ~w:8 ~h:4;
+      ]
+  in
+  let h kind leaves = H.node ~kind "cc" (List.map (fun i -> H.Leaf i) leaves) in
+  (* three distinct size classes, each odd *)
+  check_code "AL009"
+    ~trigger:(Lint.hierarchy c (h H.Common_centroid [ 0; 1; 2 ]))
+    ~clean:
+      (Lint.hierarchy
+         (circ
+            [
+              block ~name:"a" ~w:4 ~h:4;
+              block ~name:"b" ~w:4 ~h:4;
+              block ~name:"c" ~w:6 ~h:4;
+              block ~name:"d" ~w:6 ~h:4;
+            ])
+         (h H.Common_centroid [ 0; 1; 2; 3 ]));
+  (* one odd class (the middle cell can sit on the centroid) is fine *)
+  Alcotest.(check bool) "single odd class ok" false
+    (has_code "AL009"
+       (Lint.hierarchy
+          (circ
+             [
+               block ~name:"a" ~w:4 ~h:4;
+               block ~name:"b" ~w:4 ~h:4;
+               block ~name:"c" ~w:6 ~h:4;
+             ])
+          (h H.Common_centroid [ 0; 1; 2 ])));
+  (* non-centroid nodes are not checked *)
+  Alcotest.(check bool) "proximity not checked" false
+    (has_code "AL009" (Lint.hierarchy c (h H.Proximity [ 0; 1; 2 ])))
+
+let test_al010_over_constrained () =
+  let c =
+    circ (List.init 4 (fun i -> block ~name:(string_of_int i) ~w:4 ~h:4))
+  in
+  (* all four cells in one group: bound = (4!)^2 / 4! = 24 codes *)
+  let g = G.make ~pairs:[ (0, 1) ] ~selfs:[ 2; 3 ] () in
+  check_code "AL010"
+    ~trigger:(Lint.groups c [ g ])
+    ~clean:(Lint.groups (clean_circuit ()) [ G.make ~pairs:[ (0, 1) ] ~selfs:[] () ]);
+  (* an overflowing bound means a huge space: never over-constrained *)
+  let big =
+    circ (List.init 20 (fun i -> block ~name:(string_of_int i) ~w:4 ~h:4))
+  in
+  Alcotest.(check bool) "overflow suppresses AL010" false
+    (has_code "AL010" (Lint.groups big [ G.make ~pairs:[ (0, 1) ] ~selfs:[] () ]))
+
+let test_al011_trivial_group () =
+  let c = clean_circuit () in
+  check_code "AL011"
+    ~trigger:(Lint.groups c [ G.make ~pairs:[] ~selfs:[ 0 ] () ])
+    ~clean:(Lint.groups c [ G.make ~pairs:[ (0, 1) ] ~selfs:[] () ])
+
+let test_al012_isolated () =
+  let bad =
+    circ
+      ~nets:[ net "n" [ 0; 1 ] ]
+      (List.init 3 (fun i -> block ~name:(string_of_int i) ~w:4 ~h:4))
+  in
+  check_code "AL012" ~trigger:(Lint.circuit bad)
+    ~clean:(Lint.circuit (clean_circuit ()))
+
+let test_lint_all_clean_benchmarks () =
+  List.iter
+    (fun (b : Netlist.Benchmarks.bench) ->
+      let ds =
+        Lint.all b.Netlist.Benchmarks.circuit b.Netlist.Benchmarks.hierarchy
+      in
+      Alcotest.(check (list string))
+        (b.Netlist.Benchmarks.label ^ " error codes")
+        []
+        (D.codes (D.errors ds)))
+    [ Netlist.Benchmarks.miller (); Netlist.Benchmarks.fig2_design () ]
+
+let test_lint_code_coverage () =
+  (* the engine must be able to report at least 8 distinct codes *)
+  let all =
+    Lint.circuit
+      {
+        Netlist.Circuit.name = "t";
+        modules =
+          [|
+            block ~name:"a" ~w:4 ~h:4;
+            block ~name:"a" ~w:0 ~h:4;
+            block ~name:"b" ~w:4 ~h:5;
+            block ~name:"c" ~w:5 ~h:5;
+            block ~name:"d" ~w:4 ~h:4;
+            block ~name:"e" ~w:5 ~h:4;
+          |];
+        nets =
+          [
+            { Netlist.Net.name = "oob"; pins = [ 0; 9 ]; weight = 1.0 };
+            { Netlist.Net.name = "dangling"; pins = [ 0 ]; weight = 1.0 };
+          ];
+      }
+    @ Lint.groups (clean_circuit ())
+        [
+          G.make ~name:"g1" ~pairs:[ (0, 1) ] ~selfs:[ 2; 3 ] ();
+          G.make ~name:"g2" ~pairs:[ (1, 9) ] ~selfs:[] ();
+          G.make ~name:"g3" ~pairs:[] ~selfs:[ 5 ] ();
+        ]
+    @ Lint.groups
+        (circ [ block ~name:"a" ~w:4 ~h:5; block ~name:"b" ~w:5 ~h:5 ])
+        [ G.make ~pairs:[ (0, 1) ] ~selfs:[] () ]
+    @ Lint.groups
+        (circ [ block ~name:"a" ~w:4 ~h:4; block ~name:"b" ~w:5 ~h:4 ])
+        [ G.make ~pairs:[] ~selfs:[ 0; 1 ] () ]
+    @ Lint.hierarchy
+        (circ
+           [
+             block ~name:"a" ~w:4 ~h:4;
+             block ~name:"b" ~w:6 ~h:4;
+             block ~name:"c" ~w:8 ~h:4;
+           ])
+        (H.node ~kind:H.Common_centroid "cc" [ H.Leaf 0; H.Leaf 1; H.Leaf 2 ])
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "≥8 distinct codes (got %s)"
+       (String.concat "," (D.codes all)))
+    true
+    (List.length (D.codes all) >= 8)
+
+(* ---- of_hierarchy edge cases (satellite) -------------------------- *)
+
+let uniform n =
+  circ (List.init n (fun i -> block ~name:(Printf.sprintf "u%d" i) ~w:4 ~h:4))
+
+let assert_groups_lint_clean c groups =
+  let ds = Lint.groups c groups in
+  Alcotest.(check (list string)) "disjointness lints clean" []
+    (D.codes (D.errors ds))
+
+let test_of_hierarchy_trailing_odd () =
+  let h =
+    H.node ~kind:H.Symmetry "s" [ H.Leaf 0; H.Leaf 1; H.Leaf 2 ]
+  in
+  match G.of_hierarchy h with
+  | [ g ] ->
+      Alcotest.(check (list (pair int int))) "pair" [ (0, 1) ] g.G.pairs;
+      Alcotest.(check (list int)) "trailing self" [ 2 ] g.G.selfs;
+      assert_groups_lint_clean (uniform 3) [ g ]
+  | gs -> Alcotest.fail (Printf.sprintf "%d groups" (List.length gs))
+
+let test_of_hierarchy_nested_pair_node () =
+  (* a two-leaf symmetry child contributes an explicit pair to the
+     parent group, not its own group *)
+  let h =
+    H.node ~kind:H.Symmetry "outer"
+      [
+        H.node ~kind:H.Symmetry "inner" [ H.Leaf 0; H.Leaf 1 ];
+        H.Leaf 2;
+        H.Leaf 3;
+      ]
+  in
+  match G.of_hierarchy h with
+  | [ g ] ->
+      Alcotest.(check (list (pair int int)))
+        "explicit + leaf pairs"
+        [ (0, 1); (2, 3) ]
+        g.G.pairs;
+      Alcotest.(check (list int)) "no selfs" [] g.G.selfs;
+      assert_groups_lint_clean (uniform 4) [ g ]
+  | gs -> Alcotest.fail (Printf.sprintf "%d groups" (List.length gs))
+
+let test_of_hierarchy_nested_group () =
+  (* a nested symmetry node with three leaves yields its own group,
+     disjoint from the outer group *)
+  let h =
+    H.node ~kind:H.Symmetry "outer"
+      [
+        H.node ~kind:H.Symmetry "inner" [ H.Leaf 0; H.Leaf 1; H.Leaf 2 ];
+        H.Leaf 3;
+        H.Leaf 4;
+      ]
+  in
+  let gs = G.of_hierarchy h in
+  Alcotest.(check int) "two groups" 2 (List.length gs);
+  assert_groups_lint_clean (uniform 5) gs;
+  let members = List.concat_map G.members gs in
+  Alcotest.(check (list int)) "all cells covered" [ 0; 1; 2; 3; 4 ]
+    (List.sort Int.compare members)
+
+let test_of_hierarchy_ignores_non_leaf () =
+  (* non-symmetry child nodes are ignored by the parent group (they
+     become islands for the hierarchical placers) but still recursed
+     into *)
+  let h =
+    H.node ~kind:H.Symmetry "s"
+      [
+        H.node ~kind:H.Proximity "p" [ H.Leaf 0; H.Leaf 1 ];
+        H.node ~kind:H.Common_centroid "cc" [ H.Leaf 2; H.Leaf 3 ];
+        H.Leaf 4;
+        H.Leaf 5;
+      ]
+  in
+  match G.of_hierarchy h with
+  | [ g ] ->
+      Alcotest.(check (list (pair int int))) "leaf pair only" [ (4, 5) ]
+        g.G.pairs;
+      Alcotest.(check (list int)) "no selfs" [] g.G.selfs;
+      assert_groups_lint_clean (uniform 6) [ g ]
+  | gs -> Alcotest.fail (Printf.sprintf "%d groups" (List.length gs))
+
+(* ---- invariants --------------------------------------------------- *)
+
+let fig1_sp_group () =
+  let sp, mapping = Seqpair.Sp.of_strings ~alpha:"EBAFCDG" ~beta:"EBCDFAG" in
+  let idx c = List.assoc c mapping in
+  ( sp,
+    G.make
+      ~pairs:[ (idx 'C', idx 'D'); (idx 'B', idx 'G') ]
+      ~selfs:[ idx 'A'; idx 'F' ] () )
+
+let test_invariant_sp () =
+  let sp, g = fig1_sp_group () in
+  Alcotest.(check (list string)) "consistent sp" [] (D.codes (Inv.check_sp ~n:7 sp));
+  Alcotest.(check bool) "wrong n caught" true
+    (has_code "AL101" (Inv.check_sp ~n:8 sp));
+  Alcotest.(check (list string)) "feasible" [] (D.codes (Inv.check_sf sp [ g ]))
+
+let test_invariant_corrupted_sp () =
+  let sp, g = fig1_sp_group () in
+  (* swap two group members in alpha only: escapes the S-F subspace *)
+  let bad =
+    Seqpair.Sp.make
+      ~alpha:(Seqpair.Perm.swap_cells sp.Seqpair.Sp.alpha 2 3)
+      ~beta:sp.Seqpair.Sp.beta
+  in
+  Alcotest.(check bool) "AL102 reported" true
+    (has_code "AL102" (Inv.check_sf bad [ g ]));
+  Alcotest.(check bool) "raise_if_any raises Violation" true
+    (match Inv.raise_if_any ~context:"test" (Inv.check_sf bad [ g ]) with
+    | () -> false
+    | exception Inv.Violation ("test", _ :: _) -> true)
+
+let test_invariant_bstar () =
+  let rng = Prelude.Rng.create 5 in
+  let good = Bstar.Tree.random rng (List.init 6 Fun.id) in
+  Alcotest.(check (list string)) "good tree" []
+    (D.codes (Inv.check_bstar ~n:6 good));
+  let dup =
+    {
+      Bstar.Tree.cell = 0;
+      left = Some (Bstar.Tree.leaf 1);
+      right = Some (Bstar.Tree.leaf 1);
+    }
+  in
+  Alcotest.(check bool) "duplicate + missing caught" true
+    (has_code "AL103" (Inv.check_bstar ~n:3 dup));
+  let oob = Bstar.Tree.leaf 7 in
+  Alcotest.(check bool) "out of range caught" true
+    (has_code "AL103" (Inv.check_bstar ~n:2 oob));
+  let rec cyclic = { Bstar.Tree.cell = 0; left = Some cyclic; right = None } in
+  Alcotest.(check bool) "cyclic structure reported, not looped on" true
+    (has_code "AL103" (Inv.check_bstar ~n:1 cyclic))
+
+let test_invariant_audit_placed () =
+  let good = [ place 0 0 0 4 4; place 1 4 0 4 4 ] in
+  Alcotest.(check (list string)) "clean audit" []
+    (D.codes (Inv.audit_placed ~n:2 good));
+  Alcotest.(check bool) "overlap AL104" true
+    (has_code "AL104"
+       (Inv.audit_placed ~n:2 [ place 0 0 0 4 4; place 1 2 0 4 4 ]));
+  Alcotest.(check bool) "duplicate cell AL106" true
+    (has_code "AL106"
+       (Inv.audit_placed ~n:2 [ place 0 0 0 4 4; place 0 8 0 4 4 ]));
+  Alcotest.(check bool) "missing cell AL106" true
+    (has_code "AL106" (Inv.audit_placed ~n:2 [ place 0 0 0 4 4 ]));
+  Alcotest.(check bool) "negative coords AL107" true
+    (has_code "AL107"
+       (Inv.audit_placed ~n:2 [ place 0 (-1) 0 4 4; place 1 4 0 4 4 ]));
+  Alcotest.(check bool) "outline AL107" true
+    (has_code "AL107"
+       (Inv.audit_placed ~outline:(6, 6) ~n:2 good));
+  let g = G.make ~pairs:[ (0, 1) ] ~selfs:[] () in
+  Alcotest.(check (list string)) "symmetric pair ok" []
+    (D.codes
+       (Inv.audit_placed ~groups:[ g ] ~n:2
+          [ place 0 0 0 4 4; place 1 8 0 4 4 ]));
+  Alcotest.(check bool) "asymmetric AL108" true
+    (has_code "AL108"
+       (Inv.audit_placed ~groups:[ g ] ~n:2
+          [ place 0 0 0 4 4; place 1 8 1 4 4 ]))
+
+let test_invariant_asf_island () =
+  let g = G.make ~pairs:[ (0, 1); (2, 3) ] ~selfs:[ 4 ] () in
+  let rng = Prelude.Rng.create 11 in
+  let asf = Bstar.Asf.make rng g in
+  let dims c = if c = 4 then (6, 4) else (5, 3) in
+  let island = Bstar.Asf.pack asf dims in
+  Alcotest.(check (list string)) "packed island clean" []
+    (D.codes (Inv.check_asf_island ~group:g island));
+  let skewed = { island with Bstar.Asf.axis2 = island.Bstar.Asf.axis2 + 2 } in
+  Alcotest.(check bool) "tampered axis AL105" true
+    (has_code "AL105" (Inv.check_asf_island ~group:g skewed));
+  let shifted =
+    {
+      island with
+      Bstar.Asf.placed =
+        List.map
+          (fun (p : Transform.placed) ->
+            if p.Transform.cell = 4 then Transform.translate p ~dx:1 ~dy:0
+            else p)
+          island.Bstar.Asf.placed;
+    }
+  in
+  Alcotest.(check bool) "shifted self caught" true
+    (Inv.check_asf_island ~group:g shifted <> [])
+
+let test_env_switch () =
+  Unix.putenv "ANALOG_VALIDATE" "";
+  Alcotest.(check bool) "empty off" false (Inv.enabled_from_env ());
+  Unix.putenv "ANALOG_VALIDATE" "0";
+  Alcotest.(check bool) "0 off" false (Inv.enabled_from_env ());
+  Unix.putenv "ANALOG_VALIDATE" "1";
+  Alcotest.(check bool) "1 on" true (Inv.enabled_from_env ());
+  Unix.putenv "ANALOG_VALIDATE" "false";
+  Alcotest.(check bool) "false off" false (Inv.enabled_from_env ());
+  Unix.putenv "ANALOG_VALIDATE" ""
+
+(* ---- sanitizer-on annealing stress (satellite) -------------------- *)
+
+let short_params ~n =
+  {
+    (Anneal.Sa.default_params ~n) with
+    Anneal.Sa.max_rounds = 25;
+    moves_per_round = 32;
+  }
+
+let test_sanitizer_stress_seqpair () =
+  let circuit = Netlist.Benchmarks.fig1_circuit () in
+  let pairs, selfs = Netlist.Benchmarks.fig1_symmetry in
+  let groups = [ G.make ~pairs ~selfs () ] in
+  let n = Netlist.Circuit.size circuit in
+  let params = short_params ~n in
+  List.iter
+    (fun workers ->
+      let o =
+        Placer.Sa_seqpair.place ~groups ~params ?workers ~validate:true
+          ~rng:(Prelude.Rng.create 7) circuit
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "workers=%s placement valid"
+           (match workers with None -> "-" | Some w -> string_of_int w))
+        true
+        (Result.is_ok
+           (Placer.Placement.validate o.Placer.Sa_seqpair.placement)))
+    [ None; Some 1; Some 4 ]
+
+let test_sanitizer_stress_bstar () =
+  let circuit = Netlist.Benchmarks.fig1_circuit () in
+  let n = Netlist.Circuit.size circuit in
+  let params = short_params ~n in
+  List.iter
+    (fun workers ->
+      let o =
+        Placer.Sa_bstar.place ~params ?workers ~validate:true
+          ~rng:(Prelude.Rng.create 7) circuit
+      in
+      Alcotest.(check bool) "placement valid" true
+        (Result.is_ok (Placer.Placement.validate o.Placer.Sa_bstar.placement)))
+    [ None; Some 1; Some 4 ]
+
+let test_sanitizer_off_is_identical () =
+  (* validate must not change the annealing stream: same seed, same
+     result with and without the sanitizer *)
+  let circuit = Netlist.Benchmarks.fig1_circuit () in
+  let pairs, selfs = Netlist.Benchmarks.fig1_symmetry in
+  let groups = [ G.make ~pairs ~selfs () ] in
+  let n = Netlist.Circuit.size circuit in
+  let params = short_params ~n in
+  let run validate =
+    (Placer.Sa_seqpair.place ~groups ~params ~validate
+       ~rng:(Prelude.Rng.create 3) circuit)
+      .Placer.Sa_seqpair.cost
+  in
+  Alcotest.(check (float 1e-9)) "same best cost" (run false) (run true)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ("diagnostic", [ Alcotest.test_case "basics" `Quick test_diagnostic_basics ]);
+      ( "lint codes",
+        [
+          Alcotest.test_case "AL001 pin range" `Quick test_al001_pin_range;
+          Alcotest.test_case "AL002 duplicate names" `Quick
+            test_al002_duplicate_names;
+          Alcotest.test_case "AL003 dims" `Quick test_al003_dims;
+          Alcotest.test_case "AL004 group range" `Quick test_al004_group_range;
+          Alcotest.test_case "AL005 group overlap" `Quick
+            test_al005_group_overlap;
+          Alcotest.test_case "AL006 pair dims" `Quick test_al006_pair_dims;
+          Alcotest.test_case "AL007 self parity" `Quick test_al007_self_parity;
+          Alcotest.test_case "AL008 net degree" `Quick test_al008_net_degree;
+          Alcotest.test_case "AL009 centroid parity" `Quick
+            test_al009_centroid_parity;
+          Alcotest.test_case "AL010 over-constrained" `Quick
+            test_al010_over_constrained;
+          Alcotest.test_case "AL011 trivial group" `Quick
+            test_al011_trivial_group;
+          Alcotest.test_case "AL012 isolated" `Quick test_al012_isolated;
+          Alcotest.test_case "benchmarks lint clean" `Quick
+            test_lint_all_clean_benchmarks;
+          Alcotest.test_case "≥8 distinct codes" `Quick test_lint_code_coverage;
+        ] );
+      ( "of_hierarchy edges",
+        [
+          Alcotest.test_case "trailing odd leaf" `Quick
+            test_of_hierarchy_trailing_odd;
+          Alcotest.test_case "nested pair node" `Quick
+            test_of_hierarchy_nested_pair_node;
+          Alcotest.test_case "nested group" `Quick test_of_hierarchy_nested_group;
+          Alcotest.test_case "ignored non-leaf children" `Quick
+            test_of_hierarchy_ignores_non_leaf;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "sequence-pair" `Quick test_invariant_sp;
+          Alcotest.test_case "corrupted sp caught" `Quick
+            test_invariant_corrupted_sp;
+          Alcotest.test_case "b*-tree" `Quick test_invariant_bstar;
+          Alcotest.test_case "placement audit" `Quick
+            test_invariant_audit_placed;
+          Alcotest.test_case "asf island" `Quick test_invariant_asf_island;
+          Alcotest.test_case "env switch" `Quick test_env_switch;
+        ] );
+      ( "sanitizer",
+        [
+          Alcotest.test_case "seqpair stress 1/4 workers" `Quick
+            test_sanitizer_stress_seqpair;
+          Alcotest.test_case "bstar stress 1/4 workers" `Quick
+            test_sanitizer_stress_bstar;
+          Alcotest.test_case "off is bit-identical" `Quick
+            test_sanitizer_off_is_identical;
+        ] );
+    ]

@@ -105,6 +105,61 @@ let test_pack_symmetric_random () =
         | None -> Alcotest.fail "axis2_of failed")
   done
 
+(* QCheck: make_feasible lands in the S-F subspace for ANY sp/groups,
+   and is idempotent — repairing an already-feasible code is a no-op. *)
+let arb_sp_groups =
+  let gen =
+    QCheck.Gen.(
+      5 -- 12 >>= fun n ->
+      int >>= fun seed ->
+      let rng = Prelude.Rng.create seed in
+      let sp = Sp.random rng n in
+      let g1 = random_group rng n in
+      (* optional second group over the leftover cells, when enough *)
+      let used = G.members g1 in
+      let free = List.filter (fun c -> not (List.mem c used)) (List.init n Fun.id) in
+      let groups =
+        match free with
+        | a :: b :: _ -> [ g1; G.make ~pairs:[ (a, b) ] ~selfs:[] () ]
+        | _ -> [ g1 ]
+      in
+      return (sp, groups))
+  in
+  let print (sp, groups) =
+    Format.asprintf "groups=%d %a" (List.length groups) Sp.pp sp
+  in
+  QCheck.make ~print gen
+
+let prop_make_feasible_feasible =
+  QCheck.Test.make ~name:"make_feasible is feasible" ~count:500 arb_sp_groups
+    (fun (sp, groups) ->
+      Symmetry.is_feasible_all (Symmetry.make_feasible sp groups) groups)
+
+let prop_make_feasible_idempotent =
+  QCheck.Test.make ~name:"make_feasible is idempotent" ~count:500 arb_sp_groups
+    (fun (sp, groups) ->
+      let once = Symmetry.make_feasible sp groups in
+      Sp.equal (Symmetry.make_feasible once groups) once)
+
+(* The lemma's bound raises instead of silently wrapping. With no
+   groups the boundary is n = 12: (12!)^2 fits 63-bit ints, (13!)^2
+   does not. With a cardinality-15 group, n = 17 still fits
+   (272 * 17!) while every n > 17 overflows. *)
+let test_count_bound_overflow () =
+  Alcotest.(check int) "n=12 plain" (479_001_600 * 479_001_600)
+    (Symmetry.count_upper_bound ~n:12 []);
+  Alcotest.check_raises "n=13 plain raises"
+    (Invalid_argument "Symmetry.count_upper_bound: overflow") (fun () ->
+      ignore (Symmetry.count_upper_bound ~n:13 []));
+  let big = G.make ~pairs:(List.init 7 (fun i -> (2 * i, (2 * i) + 1)))
+      ~selfs:[ 14 ] () in
+  (* 17! / 15! = 272; bound = 272 * 17! = 96_746_980_442_112_000 *)
+  Alcotest.(check int) "n=17 card-15 group" 96_746_980_442_112_000
+    (Symmetry.count_upper_bound ~n:17 [ big ]);
+  Alcotest.check_raises "n=18 card-15 group raises"
+    (Invalid_argument "Symmetry.count_upper_bound: overflow") (fun () ->
+      ignore (Symmetry.count_upper_bound ~n:18 [ big ]))
+
 let test_pack_symmetric_two_groups () =
   let rng = Prelude.Rng.create 123 in
   for _ = 1 to 100 do
@@ -187,9 +242,15 @@ let () =
         [
           Alcotest.test_case "fig1 numbers" `Quick test_lemma_fig1_numbers;
           Alcotest.test_case "exhaustive small" `Slow test_lemma_exhaustive_small;
+          Alcotest.test_case "overflow boundary" `Quick
+            test_count_bound_overflow;
         ] );
       ( "repair",
-        [ Alcotest.test_case "make_feasible" `Quick test_make_feasible ] );
+        [
+          Alcotest.test_case "make_feasible" `Quick test_make_feasible;
+          QCheck_alcotest.to_alcotest prop_make_feasible_feasible;
+          QCheck_alcotest.to_alcotest prop_make_feasible_idempotent;
+        ] );
       ( "packing",
         [
           Alcotest.test_case "random groups" `Quick test_pack_symmetric_random;
