@@ -4,7 +4,11 @@
      dune exec bench/main.exe            -- all experiments (micro/perf excluded)
      dune exec bench/main.exe -- <name>  -- one experiment:
        fig1 lemma bstar-count fig7 table1 fig8 hier fig10 ablation thermal
-       routing mismatch hierarchy-reduction absolute micro perf *)
+       routing mismatch hierarchy-reduction absolute micro perf
+
+   `perf --smoke` runs E17 at tiny sizes with a short timing budget and
+   leaves BENCH_perf.json untouched -- a CI sanity check, not a
+   measurement. *)
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -841,23 +845,27 @@ let micro () =
 
 (* ops/second of [f]: warm up once, then repeat until enough wall time
    has accumulated for a stable estimate. *)
-let time_ops f =
+let time_ops ?(budget = 0.25) f =
   f ();
   let t0 = Unix.gettimeofday () in
   let reps = ref 0 in
   let elapsed = ref 0.0 in
-  while !elapsed < 0.25 do
+  while !elapsed < budget do
     f ();
     incr reps;
     elapsed := Unix.gettimeofday () -. t0
   done;
   float_of_int !reps /. !elapsed
 
-let perf () =
+let perf ?(smoke = false) () =
   section
-    "E17 (perf): allocation-free evaluation engine + parallel annealing";
+    (if smoke then
+       "E17 (perf, smoke): allocation-free evaluation engine sanity run"
+     else "E17 (perf): allocation-free evaluation engine + parallel annealing");
   let weights = Placer.Cost.default in
-  let ns = [ 20; 50; 100; 200 ] in
+  let ns = if smoke then [ 8; 16 ] else [ 20; 50; 100; 200 ] in
+  let budget = if smoke then 0.02 else 0.25 in
+  let time_ops f = time_ops ~budget f in
   let last = List.length ns - 1 in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
@@ -939,15 +947,56 @@ let perf () =
     ns;
   Buffer.add_string buf "  ],\n";
   hr ();
+  (* B*-tree SA move throughput: the pointer-tree list path (perturb a
+     persistent tree, pack to a fresh list, build a Placement, walk the
+     nets) against the flat-array tree + contour-scratch arena *)
+  Printf.printf "%5s | %14s %15s %9s\n" "n" "list moves/s" "arena moves/s"
+    "speedup";
+  hr ();
+  Buffer.add_string buf "  \"bstar_moves\": [\n";
+  List.iteri
+    (fun i n ->
+      let b = Netlist.Benchmarks.synthetic ~label:"perf" ~n ~seed:(n + 2) in
+      let c = b.Netlist.Benchmarks.circuit in
+      let arena = Placer.Eval.create c in
+      let rng_list = Prelude.Rng.create 43
+      and rng_arena = Prelude.Rng.create 43 in
+      let cells = List.init n Fun.id in
+      let tree = ref (Bstar.Tree.random rng_list cells) in
+      let flat = Bstar.Flat.of_tree (Bstar.Tree.random rng_arena cells) in
+      let rot = Array.make n false in
+      let dims = Netlist.Circuit.dims c in
+      let list_move () =
+        tree := Bstar.Perturb.random rng_list !tree;
+        ignore
+          (Placer.Cost.evaluate weights
+             (Placer.Placement.make c (Bstar.Tree.pack !tree dims)))
+      in
+      let arena_move () =
+        ignore (Bstar.Flat.perturb rng_arena flat);
+        ignore (Placer.Eval.cost_bstar arena weights flat ~rot)
+      in
+      let r_list = time_ops list_move in
+      let r_arena = time_ops arena_move in
+      Printf.printf "%5d | %14.0f %15.0f %8.2fx\n" n r_list r_arena
+        (r_arena /. r_list);
+      Printf.bprintf buf
+        "    {\"n\": %d, \"list_moves_per_s\": %.0f, \"arena_moves_per_s\": \
+         %.0f, \"speedup\": %.2f}%s\n"
+        n r_list r_arena (r_arena /. r_list)
+        (if i = last then "" else ","))
+    ns;
+  Buffer.add_string buf "  ],\n";
+  hr ();
   (* parallel multi-start: same 4 chains spread over 1/2/4 domains *)
-  let n = 40 in
+  let n = if smoke then 12 else 40 in
   let b = Netlist.Benchmarks.synthetic ~label:"par" ~n ~seed:5 in
   let c = b.Netlist.Benchmarks.circuit in
   let params =
     {
       (Anneal.Sa.default_params ~n) with
-      Anneal.Sa.max_rounds = 80;
-      moves_per_round = 200;
+      Anneal.Sa.max_rounds = (if smoke then 20 else 80);
+      moves_per_round = (if smoke then 50 else 200);
       frozen_rounds = 5;
     }
   in
@@ -979,10 +1028,13 @@ let perf () =
      \"speedup_4w\": %.2f, \"deterministic\": %b, \"best_cost\": %.6f}\n" n t1
     t2 t4 (t1 /. t2) (t1 /. t4) deterministic c1;
   Buffer.add_string buf "}\n";
-  let oc = open_out "BENCH_perf.json" in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
-  print_endline "wrote BENCH_perf.json"
+  if smoke then print_endline "smoke mode: BENCH_perf.json left untouched"
+  else begin
+    let oc = open_out "BENCH_perf.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_endline "wrote BENCH_perf.json"
+  end
 
 (* ------------------------------------------------------------------ *)
 
@@ -1003,13 +1055,23 @@ let experiments =
     ("hierarchy-reduction", hierarchy_reduction);
     ("absolute", absolute);
     ("micro", micro);
-    ("perf", perf);
+    ("perf", fun () -> perf ());
   ]
 
 let () =
-  let args =
+  let raw =
     Array.to_list Sys.argv |> List.tl
     |> List.filter (fun a -> a <> "--")
+  in
+  let smoke = List.mem "--smoke" raw in
+  let args = List.filter (fun a -> a <> "--smoke") raw in
+  let experiments =
+    if smoke then
+      List.map
+        (fun (name, f) ->
+          (name, if name = "perf" then fun () -> perf ~smoke:true () else f))
+        experiments
+    else experiments
   in
   match args with
   | [] ->

@@ -48,6 +48,13 @@ val check_bstar : n:int -> Bstar.Tree.t -> Diagnostic.t list
     budgeted, so a (deliberately corrupted) cyclic structure is
     reported rather than looped on. *)
 
+val check_flat : Bstar.Flat.t -> Diagnostic.t list
+(** Well-formedness of a flat-array B*-tree (AL103): the cell/node
+    labelings are mutually inverse, child and parent links agree, every
+    node is reachable from the (single) root — budgeted, as
+    {!check_bstar} — and the O(1)-draw leaf set lists exactly the
+    current leaves. *)
+
 val check_asf_island :
   group:Constraints.Symmetry_group.t -> Bstar.Asf.island -> Diagnostic.t list
 (** The island is overlap-free, fits its stated [width]x[height] box,

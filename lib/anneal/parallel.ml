@@ -85,3 +85,65 @@ let run ?workers ?(exchange_every = 32) ?(check = ignore) ~seeds params
     chains = outcomes;
     evaluated = Array.fold_left (fun acc o -> acc + o.Sa.evaluated) 0 outcomes;
   }
+
+(* Same loop over in-place chains. Each chain's mproblem (and thus its
+   working state, arenas included) is private to the chain; exchange
+   blits the winner's best snapshot across, and strict-improvement
+   adoption keeps the winner from blitting its own buffer onto itself.
+   The determinism argument is unchanged: seeds fix everything. *)
+let run_mutable ?workers ?(exchange_every = 32) ?(check = ignore) ~seeds params
+    problem_of =
+  if seeds = [] then invalid_arg "Parallel.run_mutable: empty seed list";
+  let seeds = Array.of_list seeds in
+  let k = Array.length seeds in
+  let workers =
+    max 1 (min k (match workers with Some w -> w | None -> default_workers ()))
+  in
+  let slice = if exchange_every <= 0 then max_int else exchange_every in
+  let chains =
+    Array.init k (fun i ->
+        let rng = Prelude.Rng.create seeds.(i) in
+        let problem = problem_of rng in
+        Sa.mstart ~rng params problem)
+  in
+  let mbest_index chains =
+    let bi = ref 0 in
+    Array.iteri
+      (fun i c -> if Sa.mbest_cost c < Sa.mbest_cost chains.(!bi) then bi := i)
+      chains;
+    !bi
+  in
+  let unfinished () = Array.exists (fun c -> not (Sa.mfinished c)) chains in
+  while unfinished () do
+    let advance d () =
+      for i = 0 to k - 1 do
+        if i mod workers = d then begin
+          let c = chains.(i) in
+          let budget = ref slice in
+          while !budget > 0 && not (Sa.mfinished c) do
+            Sa.mstep_round c;
+            decr budget
+          done
+        end
+      done
+    in
+    let spawned =
+      List.init (workers - 1) (fun d -> Domain.spawn (advance d))
+    in
+    advance (workers - 1) ();
+    List.iter Domain.join spawned;
+    let b = chains.(mbest_index chains) in
+    let state = Sa.mbest b and cost = Sa.mbest_cost b in
+    check state;
+    Array.iter (fun c -> Sa.madopt c ~state ~cost) chains
+  done;
+  let outcomes = Array.map Sa.moutcome_of_chain chains in
+  let winner = mbest_index chains in
+  check outcomes.(winner).Sa.best;
+  {
+    best = outcomes.(winner).Sa.best;
+    best_cost = outcomes.(winner).Sa.best_cost;
+    winner;
+    chains = outcomes;
+    evaluated = Array.fold_left (fun acc o -> acc + o.Sa.evaluated) 0 outcomes;
+  }

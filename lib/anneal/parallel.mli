@@ -48,3 +48,18 @@ val run :
     offered to the chains) and once more on the final winner, on the
     spawning domain. Raise from it to abort the run on an invariant
     violation; the default does nothing. *)
+
+val run_mutable :
+  ?workers:int ->
+  ?exchange_every:int ->
+  ?check:('a -> unit) ->
+  seeds:int list ->
+  Sa.params ->
+  (Prelude.Rng.t -> 'a Sa.mproblem) ->
+  'a outcome
+(** {!run} over in-place chains ({!Sa.mproblem}). Same parameters and
+    the same determinism guarantee. [problem_of] must create the whole
+    mutable state (arenas included) per chain, so no two chains share
+    buffers; exchange copies states across chains with the problem's
+    [blit]. [check] receives the winner's best-snapshot buffer —
+    treat it as read-only. *)

@@ -154,3 +154,142 @@ let run ~rng params problem =
     step_round c
   done;
   outcome_of_chain c
+
+(* ------------------------------------------------------------------ *)
+(* In-place variant. The functional engine above copies a state per
+   accepted move and relies on persistence for rejection (the old state
+   is simply kept). Arena-backed placers ({!Placer.Eval}) want the
+   opposite contract: one working state mutated by [propose], reverted
+   by [undo] on rejection, and snapshotted only when a new best
+   appears. Control flow — Metropolis test, schedule, freezing — is
+   identical to the functional engine line for line. *)
+
+type 'a mproblem = {
+  state : 'a;
+  propose : Prelude.Rng.t -> 'a -> unit;
+  undo : 'a -> unit;
+  cost : 'a -> float;
+  copy : 'a -> 'a;
+  blit : src:'a -> dst:'a -> unit;
+}
+
+let estimate_mt0 ~rng (p : 'a mproblem) ~samples =
+  (* same heuristic as [estimate_t0]: walk accepting everything and
+     take the spread of the cost deltas — then restore the state, which
+     the functional engine gets for free from persistence *)
+  let snapshot = p.copy p.state in
+  let cost = ref (p.cost p.state) in
+  let deltas = ref [] in
+  for _ = 1 to samples do
+    p.propose rng p.state;
+    let c = p.cost p.state in
+    deltas := Float.abs (c -. !cost) :: !deltas;
+    cost := c
+  done;
+  p.blit ~src:snapshot ~dst:p.state;
+  let sd = Prelude.Stats.stddev !deltas in
+  Float.max 1e-6 (if sd > 0.0 then sd else Prelude.Stats.mean !deltas)
+
+type 'a mchain = {
+  mparams : params;
+  mp : 'a mproblem;
+  mrng : Prelude.Rng.t;
+  mutable mtemperature : float;
+  mutable mcurrent_cost : float;
+  mbest_state : 'a;  (* private snapshot buffer, only ever blitted into *)
+  mutable m_best_cost : float;
+  mutable mround : int;
+  mutable mfrozen : int;
+  mutable maccepted_total : int;
+  mutable mevaluated : int;
+}
+
+let mstart ~rng params (p : 'a mproblem) =
+  let t0 =
+    match params.initial_temperature with
+    | Some t -> t
+    | None -> 20.0 *. estimate_mt0 ~rng p ~samples:64
+  in
+  let cost = p.cost p.state in
+  {
+    mparams = params;
+    mp = p;
+    mrng = rng;
+    mtemperature = t0;
+    mcurrent_cost = cost;
+    mbest_state = p.copy p.state;
+    m_best_cost = cost;
+    mround = 0;
+    mfrozen = 0;
+    maccepted_total = 0;
+    mevaluated = 0;
+  }
+
+let mfinished c =
+  c.mround >= c.mparams.max_rounds
+  || c.mtemperature <= c.mparams.final_temperature
+  || c.mfrozen >= c.mparams.frozen_rounds
+
+let mstep_round c =
+  if not (mfinished c) then begin
+    let p = c.mp in
+    let accepted = ref 0 and improved = ref false in
+    for _ = 1 to c.mparams.moves_per_round do
+      p.propose c.mrng p.state;
+      let cost = p.cost p.state in
+      c.mevaluated <- c.mevaluated + 1;
+      let delta = cost -. c.mcurrent_cost in
+      let accept =
+        delta <= 0.0
+        || Prelude.Rng.float c.mrng 1.0 < exp (-.delta /. c.mtemperature)
+      in
+      if accept then begin
+        c.mcurrent_cost <- cost;
+        incr accepted;
+        c.maccepted_total <- c.maccepted_total + 1;
+        if cost < c.m_best_cost then begin
+          p.blit ~src:p.state ~dst:c.mbest_state;
+          c.m_best_cost <- cost;
+          improved := true
+        end
+      end
+      else p.undo p.state
+    done;
+    let acceptance =
+      float_of_int !accepted /. float_of_int c.mparams.moves_per_round
+    in
+    c.mtemperature <-
+      Schedule.next c.mparams.schedule ~temperature:c.mtemperature ~acceptance;
+    c.mfrozen <-
+      (if acceptance < 0.02 && not !improved then c.mfrozen + 1 else 0);
+    c.mround <- c.mround + 1
+  end
+
+let mbest c = c.mbest_state
+let mbest_cost c = c.m_best_cost
+
+let madopt c ~state ~cost =
+  (* strict improvement only, so offering a chain its own best buffer
+     never blits a buffer onto itself *)
+  if cost < c.m_best_cost then begin
+    c.mp.blit ~src:state ~dst:c.mbest_state;
+    c.mp.blit ~src:state ~dst:c.mp.state;
+    c.m_best_cost <- cost;
+    c.mcurrent_cost <- cost
+  end
+
+let moutcome_of_chain c =
+  {
+    best = c.mp.copy c.mbest_state;
+    best_cost = c.m_best_cost;
+    rounds = c.mround;
+    accepted = c.maccepted_total;
+    evaluated = c.mevaluated;
+  }
+
+let run_mutable ~rng params p =
+  let c = mstart ~rng params p in
+  while not (mfinished c) do
+    mstep_round c
+  done;
+  moutcome_of_chain c

@@ -79,3 +79,55 @@ val outcome_of_chain : 'a chain -> 'a outcome
 val estimate_t0 : rng:Prelude.Rng.t -> 'a problem -> samples:int -> float
 (** Standard deviation of the cost change over random moves, the usual
     starting temperature heuristic. *)
+
+(** {2 In-place chains}
+
+    The engine above copies states; arena-backed placers want one
+    working state mutated in place. An {!mproblem} supplies [propose]
+    (mutate [state] into a candidate), [undo] (revert the {e last}
+    propose — called exactly once per rejected move, never twice in a
+    row), [cost] (evaluate [state] as it stands), and [copy]/[blit]
+    for best-so-far snapshots and multi-start exchange. Control flow
+    (Metropolis test, schedule, freezing) is identical to the
+    functional engine, so both share [params] and ['a outcome]. *)
+
+type 'a mproblem = {
+  state : 'a;
+  propose : Prelude.Rng.t -> 'a -> unit;
+  undo : 'a -> unit;
+  cost : 'a -> float;
+  copy : 'a -> 'a;
+  blit : src:'a -> dst:'a -> unit;
+}
+
+val run_mutable : rng:Prelude.Rng.t -> params -> 'a mproblem -> 'a outcome
+(** [mstart] followed by [mstep_round] to completion; the outcome's
+    [best] is a fresh [copy], independent of the working state. *)
+
+type 'a mchain
+
+val mstart : rng:Prelude.Rng.t -> params -> 'a mproblem -> 'a mchain
+(** Like {!start}; the t0 estimate walks the working state and then
+    restores it through a snapshot. *)
+
+val mfinished : 'a mchain -> bool
+val mstep_round : 'a mchain -> unit
+
+val mbest : 'a mchain -> 'a
+(** The chain's internal best-snapshot buffer. Read-only: it is
+    overwritten whenever the chain improves. *)
+
+val mbest_cost : 'a mchain -> float
+
+val madopt : 'a mchain -> state:'a -> cost:float -> unit
+(** Multi-start exchange, as {!adopt}: when [cost] strictly improves on
+    the chain's best, [state] is blitted into both the working state
+    and the best snapshot. Strictness means offering a chain its own
+    {!mbest} buffer never aliases a blit. *)
+
+val moutcome_of_chain : 'a mchain -> 'a outcome
+(** Snapshot of the chain's progress; [best] is a fresh [copy]. *)
+
+val estimate_mt0 : rng:Prelude.Rng.t -> 'a mproblem -> samples:int -> float
+(** {!estimate_t0} for in-place problems; restores the working state
+    before returning. *)

@@ -217,22 +217,24 @@ let macro_of_placed placed =
 
 (* B*-tree packing where items may carry a rectilinear top profile
    (contour nodes): the item rests flat, but only its material columns
-   raise the skyline, letting later cells settle into its valleys. *)
+   raise the skyline, letting later cells settle into its valleys.
+   Runs on the mutable contour scratch; the scratch is per invocation
+   because [lookup] can recurse into a nested macro's own pack while
+   this traversal is mid-flight. *)
 let pack_with_profiles tree lookup =
   let out = ref [] in
-  let contour = ref Contour.empty in
+  let contour = Contour.scratch ((2 * Tree.size tree) + 1) in
   let rec go node x =
     let w, h, profile = lookup node.Tree.cell in
-    let y = Contour.max_height !contour ~x0:x ~x1:(x + w) in
-    (contour :=
-       match profile with
-       | None -> Contour.raise_to !contour ~x0:x ~x1:(x + w) ~y:(y + h)
-       | Some segs ->
-           List.fold_left
-             (fun c (s : Contour.segment) ->
-               Contour.raise_to c ~x0:(x + s.Contour.x0)
-                 ~x1:(x + s.Contour.x1) ~y:(y + s.Contour.y))
-             !contour segs);
+    let y = Contour.max_height_into contour ~x0:x ~x1:(x + w) in
+    (match profile with
+    | None -> Contour.raise_into contour ~x0:x ~x1:(x + w) ~y:(y + h)
+    | Some segs ->
+        List.iter
+          (fun (s : Contour.segment) ->
+            Contour.raise_into contour ~x0:(x + s.Contour.x0)
+              ~x1:(x + s.Contour.x1) ~y:(y + s.Contour.y))
+          segs);
     out := (node.Tree.cell, x, y) :: !out;
     Option.iter (fun l -> go l (x + w)) node.Tree.left;
     Option.iter (fun r -> go r x) node.Tree.right

@@ -1,23 +1,27 @@
+(* Index-based selection: one [Tree.size] plus [Tree.nth_cell] lookups
+   replace the old per-move [Tree.cells] materialization. The rng draw
+   sequence is unchanged ([Rng.choose] also draws one [int] over the
+   length), so annealing trajectories are identical. *)
+
 let swap rng t =
-  let cells = Tree.cells t in
-  match cells with
-  | [] | [ _ ] -> t
-  | _ ->
-      let arr = Array.of_list cells in
-      let n = Array.length arr in
-      let i = Prelude.Rng.int rng n in
-      let j = (i + 1 + Prelude.Rng.int rng (n - 1)) mod n in
-      Tree.swap_cells t arr.(i) arr.(j)
+  let n = Tree.size t in
+  if n < 2 then t
+  else
+    let i = Prelude.Rng.int rng n in
+    let j = (i + 1 + Prelude.Rng.int rng (n - 1)) mod n in
+    Tree.swap_cells t (Tree.nth_cell t i) (Tree.nth_cell t j)
 
 let move rng t =
-  let cells = Tree.cells t in
-  match cells with
-  | [] | [ _ ] -> t
-  | _ -> (
-      let victim = Prelude.Rng.choose rng cells in
-      match Tree.delete t victim with
-      | None -> t
-      | Some t' -> Tree.insert_random rng t' ~cell:victim)
+  let n = Tree.size t in
+  if n < 2 then t
+  else
+    let victim = Tree.nth_cell t (Prelude.Rng.int rng n) in
+    match Tree.delete t victim with
+    | None -> t
+    | Some t' ->
+        let target = Tree.nth_cell t' (Prelude.Rng.int rng (n - 1)) in
+        let side = if Prelude.Rng.bool rng then `Left else `Right in
+        Tree.insert_at t' ~cell:victim ~target ~side
 
 let random rng t =
   if Prelude.Rng.bool rng then swap rng t else move rng t

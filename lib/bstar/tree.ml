@@ -42,12 +42,42 @@ let random rng cells =
   in
   build 0 (Array.length arr)
 
-let rec cells t =
-  (t.cell :: Option.fold ~none:[] ~some:cells t.left)
-  @ Option.fold ~none:[] ~some:cells t.right
+(* Pre-order, with an accumulator: the right subtree is consed first so
+   a single [List.rev] restores the order. O(n), no appends. *)
+let cells t =
+  let rec go acc t =
+    let acc = t.cell :: acc in
+    let acc = match t.left with Some l -> go acc l | None -> acc in
+    match t.right with Some r -> go acc r | None -> acc
+  in
+  List.rev (go [] t)
 
-let size t = List.length (cells t)
-let mem t c = List.mem c (cells t)
+let rec size t =
+  1
+  + (match t.left with Some l -> size l | None -> 0)
+  + (match t.right with Some r -> size r | None -> 0)
+
+let rec mem t c =
+  t.cell = c
+  || (match t.left with Some l -> mem l c | None -> false)
+  || (match t.right with Some r -> mem r c | None -> false)
+
+let nth_cell t i =
+  (* i-th cell of [cells t] without materializing the list *)
+  let k = ref i in
+  let rec go t =
+    if !k = 0 then Some t.cell
+    else begin
+      decr k;
+      let l = match t.left with Some l -> go l | None -> None in
+      match l with
+      | Some _ -> l
+      | None -> ( match t.right with Some r -> go r | None -> None)
+    end
+  in
+  match go t with
+  | Some c -> c
+  | None -> invalid_arg "Tree.nth_cell: out of range"
 
 let rec map_cells f t =
   {
@@ -75,6 +105,20 @@ let pack t dims =
     (fun (cell, rect) -> { Transform.cell; rect; orient = Orientation.R0 })
     (pack_rects t dims)
 
+(* [pack_rects] over a reusable contour scratch, writing origins
+   straight into per-cell arrays: same traversal, same drops, identical
+   coordinates (tested) — and nothing allocated. *)
+let pack_into t contour ~w ~h ~x ~y =
+  Contour.clear contour;
+  let rec go node cx =
+    let c = node.cell in
+    x.(c) <- cx;
+    y.(c) <- Contour.drop_into contour ~x:cx ~w:w.(c) ~h:h.(c);
+    Option.iter (fun l -> go l (cx + w.(c))) node.left;
+    Option.iter (fun r -> go r cx) node.right
+  in
+  go t 0
+
 let rec swap_cells t a b =
   let cell = if t.cell = a then b else if t.cell = b then a else t.cell in
   {
@@ -98,20 +142,25 @@ let splice node =
   | None, Some r -> Some r
   | Some l, Some r -> Some (attach_right l r)
 
-let rec delete t target =
-  if t.cell = target then splice t
-  else
-    let left =
+(* One traversal: each subtree reports whether it held the target, so no
+   per-level [mem] rescans. Untouched subtrees are shared, not rebuilt. *)
+let delete t target =
+  let rec go t =
+    if t.cell = target then (splice t, true)
+    else
       match t.left with
-      | Some l when mem l target -> delete l target
-      | other -> other
-    in
-    let right =
-      match t.right with
-      | Some r when mem r target -> delete r target
-      | other -> other
-    in
-    Some { t with left; right }
+      | Some l -> (
+          let l', found = go l in
+          if found then (Some { t with left = l' }, true) else go_right t)
+      | None -> go_right t
+  and go_right t =
+    match t.right with
+    | Some r ->
+        let r', found = go r in
+        if found then (Some { t with right = r' }, true) else (Some t, false)
+    | None -> (Some t, false)
+  in
+  fst (go t)
 
 let rec insert_at t ~cell ~target ~side =
   if t.cell = target then

@@ -27,11 +27,15 @@ val random : Prelude.Rng.t -> int list -> t
     order is randomized too). Raises [Invalid_argument] on []. *)
 
 val cells : t -> int list
-(** Pre-order cell list. *)
+(** Pre-order cell list. O(n). *)
 
 val size : t -> int
 
 val mem : t -> int -> bool
+
+val nth_cell : t -> int -> int
+(** [nth_cell t i] is [List.nth (cells t) i] without building the list.
+    Raises [Invalid_argument] out of range. *)
 
 val map_cells : (int -> int) -> t -> t
 
@@ -42,6 +46,20 @@ val pack : t -> (int -> int * int) -> Geometry.Transform.placed list
 
 val pack_rects : t -> (int -> int * int) -> (int * Geometry.Rect.t) list
 (** Like {!pack} but just [(cell, rect)] pairs. *)
+
+val pack_into :
+  t ->
+  Geometry.Contour.scratch ->
+  w:int array ->
+  h:int array ->
+  x:int array ->
+  y:int array ->
+  unit
+(** Allocation-free {!pack_rects}: dimensions are read from [w]/[h] and
+    the packed origin of each cell written to [x]/[y] (all indexed by
+    cell, which therefore must lie in [\[0, Array.length w)]). Clears
+    and reuses the contour scratch. Coordinates are identical to
+    {!pack} with the same dimensions (tested). *)
 
 val swap_cells : t -> int -> int -> t
 (** Exchange the cells at the nodes holding [a] and [b]. *)

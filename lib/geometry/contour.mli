@@ -52,3 +52,42 @@ val shift : t -> dx:int -> dy:int -> t
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
+
+(** {2 Mutable scratch}
+
+    The annealing hot path packs thousands of candidate B*-trees per
+    second; rebuilding a persistent segment list per placed cell is
+    pure garbage-collector traffic. The scratch is a doubly-linked
+    segment arena tiling [\[0, +inf)]: one is allocated per evaluation
+    arena (see {!Placer.Eval}), [clear]ed before each packing, and
+    queried/updated in place. Heights agree exactly with the
+    persistent operations above (tested), so packings through either
+    representation produce identical coordinates. *)
+
+type scratch
+
+val scratch : int -> scratch
+(** [scratch capacity] preallocates room for [capacity] segments (a
+    packing of [n] cells needs at most [2n + 1]). The arena grows
+    automatically if the hint is exceeded, so the capacity only
+    controls steady-state allocation. *)
+
+val clear : scratch -> unit
+(** Reset to the flat contour at height 0, recycling every segment. *)
+
+val drop_into : scratch -> x:int -> w:int -> h:int -> int
+(** In-place {!drop}: land a [w]x[h] cell at horizontal position [x],
+    return its resting y and raise the profile over its footprint. *)
+
+val max_height_into : scratch -> x0:int -> x1:int -> int
+(** In-place {!max_height}. *)
+
+val raise_into : scratch -> x0:int -> x1:int -> y:int -> unit
+(** In-place {!raise_to}: set the profile over [\[x0, x1)] to exactly
+    [y]. Used directly by the HB*-tree packer to raise the
+    rectilinear top profile of a contour node, column by column. *)
+
+val scratch_segments : scratch -> segment list
+(** Finite positive-height steps in increasing x order, maximally
+    merged — the same normal form as {!segments}, for comparison and
+    debugging (allocates; not for the hot path). *)

@@ -20,6 +20,7 @@ type t = {
   cx2 : int array;  (* doubled centers for HPWL *)
   cy2 : int array;
   scratch : Seqpair.Pack.scratch;
+  contour : Geometry.Contour.scratch;  (* B*-tree packing profile *)
   nets : Netlist.Wirelength.flat;
 }
 
@@ -43,6 +44,7 @@ let create circuit =
     cx2 = Array.make (max 1 n) 0;
     cy2 = Array.make (max 1 n) 0;
     scratch = Seqpair.Pack.scratch (max 1 n);
+    contour = Geometry.Contour.scratch ((2 * max 1 n) + 1);
     nets = Netlist.Wirelength.flatten circuit.Netlist.Circuit.nets;
   }
 
@@ -89,6 +91,11 @@ let cost_seqpair t weights ?(groups = []) sp ~rot =
       with
       | Ok () -> ()
       | Error msg -> invalid_arg ("Sa_seqpair: " ^ msg)));
+  finish t weights
+
+let cost_bstar t weights flat ~rot =
+  set_rotation t rot;
+  Bstar.Flat.pack_into flat t.contour ~w:t.w ~h:t.h ~x:t.x ~y:t.y;
   finish t weights
 
 let cost_placed t weights placed =

@@ -37,6 +37,12 @@ val cost_seqpair :
     Raises [Invalid_argument] if a symmetric pack is requested for a
     non-symmetric-feasible code, like the list path it replaces. *)
 
+val cost_bstar : t -> Cost.weights -> Bstar.Flat.t -> rot:bool array -> float
+(** Contour-pack the flat B*-tree (with per-cell rotations) into the
+    arena and return its cost. The tree's cells must be exactly the
+    circuit's [0..n-1]. Bit-identical to
+    [Cost.evaluate (Placement.make (Tree.pack ...))] (tested). *)
+
 val cost_placed : t -> Cost.weights -> Geometry.Transform.placed list -> float
 (** Cost of an externally packed placement (e.g. a B*-tree pack)
     without building a [Placement.t]. Every cell must appear exactly

@@ -1,4 +1,18 @@
-type state = { tree : Bstar.Tree.t; rot : bool array }
+(* The B*-tree annealer on the in-place engine: one flat-array tree and
+   rotation vector per chain, mutated by O(1) perturbations and
+   reverted in O(1) on rejection ({!Anneal.Sa.mproblem}), with costs
+   through the arena's contour packer ({!Eval.cost_bstar}). Nothing on
+   the hot path allocates. The pointer {!Bstar.Tree} representation is
+   only used to seed the initial state and to materialize the final
+   best placement. *)
+
+type state = {
+  flat : Bstar.Flat.t;
+  rot : bool array;
+  mutable last : last_move;  (* what [propose] did, for [undo] *)
+}
+
+and last_move = L_none | L_tree of Bstar.Flat.undo | L_rot of int
 
 type outcome = {
   placement : Placement.t;
@@ -7,61 +21,97 @@ type outcome = {
   evaluated : int;
 }
 
-let dims_of circuit st c =
-  let w, h = Netlist.Circuit.dims circuit c in
-  if st.rot.(c) then (h, w) else (w, h)
-
-let evaluate circuit st =
-  Placement.make circuit (Bstar.Tree.pack st.tree (dims_of circuit st))
-
-(* Sanitizer for ?validate mode: tree well-formedness plus a full audit
-   of the contour-packed placement; see Sa_seqpair.audit. *)
-let audit circuit st =
+(* Per-cell dimensions for both orientations, read once from the
+   circuit: row 0 unrotated, row 1 rotated. *)
+let dims_table circuit =
   let n = Netlist.Circuit.size circuit in
-  let rot_len =
-    if Array.length st.rot = n then []
+  let tbl = Array.init 2 (fun _ -> Array.make (max 1 n) (0, 0)) in
+  for c = 0 to n - 1 do
+    let w, h = Netlist.Circuit.dims circuit c in
+    tbl.(0).(c) <- (w, h);
+    tbl.(1).(c) <- (h, w)
+  done;
+  tbl
+
+let dims_of tbl rot c = tbl.(if rot.(c) then 1 else 0).(c)
+
+let evaluate circuit tbl st =
+  let tree = Bstar.Flat.to_tree st.flat in
+  Placement.make circuit (Bstar.Tree.pack tree (dims_of tbl st.rot))
+
+(* Sanitizer for ?validate mode: flat-tree well-formedness plus a full
+   audit of the contour-packed placement; see Sa_seqpair.audit. *)
+let audit circuit tbl st =
+  let n = Netlist.Circuit.size circuit in
+  let len_errs =
+    (if Array.length st.rot = n then []
+     else
+       [
+         Analysis.Diagnostic.error ~code:"AL101" ~subject:"rot"
+           (Printf.sprintf "rotation array has length %d, circuit %d"
+              (Array.length st.rot) n);
+       ])
+    @
+    if Bstar.Flat.size st.flat = n then []
     else
       [
-        Analysis.Diagnostic.error ~code:"AL101" ~subject:"rot"
-          (Printf.sprintf "rotation array has length %d, circuit %d"
-             (Array.length st.rot) n);
+        Analysis.Diagnostic.error ~code:"AL103" ~subject:"flat b*-tree"
+          (Printf.sprintf "tree has %d nodes, circuit %d"
+             (Bstar.Flat.size st.flat) n);
       ]
   in
   Analysis.Invariant.raise_if_any ~context:"Sa_bstar state"
-    (rot_len @ Analysis.Invariant.check_bstar ~n st.tree);
+    (len_errs @ Analysis.Invariant.check_flat st.flat);
+  let tree = Bstar.Flat.to_tree st.flat in
   Analysis.Invariant.raise_if_any ~context:"Sa_bstar placement"
     (Analysis.Invariant.audit_placed ~n
-       (Bstar.Tree.pack st.tree (dims_of circuit st)))
+       (Bstar.Tree.pack tree (dims_of tbl st.rot)))
 
 let problem_of ?(validate = false) ~weights circuit rng =
   let n = Netlist.Circuit.size circuit in
   let arena = Eval.create circuit in
-  let init =
-    { tree = Bstar.Tree.random rng (List.init n Fun.id);
-      rot = Array.make n false }
+  let tbl = dims_table circuit in
+  let state =
+    {
+      flat = Bstar.Flat.of_tree (Bstar.Tree.random rng (List.init n Fun.id));
+      rot = Array.make n false;
+      last = L_none;
+    }
   in
-  let neighbor rng st =
+  (* 70/30 structural/rotation mix, as the list-path annealer used *)
+  let propose rng st =
     if Prelude.Rng.int rng 10 < 7 then
-      { st with tree = Bstar.Perturb.random rng st.tree }
+      st.last <- L_tree (Bstar.Flat.perturb rng st.flat)
     else begin
-      let rot = Array.copy st.rot in
       let c = Prelude.Rng.int rng n in
-      rot.(c) <- not rot.(c);
-      { st with rot }
+      st.rot.(c) <- not st.rot.(c);
+      st.last <- L_rot c
     end
   in
-  let cost st =
-    Eval.cost_placed arena weights (Bstar.Tree.pack st.tree (dims_of circuit st))
+  let undo st =
+    (match st.last with
+    | L_none -> ()
+    | L_tree u -> Bstar.Flat.undo st.flat u
+    | L_rot c -> st.rot.(c) <- not st.rot.(c));
+    st.last <- L_none
   in
-  if not validate then { Anneal.Sa.init; neighbor; cost }
+  let cost st = Eval.cost_bstar arena weights st.flat ~rot:st.rot in
+  let copy st =
+    { flat = Bstar.Flat.copy st.flat; rot = Array.copy st.rot; last = L_none }
+  in
+  let blit ~src ~dst =
+    Bstar.Flat.blit ~src:src.flat ~dst:dst.flat;
+    Array.blit src.rot 0 dst.rot 0 n;
+    dst.last <- L_none
+  in
+  if not validate then { Anneal.Sa.state; propose; undo; cost; copy; blit }
   else begin
-    audit circuit init;
-    let neighbor rng st =
-      let st' = neighbor rng st in
-      audit circuit st';
-      st'
+    audit circuit tbl state;
+    let propose rng st =
+      propose rng st;
+      audit circuit tbl st
     in
-    { Anneal.Sa.init; neighbor; cost }
+    { Anneal.Sa.state; propose; undo; cost; copy; blit }
   end
 
 let place ?(weights = Cost.default) ?params ?workers ?chains ?validate ~rng
@@ -72,16 +122,18 @@ let place ?(weights = Cost.default) ?params ?workers ?chains ?validate ~rng
     | None -> Analysis.Invariant.enabled_from_env ()
   in
   let n = Netlist.Circuit.size circuit in
+  let tbl = dims_table circuit in
   let params =
     match params with Some p -> p | None -> Anneal.Sa.default_params ~n
   in
   match (workers, chains) with
   | None, None ->
       let result =
-        Anneal.Sa.run ~rng params (problem_of ~validate ~weights circuit rng)
+        Anneal.Sa.run_mutable ~rng params
+          (problem_of ~validate ~weights circuit rng)
       in
       {
-        placement = evaluate circuit result.Anneal.Sa.best;
+        placement = evaluate circuit tbl result.Anneal.Sa.best;
         cost = result.Anneal.Sa.best_cost;
         sa_rounds = result.Anneal.Sa.rounds;
         evaluated = result.Anneal.Sa.evaluated;
@@ -96,13 +148,13 @@ let place ?(weights = Cost.default) ?params ?workers ?chains ?validate ~rng
             | None -> Anneal.Parallel.default_workers ())
       in
       let seeds = List.init k (fun _ -> Prelude.Rng.int rng 0x3FFFFFFF) in
-      let check = if validate then Some (audit circuit) else None in
+      let check = if validate then Some (audit circuit tbl) else None in
       let result =
-        Anneal.Parallel.run ?workers ?check ~seeds params
+        Anneal.Parallel.run_mutable ?workers ?check ~seeds params
           (problem_of ~validate ~weights circuit)
       in
       {
-        placement = evaluate circuit result.Anneal.Parallel.best;
+        placement = evaluate circuit tbl result.Anneal.Parallel.best;
         cost = result.Anneal.Parallel.best_cost;
         sa_rounds =
           result.Anneal.Parallel.chains.(result.Anneal.Parallel.winner)

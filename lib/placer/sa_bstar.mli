@@ -21,13 +21,17 @@ val place :
   rng:Prelude.Rng.t ->
   Netlist.Circuit.t ->
   outcome
-(** Costs are evaluated through the allocation-free {!Eval} arena.
-    [workers]/[chains] enable {!Anneal.Parallel} multi-start annealing
-    with the same semantics as {!Sa_seqpair.place}.
+(** The annealer runs on flat-array trees ({!Bstar.Flat}) under the
+    in-place engine ({!Anneal.Sa.run_mutable}): O(1) perturbations,
+    O(1) undo of rejected moves, and allocation-free contour packing
+    through the {!Eval} arena ({!Eval.cost_bstar}). [workers]/[chains]
+    enable {!Anneal.Parallel} multi-start annealing with the same
+    semantics as {!Sa_seqpair.place}.
 
     [validate] (default: the [ANALOG_VALIDATE=1] environment switch,
-    see {!Analysis.Invariant}) audits the B*-tree and its packed
-    placement after every SA move and at every parallel exchange,
-    raising {!Analysis.Invariant.Violation} with a diagnostic dump on
-    the first corrupted state. Off, the annealer runs the exact same
+    see {!Analysis.Invariant}) audits the flat tree
+    ({!Analysis.Invariant.check_flat}) and its packed placement after
+    every SA move and at every parallel exchange, raising
+    {!Analysis.Invariant.Violation} with a diagnostic dump on the
+    first corrupted state. Off, the annealer runs the exact same
     closures as before — zero overhead. *)

@@ -118,6 +118,78 @@ let test_parallel_multistart_minimizes () =
          out.Anneal.Parallel.best_cost <= o.Anneal.Sa.best_cost)
        out.Anneal.Parallel.chains)
 
+(* The in-place engine on the same landscape: state is [| value; prev |]
+   so [undo] restores the pre-propose value. Draw-for-draw the same rng
+   consumption as [problem], so the two engines must agree exactly. *)
+let mproblem () =
+  {
+    Anneal.Sa.state = [| 80; 80 |];
+    propose =
+      (fun rng s ->
+        let step = Prelude.Rng.int_in rng (-3) 3 in
+        s.(1) <- s.(0);
+        s.(0) <- max (-100) (min 100 (s.(0) + step)));
+    undo = (fun s -> s.(0) <- s.(1));
+    cost =
+      (fun s ->
+        let fx = float_of_int s.(0) in
+        (0.01 *. fx *. fx) +. (3.0 *. sin (fx /. 4.0)));
+    copy = Array.copy;
+    blit = (fun ~src ~dst -> Array.blit src 0 dst 0 2);
+  }
+
+let test_mutable_matches_functional () =
+  let seq = Anneal.Sa.run ~rng:(Prelude.Rng.create 17) par_params problem in
+  let m =
+    Anneal.Sa.run_mutable ~rng:(Prelude.Rng.create 17) par_params (mproblem ())
+  in
+  Alcotest.(check int) "same best" seq.Anneal.Sa.best m.Anneal.Sa.best.(0);
+  Alcotest.(check (float 0.0))
+    "same cost" seq.Anneal.Sa.best_cost m.Anneal.Sa.best_cost;
+  Alcotest.(check int) "same rounds" seq.Anneal.Sa.rounds m.Anneal.Sa.rounds;
+  Alcotest.(check int)
+    "same acceptances" seq.Anneal.Sa.accepted m.Anneal.Sa.accepted;
+  Alcotest.(check int)
+    "same evaluation count" seq.Anneal.Sa.evaluated m.Anneal.Sa.evaluated
+
+let test_parallel_mutable_matches_functional () =
+  let seeds = [ 3; 11; 42; 99 ] in
+  let f =
+    Anneal.Parallel.run ~workers:2 ~exchange_every:8 ~seeds par_params
+      (fun _ -> problem)
+  in
+  let m =
+    Anneal.Parallel.run_mutable ~workers:2 ~exchange_every:8 ~seeds par_params
+      (fun _ -> mproblem ())
+  in
+  Alcotest.(check int)
+    "same best" f.Anneal.Parallel.best m.Anneal.Parallel.best.(0);
+  Alcotest.(check (float 0.0))
+    "same cost" f.Anneal.Parallel.best_cost m.Anneal.Parallel.best_cost;
+  Alcotest.(check int) "same winner" f.Anneal.Parallel.winner
+    m.Anneal.Parallel.winner;
+  Alcotest.(check int)
+    "same evaluations" f.Anneal.Parallel.evaluated m.Anneal.Parallel.evaluated
+
+let test_parallel_mutable_worker_invariant () =
+  let seeds = [ 3; 11; 42; 99 ] in
+  let go workers =
+    Anneal.Parallel.run_mutable ~workers ~exchange_every:8 ~seeds par_params
+      (fun _ -> mproblem ())
+  in
+  let a = go 1 and b = go 2 and c = go 4 in
+  Alcotest.(check int)
+    "1 vs 2 best" a.Anneal.Parallel.best.(0) b.Anneal.Parallel.best.(0);
+  Alcotest.(check (float 0.0))
+    "1 vs 2 cost" a.Anneal.Parallel.best_cost b.Anneal.Parallel.best_cost;
+  Alcotest.(check (float 0.0))
+    "1 vs 4 cost" a.Anneal.Parallel.best_cost c.Anneal.Parallel.best_cost;
+  Alcotest.(check int)
+    "1 vs 4 winner" a.Anneal.Parallel.winner c.Anneal.Parallel.winner;
+  Alcotest.(check int)
+    "1 vs 4 evaluations" a.Anneal.Parallel.evaluated
+    c.Anneal.Parallel.evaluated
+
 let () =
   Alcotest.run "anneal"
     [
@@ -131,6 +203,8 @@ let () =
           Alcotest.test_case "minimizes" `Quick test_sa_minimizes;
           Alcotest.test_case "estimate t0" `Quick test_estimate_t0;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "mutable engine replays functional" `Quick
+            test_mutable_matches_functional;
         ] );
       ( "parallel",
         [
@@ -141,5 +215,9 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_parallel_deterministic;
           Alcotest.test_case "multi-start minimizes" `Quick
             test_parallel_multistart_minimizes;
+          Alcotest.test_case "mutable replays functional" `Quick
+            test_parallel_mutable_matches_functional;
+          Alcotest.test_case "mutable worker-count invariant" `Quick
+            test_parallel_mutable_worker_invariant;
         ] );
     ]

@@ -222,6 +222,75 @@ let prop_perturb_preserves_cells =
       done;
       !ok)
 
+(* flat-array trees *)
+
+let test_nth_cell () =
+  let rng = Prelude.Rng.create 5 in
+  let t = Tree.random rng (List.init 9 Fun.id) in
+  let cs = Tree.cells t in
+  Alcotest.(check int) "size agrees" (List.length cs) (Tree.size t);
+  List.iteri
+    (fun i c -> Alcotest.(check int) "nth_cell agrees" c (Tree.nth_cell t i))
+    cs;
+  List.iter
+    (fun c -> Alcotest.(check bool) "mem" true (Tree.mem t c))
+    cs;
+  Alcotest.(check bool) "not mem" false (Tree.mem t 9)
+
+let prop_flat_roundtrip =
+  QCheck.Test.make ~name:"flat round-trip identity" ~count:300 arb_tree_dims
+    (fun (t, _) -> Tree.equal t (Flat.to_tree (Flat.of_tree t)))
+
+let prop_flat_pack_matches =
+  QCheck.Test.make ~name:"pack_into coordinates = pack (flat and pointer)"
+    ~count:300 arb_tree_dims
+    (fun (t, d) ->
+      let n = Array.length d in
+      let w = Array.map fst d and h = Array.map snd d in
+      let x = Array.make n (-1) and y = Array.make n (-1) in
+      let xf = Array.make n (-1) and yf = Array.make n (-1) in
+      let contour = Geometry.Contour.scratch ((2 * n) + 1) in
+      Tree.pack_into t contour ~w ~h ~x ~y;
+      Flat.pack_into (Flat.of_tree t) contour ~w ~h ~x:xf ~y:yf;
+      List.for_all
+        (fun (c, (r : Geometry.Rect.t)) ->
+          x.(c) = r.Geometry.Rect.x
+          && y.(c) = r.Geometry.Rect.y
+          && xf.(c) = r.Geometry.Rect.x
+          && yf.(c) = r.Geometry.Rect.y)
+        (Tree.pack_rects t (fun c -> d.(c))))
+
+let prop_flat_perturb_undo =
+  QCheck.Test.make ~name:"perturb+undo restores the flat tree exactly"
+    ~count:300
+    QCheck.(pair (int_range 1 15) small_int)
+    (fun (n, seed) ->
+      let rng = Prelude.Rng.create seed in
+      let flat = Flat.of_tree (Tree.random rng (List.init n Fun.id)) in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        let snapshot = Flat.copy flat in
+        let u = Flat.perturb rng flat in
+        Flat.undo flat u;
+        if not (Flat.equal snapshot flat) then ok := false;
+        (* advance the walk so later iterations test fresh shapes *)
+        ignore (Flat.perturb rng flat)
+      done;
+      !ok)
+
+let prop_flat_perturb_well_formed =
+  QCheck.Test.make ~name:"perturbed flat trees stay well-formed" ~count:200
+    QCheck.(pair (int_range 1 15) small_int)
+    (fun (n, seed) ->
+      let rng = Prelude.Rng.create seed in
+      let flat = Flat.of_tree (Tree.random rng (List.init n Fun.id)) in
+      for _ = 1 to 40 do
+        ignore (Flat.perturb rng flat)
+      done;
+      Analysis.Invariant.check_flat flat = []
+      && List.sort Int.compare (Tree.cells (Flat.to_tree flat))
+         = List.init n Fun.id)
+
 let () =
   Alcotest.run "bstar"
     [
@@ -232,7 +301,10 @@ let () =
           Alcotest.test_case "contour" `Quick test_contour_tuck;
         ] );
       ( "edit",
-        [ Alcotest.test_case "delete/insert/swap" `Quick test_delete_insert_swap ] );
+        [
+          Alcotest.test_case "delete/insert/swap" `Quick test_delete_insert_swap;
+          Alcotest.test_case "nth_cell/size/mem" `Quick test_nth_cell;
+        ] );
       ( "count",
         [
           Alcotest.test_case "catalan" `Quick test_catalan;
@@ -252,5 +324,9 @@ let () =
             prop_pack_overlap_free;
             prop_root_at_origin;
             prop_perturb_preserves_cells;
+            prop_flat_roundtrip;
+            prop_flat_pack_matches;
+            prop_flat_perturb_undo;
+            prop_flat_perturb_well_formed;
           ] );
     ]

@@ -101,6 +101,53 @@ let test_contour_segments_invariant () =
     check segs
   done
 
+let test_contour_scratch_basics () =
+  let s = Contour.scratch 4 in
+  Alcotest.(check int) "first cell on ground" 0
+    (Contour.drop_into s ~x:0 ~w:10 ~h:5);
+  Alcotest.(check int) "lands on overlap" 5
+    (Contour.drop_into s ~x:5 ~w:10 ~h:3);
+  Alcotest.(check int) "lands on second" 8
+    (Contour.drop_into s ~x:10 ~w:2 ~h:1);
+  Alcotest.(check int) "clear ground beyond" 0
+    (Contour.drop_into s ~x:20 ~w:5 ~h:1);
+  Alcotest.(check int) "max over range" 9
+    (Contour.max_height_into s ~x0:0 ~x1:30);
+  Contour.clear s;
+  Alcotest.(check int) "flat after clear" 0
+    (Contour.max_height_into s ~x0:0 ~x1:1000);
+  Alcotest.(check int) "reusable after clear" 0
+    (Contour.drop_into s ~x:3 ~w:4 ~h:2)
+
+let prop_contour_scratch_matches_persistent =
+  QCheck.Test.make
+    ~name:"contour scratch = persistent contour (drops, raises, segments)"
+    ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Prelude.Rng.create seed in
+      (* deliberately tiny capacity so the arena has to grow *)
+      let s = Contour.scratch 2 in
+      let c = ref Contour.empty in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        if Prelude.Rng.int rng 4 = 0 then begin
+          let x0 = Prelude.Rng.int rng 40 in
+          let x1 = x0 + 1 + Prelude.Rng.int rng 15 in
+          let y = Prelude.Rng.int rng 12 in
+          c := Contour.raise_to !c ~x0 ~x1 ~y;
+          Contour.raise_into s ~x0 ~x1 ~y
+        end
+        else begin
+          let x = Prelude.Rng.int rng 40
+          and w = 1 + Prelude.Rng.int rng 15
+          and h = 1 + Prelude.Rng.int rng 10 in
+          let y, c' = Contour.drop !c ~x ~w ~h in
+          c := c';
+          ok := !ok && Contour.drop_into s ~x ~w ~h = y
+        end
+      done;
+      !ok && Contour.scratch_segments s = Contour.segments !c)
+
 let test_outline_covered_area () =
   let rects =
     [ Rect.make ~x:0 ~y:0 ~w:10 ~h:10; Rect.make ~x:5 ~y:5 ~w:10 ~h:10 ]
@@ -292,6 +339,7 @@ let () =
           Alcotest.test_case "drop" `Quick test_contour_drop;
           Alcotest.test_case "raise_to" `Quick test_contour_raise_to;
           Alcotest.test_case "invariants" `Quick test_contour_segments_invariant;
+          Alcotest.test_case "scratch" `Quick test_contour_scratch_basics;
         ] );
       ( "outline",
         [
@@ -318,5 +366,6 @@ let () =
             prop_covered_le_bbox;
             prop_intersection_symmetric;
             prop_guard_ring_seals;
+            prop_contour_scratch_matches_persistent;
           ] );
     ]

@@ -343,6 +343,32 @@ let test_eval_cost_placed_parity () =
     Alcotest.(check (float 0.0)) "placed arena = list cost" reference arena_cost
   done
 
+let test_eval_cost_bstar_parity () =
+  let b = Netlist.Benchmarks.synthetic ~label:"f" ~n:12 ~seed:44 in
+  let c = b.Netlist.Benchmarks.circuit in
+  let arena = Placer.Eval.create c in
+  let weights = Placer.Cost.default in
+  let rng = Prelude.Rng.create 12 in
+  let n = Netlist.Circuit.size c in
+  (* walk a flat tree through random O(1) perturbations so the parity
+     covers annealing states, not just freshly converted trees *)
+  let flat = Bstar.Flat.of_tree (Bstar.Tree.random rng (List.init n Fun.id)) in
+  for _ = 1 to 50 do
+    ignore (Bstar.Flat.perturb rng flat);
+    let rot = Array.init n (fun _ -> Prelude.Rng.int rng 2 = 0) in
+    let arena_cost = Placer.Eval.cost_bstar arena weights flat ~rot in
+    let dims cell =
+      let w, h = Netlist.Circuit.dims c cell in
+      if rot.(cell) then (h, w) else (w, h)
+    in
+    let reference =
+      Placer.Cost.evaluate weights
+        (Placer.Placement.make c
+           (Bstar.Tree.pack (Bstar.Flat.to_tree flat) dims))
+    in
+    Alcotest.(check (float 0.0)) "bstar arena = list cost" reference arena_cost
+  done
+
 let test_sa_seqpair_parallel () =
   let c = tiny_circuit () in
   let place workers =
@@ -402,6 +428,8 @@ let () =
             test_eval_cost_parity_symmetric;
           Alcotest.test_case "placed cost parity" `Quick
             test_eval_cost_placed_parity;
+          Alcotest.test_case "bstar cost parity" `Quick
+            test_eval_cost_bstar_parity;
         ] );
       ( "sa",
         [
