@@ -913,6 +913,10 @@ let perf ?(smoke = false) () =
   Printf.printf "%5s | %14s %15s %9s\n" "n" "list moves/s" "arena moves/s"
     "speedup";
   hr ();
+  (* size the telemetry on/off comparison below runs at, and the
+     uninstrumented arena rate measured at that size in this same run *)
+  let tn = if smoke then 16 else 100 in
+  let arena_at_tn = ref 0.0 in
   Buffer.add_string buf "  \"sa_moves\": [\n";
   List.iteri
     (fun i n ->
@@ -937,6 +941,7 @@ let perf ?(smoke = false) () =
       in
       let r_list = time_ops list_move in
       let r_arena = time_ops arena_move in
+      if n = tn then arena_at_tn := r_arena;
       Printf.printf "%5d | %14.0f %15.0f %8.2fx\n" n r_list r_arena
         (r_arena /. r_list);
       Printf.bprintf buf
@@ -987,6 +992,58 @@ let perf ?(smoke = false) () =
         (if i = last then "" else ","))
     ns;
   Buffer.add_string buf "  ],\n";
+  hr ();
+  (* telemetry overhead: the same arena SA move loop threaded through a
+     no-op sink and through a live sink (counters + histograms + span
+     ring).  The zero-cost-when-off claim is the no-op column staying
+     within noise of the uninstrumented arena rate measured above. *)
+  let b = Netlist.Benchmarks.synthetic ~label:"tel" ~n:tn ~seed:(tn + 1) in
+  let c = b.Netlist.Benchmarks.circuit in
+  let tel_move telemetry =
+    let arena = Placer.Eval.create ~telemetry c in
+    let rng = Prelude.Rng.create 44 in
+    let sp = ref (Seqpair.Sp.random rng tn) in
+    let rot = Array.make tn false in
+    fun () ->
+      sp := Seqpair.Moves.random_neighbor rng !sp;
+      ignore (Placer.Eval.cost_seqpair arena weights !sp ~rot)
+  in
+  let r_off = time_ops (tel_move Telemetry.Sink.null) in
+  let live = Telemetry.Sink.create ~trace_capacity:8192 () in
+  let r_on = time_ops (tel_move live) in
+  let base = if !arena_at_tn > 0.0 then !arena_at_tn else r_off in
+  let off_pct = 100.0 *. (1.0 -. (r_off /. base)) in
+  let on_pct = 100.0 *. (1.0 -. (r_on /. base)) in
+  Printf.printf
+    "telemetry (n=%d): off %.0f moves/s (%+.1f%% vs bare), on %.0f moves/s \
+     (%+.1f%% vs bare)\n"
+    tn r_off off_pct r_on on_pct;
+  Printf.bprintf buf
+    "  \"telemetry_overhead\": {\"n\": %d, \"moves_per_s_off\": %.0f, \
+     \"moves_per_s_on\": %.0f, \"off_overhead_pct\": %.1f, \
+     \"on_overhead_pct\": %.1f},\n"
+    tn r_off r_on off_pct on_pct;
+  (* per-move latency quantiles: time small batches of arena moves and
+     report type-7 percentiles of the per-move cost via Stats.quantile *)
+  let batches = if smoke then 40 else 200 in
+  let per_batch = 50 in
+  let lat_move = tel_move Telemetry.Sink.null in
+  let samples =
+    List.init batches (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to per_batch do
+          lat_move ()
+        done;
+        (Unix.gettimeofday () -. t0) /. float_of_int per_batch *. 1e6)
+  in
+  let q p = Prelude.Stats.quantile samples p in
+  Printf.printf
+    "sa move latency (n=%d): p50 %.2fus  p90 %.2fus  p99 %.2fus\n" tn (q 0.5)
+    (q 0.9) (q 0.99);
+  Printf.bprintf buf
+    "  \"sa_move_latency_us\": {\"n\": %d, \"p50\": %.3f, \"p90\": %.3f, \
+     \"p99\": %.3f},\n"
+    tn (q 0.5) (q 0.9) (q 0.99);
   hr ();
   (* parallel multi-start: same 4 chains spread over 1/2/4 domains *)
   let n = if smoke then 12 else 40 in

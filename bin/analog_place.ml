@@ -80,7 +80,8 @@ let engine_conv =
   in
   Arg.conv (parse, print)
 
-let run_place netlist bench engine seed svg quiet cluster validate =
+let run_place netlist bench engine seed svg quiet cluster validate trace conv
+    metrics =
   let b =
     match (netlist, bench) with
     | Some path, _ -> load_netlist path
@@ -95,15 +96,28 @@ let run_place netlist bench engine seed svg quiet cluster validate =
     else b.Netlist.Benchmarks.hierarchy
   in
   let rng = Prelude.Rng.create seed in
+  (* One sink for the whole run, created only when some output wants
+     it; the engines see the null sink otherwise and pay nothing. *)
+  let want_telemetry = trace <> None || conv <> None || metrics in
+  let telemetry =
+    if want_telemetry then Telemetry.Sink.create ~trace_capacity:65536 ()
+    else Telemetry.Sink.null
+  in
+  let instrumented = match engine with Sp | Bstar_flat -> true | _ -> false in
+  if want_telemetry && not instrumented then
+    Printf.eprintf
+      "note: engine is not annealing-instrumented; the trace will only \
+       contain the place.total span (sp and bstar carry full telemetry)\n";
   let t0 = Sys.time () in
+  let t_total = Telemetry.Sink.span_begin telemetry in
   let placed =
     match engine with
     | Sp ->
         let groups = Constraints.Symmetry_group.of_hierarchy hierarchy in
-        (Placer.Sa_seqpair.place ~groups ?validate ~rng circuit)
+        (Placer.Sa_seqpair.place ~groups ?validate ~telemetry ~rng circuit)
           .Placer.Sa_seqpair.placement.Placer.Placement.placed
     | Bstar_flat ->
-        (Placer.Sa_bstar.place ?validate ~rng circuit)
+        (Placer.Sa_bstar.place ?validate ~telemetry ~rng circuit)
           .Placer.Sa_bstar.placement.Placer.Placement.placed
     | Hbstar -> (Bstar.Hbstar.place ~rng circuit hierarchy).Bstar.Hbstar.placed
     | Esf ->
@@ -116,6 +130,7 @@ let run_place netlist bench engine seed svg quiet cluster validate =
         (Placer.Slicing.place ~rng circuit)
           .Placer.Slicing.placement.Placer.Placement.placed
   in
+  Telemetry.Sink.span_end telemetry "place.total" t_total;
   let seconds = Sys.time () -. t0 in
   let placement = Placer.Placement.make circuit placed in
   (match Placer.Placement.validate placement with
@@ -150,11 +165,35 @@ let run_place netlist bench engine seed svg quiet cluster validate =
       (Placer.Plot.ascii ~width:72
          ~labels:(Placer.Plot.device_labels placement)
          placement);
-  match svg with
+  (match svg with
   | Some path ->
       Placer.Plot.write_svg ~path placement;
       Printf.printf "wrote %s\n" path
-  | None -> ()
+  | None -> ());
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  (match trace with
+  | Some path ->
+      let json = Telemetry.Export.chrome_json telemetry in
+      (* the emitter self-checks: a malformed trace is a bug, not data *)
+      (match Telemetry.Export.check_json json with
+      | Ok () -> ()
+      | Error e ->
+          Printf.eprintf "internal error: invalid trace JSON: %s\n" e;
+          exit 2);
+      write path json;
+      Printf.printf "wrote %s (load in chrome://tracing or ui.perfetto.dev)\n"
+        path
+  | None -> ());
+  (match conv with
+  | Some path ->
+      write path (Telemetry.Export.conv_csv telemetry);
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  if metrics then print_string (Telemetry.Export.text telemetry)
 
 let place_cmd =
   let netlist =
@@ -210,11 +249,38 @@ let place_cmd =
             "Run the invariant sanitizer after every SA move (sp and bstar \
              engines). Defaults to the ANALOG_VALIDATE environment switch.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON of the run (spans for packing, \
+             cost evaluation and SA rounds, plus per-round convergence \
+             counter events). Open in chrome://tracing or ui.perfetto.dev.")
+  in
+  let conv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "conv" ] ~docv:"FILE"
+          ~doc:
+            "Write the SA convergence curve as CSV \
+             (chain,round,temperature,acceptance,best_cost).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print a telemetry summary after placement: counters, latency \
+             histograms and span statistics.")
+  in
   Cmd.v
     (Cmd.info "place" ~doc:"Place an analog circuit")
     Term.(
       const run_place $ netlist $ bench $ engine $ seed $ svg $ quiet $ cluster
-      $ validate)
+      $ validate $ trace $ conv $ metrics)
 
 (* ---- size -------------------------------------------------------- *)
 

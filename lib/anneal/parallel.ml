@@ -9,7 +9,12 @@
    better than its own best. Because the slice boundaries, the
    reduction order, and every chain's stream are all fixed by the seed
    list alone, the result is identical for any worker count: [workers]
-   only chooses how much hardware the same computation uses. *)
+   only chooses how much hardware the same computation uses.
+
+   Telemetry keeps that story intact: each chain writes to a private
+   child sink (tid = seed index + 1) that only its own domain touches,
+   and the children are absorbed into the caller's sink after the final
+   join — so recording is race-free and consumes no rng draws. *)
 
 type 'a outcome = {
   best : 'a;
@@ -19,7 +24,21 @@ type 'a outcome = {
   evaluated : int;
 }
 
-let default_workers () = Domain.recommended_domain_count ()
+(* ANALOG_WORKERS overrides the hardware default, e.g. to pin CI to a
+   known width or to share a box. Anything unparsable falls back to the
+   hardware count; values below 1 clamp to 1. *)
+let parse_workers s =
+  match int_of_string_opt (String.trim s) with
+  | Some w -> Some (max 1 w)
+  | None -> None
+
+let default_workers () =
+  match Sys.getenv_opt "ANALOG_WORKERS" with
+  | Some s when String.trim s <> "" -> (
+      match parse_workers s with
+      | Some w -> w
+      | None -> Domain.recommended_domain_count ())
+  | _ -> Domain.recommended_domain_count ()
 
 (* Index of the minimum best-cost chain; ties break to the lowest
    index so the reduction is a pure function of the chain states. *)
@@ -30,8 +49,8 @@ let best_index chains =
     chains;
   !bi
 
-let run ?workers ?(exchange_every = 32) ?(check = ignore) ~seeds params
-    problem_of =
+let run ?workers ?(exchange_every = 32) ?(check = ignore)
+    ?(telemetry = Telemetry.Sink.null) ~seeds params problem_of =
   if seeds = [] then invalid_arg "Parallel.run: empty seed list";
   let seeds = Array.of_list seeds in
   let k = Array.length seeds in
@@ -39,6 +58,8 @@ let run ?workers ?(exchange_every = 32) ?(check = ignore) ~seeds params
     max 1 (min k (match workers with Some w -> w | None -> default_workers ()))
   in
   let slice = if exchange_every <= 0 then max_int else exchange_every in
+  let tels = Array.init k (fun i -> Telemetry.Sink.child telemetry ~tid:(i + 1)) in
+  let exchanges = Telemetry.Sink.counter telemetry "parallel.exchanges" in
   (* Chain creation draws from each chain's own stream only, so order
      does not matter; build them up front on the spawning domain. *)
   let chains =
@@ -47,20 +68,23 @@ let run ?workers ?(exchange_every = 32) ?(check = ignore) ~seeds params
         (* bind before [start]: the problem draws its initial state
            from the stream first, then [start] estimates t0 — the same
            order as the sequential placers *)
-        let problem = problem_of rng in
-        Sa.start ~rng params problem)
+        let problem = problem_of tels.(i) rng in
+        Sa.start ~telemetry:tels.(i) ~rng params problem)
   in
   let unfinished () = Array.exists (fun c -> not (Sa.finished c)) chains in
   while unfinished () do
+    let t_slice = Telemetry.Sink.span_begin telemetry in
     let advance d () =
       for i = 0 to k - 1 do
         if i mod workers = d then begin
           let c = chains.(i) in
+          let t_chain = Telemetry.Sink.span_begin tels.(i) in
           let budget = ref slice in
           while !budget > 0 && not (Sa.finished c) do
             Sa.step_round c;
             decr budget
-          done
+          done;
+          Telemetry.Sink.span_end tels.(i) "chain.slice" t_chain
         end
       done
     in
@@ -70,11 +94,15 @@ let run ?workers ?(exchange_every = 32) ?(check = ignore) ~seeds params
     in
     advance (workers - 1) ();
     List.iter Domain.join spawned;
+    let t_ex = Telemetry.Sink.lap telemetry "parallel.slice" t_slice in
     let b = chains.(best_index chains) in
     let state = Sa.best b and cost = Sa.best_cost b in
     check state;
-    Array.iter (fun c -> Sa.adopt c ~state ~cost) chains
+    Array.iter (fun c -> Sa.adopt c ~state ~cost) chains;
+    Telemetry.Counter.incr exchanges;
+    Telemetry.Sink.span_end telemetry "parallel.exchange" t_ex
   done;
+  Array.iter (Telemetry.Sink.absorb telemetry) tels;
   let outcomes = Array.map Sa.outcome_of_chain chains in
   let winner = best_index chains in
   check outcomes.(winner).Sa.best;
@@ -91,8 +119,8 @@ let run ?workers ?(exchange_every = 32) ?(check = ignore) ~seeds params
    blits the winner's best snapshot across, and strict-improvement
    adoption keeps the winner from blitting its own buffer onto itself.
    The determinism argument is unchanged: seeds fix everything. *)
-let run_mutable ?workers ?(exchange_every = 32) ?(check = ignore) ~seeds params
-    problem_of =
+let run_mutable ?workers ?(exchange_every = 32) ?(check = ignore)
+    ?(telemetry = Telemetry.Sink.null) ~seeds params problem_of =
   if seeds = [] then invalid_arg "Parallel.run_mutable: empty seed list";
   let seeds = Array.of_list seeds in
   let k = Array.length seeds in
@@ -100,11 +128,13 @@ let run_mutable ?workers ?(exchange_every = 32) ?(check = ignore) ~seeds params
     max 1 (min k (match workers with Some w -> w | None -> default_workers ()))
   in
   let slice = if exchange_every <= 0 then max_int else exchange_every in
+  let tels = Array.init k (fun i -> Telemetry.Sink.child telemetry ~tid:(i + 1)) in
+  let exchanges = Telemetry.Sink.counter telemetry "parallel.exchanges" in
   let chains =
     Array.init k (fun i ->
         let rng = Prelude.Rng.create seeds.(i) in
-        let problem = problem_of rng in
-        Sa.mstart ~rng params problem)
+        let problem = problem_of tels.(i) rng in
+        Sa.mstart ~telemetry:tels.(i) ~rng params problem)
   in
   let mbest_index chains =
     let bi = ref 0 in
@@ -115,15 +145,18 @@ let run_mutable ?workers ?(exchange_every = 32) ?(check = ignore) ~seeds params
   in
   let unfinished () = Array.exists (fun c -> not (Sa.mfinished c)) chains in
   while unfinished () do
+    let t_slice = Telemetry.Sink.span_begin telemetry in
     let advance d () =
       for i = 0 to k - 1 do
         if i mod workers = d then begin
           let c = chains.(i) in
+          let t_chain = Telemetry.Sink.span_begin tels.(i) in
           let budget = ref slice in
           while !budget > 0 && not (Sa.mfinished c) do
             Sa.mstep_round c;
             decr budget
-          done
+          done;
+          Telemetry.Sink.span_end tels.(i) "chain.slice" t_chain
         end
       done
     in
@@ -132,11 +165,15 @@ let run_mutable ?workers ?(exchange_every = 32) ?(check = ignore) ~seeds params
     in
     advance (workers - 1) ();
     List.iter Domain.join spawned;
+    let t_ex = Telemetry.Sink.lap telemetry "parallel.slice" t_slice in
     let b = chains.(mbest_index chains) in
     let state = Sa.mbest b and cost = Sa.mbest_cost b in
     check state;
-    Array.iter (fun c -> Sa.madopt c ~state ~cost) chains
+    Array.iter (fun c -> Sa.madopt c ~state ~cost) chains;
+    Telemetry.Counter.incr exchanges;
+    Telemetry.Sink.span_end telemetry "parallel.exchange" t_ex
   done;
+  Array.iter (Telemetry.Sink.absorb telemetry) tels;
   let outcomes = Array.map Sa.moutcome_of_chain chains in
   let winner = mbest_index chains in
   check outcomes.(winner).Sa.best;

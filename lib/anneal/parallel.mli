@@ -13,11 +13,14 @@
     worker count reproduces [Sa.run ~rng:(Rng.create seed)] exactly
     (both tested).
 
-    [problem_of] is called once per chain with the chain's private rng
-    (draw the initial state from it, exactly as the sequential placers
-    draw from theirs); any mutable evaluation state (e.g.
-    {!Placer.Eval} arenas) must be created inside it so no two chains
-    share buffers. *)
+    [problem_of] is called once per chain with the chain's private
+    telemetry sink and rng (draw the initial state from the rng,
+    exactly as the sequential placers draw from theirs); any mutable
+    evaluation state (e.g. {!Placer.Eval} arenas) must be created
+    inside it so no two chains share buffers, and any instrumentation
+    the problem wants (move-class tallies, evaluation spans) must go
+    through the sink it is given — that child sink is the only one its
+    domain may touch. *)
 
 type 'a outcome = {
   best : 'a;
@@ -28,15 +31,25 @@ type 'a outcome = {
 }
 
 val default_workers : unit -> int
-(** [Domain.recommended_domain_count ()]. *)
+(** The [ANALOG_WORKERS] environment variable when set to an integer
+    (clamped to at least 1 — useful for pinning CI to a known width or
+    sharing a machine), otherwise
+    [Domain.recommended_domain_count ()]. Unparsable values fall back
+    to the hardware count. *)
+
+val parse_workers : string -> int option
+(** The parser behind [ANALOG_WORKERS]: [int_of_string] after trimming,
+    clamped to at least 1; [None] when unparsable. Exposed for
+    testing. *)
 
 val run :
   ?workers:int ->
   ?exchange_every:int ->
   ?check:('a -> unit) ->
+  ?telemetry:Telemetry.Sink.t ->
   seeds:int list ->
   Sa.params ->
-  (Prelude.Rng.t -> 'a Sa.problem) ->
+  (Telemetry.Sink.t -> Prelude.Rng.t -> 'a Sa.problem) ->
   'a outcome
 (** [workers] defaults to {!default_workers}, capped at the number of
     seeds; [exchange_every] defaults to 32 rounds, and any
@@ -47,15 +60,25 @@ val run :
     every exchange boundary (after the join, before the state is
     offered to the chains) and once more on the final winner, on the
     spawning domain. Raise from it to abort the run on an invariant
-    violation; the default does nothing. *)
+    violation; the default does nothing.
+
+    [telemetry] (default {!Telemetry.Sink.null}) receives
+    ["parallel.slice"] / ["parallel.exchange"] spans and a
+    ["parallel.exchanges"] counter from the coordinating domain; each
+    chain records into a private child sink (tid = seed index + 1,
+    per-round ["sa.round"] and per-slice ["chain.slice"] spans), and
+    the children are merged into [telemetry] after the final join.
+    Telemetry draws nothing from any rng, so results remain a pure
+    function of seeds/params/exchange and worker-count invariant. *)
 
 val run_mutable :
   ?workers:int ->
   ?exchange_every:int ->
   ?check:('a -> unit) ->
+  ?telemetry:Telemetry.Sink.t ->
   seeds:int list ->
   Sa.params ->
-  (Prelude.Rng.t -> 'a Sa.mproblem) ->
+  (Telemetry.Sink.t -> Prelude.Rng.t -> 'a Sa.mproblem) ->
   'a outcome
 (** {!run} over in-place chains ({!Sa.mproblem}). Same parameters and
     the same determinism guarantee. [problem_of] must create the whole

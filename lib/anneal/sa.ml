@@ -54,6 +54,8 @@ type 'a chain = {
   params : params;
   problem : 'a problem;
   rng : Prelude.Rng.t;
+  tel : Telemetry.Sink.t;
+  acc_hist : Telemetry.Hist.t; (* resolved once; dead handle when off *)
   mutable temperature : float;
   mutable current : 'a;
   mutable current_cost : float;
@@ -65,7 +67,7 @@ type 'a chain = {
   mutable evaluated : int;
 }
 
-let start ~rng params problem =
+let start ?(telemetry = Telemetry.Sink.null) ~rng params problem =
   let t0 =
     match params.initial_temperature with
     | Some t -> t
@@ -76,6 +78,8 @@ let start ~rng params problem =
     params;
     problem;
     rng;
+    tel = telemetry;
+    acc_hist = Telemetry.Sink.histogram telemetry "sa.acceptance";
     temperature = t0;
     current = problem.init;
     current_cost = cost;
@@ -94,6 +98,11 @@ let finished c =
 
 let step_round c =
   if not (finished c) then begin
+    (* Telemetry consumes no rng draws, so instrumented and bare runs
+       walk identical move trajectories (tested). When the sink is the
+       null sink every call below is one predictable branch. *)
+    let t0 = Telemetry.Sink.span_begin c.tel in
+    let mv = Telemetry.Sink.moves c.tel in
     let accepted = ref 0 and improved = ref false in
     for _ = 1 to c.params.moves_per_round do
       let next = c.problem.neighbor c.rng c.current in
@@ -105,6 +114,7 @@ let step_round c =
         || Prelude.Rng.float c.rng 1.0 < exp (-.delta /. c.temperature)
       in
       if accept then begin
+        Telemetry.Moves.accept mv;
         c.current <- next;
         c.current_cost <- cost;
         incr accepted;
@@ -115,17 +125,22 @@ let step_round c =
           improved := true
         end
       end
+      else Telemetry.Moves.reject mv
     done;
     let acceptance =
       float_of_int !accepted /. float_of_int c.params.moves_per_round
     in
+    Telemetry.Hist.observe c.acc_hist acceptance;
+    Telemetry.Sink.sample c.tel ~round:c.round ~temperature:c.temperature
+      ~acceptance ~best_cost:c.best_cost;
     c.temperature <-
       Schedule.next c.params.schedule ~temperature:c.temperature ~acceptance;
     (* frozen = the walk has effectively stopped moving AND stopped
        improving; high-temperature rounds without a new global best
        are normal and must not terminate the run *)
     c.frozen <- (if acceptance < 0.02 && not !improved then c.frozen + 1 else 0);
-    c.round <- c.round + 1
+    c.round <- c.round + 1;
+    Telemetry.Sink.span_end c.tel "sa.round" t0
   end
 
 let best_cost c = c.best_cost
@@ -148,8 +163,8 @@ let outcome_of_chain c =
     evaluated = c.evaluated;
   }
 
-let run ~rng params problem =
-  let c = start ~rng params problem in
+let run ?telemetry ~rng params problem =
+  let c = start ?telemetry ~rng params problem in
   while not (finished c) do
     step_round c
   done;
@@ -194,6 +209,8 @@ type 'a mchain = {
   mparams : params;
   mp : 'a mproblem;
   mrng : Prelude.Rng.t;
+  mtel : Telemetry.Sink.t;
+  macc_hist : Telemetry.Hist.t;
   mutable mtemperature : float;
   mutable mcurrent_cost : float;
   mbest_state : 'a;  (* private snapshot buffer, only ever blitted into *)
@@ -204,7 +221,7 @@ type 'a mchain = {
   mutable mevaluated : int;
 }
 
-let mstart ~rng params (p : 'a mproblem) =
+let mstart ?(telemetry = Telemetry.Sink.null) ~rng params (p : 'a mproblem) =
   let t0 =
     match params.initial_temperature with
     | Some t -> t
@@ -215,6 +232,8 @@ let mstart ~rng params (p : 'a mproblem) =
     mparams = params;
     mp = p;
     mrng = rng;
+    mtel = telemetry;
+    macc_hist = Telemetry.Sink.histogram telemetry "sa.acceptance";
     mtemperature = t0;
     mcurrent_cost = cost;
     mbest_state = p.copy p.state;
@@ -232,6 +251,8 @@ let mfinished c =
 
 let mstep_round c =
   if not (mfinished c) then begin
+    let t0 = Telemetry.Sink.span_begin c.mtel in
+    let mv = Telemetry.Sink.moves c.mtel in
     let p = c.mp in
     let accepted = ref 0 and improved = ref false in
     for _ = 1 to c.mparams.moves_per_round do
@@ -244,6 +265,7 @@ let mstep_round c =
         || Prelude.Rng.float c.mrng 1.0 < exp (-.delta /. c.mtemperature)
       in
       if accept then begin
+        Telemetry.Moves.accept mv;
         c.mcurrent_cost <- cost;
         incr accepted;
         c.maccepted_total <- c.maccepted_total + 1;
@@ -253,16 +275,23 @@ let mstep_round c =
           improved := true
         end
       end
-      else p.undo p.state
+      else begin
+        Telemetry.Moves.reject mv;
+        p.undo p.state
+      end
     done;
     let acceptance =
       float_of_int !accepted /. float_of_int c.mparams.moves_per_round
     in
+    Telemetry.Hist.observe c.macc_hist acceptance;
+    Telemetry.Sink.sample c.mtel ~round:c.mround ~temperature:c.mtemperature
+      ~acceptance ~best_cost:c.m_best_cost;
     c.mtemperature <-
       Schedule.next c.mparams.schedule ~temperature:c.mtemperature ~acceptance;
     c.mfrozen <-
       (if acceptance < 0.02 && not !improved then c.mfrozen + 1 else 0);
-    c.mround <- c.mround + 1
+    c.mround <- c.mround + 1;
+    Telemetry.Sink.span_end c.mtel "sa.round" t0
   end
 
 let mbest c = c.mbest_state
@@ -287,8 +316,8 @@ let moutcome_of_chain c =
     evaluated = c.mevaluated;
   }
 
-let run_mutable ~rng params p =
-  let c = mstart ~rng params p in
+let run_mutable ?telemetry ~rng params p =
+  let c = mstart ?telemetry ~rng params p in
   while not (mfinished c) do
     mstep_round c
   done;

@@ -37,7 +37,16 @@ type 'a outcome = {
   evaluated : int;
 }
 
-val run : rng:Prelude.Rng.t -> params -> 'a problem -> 'a outcome
+val run :
+  ?telemetry:Telemetry.Sink.t -> rng:Prelude.Rng.t -> params -> 'a problem -> 'a outcome
+(** [telemetry] (default {!Telemetry.Sink.null}) receives one
+    ["sa.round"] span, one convergence sample (round, temperature,
+    acceptance ratio, best cost) and one ["sa.acceptance"] histogram
+    observation per temperature round, plus per-move accept/reject
+    tallies through the problem's registered {!Telemetry.Moves.t}.
+    Instrumentation draws nothing from the rng, so the walk is
+    bit-identical with telemetry on or off (tested); with the null sink
+    each hook is a single predictable branch. *)
 
 (** {2 Stepwise chains}
 
@@ -50,10 +59,11 @@ val run : rng:Prelude.Rng.t -> params -> 'a problem -> 'a outcome
 
 type 'a chain
 
-val start : rng:Prelude.Rng.t -> params -> 'a problem -> 'a chain
+val start :
+  ?telemetry:Telemetry.Sink.t -> rng:Prelude.Rng.t -> params -> 'a problem -> 'a chain
 (** Evaluate the initial state (and, when [initial_temperature] is
     [None], estimate t0 from 64 random moves, consuming the same rng
-    draws [run] would). *)
+    draws [run] would). [telemetry] as in {!run}. *)
 
 val finished : 'a chain -> bool
 (** True once the round budget, final temperature, or freezing
@@ -100,13 +110,20 @@ type 'a mproblem = {
   blit : src:'a -> dst:'a -> unit;
 }
 
-val run_mutable : rng:Prelude.Rng.t -> params -> 'a mproblem -> 'a outcome
+val run_mutable :
+  ?telemetry:Telemetry.Sink.t ->
+  rng:Prelude.Rng.t ->
+  params ->
+  'a mproblem ->
+  'a outcome
 (** [mstart] followed by [mstep_round] to completion; the outcome's
-    [best] is a fresh [copy], independent of the working state. *)
+    [best] is a fresh [copy], independent of the working state.
+    [telemetry] as in {!run}. *)
 
 type 'a mchain
 
-val mstart : rng:Prelude.Rng.t -> params -> 'a mproblem -> 'a mchain
+val mstart :
+  ?telemetry:Telemetry.Sink.t -> rng:Prelude.Rng.t -> params -> 'a mproblem -> 'a mchain
 (** Like {!start}; the t0 estimate walks the working state and then
     restores it through a snapshot. *)
 

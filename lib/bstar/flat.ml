@@ -249,7 +249,8 @@ let perturb rng t =
    contour sees identical drops and the coordinates match the pointer
    path bit for bit (tested). [w]/[h] are read and [x]/[y] written per
    cell. *)
-let pack_into t contour ~w ~h ~x ~y =
+let pack_into ?(tally = Telemetry.Counter.null) t contour ~w ~h ~x ~y =
+  Telemetry.Counter.incr tally;
   Geometry.Contour.clear contour;
   let stack = t.stack in
   let top = ref 0 in

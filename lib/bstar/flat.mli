@@ -75,6 +75,7 @@ val undo : t -> undo -> unit
 (** {2 Packing} *)
 
 val pack_into :
+  ?tally:Telemetry.Counter.t ->
   t ->
   Geometry.Contour.scratch ->
   w:int array ->
@@ -84,7 +85,9 @@ val pack_into :
   unit
 (** Contour-pack the tree: per-cell dimensions are read from [w]/[h]
     and the packed origin of each cell written to [x]/[y] (all indexed
-    by cell). Clears and reuses [contour]; allocates nothing. *)
+    by cell). Clears and reuses [contour]; allocates nothing. [tally]
+    (default {!Telemetry.Counter.null}, one dead branch) is bumped once
+    per pack — {!Placer.Eval} passes its [bstar.packs] counter. *)
 
 (** {2 Introspection} (for invariant checking and tests) *)
 

@@ -22,9 +22,12 @@ type t = {
   scratch : Seqpair.Pack.scratch;
   contour : Geometry.Contour.scratch;  (* B*-tree packing profile *)
   nets : Netlist.Wirelength.flat;
+  tel : Telemetry.Sink.t;
+  evals : Telemetry.Counter.t;  (* pre-resolved handles; dead when off *)
+  bstar_packs : Telemetry.Counter.t;
 }
 
-let create circuit =
+let create ?(telemetry = Telemetry.Sink.null) circuit =
   let n = Netlist.Circuit.size circuit in
   let base_w = Array.make (max 1 n) 0 and base_h = Array.make (max 1 n) 0 in
   for c = 0 to n - 1 do
@@ -43,9 +46,12 @@ let create circuit =
     y = Array.make (max 1 n) 0;
     cx2 = Array.make (max 1 n) 0;
     cy2 = Array.make (max 1 n) 0;
-    scratch = Seqpair.Pack.scratch (max 1 n);
+    scratch = Seqpair.Pack.scratch ~telemetry (max 1 n);
     contour = Geometry.Contour.scratch ((2 * max 1 n) + 1);
     nets = Netlist.Wirelength.flatten circuit.Netlist.Circuit.nets;
+    tel = telemetry;
+    evals = Telemetry.Sink.counter telemetry "eval.costs";
+    bstar_packs = Telemetry.Sink.counter telemetry "bstar.packs";
   }
 
 let circuit t = t.circuit
@@ -68,6 +74,8 @@ let dims_of t rot c =
 (* One pass over the coordinate arrays: bounding-box extents (anchored
    at the origin, as [Placement.bbox]) and doubled centers. *)
 let finish t weights =
+  Telemetry.Counter.incr t.evals;
+  let t0 = Telemetry.Sink.span_begin t.tel in
   let width = ref 0 and height = ref 0 in
   for c = 0 to t.n - 1 do
     let xe = t.x.(c) + t.w.(c) and ye = t.y.(c) + t.h.(c) in
@@ -77,9 +85,13 @@ let finish t weights =
     t.cy2.(c) <- (2 * t.y.(c)) + t.h.(c)
   done;
   let hpwl = Netlist.Wirelength.hpwl_flat t.nets ~cx2:t.cx2 ~cy2:t.cy2 in
-  Cost.compose weights ~width:!width ~height:!height ~hpwl
+  let t1 = Telemetry.Sink.lap t.tel "eval.hpwl" t0 in
+  let cost = Cost.compose weights ~width:!width ~height:!height ~hpwl in
+  Telemetry.Sink.span_end t.tel "eval.compose" t1;
+  cost
 
 let cost_seqpair t weights ?(groups = []) sp ~rot =
+  let t0 = Telemetry.Sink.span_begin t.tel in
   (match groups with
   | [] ->
       set_rotation t rot;
@@ -91,12 +103,22 @@ let cost_seqpair t weights ?(groups = []) sp ~rot =
       with
       | Ok () -> ()
       | Error msg -> invalid_arg ("Sa_seqpair: " ^ msg)));
-  finish t weights
+  Telemetry.Sink.span_end t.tel "eval.pack" t0;
+  let cost = finish t weights in
+  (* enclosing span: nests over eval.pack/eval.hpwl/eval.compose *)
+  Telemetry.Sink.span_end t.tel "eval.cost" t0;
+  cost
 
 let cost_bstar t weights flat ~rot =
+  let t0 = Telemetry.Sink.span_begin t.tel in
   set_rotation t rot;
-  Bstar.Flat.pack_into flat t.contour ~w:t.w ~h:t.h ~x:t.x ~y:t.y;
-  finish t weights
+  Bstar.Flat.pack_into ~tally:t.bstar_packs flat t.contour ~w:t.w ~h:t.h ~x:t.x
+    ~y:t.y;
+  Telemetry.Sink.span_end t.tel "eval.pack" t0;
+  let cost = finish t weights in
+  (* enclosing span: nests over eval.pack/eval.hpwl/eval.compose *)
+  Telemetry.Sink.span_end t.tel "eval.cost" t0;
+  cost
 
 let cost_placed t weights placed =
   List.iter

@@ -20,8 +20,15 @@
 
 type t
 
-val create : Netlist.Circuit.t -> t
-(** Buffers sized to the circuit; nets flattened once. *)
+val create : ?telemetry:Telemetry.Sink.t -> Netlist.Circuit.t -> t
+(** Buffers sized to the circuit; nets flattened once.
+
+    With a live [telemetry] sink (default {!Telemetry.Sink.null}) every
+    cost query records nested spans — [eval.cost] over [eval.pack],
+    [eval.hpwl] and [eval.compose] — and bumps [eval.costs] plus the
+    packer counters ([seqpair.packs]/[seqpair.cells] or [bstar.packs]).
+    All handles are resolved here, once; with the null sink each hook
+    is a single predictable branch on the hot path. *)
 
 val circuit : t -> Netlist.Circuit.t
 

@@ -67,9 +67,10 @@ let audit circuit tbl st =
     (Analysis.Invariant.audit_placed ~n
        (Bstar.Tree.pack tree (dims_of tbl st.rot)))
 
-let problem_of ?(validate = false) ~weights circuit rng =
+let problem_of ?(validate = false) ~weights circuit telemetry rng =
   let n = Netlist.Circuit.size circuit in
-  let arena = Eval.create circuit in
+  let arena = Eval.create ~telemetry circuit in
+  let mv = Telemetry.Sink.register_moves telemetry [| "tree"; "rotation" |] in
   let tbl = dims_table circuit in
   let state =
     {
@@ -80,9 +81,12 @@ let problem_of ?(validate = false) ~weights circuit rng =
   in
   (* 70/30 structural/rotation mix, as the list-path annealer used *)
   let propose rng st =
-    if Prelude.Rng.int rng 10 < 7 then
+    if Prelude.Rng.int rng 10 < 7 then begin
+      Telemetry.Moves.set mv 0;
       st.last <- L_tree (Bstar.Flat.perturb rng st.flat)
+    end
     else begin
+      Telemetry.Moves.set mv 1;
       let c = Prelude.Rng.int rng n in
       st.rot.(c) <- not st.rot.(c);
       st.last <- L_rot c
@@ -114,8 +118,8 @@ let problem_of ?(validate = false) ~weights circuit rng =
     { Anneal.Sa.state; propose; undo; cost; copy; blit }
   end
 
-let place ?(weights = Cost.default) ?params ?workers ?chains ?validate ~rng
-    circuit =
+let place ?(weights = Cost.default) ?params ?workers ?chains ?validate
+    ?(telemetry = Telemetry.Sink.null) ~rng circuit =
   let validate =
     match validate with
     | Some v -> v
@@ -129,8 +133,8 @@ let place ?(weights = Cost.default) ?params ?workers ?chains ?validate ~rng
   match (workers, chains) with
   | None, None ->
       let result =
-        Anneal.Sa.run_mutable ~rng params
-          (problem_of ~validate ~weights circuit rng)
+        Anneal.Sa.run_mutable ~telemetry ~rng params
+          (problem_of ~validate ~weights circuit telemetry rng)
       in
       {
         placement = evaluate circuit tbl result.Anneal.Sa.best;
@@ -150,7 +154,7 @@ let place ?(weights = Cost.default) ?params ?workers ?chains ?validate ~rng
       let seeds = List.init k (fun _ -> Prelude.Rng.int rng 0x3FFFFFFF) in
       let check = if validate then Some (audit circuit tbl) else None in
       let result =
-        Anneal.Parallel.run_mutable ?workers ?check ~seeds params
+        Anneal.Parallel.run_mutable ?workers ?check ~telemetry ~seeds params
           (problem_of ~validate ~weights circuit)
       in
       {

@@ -18,6 +18,7 @@ val place :
   ?workers:int ->
   ?chains:int ->
   ?validate:bool ->
+  ?telemetry:Telemetry.Sink.t ->
   rng:Prelude.Rng.t ->
   Netlist.Circuit.t ->
   outcome
@@ -34,4 +35,9 @@ val place :
     every SA move and at every parallel exchange, raising
     {!Analysis.Invariant.Violation} with a diagnostic dump on the
     first corrupted state. Off, the annealer runs the exact same
-    closures as before — zero overhead. *)
+    closures as before — zero overhead.
+
+    [telemetry] as in {!Sa_seqpair.place}: convergence samples,
+    [sa.round] / [eval.*] spans, [bstar.packs] and
+    [sa.moves.tree.*] / [sa.moves.rotation.*] tallies; never draws
+    from [rng]. *)

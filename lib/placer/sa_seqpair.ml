@@ -79,11 +79,13 @@ let evaluate circuit groups st =
   Placement.make circuit placed
 
 (* One annealing problem per chain: its own initial code drawn from the
-   chain's rng and its own evaluation arena (the arena is mutable and
-   must never be shared across domains). *)
-let problem_of ?(validate = false) ~weights ~groups circuit rng =
+   chain's rng, its own evaluation arena (the arena is mutable and must
+   never be shared across domains) and its own telemetry sink (ditto —
+   Parallel hands each chain a private child). *)
+let problem_of ?(validate = false) ~weights ~groups circuit telemetry rng =
   let n = Netlist.Circuit.size circuit in
-  let arena = Eval.create circuit in
+  let arena = Eval.create ~telemetry circuit in
+  let mv = Telemetry.Sink.register_moves telemetry [| "seqpair"; "rotation" |] in
   let init_sp =
     match groups with
     | [] -> Seqpair.Sp.random rng n
@@ -91,14 +93,20 @@ let problem_of ?(validate = false) ~weights ~groups circuit rng =
   in
   let init = { sp = init_sp; rot = Array.make n false } in
   let neighbor rng st =
-    if Prelude.Rng.int rng 10 < 8 then
+    if Prelude.Rng.int rng 10 < 8 then begin
+      (* labels only — Moves.set draws nothing, trajectories unchanged *)
+      Telemetry.Moves.set mv 0;
       let sp =
         match groups with
         | [] -> Seqpair.Moves.random_neighbor rng st.sp
         | _ -> Seqpair.Moves.random_neighbor_sf rng st.sp groups
       in
       { st with sp }
-    else { st with rot = flip_rotation rng groups st.rot }
+    end
+    else begin
+      Telemetry.Moves.set mv 1;
+      { st with rot = flip_rotation rng groups st.rot }
+    end
   in
   let cost st = Eval.cost_seqpair arena weights ~groups st.sp ~rot:st.rot in
   if not validate then { Anneal.Sa.init; neighbor; cost }
@@ -115,7 +123,7 @@ let problem_of ?(validate = false) ~weights ~groups circuit rng =
   end
 
 let place ?(weights = Cost.default) ?params ?(groups = []) ?workers ?chains
-    ?validate ~rng circuit =
+    ?validate ?(telemetry = Telemetry.Sink.null) ~rng circuit =
   let validate =
     match validate with
     | Some v -> v
@@ -127,8 +135,8 @@ let place ?(weights = Cost.default) ?params ?(groups = []) ?workers ?chains
   in
   match (workers, chains) with
   | None, None ->
-      let problem = problem_of ~validate ~weights ~groups circuit rng in
-      let result = Anneal.Sa.run ~rng params problem in
+      let problem = problem_of ~validate ~weights ~groups circuit telemetry rng in
+      let result = Anneal.Sa.run ~telemetry ~rng params problem in
       {
         placement = evaluate circuit groups result.Anneal.Sa.best;
         cost = result.Anneal.Sa.best_cost;
@@ -151,7 +159,7 @@ let place ?(weights = Cost.default) ?params ?(groups = []) ?workers ?chains
         if validate then Some (audit ~groups circuit) else None
       in
       let result =
-        Anneal.Parallel.run ?workers ?check ~seeds params
+        Anneal.Parallel.run ?workers ?check ~telemetry ~seeds params
           (problem_of ~validate ~weights ~groups circuit)
       in
       {

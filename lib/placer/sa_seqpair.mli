@@ -25,6 +25,7 @@ val place :
   ?workers:int ->
   ?chains:int ->
   ?validate:bool ->
+  ?telemetry:Telemetry.Sink.t ->
   rng:Prelude.Rng.t ->
   Netlist.Circuit.t ->
   outcome
@@ -46,4 +47,12 @@ val place :
     quadrant, mirror symmetry), raising
     {!Analysis.Invariant.Violation} with a diagnostic dump on the
     first corrupted state. Off, the annealer runs the exact same
-    closures as before — zero overhead. *)
+    closures as before — zero overhead.
+
+    [telemetry] (default {!Telemetry.Sink.null}) collects the full
+    pipeline picture: SA convergence samples and [sa.round] spans,
+    per-evaluation [eval.pack]/[eval.hpwl]/[eval.compose] spans and
+    packer counters from the arena, and per-move-class
+    [sa.moves.seqpair.*] / [sa.moves.rotation.*] accept/reject
+    tallies. Telemetry never draws from [rng], so results are
+    bit-identical with it on or off (tested). *)

@@ -14,11 +14,13 @@ let evaluate circuit st =
   in
   Placement.make circuit (Seqpair.Tcg.pack st.tcg dims)
 
-let place ?(weights = Cost.default) ?params ~rng circuit =
+let place ?(weights = Cost.default) ?params ?(telemetry = Telemetry.Sink.null)
+    ~rng circuit =
   let n = Netlist.Circuit.size circuit in
   let params =
     match params with Some p -> p | None -> Anneal.Sa.default_params ~n
   in
+  let mv = Telemetry.Sink.register_moves telemetry [| "tcg"; "rotation" |] in
   let init =
     {
       tcg = Seqpair.Tcg.of_seqpair (Seqpair.Sp.random rng n);
@@ -26,17 +28,27 @@ let place ?(weights = Cost.default) ?params ~rng circuit =
     }
   in
   let neighbor rng st =
-    if Prelude.Rng.int rng 10 < 8 then
+    if Prelude.Rng.int rng 10 < 8 then begin
+      Telemetry.Moves.set mv 0;
       { st with tcg = Seqpair.Tcg.random_neighbor rng st.tcg }
+    end
     else begin
+      Telemetry.Moves.set mv 1;
       let rot = Array.copy st.rot in
       let c = Prelude.Rng.int rng n in
       rot.(c) <- not rot.(c);
       { st with rot }
     end
   in
-  let cost st = Cost.evaluate weights (evaluate circuit st) in
-  let result = Anneal.Sa.run ~rng params { Anneal.Sa.init; neighbor; cost } in
+  (* the TCG arm evaluates through the list path; a single enclosing
+     span still puts its evaluation cost on the trace *)
+  let cost st =
+    Telemetry.Sink.time telemetry "eval.cost" (fun () ->
+        Cost.evaluate weights (evaluate circuit st))
+  in
+  let result =
+    Anneal.Sa.run ~telemetry ~rng params { Anneal.Sa.init; neighbor; cost }
+  in
   let placement = evaluate circuit result.Anneal.Sa.best in
   {
     placement;

@@ -12,6 +12,10 @@ type outcome = {
 val place :
   ?weights:Cost.weights ->
   ?params:Anneal.Sa.params ->
+  ?telemetry:Telemetry.Sink.t ->
   rng:Prelude.Rng.t ->
   Netlist.Circuit.t ->
   outcome
+(** [telemetry] as in {!Sa_seqpair.place}: convergence samples,
+    [sa.round] and [eval.cost] spans, and
+    [sa.moves.tcg.*] / [sa.moves.rotation.*] tallies. *)

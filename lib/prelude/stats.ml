@@ -13,3 +13,36 @@ let stddev = function
       sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) xs))
 
 let percent part whole = if whole = 0.0 then 0.0 else 100.0 *. part /. whole
+
+(* Weighted empirical quantile with linear interpolation, defined as
+   the classic sample quantile (numpy's default, "type 7") of the
+   multiset in which value v with weight w appears w times — computed
+   without expanding the multiset. [quantile] below is the unweighted
+   special case, so there is exactly one interpolation formula in the
+   codebase (the telemetry histograms and the benchmark summaries both
+   delegate here). *)
+let quantile_weighted pts q =
+  match List.filter (fun (_, w) -> w > 0) pts with
+  | [] -> 0.0
+  | pts ->
+      let pts = List.sort (fun (a, _) (b, _) -> Float.compare a b) pts in
+      let total = List.fold_left (fun acc (_, w) -> acc + w) 0 pts in
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let h = q *. float_of_int (total - 1) in
+      let lo = int_of_float h in
+      let frac = h -. float_of_int lo in
+      (* value at expanded-multiset index i (clamped to the last value) *)
+      let value_at i =
+        let rec go cum = function
+          | [] -> ( match List.rev pts with (v, _) :: _ -> v | [] -> 0.0)
+          | (v, w) :: rest -> if i < cum + w then v else go (cum + w) rest
+        in
+        go 0 pts
+      in
+      let vlo = value_at lo in
+      if frac = 0.0 then vlo
+      else
+        let vhi = value_at (lo + 1) in
+        vlo +. (frac *. (vhi -. vlo))
+
+let quantile xs q = quantile_weighted (List.map (fun x -> (x, 1)) xs) q

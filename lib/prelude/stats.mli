@@ -11,3 +11,18 @@ val stddev : float list -> float
 
 val percent : float -> float -> float
 (** [percent part whole] is [100 * part / whole]; 0 when [whole = 0]. *)
+
+val quantile : float list -> float -> float
+(** [quantile xs q] is the linearly interpolated empirical [q]-quantile
+    of the samples (numpy's default "type 7": position [(n-1)q] between
+    the sorted order statistics). [q] is clamped to [0, 1]; 0 for the
+    empty list. The single percentile implementation in the repository
+    — the telemetry histograms and the benchmark summaries both use
+    it. *)
+
+val quantile_weighted : (float * int) list -> float -> float
+(** [quantile_weighted [(v, w); ...] q] is [quantile] of the multiset
+    in which each value [v] appears [w] times, computed without
+    expanding it. Pairs with non-positive weight are ignored; 0 when
+    nothing remains. Used by the log-bucketed telemetry histograms
+    (bucket representative value, bucket count). *)

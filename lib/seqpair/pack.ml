@@ -11,9 +11,11 @@ type scratch = {
   veb : Veb.t;
   value : int array;
   order : int array;  (* alpha order, reused by the vEB sweeps *)
+  packs : Telemetry.Counter.t;  (* dead handles unless built with a live sink *)
+  cells : Telemetry.Counter.t;
 }
 
-let scratch capacity =
+let scratch ?(telemetry = Telemetry.Sink.null) capacity =
   let capacity = max 1 capacity in
   {
     capacity;
@@ -21,6 +23,8 @@ let scratch capacity =
     veb = Veb.create capacity;
     value = Array.make capacity 0;
     order = Array.make capacity 0;
+    packs = Telemetry.Sink.counter telemetry "seqpair.packs";
+    cells = Telemetry.Sink.counter telemetry "seqpair.cells";
   }
 
 let check_capacity s n =
@@ -70,6 +74,8 @@ let pack_into sp ~w ~h ~x ~y =
 let pack_fast_into s sp ~w ~h ~x ~y =
   let n = Sp.size sp in
   check_capacity s n;
+  Telemetry.Counter.incr s.packs;
+  Telemetry.Counter.add s.cells n;
   Bit.clear s.bit;
   for pos = 0 to n - 1 do
     let b = Perm.cell_at sp.Sp.alpha pos in
@@ -121,6 +127,8 @@ let sweep_veb set value n order rev bpos extent coord =
 let pack_veb_into s sp ~w ~h ~x ~y =
   let n = Sp.size sp in
   check_capacity s n;
+  Telemetry.Counter.incr s.packs;
+  Telemetry.Counter.add s.cells n;
   for i = 0 to n - 1 do
     s.order.(i) <- Perm.cell_at sp.Sp.alpha i
   done;

@@ -23,8 +23,12 @@ type scratch
     [_into] evaluators. Allocated once, valid for any sequence-pair of
     size at most its capacity. *)
 
-val scratch : int -> scratch
-(** [scratch n] — workspace for circuits of up to [n] cells. *)
+val scratch : ?telemetry:Telemetry.Sink.t -> int -> scratch
+(** [scratch n] — workspace for circuits of up to [n] cells. When
+    [telemetry] is a live sink, the [_into] evaluators below bump its
+    [seqpair.packs] / [seqpair.cells] counters; with the default null
+    sink the handles are dead and each pack pays two predictable
+    branches. *)
 
 val pack_into :
   Sp.t -> w:int array -> h:int array -> x:int array -> y:int array -> unit

@@ -1,0 +1,29 @@
+(* Per-round SA convergence samples, one growable array per sink.
+   Appended once per temperature round — the cold edge of the
+   annealing loop — so doubling growth is fine here. *)
+
+type sample = {
+  tid : int;
+  round : int;
+  ts : float;
+  temperature : float;
+  acceptance : float;
+  best_cost : float;
+}
+
+type t = { mutable arr : sample array; mutable len : int }
+
+let create () = { arr = [||]; len = 0 }
+
+let add t s =
+  if t.len = Array.length t.arr then begin
+    let cap = max 64 (2 * Array.length t.arr) in
+    let arr = Array.make cap s in
+    Array.blit t.arr 0 arr 0 t.len;
+    t.arr <- arr
+  end;
+  t.arr.(t.len) <- s;
+  t.len <- t.len + 1
+
+let length t = t.len
+let samples t = List.init t.len (fun i -> t.arr.(i))

@@ -1,0 +1,21 @@
+(** Simulated-annealing convergence series: one sample per temperature
+    round, recorded through {!Sink.sample} and exported as CSV
+    ({!Export.conv_csv}) or as Chrome-trace counter events. *)
+
+type sample = {
+  tid : int;  (** chain id (0 = single-chain run, 1.. = parallel) *)
+  round : int;
+  ts : float;  (** sink clock at the end of the round *)
+  temperature : float;  (** temperature the round ran at *)
+  acceptance : float;  (** accepted / moves_per_round for the round *)
+  best_cost : float;  (** best cost after the round *)
+}
+
+type t
+
+val create : unit -> t
+val add : t -> sample -> unit
+val length : t -> int
+
+val samples : t -> sample list
+(** In recording order. *)

@@ -1,0 +1,13 @@
+(* A monotonic counter handle. The null counter is shared and dead:
+   every operation on it is a single predictable branch, which is what
+   lets instrumented hot paths keep their handles unconditionally. *)
+
+type t = { name : string; live : bool; mutable n : int }
+
+let null = { name = ""; live = false; n = 0 }
+let make name = { name; live = true; n = 0 }
+let name c = c.name
+let live c = c.live
+let incr c = if c.live then c.n <- c.n + 1
+let add c k = if c.live then c.n <- c.n + k
+let value c = c.n

@@ -1,0 +1,27 @@
+(** Monotonic counters.
+
+    Handles are resolved once (through {!Sink.counter}) and then
+    incremented from hot paths. Operations on {!null} are no-ops
+    costing one predictable branch, so instrumentation sites keep
+    their handles unconditionally and cost nothing when telemetry is
+    off. *)
+
+type t
+
+val null : t
+(** The dead counter: [incr]/[add] on it do nothing. Shared. *)
+
+val make : string -> t
+(** A fresh live counter at 0. Normally obtained via {!Sink.counter},
+    which registers it for export and merge. *)
+
+val name : t -> string
+
+val live : t -> bool
+(** [false] exactly for {!null}. *)
+
+val incr : t -> unit
+
+val add : t -> int -> unit
+
+val value : t -> int

@@ -1,0 +1,28 @@
+(** Exporters over a {!Sink}. *)
+
+val chrome_json : Sink.t -> string
+(** Chrome trace_event format: a [{"traceEvents":[...]}] document with
+    one ["ph":"X"] (complete) event per retained span — [ts]/[dur] in
+    microseconds relative to the sink's epoch, [pid] 1, [tid] the span's
+    chain id — and one ["ph":"C"] (counter) event named ["convergence"]
+    per SA sample carrying temperature / acceptance / best_cost args.
+    Counter totals ride in ["otherData"]. Load the file in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+
+val text : Sink.t -> string
+(** Human-readable summary: counters (name-sorted), histograms with
+    count/mean/p50/p90/p99/max, per-name span statistics (count, total,
+    duration quantiles via {!Prelude.Stats.quantile}), and the final
+    convergence sample. Sections with no data are omitted; empty sinks
+    yield [""]. *)
+
+val conv_csv : Sink.t -> string
+(** Convergence series as CSV with header
+    [chain,round,temperature,acceptance,best_cost], sorted by
+    (chain, round). *)
+
+val check_json : string -> (unit, string) result
+(** Syntax-check a complete JSON document (RFC 8259 grammar; does not
+    decode escapes or build a tree). The environment has no JSON
+    library, and the test suite and CLI both want to assert that
+    {!chrome_json} output actually parses. *)

@@ -1,0 +1,29 @@
+(* Per-move-class accept/reject tally.
+
+   The annealing problem labels each proposed move ([set], called from
+   its neighbor/propose closure); the engine, which alone knows the
+   Metropolis outcome, calls [accept]/[reject]. Counters are the
+   sink's own (registered by {!Sink.register_moves}), so merging child
+   sinks aggregates the tallies by class name for free. *)
+
+type t = {
+  live : bool;
+  classes : string array;
+  mutable current : int;
+  accepts : Counter.t array;
+  rejects : Counter.t array;
+}
+
+let null = { live = false; classes = [||]; current = 0; accepts = [||]; rejects = [||] }
+
+let make classes ~accepts ~rejects = { live = true; classes; current = 0; accepts; rejects }
+
+let classes t = t.classes
+
+let set t i = if t.live && i >= 0 && i < Array.length t.classes then t.current <- i
+
+let accept t = if t.live then Counter.incr t.accepts.(t.current)
+let reject t = if t.live then Counter.incr t.rejects.(t.current)
+
+let accepted t i = Counter.value t.accepts.(i)
+let rejected t i = Counter.value t.rejects.(i)

@@ -1,0 +1,33 @@
+(** Per-move-class accept/reject tallies for the annealing engine.
+
+    The split of responsibilities: the {e problem} knows what kind of
+    move it proposed (sequence-pair swap vs rotation flip, tree move
+    vs rotation, ...) and calls {!set} from its neighbor/propose
+    closure; the {e engine} knows the Metropolis outcome and calls
+    {!accept} or {!reject} once per move. The tally is backed by
+    counters registered in a {!Sink} (named
+    [sa.moves.<class>.accept]/[.reject]), so per-chain tallies merge by
+    name when child sinks are absorbed. All operations on {!null} are
+    single-branch no-ops. *)
+
+type t
+
+val null : t
+
+val make : string array -> accepts:Counter.t array -> rejects:Counter.t array -> t
+(** Normally obtained via {!Sink.register_moves}. *)
+
+val classes : t -> string array
+
+val set : t -> int -> unit
+(** Label the move being proposed with a class index (ignored when out
+    of range). Draws nothing from any rng, so instrumented problems
+    keep their move trajectories bit-identical. *)
+
+val accept : t -> unit
+(** Count the last-labelled class as accepted. *)
+
+val reject : t -> unit
+
+val accepted : t -> int -> int
+val rejected : t -> int -> int

@@ -1,0 +1,52 @@
+(* Span tracer over a preallocated ring buffer.
+
+   Four parallel arrays, one write cursor: recording a span is four
+   stores and an index bump, no allocation. At capacity the ring
+   overwrites the oldest span — the newest spans always survive — and
+   counts every eviction, so exporters can say how much history was
+   shed. *)
+
+type span = { name : string; ts : float; dur : float; tid : int }
+
+type t = {
+  cap : int;
+  names : string array;
+  starts : float array;
+  durs : float array;
+  tids : int array;
+  mutable next : int; (* write cursor *)
+  mutable filled : int; (* <= cap *)
+  mutable dropped : int;
+}
+
+let create cap =
+  let cap = max 1 cap in
+  {
+    cap;
+    names = Array.make cap "";
+    starts = Array.make cap 0.0;
+    durs = Array.make cap 0.0;
+    tids = Array.make cap 0;
+    next = 0;
+    filled = 0;
+    dropped = 0;
+  }
+
+let record t ~name ~ts ~dur ~tid =
+  if t.filled = t.cap then t.dropped <- t.dropped + 1 else t.filled <- t.filled + 1;
+  t.names.(t.next) <- name;
+  t.starts.(t.next) <- ts;
+  t.durs.(t.next) <- dur;
+  t.tids.(t.next) <- tid;
+  t.next <- (t.next + 1) mod t.cap
+
+let length t = t.filled
+let capacity t = t.cap
+let dropped t = t.dropped
+let add_dropped t k = if k > 0 then t.dropped <- t.dropped + k
+
+let spans t =
+  let first = if t.filled = t.cap then t.next else 0 in
+  List.init t.filled (fun i ->
+      let j = (first + i) mod t.cap in
+      { name = t.names.(j); ts = t.starts.(j); dur = t.durs.(j); tid = t.tids.(j) })

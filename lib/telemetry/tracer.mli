@@ -1,0 +1,33 @@
+(** Span tracing over a preallocated ring buffer.
+
+    Recording is allocation-free (four array stores). When the ring is
+    full the {e oldest} span is overwritten — the newest spans always
+    survive — and every eviction is counted, so exporters can report
+    how much history was shed (tested). *)
+
+type span = {
+  name : string;
+  ts : float;  (** start time, sink clock units (seconds) *)
+  dur : float;  (** duration, same units *)
+  tid : int;  (** logical thread: 0 = main, 1.. = chains *)
+}
+
+type t
+
+val create : int -> t
+(** Ring of the given capacity (clamped to at least 1). *)
+
+val record : t -> name:string -> ts:float -> dur:float -> tid:int -> unit
+
+val spans : t -> span list
+(** Retained spans, oldest first. *)
+
+val length : t -> int
+val capacity : t -> int
+
+val dropped : t -> int
+(** Spans evicted so far. *)
+
+val add_dropped : t -> int -> unit
+(** Fold another ring's eviction count in (used when merging child
+    sinks). *)

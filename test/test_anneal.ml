@@ -63,7 +63,7 @@ let par_params =
 let test_parallel_solo_matches_run () =
   let seq = Anneal.Sa.run ~rng:(Prelude.Rng.create 17) par_params problem in
   let par =
-    Anneal.Parallel.run ~workers:1 ~seeds:[ 17 ] par_params (fun _ -> problem)
+    Anneal.Parallel.run ~workers:1 ~seeds:[ 17 ] par_params (fun _ _ -> problem)
   in
   Alcotest.(check int) "same best" seq.Anneal.Sa.best par.Anneal.Parallel.best;
   Alcotest.(check (float 0.0))
@@ -75,7 +75,7 @@ let test_parallel_solo_matches_run () =
 let test_parallel_worker_count_invariant () =
   let seeds = [ 3; 11; 42; 99 ] in
   let go workers =
-    Anneal.Parallel.run ~workers ~exchange_every:8 ~seeds par_params (fun _ ->
+    Anneal.Parallel.run ~workers ~exchange_every:8 ~seeds par_params (fun _ _ ->
         problem)
   in
   let a = go 1 and b = go 2 and c = go 4 in
@@ -96,14 +96,14 @@ let test_parallel_worker_count_invariant () =
 let test_parallel_deterministic () =
   let go () =
     (Anneal.Parallel.run ~workers:2 ~exchange_every:8 ~seeds:[ 5; 6; 7 ]
-       par_params (fun _ -> problem))
+       par_params (fun _ _ -> problem))
       .Anneal.Parallel.best_cost
   in
   Alcotest.(check (float 0.0)) "same seeds same cost" (go ()) (go ())
 
 let test_parallel_multistart_minimizes () =
   let out =
-    Anneal.Parallel.run ~workers:2 ~seeds:[ 1; 2; 3 ] par_params (fun _ ->
+    Anneal.Parallel.run ~workers:2 ~seeds:[ 1; 2; 3 ] par_params (fun _ _ ->
         problem)
   in
   Alcotest.(check bool)
@@ -156,11 +156,11 @@ let test_parallel_mutable_matches_functional () =
   let seeds = [ 3; 11; 42; 99 ] in
   let f =
     Anneal.Parallel.run ~workers:2 ~exchange_every:8 ~seeds par_params
-      (fun _ -> problem)
+      (fun _ _ -> problem)
   in
   let m =
     Anneal.Parallel.run_mutable ~workers:2 ~exchange_every:8 ~seeds par_params
-      (fun _ -> mproblem ())
+      (fun _ _ -> mproblem ())
   in
   Alcotest.(check int)
     "same best" f.Anneal.Parallel.best m.Anneal.Parallel.best.(0);
@@ -175,7 +175,7 @@ let test_parallel_mutable_worker_invariant () =
   let seeds = [ 3; 11; 42; 99 ] in
   let go workers =
     Anneal.Parallel.run_mutable ~workers ~exchange_every:8 ~seeds par_params
-      (fun _ -> mproblem ())
+      (fun _ _ -> mproblem ())
   in
   let a = go 1 and b = go 2 and c = go 4 in
   Alcotest.(check int)
@@ -189,6 +189,46 @@ let test_parallel_mutable_worker_invariant () =
   Alcotest.(check int)
     "1 vs 4 evaluations" a.Anneal.Parallel.evaluated
     c.Anneal.Parallel.evaluated
+
+(* ANALOG_WORKERS: parse/clamp behavior of the worker-count default.
+   Unix.putenv mutates the live environment, so restore it per case. *)
+let with_env value f =
+  let prev = Sys.getenv_opt "ANALOG_WORKERS" in
+  Unix.putenv "ANALOG_WORKERS" value;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "ANALOG_WORKERS" (Option.value prev ~default:""))
+    f
+
+let test_parse_workers () =
+  let check label input expected =
+    Alcotest.(check (option int)) label expected (Anneal.Parallel.parse_workers input)
+  in
+  check "plain" "4" (Some 4);
+  check "trimmed" "  8 " (Some 8);
+  check "clamped to 1" "0" (Some 1);
+  check "negative clamped" "-3" (Some 1);
+  check "garbage" "lots" None;
+  check "empty" "" None;
+  check "float rejected" "2.5" None
+
+let test_default_workers_env () =
+  with_env "3" (fun () ->
+      Alcotest.(check int) "env honoured" 3 (Anneal.Parallel.default_workers ()));
+  with_env "-2" (fun () ->
+      Alcotest.(check int)
+        "clamped to at least 1" 1
+        (Anneal.Parallel.default_workers ()));
+  with_env "nonsense" (fun () ->
+      Alcotest.(check int)
+        "unparsable falls back to hardware"
+        (Domain.recommended_domain_count ())
+        (Anneal.Parallel.default_workers ()));
+  with_env "" (fun () ->
+      Alcotest.(check int)
+        "empty falls back to hardware"
+        (Domain.recommended_domain_count ())
+        (Anneal.Parallel.default_workers ()))
 
 let () =
   Alcotest.run "anneal"
@@ -219,5 +259,8 @@ let () =
             test_parallel_mutable_matches_functional;
           Alcotest.test_case "mutable worker-count invariant" `Quick
             test_parallel_mutable_worker_invariant;
+          Alcotest.test_case "ANALOG_WORKERS parser" `Quick test_parse_workers;
+          Alcotest.test_case "ANALOG_WORKERS default" `Quick
+            test_default_workers_env;
         ] );
     ]

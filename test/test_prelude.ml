@@ -68,6 +68,52 @@ let test_stats () =
   Alcotest.(check (float 1e-9)) "percent" 25.0 (Prelude.Stats.percent 1.0 4.0);
   Alcotest.(check (float 1e-9)) "percent div0" 0.0 (Prelude.Stats.percent 1.0 0.0)
 
+(* numpy type-7 reference values: position (n-1)q, linear interpolation *)
+let test_quantile () =
+  let q = Prelude.Stats.quantile in
+  let xs = [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check (float 1e-9)) "median of 4" 2.5 (q xs 0.5);
+  Alcotest.(check (float 1e-9)) "q1 of 4" 1.75 (q xs 0.25);
+  Alcotest.(check (float 1e-9)) "q3 of 4" 3.25 (q xs 0.75);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (q xs 0.0);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (q xs 1.0);
+  Alcotest.(check (float 1e-9)) "median of 5" 3.0 (q [ 5.0; 3.0; 1.0; 4.0; 2.0 ] 0.5);
+  Alcotest.(check (float 1e-9)) "p90 of 1..10" 9.1
+    (q (List.init 10 (fun i -> float_of_int (i + 1))) 0.9);
+  Alcotest.(check (float 1e-9)) "unsorted input" 2.5 (q [ 4.0; 1.0; 3.0; 2.0 ] 0.5);
+  Alcotest.(check (float 1e-9)) "singleton" 7.0 (q [ 7.0 ] 0.9);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (q [] 0.5);
+  Alcotest.(check (float 1e-9)) "q clamped" 4.0 (q xs 1.5)
+
+let test_quantile_weighted () =
+  let qw = Prelude.Stats.quantile_weighted in
+  (* weights expand to the plain multiset *)
+  Alcotest.(check (float 1e-9))
+    "expanded multiset"
+    (Prelude.Stats.quantile [ 1.0; 1.0; 1.0; 5.0 ] 0.5)
+    (qw [ (1.0, 3); (5.0, 1) ] 0.5);
+  Alcotest.(check (float 1e-9))
+    "interpolates across points" 3.0
+    (qw [ (1.0, 1); (5.0, 1) ] 0.5);
+  Alcotest.(check (float 1e-9)) "zero weights dropped" 2.0
+    (qw [ (1.0, 0); (2.0, 5) ] 0.5);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (qw [] 0.5)
+
+let prop_quantile_weighted_expands =
+  QCheck.Test.make ~name:"quantile_weighted = quantile of expansion" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 8) (pair (float_bound_exclusive 100.0) (1 -- 5)))
+        (float_bound_inclusive 1.0))
+    (fun (pts, q) ->
+      let expanded =
+        List.concat_map (fun (v, w) -> List.init w (fun _ -> v)) pts
+      in
+      Float.abs
+        (Prelude.Stats.quantile_weighted pts q
+        -. Prelude.Stats.quantile expanded q)
+      < 1e-9)
+
 let prop_shuffle_permutes =
   QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
     QCheck.(pair small_int (list small_int))
@@ -90,7 +136,13 @@ let () =
           Alcotest.test_case "choose_weighted" `Quick test_choose_weighted;
           Alcotest.test_case "gaussian" `Quick test_gaussian;
         ] );
-      ("stats", [ Alcotest.test_case "basics" `Quick test_stats ]);
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats;
+          Alcotest.test_case "quantile" `Quick test_quantile;
+          Alcotest.test_case "quantile weighted" `Quick test_quantile_weighted;
+        ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_shuffle_permutes ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_shuffle_permutes; prop_quantile_weighted_expands ] );
     ]
