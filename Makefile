@@ -1,4 +1,4 @@
-.PHONY: all check test bench perf clean
+.PHONY: all check test bench perf qor report clean
 
 all:
 	dune build @all
@@ -17,6 +17,19 @@ bench:
 # (writes BENCH_perf.json)
 perf:
 	dune exec bench/main.exe -- perf
+
+# QoR regression gate: append a fresh run ledger (E18, deterministic
+# seeds) and diff it against the committed baseline; non-zero exit on
+# regression. Regenerate the baseline with:
+#   ANALOG_LEDGER=bench/qor_baseline.jsonl dune exec bench/main.exe -- qor
+qor:
+	dune exec bench/main.exe -- qor
+	dune exec bin/analog_place.exe -- report BENCH_ledger.jsonl \
+	  --baseline bench/qor_baseline.jsonl --svg-dir qor-svg
+
+# trend report over the local bench ledger (no baseline)
+report:
+	dune exec bin/analog_place.exe -- report BENCH_ledger.jsonl
 
 clean:
 	dune clean

@@ -1,14 +1,19 @@
 (* Benchmark harness: regenerates every quantitative artefact of the
    survey (see DESIGN.md's experiment index).
 
-     dune exec bench/main.exe            -- all experiments (micro/perf excluded)
+     dune exec bench/main.exe            -- all experiments (micro/perf/qor excluded)
      dune exec bench/main.exe -- <name>  -- one experiment:
        fig1 lemma bstar-count fig7 table1 fig8 hier fig10 ablation thermal
-       routing mismatch hierarchy-reduction absolute micro perf
+       routing mismatch hierarchy-reduction absolute micro perf qor
 
    `perf --smoke` runs E17 at tiny sizes with a short timing budget and
    leaves BENCH_perf.json untouched -- a CI sanity check, not a
-   measurement. *)
+   measurement.
+
+   `qor` appends run-ledger entries (QoR records) for a fixed set of
+   deterministic configurations to BENCH_ledger.jsonl (override with
+   ANALOG_LEDGER); `analog_place report` diffs that against the
+   committed bench/qor_baseline.jsonl as the CI regression gate. *)
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -869,6 +874,13 @@ let perf ?(smoke = false) () =
   let last = List.length ns - 1 in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
+  (* provenance header: schema version, the revision that produced the
+     numbers, and when — so a committed BENCH_perf.json is
+     self-describing *)
+  Printf.bprintf buf "  \"schema_version\": 1,\n";
+  Printf.bprintf buf "  \"git_rev\": \"%s\",\n" (Telemetry.Ledger.git_rev ());
+  Printf.bprintf buf "  \"generated_at\": \"%s\",\n"
+    (Telemetry.Ledger.timestamp ());
   Printf.bprintf buf "  \"domains_available\": %d,\n"
     (Domain.recommended_domain_count ());
   (* packing throughput: list evaluators vs the buffer evaluator *)
@@ -1093,6 +1105,89 @@ let perf ?(smoke = false) () =
     print_endline "wrote BENCH_perf.json"
   end
 
+(* E18: append QoR ledger entries for a fixed set of deterministic
+   configurations. CI runs this, then `analog_place report` against the
+   committed baseline (bench/qor_baseline.jsonl); regenerating the
+   baseline is the same command pointed at that file via
+   ANALOG_LEDGER. Cost/HPWL/area/violations are bit-reproducible for
+   fixed seeds on any machine and worker count, so the gate compares
+   them across hosts; wall time rides along ungated. *)
+let qor () =
+  section "E18 (qor): run ledger for the regression gate";
+  let path =
+    match Sys.getenv_opt "ANALOG_LEDGER" with
+    | Some p when String.trim p <> "" -> p
+    | _ -> "BENCH_ledger.jsonl"
+  in
+  let run_entry (b : Netlist.Benchmarks.bench) engine seed chains =
+    let circuit = b.Netlist.Benchmarks.circuit in
+    let hierarchy = b.Netlist.Benchmarks.hierarchy in
+    let groups = Constraints.Symmetry_group.of_hierarchy hierarchy in
+    let telemetry = Telemetry.Sink.create () in
+    let rng = Prelude.Rng.create seed in
+    let w0 = Unix.gettimeofday () in
+    let placement, cost, sa_rounds, evaluated =
+      match engine with
+      | "sp" ->
+          let o =
+            Placer.Sa_seqpair.place ~groups ?chains ~telemetry ~rng circuit
+          in
+          ( o.Placer.Sa_seqpair.placement,
+            o.Placer.Sa_seqpair.cost,
+            o.Placer.Sa_seqpair.sa_rounds,
+            o.Placer.Sa_seqpair.evaluated )
+      | "bstar" ->
+          let o = Placer.Sa_bstar.place ?chains ~telemetry ~rng circuit in
+          ( o.Placer.Sa_bstar.placement,
+            o.Placer.Sa_bstar.cost,
+            o.Placer.Sa_bstar.sa_rounds,
+            o.Placer.Sa_bstar.evaluated )
+      | e -> failwith ("qor: unknown engine " ^ e)
+    in
+    let wall_s = Unix.gettimeofday () -. w0 in
+    let move_rates =
+      Telemetry.Qor.move_rates_of_counters (Telemetry.Sink.counters telemetry)
+    in
+    let q =
+      Placer.Qor.extract ~groups ~hierarchy ~move_rates ~cost ~wall_s
+        ~sa_rounds ~evaluated placement
+    in
+    let chain_qors =
+      List.filter
+        (fun (cq : Telemetry.Qor.t) -> String.equal cq.Telemetry.Qor.kind "chain")
+        (Telemetry.Sink.qors telemetry)
+    in
+    let entry =
+      Telemetry.Ledger.make ~chain_qors
+        ~placement:(Placer.Qor.rects placement)
+        ~label:b.Netlist.Benchmarks.label
+        ~netlist_hash:(Netlist.Circuit.digest circuit)
+        ~engine ~seed
+        ~schedule:(Anneal.Schedule.to_string Anneal.Schedule.default)
+        ~workers:
+          (match chains with
+          | None -> 1
+          | Some _ -> Anneal.Parallel.default_workers ())
+        ~chains:(Option.value chains ~default:1)
+        ~qor:q ()
+    in
+    match Telemetry.Ledger.append path entry with
+    | Ok () ->
+        Printf.printf "  %-24s cost %-12.6g hpwl %-8.0f area %-10d viol %d\n"
+          (Telemetry.Regress.key_of entry)
+          cost q.Telemetry.Qor.hpwl q.Telemetry.Qor.area
+          (Telemetry.Qor.violation_total q)
+    | Error msg ->
+        Printf.eprintf "error: cannot write %s: %s\n" path msg;
+        exit 1
+  in
+  let miller = Netlist.Benchmarks.miller () in
+  let fig2 = Netlist.Benchmarks.fig2_design () in
+  run_entry miller "sp" 1 None;
+  run_entry miller "bstar" 1 None;
+  run_entry fig2 "sp" 2 (Some 2);
+  Printf.printf "appended 3 entries to %s\n" path
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
@@ -1113,6 +1208,7 @@ let experiments =
     ("absolute", absolute);
     ("micro", micro);
     ("perf", fun () -> perf ());
+    ("qor", qor);
   ]
 
 let () =
@@ -1132,8 +1228,11 @@ let () =
   in
   match args with
   | [] ->
+      (* micro/perf take minutes and qor writes a ledger file; all three
+         run only when named *)
       List.iter
-        (fun (name, f) -> if name <> "micro" && name <> "perf" then f ())
+        (fun (name, f) ->
+          if name <> "micro" && name <> "perf" && name <> "qor" then f ())
         experiments
   | names ->
       List.iter

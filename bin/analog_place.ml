@@ -54,9 +54,26 @@ let load_bench name =
             name;
           exit 1)
 
+(* All CLI-facing file writes go through this: I/O failures print one
+   clean line and exit 2 instead of dying on a raw Sys_error. *)
+let write_or_die path contents =
+  match Telemetry.Export.write_file ~path contents with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "error: cannot write %s: %s\n" path msg;
+      exit 2
+
 (* ---- place ------------------------------------------------------- *)
 
 type engine = Sp | Bstar_flat | Hbstar | Esf | Rsf | Slicing
+
+let engine_name = function
+  | Sp -> "sp"
+  | Bstar_flat -> "bstar"
+  | Hbstar -> "hbstar"
+  | Esf -> "esf"
+  | Rsf -> "rsf"
+  | Slicing -> "slicing"
 
 let engine_conv =
   let parse = function
@@ -68,20 +85,11 @@ let engine_conv =
     | "slicing" -> Ok Slicing
     | s -> Error (`Msg ("unknown engine " ^ s))
   in
-  let print ppf e =
-    Format.pp_print_string ppf
-      (match e with
-      | Sp -> "sp"
-      | Bstar_flat -> "bstar"
-      | Hbstar -> "hbstar"
-      | Esf -> "esf"
-      | Rsf -> "rsf"
-      | Slicing -> "slicing")
-  in
+  let print ppf e = Format.pp_print_string ppf (engine_name e) in
   Arg.conv (parse, print)
 
 let run_place netlist bench engine seed svg quiet cluster validate trace conv
-    metrics =
+    metrics workers chains ledger =
   let b =
     match (netlist, bench) with
     | Some path, _ -> load_netlist path
@@ -97,8 +105,11 @@ let run_place netlist bench engine seed svg quiet cluster validate trace conv
   in
   let rng = Prelude.Rng.create seed in
   (* One sink for the whole run, created only when some output wants
-     it; the engines see the null sink otherwise and pay nothing. *)
-  let want_telemetry = trace <> None || conv <> None || metrics in
+     it; the engines see the null sink otherwise and pay nothing. The
+     ledger wants move tallies and per-chain QoR, so it counts too. *)
+  let want_telemetry =
+    trace <> None || conv <> None || metrics || ledger <> None
+  in
   let telemetry =
     if want_telemetry then Telemetry.Sink.create ~trace_capacity:65536 ()
     else Telemetry.Sink.null
@@ -108,30 +119,56 @@ let run_place netlist bench engine seed svg quiet cluster validate trace conv
     Printf.eprintf
       "note: engine is not annealing-instrumented; the trace will only \
        contain the place.total span (sp and bstar carry full telemetry)\n";
+  let groups = Constraints.Symmetry_group.of_hierarchy hierarchy in
   let t0 = Sys.time () in
+  let w0 = Unix.gettimeofday () in
   let t_total = Telemetry.Sink.span_begin telemetry in
-  let placed =
+  (* Each engine reports (placed cells, SA cost if it annealed, rounds,
+     evaluations) so a ledger entry can carry the real search effort. *)
+  let placed, sa_cost, sa_rounds, evaluated =
     match engine with
     | Sp ->
-        let groups = Constraints.Symmetry_group.of_hierarchy hierarchy in
-        (Placer.Sa_seqpair.place ~groups ?validate ~telemetry ~rng circuit)
-          .Placer.Sa_seqpair.placement.Placer.Placement.placed
+        let o =
+          Placer.Sa_seqpair.place ~groups ?validate ?workers ?chains ~telemetry
+            ~rng circuit
+        in
+        ( o.Placer.Sa_seqpair.placement.Placer.Placement.placed,
+          Some o.Placer.Sa_seqpair.cost,
+          o.Placer.Sa_seqpair.sa_rounds,
+          o.Placer.Sa_seqpair.evaluated )
     | Bstar_flat ->
-        (Placer.Sa_bstar.place ?validate ~telemetry ~rng circuit)
-          .Placer.Sa_bstar.placement.Placer.Placement.placed
-    | Hbstar -> (Bstar.Hbstar.place ~rng circuit hierarchy).Bstar.Hbstar.placed
+        let o =
+          Placer.Sa_bstar.place ?validate ?workers ?chains ~telemetry ~rng
+            circuit
+        in
+        ( o.Placer.Sa_bstar.placement.Placer.Placement.placed,
+          Some o.Placer.Sa_bstar.cost,
+          o.Placer.Sa_bstar.sa_rounds,
+          o.Placer.Sa_bstar.evaluated )
+    | Hbstar ->
+        ((Bstar.Hbstar.place ~rng circuit hierarchy).Bstar.Hbstar.placed, None, 0, 0)
     | Esf ->
-        (Shapefn.Combine.place ~mode:Shapefn.Combine.Esf circuit hierarchy)
-          .Shapefn.Combine.placed
+        ( (Shapefn.Combine.place ~mode:Shapefn.Combine.Esf circuit hierarchy)
+            .Shapefn.Combine.placed,
+          None,
+          0,
+          0 )
     | Rsf ->
-        (Shapefn.Combine.place ~mode:Shapefn.Combine.Rsf circuit hierarchy)
-          .Shapefn.Combine.placed
+        ( (Shapefn.Combine.place ~mode:Shapefn.Combine.Rsf circuit hierarchy)
+            .Shapefn.Combine.placed,
+          None,
+          0,
+          0 )
     | Slicing ->
-        (Placer.Slicing.place ~rng circuit)
-          .Placer.Slicing.placement.Placer.Placement.placed
+        ( (Placer.Slicing.place ~rng circuit)
+            .Placer.Slicing.placement.Placer.Placement.placed,
+          None,
+          0,
+          0 )
   in
   Telemetry.Sink.span_end telemetry "place.total" t_total;
   let seconds = Sys.time () -. t0 in
+  let wall_s = Unix.gettimeofday () -. w0 in
   let placement = Placer.Placement.make circuit placed in
   (match Placer.Placement.validate placement with
   | Ok () -> ()
@@ -150,7 +187,6 @@ let run_place netlist bench engine seed svg quiet cluster validate trace conv
     /. float_of_int (max 1 (Netlist.Circuit.total_module_area circuit)))
     (Placer.Placement.hpwl placement)
     seconds;
-  let groups = Constraints.Symmetry_group.of_hierarchy hierarchy in
   List.iter
     (fun g ->
       Printf.printf "symmetry %s: %s\n" g.Constraints.Symmetry_group.name
@@ -167,14 +203,9 @@ let run_place netlist bench engine seed svg quiet cluster validate trace conv
          placement);
   (match svg with
   | Some path ->
-      Placer.Plot.write_svg ~path placement;
+      write_or_die path (Placer.Plot.svg placement);
       Printf.printf "wrote %s\n" path
   | None -> ());
-  let write path contents =
-    let oc = open_out path in
-    output_string oc contents;
-    close_out oc
-  in
   (match trace with
   | Some path ->
       let json = Telemetry.Export.chrome_json telemetry in
@@ -184,16 +215,60 @@ let run_place netlist bench engine seed svg quiet cluster validate trace conv
       | Error e ->
           Printf.eprintf "internal error: invalid trace JSON: %s\n" e;
           exit 2);
-      write path json;
+      write_or_die path json;
       Printf.printf "wrote %s (load in chrome://tracing or ui.perfetto.dev)\n"
         path
   | None -> ());
   (match conv with
   | Some path ->
-      write path (Telemetry.Export.conv_csv telemetry);
+      write_or_die path (Telemetry.Export.conv_csv telemetry);
       Printf.printf "wrote %s\n" path
   | None -> ());
-  if metrics then print_string (Telemetry.Export.text telemetry)
+  if metrics then print_string (Telemetry.Export.text telemetry);
+  match ledger with
+  | None -> ()
+  | Some path ->
+      let cost =
+        match sa_cost with
+        | Some c -> c
+        | None -> Placer.Cost.evaluate Placer.Cost.default placement
+      in
+      let move_rates =
+        Telemetry.Qor.move_rates_of_counters (Telemetry.Sink.counters telemetry)
+      in
+      let qor =
+        Placer.Qor.extract ~groups ~hierarchy ~move_rates ~cost ~wall_s
+          ~sa_rounds ~evaluated placement
+      in
+      let chain_qors =
+        List.filter
+          (fun (q : Telemetry.Qor.t) -> String.equal q.Telemetry.Qor.kind "chain")
+          (Telemetry.Sink.qors telemetry)
+      in
+      (* Record the effective parallel geometry: the defaulting below
+         mirrors Sa_seqpair.place (chains default workers and vice
+         versa; no flag at all means the single-chain path). *)
+      let rec_workers, rec_chains =
+        match (workers, chains) with
+        | None, None -> (1, 1)
+        | Some w, None -> (w, w)
+        | None, Some c -> (Anneal.Parallel.default_workers (), c)
+        | Some w, Some c -> (w, c)
+      in
+      let entry =
+        Telemetry.Ledger.make ~chain_qors
+          ~placement:(Placer.Qor.rects placement)
+          ~label:b.Netlist.Benchmarks.label
+          ~netlist_hash:(Netlist.Circuit.digest circuit)
+          ~engine:(engine_name engine) ~seed
+          ~schedule:(Anneal.Schedule.to_string Anneal.Schedule.default)
+          ~workers:rec_workers ~chains:rec_chains ~qor ()
+      in
+      (match Telemetry.Ledger.append path entry with
+      | Ok () -> Printf.printf "appended ledger entry to %s\n" path
+      | Error msg ->
+          Printf.eprintf "error: cannot write %s: %s\n" path msg;
+          exit 2)
 
 let place_cmd =
   let netlist =
@@ -276,11 +351,243 @@ let place_cmd =
             "Print a telemetry summary after placement: counters, latency \
              histograms and span statistics.")
   in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"INT"
+          ~doc:
+            "Worker domains for multi-start annealing (sp and bstar \
+             engines). Results are identical for any value; this only \
+             chooses how much hardware the same computation uses.")
+  in
+  let chains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chains" ] ~docv:"INT"
+          ~doc:
+            "Independent annealing chains for multi-start (sp and bstar \
+             engines); defaults to the worker count when --workers is \
+             given.")
+  in
+  let ledger =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "Append a QoR ledger entry (JSONL) for this run: cost \
+             breakdown, constraint violations, move statistics, \
+             per-chain records and the placed rectangles. Compare runs \
+             with $(b,analog_place report).")
+  in
   Cmd.v
     (Cmd.info "place" ~doc:"Place an analog circuit")
     Term.(
       const run_place $ netlist $ bench $ engine $ seed $ svg $ quiet $ cluster
-      $ validate $ trace $ conv $ metrics)
+      $ validate $ trace $ conv $ metrics $ workers $ chains $ ledger)
+
+(* ---- report ------------------------------------------------------ *)
+
+(* Rebuild a drawable placement from a ledger entry's embedded
+   rectangles: one opaque block per cell, indices in rect order (which
+   is cell order — Placer.Qor.rects emits them that way), so the
+   violation member lists recorded at run time still index correctly. *)
+let placement_of_entry (e : Telemetry.Ledger.entry) =
+  if e.Telemetry.Ledger.placement = [] then None
+  else
+    let modules =
+      List.map
+        (fun (r : Telemetry.Ledger.rect) ->
+          Netlist.Circuit.block ~name:r.Telemetry.Ledger.cell
+            ~w:r.Telemetry.Ledger.w ~h:r.Telemetry.Ledger.h)
+        e.Telemetry.Ledger.placement
+    in
+    let circuit =
+      Netlist.Circuit.make ~name:e.Telemetry.Ledger.label ~modules ~nets:[]
+    in
+    let placed =
+      List.mapi
+        (fun i (r : Telemetry.Ledger.rect) ->
+          Geometry.Transform.place ~cell:i ~x:r.Telemetry.Ledger.x
+            ~y:r.Telemetry.Ledger.y ~w:r.Telemetry.Ledger.w
+            ~h:r.Telemetry.Ledger.h ~orient:Geometry.Orientation.R0)
+        e.Telemetry.Ledger.placement
+    in
+    Some (Placer.Placement.make circuit placed)
+
+let annotated_svg (e : Telemetry.Ledger.entry) p =
+  let rects = Array.of_list e.Telemetry.Ledger.placement in
+  let member_rects ms =
+    List.filter_map
+      (fun i ->
+        if i >= 0 && i < Array.length rects then
+          let r = rects.(i) in
+          Some
+            (Geometry.Rect.make ~x:r.Telemetry.Ledger.x ~y:r.Telemetry.Ledger.y
+               ~w:r.Telemetry.Ledger.w ~h:r.Telemetry.Ledger.h)
+        else None)
+      ms
+  in
+  (* every constraint group gets a hatched ring around its bounding
+     box; violated groups additionally get a polyline threading their
+     members so the offending cells stand out *)
+  let rings =
+    List.filter_map
+      (fun (v : Telemetry.Qor.violation) ->
+        match member_rects v.Telemetry.Qor.members with
+        | [] -> None
+        | rs -> Some (Geometry.Outline.bounding_box rs))
+      e.Telemetry.Ledger.qor.Telemetry.Qor.violations
+  in
+  let wires =
+    List.filter_map
+      (fun (v : Telemetry.Qor.violation) ->
+        if v.Telemetry.Qor.count = 0 then None
+        else
+          match member_rects v.Telemetry.Qor.members with
+          | [] | [ _ ] -> None
+          | rs ->
+              Some
+                (List.map
+                   (fun (r : Geometry.Rect.t) ->
+                     ( r.Geometry.Rect.x + (r.Geometry.Rect.w / 2),
+                       r.Geometry.Rect.y + (r.Geometry.Rect.h / 2) ))
+                   rs))
+      e.Telemetry.Ledger.qor.Telemetry.Qor.violations
+  in
+  Placer.Plot.svg_full ~rings ~wires p
+
+let sanitize_key k =
+  String.map (function '/' | ' ' | '.' -> '_' | c -> c) k
+
+let run_report ledger baseline last svg_dir cost_tol hpwl_tol area_tol =
+  let read_or_die path =
+    match Telemetry.Ledger.read path with
+    | Ok [] ->
+        Printf.eprintf "error: %s holds no ledger entries\n" path;
+        exit 2
+    | Ok es -> es
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+  in
+  let entries = read_or_die ledger in
+  let entries =
+    match last with
+    | None -> entries
+    | Some n ->
+        let len = List.length entries in
+        List.filteri (fun i _ -> i >= len - n) entries
+  in
+  let base_entries, cand_entries =
+    match baseline with
+    | Some bpath -> (read_or_die bpath, entries)
+    | None ->
+        (* trend mode on one ledger: each key's latest entry is the
+           candidate, its earlier entries are the baseline *)
+        let latest = Hashtbl.create 8 in
+        List.iter
+          (fun e -> Hashtbl.replace latest (Telemetry.Regress.key_of e) e)
+          entries;
+        let is_latest e =
+          match Hashtbl.find_opt latest (Telemetry.Regress.key_of e) with
+          | Some e' -> e' == e
+          | None -> false
+        in
+        (List.filter (fun e -> not (is_latest e)) entries, entries)
+  in
+  let thresholds =
+    {
+      Telemetry.Regress.cost_pct = cost_tol;
+      hpwl_pct = hpwl_tol;
+      area_pct = area_tol;
+    }
+  in
+  let verdict =
+    Telemetry.Regress.compare_entries ~thresholds ~baseline:base_entries
+      ~candidate:cand_entries ()
+  in
+  print_string (Telemetry.Regress.render verdict);
+  (match svg_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then
+        (try Unix.mkdir dir 0o755
+         with Unix.Unix_error (e, _, _) ->
+           Printf.eprintf "error: cannot create %s: %s\n" dir
+             (Unix.error_message e);
+           exit 2);
+      (* draw each key's candidate entry *)
+      let latest = Hashtbl.create 8 in
+      List.iter
+        (fun e -> Hashtbl.replace latest (Telemetry.Regress.key_of e) e)
+        cand_entries;
+      Hashtbl.iter
+        (fun key e ->
+          match placement_of_entry e with
+          | None -> ()
+          | Some p ->
+              let path =
+                Filename.concat dir (sanitize_key key ^ ".svg")
+              in
+              write_or_die path (annotated_svg e p);
+              Printf.printf "wrote %s\n" path)
+        latest);
+  exit (if Telemetry.Regress.ok verdict then 0 else 1)
+
+let report_cmd =
+  let ledger =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"LEDGER"
+          ~doc:"QoR ledger (JSONL) holding the candidate runs.")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Compare the ledger's latest run per configuration against \
+             this baseline ledger. Without it, each configuration's \
+             latest entry is compared against its own earlier history \
+             (trend mode).")
+  in
+  let last =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "last" ] ~docv:"N"
+          ~doc:"Consider only the last N entries of LEDGER.")
+  in
+  let svg_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write one annotated SVG per compared configuration: the \
+             recorded floorplan with hatched rings around every \
+             constraint group and highlight polylines through violated \
+             ones.")
+  in
+  let tol name default doc =
+    Arg.(value & opt float default & info [ name ] ~docv:"PCT" ~doc)
+  in
+  let cost_tol = tol "cost-tol" 1.0 "Cost regression tolerance, percent." in
+  let hpwl_tol = tol "hpwl-tol" 2.0 "HPWL regression tolerance, percent." in
+  let area_tol = tol "area-tol" 2.0 "Area regression tolerance, percent." in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Diff QoR ledgers and detect regressions (non-zero exit when a \
+          gated metric regressed)")
+    Term.(
+      const run_report $ ledger $ baseline $ last $ svg_dir $ cost_tol
+      $ hpwl_tol $ area_tol)
 
 (* ---- size -------------------------------------------------------- *)
 
@@ -429,4 +736,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "analog_place" ~version:"1.0" ~doc)
-          [ place_cmd; size_cmd; info_cmd; lint_cmd ]))
+          [ place_cmd; report_cmd; size_cmd; info_cmd; lint_cmd ]))

@@ -49,6 +49,29 @@ let best_index chains =
     chains;
   !bi
 
+(* One Qor.chain record per chain, written into the chain's own child
+   sink just before absorb so it rides into the parent like every other
+   telemetry stream. Wall time is the sum of the chain's slice spans
+   (the time its domain actually spent advancing it); move tallies are
+   recovered from the child's counters. *)
+let record_chain_qor tel ~best_cost ~rounds ~evaluated =
+  if Telemetry.Sink.live tel then begin
+    let wall =
+      List.fold_left
+        (fun acc (s : Telemetry.Tracer.span) ->
+          if String.equal s.Telemetry.Tracer.name "chain.slice" then
+            acc +. s.Telemetry.Tracer.dur
+          else acc)
+        0.0 (Telemetry.Sink.spans tel)
+    in
+    let move_rates =
+      Telemetry.Qor.move_rates_of_counters (Telemetry.Sink.counters tel)
+    in
+    Telemetry.Sink.record_qor tel
+      (Telemetry.Qor.chain ~move_rates ~cost:best_cost ~wall_s:wall
+         ~sa_rounds:rounds ~evaluated ())
+  end
+
 let run ?workers ?(exchange_every = 32) ?(check = ignore)
     ?(telemetry = Telemetry.Sink.null) ~seeds params problem_of =
   if seeds = [] then invalid_arg "Parallel.run: empty seed list";
@@ -102,8 +125,13 @@ let run ?workers ?(exchange_every = 32) ?(check = ignore)
     Telemetry.Counter.incr exchanges;
     Telemetry.Sink.span_end telemetry "parallel.exchange" t_ex
   done;
-  Array.iter (Telemetry.Sink.absorb telemetry) tels;
   let outcomes = Array.map Sa.outcome_of_chain chains in
+  Array.iteri
+    (fun i o ->
+      record_chain_qor tels.(i) ~best_cost:o.Sa.best_cost ~rounds:o.Sa.rounds
+        ~evaluated:o.Sa.evaluated)
+    outcomes;
+  Array.iter (Telemetry.Sink.absorb telemetry) tels;
   let winner = best_index chains in
   check outcomes.(winner).Sa.best;
   {
@@ -173,8 +201,13 @@ let run_mutable ?workers ?(exchange_every = 32) ?(check = ignore)
     Telemetry.Counter.incr exchanges;
     Telemetry.Sink.span_end telemetry "parallel.exchange" t_ex
   done;
-  Array.iter (Telemetry.Sink.absorb telemetry) tels;
   let outcomes = Array.map Sa.moutcome_of_chain chains in
+  Array.iteri
+    (fun i o ->
+      record_chain_qor tels.(i) ~best_cost:o.Sa.best_cost ~rounds:o.Sa.rounds
+        ~evaluated:o.Sa.evaluated)
+    outcomes;
+  Array.iter (Telemetry.Sink.absorb telemetry) tels;
   let winner = mbest_index chains in
   check outcomes.(winner).Sa.best;
   {

@@ -66,8 +66,11 @@ val run :
     ["parallel.slice"] / ["parallel.exchange"] spans and a
     ["parallel.exchanges"] counter from the coordinating domain; each
     chain records into a private child sink (tid = seed index + 1,
-    per-round ["sa.round"] and per-slice ["chain.slice"] spans), and
-    the children are merged into [telemetry] after the final join.
+    per-round ["sa.round"] and per-slice ["chain.slice"] spans, plus
+    one final {!Telemetry.Qor.chain} record carrying the chain's best
+    cost, rounds, evaluations, summed slice wall time and move-class
+    tallies), and the children are merged into [telemetry] after the
+    final join.
     Telemetry draws nothing from any rng, so results remain a pure
     function of seeds/params/exchange and worker-count invariant. *)
 

@@ -5,6 +5,11 @@ type t =
 let default = Geometric 0.95
 let adaptive = Adaptive { base = 0.95; low = 0.8; high = 0.04 }
 
+let to_string = function
+  | Geometric alpha -> Printf.sprintf "geometric(%g)" alpha
+  | Adaptive { base; low; high } ->
+      Printf.sprintf "adaptive(base=%g,low=%g,high=%g)" base low high
+
 let next sched ~temperature ~acceptance =
   match sched with
   | Geometric alpha -> alpha *. temperature

@@ -24,3 +24,7 @@ val adaptive : t
 
 val next : t -> temperature:float -> acceptance:float -> float
 (** New temperature given the acceptance ratio of the last round. *)
+
+val to_string : t -> string
+(** Stable rendering for ledgers and logs, e.g. ["geometric(0.95)"] or
+    ["adaptive(base=0.95,low=0.8,high=0.04)"]. *)

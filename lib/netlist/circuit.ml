@@ -56,6 +56,39 @@ let subcircuit c ~name idxs =
   in
   (make ~name ~modules ~nets, old_of_new)
 
+(* FNV-1a over a canonical rendering of the circuit. The ledger keys
+   regression comparisons on this: two runs are comparable only if they
+   placed the same netlist, and a content hash catches silent benchmark
+   edits where a name alone would not. 64-bit FNV is plenty for the
+   handful of designs a ledger ever holds. *)
+let digest c =
+  (* FNV-1a 64-bit offset basis, truncated to OCaml's 63-bit int *)
+  let h = ref (0xcbf29ce484222325_L |> Int64.to_int) in
+  let feed_char ch =
+    h := (!h lxor Char.code ch) * 0x100000001b3
+  in
+  let feed s = String.iter feed_char s; feed_char '\x00' in
+  let feed_int i = feed (string_of_int i) in
+  feed c.name;
+  feed_int (Array.length c.modules);
+  Array.iter
+    (fun (m : module_) ->
+      feed m.name;
+      feed_int m.w;
+      feed_int m.h;
+      match m.device with
+      | None -> feed "-"
+      | Some d -> feed d.Device.name)
+    c.modules;
+  feed_int (List.length c.nets);
+  List.iter
+    (fun (net : Net.t) ->
+      feed net.Net.name;
+      feed (Printf.sprintf "%.17g" net.Net.weight);
+      List.iter feed_int net.Net.pins)
+    c.nets;
+  Printf.sprintf "%016x" (!h land max_int)
+
 let pp ppf c =
   Format.fprintf ppf "@[<v>circuit %s: %d modules, %d nets@,%a@]" c.name
     (size c) (List.length c.nets)

@@ -39,6 +39,12 @@ val dims : t -> int -> int * int
 val find_module : t -> string -> int
 (** Index of the module with the given name; raises [Not_found]. *)
 
+val digest : t -> string
+(** Deterministic 64-bit FNV-1a content hash (hex) over the circuit's
+    name, modules (name, dimensions, device identity), and nets (name,
+    weight, pins). The QoR ledger stores it so regression comparisons
+    only ever pair runs of the same netlist. *)
+
 val subcircuit : t -> name:string -> int list -> t * int array
 (** [subcircuit c ~name idxs] extracts the modules [idxs] (in order)
     and the nets entirely inside them, with pins renumbered; also

@@ -13,8 +13,11 @@ let default =
 
 (* The full weighted sum from already-computed scalars: the single
    definition both the list path ([evaluate]) and the allocation-free
-   arena ({!Eval}) go through, so the two produce bit-identical costs. *)
-let compose w ~width ~height ~hpwl =
+   arena ({!Eval}) go through, so the two produce bit-identical costs.
+   [terms] exposes the three addends separately for QoR breakdowns;
+   [compose] is their left-to-right sum, preserving the original
+   rounding. *)
+let terms w ~width ~height ~hpwl =
   let area = float_of_int (width * height) in
   let aspect_term =
     if w.aspect = 0.0 then 0.0
@@ -26,7 +29,11 @@ let compose w ~width ~height ~hpwl =
         (* scale by area so the term is commensurate with the others *)
         w.aspect *. area *. abs_float (log (ratio /. w.target_aspect))
   in
-  (w.area *. area) +. (w.wirelength *. hpwl) +. aspect_term
+  (w.area *. area, w.wirelength *. hpwl, aspect_term)
+
+let compose w ~width ~height ~hpwl =
+  let t_area, t_wl, t_aspect = terms w ~width ~height ~hpwl in
+  t_area +. t_wl +. t_aspect
 
 let evaluate w p =
   compose w ~width:(Placement.width p) ~height:(Placement.height p)

@@ -22,3 +22,8 @@ val compose : weights -> width:int -> height:int -> hpwl:float -> float
     wirelength. [evaluate] and the allocation-free {!Eval} arena both
     delegate here, so list-based and array-based evaluation agree to
     the last bit. *)
+
+val terms : weights -> width:int -> height:int -> hpwl:float -> float * float * float
+(** The three addends of {!compose} — (area term, wirelength term,
+    aspect term) — separately, for QoR cost breakdowns. [compose] is
+    exactly their left-to-right sum. *)

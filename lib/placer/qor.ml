@@ -1,0 +1,84 @@
+(* Fill a Telemetry.Qor.t from a finished placement: recompute the cost
+   breakdown through the same Cost.terms the annealer summed, and run
+   the independent constraint checkers so the record reflects verified
+   properties, not the placer's own claims. *)
+
+let check_to_violation ~group ~ckind ~members result =
+  let count = match result with Ok _ -> 0 | Error _ -> 1 in
+  { Telemetry.Qor.group; ckind; count; members }
+
+let violations ?(groups = []) ?hierarchy p =
+  let placed = p.Placement.placed in
+  let sym =
+    List.map
+      (fun (g : Constraints.Symmetry_group.t) ->
+        check_to_violation ~group:g.Constraints.Symmetry_group.name
+          ~ckind:"symmetry"
+          ~members:(Constraints.Symmetry_group.members g)
+          (Constraints.Placement_check.symmetry ~group:g placed))
+      groups
+  in
+  let hier =
+    match hierarchy with
+    | None -> []
+    | Some h ->
+        List.filter_map
+          (fun (name, kind, members) ->
+            match (kind : Netlist.Hierarchy.constraint_kind) with
+            | Netlist.Hierarchy.Proximity ->
+                Some
+                  (check_to_violation ~group:name ~ckind:"proximity" ~members
+                     (Constraints.Placement_check.proximity ~members placed))
+            | Netlist.Hierarchy.Common_centroid ->
+                Some
+                  (check_to_violation ~group:name ~ckind:"common-centroid"
+                     ~members
+                     (Constraints.Placement_check.common_centroid ~members
+                        placed))
+            | Netlist.Hierarchy.Symmetry | Netlist.Hierarchy.Free -> None)
+          (Netlist.Hierarchy.constraint_nodes h)
+  in
+  sym @ hier
+
+let extract ?(weights = Cost.default) ?groups ?hierarchy ?outline ?move_rates
+    ~cost ~wall_s ~sa_rounds ~evaluated p =
+  let width = Placement.width p and height = Placement.height p in
+  let hpwl = Placement.hpwl p in
+  let area = Placement.area p in
+  let term_area, term_wirelength, term_aspect =
+    Cost.terms weights ~width ~height ~hpwl
+  in
+  let dead_space_pct =
+    if area = 0 then 0.0
+    else float_of_int (Placement.dead_space p) /. float_of_int area *. 100.0
+  in
+  let outline_fit =
+    match outline with
+    | None -> None
+    | Some (ow, oh) -> Some (width <= ow && height <= oh)
+  in
+  Telemetry.Qor.run
+    ?outline_fit
+    ~violations:(violations ?groups ?hierarchy p)
+    ?move_rates ~cost ~wall_s ~sa_rounds ~evaluated ~area ~width ~height ~hpwl
+    ~term_area ~term_wirelength ~term_aspect ~dead_space_pct ()
+
+let rects p =
+  let c = p.Placement.circuit in
+  let n = Netlist.Circuit.size c in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    match Placement.rect_of p i with
+    | None -> ()
+    | Some (r : Geometry.Rect.t) ->
+        out :=
+          {
+            Telemetry.Ledger.cell = c.Netlist.Circuit.modules.(i).Netlist.Circuit.name;
+            x = r.Geometry.Rect.x;
+            y = r.Geometry.Rect.y;
+            w = r.Geometry.Rect.w;
+            h = r.Geometry.Rect.h;
+          }
+          :: !out
+  done;
+  !out

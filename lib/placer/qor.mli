@@ -1,0 +1,41 @@
+(** QoR extraction from finished placements.
+
+    {!Telemetry.Qor} owns the record and its JSON form; this module is
+    the layer that can actually fill it in, because it sees the cost
+    function ({!Cost.terms}), the placement accessors, and the
+    independent constraint checkers in [lib/constraints]. The split
+    keeps the telemetry library free of placement dependencies. *)
+
+val violations :
+  ?groups:Constraints.Symmetry_group.t list ->
+  ?hierarchy:Netlist.Hierarchy.t ->
+  Placement.t ->
+  Telemetry.Qor.violation list
+(** One entry per constraint group, including satisfied ones
+    ([count = 0]) so a report can show what was checked. Symmetry
+    groups run {!Constraints.Placement_check.symmetry}; the hierarchy's
+    proximity and common-centroid nodes run their checkers; hierarchy
+    symmetry nodes are skipped (they are covered by [groups], which is
+    how every placer consumes them). *)
+
+val extract :
+  ?weights:Cost.weights ->
+  ?groups:Constraints.Symmetry_group.t list ->
+  ?hierarchy:Netlist.Hierarchy.t ->
+  ?outline:int * int ->
+  ?move_rates:(string * int * int) list ->
+  cost:float ->
+  wall_s:float ->
+  sa_rounds:int ->
+  evaluated:int ->
+  Placement.t ->
+  Telemetry.Qor.t
+(** The full run-level record: cost terms recomputed via {!Cost.terms}
+    (default weights {!Cost.default}), geometry from the placement,
+    dead-space percentage, [outline_fit] when a fixed [(w, h)] outline
+    is given, and {!violations} of the stated constraints. *)
+
+val rects : Placement.t -> Telemetry.Ledger.rect list
+(** The placed rectangles with their cell names, in cell order — what
+    a ledger entry embeds so reports can redraw the floorplan without
+    re-running the placer. *)

@@ -132,10 +132,16 @@ let text sink =
         buf_addf buf
           "  %-40s n=%d total=%.3fms p50=%.1fus p90=%.1fus p99=%.1fus\n" name n
           (total *. 1e3) (q 0.5) (q 0.9) (q 0.99))
-      rows;
-    if Sink.dropped_spans sink > 0 then
-      buf_addf buf "  (ring dropped %d oldest spans)\n" (Sink.dropped_spans sink)
+      rows
   end;
+  (* Outside the spans-section guard: a ring that overflowed and was
+     then drained (or absorbed into a parent whose own ring also
+     overflowed) must still disclose the loss, or the statistics above
+     silently describe a truncated sample. *)
+  if Sink.dropped_spans sink > 0 then
+    buf_addf buf
+      "spans dropped: %d (ring capacity exceeded; oldest spans evicted, statistics cover survivors only)\n"
+      (Sink.dropped_spans sink);
   let conv = Sink.convergence sink in
   if conv <> [] then begin
     let n = List.length conv in
@@ -144,6 +150,24 @@ let text sink =
       last.Convergence.best_cost last.Convergence.tid last.Convergence.round
   end;
   Buffer.contents buf
+
+(* --- safe file writing ------------------------------------------------ *)
+
+(* The CLI writes traces/CSVs/SVGs to user-supplied paths; [open_out]
+   raises [Sys_error] with a raw strerror. Return the message instead
+   so callers can print one clean line and choose an exit code. *)
+let write_file ~path content =
+  match open_out path with
+  | exception Sys_error msg -> Error msg
+  | oc ->
+      let r =
+        try
+          output_string oc content;
+          Ok ()
+        with Sys_error msg -> Error msg
+      in
+      (try close_out oc with Sys_error _ -> ());
+      r
 
 (* --- minimal JSON syntax checker ------------------------------------- *)
 

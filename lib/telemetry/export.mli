@@ -12,7 +12,9 @@ val chrome_json : Sink.t -> string
 val text : Sink.t -> string
 (** Human-readable summary: counters (name-sorted), histograms with
     count/mean/p50/p90/p99/max, per-name span statistics (count, total,
-    duration quantiles via {!Prelude.Stats.quantile}), and the final
+    duration quantiles via {!Prelude.Stats.quantile}), a
+    [spans dropped: N] disclosure whenever the ring evicted anything
+    (even when no spans survive to summarize), and the final
     convergence sample. Sections with no data are omitted; empty sinks
     yield [""]. *)
 
@@ -20,6 +22,12 @@ val conv_csv : Sink.t -> string
 (** Convergence series as CSV with header
     [chain,round,temperature,acceptance,best_cost], sorted by
     (chain, round). *)
+
+val write_file : path:string -> string -> (unit, string) result
+(** Write [content] to [path], truncating. I/O failures (unwritable
+    directory, permission denied, disk full) come back as
+    [Error strerror] instead of a raised [Sys_error], so CLI callers
+    can report one clean line and pick an exit code. *)
 
 val check_json : string -> (unit, string) result
 (** Syntax-check a complete JSON document (RFC 8259 grammar; does not

@@ -1,0 +1,320 @@
+(* Minimal JSON values. Numbers are stored as their source lexemes and
+   emitted verbatim, which is what makes write -> read -> re-write of a
+   ledger byte-identical: the reader never reformats a number, and the
+   emitters below are the only producers of lexemes in the first
+   place. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of string
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let int i = Num (string_of_int i)
+
+(* Shortest decimal representation that parses back to the same float;
+   deterministic, so re-emitting a parsed value reproduces the lexeme. *)
+let float_lexeme v =
+  if Float.is_nan v then "0"
+  else if v = Float.infinity then "1e308"
+  else if v = Float.neg_infinity then "-1e308"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s
+    else
+      let s = Printf.sprintf "%.15g" v in
+      if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let float v = Num (float_lexeme v)
+let str s = Str s
+let bool b = Bool b
+
+(* ---- emission ------------------------------------------------------ *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let emit v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num lexeme -> Buffer.add_string buf lexeme
+    | Str s ->
+        Buffer.add_char buf '"';
+        escape_into buf s;
+        Buffer.add_char buf '"'
+    | Arr items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            go item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (name, item) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            escape_into buf name;
+            Buffer.add_string buf "\":";
+            go item)
+          fields;
+        Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+(* ---- parsing ------------------------------------------------------- *)
+
+exception Bad of string
+
+let utf8_add buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let hex_digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "bad \\u escape"
+  in
+  let hex4 () =
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      (match peek () with
+      | Some c -> v := (!v lsl 4) lor hex_digit c
+      | None -> fail "bad \\u escape");
+      advance ()
+    done;
+    !v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let fin = ref false in
+    while not !fin do
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' ->
+          advance ();
+          fin := true
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> advance (); Buffer.add_char buf '"'
+          | Some '\\' -> advance (); Buffer.add_char buf '\\'
+          | Some '/' -> advance (); Buffer.add_char buf '/'
+          | Some 'b' -> advance (); Buffer.add_char buf '\b'
+          | Some 'f' -> advance (); Buffer.add_char buf '\012'
+          | Some 'n' -> advance (); Buffer.add_char buf '\n'
+          | Some 'r' -> advance (); Buffer.add_char buf '\r'
+          | Some 't' -> advance (); Buffer.add_char buf '\t'
+          | Some 'u' ->
+              advance ();
+              let cp = hex4 () in
+              if cp >= 0xD800 && cp <= 0xDBFF then begin
+                (* high surrogate: a low surrogate must follow *)
+                if
+                  !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                then begin
+                  advance ();
+                  advance ();
+                  let lo = hex4 () in
+                  if lo < 0xDC00 || lo > 0xDFFF then fail "bad surrogate pair"
+                  else
+                    utf8_add buf
+                      (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+                end
+                else fail "lone high surrogate"
+              end
+              else if cp >= 0xDC00 && cp <= 0xDFFF then fail "lone low surrogate"
+              else utf8_add buf cp
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c
+    done;
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let digits () =
+      let seen = ref false in
+      while
+        match peek () with Some c when c >= '0' && c <= '9' -> true | _ -> false
+      do
+        seen := true;
+        advance ()
+      done;
+      if not !seen then fail "expected digit"
+    in
+    (match peek () with Some '-' -> advance () | _ -> ());
+    (match peek () with
+    | Some '0' -> advance ()
+    | Some c when c >= '1' && c <= '9' -> digits ()
+    | _ -> fail "bad number");
+    (match peek () with
+    | Some '.' ->
+        advance ();
+        digits ()
+    | _ -> ());
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    Num (String.sub s start (!pos - start))
+  in
+  let parse_lit lit v =
+    String.iter
+      (fun c ->
+        match peek () with
+        | Some x when x = c -> advance ()
+        | _ -> fail (Printf.sprintf "expected %s" lit))
+      lit;
+    v
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let fin = ref false in
+          while not !fin do
+            skip_ws ();
+            let name = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (name, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance ()
+            | Some '}' ->
+                advance ();
+                fin := true
+            | _ -> fail "expected ',' or '}'"
+          done;
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let fin = ref false in
+          while not !fin do
+            items := parse_value () :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance ()
+            | Some ']' ->
+                advance ();
+                fin := true
+            | _ -> fail "expected ',' or ']'"
+          done;
+          Arr (List.rev !items)
+        end
+    | Some 't' -> parse_lit "true" (Bool true)
+    | Some 'f' -> parse_lit "false" (Bool false)
+    | Some 'n' -> parse_lit "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+    else Ok v
+  with Bad msg -> Error msg
+
+(* ---- accessors ----------------------------------------------------- *)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_float = function Num lexeme -> float_of_string_opt lexeme | _ -> None
+
+let to_int = function
+  | Num lexeme -> (
+      match int_of_string_opt lexeme with
+      | Some i -> Some i
+      | None -> (
+          (* the canonical emitters write integral floats as plain
+             digit runs, so this branch only fires on foreign input *)
+          match float_of_string_opt lexeme with
+          | Some f when Float.is_integer f -> Some (int_of_float f)
+          | _ -> None))
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function Arr items -> Some items | _ -> None

@@ -1,0 +1,245 @@
+(* QoR records and their JSON form. Field order in [to_json] is fixed
+   and [of_json] tolerates missing optional fields, so the pair gives a
+   deterministic byte-level round-trip through Json's lexeme-preserving
+   values. *)
+
+type violation = {
+  group : string;
+  ckind : string;
+  count : int;
+  members : int list;
+}
+
+type t = {
+  kind : string;
+  cost : float;
+  wall_s : float;
+  sa_rounds : int;
+  evaluated : int;
+  area : int;
+  width : int;
+  height : int;
+  hpwl : float;
+  term_area : float;
+  term_wirelength : float;
+  term_aspect : float;
+  dead_space_pct : float;
+  outline_fit : bool option;
+  violations : violation list;
+  move_rates : (string * int * int) list;
+}
+
+let run ?outline_fit ?(violations = []) ?(move_rates = []) ~cost ~wall_s
+    ~sa_rounds ~evaluated ~area ~width ~height ~hpwl ~term_area
+    ~term_wirelength ~term_aspect ~dead_space_pct () =
+  {
+    kind = "run";
+    cost;
+    wall_s;
+    sa_rounds;
+    evaluated;
+    area;
+    width;
+    height;
+    hpwl;
+    term_area;
+    term_wirelength;
+    term_aspect;
+    dead_space_pct;
+    outline_fit;
+    violations;
+    move_rates = List.sort compare move_rates;
+  }
+
+let chain ?(move_rates = []) ~cost ~wall_s ~sa_rounds ~evaluated () =
+  {
+    kind = "chain";
+    cost;
+    wall_s;
+    sa_rounds;
+    evaluated;
+    area = 0;
+    width = 0;
+    height = 0;
+    hpwl = 0.0;
+    term_area = 0.0;
+    term_wirelength = 0.0;
+    term_aspect = 0.0;
+    dead_space_pct = 0.0;
+    outline_fit = None;
+    violations = [];
+    move_rates = List.sort compare move_rates;
+  }
+
+let violation_total t =
+  List.fold_left (fun acc v -> acc + v.count) 0 t.violations
+
+let accept_rate t =
+  let acc, rej =
+    List.fold_left
+      (fun (a, r) (_, acc, rej) -> (a + acc, r + rej))
+      (0, 0) t.move_rates
+  in
+  if acc + rej = 0 then 0.0 else float_of_int acc /. float_of_int (acc + rej)
+
+(* "sa.moves.<class>.accept" / ".reject" is the Sink.register_moves
+   naming convention; fold a counters snapshot back into per-class
+   pairs. *)
+let move_rates_of_counters counters =
+  let prefix = "sa.moves." in
+  let plen = String.length prefix in
+  let classify name =
+    if String.length name > plen && String.sub name 0 plen = prefix then
+      let rest = String.sub name plen (String.length name - plen) in
+      match String.rindex_opt rest '.' with
+      | Some i -> (
+          let cls = String.sub rest 0 i in
+          match String.sub rest (i + 1) (String.length rest - i - 1) with
+          | "accept" -> Some (cls, `Accept)
+          | "reject" -> Some (cls, `Reject)
+          | _ -> None)
+      | None -> None
+    else None
+  in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (name, v) ->
+      match classify name with
+      | None -> ()
+      | Some (cls, side) ->
+          let a, r = try Hashtbl.find tbl cls with Not_found -> (0, 0) in
+          Hashtbl.replace tbl cls
+            (match side with `Accept -> (a + v, r) | `Reject -> (a, r + v)))
+    counters;
+  Hashtbl.fold (fun cls (a, r) acc -> (cls, a, r) :: acc) tbl []
+  |> List.sort compare
+
+(* ---- JSON ---------------------------------------------------------- *)
+
+let violation_to_json v =
+  Json.Obj
+    [
+      ("group", Json.str v.group);
+      ("kind", Json.str v.ckind);
+      ("count", Json.int v.count);
+      ("members", Json.Arr (List.map Json.int v.members));
+    ]
+
+let to_json t =
+  let base =
+    [
+      ("kind", Json.str t.kind);
+      ("cost", Json.float t.cost);
+      ("wall_s", Json.float t.wall_s);
+      ("sa_rounds", Json.int t.sa_rounds);
+      ("evaluated", Json.int t.evaluated);
+      ("area", Json.int t.area);
+      ("width", Json.int t.width);
+      ("height", Json.int t.height);
+      ("hpwl", Json.float t.hpwl);
+      ("term_area", Json.float t.term_area);
+      ("term_wirelength", Json.float t.term_wirelength);
+      ("term_aspect", Json.float t.term_aspect);
+      ("dead_space_pct", Json.float t.dead_space_pct);
+    ]
+  in
+  let outline =
+    match t.outline_fit with
+    | None -> []
+    | Some b -> [ ("outline_fit", Json.bool b) ]
+  in
+  let tail =
+    [
+      ("violations", Json.Arr (List.map violation_to_json t.violations));
+      ( "move_rates",
+        Json.Arr
+          (List.map
+             (fun (cls, a, r) ->
+               Json.Obj
+                 [
+                   ("class", Json.str cls);
+                   ("accepted", Json.int a);
+                   ("rejected", Json.int r);
+                 ])
+             t.move_rates) );
+    ]
+  in
+  Json.Obj (base @ outline @ tail)
+
+(* of_json: each getter threads an error string so a malformed record
+   names the field that broke, not just "parse error". *)
+let field conv name j =
+  match Json.member name j with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "bad value for field %S" name))
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let violation_of_json j =
+  let* group = field Json.to_str "group" j in
+  let* ckind = field Json.to_str "kind" j in
+  let* count = field Json.to_int "count" j in
+  let* members_js = field Json.to_list "members" j in
+  let members = List.filter_map Json.to_int members_js in
+  if List.length members <> List.length members_js then
+    Error "bad value for field \"members\""
+  else Ok { group; ckind; count; members }
+
+let move_rate_of_json j =
+  let* cls = field Json.to_str "class" j in
+  let* a = field Json.to_int "accepted" j in
+  let* r = field Json.to_int "rejected" j in
+  Ok (cls, a, r)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let of_json j =
+  let* kind = field Json.to_str "kind" j in
+  let* cost = field Json.to_float "cost" j in
+  let* wall_s = field Json.to_float "wall_s" j in
+  let* sa_rounds = field Json.to_int "sa_rounds" j in
+  let* evaluated = field Json.to_int "evaluated" j in
+  let* area = field Json.to_int "area" j in
+  let* width = field Json.to_int "width" j in
+  let* height = field Json.to_int "height" j in
+  let* hpwl = field Json.to_float "hpwl" j in
+  let* term_area = field Json.to_float "term_area" j in
+  let* term_wirelength = field Json.to_float "term_wirelength" j in
+  let* term_aspect = field Json.to_float "term_aspect" j in
+  let* dead_space_pct = field Json.to_float "dead_space_pct" j in
+  let outline_fit =
+    match Json.member "outline_fit" j with
+    | Some v -> Json.to_bool v
+    | None -> None
+  in
+  let* violations_js = field Json.to_list "violations" j in
+  let* violations = map_result violation_of_json violations_js in
+  let* moves_js = field Json.to_list "move_rates" j in
+  let* move_rates = map_result move_rate_of_json moves_js in
+  Ok
+    {
+      kind;
+      cost;
+      wall_s;
+      sa_rounds;
+      evaluated;
+      area;
+      width;
+      height;
+      hpwl;
+      term_area;
+      term_wirelength;
+      term_aspect;
+      dead_space_pct;
+      outline_fit;
+      violations;
+      move_rates;
+    }

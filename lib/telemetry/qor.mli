@@ -1,0 +1,93 @@
+(** Quality-of-results records.
+
+    The survey evaluates every topological representation by what it
+    produces — area, wirelength, satisfied symmetry / proximity /
+    centroid constraints (§II–III, Tables 1–2) — and a placement
+    service needs the same facts per request. A [Qor.t] is that record
+    in machine-comparable form: the cost breakdown (the three
+    {!Placer.Cost.compose} terms), geometric quality (dead-space %,
+    outline fit), per-constraint-group violation counts, per-move-class
+    accept rates, and the run's effort (rounds, evaluations, wall
+    time).
+
+    This module owns only the {e data} and its JSON round-trip; it
+    depends on nothing above the telemetry layer. Extraction from a
+    finished placement lives in [Placer.Qor] (which can see the cost
+    function and the constraint checkers); per-chain records are minted
+    by {!Anneal.Parallel} via {!chain} and ride through child
+    {!Sink}s like every other telemetry stream. *)
+
+type violation = {
+  group : string;  (** constraint-group name *)
+  ckind : string;  (** "symmetry" | "proximity" | "common-centroid" *)
+  count : int;  (** 0 when the group holds *)
+  members : int list;  (** module indices, for report-side highlighting *)
+}
+
+type t = {
+  kind : string;  (** "run" for a whole placement, "chain" for one SA chain *)
+  cost : float;  (** final best cost *)
+  wall_s : float;
+  sa_rounds : int;
+  evaluated : int;
+  area : int;  (** bounding-box area (0 for chain records) *)
+  width : int;
+  height : int;
+  hpwl : float;
+  term_area : float;  (** weighted area term of the cost *)
+  term_wirelength : float;
+  term_aspect : float;
+  dead_space_pct : float;
+  outline_fit : bool option;  (** fixed-outline satisfied; [None] = free *)
+  violations : violation list;
+  move_rates : (string * int * int) list;
+      (** (class, accepted, rejected), name-sorted *)
+}
+
+val run :
+  ?outline_fit:bool ->
+  ?violations:violation list ->
+  ?move_rates:(string * int * int) list ->
+  cost:float ->
+  wall_s:float ->
+  sa_rounds:int ->
+  evaluated:int ->
+  area:int ->
+  width:int ->
+  height:int ->
+  hpwl:float ->
+  term_area:float ->
+  term_wirelength:float ->
+  term_aspect:float ->
+  dead_space_pct:float ->
+  unit ->
+  t
+
+val chain :
+  ?move_rates:(string * int * int) list ->
+  cost:float ->
+  wall_s:float ->
+  sa_rounds:int ->
+  evaluated:int ->
+  unit ->
+  t
+(** A per-chain record: search effort and best cost only; geometric
+    fields are zero (the chain's state was never materialized). *)
+
+val violation_total : t -> int
+(** Sum of all violation counts. *)
+
+val accept_rate : t -> float
+(** Accepted / (accepted + rejected) over all move classes; 0 when no
+    tallies were recorded. *)
+
+val move_rates_of_counters : (string * int) list -> (string * int * int) list
+(** Extract per-class (accepted, rejected) pairs from a
+    {!Sink.counters} snapshot by parsing the
+    [sa.moves.<class>.accept] / [.reject] naming convention
+    ({!Sink.register_moves}). Name-sorted. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}: [of_json (to_json q) = Ok q], and re-emitting
+    a parsed record is byte-identical (tested). *)

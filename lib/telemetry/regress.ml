@@ -1,0 +1,162 @@
+(* Regression detection. The gate rule per metric:
+
+     regressed  <=>  candidate > max (q90 baseline,
+                                      q50 baseline * (1 + tol/100))
+
+   q50 * tol is the signal ("meaningfully worse than typical"), q90 is
+   the noise floor ("but not if the baseline itself ranges that high").
+   Violations use plain max with no tolerance: constraint counts are
+   small integers and any increase is a real defect. *)
+
+type thresholds = { cost_pct : float; hpwl_pct : float; area_pct : float }
+
+let default_thresholds = { cost_pct = 1.0; hpwl_pct = 2.0; area_pct = 2.0 }
+
+type metric = {
+  mname : string;
+  baseline_q50 : float;
+  baseline_q90 : float;
+  candidate : float;
+  delta_pct : float;
+  regressed : bool;
+  gated : bool;
+}
+
+type comparison = {
+  key : string;
+  baseline_runs : int;
+  metrics : metric list;
+  missing_baseline : bool;
+}
+
+type verdict = { comparisons : comparison list; regressions : int }
+
+(* The key is everything that fixes the deterministic result: netlist,
+   engine, seed, chain count (multi-start changes the computation —
+   worker count does not and is deliberately excluded). *)
+let key_of (e : Ledger.entry) =
+  Printf.sprintf "%s/%s/%d/c%d" e.Ledger.label e.Ledger.engine e.Ledger.seed
+    e.Ledger.chains
+
+let delta_pct ~q50 ~cand =
+  if q50 = 0.0 then if cand = 0.0 then 0.0 else Float.infinity
+  else (cand -. q50) /. q50 *. 100.0
+
+let tolerance_metric name tol_pct samples cand ~gated =
+  let q50 = Prelude.Stats.quantile samples 0.5 in
+  let q90 = Prelude.Stats.quantile samples 0.9 in
+  let ceiling = Float.max q90 (q50 *. (1.0 +. (tol_pct /. 100.0))) in
+  {
+    mname = name;
+    baseline_q50 = q50;
+    baseline_q90 = q90;
+    candidate = cand;
+    delta_pct = delta_pct ~q50 ~cand;
+    regressed = gated && cand > ceiling;
+    gated;
+  }
+
+let max_metric name samples cand ~gated =
+  let mx = List.fold_left Float.max 0.0 samples in
+  let q50 = Prelude.Stats.quantile samples 0.5 in
+  {
+    mname = name;
+    baseline_q50 = q50;
+    baseline_q90 = mx;
+    candidate = cand;
+    delta_pct = delta_pct ~q50 ~cand;
+    regressed = gated && cand > mx;
+    gated;
+  }
+
+let metrics_of th (baseline : Ledger.entry list) (cand : Ledger.entry) =
+  let pick f = List.map (fun (e : Ledger.entry) -> f e.Ledger.qor) baseline in
+  let q = cand.Ledger.qor in
+  [
+    tolerance_metric "cost" th.cost_pct
+      (pick (fun q -> q.Qor.cost))
+      q.Qor.cost ~gated:true;
+    tolerance_metric "hpwl" th.hpwl_pct
+      (pick (fun q -> q.Qor.hpwl))
+      q.Qor.hpwl ~gated:true;
+    tolerance_metric "area" th.area_pct
+      (pick (fun q -> float_of_int q.Qor.area))
+      (float_of_int q.Qor.area) ~gated:true;
+    max_metric "violations"
+      (pick (fun q -> float_of_int (Qor.violation_total q)))
+      (float_of_int (Qor.violation_total q))
+      ~gated:true;
+    tolerance_metric "wall_s" 0.0
+      (pick (fun q -> q.Qor.wall_s))
+      q.Qor.wall_s ~gated:false;
+  ]
+
+let compare_entries ?(thresholds = default_thresholds) ~baseline ~candidate () =
+  (* latest candidate per key, in first-appearance order *)
+  let latest = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let k = key_of e in
+      if not (Hashtbl.mem latest k) then order := k :: !order;
+      Hashtbl.replace latest k e)
+    candidate;
+  let comparisons =
+    List.rev_map
+      (fun k ->
+        let cand = Hashtbl.find latest k in
+        let base = List.filter (fun e -> key_of e = k) baseline in
+        if base = [] then
+          { key = k; baseline_runs = 0; metrics = []; missing_baseline = true }
+        else
+          {
+            key = k;
+            baseline_runs = List.length base;
+            metrics = metrics_of thresholds base cand;
+            missing_baseline = false;
+          })
+      !order
+  in
+  let regressions =
+    List.fold_left
+      (fun acc c ->
+        acc
+        + List.length (List.filter (fun m -> m.regressed) c.metrics))
+      0 comparisons
+  in
+  { comparisons; regressions }
+
+let ok v = v.regressions = 0
+
+let render v =
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun c ->
+      if c.missing_baseline then
+        addf "%s: no baseline runs (candidate recorded, nothing gated)\n" c.key
+      else begin
+        addf "%s (%d baseline run%s):\n" c.key c.baseline_runs
+          (if c.baseline_runs = 1 then "" else "s");
+        List.iter
+          (fun m ->
+            let flag =
+              if m.regressed then "REGRESSED"
+              else if not m.gated then "info"
+              else "ok"
+            in
+            let delta =
+              if Float.is_integer m.delta_pct && Float.abs m.delta_pct < 1e6
+              then Printf.sprintf "%+.0f%%" m.delta_pct
+              else Printf.sprintf "%+.2f%%" m.delta_pct
+            in
+            addf "  %-12s %-9s cand=%-14.6g q50=%-14.6g q90=%-14.6g (%s)\n"
+              m.mname flag m.candidate m.baseline_q50 m.baseline_q90 delta)
+          c.metrics
+      end)
+    v.comparisons;
+  if v.regressions = 0 then addf "verdict: OK (no regressions)\n"
+  else
+    addf "verdict: REGRESSION (%d gated metric%s regressed)\n" v.regressions
+      (if v.regressions = 1 then "" else "s");
+  Buffer.contents buf

@@ -1,0 +1,64 @@
+(** QoR regression detection over ledger entries.
+
+    Runs are grouped by key (label / engine / seed / chain count —
+    everything that fixes the deterministic result; worker count is
+    excluded because it does not), the baseline group's samples
+    are reduced to q50/q90 via {!Prelude.Stats.quantile}, and a
+    candidate regresses a metric when it lands above {e both} the
+    baseline q90 and q50 scaled by the metric's tolerance — one noisy
+    baseline run widens the band instead of tripping the gate.
+    Violation counts get no tolerance: any count above the baseline
+    maximum regresses.
+
+    Wall time is reported but never gated — it is the one metric that
+    varies across machines while cost / HPWL / area are deterministic
+    for a fixed seed. *)
+
+type thresholds = {
+  cost_pct : float;  (** tolerance on final cost, percent (default 1) *)
+  hpwl_pct : float;  (** tolerance on HPWL, percent (default 2) *)
+  area_pct : float;  (** tolerance on bounding-box area, percent (default 2) *)
+}
+
+val default_thresholds : thresholds
+
+type metric = {
+  mname : string;
+  baseline_q50 : float;
+  baseline_q90 : float;
+  candidate : float;
+  delta_pct : float;  (** candidate vs baseline q50, percent *)
+  regressed : bool;
+  gated : bool;  (** false for report-only metrics (wall time) *)
+}
+
+type comparison = {
+  key : string;  (** "label/engine/seed/cN" *)
+  baseline_runs : int;
+  metrics : metric list;
+  missing_baseline : bool;
+}
+
+type verdict = {
+  comparisons : comparison list;
+  regressions : int;  (** gated metrics that regressed, totalled *)
+}
+
+val key_of : Ledger.entry -> string
+
+val compare_entries :
+  ?thresholds:thresholds ->
+  baseline:Ledger.entry list ->
+  candidate:Ledger.entry list ->
+  unit ->
+  verdict
+(** Latest candidate entry per key versus all baseline entries sharing
+    that key. Candidate keys absent from the baseline are reported with
+    [missing_baseline = true] and gate nothing. *)
+
+val ok : verdict -> bool
+(** No gated metric regressed. *)
+
+val render : verdict -> string
+(** Human-readable report: one block per comparison, one line per
+    metric, closed by an [OK] / [REGRESSION] verdict line. *)

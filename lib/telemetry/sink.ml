@@ -25,6 +25,7 @@ type t = {
   tracer : Tracer.t;
   conv : Convergence.t;
   mutable mv : Moves.t;
+  mutable qors_rev : Qor.t list;
 }
 
 let null =
@@ -38,6 +39,7 @@ let null =
     tracer = Tracer.create 1;
     conv = Convergence.create ();
     mv = Moves.null;
+    qors_rev = [];
   }
 
 let default_trace_capacity = 8192
@@ -53,6 +55,7 @@ let create ?(clock = Unix.gettimeofday) ?(trace_capacity = default_trace_capacit
     tracer = Tracer.create trace_capacity;
     conv = Convergence.create ();
     mv = Moves.null;
+    qors_rev = [];
   }
 
 let live t = t.live
@@ -70,6 +73,7 @@ let child t ~tid =
       tracer = Tracer.create (Tracer.capacity t.tracer);
       conv = Convergence.create ();
       mv = Moves.null;
+      qors_rev = [];
     }
 
 let counter t name =
@@ -150,6 +154,9 @@ let spans t = Tracer.spans t.tracer
 let dropped_spans t = Tracer.dropped t.tracer
 let convergence t = Convergence.samples t.conv
 
+let record_qor t q = if t.live then t.qors_rev <- q :: t.qors_rev
+let qors t = List.rev t.qors_rev
+
 let absorb t c =
   if t.live && c.live then begin
     Hashtbl.iter (fun name src -> Counter.add (counter t name) (Counter.value src)) c.counters;
@@ -160,5 +167,6 @@ let absorb t c =
           ~tid:s.Tracer.tid)
       (Tracer.spans c.tracer);
     Tracer.add_dropped t.tracer (Tracer.dropped c.tracer);
-    List.iter (Convergence.add t.conv) (Convergence.samples c.conv)
+    List.iter (Convergence.add t.conv) (Convergence.samples c.conv);
+    List.iter (record_qor t) (qors c)
   end

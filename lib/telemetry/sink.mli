@@ -88,9 +88,18 @@ val spans : t -> Tracer.span list
 val dropped_spans : t -> int
 val convergence : t -> Convergence.sample list
 
+val record_qor : t -> Qor.t -> unit
+(** Append one QoR record (no-op on a dead sink). Engines record one
+    {!Qor.chain} per SA chain; the driver records the final {!Qor.run}
+    before writing a {!Ledger} entry. *)
+
+val qors : t -> Qor.t list
+(** QoR records in recording order (absorbed children's records follow
+    the parent's own, in absorb order). *)
+
 val absorb : t -> t -> unit
 (** [absorb parent child] merges the child's counters (by name, summed)
     and histograms (by name, bucket-wise), re-records its spans and
     dropped-count into the parent's ring, and appends its convergence
-    samples. Call only after the child's domain has joined. No-op if
-    either side is dead. *)
+    samples and QoR records. Call only after the child's domain has
+    joined. No-op if either side is dead. *)

@@ -83,7 +83,14 @@ let test_quantile () =
   Alcotest.(check (float 1e-9)) "unsorted input" 2.5 (q [ 4.0; 1.0; 3.0; 2.0 ] 0.5);
   Alcotest.(check (float 1e-9)) "singleton" 7.0 (q [ 7.0 ] 0.9);
   Alcotest.(check (float 1e-9)) "empty" 0.0 (q [] 0.5);
-  Alcotest.(check (float 1e-9)) "q clamped" 4.0 (q xs 1.5)
+  Alcotest.(check (float 1e-9)) "q clamped" 4.0 (q xs 1.5);
+  (* edge cases the regression gate leans on: degenerate sample sets
+     must give exact, not interpolated-garbage, answers *)
+  Alcotest.(check (float 1e-9)) "empty at q=0" 0.0 (q [] 0.0);
+  Alcotest.(check (float 1e-9)) "empty at q=1" 0.0 (q [] 1.0);
+  Alcotest.(check (float 1e-9)) "singleton any q" 7.0 (q [ 7.0 ] 0.0);
+  Alcotest.(check (float 1e-9)) "all equal" 3.0 (q [ 3.0; 3.0; 3.0; 3.0 ] 0.9);
+  Alcotest.(check (float 1e-9)) "negative q clamps" 1.0 (q xs (-0.5))
 
 let test_quantile_weighted () =
   let qw = Prelude.Stats.quantile_weighted in
@@ -97,7 +104,15 @@ let test_quantile_weighted () =
     (qw [ (1.0, 1); (5.0, 1) ] 0.5);
   Alcotest.(check (float 1e-9)) "zero weights dropped" 2.0
     (qw [ (1.0, 0); (2.0, 5) ] 0.5);
-  Alcotest.(check (float 1e-9)) "empty" 0.0 (qw [] 0.5)
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (qw [] 0.5);
+  Alcotest.(check (float 1e-9)) "single point" 4.0 (qw [ (4.0, 3) ] 0.99);
+  Alcotest.(check (float 1e-9)) "all weights zero" 0.0
+    (qw [ (1.0, 0); (2.0, 0) ] 0.5);
+  (* equal weights reduce to the unweighted quantile of the values *)
+  Alcotest.(check (float 1e-9))
+    "all-equal weights = plain quantile"
+    (Prelude.Stats.quantile [ 1.0; 2.0; 3.0; 4.0 ] 0.75)
+    (qw [ (1.0, 1); (2.0, 1); (3.0, 1); (4.0, 1) ] 0.75)
 
 let prop_quantile_weighted_expands =
   QCheck.Test.make ~name:"quantile_weighted = quantile of expansion" ~count:200

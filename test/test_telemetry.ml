@@ -200,6 +200,40 @@ let test_text_summary () =
     [ "counters:"; "spans:"; "pack"; "convergence:" ];
   Alcotest.(check string) "empty sink prints nothing" "" (T.Export.text T.Sink.null)
 
+(* Ring eviction must be disclosed in the text summary: the span
+   statistics otherwise silently describe a truncated sample. *)
+let test_text_dropped_spans () =
+  let s = live_sink ~trace_capacity:4 () in
+  for _ = 1 to 10 do
+    let t0 = T.Sink.span_begin s in
+    T.Sink.span_end s "work" t0
+  done;
+  Alcotest.(check int) "6 of 10 evicted" 6 (T.Sink.dropped_spans s);
+  let txt = T.Export.text s in
+  Alcotest.(check bool) "discloses eviction count" true
+    (contains txt "spans dropped: 6");
+  Alcotest.(check bool) "names the cause" true
+    (contains txt "ring capacity exceeded")
+
+(* Bucketed or not, a histogram's quantile function must be monotone in
+   q — the regression report reads q50/q90/q99 side by side and an
+   inversion would be nonsense. *)
+let prop_hist_quantile_monotone =
+  QCheck.Test.make ~name:"hist quantiles monotone in q" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 40) (float_bound_exclusive 1000.0))
+    (fun vs ->
+      let h = T.Hist.make "m" in
+      List.iter (T.Hist.observe h) vs;
+      let vals =
+        List.map (T.Hist.quantile h)
+          [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ]
+      in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+        | _ -> true
+      in
+      mono vals)
+
 (* ---- pipeline integration ------------------------------------------ *)
 
 let small_params =
@@ -343,6 +377,7 @@ let () =
           Alcotest.test_case "stats" `Quick test_hist_stats;
           Alcotest.test_case "merge associative" `Quick
             test_hist_merge_associative;
+          QCheck_alcotest.to_alcotest prop_hist_quantile_monotone;
         ] );
       ( "tracer",
         [
@@ -356,6 +391,8 @@ let () =
             test_chrome_json_roundtrip;
           Alcotest.test_case "convergence csv" `Quick test_conv_csv;
           Alcotest.test_case "text summary" `Quick test_text_summary;
+          Alcotest.test_case "dropped spans disclosed" `Quick
+            test_text_dropped_spans;
         ] );
       ( "pipeline",
         [
