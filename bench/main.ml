@@ -1057,7 +1057,14 @@ let perf ?(smoke = false) () =
      \"p99\": %.3f},\n"
     tn (q 0.5) (q 0.9) (q 0.99);
   hr ();
-  (* parallel multi-start: same 4 chains spread over 1/2/4 domains *)
+  (* parallel multi-start on the persistent pool: 4 chains spread over
+     1/2/4 domains, for both annealing-instrumented engines and both
+     exchange disciplines. Deterministic rows must produce the same
+     best cost at every worker count (gated in CI); async rows are the
+     free-running elite-pool mode, whose speedup at 2 and 4 workers is
+     the whole point of the pool — CI gates those on a multicore host.
+     Each async row also reports how far its best cost landed from the
+     deterministic schedule's (quality drift, not gated). *)
   let n = if smoke then 12 else 40 in
   let b = Netlist.Benchmarks.synthetic ~label:"par" ~n ~seed:5 in
   let c = b.Netlist.Benchmarks.circuit in
@@ -1069,33 +1076,61 @@ let perf ?(smoke = false) () =
       frozen_rounds = 5;
     }
   in
-  let run workers =
-    let rng = Prelude.Rng.create 99 in
-    let t0 = Unix.gettimeofday () in
-    let out = Placer.Sa_seqpair.place ~params ~workers ~chains:4 ~rng c in
-    (Unix.gettimeofday () -. t0, out.Placer.Sa_seqpair.cost)
+  let place_sp ~mode ~workers rng =
+    (Placer.Sa_seqpair.place ~params ~workers ~chains:4 ~mode ~rng c)
+      .Placer.Sa_seqpair.cost
+  and place_bstar ~mode ~workers rng =
+    (Placer.Sa_bstar.place ~params ~workers ~chains:4 ~mode ~rng c)
+      .Placer.Sa_bstar.cost
   in
-  let t1, c1 = run 1 in
-  let t2, c2 = run 2 in
-  let t4, c4 = run 4 in
-  let deterministic = c1 = c2 && c2 = c4 in
-  Printf.printf
-    "parallel multi-start (4 chains, n=%d): workers 1/2/4 = %.2fs / %.2fs / \
-     %.2fs\n"
-    n t1 t2 t4;
-  Printf.printf
-    "speedup vs 1 worker: %.2fx (2w), %.2fx (4w); identical best cost across \
-     worker counts: %b\n"
-    (t1 /. t2) (t1 /. t4) deterministic;
+  Printf.printf "%5s %-13s | %18s | %15s | %s\n" "" "" "seconds 1/2/4w"
+    "speedup 2/4w" "same cost across workers";
+  hr ();
+  Buffer.add_string buf "  \"parallel\": [\n";
+  let engines = [ ("sp", place_sp); ("bstar", place_bstar) ] in
+  let det_costs = Hashtbl.create 4 in
+  List.iteri
+    (fun ei (engine, place) ->
+      List.iteri
+        (fun mi (mode_label, mode) ->
+          let run workers =
+            let rng = Prelude.Rng.create 99 in
+            let t0 = Unix.gettimeofday () in
+            let cost = place ~mode ~workers rng in
+            (Unix.gettimeofday () -. t0, cost)
+          in
+          let t1, c1 = run 1 in
+          let t2, c2 = run 2 in
+          let t4, c4 = run 4 in
+          let deterministic = c1 = c2 && c2 = c4 in
+          let best = min c1 (min c2 c4) in
+          if mode = `Deterministic then Hashtbl.replace det_costs engine c1;
+          let delta_json, delta_text =
+            match (mode, Hashtbl.find_opt det_costs engine) with
+            | `Async, Some det when det <> 0.0 ->
+                let pct = 100.0 *. (c4 -. det) /. det in
+                ( Printf.sprintf ", \"cost_delta_vs_det_pct\": %.2f" pct,
+                  Printf.sprintf "  (4w cost %+.2f%% vs deterministic)" pct )
+            | _ -> ("", "")
+          in
+          Printf.printf
+            "%5s %-13s | %5.2f %5.2f %5.2fs | %6.2fx %6.2fx | %b%s\n" engine
+            mode_label t1 t2 t4 (t1 /. t2) (t1 /. t4) deterministic delta_text;
+          Printf.bprintf buf
+            "    {\"engine\": \"%s\", \"mode\": \"%s\", \"chains\": 4, \"n\": \
+             %d, \"seconds_1w\": %.3f, \"seconds_2w\": %.3f, \"seconds_4w\": \
+             %.3f, \"speedup_2w\": %.2f, \"speedup_4w\": %.2f, \
+             \"deterministic\": %b, \"best_cost\": %.6f%s}%s\n"
+            engine mode_label n t1 t2 t4 (t1 /. t2) (t1 /. t4) deterministic
+            best delta_json
+            (if ei = List.length engines - 1 && mi = 1 then "" else ","))
+        [ ("deterministic", `Deterministic); ("async", `Async) ])
+    engines;
+  Buffer.add_string buf "  ]\n";
   Printf.printf
     "note: this host reports %d core(s) to the runtime; wall-clock scaling \
      tops out there.\n"
     (Domain.recommended_domain_count ());
-  Printf.bprintf buf
-    "  \"parallel\": {\"chains\": 4, \"n\": %d, \"seconds_1w\": %.3f, \
-     \"seconds_2w\": %.3f, \"seconds_4w\": %.3f, \"speedup_2w\": %.2f, \
-     \"speedup_4w\": %.2f, \"deterministic\": %b, \"best_cost\": %.6f}\n" n t1
-    t2 t4 (t1 /. t2) (t1 /. t4) deterministic c1;
   Buffer.add_string buf "}\n";
   if smoke then print_endline "smoke mode: BENCH_perf.json left untouched"
   else begin

@@ -65,11 +65,12 @@ let write_or_die path contents =
 
 (* ---- place ------------------------------------------------------- *)
 
-type engine = Sp | Bstar_flat | Hbstar | Esf | Rsf | Slicing
+type engine = Sp | Bstar_flat | Tcg | Hbstar | Esf | Rsf | Slicing
 
 let engine_name = function
   | Sp -> "sp"
   | Bstar_flat -> "bstar"
+  | Tcg -> "tcg"
   | Hbstar -> "hbstar"
   | Esf -> "esf"
   | Rsf -> "rsf"
@@ -79,6 +80,7 @@ let engine_conv =
   let parse = function
     | "sp" | "seqpair" -> Ok Sp
     | "bstar" -> Ok Bstar_flat
+    | "tcg" -> Ok Tcg
     | "hbstar" -> Ok Hbstar
     | "esf" -> Ok Esf
     | "rsf" -> Ok Rsf
@@ -89,7 +91,7 @@ let engine_conv =
   Arg.conv (parse, print)
 
 let run_place netlist bench engine seed svg quiet cluster validate trace conv
-    metrics workers chains ledger =
+    metrics workers chains async portfolio ledger =
   let b =
     match (netlist, bench) with
     | Some path, _ -> load_netlist path
@@ -114,38 +116,79 @@ let run_place netlist bench engine seed svg quiet cluster validate trace conv
     if want_telemetry then Telemetry.Sink.create ~trace_capacity:65536 ()
     else Telemetry.Sink.null
   in
-  let instrumented = match engine with Sp | Bstar_flat -> true | _ -> false in
+  let instrumented =
+    portfolio || match engine with Sp | Bstar_flat | Tcg -> true | _ -> false
+  in
   if want_telemetry && not instrumented then
     Printf.eprintf
       "note: engine is not annealing-instrumented; the trace will only \
        contain the place.total span (sp and bstar carry full telemetry)\n";
   let groups = Constraints.Symmetry_group.of_hierarchy hierarchy in
+  let mode = if async then `Async else `Deterministic in
+  (* --async with no explicit geometry still means the parallel path:
+     default to one chain per available worker *)
+  let chains =
+    if async && workers = None && chains = None then
+      Some (Anneal.Parallel.default_workers ())
+    else chains
+  in
   let t0 = Sys.time () in
   let w0 = Unix.gettimeofday () in
   let t_total = Telemetry.Sink.span_begin telemetry in
   (* Each engine reports (placed cells, SA cost if it annealed, rounds,
      evaluations) so a ledger entry can carry the real search effort. *)
   let placed, sa_cost, sa_rounds, evaluated =
-    match engine with
-    | Sp ->
-        let o =
-          Placer.Sa_seqpair.place ~groups ?validate ?workers ?chains ~telemetry
-            ~rng circuit
-        in
-        ( o.Placer.Sa_seqpair.placement.Placer.Placement.placed,
-          Some o.Placer.Sa_seqpair.cost,
-          o.Placer.Sa_seqpair.sa_rounds,
-          o.Placer.Sa_seqpair.evaluated )
-    | Bstar_flat ->
-        let o =
-          Placer.Sa_bstar.place ?validate ?workers ?chains ~telemetry ~rng
-            circuit
-        in
-        ( o.Placer.Sa_bstar.placement.Placer.Placement.placed,
-          Some o.Placer.Sa_bstar.cost,
-          o.Placer.Sa_bstar.sa_rounds,
-          o.Placer.Sa_bstar.evaluated )
-    | Hbstar ->
+    if portfolio then (
+      let o =
+        Placer.Portfolio.race ~groups ?workers ?chains ~hierarchy ?validate
+          ~telemetry ~rng circuit
+      in
+      Printf.printf "portfolio winner: %s (%s)\n"
+        (Placer.Portfolio.engine_name o.Placer.Portfolio.winner)
+        (String.concat ", "
+           (List.map
+              (fun (e : Placer.Portfolio.entrant) ->
+                Printf.sprintf "%s %.0f"
+                  (Placer.Portfolio.engine_name e.Placer.Portfolio.engine)
+                  e.Placer.Portfolio.cost)
+              o.Placer.Portfolio.entrants));
+      ( o.Placer.Portfolio.placement.Placer.Placement.placed,
+        Some o.Placer.Portfolio.cost,
+        List.fold_left
+          (fun acc (e : Placer.Portfolio.entrant) ->
+            max acc e.Placer.Portfolio.sa_rounds)
+          0 o.Placer.Portfolio.entrants,
+        o.Placer.Portfolio.evaluated ))
+    else
+      match engine with
+      | Sp ->
+          let o =
+            Placer.Sa_seqpair.place ~groups ?validate ?workers ?chains ~mode
+              ~telemetry ~rng circuit
+          in
+          ( o.Placer.Sa_seqpair.placement.Placer.Placement.placed,
+            Some o.Placer.Sa_seqpair.cost,
+            o.Placer.Sa_seqpair.sa_rounds,
+            o.Placer.Sa_seqpair.evaluated )
+      | Bstar_flat ->
+          let o =
+            Placer.Sa_bstar.place ?validate ?workers ?chains ~mode ~telemetry
+              ~rng circuit
+          in
+          ( o.Placer.Sa_bstar.placement.Placer.Placement.placed,
+            Some o.Placer.Sa_bstar.cost,
+            o.Placer.Sa_bstar.sa_rounds,
+            o.Placer.Sa_bstar.evaluated )
+      | Tcg ->
+          let o =
+            Placer.Sa_tcg.place ?validate ?workers ?chains ~mode ~telemetry
+              ~rng circuit
+          in
+          ( o.Placer.Sa_tcg.placement.Placer.Placement.placed,
+            Some o.Placer.Sa_tcg.cost,
+            o.Placer.Sa_tcg.sa_rounds,
+            o.Placer.Sa_tcg.evaluated )
+      | Hbstar ->
         ((Bstar.Hbstar.place ~rng circuit hierarchy).Bstar.Hbstar.placed, None, 0, 0)
     | Esf ->
         ( (Shapefn.Combine.place ~mode:Shapefn.Combine.Esf circuit hierarchy)
@@ -247,20 +290,28 @@ let run_place netlist bench engine seed svg quiet cluster validate trace conv
       in
       (* Record the effective parallel geometry: the defaulting below
          mirrors Sa_seqpair.place (chains default workers and vice
-         versa; no flag at all means the single-chain path). *)
+         versa; no flag at all means the single-chain path) and
+         Portfolio.race (chains default 1 per engine). *)
       let rec_workers, rec_chains =
-        match (workers, chains) with
-        | None, None -> (1, 1)
-        | Some w, None -> (w, w)
-        | None, Some c -> (Anneal.Parallel.default_workers (), c)
-        | Some w, Some c -> (w, c)
+        if portfolio then
+          ( (match workers with
+            | Some w -> w
+            | None -> Anneal.Parallel.default_workers ()),
+            Option.value chains ~default:1 )
+        else
+          match (workers, chains) with
+          | None, None -> (1, 1)
+          | Some w, None -> (w, w)
+          | None, Some c -> (Anneal.Parallel.default_workers (), c)
+          | Some w, Some c -> (w, c)
       in
       let entry =
         Telemetry.Ledger.make ~chain_qors
           ~placement:(Placer.Qor.rects placement)
           ~label:b.Netlist.Benchmarks.label
           ~netlist_hash:(Netlist.Circuit.digest circuit)
-          ~engine:(engine_name engine) ~seed
+          ~engine:(if portfolio then "portfolio" else engine_name engine)
+          ~seed
           ~schedule:(Anneal.Schedule.to_string Anneal.Schedule.default)
           ~workers:rec_workers ~chains:rec_chains ~qor ()
       in
@@ -371,6 +422,31 @@ let place_cmd =
              engines); defaults to the worker count when --workers is \
              given.")
   in
+  let async =
+    Arg.(
+      value & flag
+      & info [ "async" ]
+          ~doc:
+            "Free-running parallel annealing (sp, bstar and tcg engines): \
+             chains trade bests through a shared elite pool at their own \
+             pace instead of meeting at a join barrier — the throughput \
+             mode on real cores. Results depend on domain interleaving; \
+             omit it for the bit-reproducible deterministic schedule. \
+             Alone it implies one chain per available worker.")
+  in
+  let portfolio =
+    Arg.(
+      value & flag
+      & info [ "portfolio" ]
+          ~doc:
+            "Race a heterogeneous portfolio instead of a single engine: \
+             sequence-pair, B*-tree and TCG chains (plus the \
+             deterministic shape-function enumerator on small \
+             hierarchical circuits) run asynchronously under one cost \
+             scale and trade solutions through the elite pool; the best \
+             published placement wins. Overrides --engine and --async; \
+             --chains counts chains per representation.")
+  in
   let ledger =
     Arg.(
       value
@@ -386,7 +462,8 @@ let place_cmd =
     (Cmd.info "place" ~doc:"Place an analog circuit")
     Term.(
       const run_place $ netlist $ bench $ engine $ seed $ svg $ quiet $ cluster
-      $ validate $ trace $ conv $ metrics $ workers $ chains $ ledger)
+      $ validate $ trace $ conv $ metrics $ workers $ chains $ async
+      $ portfolio $ ledger)
 
 (* ---- report ------------------------------------------------------ *)
 

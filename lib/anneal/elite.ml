@@ -1,0 +1,81 @@
+(* Lock-striped elite pool. The global best lives in one Atomic slot
+   holding an immutable entry record (consistent cost/state pairs by
+   construction); per-origin families live under stripe mutexes.
+
+   [publish] updates the stripe first, then CAS-loops the global slot —
+   so a successful [pull] may briefly precede the striped insert of the
+   same entry, which is harmless: both structures only ever improve. *)
+
+type 'a entry = { cost : float; state : 'a; origin : int }
+
+type 'a stripe = {
+  lock : Mutex.t;
+  mutable family : 'a entry list; (* cost-ascending, length <= cap *)
+}
+
+type 'a t = {
+  best : 'a entry option Atomic.t;
+  stripes : 'a stripe array;
+  cap : int;
+}
+
+let create ?(stripes = 8) ?(per_stripe = 4) () =
+  let n = max 1 stripes in
+  {
+    best = Atomic.make None;
+    stripes = Array.init n (fun _ -> { lock = Mutex.create (); family = [] });
+    cap = max 1 per_stripe;
+  }
+
+let rec insert_sorted e = function
+  | [] -> [ e ]
+  | x :: _ as l when e.cost < x.cost -> e :: l
+  | x :: rest -> x :: insert_sorted e rest
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let publish t ~origin ~cost state =
+  let e = { cost; state; origin } in
+  let s = t.stripes.(origin mod Array.length t.stripes) in
+  Mutex.lock s.lock;
+  s.family <- take t.cap (insert_sorted e s.family);
+  Mutex.unlock s.lock;
+  let rec cas_best () =
+    let cur = Atomic.get t.best in
+    match cur with
+    | Some b when b.cost <= e.cost -> false
+    | _ ->
+        if Atomic.compare_and_set t.best cur (Some e) then true else cas_best ()
+  in
+  cas_best ()
+
+let best t = Atomic.get t.best
+
+let pull t ~than =
+  match Atomic.get t.best with
+  | Some e when e.cost < than -> Some e
+  | _ -> None
+
+let entries t =
+  let all =
+    Array.fold_left
+      (fun acc s ->
+        Mutex.lock s.lock;
+        let f = s.family in
+        Mutex.unlock s.lock;
+        List.rev_append f acc)
+      [] t.stripes
+  in
+  List.sort (fun a b -> compare a.cost b.cost) all
+
+let size t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let n = List.length s.family in
+      Mutex.unlock s.lock;
+      acc + n)
+    0 t.stripes

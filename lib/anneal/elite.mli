@@ -1,0 +1,52 @@
+(** Asynchronous elite pool: the shared best-so-far structure that
+    replaces {!Parallel}'s join-barrier exchange.
+
+    Free-running chains {!publish} their bests and {!pull} the global
+    best at their own slice boundaries — no round synchronization
+    across domains. Two layers:
+
+    - a single [Atomic] slot holding the global best {!entry}. Entries
+      are immutable records, so a reader always sees a consistent
+      (cost, state) pair — no torn reads — and {!pull} is one atomic
+      load on the fast path.
+    - mutex-striped per-origin {e families} of the top-[per_stripe]
+      entries (Badaoui & Vemuri's multi-placement motivation: keep
+      several good solutions alive as restart seeds, not one scalar
+      best). Stripes are keyed by [origin mod stripes], so chains
+      mostly contend on distinct locks.
+
+    Publishing never blocks pulls and never draws from any rng, and
+    published states must not be mutated afterwards (mutable-state
+    chains publish a fresh [copy]). *)
+
+type 'a entry = {
+  cost : float;
+  state : 'a;  (** immutable once published *)
+  origin : int;  (** publishing chain index *)
+}
+
+type 'a t
+
+val create : ?stripes:int -> ?per_stripe:int -> unit -> 'a t
+(** [stripes] (default 8, clamped to ≥ 1) lock stripes; [per_stripe]
+    (default 4, clamped to ≥ 1) entries kept per stripe. *)
+
+val publish : 'a t -> origin:int -> cost:float -> 'a -> bool
+(** Record a solution. Returns [true] when it strictly improved the
+    global best. *)
+
+val best : 'a t -> 'a entry option
+(** The global best so far (one atomic load). *)
+
+val pull : 'a t -> than:float -> 'a entry option
+(** The global best if its cost is strictly below [than], else
+    [None] — the strict test means a chain never re-adopts its own
+    published best. *)
+
+val entries : 'a t -> 'a entry list
+(** Snapshot of every striped family, best-first. Takes each stripe
+    lock in turn; meant for end-of-run reporting and restart seeding,
+    not hot paths. *)
+
+val size : 'a t -> int
+(** Total entries currently retained across stripes. *)

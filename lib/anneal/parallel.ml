@@ -1,20 +1,36 @@
-(* Deterministic multi-start annealing over OCaml 5 domains.
+(* Multi-start annealing over a persistent domain pool.
 
    One chain per seed, each with a private splitmix64 stream and
    private problem instance (so mutable evaluation arenas are never
-   shared). Chains are partitioned over worker domains round-robin and
-   advanced in slices of [exchange_every] rounds; at each slice
-   boundary — a full join, so a happens-before edge — the globally best
-   state is offered to every chain, which adopts it only when strictly
-   better than its own best. Because the slice boundaries, the
-   reduction order, and every chain's stream are all fixed by the seed
-   list alone, the result is identical for any worker count: [workers]
-   only chooses how much hardware the same computation uses.
+   shared). Two modes share the chain setup and differ only in how
+   bests travel between chains:
 
-   Telemetry keeps that story intact: each chain writes to a private
-   child sink (tid = seed index + 1) that only its own domain touches,
-   and the children are absorbed into the caller's sink after the final
-   join — so recording is race-free and consumes no rng draws. *)
+   - Deterministic: chains are partitioned over workers round-robin
+     and advanced in slices of [exchange_every] rounds; each slice is
+     a {!Pool.run} barrier (the happens-before edge a spawn/join pair
+     used to give, minus the spawn), and at the boundary the globally
+     best state is offered to every chain. The slice counter is the
+     logical clock: boundaries, reduction order and every chain's
+     stream are fixed by the seed list alone, so the result is
+     identical for any worker count.
+
+   - Async (free-running): each chain is one pool job that runs to
+     completion at its own pace, publishing its best to a shared
+     {!Elite} pool and pulling the global best at its own slice
+     boundaries — no round synchronization, no join barrier, so the
+     slowest chain never holds the others. The result depends on
+     domain interleaving (better solutions simply arrive earlier or
+     later); what is guaranteed is that adoption is strictly
+     improving, every published state passed [check] on its
+     publishing domain, and with exchange disabled every chain
+     replays its solo walk exactly.
+
+   Telemetry keeps both stories intact: each chain writes to a private
+   child sink (tid = seed index + 1) that only one domain touches at a
+   time (exclusively per-slice in deterministic mode, for the whole
+   job in async mode), and the children are absorbed into the caller's
+   sink after the final drain — so recording is race-free and consumes
+   no rng draws. *)
 
 type 'a outcome = {
   best : 'a;
@@ -40,51 +56,197 @@ let default_workers () =
       | None -> Domain.recommended_domain_count ())
   | _ -> Domain.recommended_domain_count ()
 
-(* Index of the minimum best-cost chain; ties break to the lowest
-   index so the reduction is a pure function of the chain states. *)
-let best_index chains =
+(* One Qor.chain record per chain, written into the chain's own child
+   sink just before absorb so it rides into the parent like every other
+   telemetry stream. Wall time comes from the chain.slice_us counter
+   accumulated as slices close — O(1) to read, and immune to the span
+   ring overwriting old slices on long runs. *)
+let record_chain_qor tel ?engine ~mode ~best_cost ~rounds ~evaluated () =
+  if Telemetry.Sink.live tel then begin
+    let counters = Telemetry.Sink.counters tel in
+    let wall =
+      match List.assoc_opt "chain.slice_us" counters with
+      | Some us -> float_of_int us /. 1e6
+      | None -> 0.0
+    in
+    let move_rates = Telemetry.Qor.move_rates_of_counters counters in
+    Telemetry.Sink.record_qor tel
+      (Telemetry.Qor.chain ?engine ~mode ~move_rates ~cost:best_cost
+         ~wall_s:wall ~sa_rounds:rounds ~evaluated ())
+  end
+
+(* The functional/mutable split is a handful of function pointers; the
+   two mode drivers below are written once against this record. *)
+type ('c, 'a) ops = {
+  finished : 'c -> bool;
+  step : 'c -> unit;
+  best_cost : 'c -> float;
+  best_view : 'c -> 'a;  (* borrowed: winner's snapshot for exchange *)
+  best_owned : 'c -> 'a;  (* safe to retain: immutable or fresh copy *)
+  adopt : 'c -> state:'a -> cost:float -> unit;
+  outcome : 'c -> 'a Sa.outcome;
+}
+
+let functional_ops =
+  {
+    finished = Sa.finished;
+    step = Sa.step_round;
+    best_cost = Sa.best_cost;
+    best_view = Sa.best;
+    best_owned = Sa.best;
+    adopt = Sa.adopt;
+    outcome = Sa.outcome_of_chain;
+  }
+
+let mutable_ops =
+  {
+    finished = Sa.mfinished;
+    step = Sa.mstep_round;
+    best_cost = Sa.mbest_cost;
+    best_view = Sa.mbest;
+    best_owned = Sa.mbest_copy;
+    adopt = Sa.madopt;
+    outcome = Sa.moutcome_of_chain;
+  }
+
+let best_index ops chains =
   let bi = ref 0 in
   Array.iteri
-    (fun i c -> if Sa.best_cost c < Sa.best_cost chains.(!bi) then bi := i)
+    (fun i c -> if ops.best_cost c < ops.best_cost chains.(!bi) then bi := i)
     chains;
   !bi
 
-(* One Qor.chain record per chain, written into the chain's own child
-   sink just before absorb so it rides into the parent like every other
-   telemetry stream. Wall time is the sum of the chain's slice spans
-   (the time its domain actually spent advancing it); move tallies are
-   recovered from the child's counters. *)
-let record_chain_qor tel ~best_cost ~rounds ~evaluated =
-  if Telemetry.Sink.live tel then begin
-    let wall =
-      List.fold_left
-        (fun acc (s : Telemetry.Tracer.span) ->
-          if String.equal s.Telemetry.Tracer.name "chain.slice" then
-            acc +. s.Telemetry.Tracer.dur
-          else acc)
-        0.0 (Telemetry.Sink.spans tel)
-    in
-    let move_rates =
-      Telemetry.Qor.move_rates_of_counters (Telemetry.Sink.counters tel)
-    in
-    Telemetry.Sink.record_qor tel
-      (Telemetry.Qor.chain ~move_rates ~cost:best_cost ~wall_s:wall
-         ~sa_rounds:rounds ~evaluated ())
-  end
+(* Advance chain [i] by up to [slice] rounds, recording the slice span
+   and bumping the chain's accumulated slice wall-time counter. *)
+let advance_slice ops ~slice ~tel ~slice_us c =
+  let t0 = Telemetry.Sink.span_begin tel in
+  let budget = ref slice in
+  while !budget > 0 && not (ops.finished c) do
+    ops.step c;
+    decr budget
+  done;
+  let t1 = Telemetry.Sink.lap tel "chain.slice" t0 in
+  Telemetry.Counter.add slice_us (int_of_float ((t1 -. t0) *. 1e6))
 
-let run ?workers ?(exchange_every = 32) ?(check = ignore)
-    ?(telemetry = Telemetry.Sink.null) ~seeds params problem_of =
-  if seeds = [] then invalid_arg "Parallel.run: empty seed list";
+let finish ops ?engine ~mode ~check ~telemetry ~tels chains =
+  let outcomes = Array.map ops.outcome chains in
+  Array.iteri
+    (fun i (o : _ Sa.outcome) ->
+      record_chain_qor tels.(i) ?engine ~mode ~best_cost:o.Sa.best_cost
+        ~rounds:o.Sa.rounds ~evaluated:o.Sa.evaluated ())
+    outcomes;
+  Array.iter (Telemetry.Sink.absorb telemetry) tels;
+  let winner = best_index ops chains in
+  check outcomes.(winner).Sa.best;
+  {
+    best = outcomes.(winner).Sa.best;
+    best_cost = outcomes.(winner).Sa.best_cost;
+    winner;
+    chains = outcomes;
+    evaluated = Array.fold_left (fun acc o -> acc + o.Sa.evaluated) 0 outcomes;
+  }
+
+(* Deterministic mode: barrier slices on the persistent pool. The pool
+   is created once per run (satellite of ISSUE 6: no more per-slice
+   Domain.spawn/join churn); each Pool.run is a full barrier, so the
+   exchange reduction happens-after every chain's slice. *)
+let deterministic ops ~workers ~slice ~check ~telemetry ~tels ~slice_us chains
+    =
+  let k = Array.length chains in
+  let exchanges = Telemetry.Sink.counter telemetry "parallel.exchanges" in
+  let unfinished () = Array.exists (fun c -> not (ops.finished c)) chains in
+  Pool.with_pool ~workers @@ fun pool ->
+  let workers = Pool.workers pool in
+  let jobs =
+    Array.init workers (fun d () ->
+        for i = 0 to k - 1 do
+          if i mod workers = d then
+            advance_slice ops ~slice ~tel:tels.(i) ~slice_us:slice_us.(i)
+              chains.(i)
+        done)
+  in
+  while unfinished () do
+    let t_slice = Telemetry.Sink.span_begin telemetry in
+    Pool.run pool jobs;
+    let t_ex = Telemetry.Sink.lap telemetry "parallel.slice" t_slice in
+    let b = chains.(best_index ops chains) in
+    let state = ops.best_view b and cost = ops.best_cost b in
+    check state;
+    Array.iter (fun c -> ops.adopt c ~state ~cost) chains;
+    Telemetry.Counter.incr exchanges;
+    Telemetry.Sink.span_end telemetry "parallel.exchange" t_ex
+  done
+
+(* Async mode: one job per chain, free-running. Publishes go through
+   [check] on the publishing domain (so a corrupted state aborts the
+   run before any other chain can adopt it); the epilogue publish
+   guarantees every chain's final best reaches the elite pool even
+   when it never improved mid-run. *)
+let async ops ~workers ~slice ~check ~tels ~slice_us chains =
+  let k = Array.length chains in
+  let elite = Elite.create ~stripes:(min 8 k) () in
+  let publishes =
+    Array.init k (fun i -> Telemetry.Sink.counter tels.(i) "chain.publishes")
+  in
+  let pulls =
+    Array.init k (fun i -> Telemetry.Sink.counter tels.(i) "chain.pulls")
+  in
+  (* worker domains must not touch the parent sink: all async-mode
+     tallies live in child sinks and merge by name at absorb *)
+  let global_improvements =
+    Array.init k (fun i ->
+        Telemetry.Sink.counter tels.(i) "chain.elite_improvements")
+  in
+  Pool.with_pool ~workers @@ fun pool ->
+  let job i () =
+    let c = chains.(i) in
+    let last_published = ref infinity in
+    let publish () =
+      let bc = ops.best_cost c in
+      if bc < !last_published then begin
+        last_published := bc;
+        let state = ops.best_owned c in
+        check state;
+        let improved = Elite.publish elite ~origin:i ~cost:bc state in
+        (* the parent counter is bumped only after the drain, by the
+           caller — worker domains must not touch the parent sink *)
+        if improved then Telemetry.Counter.incr global_improvements.(i);
+        Telemetry.Counter.incr publishes.(i)
+      end
+    in
+    while not (ops.finished c) && not (Pool.failed pool) do
+      advance_slice ops ~slice ~tel:tels.(i) ~slice_us:slice_us.(i) c;
+      publish ();
+      match Elite.pull elite ~than:(ops.best_cost c) with
+      | Some e ->
+          ops.adopt c ~state:e.Elite.state ~cost:e.Elite.cost;
+          Telemetry.Counter.incr pulls.(i)
+      | None -> ()
+    done;
+    publish ()
+  in
+  for i = 0 to k - 1 do
+    Pool.submit pool (job i)
+  done;
+  Pool.drain pool
+
+let launch ops start ~mode ?workers ?(exchange_every = 32) ?(check = ignore)
+    ?(telemetry = Telemetry.Sink.null) ?engine ~seeds problem_of =
+  if seeds = [] then invalid_arg "Parallel: empty seed list";
   let seeds = Array.of_list seeds in
   let k = Array.length seeds in
   let workers =
     max 1 (min k (match workers with Some w -> w | None -> default_workers ()))
   in
   let slice = if exchange_every <= 0 then max_int else exchange_every in
-  let tels = Array.init k (fun i -> Telemetry.Sink.child telemetry ~tid:(i + 1)) in
-  let exchanges = Telemetry.Sink.counter telemetry "parallel.exchanges" in
+  let tels =
+    Array.init k (fun i -> Telemetry.Sink.child telemetry ~tid:(i + 1))
+  in
+  let slice_us =
+    Array.init k (fun i -> Telemetry.Sink.counter tels.(i) "chain.slice_us")
+  in
   (* Chain creation draws from each chain's own stream only, so order
-     does not matter; build them up front on the spawning domain. *)
+     does not matter; build them up front on the calling domain. *)
   let chains =
     Array.init k (fun i ->
         let rng = Prelude.Rng.create seeds.(i) in
@@ -92,128 +254,40 @@ let run ?workers ?(exchange_every = 32) ?(check = ignore)
            from the stream first, then [start] estimates t0 — the same
            order as the sequential placers *)
         let problem = problem_of tels.(i) rng in
-        Sa.start ~telemetry:tels.(i) ~rng params problem)
+        start tels.(i) rng problem)
   in
-  let unfinished () = Array.exists (fun c -> not (Sa.finished c)) chains in
-  while unfinished () do
-    let t_slice = Telemetry.Sink.span_begin telemetry in
-    let advance d () =
-      for i = 0 to k - 1 do
-        if i mod workers = d then begin
-          let c = chains.(i) in
-          let t_chain = Telemetry.Sink.span_begin tels.(i) in
-          let budget = ref slice in
-          while !budget > 0 && not (Sa.finished c) do
-            Sa.step_round c;
-            decr budget
-          done;
-          Telemetry.Sink.span_end tels.(i) "chain.slice" t_chain
-        end
-      done
-    in
-    (* The spawning domain works the last partition itself. *)
-    let spawned =
-      List.init (workers - 1) (fun d -> Domain.spawn (advance d))
-    in
-    advance (workers - 1) ();
-    List.iter Domain.join spawned;
-    let t_ex = Telemetry.Sink.lap telemetry "parallel.slice" t_slice in
-    let b = chains.(best_index chains) in
-    let state = Sa.best b and cost = Sa.best_cost b in
-    check state;
-    Array.iter (fun c -> Sa.adopt c ~state ~cost) chains;
-    Telemetry.Counter.incr exchanges;
-    Telemetry.Sink.span_end telemetry "parallel.exchange" t_ex
-  done;
-  let outcomes = Array.map Sa.outcome_of_chain chains in
-  Array.iteri
-    (fun i o ->
-      record_chain_qor tels.(i) ~best_cost:o.Sa.best_cost ~rounds:o.Sa.rounds
-        ~evaluated:o.Sa.evaluated)
-    outcomes;
-  Array.iter (Telemetry.Sink.absorb telemetry) tels;
-  let winner = best_index chains in
-  check outcomes.(winner).Sa.best;
-  {
-    best = outcomes.(winner).Sa.best;
-    best_cost = outcomes.(winner).Sa.best_cost;
-    winner;
-    chains = outcomes;
-    evaluated = Array.fold_left (fun acc o -> acc + o.Sa.evaluated) 0 outcomes;
-  }
+  (match mode with
+  | `Deterministic ->
+      deterministic ops ~workers ~slice ~check ~telemetry ~tels ~slice_us
+        chains
+  | `Async -> async ops ~workers ~slice ~check ~tels ~slice_us chains);
+  let mode_label =
+    match mode with `Deterministic -> "deterministic" | `Async -> "async"
+  in
+  finish ops ?engine ~mode:mode_label ~check ~telemetry ~tels chains
 
-(* Same loop over in-place chains. Each chain's mproblem (and thus its
-   working state, arenas included) is private to the chain; exchange
-   blits the winner's best snapshot across, and strict-improvement
-   adoption keeps the winner from blitting its own buffer onto itself.
-   The determinism argument is unchanged: seeds fix everything. *)
-let run_mutable ?workers ?(exchange_every = 32) ?(check = ignore)
-    ?(telemetry = Telemetry.Sink.null) ~seeds params problem_of =
-  if seeds = [] then invalid_arg "Parallel.run_mutable: empty seed list";
-  let seeds = Array.of_list seeds in
-  let k = Array.length seeds in
-  let workers =
-    max 1 (min k (match workers with Some w -> w | None -> default_workers ()))
-  in
-  let slice = if exchange_every <= 0 then max_int else exchange_every in
-  let tels = Array.init k (fun i -> Telemetry.Sink.child telemetry ~tid:(i + 1)) in
-  let exchanges = Telemetry.Sink.counter telemetry "parallel.exchanges" in
-  let chains =
-    Array.init k (fun i ->
-        let rng = Prelude.Rng.create seeds.(i) in
-        let problem = problem_of tels.(i) rng in
-        Sa.mstart ~telemetry:tels.(i) ~rng params problem)
-  in
-  let mbest_index chains =
-    let bi = ref 0 in
-    Array.iteri
-      (fun i c -> if Sa.mbest_cost c < Sa.mbest_cost chains.(!bi) then bi := i)
-      chains;
-    !bi
-  in
-  let unfinished () = Array.exists (fun c -> not (Sa.mfinished c)) chains in
-  while unfinished () do
-    let t_slice = Telemetry.Sink.span_begin telemetry in
-    let advance d () =
-      for i = 0 to k - 1 do
-        if i mod workers = d then begin
-          let c = chains.(i) in
-          let t_chain = Telemetry.Sink.span_begin tels.(i) in
-          let budget = ref slice in
-          while !budget > 0 && not (Sa.mfinished c) do
-            Sa.mstep_round c;
-            decr budget
-          done;
-          Telemetry.Sink.span_end tels.(i) "chain.slice" t_chain
-        end
-      done
-    in
-    let spawned =
-      List.init (workers - 1) (fun d -> Domain.spawn (advance d))
-    in
-    advance (workers - 1) ();
-    List.iter Domain.join spawned;
-    let t_ex = Telemetry.Sink.lap telemetry "parallel.slice" t_slice in
-    let b = chains.(mbest_index chains) in
-    let state = Sa.mbest b and cost = Sa.mbest_cost b in
-    check state;
-    Array.iter (fun c -> Sa.madopt c ~state ~cost) chains;
-    Telemetry.Counter.incr exchanges;
-    Telemetry.Sink.span_end telemetry "parallel.exchange" t_ex
-  done;
-  let outcomes = Array.map Sa.moutcome_of_chain chains in
-  Array.iteri
-    (fun i o ->
-      record_chain_qor tels.(i) ~best_cost:o.Sa.best_cost ~rounds:o.Sa.rounds
-        ~evaluated:o.Sa.evaluated)
-    outcomes;
-  Array.iter (Telemetry.Sink.absorb telemetry) tels;
-  let winner = mbest_index chains in
-  check outcomes.(winner).Sa.best;
-  {
-    best = outcomes.(winner).Sa.best;
-    best_cost = outcomes.(winner).Sa.best_cost;
-    winner;
-    chains = outcomes;
-    evaluated = Array.fold_left (fun acc o -> acc + o.Sa.evaluated) 0 outcomes;
-  }
+let start_functional params tel rng problem =
+  Sa.start ~telemetry:tel ~rng params problem
+
+let start_mutable params tel rng problem =
+  Sa.mstart ~telemetry:tel ~rng params problem
+
+let run ?workers ?exchange_every ?check ?telemetry ?engine ~seeds params
+    problem_of =
+  launch functional_ops (start_functional params) ~mode:`Deterministic
+    ?workers ?exchange_every ?check ?telemetry ?engine ~seeds problem_of
+
+let run_mutable ?workers ?exchange_every ?check ?telemetry ?engine ~seeds
+    params problem_of =
+  launch mutable_ops (start_mutable params) ~mode:`Deterministic ?workers
+    ?exchange_every ?check ?telemetry ?engine ~seeds problem_of
+
+let run_async ?workers ?exchange_every ?check ?telemetry ?engine ~seeds params
+    problem_of =
+  launch functional_ops (start_functional params) ~mode:`Async ?workers
+    ?exchange_every ?check ?telemetry ?engine ~seeds problem_of
+
+let run_mutable_async ?workers ?exchange_every ?check ?telemetry ?engine
+    ~seeds params problem_of =
+  launch mutable_ops (start_mutable params) ~mode:`Async ?workers
+    ?exchange_every ?check ?telemetry ?engine ~seeds problem_of

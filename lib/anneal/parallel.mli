@@ -1,26 +1,40 @@
-(** Deterministic multi-start parallel annealing (OCaml 5 domains).
+(** Multi-start parallel annealing over a persistent domain pool
+    (OCaml 5 domains).
 
-    Runs one {!Sa} chain per seed, partitioned over [workers] domains,
-    with a periodic best-exchange: every [exchange_every] rounds all
-    domains synchronize and the globally best state is offered to every
-    chain ({!Sa.adopt} — taken only when strictly better than the
-    chain's own best). Used by the placers' [?workers] parameter.
+    Runs one {!Sa} chain per seed on a {!Pool} spawned once per call,
+    in one of two modes:
 
-    Determinism: the outcome is a pure function of [seeds], [params]
-    and [exchange_every]. The worker count only distributes the same
-    computation over more cores — running with [workers = 1] or
-    [workers = 8] yields identical results, and a single seed with any
-    worker count reproduces [Sa.run ~rng:(Rng.create seed)] exactly
-    (both tested).
+    - {b Deterministic} ({!run} / {!run_mutable}): chains advance in
+      lock-step slices of [exchange_every] rounds; each slice is a
+      pool barrier and at the boundary the globally best state is
+      offered to every chain ({!Sa.adopt} — taken only when strictly
+      better than the chain's own best). The slice counter is a
+      logical clock shared by all chains, so the outcome is a pure
+      function of [seeds], [params] and [exchange_every]: the worker
+      count only distributes the same computation over more cores —
+      [workers = 1] and [workers = 8] yield identical results, and a
+      single seed with any worker count reproduces
+      [Sa.run ~rng:(Rng.create seed)] exactly (both tested).
+
+    - {b Async / free-running} ({!run_async} / {!run_mutable_async}):
+      each chain is one pool job running to completion at its own
+      pace; there is no join barrier. Chains publish their bests to a
+      shared {!Elite} pool and pull the global best at their own slice
+      boundaries, so a slow chain never stalls the rest — this is the
+      throughput mode. The outcome depends on domain interleaving
+      (earlier-arriving bests change adoption points), but adoption is
+      strictly improving, every adopted state passed [check] when
+      published, and with [exchange_every <= 0] every chain replays
+      its solo walk exactly, making the result [min] over independent
+      restarts — deterministic again (tested).
 
     [problem_of] is called once per chain with the chain's private
     telemetry sink and rng (draw the initial state from the rng,
     exactly as the sequential placers draw from theirs); any mutable
     evaluation state (e.g. {!Placer.Eval} arenas) must be created
     inside it so no two chains share buffers, and any instrumentation
-    the problem wants (move-class tallies, evaluation spans) must go
-    through the sink it is given — that child sink is the only one its
-    domain may touch. *)
+    the problem wants must go through the sink it is given — that
+    child sink is the only one its chain's current domain may touch. *)
 
 type 'a outcome = {
   best : 'a;
@@ -42,43 +56,65 @@ val parse_workers : string -> int option
     clamped to at least 1; [None] when unparsable. Exposed for
     testing. *)
 
+val record_chain_qor :
+  Telemetry.Sink.t ->
+  ?engine:string ->
+  mode:string ->
+  best_cost:float ->
+  rounds:int ->
+  evaluated:int ->
+  unit ->
+  unit
+(** Write one {!Telemetry.Qor.chain} record into a chain's child sink:
+    best cost, effort, wall time read from the ["chain.slice_us"]
+    counter, move tallies from the sink's counters, tagged with
+    [engine] and [mode]. Exposed for {!Placer.Portfolio}, which runs
+    its own race loop but reports chains the same way. *)
+
 val run :
   ?workers:int ->
   ?exchange_every:int ->
   ?check:('a -> unit) ->
   ?telemetry:Telemetry.Sink.t ->
+  ?engine:string ->
   seeds:int list ->
   Sa.params ->
   (Telemetry.Sink.t -> Prelude.Rng.t -> 'a Sa.problem) ->
   'a outcome
-(** [workers] defaults to {!default_workers}, capped at the number of
-    seeds; [exchange_every] defaults to 32 rounds, and any
-    non-positive value disables exchange entirely (fully independent
-    restarts). Raises [Invalid_argument] on an empty seed list.
+(** Deterministic mode over functional chains. [workers] defaults to
+    {!default_workers}, capped at the number of seeds;
+    [exchange_every] defaults to 32 rounds, and any non-positive value
+    disables exchange entirely (fully independent restarts). Raises
+    [Invalid_argument] on an empty seed list.
 
     [check] is a sanitizer hook: it runs on the globally best state at
-    every exchange boundary (after the join, before the state is
+    every exchange boundary (after the barrier, before the state is
     offered to the chains) and once more on the final winner, on the
-    spawning domain. Raise from it to abort the run on an invariant
+    calling domain. Raise from it to abort the run on an invariant
     violation; the default does nothing.
+
+    [engine] tags the per-chain QoR records (see below) with the
+    engine name — placers pass ["sp"], ["bstar"], ["tcg"].
 
     [telemetry] (default {!Telemetry.Sink.null}) receives
     ["parallel.slice"] / ["parallel.exchange"] spans and a
     ["parallel.exchanges"] counter from the coordinating domain; each
-    chain records into a private child sink (tid = seed index + 1,
-    per-round ["sa.round"] and per-slice ["chain.slice"] spans, plus
-    one final {!Telemetry.Qor.chain} record carrying the chain's best
-    cost, rounds, evaluations, summed slice wall time and move-class
-    tallies), and the children are merged into [telemetry] after the
-    final join.
-    Telemetry draws nothing from any rng, so results remain a pure
-    function of seeds/params/exchange and worker-count invariant. *)
+    chain records into a private child sink (tid = seed index + 1):
+    per-round ["sa.round"] and per-slice ["chain.slice"] spans, a
+    ["chain.slice_us"] counter accumulating slice wall time as slices
+    close, and one final {!Telemetry.Qor.chain} record carrying the
+    chain's best cost, rounds, evaluations, accumulated wall time,
+    move-class tallies and the engine/mode tags. Children are merged
+    into [telemetry] after the final drain. Telemetry draws nothing
+    from any rng, so results remain a pure function of
+    seeds/params/exchange and worker-count invariant. *)
 
 val run_mutable :
   ?workers:int ->
   ?exchange_every:int ->
   ?check:('a -> unit) ->
   ?telemetry:Telemetry.Sink.t ->
+  ?engine:string ->
   seeds:int list ->
   Sa.params ->
   (Telemetry.Sink.t -> Prelude.Rng.t -> 'a Sa.mproblem) ->
@@ -89,3 +125,36 @@ val run_mutable :
     buffers; exchange copies states across chains with the problem's
     [blit]. [check] receives the winner's best-snapshot buffer —
     treat it as read-only. *)
+
+val run_async :
+  ?workers:int ->
+  ?exchange_every:int ->
+  ?check:('a -> unit) ->
+  ?telemetry:Telemetry.Sink.t ->
+  ?engine:string ->
+  seeds:int list ->
+  Sa.params ->
+  (Telemetry.Sink.t -> Prelude.Rng.t -> 'a Sa.problem) ->
+  'a outcome
+(** Free-running mode over functional chains: no barrier, elite-pool
+    exchange at each chain's own [exchange_every]-round slice
+    boundaries. [check] runs on every state {e before} it is
+    published (on the publishing chain's domain) and once on the
+    final winner (on the calling domain); a raise aborts the run —
+    other chains notice at their next slice boundary and the first
+    exception is re-raised on the caller. Each chain's child sink
+    additionally counts ["chain.publishes"] / ["chain.pulls"]. *)
+
+val run_mutable_async :
+  ?workers:int ->
+  ?exchange_every:int ->
+  ?check:('a -> unit) ->
+  ?telemetry:Telemetry.Sink.t ->
+  ?engine:string ->
+  seeds:int list ->
+  Sa.params ->
+  (Telemetry.Sink.t -> Prelude.Rng.t -> 'a Sa.mproblem) ->
+  'a outcome
+(** {!run_async} over in-place chains. Published states are fresh
+    {!Sa.mbest_copy} snapshots, never mutated afterwards, so
+    cross-domain adoption blits read from immutable buffers. *)

@@ -296,6 +296,7 @@ let mstep_round c =
 
 let mbest c = c.mbest_state
 let mbest_cost c = c.m_best_cost
+let mbest_copy c = c.mp.copy c.mbest_state
 
 let madopt c ~state ~cost =
   (* strict improvement only, so offering a chain its own best buffer

@@ -136,6 +136,10 @@ val mbest : 'a mchain -> 'a
 
 val mbest_cost : 'a mchain -> float
 
+val mbest_copy : 'a mchain -> 'a
+(** A fresh [copy] of the best snapshot, safe to keep (or publish to
+    an {!Elite} pool) after the chain moves on. *)
+
 val madopt : 'a mchain -> state:'a -> cost:float -> unit
 (** Multi-start exchange, as {!adopt}: when [cost] strictly improves on
     the chain's best, [state] is blitted into both the working state

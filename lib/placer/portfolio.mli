@@ -1,0 +1,85 @@
+(** Heterogeneous portfolio annealing: race the survey's topological
+    representations — sequence-pair, flat B*-tree, TCG, and optionally
+    the deterministic shape-function enumerator (§IV) — on one circuit
+    under one cost scale, free-running on a persistent domain pool.
+
+    The entrants trade solutions through an {!Anneal.Elite} pool whose
+    currency is the placed list: each engine materializes its best to
+    publish and re-encodes pulled placements into its own
+    representation to adopt (strict improvement only, re-costed by its
+    own evaluator). Losing engines — frozen chains, the one-shot
+    enumerator — leave their final publishes in the pool as restart
+    seeds for the survivors.
+
+    The race is asynchronous by construction; results depend on domain
+    interleaving except at [workers:1], where entrants run
+    sequentially in order and the outcome is a pure function of the
+    caller seed. For bit-identical CI placement, use the individual
+    engines' deterministic mode instead. *)
+
+type engine = Sp | Bstar | Tcg | Esf
+
+val engine_name : engine -> string
+(** "sp" | "bstar" | "tcg" | "esf" — the QoR/ledger tag. *)
+
+type entrant = {
+  engine : engine;
+  seed : int;  (** chain seed drawn from the caller rng (0 for Esf) *)
+  cost : float;  (** the entrant's own final best cost *)
+  sa_rounds : int;
+  evaluated : int;
+}
+
+type outcome = {
+  placement : Placement.t;  (** globally best published solution *)
+  cost : float;
+  winner : engine;
+      (** with [?bar]: the first entrant past the bar; otherwise the
+          publisher of the best solution *)
+  entrants : entrant list;  (** per-entrant results, race order *)
+  evaluated : int;  (** total cost evaluations, adoptions included *)
+}
+
+val race :
+  ?weights:Cost.weights ->
+  ?params:Anneal.Sa.params ->
+  ?groups:Constraints.Symmetry_group.t list ->
+  ?workers:int ->
+  ?chains:int ->
+  ?engines:engine list ->
+  ?hierarchy:Netlist.Hierarchy.t ->
+  ?bar:float ->
+  ?exchange_every:int ->
+  ?validate:bool ->
+  ?telemetry:Telemetry.Sink.t ->
+  rng:Prelude.Rng.t ->
+  Netlist.Circuit.t ->
+  outcome
+(** Race the portfolio. [chains] (default 1) annealing chains per
+    engine; [workers] domains as {!Anneal.Parallel.default_workers}.
+
+    [engines] defaults to [Sp; Bstar] plus [Tcg] when the circuit has
+    at most 62 modules and [Esf] when [hierarchy] is given and the
+    circuit has at most 40 modules. With non-empty [groups] only the
+    sequence-pair arm runs by default (the other representations are
+    unconstrained, and a symmetric-infeasible placement must not win);
+    [Esf] keeps hierarchical symmetry islands rigid and stays
+    eligible. An explicit [Esf] entrant without [hierarchy], or an
+    explicit empty list, raises [Invalid_argument].
+
+    [bar] is the QoR bar: the first entrant to publish a cost at or
+    below it wins and stops the race; without it every entrant runs to
+    freezing and the best publish wins. [exchange_every] (default 32)
+    is each chain's publish/pull slice length; non-positive disables
+    mid-run exchange (independent restarts).
+
+    [validate] (default the [ANALOG_VALIDATE=1] switch) runs each
+    engine's own move-level sanitizer {e and} audits every published
+    placement (overlap, coverage) on the publishing domain.
+
+    [telemetry]: per-entrant child sinks (tid = entrant index + 1)
+    carry the engine's usual streams plus ["chain.slice"] spans,
+    ["chain.slice_us"] / ["chain.publishes"] / ["chain.pulls"]
+    counters and one {!Telemetry.Qor.chain} record tagged with the
+    engine name and mode ["async"]; children merge into [telemetry]
+    after the race. *)

@@ -118,8 +118,9 @@ let problem_of ?(validate = false) ~weights circuit telemetry rng =
     { Anneal.Sa.state; propose; undo; cost; copy; blit }
   end
 
-let place ?(weights = Cost.default) ?params ?workers ?chains ?validate
-    ?(telemetry = Telemetry.Sink.null) ~rng circuit =
+let place ?(weights = Cost.default) ?params ?workers ?chains
+    ?(mode = `Deterministic) ?validate ?(telemetry = Telemetry.Sink.null) ~rng
+    circuit =
   let validate =
     match validate with
     | Some v -> v
@@ -153,8 +154,13 @@ let place ?(weights = Cost.default) ?params ?workers ?chains ?validate
       in
       let seeds = List.init k (fun _ -> Prelude.Rng.int rng 0x3FFFFFFF) in
       let check = if validate then Some (audit circuit tbl) else None in
+      let runner =
+        match mode with
+        | `Deterministic -> Anneal.Parallel.run_mutable
+        | `Async -> Anneal.Parallel.run_mutable_async
+      in
       let result =
-        Anneal.Parallel.run_mutable ?workers ?check ~telemetry ~seeds params
+        runner ?workers ?check ~telemetry ~engine:"bstar" ~seeds params
           (problem_of ~validate ~weights circuit)
       in
       {

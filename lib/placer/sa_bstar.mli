@@ -5,6 +5,17 @@
     all modules plus rotation flags. Used as the B*-tree arm of the
     representation ablation (experiment E10). *)
 
+type state = {
+  flat : Bstar.Flat.t;
+  rot : bool array;
+  mutable last : last_move;  (** what [propose] did, for [undo] *)
+}
+(** One in-place annealing state. Exposed so {!Portfolio} can build
+    and convert chain states; construct fresh states with
+    [last = L_none]. *)
+
+and last_move = L_none | L_tree of Bstar.Flat.undo | L_rot of int
+
 type outcome = {
   placement : Placement.t;
   cost : float;
@@ -12,11 +23,30 @@ type outcome = {
   evaluated : int;
 }
 
+val dims_table : Netlist.Circuit.t -> (int * int) array array
+(** Per-cell oriented dimensions, read once: row 0 unrotated, row 1
+    rotated — the [tbl] argument of {!evaluate}. *)
+
+val problem_of :
+  ?validate:bool ->
+  weights:Cost.weights ->
+  Netlist.Circuit.t ->
+  Telemetry.Sink.t ->
+  Prelude.Rng.t ->
+  state Anneal.Sa.mproblem
+(** One in-place annealing problem for one chain (private flat tree,
+    rotation vector and {!Eval} arena); see
+    {!Sa_seqpair.problem_of}. *)
+
+val evaluate : Netlist.Circuit.t -> (int * int) array array -> state -> Placement.t
+(** Materialize a state through the pointer-tree packer. *)
+
 val place :
   ?weights:Cost.weights ->
   ?params:Anneal.Sa.params ->
   ?workers:int ->
   ?chains:int ->
+  ?mode:[ `Deterministic | `Async ] ->
   ?validate:bool ->
   ?telemetry:Telemetry.Sink.t ->
   rng:Prelude.Rng.t ->
@@ -27,7 +57,9 @@ val place :
     O(1) undo of rejected moves, and allocation-free contour packing
     through the {!Eval} arena ({!Eval.cost_bstar}). [workers]/[chains]
     enable {!Anneal.Parallel} multi-start annealing with the same
-    semantics as {!Sa_seqpair.place}.
+    semantics as {!Sa_seqpair.place}, and [mode] selects the
+    deterministic barrier schedule or the free-running elite-pool
+    exchange ({!Anneal.Parallel.run_mutable_async}), as there.
 
     [validate] (default: the [ANALOG_VALIDATE=1] environment switch,
     see {!Analysis.Invariant}) audits the flat tree

@@ -123,7 +123,8 @@ let problem_of ?(validate = false) ~weights ~groups circuit telemetry rng =
   end
 
 let place ?(weights = Cost.default) ?params ?(groups = []) ?workers ?chains
-    ?validate ?(telemetry = Telemetry.Sink.null) ~rng circuit =
+    ?(mode = `Deterministic) ?validate ?(telemetry = Telemetry.Sink.null) ~rng
+    circuit =
   let validate =
     match validate with
     | Some v -> v
@@ -158,8 +159,13 @@ let place ?(weights = Cost.default) ?params ?(groups = []) ?workers ?chains
       let check =
         if validate then Some (audit ~groups circuit) else None
       in
+      let runner =
+        match mode with
+        | `Deterministic -> Anneal.Parallel.run
+        | `Async -> Anneal.Parallel.run_async
+      in
       let result =
-        Anneal.Parallel.run ?workers ?check ~telemetry ~seeds params
+        runner ?workers ?check ~telemetry ~engine:"sp" ~seeds params
           (problem_of ~validate ~weights ~groups circuit)
       in
       {

@@ -11,6 +11,10 @@
     Candidate costs are computed through the allocation-free
     {!Eval} arena; only the final best placement is materialized. *)
 
+type state = { sp : Seqpair.Sp.t; rot : bool array }
+(** One annealing state: a sequence-pair plus per-cell rotation flags.
+    Exposed so {!Portfolio} can build and convert chain states. *)
+
 type outcome = {
   placement : Placement.t;
   cost : float;
@@ -18,12 +22,42 @@ type outcome = {
   evaluated : int;  (** total cost evaluations, all chains *)
 }
 
+val problem_of :
+  ?validate:bool ->
+  weights:Cost.weights ->
+  groups:Constraints.Symmetry_group.t list ->
+  Netlist.Circuit.t ->
+  Telemetry.Sink.t ->
+  Prelude.Rng.t ->
+  state Anneal.Sa.problem
+(** One annealing problem for one chain: its own initial code drawn
+    from [rng], its own {!Eval} arena, its own move tallies in the
+    given sink. This is what {!place} hands to {!Anneal.Parallel};
+    {!Portfolio} uses it to enter sequence-pair chains in a race. *)
+
+val evaluate :
+  Netlist.Circuit.t ->
+  Constraints.Symmetry_group.t list ->
+  state ->
+  Placement.t
+(** Materialize a state with the exact packer (off the hot path). *)
+
+val audit :
+  groups:Constraints.Symmetry_group.t list ->
+  Netlist.Circuit.t ->
+  state ->
+  unit
+(** The [?validate] sanitizer: representation invariants, symmetric
+    feasibility and a full placement audit; raises
+    {!Analysis.Invariant.Violation} on the first corrupted state. *)
+
 val place :
   ?weights:Cost.weights ->
   ?params:Anneal.Sa.params ->
   ?groups:Constraints.Symmetry_group.t list ->
   ?workers:int ->
   ?chains:int ->
+  ?mode:[ `Deterministic | `Async ] ->
   ?validate:bool ->
   ?telemetry:Telemetry.Sink.t ->
   rng:Prelude.Rng.t ->
@@ -39,6 +73,13 @@ val place :
     drawn from [rng], so a fixed caller seed gives identical results
     for any [workers] value. Without either parameter the classic
     single-chain path runs on [rng] directly.
+
+    [mode] (default [`Deterministic]) selects the parallel exchange
+    discipline: [`Deterministic] is the worker-count-invariant
+    barrier schedule above; [`Async] is
+    {!Anneal.Parallel.run_async} — free-running chains coupled
+    through an elite pool, faster on real cores but dependent on
+    domain interleaving. Ignored on the single-chain path.
 
     [validate] (default: the [ANALOG_VALIDATE=1] environment switch,
     see {!Analysis.Invariant}) audits every SA move and every parallel

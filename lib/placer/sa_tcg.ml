@@ -14,12 +14,24 @@ let evaluate circuit st =
   in
   Placement.make circuit (Seqpair.Tcg.pack st.tcg dims)
 
-let place ?(weights = Cost.default) ?params ?(telemetry = Telemetry.Sink.null)
-    ~rng circuit =
+(* Sanitizer for ?validate mode: there is no structural TCG checker
+   (closure is maintained by construction in Seqpair.Tcg), so the
+   audit packs the graph and checks the placement. *)
+let audit circuit st =
   let n = Netlist.Circuit.size circuit in
-  let params =
-    match params with Some p -> p | None -> Anneal.Sa.default_params ~n
+  let dims c =
+    let w, h = Netlist.Circuit.dims circuit c in
+    if st.rot.(c) then (h, w) else (w, h)
   in
+  Analysis.Invariant.raise_if_any ~context:"Sa_tcg placement"
+    (Analysis.Invariant.audit_placed ~n (Seqpair.Tcg.pack st.tcg dims))
+
+(* One annealing problem per chain, as Sa_seqpair.problem_of: private
+   initial graph drawn from the chain's rng, private telemetry sink.
+   The TCG arm evaluates through the list path; a single enclosing
+   span still puts its evaluation cost on the trace. *)
+let problem_of ?(validate = false) ~weights circuit telemetry rng =
+  let n = Netlist.Circuit.size circuit in
   let mv = Telemetry.Sink.register_moves telemetry [| "tcg"; "rotation" |] in
   let init =
     {
@@ -40,19 +52,68 @@ let place ?(weights = Cost.default) ?params ?(telemetry = Telemetry.Sink.null)
       { st with rot }
     end
   in
-  (* the TCG arm evaluates through the list path; a single enclosing
-     span still puts its evaluation cost on the trace *)
   let cost st =
     Telemetry.Sink.time telemetry "eval.cost" (fun () ->
         Cost.evaluate weights (evaluate circuit st))
   in
-  let result =
-    Anneal.Sa.run ~telemetry ~rng params { Anneal.Sa.init; neighbor; cost }
+  if not validate then { Anneal.Sa.init; neighbor; cost }
+  else begin
+    audit circuit init;
+    let neighbor rng st =
+      let st' = neighbor rng st in
+      audit circuit st';
+      st'
+    in
+    { Anneal.Sa.init; neighbor; cost }
+  end
+
+let place ?(weights = Cost.default) ?params ?workers ?chains
+    ?(mode = `Deterministic) ?validate ?(telemetry = Telemetry.Sink.null) ~rng
+    circuit =
+  let validate =
+    match validate with
+    | Some v -> v
+    | None -> Analysis.Invariant.enabled_from_env ()
   in
-  let placement = evaluate circuit result.Anneal.Sa.best in
-  {
-    placement;
-    cost = result.Anneal.Sa.best_cost;
-    sa_rounds = result.Anneal.Sa.rounds;
-    evaluated = result.Anneal.Sa.evaluated;
-  }
+  let n = Netlist.Circuit.size circuit in
+  let params =
+    match params with Some p -> p | None -> Anneal.Sa.default_params ~n
+  in
+  match (workers, chains) with
+  | None, None ->
+      let problem = problem_of ~validate ~weights circuit telemetry rng in
+      let result = Anneal.Sa.run ~telemetry ~rng params problem in
+      {
+        placement = evaluate circuit result.Anneal.Sa.best;
+        cost = result.Anneal.Sa.best_cost;
+        sa_rounds = result.Anneal.Sa.rounds;
+        evaluated = result.Anneal.Sa.evaluated;
+      }
+  | _ ->
+      let k =
+        match chains with
+        | Some k -> max 1 k
+        | None -> (
+            match workers with
+            | Some w -> max 1 w
+            | None -> Anneal.Parallel.default_workers ())
+      in
+      let seeds = List.init k (fun _ -> Prelude.Rng.int rng 0x3FFFFFFF) in
+      let check = if validate then Some (audit circuit) else None in
+      let runner =
+        match mode with
+        | `Deterministic -> Anneal.Parallel.run
+        | `Async -> Anneal.Parallel.run_async
+      in
+      let result =
+        runner ?workers ?check ~telemetry ~engine:"tcg" ~seeds params
+          (problem_of ~validate ~weights circuit)
+      in
+      {
+        placement = evaluate circuit result.Anneal.Parallel.best;
+        cost = result.Anneal.Parallel.best_cost;
+        sa_rounds =
+          result.Anneal.Parallel.chains.(result.Anneal.Parallel.winner)
+            .Anneal.Sa.rounds;
+        evaluated = result.Anneal.Parallel.evaluated;
+      }

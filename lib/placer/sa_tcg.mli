@@ -2,6 +2,10 @@
     (survey §II, ref [15]) — the third non-slicing arm of the
     representation ablation. Limited to 62 modules (see {!Seqpair.Tcg}). *)
 
+type state = { tcg : Seqpair.Tcg.t; rot : bool array }
+(** One annealing state. Exposed so {!Portfolio} can build and
+    convert chain states. *)
+
 type outcome = {
   placement : Placement.t;
   cost : float;
@@ -9,13 +13,41 @@ type outcome = {
   evaluated : int;
 }
 
+val problem_of :
+  ?validate:bool ->
+  weights:Cost.weights ->
+  Netlist.Circuit.t ->
+  Telemetry.Sink.t ->
+  Prelude.Rng.t ->
+  state Anneal.Sa.problem
+(** One annealing problem for one chain; see
+    {!Sa_seqpair.problem_of}. *)
+
+val evaluate : Netlist.Circuit.t -> state -> Placement.t
+(** Materialize a state through the TCG packer. *)
+
 val place :
   ?weights:Cost.weights ->
   ?params:Anneal.Sa.params ->
+  ?workers:int ->
+  ?chains:int ->
+  ?mode:[ `Deterministic | `Async ] ->
+  ?validate:bool ->
   ?telemetry:Telemetry.Sink.t ->
   rng:Prelude.Rng.t ->
   Netlist.Circuit.t ->
   outcome
-(** [telemetry] as in {!Sa_seqpair.place}: convergence samples,
+(** [workers]/[chains]/[mode] enable {!Anneal.Parallel} multi-start
+    annealing with the same semantics as {!Sa_seqpair.place} (the TCG
+    problem is functional, so chains exchange whole graphs); without
+    either parameter the classic single-chain path runs on [rng]
+    directly.
+
+    [validate] (default: the [ANALOG_VALIDATE=1] environment switch)
+    audits the packed placement after every SA move and at every
+    exchange — there is no separate structural TCG checker because
+    {!Seqpair.Tcg} maintains closure by construction.
+
+    [telemetry] as in {!Sa_seqpair.place}: convergence samples,
     [sa.round] and [eval.cost] spans, and
     [sa.moves.tcg.*] / [sa.moves.rotation.*] tallies. *)

@@ -25,12 +25,14 @@ type t = {
   term_aspect : float;
   dead_space_pct : float;
   outline_fit : bool option;
+  engine : string option;
+  mode : string option;
   violations : violation list;
   move_rates : (string * int * int) list;
 }
 
-let run ?outline_fit ?(violations = []) ?(move_rates = []) ~cost ~wall_s
-    ~sa_rounds ~evaluated ~area ~width ~height ~hpwl ~term_area
+let run ?outline_fit ?engine ?mode ?(violations = []) ?(move_rates = [])
+    ~cost ~wall_s ~sa_rounds ~evaluated ~area ~width ~height ~hpwl ~term_area
     ~term_wirelength ~term_aspect ~dead_space_pct () =
   {
     kind = "run";
@@ -47,11 +49,14 @@ let run ?outline_fit ?(violations = []) ?(move_rates = []) ~cost ~wall_s
     term_aspect;
     dead_space_pct;
     outline_fit;
+    engine;
+    mode;
     violations;
     move_rates = List.sort compare move_rates;
   }
 
-let chain ?(move_rates = []) ~cost ~wall_s ~sa_rounds ~evaluated () =
+let chain ?engine ?mode ?(move_rates = []) ~cost ~wall_s ~sa_rounds ~evaluated
+    () =
   {
     kind = "chain";
     cost;
@@ -67,6 +72,8 @@ let chain ?(move_rates = []) ~cost ~wall_s ~sa_rounds ~evaluated () =
     term_aspect = 0.0;
     dead_space_pct = 0.0;
     outline_fit = None;
+    engine;
+    mode;
     violations = [];
     move_rates = List.sort compare move_rates;
   }
@@ -148,6 +155,12 @@ let to_json t =
     | None -> []
     | Some b -> [ ("outline_fit", Json.bool b) ]
   in
+  (* engine/mode are emitted only when present, like outline_fit, so
+     records written before they existed re-emit byte-identically. *)
+  let opt_str name v =
+    match v with None -> [] | Some s -> [ (name, Json.str s) ]
+  in
+  let tags = opt_str "engine" t.engine @ opt_str "mode" t.mode in
   let tail =
     [
       ("violations", Json.Arr (List.map violation_to_json t.violations));
@@ -164,7 +177,7 @@ let to_json t =
              t.move_rates) );
     ]
   in
-  Json.Obj (base @ outline @ tail)
+  Json.Obj (base @ outline @ tags @ tail)
 
 (* of_json: each getter threads an error string so a malformed record
    names the field that broke, not just "parse error". *)
@@ -220,6 +233,11 @@ let of_json j =
     | Some v -> Json.to_bool v
     | None -> None
   in
+  let opt_str name =
+    match Json.member name j with Some v -> Json.to_str v | None -> None
+  in
+  let engine = opt_str "engine" in
+  let mode = opt_str "mode" in
   let* violations_js = field Json.to_list "violations" j in
   let* violations = map_result violation_of_json violations_js in
   let* moves_js = field Json.to_list "move_rates" j in
@@ -240,6 +258,8 @@ let of_json j =
       term_aspect;
       dead_space_pct;
       outline_fit;
+      engine;
+      mode;
       violations;
       move_rates;
     }

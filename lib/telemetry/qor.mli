@@ -39,6 +39,11 @@ type t = {
   term_aspect : float;
   dead_space_pct : float;
   outline_fit : bool option;  (** fixed-outline satisfied; [None] = free *)
+  engine : string option;
+      (** which engine produced this ("sp" | "bstar" | "tcg" | …);
+          [None] for records predating portfolio runs *)
+  mode : string option;
+      (** "deterministic" | "async"; [None] when not a parallel run *)
   violations : violation list;
   move_rates : (string * int * int) list;
       (** (class, accepted, rejected), name-sorted *)
@@ -46,6 +51,8 @@ type t = {
 
 val run :
   ?outline_fit:bool ->
+  ?engine:string ->
+  ?mode:string ->
   ?violations:violation list ->
   ?move_rates:(string * int * int) list ->
   cost:float ->
@@ -64,6 +71,8 @@ val run :
   t
 
 val chain :
+  ?engine:string ->
+  ?mode:string ->
   ?move_rates:(string * int * int) list ->
   cost:float ->
   wall_s:float ->
@@ -72,7 +81,10 @@ val chain :
   unit ->
   t
 (** A per-chain record: search effort and best cost only; geometric
-    fields are zero (the chain's state was never materialized). *)
+    fields are zero (the chain's state was never materialized).
+    [engine]/[mode] tag which portfolio entrant and parallel mode
+    produced the chain; both are omitted from the JSON when absent, so
+    pre-portfolio ledger lines still round-trip byte-identically. *)
 
 val violation_total : t -> int
 (** Sum of all violation counts. *)

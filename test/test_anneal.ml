@@ -190,6 +190,129 @@ let test_parallel_mutable_worker_invariant () =
     "1 vs 4 evaluations" a.Anneal.Parallel.evaluated
     c.Anneal.Parallel.evaluated
 
+(* Worker-count invariance as a property: the deterministic mode on the
+   persistent pool must be a pure function of seeds/params/exchange for
+   ANY worker count and ANY slice length, not just the hand-picked
+   combinations above. *)
+let prop_parallel_worker_invariant =
+  QCheck.Test.make ~name:"deterministic mode is worker-count invariant"
+    ~count:12
+    QCheck.(
+      triple
+        (list_of_size Gen.(1 -- 5) (int_range 0 999))
+        (int_range 2 5) (int_range 1 16))
+    (fun (seeds, workers, exchange_every) ->
+      let go workers =
+        Anneal.Parallel.run ~workers ~exchange_every ~seeds par_params
+          (fun _ _ -> problem)
+      in
+      let a = go 1 and b = go workers in
+      a.Anneal.Parallel.best = b.Anneal.Parallel.best
+      && a.Anneal.Parallel.best_cost = b.Anneal.Parallel.best_cost
+      && a.Anneal.Parallel.winner = b.Anneal.Parallel.winner
+      && a.Anneal.Parallel.evaluated = b.Anneal.Parallel.evaluated)
+
+(* With exchange disabled every async chain replays its solo walk
+   exactly (nothing is ever pulled), so the outcome is provably the
+   min over independent Sa.run restarts — regardless of interleaving. *)
+let test_async_restarts_match_solo () =
+  let seeds = [ 3; 11; 42; 99 ] in
+  let solo =
+    List.map
+      (fun s -> Anneal.Sa.run ~rng:(Prelude.Rng.create s) par_params problem)
+      seeds
+  in
+  let out =
+    Anneal.Parallel.run_async ~workers:2 ~exchange_every:0 ~seeds par_params
+      (fun _ _ -> problem)
+  in
+  let best_solo =
+    List.fold_left
+      (fun acc (o : int Anneal.Sa.outcome) -> min acc o.Anneal.Sa.best_cost)
+      infinity solo
+  in
+  Alcotest.(check (float 0.0))
+    "best = min over solo restarts" best_solo out.Anneal.Parallel.best_cost;
+  List.iteri
+    (fun i (o : int Anneal.Sa.outcome) ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "chain %d replays its solo walk" i)
+        o.Anneal.Sa.best_cost
+        out.Anneal.Parallel.chains.(i).Anneal.Sa.best_cost)
+    solo;
+  Alcotest.(check int)
+    "same total evaluations"
+    (List.fold_left
+       (fun acc (o : int Anneal.Sa.outcome) -> acc + o.Anneal.Sa.evaluated)
+       0 solo)
+    out.Anneal.Parallel.evaluated
+
+(* Free-running with exchange ON: the sanitizer must fire on every
+   publish, the final best must be the min over the chains' own bests
+   (the elite pool retains every published cost), and the whole thing
+   must hold together under real domain parallelism. *)
+let test_async_exchange_sane () =
+  let checks = Atomic.make 0 in
+  let check x =
+    Atomic.incr checks;
+    if x < -100 || x > 100 then failwith "state escaped the domain"
+  in
+  let out =
+    Anneal.Parallel.run_async ~workers:4 ~exchange_every:8 ~check
+      ~seeds:[ 3; 11; 42; 99 ] par_params
+      (fun _ _ -> problem)
+  in
+  let chain_min =
+    Array.fold_left
+      (fun acc (o : int Anneal.Sa.outcome) -> min acc o.Anneal.Sa.best_cost)
+      infinity out.Anneal.Parallel.chains
+  in
+  Alcotest.(check (float 0.0))
+    "best = min over chain bests" chain_min out.Anneal.Parallel.best_cost;
+  Alcotest.(check bool) "sanitizer ran" true (Atomic.get checks > 0);
+  Alcotest.(check bool)
+    "winner holds the best" true
+    (out.Anneal.Parallel.chains.(out.Anneal.Parallel.winner).Anneal.Sa.best_cost
+    = out.Anneal.Parallel.best_cost);
+  Alcotest.(check bool) "evaluations counted" true
+    (out.Anneal.Parallel.evaluated > 0)
+
+(* At workers:1 the async chains run sequentially in seed order, so
+   even with exchange on the race is a pure function of the seeds. *)
+let test_async_single_worker_deterministic () =
+  let go () =
+    Anneal.Parallel.run_async ~workers:1 ~exchange_every:8 ~seeds:[ 5; 6; 7 ]
+      par_params
+      (fun _ _ -> problem)
+  in
+  let a = go () and b = go () in
+  Alcotest.(check (float 0.0))
+    "same seeds same cost" a.Anneal.Parallel.best_cost
+    b.Anneal.Parallel.best_cost;
+  Alcotest.(check int)
+    "same winner" a.Anneal.Parallel.winner b.Anneal.Parallel.winner
+
+(* The draw-equivalent mutable problem must agree with the functional
+   one in async mode too, where exchange publishes mbest_copy
+   snapshots instead of immutable states. *)
+let test_async_mutable_matches_functional () =
+  let seeds = [ 3; 11; 42; 99 ] in
+  let f =
+    Anneal.Parallel.run_async ~workers:2 ~exchange_every:0 ~seeds par_params
+      (fun _ _ -> problem)
+  in
+  let m =
+    Anneal.Parallel.run_mutable_async ~workers:2 ~exchange_every:0 ~seeds
+      par_params
+      (fun _ _ -> mproblem ())
+  in
+  Alcotest.(check int)
+    "same best" f.Anneal.Parallel.best m.Anneal.Parallel.best.(0);
+  Alcotest.(check (float 0.0))
+    "same cost" f.Anneal.Parallel.best_cost m.Anneal.Parallel.best_cost;
+  Alcotest.(check int)
+    "same evaluations" f.Anneal.Parallel.evaluated m.Anneal.Parallel.evaluated
+
 (* ANALOG_WORKERS: parse/clamp behavior of the worker-count default.
    Unix.putenv mutates the live environment, so restore it per case. *)
 let with_env value f =
@@ -230,6 +353,148 @@ let test_default_workers_env () =
         (Domain.recommended_domain_count ())
         (Anneal.Parallel.default_workers ()))
 
+(* --- the persistent worker pool ------------------------------------ *)
+
+let test_pool_runs_all_jobs () =
+  List.iter
+    (fun workers ->
+      Anneal.Pool.with_pool ~workers (fun pool ->
+          let n = 37 in
+          let hits = Array.make n 0 in
+          Anneal.Pool.run pool
+            (Array.init n (fun i () -> hits.(i) <- hits.(i) + 1));
+          Alcotest.(check bool)
+            (Printf.sprintf "every job ran once at %d workers" workers)
+            true
+            (Array.for_all (( = ) 1) hits)))
+    [ 1; 2; 4 ]
+
+let test_pool_persists_across_barriers () =
+  Anneal.Pool.with_pool ~workers:3 (fun pool ->
+      let total = Atomic.make 0 in
+      for _ = 1 to 5 do
+        Anneal.Pool.run pool
+          (Array.init 8 (fun _ () -> Atomic.incr total))
+      done;
+      Alcotest.(check int) "five barriers on one pool" 40 (Atomic.get total));
+  Alcotest.(check pass) "shutdown clean" () ()
+
+let test_pool_sequential_order () =
+  (* workers:1 spawns no domain: jobs run inline in submission order *)
+  Anneal.Pool.with_pool ~workers:1 (fun pool ->
+      Alcotest.(check int) "clamped count" 1 (Anneal.Pool.workers pool);
+      let order = ref [] in
+      Anneal.Pool.run pool (Array.init 5 (fun i () -> order := i :: !order));
+      Alcotest.(check (list int)) "submission order" [ 0; 1; 2; 3; 4 ]
+        (List.rev !order))
+
+exception Boom of int
+
+let test_pool_reraises_failure () =
+  List.iter
+    (fun workers ->
+      Anneal.Pool.with_pool ~workers (fun pool ->
+          let ran = Atomic.make 0 in
+          (try
+             Anneal.Pool.run pool
+               [|
+                 (fun () -> Atomic.incr ran);
+                 (fun () -> raise (Boom 1));
+                 (fun () -> Atomic.incr ran);
+               |];
+             Alcotest.fail "drain swallowed the job exception"
+           with Boom 1 -> ());
+          Alcotest.(check bool)
+            "failure flag cleared after drain" false
+            (Anneal.Pool.failed pool);
+          Alcotest.(check int)
+            (Printf.sprintf "remaining jobs still ran at %d workers" workers)
+            2 (Atomic.get ran);
+          (* the pool survives a failed batch *)
+          let ok = ref false in
+          Anneal.Pool.run pool [| (fun () -> ok := true) |];
+          Alcotest.(check bool) "usable after failure" true !ok))
+    [ 1; 3 ]
+
+let test_pool_submit_after_shutdown () =
+  let pool = Anneal.Pool.create ~workers:2 in
+  Anneal.Pool.shutdown pool;
+  Anneal.Pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      Anneal.Pool.submit pool (fun () -> ()))
+
+(* --- the elite pool ------------------------------------------------- *)
+
+let test_elite_publish_pull () =
+  let e = Anneal.Elite.create () in
+  Alcotest.(check bool) "empty best" true (Anneal.Elite.best e = None);
+  Alcotest.(check bool) "empty pull" true (Anneal.Elite.pull e ~than:0.0 = None);
+  Alcotest.(check bool) "first publish improves" true
+    (Anneal.Elite.publish e ~origin:0 ~cost:5.0 "a");
+  Alcotest.(check bool) "worse publish does not" false
+    (Anneal.Elite.publish e ~origin:1 ~cost:7.0 "b");
+  Alcotest.(check bool) "better publish does" true
+    (Anneal.Elite.publish e ~origin:1 ~cost:3.0 "c");
+  (match Anneal.Elite.best e with
+  | Some { Anneal.Elite.cost; state; origin } ->
+      Alcotest.(check (float 0.0)) "best cost" 3.0 cost;
+      Alcotest.(check string) "best state" "c" state;
+      Alcotest.(check int) "best origin" 1 origin
+  | None -> Alcotest.fail "best lost");
+  (* strict comparison: a chain sitting at the best cost pulls nothing,
+     so nobody ever re-adopts their own publish *)
+  Alcotest.(check bool) "pull at equal cost" true
+    (Anneal.Elite.pull e ~than:3.0 = None);
+  match Anneal.Elite.pull e ~than:3.5 with
+  | Some { Anneal.Elite.state; _ } ->
+      Alcotest.(check string) "pull below" "c" state
+  | None -> Alcotest.fail "pull missed the best"
+
+let test_elite_families () =
+  let e = Anneal.Elite.create ~stripes:2 ~per_stripe:3 () in
+  (* 6 publishes from one origin, capacity 3: keep the 3 best *)
+  List.iter
+    (fun c -> ignore (Anneal.Elite.publish e ~origin:4 ~cost:c c))
+    [ 9.0; 7.0; 8.0; 2.0; 6.0; 4.0 ];
+  Alcotest.(check int) "per-stripe cap" 3 (Anneal.Elite.size e);
+  (match Anneal.Elite.entries e with
+  | { Anneal.Elite.cost = c0; _ } :: { Anneal.Elite.cost = c1; _ }
+    :: { Anneal.Elite.cost = c2; _ } :: [] ->
+      Alcotest.(check (float 0.0)) "best first" 2.0 c0;
+      Alcotest.(check (float 0.0)) "then 4" 4.0 c1;
+      Alcotest.(check (float 0.0)) "then 6" 6.0 c2
+  | l -> Alcotest.failf "expected 3 entries, got %d" (List.length l));
+  (* a second origin lands on its own stripe and keeps its own family *)
+  ignore (Anneal.Elite.publish e ~origin:5 ~cost:5.0 5.0);
+  Alcotest.(check int) "two families" 4 (Anneal.Elite.size e);
+  match Anneal.Elite.best e with
+  | Some { Anneal.Elite.cost; _ } ->
+      Alcotest.(check (float 0.0)) "global best survives" 2.0 cost
+  | None -> Alcotest.fail "best lost"
+
+let test_elite_concurrent_publish () =
+  (* hammer one pool from several domains; the global best must end up
+     as the true minimum and every retained entry must be consistent *)
+  let e = Anneal.Elite.create ~stripes:4 ~per_stripe:2 () in
+  Anneal.Pool.with_pool ~workers:4 (fun pool ->
+      Anneal.Pool.run pool
+        (Array.init 4 (fun d () ->
+             for i = 0 to 99 do
+               let cost = float_of_int (((d * 100) + i) mod 251) in
+               ignore (Anneal.Elite.publish e ~origin:d ~cost (cost, d))
+             done)));
+  (match Anneal.Elite.best e with
+  | Some { Anneal.Elite.cost; state = c, _; _ } ->
+      Alcotest.(check (float 0.0)) "true minimum" 0.0 cost;
+      Alcotest.(check (float 0.0)) "state consistent with cost" cost c
+  | None -> Alcotest.fail "no best after 400 publishes");
+  List.iter
+    (fun { Anneal.Elite.cost; state = c, _; _ } ->
+      Alcotest.(check (float 0.0)) "no torn entry" cost c)
+    (Anneal.Elite.entries e)
+
 let () =
   Alcotest.run "anneal"
     [
@@ -262,5 +527,35 @@ let () =
           Alcotest.test_case "ANALOG_WORKERS parser" `Quick test_parse_workers;
           Alcotest.test_case "ANALOG_WORKERS default" `Quick
             test_default_workers_env;
+          QCheck_alcotest.to_alcotest prop_parallel_worker_invariant;
+        ] );
+      ( "async",
+        [
+          Alcotest.test_case "restarts match solo runs" `Quick
+            test_async_restarts_match_solo;
+          Alcotest.test_case "exchange keeps invariants" `Quick
+            test_async_exchange_sane;
+          Alcotest.test_case "single worker deterministic" `Quick
+            test_async_single_worker_deterministic;
+          Alcotest.test_case "mutable matches functional" `Quick
+            test_async_mutable_matches_functional;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "runs all jobs" `Quick test_pool_runs_all_jobs;
+          Alcotest.test_case "persists across barriers" `Quick
+            test_pool_persists_across_barriers;
+          Alcotest.test_case "workers=1 runs inline in order" `Quick
+            test_pool_sequential_order;
+          Alcotest.test_case "re-raises job failures" `Quick
+            test_pool_reraises_failure;
+          Alcotest.test_case "shutdown" `Quick test_pool_submit_after_shutdown;
+        ] );
+      ( "elite",
+        [
+          Alcotest.test_case "publish/pull" `Quick test_elite_publish_pull;
+          Alcotest.test_case "striped families" `Quick test_elite_families;
+          Alcotest.test_case "concurrent publish" `Quick
+            test_elite_concurrent_publish;
         ] );
     ]

@@ -399,6 +399,180 @@ let test_sa_bstar_parallel () =
   | Ok () -> ()
   | Error m -> Alcotest.fail m
 
+(* Async (free-running) placement. At workers:1 the first async chain
+   replays the single-chain run exactly — its own publishes are never
+   pulled back — so the multi-start best is provably at least as good
+   as the chains:1 baseline on the same caller seed. The workers:2
+   run crosses real domains with the move-level sanitizer on. *)
+let test_sa_seqpair_async () =
+  let c = tiny_circuit () in
+  let base =
+    Placer.Sa_seqpair.place ~params:small_params ~chains:1 ~workers:1
+      ~rng:(Prelude.Rng.create 7) c
+  in
+  let solo =
+    Placer.Sa_seqpair.place ~params:small_params ~mode:`Async ~chains:3
+      ~workers:1 ~validate:true
+      ~rng:(Prelude.Rng.create 7) c
+  in
+  Alcotest.(check bool)
+    "multi-start at least as good as single-chain baseline" true
+    (solo.Placer.Sa_seqpair.cost <= base.Placer.Sa_seqpair.cost);
+  (match Placer.Placement.validate solo.Placer.Sa_seqpair.placement with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let free =
+    Placer.Sa_seqpair.place ~params:small_params ~mode:`Async ~chains:4
+      ~workers:2 ~validate:true
+      ~rng:(Prelude.Rng.create 7) c
+  in
+  (match Placer.Placement.validate free.Placer.Sa_seqpair.placement with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check bool) "all chains counted" true
+    (free.Placer.Sa_seqpair.evaluated > solo.Placer.Sa_seqpair.evaluated / 2)
+
+let test_sa_seqpair_async_symmetric () =
+  let c = tiny_circuit () in
+  let grp = Constraints.Symmetry_group.make ~pairs:[ (0, 1) ] ~selfs:[ 2 ] () in
+  let out =
+    Placer.Sa_seqpair.place ~params:small_params ~groups:[ grp ] ~mode:`Async
+      ~chains:2 ~workers:2 ~validate:true
+      ~rng:(Prelude.Rng.create 9) c
+  in
+  (* validate:true audits symmetric feasibility of every published
+     state on the publishing domain; reaching here means it held *)
+  match Placer.Placement.validate out.Placer.Sa_seqpair.placement with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_sa_bstar_async () =
+  let c = tiny_circuit () in
+  let base =
+    Placer.Sa_bstar.place ~params:small_params ~chains:1 ~workers:1
+      ~rng:(Prelude.Rng.create 8) c
+  in
+  let solo =
+    Placer.Sa_bstar.place ~params:small_params ~mode:`Async ~chains:3
+      ~workers:1 ~validate:true
+      ~rng:(Prelude.Rng.create 8) c
+  in
+  Alcotest.(check bool)
+    "multi-start at least as good as single-chain baseline" true
+    (solo.Placer.Sa_bstar.cost <= base.Placer.Sa_bstar.cost);
+  let free =
+    Placer.Sa_bstar.place ~params:small_params ~mode:`Async ~chains:4
+      ~workers:2 ~validate:true
+      ~rng:(Prelude.Rng.create 8) c
+  in
+  match Placer.Placement.validate free.Placer.Sa_bstar.placement with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_sa_tcg_parallel () =
+  let c = tiny_circuit () in
+  let place workers =
+    Placer.Sa_tcg.place ~params:small_params ~workers ~chains:2
+      ~rng:(Prelude.Rng.create 4) c
+  in
+  let a = place 1 and b = place 2 in
+  Alcotest.(check (float 0.0))
+    "worker count does not change the result" a.Placer.Sa_tcg.cost
+    b.Placer.Sa_tcg.cost;
+  (match Placer.Placement.validate a.Placer.Sa_tcg.placement with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let free =
+    Placer.Sa_tcg.place ~params:small_params ~mode:`Async ~chains:2 ~workers:2
+      ~validate:true
+      ~rng:(Prelude.Rng.create 4) c
+  in
+  match Placer.Placement.validate free.Placer.Sa_tcg.placement with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* The heterogeneous portfolio race. *)
+let test_portfolio_race () =
+  let b = Netlist.Benchmarks.synthetic ~label:"pf" ~n:10 ~seed:55 in
+  let c = b.Netlist.Benchmarks.circuit in
+  let go () =
+    Placer.Portfolio.race ~params:small_params ~workers:1 ~validate:true
+      ~rng:(Prelude.Rng.create 13) c
+  in
+  let out = go () in
+  (match Placer.Placement.validate out.Placer.Portfolio.placement with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (* n = 10, no groups, no hierarchy: sp, bstar and tcg all enter *)
+  Alcotest.(check int) "three engines entered" 3
+    (List.length out.Placer.Portfolio.entrants);
+  let entrant_min =
+    List.fold_left
+      (fun acc (e : Placer.Portfolio.entrant) -> min acc e.Placer.Portfolio.cost)
+      infinity out.Placer.Portfolio.entrants
+  in
+  Alcotest.(check (float 0.0))
+    "outcome is the best entrant's cost" entrant_min out.Placer.Portfolio.cost;
+  Alcotest.(check bool) "winner actually entered" true
+    (List.exists
+       (fun (e : Placer.Portfolio.entrant) ->
+         e.Placer.Portfolio.engine = out.Placer.Portfolio.winner)
+       out.Placer.Portfolio.entrants);
+  Alcotest.(check bool) "evaluations counted" true
+    (out.Placer.Portfolio.evaluated > 0);
+  (* at workers:1 the race is sequential in entrant order, so the
+     outcome is a pure function of the caller seed *)
+  let again = go () in
+  Alcotest.(check (float 0.0))
+    "deterministic at workers:1" out.Placer.Portfolio.cost
+    again.Placer.Portfolio.cost
+
+let test_portfolio_bar () =
+  let b = Netlist.Benchmarks.synthetic ~label:"pb" ~n:8 ~seed:66 in
+  let c = b.Netlist.Benchmarks.circuit in
+  (* an infinitely generous QoR bar: the first publish wins the race —
+     at workers:1 that is the first entrant, sequence-pair *)
+  let out =
+    Placer.Portfolio.race ~params:small_params ~workers:1 ~bar:infinity
+      ~rng:(Prelude.Rng.create 3) c
+  in
+  Alcotest.(check bool) "first past the bar wins" true
+    (out.Placer.Portfolio.winner = Placer.Portfolio.Sp);
+  match Placer.Placement.validate out.Placer.Portfolio.placement with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_portfolio_symmetric () =
+  let c = tiny_circuit () in
+  let grp = Constraints.Symmetry_group.make ~pairs:[ (0, 1) ] ~selfs:[ 2 ] () in
+  let out =
+    Placer.Portfolio.race ~params:small_params ~groups:[ grp ] ~workers:1
+      ~chains:2 ~validate:true
+      ~rng:(Prelude.Rng.create 21) c
+  in
+  (* with symmetry groups only the sequence-pair arm may enter by
+     default — the other representations cannot hold the constraint *)
+  Alcotest.(check int) "sp chains only" 2
+    (List.length out.Placer.Portfolio.entrants);
+  Alcotest.(check bool) "sp wins by default" true
+    (out.Placer.Portfolio.winner = Placer.Portfolio.Sp);
+  match Placer.Placement.validate out.Placer.Portfolio.placement with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_portfolio_rejects_bad_configs () =
+  let c = tiny_circuit () in
+  Alcotest.check_raises "empty engine list"
+    (Invalid_argument "Portfolio.race: empty engine list") (fun () ->
+      ignore
+        (Placer.Portfolio.race ~engines:[] ~rng:(Prelude.Rng.create 1) c));
+  Alcotest.check_raises "Esf without hierarchy"
+    (Invalid_argument "Portfolio.race: Esf entrant needs ?hierarchy") (fun () ->
+      ignore
+        (Placer.Portfolio.race ~params:small_params
+           ~engines:[ Placer.Portfolio.Esf ]
+           ~rng:(Prelude.Rng.create 1) c))
+
 let prop_slicing_moves_normalized =
   QCheck.Test.make ~name:"slicing moves stay normalized" ~count:200
     QCheck.(pair (int_range 2 12) small_int)
@@ -438,7 +612,23 @@ let () =
           Alcotest.test_case "seqpair parallel" `Quick test_sa_seqpair_parallel;
           Alcotest.test_case "bstar" `Quick test_sa_bstar;
           Alcotest.test_case "bstar parallel" `Quick test_sa_bstar_parallel;
+          Alcotest.test_case "tcg parallel" `Quick test_sa_tcg_parallel;
           Alcotest.test_case "improves" `Quick test_sa_improves;
+        ] );
+      ( "async",
+        [
+          Alcotest.test_case "seqpair free-running" `Quick test_sa_seqpair_async;
+          Alcotest.test_case "seqpair symmetric free-running" `Quick
+            test_sa_seqpair_async_symmetric;
+          Alcotest.test_case "bstar free-running" `Quick test_sa_bstar_async;
+        ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "race" `Quick test_portfolio_race;
+          Alcotest.test_case "QoR bar" `Quick test_portfolio_bar;
+          Alcotest.test_case "symmetric" `Quick test_portfolio_symmetric;
+          Alcotest.test_case "bad configs" `Quick
+            test_portfolio_rejects_bad_configs;
         ] );
       ( "slicing",
         [
