@@ -4,12 +4,15 @@
      analog_place size   -- layout-aware sizing of the Miller op amp
      analog_place info   -- parse + recognize only
      analog_place lint   -- static constraint/netlist diagnostics
+     analog_place verify -- re-verify recorded placements, DRC style
 
    Examples:
      analog_place place --netlist opamp.cir --engine hbstar --svg out.svg
      analog_place place --bench lnamixbias --engine esf
+     analog_place place --bench miller-v2 --infeasible-check --outline 10x10
      analog_place size --mode aware
      analog_place lint opamp.cir --json
+     analog_place verify --ledger runs.jsonl --all --sarif verify.sarif
 *)
 
 open Cmdliner
@@ -21,18 +24,36 @@ let read_file path =
   close_in ic;
   s
 
+(* Everything that can go wrong between a path and a recognized bench,
+   as one AL000 diagnostic: unreadable file, parse error (with its
+   line), or a circuit the structure recognizer rejects (an empty
+   netlist has no hierarchy root, for instance). *)
+let try_load_netlist path =
+  match read_file path with
+  | exception Sys_error msg -> Error (Analysis.Lint.parse_failure ~file:path msg)
+  | contents -> (
+      match Netlist.Parser.parse_string contents with
+      | Error (e : Netlist.Parser.error) ->
+          Error
+            (Analysis.Lint.parse_failure ~line:e.Netlist.Parser.line ~file:path
+               e.Netlist.Parser.message)
+      | Ok devices -> (
+          let name = Filename.remove_extension (Filename.basename path) in
+          let circuit = Netlist.Parser.to_circuit ~name devices in
+          match Netlist.Recognize.recognize circuit with
+          | exception Invalid_argument msg ->
+              Error
+                (Analysis.Lint.parse_failure ~file:path
+                   ("structure recognition failed: " ^ msg))
+          | { Netlist.Recognize.hierarchy; _ } ->
+              Ok { Netlist.Benchmarks.label = name; circuit; hierarchy }))
+
 let load_netlist path =
-  match Netlist.Parser.parse_string (read_file path) with
-  | Error e ->
-      Format.eprintf "%s: %a@." path Netlist.Parser.pp_error e;
+  match try_load_netlist path with
+  | Ok b -> b
+  | Error d ->
+      Format.eprintf "%a@." Analysis.Diagnostic.pp d;
       exit 1
-  | Ok devices ->
-      let name = Filename.remove_extension (Filename.basename path) in
-      let circuit = Netlist.Parser.to_circuit ~name devices in
-      let { Netlist.Recognize.hierarchy; _ } =
-        Netlist.Recognize.recognize circuit
-      in
-      { Netlist.Benchmarks.label = name; circuit; hierarchy }
 
 let load_bench name =
   match name with
@@ -63,6 +84,31 @@ let write_or_die path contents =
       Printf.eprintf "error: cannot write %s: %s\n" path msg;
       exit 2
 
+(* Every SARIF file ships through the emitter's own structural check
+   first — a malformed report is a bug here, not data for CI. *)
+let write_sarif ?uri path diags =
+  let s = Analysis.Sarif.to_string ?uri diags in
+  (match Analysis.Sarif.check s with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "internal error: invalid SARIF: %s\n" e;
+      exit 2);
+  write_or_die path s;
+  Printf.printf "wrote %s\n" path
+
+let outline_conv =
+  let fail s = Error (`Msg (Printf.sprintf "bad outline %S (expected WxH)" s)) in
+  let parse s =
+    match String.split_on_char 'x' (String.lowercase_ascii s) with
+    | [ w; h ] -> (
+        match (int_of_string_opt w, int_of_string_opt h) with
+        | Some w, Some h when w > 0 && h > 0 -> Ok (w, h)
+        | _ -> fail s)
+    | _ -> fail s
+  in
+  let print ppf (w, h) = Format.fprintf ppf "%dx%d" w h in
+  Arg.conv (parse, print)
+
 (* ---- place ------------------------------------------------------- *)
 
 type engine = Sp | Bstar_flat | Tcg | Hbstar | Esf | Rsf | Slicing
@@ -91,7 +137,7 @@ let engine_conv =
   Arg.conv (parse, print)
 
 let run_place netlist bench engine seed svg quiet cluster validate trace conv
-    metrics workers chains async portfolio ledger =
+    metrics workers chains async portfolio ledger infeasible_check outline =
   let b =
     match (netlist, bench) with
     | Some path, _ -> load_netlist path
@@ -124,6 +170,20 @@ let run_place netlist bench engine seed svg quiet cluster validate trace conv
       "note: engine is not annealing-instrumented; the trace will only \
        contain the place.total span (sp and bstar carry full telemetry)\n";
   let groups = Constraints.Symmetry_group.of_hierarchy hierarchy in
+  (* The prover runs before any annealing; its errors are proofs, so a
+     rejected input exits 1 without burning a single SA round. The
+     portfolio path runs the same prover inside race (so library users
+     get it too) — here it gates every engine. *)
+  if infeasible_check && not portfolio then begin
+    let diags =
+      Analysis.Feasibility.check ~groups ~hierarchy ?outline circuit
+    in
+    if diags <> [] then Format.printf "%a" Analysis.Diagnostic.pp_list diags;
+    if Analysis.Diagnostic.has_errors diags then begin
+      Printf.eprintf "input proven infeasible; not placing\n";
+      exit 1
+    end
+  end;
   let mode = if async then `Async else `Deterministic in
   (* --async with no explicit geometry still means the parallel path:
      default to one chain per available worker *)
@@ -140,8 +200,14 @@ let run_place netlist bench engine seed svg quiet cluster validate trace conv
   let placed, sa_cost, sa_rounds, evaluated =
     if portfolio then (
       let o =
-        Placer.Portfolio.race ~groups ?workers ?chains ~hierarchy ?validate
-          ~telemetry ~rng circuit
+        try
+          Placer.Portfolio.race ~groups ?workers ?chains ~hierarchy ?validate
+            ~feasibility_check:infeasible_check ?outline ~telemetry ~rng
+            circuit
+        with Analysis.Invariant.Violation (ctx, ds) ->
+          Format.eprintf "%s:@.%a" ctx Analysis.Diagnostic.pp_list ds;
+          Printf.eprintf "input proven infeasible; not placing\n";
+          exit 1
       in
       Printf.printf "portfolio winner: %s (%s)\n"
         (Placer.Portfolio.engine_name o.Placer.Portfolio.winner)
@@ -458,12 +524,33 @@ let place_cmd =
              per-chain records and the placed rectangles. Compare runs \
              with $(b,analog_place report).")
   in
+  let infeasible_check =
+    Arg.(
+      value & flag
+      & info [ "infeasible-check" ]
+          ~doc:
+            "Run the constraint feasibility prover before placing: total \
+             area, per-module and symmetry-pair fit, cross-group pair \
+             conflicts, and basic-set packing lower bounds against \
+             $(b,--outline). A proven-infeasible input exits 1 with AL20x \
+             diagnostics instead of annealing to a doomed layout.")
+  in
+  let outline =
+    Arg.(
+      value
+      & opt (some outline_conv) None
+      & info [ "outline" ] ~docv:"WxH"
+          ~doc:
+            "Fixed outline in grid units (e.g. 120x90) for the feasibility \
+             prover's fit obligations. Without it, only outline-independent \
+             checks run.")
+  in
   Cmd.v
     (Cmd.info "place" ~doc:"Place an analog circuit")
     Term.(
       const run_place $ netlist $ bench $ engine $ seed $ svg $ quiet $ cluster
       $ validate $ trace $ conv $ metrics $ workers $ chains $ async
-      $ portfolio $ ledger)
+      $ portfolio $ ledger $ infeasible_check $ outline)
 
 (* ---- report ------------------------------------------------------ *)
 
@@ -754,26 +841,45 @@ let info_cmd =
 
 (* ---- lint -------------------------------------------------------- *)
 
-let run_lint netlist bench json threshold =
-  let b =
+let run_lint netlist bench json sarif threshold =
+  (* exit status: 0 clean, 1 lint findings, 2 the input never became a
+     circuit (AL000) — so CI can tell "bad constraints" from "bad file" *)
+  let label, diags, status =
     match (netlist, bench) with
-    | Some path, _ -> load_netlist path
-    | None, Some name -> load_bench name
+    | Some path, _ -> (
+        match try_load_netlist path with
+        | Error d -> (path, [ d ], 2)
+        | Ok b ->
+            let diags =
+              Analysis.Lint.all ~sf_threshold:threshold
+                b.Netlist.Benchmarks.circuit b.Netlist.Benchmarks.hierarchy
+            in
+            ( b.Netlist.Benchmarks.label,
+              diags,
+              if Analysis.Diagnostic.has_errors diags then 1 else 0 ))
+    | None, Some name ->
+        let b = load_bench name in
+        let diags =
+          Analysis.Lint.all ~sf_threshold:threshold
+            b.Netlist.Benchmarks.circuit b.Netlist.Benchmarks.hierarchy
+        in
+        ( b.Netlist.Benchmarks.label,
+          diags,
+          if Analysis.Diagnostic.has_errors diags then 1 else 0 )
     | None, None ->
         prerr_endline "need a netlist FILE or --bench NAME";
         exit 1
   in
-  let diags =
-    Analysis.Lint.all ~sf_threshold:threshold b.Netlist.Benchmarks.circuit
-      b.Netlist.Benchmarks.hierarchy
-  in
   if json then print_endline (Analysis.Diagnostic.list_to_json diags)
   else begin
-    Format.printf "%s: " b.Netlist.Benchmarks.label;
+    Format.printf "%s: " label;
     if diags = [] then Format.printf "clean@."
     else Format.printf "@.%a" Analysis.Diagnostic.pp_list diags
   end;
-  exit (if Analysis.Diagnostic.has_errors diags then 1 else 0)
+  (match sarif with
+  | Some path -> write_sarif ?uri:netlist path diags
+  | None -> ());
+  exit status
 
 let lint_cmd =
   let netlist =
@@ -794,6 +900,13 @@ let lint_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit diagnostics as a JSON array.")
   in
+  let sarif =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sarif" ] ~docv:"FILE"
+          ~doc:"Also write the diagnostics as a SARIF 2.1.0 report.")
+  in
   let threshold =
     Arg.(
       value & opt int 1000
@@ -806,11 +919,106 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Static constraint/netlist diagnostics (non-zero exit on errors)")
-    Term.(const run_lint $ netlist $ bench $ json $ threshold)
+    Term.(const run_lint $ netlist $ bench $ json $ sarif $ threshold)
+
+(* ---- verify ------------------------------------------------------ *)
+
+let run_verify ledger last all sarif outline =
+  let entries =
+    match Telemetry.Ledger.read ledger with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    | Ok [] ->
+        Printf.eprintf "error: %s holds no ledger entries\n" ledger;
+        exit 2
+    | Ok es -> es
+  in
+  let entries =
+    if all then entries
+    else
+      let len = List.length entries in
+      List.filteri (fun i _ -> i >= len - max 1 last) entries
+  in
+  let skipped = ref 0 in
+  let all_diags =
+    List.concat_map
+      (fun (e : Telemetry.Ledger.entry) ->
+        let tag =
+          Printf.sprintf "%s/%s@%s" e.Telemetry.Ledger.label
+            e.Telemetry.Ledger.engine e.Telemetry.Ledger.generated_at
+        in
+        match Analysis.Verify.entry ?outline e with
+        | Error msg ->
+            incr skipped;
+            Printf.printf "%s: skipped (%s)\n" tag msg;
+            []
+        | Ok [] ->
+            Printf.printf "%s: clean\n" tag;
+            []
+        | Ok diags ->
+            Format.printf "%s:@.%a" tag Analysis.Diagnostic.pp_list diags;
+            diags)
+      entries
+  in
+  (match sarif with
+  | Some path -> write_sarif ~uri:ledger path all_diags
+  | None -> ());
+  if !skipped = List.length entries then begin
+    Printf.eprintf
+      "error: no entry could be verified (none embeds placed rectangles)\n";
+    exit 2
+  end;
+  exit (if Analysis.Diagnostic.has_errors all_diags then 1 else 0)
+
+let verify_cmd =
+  let ledger =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "QoR ledger (JSONL) whose recorded placements to re-verify. \
+             Each entry's rectangles and constraint obligations are \
+             re-hydrated and checked from scratch.")
+  in
+  let last =
+    Arg.(
+      value & opt int 1
+      & info [ "last" ] ~docv:"N"
+          ~doc:"Verify the last N entries (default 1, the newest).")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Verify every entry in the ledger.")
+  in
+  let sarif =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sarif" ] ~docv:"FILE"
+          ~doc:"Write the findings as a SARIF 2.1.0 report.")
+  in
+  let outline =
+    Arg.(
+      value
+      & opt (some outline_conv) None
+      & info [ "outline" ] ~docv:"WxH"
+          ~doc:
+            "Also check every placement against this fixed outline \
+             (AL213); the ledger records no outline of its own.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Independently re-verify recorded placements, DRC style (exit 1 \
+          on findings, 2 when nothing could be checked)")
+    Term.(const run_verify $ ledger $ last $ all $ sarif $ outline)
 
 let () =
   let doc = "Analog layout synthesis: topological placement and sizing" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "analog_place" ~version:"1.0" ~doc)
-          [ place_cmd; report_cmd; size_cmd; info_cmd; lint_cmd ]))
+          [ place_cmd; report_cmd; size_cmd; info_cmd; lint_cmd; verify_cmd ]))

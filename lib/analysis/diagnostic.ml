@@ -51,32 +51,21 @@ let pp_list ppf ds =
     n_warn
     (if n_warn = 1 then "" else "s")
 
-(* Minimal JSON string escaping: the messages only ever hold names and
-   ASCII prose, but control characters must not corrupt the stream. *)
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* JSON goes through the shared Telemetry.Json value layer (escaping,
+   emission and the parse round-trip all live there); this module only
+   states the shape of a diagnostic object. *)
+module J = Telemetry.Json
 
-let to_json d =
-  Printf.sprintf
-    "{\"code\":\"%s\",\"severity\":\"%s\",\"subject\":\"%s\",\"message\":\"%s\",\"hint\":%s}"
-    (json_escape d.code)
-    (severity_to_string d.severity)
-    (json_escape d.subject) (json_escape d.message)
-    (match d.hint with
-    | None -> "null"
-    | Some h -> Printf.sprintf "\"%s\"" (json_escape h))
+let json d =
+  J.Obj
+    [
+      ("code", J.str d.code);
+      ("severity", J.str (severity_to_string d.severity));
+      ("subject", J.str d.subject);
+      ("message", J.str d.message);
+      ("hint", match d.hint with None -> J.Null | Some h -> J.str h);
+    ]
 
-let list_to_json ds =
-  "[" ^ String.concat ",\n " (List.map to_json ds) ^ "]"
+let list_json ds = J.Arr (List.map json ds)
+let to_json d = J.emit (json d)
+let list_to_json ds = J.emit (list_json ds)

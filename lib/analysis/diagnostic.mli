@@ -42,8 +42,16 @@ val pp_list : Format.formatter -> t list -> unit
 (** All diagnostics, one per line, followed by an error/warning count
     summary. *)
 
+val json : t -> Telemetry.Json.t
+(** One JSON object; [hint] is [null] when absent. Built on the shared
+    {!Telemetry.Json} value layer, so [Telemetry.Json.parse (to_json d)]
+    round-trips (tested). *)
+
+val list_json : t list -> Telemetry.Json.t
+(** JSON array of {!json} objects. *)
+
 val to_json : t -> string
-(** One JSON object; [hint] is [null] when absent. *)
+(** [Telemetry.Json.emit (json d)]. *)
 
 val list_to_json : t list -> string
-(** JSON array of {!to_json} objects (newline-separated elements). *)
+(** [Telemetry.Json.emit (list_json ds)]. *)

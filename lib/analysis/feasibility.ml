@@ -1,0 +1,306 @@
+module C = Netlist.Circuit
+module G = Constraints.Symmetry_group
+module H = Netlist.Hierarchy
+module D = Diagnostic
+
+let module_name (c : C.t) i =
+  if i >= 0 && i < Array.length c.C.modules then c.C.modules.(i).C.name
+  else Printf.sprintf "#%d" i
+
+let in_range (c : C.t) i = i >= 0 && i < C.size c
+
+let positive_dims (c : C.t) i =
+  let w, h = C.dims c i in
+  w > 0 && h > 0
+
+(* ---- AL201: outline area ------------------------------------------ *)
+
+let check_area ~outline:(ow, oh) (c : C.t) =
+  let need = C.total_module_area c in
+  let have = ow * oh in
+  if need <= have then []
+  else
+    [
+      D.error ~code:"AL201" ~subject:"outline"
+        (Printf.sprintf
+           "total module area %d exceeds the %dx%d outline area %d; no \
+            placement exists"
+           need ow oh have)
+        ~hint:"grow the outline or shrink the devices; annealing cannot help";
+    ]
+
+(* ---- AL202: single-module fit ------------------------------------- *)
+
+(* A cell fits iff some orientation does; orientations swap the two
+   dimensions, so the test is over both (w, h) and (h, w). *)
+let cell_fits ~outline:(ow, oh) (w, h) =
+  (w <= ow && h <= oh) || (h <= ow && w <= oh)
+
+let check_module_fit ~outline (c : C.t) =
+  Array.to_list c.C.modules
+  |> List.filteri (fun i _ -> positive_dims c i)
+  |> List.filter_map (fun (m : C.module_) ->
+         if cell_fits ~outline (m.C.w, m.C.h) then None
+         else
+           let ow, oh = outline in
+           Some
+             (D.error ~code:"AL202"
+                ~subject:("module " ^ m.C.name)
+                (Printf.sprintf
+                   "%dx%d cannot fit the %dx%d outline in any orientation"
+                   m.C.w m.C.h ow oh)
+                ~hint:"the outline is smaller than a single device"))
+
+(* ---- AL203/AL204: symmetry-pair width obligations ----------------- *)
+
+(* A mirrored pair occupies one row: both cells share y and height, so
+   a horizontal line through the pair crosses two disjoint cells of
+   oriented width w — any placement needs 2w of outline width at cell
+   height h, for some orientation (w, h) | (h, w). *)
+let pair_fits ~outline:(ow, oh) (w, h) =
+  ((2 * w) <= ow && h <= oh) || ((2 * h) <= ow && w <= oh)
+
+(* The pairs a group obliges, with their (equal) cell dimensions. Pairs
+   whose cells are out of range or dimension-mismatched are skipped —
+   AL004/AL006 own those defects. *)
+let group_pairs (c : C.t) (g : G.t) =
+  List.filter_map
+    (fun (a, b) ->
+      if not (in_range c a && in_range c b) then None
+      else
+        let da = C.dims c a and db = C.dims c b in
+        if da <> db || not (positive_dims c a) then None
+        else Some ((a, b), da))
+    g.G.pairs
+
+let check_pair_fit ~outline (c : C.t) gs =
+  List.concat_map
+    (fun (g : G.t) ->
+      List.filter_map
+        (fun ((a, b), (w, h)) ->
+          if pair_fits ~outline (w, h) then None
+          else
+            let ow, oh = outline in
+            Some
+              (D.error ~code:"AL203"
+                 ~subject:("group " ^ g.G.name)
+                 (Printf.sprintf
+                    "pair (%s, %s) needs a mirrored row of width %d (or %d \
+                     rotated), but the outline is %dx%d"
+                    (module_name c a) (module_name c b) (2 * w) (2 * h) ow oh)
+                 ~hint:
+                   "a symmetric pair occupies one row of twice its cell \
+                    width; no axis position can fit it"))
+        (group_pairs c g))
+    gs
+
+(* Two mirrored pairs either stack (their rows are vertically disjoint:
+   heights add) or share a row (a horizontal line crosses all four
+   cells: widths add). If for every orientation choice both sums
+   overflow the outline, the two obligations are jointly unplaceable
+   even though each fits alone. *)
+let pairs_coexist ~outline:(ow, oh) (w1, h1) (w2, h2) =
+  (* only orientations in which the pair fits alone can occur in a real
+     placement, so quantifying over just those proves strictly more
+     conflicts and stays sound. A pair with no fitting orientation is
+     AL203's finding, not a joint conflict. *)
+  let orients (w, h) =
+    List.filter
+      (fun (a, b) -> (2 * a) <= ow && b <= oh)
+      [ (w, h); (h, w) ]
+  in
+  match (orients (w1, h1), orients (w2, h2)) with
+  | [], _ | _, [] -> true
+  | o1, o2 ->
+      List.exists
+        (fun (a, b) ->
+          List.exists (fun (x, y) -> (2 * a) + (2 * x) <= ow || b + y <= oh) o2)
+        o1
+
+let check_pair_conflicts ~outline (c : C.t) gs =
+  let tagged =
+    List.concat_map
+      (fun (g : G.t) ->
+        List.filter_map
+          (fun (pr, dims) ->
+            if pair_fits ~outline dims then Some (g.G.name, pr, dims)
+            else None (* AL203 already rejected it *))
+          (group_pairs c g))
+      gs
+  in
+  let arr = Array.of_list tagged in
+  let n = Array.length arr in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let g1, (a1, b1), d1 = arr.(i) and g2, (a2, b2), d2 = arr.(j) in
+      if not (pairs_coexist ~outline d1 d2) then
+        let ow, oh = outline in
+        out :=
+          D.error ~code:"AL204"
+            ~subject:
+              (if String.equal g1 g2 then "group " ^ g1
+               else Printf.sprintf "groups %s, %s" g1 g2)
+            (Printf.sprintf
+               "pairs (%s, %s) and (%s, %s) cannot coexist in the %dx%d \
+                outline: sharing a row exceeds its width and stacking \
+                exceeds its height, in every orientation"
+               (module_name c a1) (module_name c b1) (module_name c a2)
+               (module_name c b2) ow oh)
+            ~hint:"the outline admits each pair alone but not both"
+          :: !out
+    done
+  done;
+  List.rev !out
+
+(* ---- AL205: basic-set shape-function lower bounds ----------------- *)
+
+(* The exhaustive front over a module set lower-bounds ANY placement of
+   those cells: a placement of the whole circuit induces one of the
+   subset, compacting it left/down only shrinks its box, and compacted
+   placements are exactly what the B*-tree enumeration produces. The
+   front is built uncapped (no thinning), so "no front point fits" is a
+   proof. Enumeration is exponential, so sets are size-limited: 4 cells
+   (5376 trees) by default, [Enumerate.max_exhaustive] under [~deep]. *)
+let fast_set_limit = 4
+
+let check_basic_sets ~outline:(ow, oh) ~limit (c : C.t) h =
+  H.basic_module_sets h
+  |> List.filter_map (fun (name, _kind, members) ->
+         let k = List.length members in
+         if
+           k < 2 || k > limit
+           || not (List.for_all (fun m -> in_range c m && positive_dims c m) members)
+         then None
+         else
+           let fn = Shapefn.Enumerate.free_set ~dims:(C.dims c) members in
+           if Shapefn.Shape_fn.fits ~max_w:ow ~max_h:oh fn then None
+           else
+             Some
+               (D.error ~code:"AL205"
+                  ~subject:("set " ^ name)
+                  (Printf.sprintf
+                     "no placement of the %d-module set fits the %dx%d \
+                      outline (its shape front needs width >= %d and height \
+                      >= %d)"
+                     k ow oh
+                     (Shapefn.Shape_fn.min_width fn)
+                     (Shapefn.Shape_fn.min_height fn))
+                  ~hint:
+                    "the bound is from exhaustive enumeration of the set \
+                     alone; the full circuit only needs more room"))
+
+(* ---- AL206: hierarchical search-space bound ----------------------- *)
+
+(* AL010 bounds the top-level S-F sequence-pair count; this generalizes
+   across hierarchy levels: each internal node arranges its children as
+   units, so the tree's total search space is the product of per-node
+   arrangement counts — (k!)^2 sequence-pair codes for a free or
+   proximity node, k! for a symmetry node (the mirror obligation fixes
+   beta, the survey's Lemma with 2p + s = k), and ceil(k/2)! for a
+   common-centroid node (point symmetry pins each unit's twin). Summed
+   in log10 so deep trees cannot overflow. *)
+let log10_fact k =
+  let acc = ref 0.0 in
+  for i = 2 to k do
+    acc := !acc +. log10 (float_of_int i)
+  done;
+  !acc
+
+let rec log_search_space = function
+  | H.Leaf _ -> 0.0
+  | H.Node { kind; children; _ } ->
+      let k = List.length children in
+      let here =
+        match kind with
+        | H.Free | H.Proximity -> 2.0 *. log10_fact k
+        | H.Symmetry -> log10_fact k
+        | H.Common_centroid -> log10_fact ((k + 1) / 2)
+      in
+      List.fold_left (fun acc t -> acc +. log_search_space t) here children
+
+let check_search_space ~sf_threshold h =
+  let lg = log_search_space h in
+  if lg >= log10 (float_of_int (max 1 sf_threshold)) then []
+  else
+    [
+      D.warning ~code:"AL206" ~subject:"hierarchy"
+        (Printf.sprintf
+           "the hierarchical search space holds at most %.0f arrangements \
+            (< %d): every level is pinned by its constraints"
+           (Float.round (10.0 ** lg))
+           sf_threshold)
+        ~hint:
+          "so constrained a tree is better served by the deterministic \
+           enumeration engines (esf/rsf) than by annealing";
+    ]
+
+(* ---- AL207: deterministic-enumeration outline fit ----------------- *)
+
+(* Evidence, not proof: above the basic sets the bottom-up combination
+   keeps islands rigid, so a placement the discipline misses may still
+   exist. It is exact for the esf/rsf engines themselves, hence a
+   warning that names them. *)
+let check_root_shape ~outline:(ow, oh) (c : C.t) h =
+  match H.validate h ~n_modules:(C.size c) with
+  | Error _ -> []
+  | Ok () -> (
+      match Shapefn.Combine.shape_function ~mode:Shapefn.Combine.Rsf c h with
+      | fn when Shapefn.Shape_fn.fits ~max_w:ow ~max_h:oh fn -> []
+      | fn ->
+          [
+            D.warning ~code:"AL207" ~subject:"hierarchy"
+              (Printf.sprintf
+               "hierarchical enumeration fits no placement in the %dx%d \
+                  outline (root shape front: width >= %d, height >= %d); \
+                  the esf/rsf engines will certainly fail"
+                 ow oh
+                 (Shapefn.Shape_fn.min_width fn)
+                 (Shapefn.Shape_fn.min_height fn))
+              ~hint:
+                "stochastic engines may still fit by tearing islands apart, \
+                 but the margin is thin";
+          ]
+      | exception Invalid_argument _ -> [])
+
+(* ---- entry point -------------------------------------------------- *)
+
+let check ?groups ?hierarchy ?outline ?(sf_threshold = 1000) ?(deep = false)
+    (c : C.t) =
+  let groups =
+    match (groups, hierarchy) with
+    | Some gs, _ -> gs
+    | None, Some h -> G.of_hierarchy h
+    | None, None -> []
+  in
+  let with_outline =
+    match outline with
+    | None -> []
+    | Some ((ow, oh) as outline) ->
+        if ow <= 0 || oh <= 0 then
+          [
+            D.error ~code:"AL201" ~subject:"outline"
+              (Printf.sprintf "outline %dx%d has no interior" ow oh)
+              ~hint:"outline dimensions must be positive";
+          ]
+        else
+          check_area ~outline c
+          @ check_module_fit ~outline c
+          @ check_pair_fit ~outline c groups
+          @ check_pair_conflicts ~outline c groups
+          @ (match hierarchy with
+            | None -> []
+            | Some h ->
+                let limit =
+                  if deep then Shapefn.Enumerate.max_exhaustive
+                  else fast_set_limit
+                in
+                check_basic_sets ~outline ~limit c h
+                @ if deep then check_root_shape ~outline c h else [])
+  in
+  let space =
+    match hierarchy with
+    | None -> []
+    | Some h -> check_search_space ~sf_threshold h
+  in
+  with_outline @ space

@@ -1,0 +1,68 @@
+(** Pre-anneal infeasibility prover.
+
+    The constraint model admits inputs that are perfectly well-formed —
+    every {!Lint} pass is clean — yet {e provably unplaceable}: the
+    modules outgrow the outline, a mirrored pair cannot fit any axis
+    position, two symmetry obligations cannot coexist. Today such a
+    request burns a full annealing budget before failing; this pass
+    rejects it in microseconds, with a proof.
+
+    Severity encodes epistemic status. [Error] findings are proofs of
+    infeasibility — sound for {e any} placement engine, derived from
+    orientation-minimized dimension arithmetic and uncapped exhaustive
+    shape fronts. [Warning] findings are strong evidence scoped to a
+    discipline (the deterministic enumerators, the annealers' search
+    space) but not universal proofs.
+
+    Codes emitted here (feasibility proofs, [AL20x]):
+
+    - [AL201] error: total module area exceeds the outline area
+    - [AL202] error: a module fits the outline in no orientation
+    - [AL203] error: a symmetry pair's mirrored row fits the outline in
+      no orientation ([2w x h] against the outline)
+    - [AL204] error: two symmetry pairs are jointly unplaceable — for
+      every orientation choice, sharing a row exceeds the outline width
+      {e and} stacking exceeds its height
+    - [AL205] error: a basic module set's exhaustive (uncapped) shape
+      front has no point inside the outline — no placement of those
+      cells alone fits, so none of the whole circuit does
+    - [AL206] warning: the hierarchical search-space bound (the AL010
+      S-F Lemma applied per hierarchy node and multiplied across
+      levels) falls below [sf_threshold]
+    - [AL207] warning ([~deep] only): the root shape function of the
+      hierarchy fits no point in the outline — the deterministic
+      esf/rsf engines will certainly fail; stochastic engines may
+      still squeeze in by tearing islands apart *)
+
+val check :
+  ?groups:Constraints.Symmetry_group.t list ->
+  ?hierarchy:Netlist.Hierarchy.t ->
+  ?outline:int * int ->
+  ?sf_threshold:int ->
+  ?deep:bool ->
+  Netlist.Circuit.t ->
+  Diagnostic.t list
+(** Prove what can be proven about the request. [groups] defaults to
+    the hierarchy's extracted symmetry groups (as every placer consumes
+    them). Without [outline] only the search-space bound (AL206) can
+    fire — the geometric proofs are all relative to a box. [deep]
+    (default false) additionally enumerates basic sets up to
+    {!Shapefn.Enumerate.max_exhaustive} cells (instead of 4) and
+    combines the root shape function (AL207); the default keeps the
+    pass in the microsecond range so it can gate every request.
+    [sf_threshold] (default 1000) mirrors {!Lint.groups}. *)
+
+val cell_fits : outline:int * int -> int * int -> bool
+(** Does a [w x h] cell fit the outline in some orientation? *)
+
+val pair_fits : outline:int * int -> int * int -> bool
+(** Does a mirrored pair of [w x h] cells — one row of width [2w] —
+    fit the outline in some orientation? *)
+
+val pairs_coexist : outline:int * int -> int * int -> int * int -> bool
+(** Can two mirrored pairs of the given cell dimensions coexist in the
+    outline (sharing a row or stacking)? Only orientations in which a
+    pair fits alone are quantified over — the others cannot occur in
+    any placement — and a pair with no fitting orientation yields
+    [true] (that defect is {!pair_fits}'s, reported as AL203). [false]
+    is a proof of joint infeasibility. *)

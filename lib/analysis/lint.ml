@@ -6,6 +6,17 @@ let module_name (c : C.t) i =
   if i >= 0 && i < Array.length c.C.modules then c.C.modules.(i).C.name
   else Printf.sprintf "#%d" i
 
+(* ---- AL000: the input never became a circuit ----------------------- *)
+
+let parse_failure ?line ~file message =
+  let subject =
+    match line with
+    | None -> file
+    | Some l -> Printf.sprintf "%s:%d" file l
+  in
+  D.error ~code:"AL000" ~subject message
+    ~hint:"fix the netlist file; no other analysis can run until it parses"
+
 (* ---- netlist-only lints ------------------------------------------- *)
 
 let lint_pins (c : C.t) =

@@ -9,6 +9,8 @@
 
     Codes emitted here (static lints, [AL0xx]):
 
+    - [AL000] error: the input never became a circuit — the netlist
+      file failed to parse, or structure recognition rejected it
     - [AL001] error: a net pin indexes no module
     - [AL002] error: two modules share a name
     - [AL003] error: a module has non-positive dimensions
@@ -31,6 +33,13 @@
       constrains nothing
     - [AL012] info: a module lies on no net, so wirelength never
       constrains its position *)
+
+val parse_failure : ?line:int -> file:string -> string -> Diagnostic.t
+(** The AL000 diagnostic for an input that never became a circuit:
+    subject is [file] or [file:line] when the failing line is known
+    (parse errors carry one; recognition failures do not). The lint
+    driver reports it and exits with the I/O status (2), distinct from
+    the lint-findings status (1). *)
 
 val circuit : Netlist.Circuit.t -> Diagnostic.t list
 (** Netlist-only lints: AL001, AL002, AL003, AL008, AL012. *)

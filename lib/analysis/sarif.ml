@@ -1,0 +1,141 @@
+module D = Diagnostic
+module J = Telemetry.Json
+
+let schema_uri =
+  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+let level_of = function
+  | D.Error -> "error"
+  | D.Warning -> "warning"
+  | D.Info -> "note"
+
+(* One reportingDescriptor per distinct code, in first-appearance
+   order; results refer back by ruleIndex as the spec recommends. *)
+let rules ds =
+  List.fold_left
+    (fun acc (d : D.t) ->
+      if List.mem_assoc d.D.code acc then acc
+      else (d.D.code, d.D.message) :: acc)
+    [] ds
+  |> List.rev
+
+let result ~rule_index ?uri (d : D.t) =
+  let location =
+    let logical = ("logicalLocations", J.Arr [ J.Obj [ ("name", J.str d.D.subject) ] ]) in
+    match uri with
+    | None -> J.Obj [ logical ]
+    | Some u ->
+        J.Obj
+          [
+            ( "physicalLocation",
+              J.Obj [ ("artifactLocation", J.Obj [ ("uri", J.str u) ]) ] );
+            logical;
+          ]
+  in
+  let text =
+    match d.D.hint with
+    | None -> Printf.sprintf "%s: %s" d.D.subject d.D.message
+    | Some h -> Printf.sprintf "%s: %s (hint: %s)" d.D.subject d.D.message h
+  in
+  J.Obj
+    [
+      ("ruleId", J.str d.D.code);
+      ("ruleIndex", J.int rule_index);
+      ("level", J.str (level_of d.D.severity));
+      ("message", J.Obj [ ("text", J.str text) ]);
+      ("locations", J.Arr [ location ]);
+    ]
+
+let report ?(tool = "analog_place") ?(tool_version = "1.0") ?uri ds =
+  let rule_table = rules ds in
+  let rule_descriptors =
+    List.map
+      (fun (code, first_message) ->
+        J.Obj
+          [
+            ("id", J.str code);
+            ( "shortDescription",
+              J.Obj [ ("text", J.str first_message) ] );
+          ])
+      rule_table
+  in
+  let index_of code =
+    let rec go i = function
+      | [] -> 0
+      | (c, _) :: rest -> if String.equal c code then i else go (i + 1) rest
+    in
+    go 0 rule_table
+  in
+  let results =
+    List.map (fun d -> result ~rule_index:(index_of d.D.code) ?uri d) ds
+  in
+  J.Obj
+    [
+      ("$schema", J.str schema_uri);
+      ("version", J.str "2.1.0");
+      ( "runs",
+        J.Arr
+          [
+            J.Obj
+              [
+                ( "tool",
+                  J.Obj
+                    [
+                      ( "driver",
+                        J.Obj
+                          [
+                            ("name", J.str tool);
+                            ("version", J.str tool_version);
+                            ("rules", J.Arr rule_descriptors);
+                          ] );
+                    ] );
+                ("results", J.Arr results);
+              ];
+          ] );
+    ]
+
+let to_string ?tool ?tool_version ?uri ds =
+  J.emit (report ?tool ?tool_version ?uri ds)
+
+(* Structural self-check: the emitter is hand-rolled against the spec,
+   so every document is re-parsed and probed for the fields a SARIF
+   consumer dereferences unconditionally before it leaves the process. *)
+let check s =
+  match J.parse s with
+  | Error e -> Error ("not valid JSON: " ^ e)
+  | Ok doc -> (
+      let ( let* ) = Result.bind in
+      let need what = function
+        | Some v -> Ok v
+        | None -> Error ("missing " ^ what)
+      in
+      let* version = need "version" (J.member "version" doc) in
+      let* () =
+        if J.to_str version = Some "2.1.0" then Ok ()
+        else Error "version is not 2.1.0"
+      in
+      let* runs = need "runs" (Option.bind (J.member "runs" doc) J.to_list) in
+      match runs with
+      | [] -> Error "runs is empty"
+      | run :: _ ->
+          let* tool = need "tool" (J.member "tool" run) in
+          let* driver = need "tool.driver" (J.member "driver" tool) in
+          let* _name =
+            need "tool.driver.name"
+              (Option.bind (J.member "name" driver) J.to_str)
+          in
+          let* results =
+            need "results" (Option.bind (J.member "results" run) J.to_list)
+          in
+          let ok_result r =
+            match
+              ( Option.bind (J.member "ruleId" r) J.to_str,
+                Option.bind (J.member "level" r) J.to_str,
+                Option.bind (J.member "message" r) (J.member "text") )
+            with
+            | Some _, Some lv, Some _ ->
+                List.mem lv [ "error"; "warning"; "note" ]
+            | _ -> false
+          in
+          if List.for_all ok_result results then Ok ()
+          else Error "a result lacks ruleId/level/message.text")

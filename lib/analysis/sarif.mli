@@ -1,0 +1,41 @@
+(** SARIF 2.1.0 emission for {!Diagnostic} lists.
+
+    SARIF (Static Analysis Results Interchange Format, OASIS) is the
+    interchange format CI hosts ingest to annotate code review with
+    analysis findings. This emitter produces the minimal conforming
+    subset: one [run], one [tool.driver] with a [rules] table (one
+    reportingDescriptor per distinct diagnostic code, first-appearance
+    order), and one [result] per diagnostic carrying [ruleId],
+    [ruleIndex], [level] and a logical location named after the
+    diagnostic's subject. When [uri] is given, each result also carries
+    a physical location pointing at that artifact (the netlist or
+    ledger file the findings are about).
+
+    Severities map [Error] → ["error"], [Warning] → ["warning"],
+    [Info] → ["note"] per the SARIF level enumeration.
+
+    Documents are built from {!Telemetry.Json} values and re-validated
+    by {!check} before anything ships to CI. *)
+
+val report :
+  ?tool:string ->
+  ?tool_version:string ->
+  ?uri:string ->
+  Diagnostic.t list ->
+  Telemetry.Json.t
+(** The SARIF document as a JSON value. [tool] defaults to
+    ["analog_place"], [tool_version] to ["1.0"]. *)
+
+val to_string :
+  ?tool:string ->
+  ?tool_version:string ->
+  ?uri:string ->
+  Diagnostic.t list ->
+  string
+(** [Telemetry.Json.emit] of {!report}: a single-line JSON document. *)
+
+val check : string -> (unit, string) result
+(** Structural self-check over an emitted document: valid JSON, version
+    ["2.1.0"], a non-empty [runs] array whose first run names a tool
+    driver, and every result carrying [ruleId], a legal [level], and
+    [message.text]. The CLI runs this on everything it writes. *)

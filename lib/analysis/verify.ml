@@ -1,0 +1,257 @@
+open Geometry
+module C = Netlist.Circuit
+module G = Constraints.Symmetry_group
+module H = Netlist.Hierarchy
+module P = Constraints.Placement_check
+module D = Diagnostic
+
+let module_name (c : C.t) i =
+  if i >= 0 && i < Array.length c.C.modules then c.C.modules.(i).C.name
+  else Printf.sprintf "#%d" i
+
+(* ---- AL210/AL211: identity and multiplicity ----------------------- *)
+
+let check_identity (c : C.t) placed =
+  let n = C.size c in
+  let seen = Array.make n 0 in
+  let diags =
+    List.filter_map
+      (fun (p : Transform.placed) ->
+        if p.Transform.cell < 0 || p.Transform.cell >= n then
+          Some
+            (D.error ~code:"AL210"
+               ~subject:(Printf.sprintf "cell %d" p.Transform.cell)
+               (Printf.sprintf "placed cell indexes no module (circuit has %d)"
+                  n))
+        else begin
+          seen.(p.Transform.cell) <- seen.(p.Transform.cell) + 1;
+          let w, h = C.dims c p.Transform.cell in
+          let r = p.Transform.rect in
+          if (r.Rect.w, r.Rect.h) = (w, h) || (r.Rect.w, r.Rect.h) = (h, w)
+          then None
+          else
+            Some
+              (D.error ~code:"AL210"
+                 ~subject:("cell " ^ module_name c p.Transform.cell)
+                 (Printf.sprintf
+                    "placed as %dx%d but the module is %dx%d (no orientation \
+                     matches)"
+                    r.Rect.w r.Rect.h w h)
+                 ~hint:"the placement does not belong to this circuit")
+        end)
+      placed
+  in
+  let multiplicity =
+    List.init n Fun.id
+    |> List.filter_map (fun i ->
+           if seen.(i) = 1 then None
+           else
+             Some
+               (D.error ~code:"AL211"
+                  ~subject:("cell " ^ module_name c i)
+                  (if seen.(i) = 0 then "module was never placed"
+                   else
+                     Printf.sprintf "module is placed %d times" seen.(i))))
+  in
+  diags @ multiplicity
+
+(* ---- AL212: overlaps ---------------------------------------------- *)
+
+(* Every offending pair, DRC style, not just the first: a report that
+   names one overlap of thirty sends the debugging round-trip through
+   the verifier thirty times. *)
+let check_overlaps (c : C.t) placed =
+  let arr = Array.of_list placed in
+  let n = Array.length arr in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      if Rect.overlaps a.Transform.rect b.Transform.rect then
+        out :=
+          D.error ~code:"AL212"
+            ~subject:
+              (Printf.sprintf "cells %s, %s"
+                 (module_name c a.Transform.cell)
+                 (module_name c b.Transform.cell))
+            (Format.asprintf "placed rectangles overlap (%a vs %a)" Rect.pp
+               a.Transform.rect Rect.pp b.Transform.rect)
+          :: !out
+    done
+  done;
+  List.rev !out
+
+(* ---- AL213: outline ----------------------------------------------- *)
+
+let check_outline ?outline (c : C.t) placed =
+  let ow, oh =
+    match outline with Some (w, h) -> (w, h) | None -> (max_int, max_int)
+  in
+  List.filter_map
+    (fun (p : Transform.placed) ->
+      let r = p.Transform.rect in
+      if r.Rect.x < 0 || r.Rect.y < 0 then
+        Some
+          (D.error ~code:"AL213"
+             ~subject:("cell " ^ module_name c p.Transform.cell)
+             (Format.asprintf "%a leaves the first quadrant" Rect.pp r))
+      else if Rect.x_max r > ow || Rect.y_max r > oh then
+        Some
+          (D.error ~code:"AL213"
+             ~subject:("cell " ^ module_name c p.Transform.cell)
+             (Format.asprintf "%a exceeds the %dx%d outline" Rect.pp r ow oh))
+      else None)
+    placed
+
+(* ---- AL214..AL216: constraint obligations ------------------------- *)
+
+let check_groups placed gs =
+  List.filter_map
+    (fun (g : G.t) ->
+      match P.symmetry ~group:g placed with
+      | Ok _ -> None
+      | Error v ->
+          Some
+            (D.error ~code:"AL214"
+               ~subject:("group " ^ g.G.name)
+               (Format.asprintf "not mirror-symmetric: %a" P.pp_violation v)))
+    gs
+
+let check_kind ~name ~members placed = function
+  | "symmetry" -> (
+      (* a ledger records only the member set; the pairing-free check
+         accepts any mirror assignment, which is the right semantics
+         for an engine-independent re-audit *)
+      match P.mirror_symmetric ~members placed with
+      | Ok _ -> None
+      | Error v ->
+          Some
+            (D.error ~code:"AL214"
+               ~subject:("group " ^ name)
+               (Format.asprintf "not mirror-symmetric: %a" P.pp_violation v)))
+  | "common-centroid" -> (
+      match P.common_centroid ~members placed with
+      | Ok () -> None
+      | Error v ->
+          Some
+            (D.error ~code:"AL215"
+               ~subject:("centroid " ^ name)
+               (Format.asprintf "not point-symmetric: %a" P.pp_violation v)))
+  | "proximity" -> (
+      match P.proximity ~members placed with
+      | Ok () -> None
+      | Error v ->
+          Some
+            (D.error ~code:"AL216"
+               ~subject:("proximity " ^ name)
+               (Format.asprintf "not connected: %a" P.pp_violation v)))
+  | other ->
+      Some
+        (D.warning ~code:"AL217"
+           ~subject:("constraint " ^ name)
+           (Printf.sprintf "unknown constraint kind %S was not verified" other)
+           ~hint:"the record was written by a newer schema; re-run its tool")
+
+let check_sets placed sets =
+  List.filter_map
+    (fun (name, ckind, members) ->
+      if members = [] then None else check_kind ~name ~members placed ckind)
+    sets
+
+(* A ledger obligation comes with the violation count the run recorded.
+   Count 0 is a claim of satisfaction — re-verify it hard. A positive
+   count is a disclosed violation (unconstrained engines record the
+   obligations they never enforced): confirming it is a note, and a
+   record that claims a violation the placement does not show is the
+   suspicious case. *)
+let check_recorded_sets placed sets =
+  List.filter_map
+    (fun (name, ckind, members, count) ->
+      if members = [] then None
+      else
+        match (check_kind ~name ~members placed ckind, count > 0) with
+        | finding, false -> finding
+        | Some (d : D.t), true when d.D.code = "AL217" -> Some d
+        | Some (d : D.t), true ->
+            Some
+              (D.info ~code:"AL218" ~subject:d.D.subject
+                 (Printf.sprintf
+                    "recorded violation confirmed (run counted %d): %s" count
+                    d.D.message))
+        | None, true ->
+            Some
+              (D.warning ~code:"AL219"
+                 ~subject:(Printf.sprintf "%s %s" ckind name)
+                 (Printf.sprintf
+                    "run recorded %d violations but the placement verifies \
+                     clean"
+                    count)
+                 ~hint:
+                   "the QoR extractor and this verifier disagree; one of \
+                    them is wrong"))
+    sets
+
+let check_hierarchy placed h =
+  H.constraint_nodes h
+  |> List.filter_map (fun (name, kind, members) ->
+         match (kind : H.constraint_kind) with
+         | H.Common_centroid ->
+             check_kind ~name ~members placed "common-centroid"
+         | H.Proximity -> check_kind ~name ~members placed "proximity"
+         | H.Symmetry | H.Free -> None)
+
+(* ---- entry points ------------------------------------------------- *)
+
+let placement ?(groups = []) ?hierarchy ?(constraint_sets = [])
+    ?(recorded_sets = []) ?outline (c : C.t) placed =
+  let identity = check_identity c placed in
+  (* obligation checks look cells up by index; they would drown in
+     lookup noise when the identity layer already failed *)
+  let structural =
+    check_overlaps c placed
+    @ check_outline ?outline c placed
+    @
+    if List.exists (fun (d : D.t) -> d.D.code = "AL211") identity then []
+    else
+      check_groups placed groups
+      @ (match hierarchy with
+        | None -> []
+        | Some h -> check_hierarchy placed h)
+      @ check_sets placed constraint_sets
+      @ check_recorded_sets placed recorded_sets
+  in
+  identity @ structural
+
+let circuit_of_entry (e : Telemetry.Ledger.entry) =
+  let modules =
+    List.map
+      (fun (r : Telemetry.Ledger.rect) ->
+        C.block ~name:r.Telemetry.Ledger.cell ~w:r.Telemetry.Ledger.w
+          ~h:r.Telemetry.Ledger.h)
+      e.Telemetry.Ledger.placement
+  in
+  C.make ~name:e.Telemetry.Ledger.label ~modules ~nets:[]
+
+let entry ?outline (e : Telemetry.Ledger.entry) =
+  match e.Telemetry.Ledger.placement with
+  | [] ->
+      Error
+        (Printf.sprintf
+           "entry %s/%s@%s holds no placed rectangles; it predates schema \
+            placements or was written without them"
+           e.Telemetry.Ledger.label e.Telemetry.Ledger.engine
+           e.Telemetry.Ledger.generated_at)
+  | rects ->
+      let c = circuit_of_entry e in
+      let placed =
+        List.mapi
+          (fun i (r : Telemetry.Ledger.rect) ->
+            Transform.place ~cell:i ~x:r.Telemetry.Ledger.x
+              ~y:r.Telemetry.Ledger.y ~w:r.Telemetry.Ledger.w
+              ~h:r.Telemetry.Ledger.h ~orient:Orientation.R0)
+          rects
+      in
+      Ok
+        (placement
+           ~recorded_sets:(Telemetry.Ledger.constraint_sets e)
+           ?outline c placed)

@@ -34,6 +34,26 @@ let overlap_free placements =
   in
   scan 0 1
 
+let within_outline ?outline placements =
+  let ow, oh =
+    match outline with Some (w, h) -> (w, h) | None -> (max_int, max_int)
+  in
+  let rec scan = function
+    | [] -> Ok ()
+    | (p : Transform.placed) :: rest ->
+        let r = p.Transform.rect in
+        if r.Rect.x < 0 || r.Rect.y < 0 then
+          Error
+            (violation "outline" "cell %d at %a leaves the first quadrant"
+               p.Transform.cell Rect.pp r)
+        else if Rect.x_max r > ow || Rect.y_max r > oh then
+          Error
+            (violation "outline" "cell %d at %a exceeds the %dx%d outline"
+               p.Transform.cell Rect.pp r ow oh)
+        else scan rest
+  in
+  scan placements
+
 let ( let* ) = Result.bind
 
 (* Axis from one pair: mirrored rectangles satisfy x_a + w + x_b + w =
@@ -78,6 +98,50 @@ let symmetry ~group placements =
                 ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
                 Format.pp_print_int)
              (axis2 :: rest))
+
+(* Pairing-free mirror check: a set of rectangles is mirror-symmetric
+   about SOME vertical axis iff it is symmetric about its own bounding
+   box's axis (any mirror symmetry fixes the bounding box). Used when
+   the pair/self split is unavailable — e.g. re-verifying a ledger
+   entry, which records only the member set. *)
+let mirror_symmetric ~members placements =
+  let* placed =
+    List.fold_left
+      (fun acc m ->
+        let* acc = acc in
+        let* p = get placements m in
+        Ok (p :: acc))
+      (Ok []) members
+  in
+  match placed with
+  | [] -> Error (violation "mirror" "empty member set")
+  | _ ->
+      let rects = List.map (fun p -> p.Transform.rect) placed in
+      let bb = Outline.bounding_box rects in
+      let axis2 = (2 * bb.Rect.x) + bb.Rect.w in
+      let mirrored_exists (p : Transform.placed) =
+        let r = p.Transform.rect in
+        List.exists
+          (fun (q : Transform.placed) ->
+            let s = q.Transform.rect in
+            s.Rect.w = r.Rect.w && s.Rect.h = r.Rect.h
+            && s.Rect.y = r.Rect.y
+            && s.Rect.x = axis2 - r.Rect.x - r.Rect.w)
+          placed
+      in
+      let* () =
+        first_error
+          (List.map
+             (fun p ->
+               if mirrored_exists p then Ok ()
+               else
+                 Error
+                   (violation "mirror"
+                      "cell %d has no mirror twin about the set's axis"
+                      p.Transform.cell))
+             placed)
+      in
+      Ok axis2
 
 let proximity ~members placements =
   let* rects =

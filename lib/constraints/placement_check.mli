@@ -19,6 +19,23 @@ val symmetry :
     matched dimensions; selfs are centered on it. Returns the doubled
     axis coordinate on success. *)
 
+val mirror_symmetric :
+  members:int list -> Geometry.Transform.placed list -> (int, violation) result
+(** Pairing-free mirror check: the member set is mirror-symmetric about
+    {e some} vertical axis — every member has a same-size, same-[y]
+    member (possibly itself) mirrored about the set's bounding-box
+    axis, which any mirror symmetry must fix. Returns the doubled axis
+    coordinate. Weaker than {!symmetry} (it does not enforce a declared
+    pairing); used by the engine-independent verifier when only the
+    member set survives, e.g. in a QoR ledger record. *)
+
+val within_outline :
+  ?outline:int * int ->
+  Geometry.Transform.placed list ->
+  (unit, violation) result
+(** Every cell sits in the first quadrant and, when [outline] is given,
+    inside the [(w, h)] box anchored at the origin. *)
+
 val proximity :
   members:int list -> Geometry.Transform.placed list -> (unit, violation) result
 (** The union of the members' rectangles is edge-connected. *)

@@ -313,7 +313,8 @@ let default_engines ~n ~groups ~hierarchy =
 
 let race ?(weights = Cost.default) ?params ?(groups = []) ?workers
     ?(chains = 1) ?engines ?hierarchy ?bar ?(exchange_every = 32) ?validate
-    ?(telemetry = Telemetry.Sink.null) ~rng circuit =
+    ?(feasibility_check = false) ?outline ?(telemetry = Telemetry.Sink.null)
+    ~rng circuit =
   let validate =
     match validate with
     | Some v -> v
@@ -321,6 +322,18 @@ let race ?(weights = Cost.default) ?params ?(groups = []) ?workers
   in
   let n = Netlist.Circuit.size circuit in
   if n = 0 then invalid_arg "Portfolio.race: empty circuit";
+  if feasibility_check then begin
+    (* prove infeasibility before burning any annealing rounds; the
+       prover's errors are engine-independent, so no entrant could
+       have succeeded *)
+    let proofs =
+      Analysis.Feasibility.check ~groups ?hierarchy ?outline circuit
+      |> List.filter (fun (d : Analysis.Diagnostic.t) ->
+             d.Analysis.Diagnostic.severity = Analysis.Diagnostic.Error)
+    in
+    Analysis.Invariant.raise_if_any ~context:"Portfolio.race: infeasible input"
+      proofs
+  end;
   let params =
     match params with Some p -> p | None -> Anneal.Sa.default_params ~n
   in

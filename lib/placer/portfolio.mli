@@ -51,6 +51,8 @@ val race :
   ?bar:float ->
   ?exchange_every:int ->
   ?validate:bool ->
+  ?feasibility_check:bool ->
+  ?outline:int * int ->
   ?telemetry:Telemetry.Sink.t ->
   rng:Prelude.Rng.t ->
   Netlist.Circuit.t ->
@@ -72,6 +74,13 @@ val race :
     freezing and the best publish wins. [exchange_every] (default 32)
     is each chain's publish/pull slice length; non-positive disables
     mid-run exchange (independent restarts).
+
+    [feasibility_check] (default false) runs the {!Analysis.Feasibility}
+    prover before any entrant starts and raises
+    {!Analysis.Invariant.Violation} with the proof diagnostics when the
+    input is infeasible ([outline] is forwarded as the fixed-outline
+    obligation) — every error the prover emits is engine-independent,
+    so no entrant could have won.
 
     [validate] (default the [ANALOG_VALIDATE=1] switch) runs each
     engine's own move-level sanitizer {e and} audits every published

@@ -57,11 +57,22 @@ let min_area = function
         (fun best s -> if Shape.area s < Shape.area best then s else best)
         first rest
 
+let min_width = function
+  | [] -> invalid_arg "Shape_fn.min_width: empty"
+  | (first : Shape.t) :: _ -> first.Shape.w
+
+let min_height t =
+  match List.rev t with
+  | [] -> invalid_arg "Shape_fn.min_height: empty"
+  | (last : Shape.t) :: _ -> last.Shape.h
+
 let best_within ?(max_w = max_int) ?(max_h = max_int) t =
   List.filter (fun (s : Shape.t) -> s.Shape.w <= max_w && s.Shape.h <= max_h) t
   |> function
   | [] -> None
   | fits -> Some (min_area fits)
+
+let fits ?max_w ?max_h t = best_within ?max_w ?max_h t <> None
 
 let points t = List.map (fun (s : Shape.t) -> (s.Shape.w, s.Shape.h)) t
 let merge ?cap a b = of_shapes ?cap (a @ b)

@@ -22,6 +22,23 @@ val cardinal : t -> int
 
 val min_area : t -> Shape.t
 
+val min_width : t -> int
+(** Width of the narrowest front point — a lower bound on the width of
+    {e any} realizable placement of the module group (the front is the
+    Pareto-minimal shape set, so every realizable shape is dominated by
+    some front point). The feasibility prover ([Analysis.Feasibility])
+    compares these bounds against a fixed outline. *)
+
+val min_height : t -> int
+(** Height of the flattest front point — the matching height lower
+    bound. *)
+
+val fits : ?max_w:int -> ?max_h:int -> t -> bool
+(** Does any front point fit the box? [fits] is exactly
+    [best_within <> None]; when the front was built without a capacity
+    bound (no thinning), [not (fits fn)] proves no placement of the
+    group fits. *)
+
 val best_within : ?max_w:int -> ?max_h:int -> t -> Shape.t option
 (** Minimum-area shape honoring a fixed outline — the "pre-defined
     layout aspect ratio, or a maximum width or height" restriction of

@@ -197,3 +197,14 @@ let last ?(n = 1) path =
       let len = List.length entries in
       if len <= n then Ok entries
       else Ok (List.filteri (fun i _ -> i >= len - n) entries)
+
+(* The run QoR lists every checked constraint group — satisfied ones
+   included, count = 0 — so the violation list doubles as the record of
+   the run's obligations. An independent verifier re-hydrates them from
+   here; member indices refer to the entry's placement rects, which are
+   written in cell order. *)
+let constraint_sets e =
+  List.map
+    (fun (v : Qor.violation) ->
+      (v.Qor.group, v.Qor.ckind, v.Qor.members, v.Qor.count))
+    e.qor.Qor.violations

@@ -74,3 +74,15 @@ val read : string -> (entry list, string) result
 
 val last : ?n:int -> string -> (entry list, string) result
 (** The last [n] entries (default 1), oldest first. *)
+
+val constraint_sets : entry -> (string * string * int list * int) list
+(** The constraint obligations the run was checked against, re-hydrated
+    from the run QoR's violation list (which records every checked
+    group, satisfied ones at count 0): [(name, kind, members, count)]
+    with [kind] one of ["symmetry"], ["proximity"],
+    ["common-centroid"] and [count] the violation count the run
+    recorded — 0 is a claim of satisfaction, positive a disclosed
+    violation. Member indices refer to [placement] in list order — the
+    rects are written in cell order. This is what [Analysis.Verify]
+    re-audits a ledger record from, independently of the engine that
+    wrote it. *)
