@@ -1177,6 +1177,22 @@ let qor () =
             o.Placer.Sa_bstar.cost,
             o.Placer.Sa_bstar.sa_rounds,
             o.Placer.Sa_bstar.evaluated )
+      | "esf" ->
+          (* deterministic enumeration: the seed only labels the row *)
+          let r =
+            Shapefn.Combine.place ~mode:Shapefn.Combine.Esf circuit hierarchy
+          in
+          let placement =
+            Placer.Placement.make circuit r.Shapefn.Combine.placed
+          in
+          (placement, Placer.Cost.evaluate Placer.Cost.default placement, 0, 0)
+      | "hbstar" ->
+          let o = Bstar.Hbstar.place ~rng circuit hierarchy in
+          let placement = Placer.Placement.make circuit o.Bstar.Hbstar.placed in
+          ( placement,
+            Placer.Cost.evaluate Placer.Cost.default placement,
+            o.Bstar.Hbstar.sa_rounds,
+            0 )
       | e -> failwith ("qor: unknown engine " ^ e)
     in
     let wall_s = Unix.gettimeofday () -. w0 in
@@ -1221,7 +1237,111 @@ let qor () =
   run_entry miller "sp" 1 None;
   run_entry miller "bstar" 1 None;
   run_entry fig2 "sp" 2 (Some 2);
-  Printf.printf "appended 3 entries to %s\n" path
+  run_entry miller "esf" 1 None;
+  run_entry miller "hbstar" 1 None;
+  Printf.printf "appended 5 entries to %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* E19: placement-as-a-service — cold-miss vs warm-hit latency and     *)
+(* hit rate under a repeat-heavy workload                              *)
+
+let service_exp ?(smoke = false) () =
+  section
+    (if smoke then
+       "E19 (service, smoke): memoized placement cache sanity run"
+     else
+       "E19 (service): cold-miss vs warm-hit latency, repeat-heavy hit rate");
+  let n = if smoke then 16 else 100 in
+  let quick ?outline ~id ~seed src_n =
+    {
+      Service.Request.id;
+      source = Service.Request.Synthetic { n = src_n; seed };
+      outline;
+      effort = Service.Fingerprint.Quick;
+      seed = 0;
+    }
+  in
+  Service.with_service (fun svc ->
+      (* -- cold anneal vs warm instantiation, free outline ---------- *)
+      let cold = Service.submit svc (quick ~id:"cold" ~seed:42 n) in
+      let warm = Service.submit svc (quick ~id:"warm" ~seed:42 n) in
+      assert (cold.Service.Request.served = "miss");
+      assert (warm.Service.Request.served = "hit");
+      let speedup =
+        float_of_int cold.Service.Request.latency_us
+        /. float_of_int (max 1 warm.Service.Request.latency_us)
+      in
+      Printf.printf
+        "n=%d cold miss %d us (anneal), warm hit %d us (instantiate): \
+         %.0fx speedup\n"
+        n cold.Service.Request.latency_us warm.Service.Request.latency_us
+        speedup;
+      (* -- outline-varied hits: equal-or-better fit than the miss --- *)
+      let ow, oh =
+        match cold.Service.Request.body with
+        | Ok b ->
+            ( b.Service.Request.width * 6 / 5 + 1,
+              b.Service.Request.height * 6 / 5 + 1 )
+        | Error e -> failwith e
+      in
+      let o1 = Service.submit svc (quick ~id:"o1" ~seed:42 ~outline:(ow, oh) n) in
+      let o2 =
+        Service.submit svc
+          (quick ~id:"o2" ~seed:42 ~outline:(ow + ow / 20, oh - oh / 30) n)
+      in
+      let fit r =
+        match r.Service.Request.body with
+        | Ok b -> b.Service.Request.outline_fit = Some true
+        | Error _ -> false
+      in
+      Printf.printf
+        "outline %dx%d: %s fit=%b; varied outline: %s fit=%b (%d us)\n" ow oh
+        o1.Service.Request.served (fit o1) o2.Service.Request.served (fit o2)
+        o2.Service.Request.latency_us;
+      assert (o2.Service.Request.served = "hit");
+      assert ((not (fit o1)) || fit o2);
+      (* -- repeat-heavy workload ------------------------------------ *)
+      let uniques = if smoke then 3 else 6 in
+      let repeats = if smoke then 3 else 8 in
+      let workload =
+        List.concat_map
+          (fun k ->
+            List.init uniques (fun u ->
+                let sn = n + (4 * u) in
+                let outline =
+                  if k mod 2 = 1 then Some (ow + (7 * k), oh + (3 * k))
+                  else None
+                in
+                quick ?outline ~id:(Printf.sprintf "w%d-%d" k u) ~seed:7 sn))
+          (List.init repeats (fun k -> k))
+      in
+      let t0 = Unix.gettimeofday () in
+      let _ = Service.run_batch ~in_flight:4 svc workload in
+      let wall = Unix.gettimeofday () -. t0 in
+      let v = Service.counter_value svc in
+      let hits = v "service.hits" and misses = v "service.misses" in
+      let rate =
+        100.0 *. float_of_int hits /. float_of_int (max 1 (hits + misses))
+      in
+      Printf.printf
+        "workload: %d requests (%d unique keys) in %.2fs -- %d hits, %d \
+         misses, %.1f%% hit rate\n"
+        (List.length workload + 4)
+        (misses - v "service.verify_evictions")
+        wall hits misses rate;
+      (* -- the service's own Prometheus rows ------------------------ *)
+      String.split_on_char '\n' (Service.metrics svc)
+      |> List.filter (fun l ->
+             String.length l >= 15 && String.sub l 0 15 = "analog_service_")
+      |> List.iter print_endline;
+      if not smoke then begin
+        if speedup < 50.0 then begin
+          Printf.eprintf
+            "FAIL: warm-hit speedup %.0fx below the 50x gate\n" speedup;
+          exit 1
+        end;
+        Printf.printf "gate: warm-hit speedup %.0fx >= 50x  OK\n" speedup
+      end)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1244,6 +1364,7 @@ let experiments =
     ("micro", micro);
     ("perf", fun () -> perf ());
     ("qor", qor);
+    ("service", fun () -> service_exp ());
   ]
 
 let () =
@@ -1257,17 +1378,24 @@ let () =
     if smoke then
       List.map
         (fun (name, f) ->
-          (name, if name = "perf" then fun () -> perf ~smoke:true () else f))
+          ( name,
+            match name with
+            | "perf" -> fun () -> perf ~smoke:true ()
+            | "service" -> fun () -> service_exp ~smoke:true ()
+            | _ -> f ))
         experiments
     else experiments
   in
   match args with
   | [] ->
-      (* micro/perf take minutes and qor writes a ledger file; all three
-         run only when named *)
+      (* micro/perf/service take minutes and qor writes a ledger file;
+         all four run only when named *)
       List.iter
         (fun (name, f) ->
-          if name <> "micro" && name <> "perf" && name <> "qor" then f ())
+          if
+            name <> "micro" && name <> "perf" && name <> "qor"
+            && name <> "service"
+          then f ())
         experiments
   | names ->
       List.iter

@@ -1016,9 +1016,185 @@ let verify_cmd =
           on findings, 2 when nothing could be checked)")
     Term.(const run_verify $ ledger $ last $ all $ sarif $ outline)
 
+(* ---- batch / serve: placement-as-a-service ----------------------- *)
+
+(* Shared flags of the two service front ends. *)
+let service_workers =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Domains in the shared annealing/instantiation pool (default: \
+           ANALOG_WORKERS or the available cores). The pool is spawned \
+           once and reused by every request.")
+
+let service_cache_size =
+  Arg.(
+    value & opt int 256
+    & info [ "cache-size" ] ~docv:"N"
+        ~doc:
+          "Capacity of the memoizing multi-placement cache (LRU beyond \
+           it).")
+
+let service_prom =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prom" ] ~docv:"FILE"
+        ~doc:
+          "Write the service's Prometheus text exposition (hit/miss/\
+           instantiation counters, latency summaries) to $(docv) on \
+           exit; $(b,-) for stderr.")
+
+let emit_prom svc = function
+  | None -> ()
+  | Some "-" -> prerr_string (Service.metrics svc)
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Service.metrics svc);
+      close_out oc
+
+let read_request_lines ic =
+  let rec go acc n =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | line ->
+        let acc =
+          if String.trim line = "" then acc
+          else
+            match Service.Request.of_line line with
+            | Ok r -> Ok r :: acc
+            | Error msg -> Error (n, msg) :: acc
+        in
+        go acc (n + 1)
+  in
+  go [] 1
+
+let run_batch input output in_flight workers cache_size quiet prom =
+  let ic = if input = "-" then stdin else open_in input in
+  let lines = read_request_lines ic in
+  if ic != stdin then close_in ic;
+  let bad =
+    List.filter_map (function Error e -> Some e | Ok _ -> None) lines
+  in
+  List.iter
+    (fun (n, msg) -> Printf.eprintf "line %d: bad request: %s\n%!" n msg)
+    bad;
+  let requests =
+    List.filter_map (function Ok r -> Some r | Error _ -> None) lines
+  in
+  let oc = match output with None | Some "-" -> stdout | Some p -> open_out p in
+  Service.with_service ?workers ~cache_capacity:cache_size (fun svc ->
+      let t0 = Unix.gettimeofday () in
+      let responses = Service.run_batch ?in_flight svc requests in
+      let t1 = Unix.gettimeofday () in
+      List.iter
+        (fun r ->
+          output_string oc (Service.Request.response_line r);
+          output_char oc '\n')
+        responses;
+      if oc != stdout then close_out oc else flush oc;
+      if not quiet then begin
+        let v = Service.counter_value svc in
+        Printf.eprintf
+          "served %d requests in %.2fs: %d hits, %d misses, %d evictions \
+           (hit rate %.1f%%)\n%!"
+          (v "service.requests") (t1 -. t0) (v "service.hits")
+          (v "service.misses")
+          (v "service.verify_evictions")
+          (let total = v "service.hits" + v "service.misses" in
+           if total = 0 then 0.0
+           else 100.0 *. float_of_int (v "service.hits") /. float_of_int total)
+      end;
+      emit_prom svc prom);
+  if bad <> [] then exit 1
+
+let batch_cmd =
+  let input =
+    Arg.(
+      value & pos 0 string "-"
+      & info [] ~docv:"REQUESTS"
+          ~doc:
+            "JSONL request file, one JSON object per line; $(b,-) for \
+             stdin. A request names a circuit — \
+             {\"bench\":\"miller\"}, {\"netlist\":\"path.cir\"} or \
+             {\"synthetic\":{\"n\":100,\"seed\":3}} — plus optional \
+             \"outline\":[w,h], \"effort\" (quick|standard|thorough), \
+             \"seed\" and \"id\".")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE"
+          ~doc:"Write response JSONL to $(docv) instead of stdout.")
+  in
+  let in_flight =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "in-flight" ] ~docv:"N"
+          ~doc:
+            "Process the batch in waves of $(docv) concurrent requests \
+             (default: the whole batch as one wave). Within a wave, \
+             misses anneal once per unique cache key and every hit \
+             instantiates in parallel on the shared pool.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the summary.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Serve a JSONL request batch through the memoizing placement \
+          service (responses in request order, byte-identical results \
+          for identical requests)")
+    Term.(
+      const run_batch $ input $ output $ in_flight $ service_workers
+      $ service_cache_size $ quiet $ service_prom)
+
+let run_serve workers cache_size prom =
+  Service.with_service ?workers ~cache_capacity:cache_size (fun svc ->
+      let rec loop () =
+        match input_line stdin with
+        | exception End_of_file -> ()
+        | line when String.trim line = "" -> loop ()
+        | line ->
+            (match Service.Request.of_line line with
+            | Error msg ->
+                print_string
+                  (Telemetry.Json.emit
+                     (Telemetry.Json.Obj
+                        [ ("error", Telemetry.Json.Str msg) ]))
+            | Ok req ->
+                print_string
+                  (Service.Request.response_line (Service.submit svc req)));
+            print_newline ();
+            flush stdout;
+            loop ()
+      in
+      loop ();
+      emit_prom svc prom)
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived placement service on stdin/stdout: one JSONL \
+          request per line in, one response per line out (same wire \
+          format as $(b,batch)). The annealing pool, arena pool and \
+          multi-placement cache persist across requests, so repeated \
+          or outline-varied requests are served in microseconds from \
+          the cache.")
+    Term.(const run_serve $ service_workers $ service_cache_size $ service_prom)
+
 let () =
   let doc = "Analog layout synthesis: topological placement and sizing" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "analog_place" ~version:"1.0" ~doc)
-          [ place_cmd; report_cmd; size_cmd; info_cmd; lint_cmd; verify_cmd ]))
+          [
+            place_cmd; report_cmd; size_cmd; info_cmd; lint_cmd;
+            verify_cmd; batch_cmd; serve_cmd;
+          ]))

@@ -11,8 +11,18 @@ let module_name (c : C.t) i =
 
 (* ---- AL210/AL211: identity and multiplicity ----------------------- *)
 
-let check_identity (c : C.t) placed =
+let check_identity ?(groups = []) (c : C.t) placed =
   let n = C.size c in
+  (* The symmetric packer pads a self-symmetric cell's x-extent by one
+     unit when its width parity admits no exact integer mirror axis
+     (see Seqpair.Symmetry); the pad is part of the contract, not an
+     identity violation. *)
+  let self_symmetric cell =
+    List.exists
+      (fun (g : Constraints.Symmetry_group.t) ->
+        List.mem cell g.Constraints.Symmetry_group.selfs)
+      groups
+  in
   let seen = Array.make n 0 in
   let diags =
     List.filter_map
@@ -27,7 +37,12 @@ let check_identity (c : C.t) placed =
           seen.(p.Transform.cell) <- seen.(p.Transform.cell) + 1;
           let w, h = C.dims c p.Transform.cell in
           let r = p.Transform.rect in
-          if (r.Rect.w, r.Rect.h) = (w, h) || (r.Rect.w, r.Rect.h) = (h, w)
+          if
+            (r.Rect.w, r.Rect.h) = (w, h)
+            || (r.Rect.w, r.Rect.h) = (h, w)
+            || (self_symmetric p.Transform.cell
+               && ((w land 1 = 1 && (r.Rect.w, r.Rect.h) = (w + 1, h))
+                  || (h land 1 = 1 && (r.Rect.w, r.Rect.h) = (h + 1, w))))
           then None
           else
             Some
@@ -204,7 +219,7 @@ let check_hierarchy placed h =
 
 let placement ?(groups = []) ?hierarchy ?(constraint_sets = [])
     ?(recorded_sets = []) ?outline (c : C.t) placed =
-  let identity = check_identity c placed in
+  let identity = check_identity ~groups c placed in
   (* obligation checks look cells up by index; they would drown in
      lookup noise when the identity layer already failed *)
   let structural =

@@ -12,7 +12,9 @@
     Codes emitted here (verification findings, [AL21x]):
 
     - [AL210] error: a placed cell indexes no module, or its rectangle
-      matches the module's dimensions in no orientation
+      matches the module's dimensions in no orientation (a
+      self-symmetric cell may carry the symmetric packer's one-unit
+      parity pad on its mirrored extent when [groups] are supplied)
     - [AL211] error: a module is placed zero or several times
     - [AL212] error: two placed rectangles overlap (every offending
       pair is reported, DRC style)

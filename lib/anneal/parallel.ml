@@ -146,16 +146,22 @@ let finish ops ?engine ~mode ~check ~telemetry ~tels chains =
     evaluated = Array.fold_left (fun acc o -> acc + o.Sa.evaluated) 0 outcomes;
   }
 
+(* Run on a caller-supplied pool (left running for its next request —
+   how the placement service amortizes domain spawns across requests)
+   or on a private one created and shut down here. *)
+let on_pool ?pool ~workers f =
+  match pool with Some p -> f p | None -> Pool.with_pool ~workers f
+
 (* Deterministic mode: barrier slices on the persistent pool. The pool
    is created once per run (satellite of ISSUE 6: no more per-slice
    Domain.spawn/join churn); each Pool.run is a full barrier, so the
    exchange reduction happens-after every chain's slice. *)
-let deterministic ops ~workers ~slice ~check ~telemetry ~tels ~slice_us chains
-    =
+let deterministic ops ?pool ~workers ~slice ~check ~telemetry ~tels ~slice_us
+    chains =
   let k = Array.length chains in
   let exchanges = Telemetry.Sink.counter telemetry "parallel.exchanges" in
   let unfinished () = Array.exists (fun c -> not (ops.finished c)) chains in
-  Pool.with_pool ~workers @@ fun pool ->
+  on_pool ?pool ~workers @@ fun pool ->
   let workers = Pool.workers pool in
   let jobs =
     Array.init workers (fun d () ->
@@ -182,7 +188,7 @@ let deterministic ops ~workers ~slice ~check ~telemetry ~tels ~slice_us chains
    run before any other chain can adopt it); the epilogue publish
    guarantees every chain's final best reaches the elite pool even
    when it never improved mid-run. *)
-let async ops ~workers ~slice ~check ~tels ~slice_us chains =
+let async ops ?pool ~workers ~slice ~check ~tels ~slice_us chains =
   let k = Array.length chains in
   let elite = Elite.create ~stripes:(min 8 k) () in
   let publishes =
@@ -197,7 +203,7 @@ let async ops ~workers ~slice ~check ~tels ~slice_us chains =
     Array.init k (fun i ->
         Telemetry.Sink.counter tels.(i) "chain.elite_improvements")
   in
-  Pool.with_pool ~workers @@ fun pool ->
+  on_pool ?pool ~workers @@ fun pool ->
   let job i () =
     let c = chains.(i) in
     let last_published = ref infinity in
@@ -230,8 +236,9 @@ let async ops ~workers ~slice ~check ~tels ~slice_us chains =
   done;
   Pool.drain pool
 
-let launch ops start ~mode ?workers ?(exchange_every = 32) ?(check = ignore)
-    ?(telemetry = Telemetry.Sink.null) ?engine ~seeds problem_of =
+let launch ops start ~mode ?pool ?workers ?(exchange_every = 32)
+    ?(check = ignore) ?(telemetry = Telemetry.Sink.null) ?engine ~seeds
+    problem_of =
   if seeds = [] then invalid_arg "Parallel: empty seed list";
   let seeds = Array.of_list seeds in
   let k = Array.length seeds in
@@ -258,9 +265,9 @@ let launch ops start ~mode ?workers ?(exchange_every = 32) ?(check = ignore)
   in
   (match mode with
   | `Deterministic ->
-      deterministic ops ~workers ~slice ~check ~telemetry ~tels ~slice_us
-        chains
-  | `Async -> async ops ~workers ~slice ~check ~tels ~slice_us chains);
+      deterministic ops ?pool ~workers ~slice ~check ~telemetry ~tels
+        ~slice_us chains
+  | `Async -> async ops ?pool ~workers ~slice ~check ~tels ~slice_us chains);
   let mode_label =
     match mode with `Deterministic -> "deterministic" | `Async -> "async"
   in
@@ -272,22 +279,22 @@ let start_functional params tel rng problem =
 let start_mutable params tel rng problem =
   Sa.mstart ~telemetry:tel ~rng params problem
 
-let run ?workers ?exchange_every ?check ?telemetry ?engine ~seeds params
+let run ?pool ?workers ?exchange_every ?check ?telemetry ?engine ~seeds params
     problem_of =
-  launch functional_ops (start_functional params) ~mode:`Deterministic
+  launch functional_ops (start_functional params) ~mode:`Deterministic ?pool
     ?workers ?exchange_every ?check ?telemetry ?engine ~seeds problem_of
 
-let run_mutable ?workers ?exchange_every ?check ?telemetry ?engine ~seeds
-    params problem_of =
-  launch mutable_ops (start_mutable params) ~mode:`Deterministic ?workers
-    ?exchange_every ?check ?telemetry ?engine ~seeds problem_of
-
-let run_async ?workers ?exchange_every ?check ?telemetry ?engine ~seeds params
-    problem_of =
-  launch functional_ops (start_functional params) ~mode:`Async ?workers
-    ?exchange_every ?check ?telemetry ?engine ~seeds problem_of
-
-let run_mutable_async ?workers ?exchange_every ?check ?telemetry ?engine
+let run_mutable ?pool ?workers ?exchange_every ?check ?telemetry ?engine
     ~seeds params problem_of =
-  launch mutable_ops (start_mutable params) ~mode:`Async ?workers
+  launch mutable_ops (start_mutable params) ~mode:`Deterministic ?pool
+    ?workers ?exchange_every ?check ?telemetry ?engine ~seeds problem_of
+
+let run_async ?pool ?workers ?exchange_every ?check ?telemetry ?engine ~seeds
+    params problem_of =
+  launch functional_ops (start_functional params) ~mode:`Async ?pool ?workers
+    ?exchange_every ?check ?telemetry ?engine ~seeds problem_of
+
+let run_mutable_async ?pool ?workers ?exchange_every ?check ?telemetry ?engine
+    ~seeds params problem_of =
+  launch mutable_ops (start_mutable params) ~mode:`Async ?pool ?workers
     ?exchange_every ?check ?telemetry ?engine ~seeds problem_of

@@ -72,6 +72,7 @@ val record_chain_qor :
     its own race loop but reports chains the same way. *)
 
 val run :
+  ?pool:Pool.t ->
   ?workers:int ->
   ?exchange_every:int ->
   ?check:('a -> unit) ->
@@ -81,7 +82,11 @@ val run :
   Sa.params ->
   (Telemetry.Sink.t -> Prelude.Rng.t -> 'a Sa.problem) ->
   'a outcome
-(** Deterministic mode over functional chains. [workers] defaults to
+(** Deterministic mode over functional chains. [pool] reuses a
+    caller-owned {!Pool} (left running afterwards — how a long-lived
+    service amortizes domain spawns across requests; [workers] is then
+    ignored in favor of the pool's width); without it a private pool
+    is created and shut down per call. [workers] defaults to
     {!default_workers}, capped at the number of seeds;
     [exchange_every] defaults to 32 rounds, and any non-positive value
     disables exchange entirely (fully independent restarts). Raises
@@ -110,6 +115,7 @@ val run :
     seeds/params/exchange and worker-count invariant. *)
 
 val run_mutable :
+  ?pool:Pool.t ->
   ?workers:int ->
   ?exchange_every:int ->
   ?check:('a -> unit) ->
@@ -127,6 +133,7 @@ val run_mutable :
     treat it as read-only. *)
 
 val run_async :
+  ?pool:Pool.t ->
   ?workers:int ->
   ?exchange_every:int ->
   ?check:('a -> unit) ->
@@ -146,6 +153,7 @@ val run_async :
     additionally counts ["chain.publishes"] / ["chain.pulls"]. *)
 
 val run_mutable_async :
+  ?pool:Pool.t ->
   ?workers:int ->
   ?exchange_every:int ->
   ?check:('a -> unit) ->

@@ -94,6 +94,30 @@ let of_hierarchy tree =
   in
   dedup [] groups
 
+(* Canonical rendering for cache fingerprints: the group name is a
+   label, pair order and within-pair order are representation choices
+   (the mirror relation is symmetric), so only the normalized member
+   structure enters — pairs min-first and sorted, selfs sorted. *)
+let signature g =
+  let pairs =
+    List.map (fun (a, b) -> if a <= b then (a, b) else (b, a)) g.pairs
+    |> List.sort_uniq compare
+  in
+  let selfs = List.sort_uniq compare g.selfs in
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf "sym{";
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "(%d,%d)" a b))
+    pairs;
+  Buffer.add_char buf '|';
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int s))
+    selfs;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
 let pp ppf g =
   Format.fprintf ppf "@[%s: pairs %a selfs %a@]" g.name
     (Format.pp_print_list

@@ -24,6 +24,14 @@ val sym : t -> int -> int option
     paired cell, [c] itself for a self-symmetric cell, [None] if [c] is
     not in the group. *)
 
+val signature : t -> string
+(** Canonical rendering for cache fingerprints: pairs normalized
+    smaller-index-first and sorted, selfs sorted, the group name
+    excluded. Two groups imposing the same mirror obligations render
+    identically however their pairs are listed; any membership change
+    renders differently (the QCheck fingerprint-stability property
+    pins both directions down). *)
+
 val of_hierarchy : Netlist.Hierarchy.t -> t list
 (** Extract flat symmetry groups from the [Symmetry] nodes of a
     hierarchy. Within a symmetry node, direct leaf children pair up

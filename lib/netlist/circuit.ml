@@ -61,6 +61,12 @@ let subcircuit c ~name idxs =
    placed the same netlist, and a content hash catches silent benchmark
    edits where a name alone would not. 64-bit FNV is plenty for the
    handful of designs a ledger ever holds. *)
+
+let fnv1a s =
+  let h = ref (0xcbf29ce484222325_L |> Int64.to_int) in
+  String.iter (fun ch -> h := (!h lxor Char.code ch) * 0x100000001b3) s;
+  Printf.sprintf "%016x" (!h land max_int)
+
 let digest c =
   (* FNV-1a 64-bit offset basis, truncated to OCaml's 63-bit int *)
   let h = ref (0xcbf29ce484222325_L |> Int64.to_int) in

@@ -39,6 +39,13 @@ val dims : t -> int -> int * int
 val find_module : t -> string -> int
 (** Index of the module with the given name; raises [Not_found]. *)
 
+val fnv1a : string -> string
+(** The 64-bit FNV-1a hex hash behind {!digest}, over a raw string —
+    the shared content-hash primitive for anything that wants a key in
+    the same namespace (the placement service hashes its canonical
+    constraint/outline rendering with it). Truncated to OCaml's 63-bit
+    [int] exactly as {!digest} is. *)
+
 val digest : t -> string
 (** Deterministic 64-bit FNV-1a content hash (hex) over the circuit's
     name, modules (name, dimensions, device identity), and nets (name,

@@ -64,6 +64,37 @@ let kind_to_string = function
   | Common_centroid -> "common-centroid"
   | Proximity -> "proximity"
 
+(* Canonical constraint rendering for cache fingerprints: node names
+   and tree shape are labels, not obligations, so only (kind, member
+   set) pairs enter — members sorted, Free nodes dropped, nodes sorted
+   by content. Two hierarchies that impose the same obligations render
+   identically no matter how their nodes are named, ordered or
+   nested. *)
+let constraint_signature t =
+  let canon =
+    constraint_nodes t
+    |> List.filter_map (fun (_, kind, members) ->
+           match kind with
+           | Free -> None
+           | _ ->
+               Some
+                 (kind_to_string kind, List.sort_uniq compare members))
+    |> List.sort_uniq compare
+  in
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun (kind, members) ->
+      Buffer.add_string buf kind;
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i m ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (string_of_int m))
+        members;
+      Buffer.add_string buf ");")
+    canon;
+  Buffer.contents buf
+
 let rec pp ppf = function
   | Leaf i -> Format.fprintf ppf "#%d" i
   | Node { name; kind; children } ->

@@ -42,6 +42,14 @@ val constraint_nodes : t -> (string * constraint_kind * int list) list
 (** All internal nodes with their constraint kind and leaf sets,
     pre-order. *)
 
+val constraint_signature : t -> string
+(** Canonical rendering of the constraint obligations this hierarchy
+    imposes: one [kind(members);] token per non-[Free] node with
+    members sorted and the tokens themselves content-sorted. Node
+    names, child order and nesting of [Free] groupings do not affect
+    it, so semantically equal constraint sets render identically —
+    the property the placement-service cache key rests on. *)
+
 val map_leaves : (int -> int) -> t -> t
 
 val pp : Format.formatter -> t -> unit

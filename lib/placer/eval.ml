@@ -25,6 +25,9 @@ type t = {
   tel : Telemetry.Sink.t;
   evals : Telemetry.Counter.t;  (* pre-resolved handles; dead when off *)
   bstar_packs : Telemetry.Counter.t;
+  mutable last_w : int;  (* extents of the last evaluated packing *)
+  mutable last_h : int;
+  mutable last_hpwl : float;
 }
 
 let create ?(telemetry = Telemetry.Sink.null) circuit =
@@ -52,9 +55,13 @@ let create ?(telemetry = Telemetry.Sink.null) circuit =
     tel = telemetry;
     evals = Telemetry.Sink.counter telemetry "eval.costs";
     bstar_packs = Telemetry.Sink.counter telemetry "bstar.packs";
+    last_w = 0;
+    last_h = 0;
+    last_hpwl = 0.0;
   }
 
 let circuit t = t.circuit
+let last_extents t = (t.last_w, t.last_h, t.last_hpwl)
 
 let set_rotation t rot =
   for c = 0 to t.n - 1 do
@@ -85,6 +92,9 @@ let finish t weights =
     t.cy2.(c) <- (2 * t.y.(c)) + t.h.(c)
   done;
   let hpwl = Netlist.Wirelength.hpwl_flat t.nets ~cx2:t.cx2 ~cy2:t.cy2 in
+  t.last_w <- !width;
+  t.last_h <- !height;
+  t.last_hpwl <- hpwl;
   let t1 = Telemetry.Sink.lap t.tel "eval.hpwl" t0 in
   let cost = Cost.compose weights ~width:!width ~height:!height ~hpwl in
   Telemetry.Sink.span_end t.tel "eval.compose" t1;

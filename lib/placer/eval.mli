@@ -32,6 +32,13 @@ val create : ?telemetry:Telemetry.Sink.t -> Netlist.Circuit.t -> t
 
 val circuit : t -> Netlist.Circuit.t
 
+val last_extents : t -> int * int * float
+(** [(width, height, hpwl)] of the most recent cost query — the
+    bounding-box extents and wirelength the cost was composed from.
+    The placement service reads these to record a cached candidate's
+    geometry without a second pass; meaningless before the first
+    query. *)
+
 val cost_seqpair :
   t ->
   Cost.weights ->

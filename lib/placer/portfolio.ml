@@ -311,7 +311,7 @@ let default_engines ~n ~groups ~hierarchy =
   in
   sa @ (match hierarchy with Some _ when n <= 40 -> [ Esf ] | _ -> [])
 
-let race ?(weights = Cost.default) ?params ?(groups = []) ?workers
+let race ?(weights = Cost.default) ?params ?(groups = []) ?pool ?workers
     ?(chains = 1) ?engines ?hierarchy ?bar ?(exchange_every = 32) ?validate
     ?(feasibility_check = false) ?outline ?(telemetry = Telemetry.Sink.null)
     ~rng circuit =
@@ -401,7 +401,12 @@ let race ?(weights = Cost.default) ?params ?(groups = []) ?workers
   let elite = Anneal.Elite.create ~stripes:(min 8 k) () in
   let stop = Atomic.make false in
   let first_past = Atomic.make (-1) in
-  Anneal.Pool.with_pool ~workers (fun pool ->
+  (* reuse a caller-owned pool when given (the placement service keeps
+     one across requests), else create and tear down a private one *)
+  (match pool with
+   | Some p -> fun f -> f p
+   | None -> fun f -> Anneal.Pool.with_pool ~workers f)
+    (fun pool ->
       let job i () =
         let r = runners.(i) in
         let last_published = ref infinity in

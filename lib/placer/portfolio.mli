@@ -40,10 +40,34 @@ type outcome = {
   evaluated : int;  (** total cost evaluations, adoptions included *)
 }
 
+val rot_of_placed :
+  Netlist.Circuit.t -> Geometry.Transform.placed list -> bool array
+(** Per-cell rotation flags recovered from placed rectangle dimensions
+    (true where a rect's dims differ from the module's intrinsic
+    ones). One of the placed-list re-encoders the race uses for elite
+    adoption, exposed so the placement service can derive a cached
+    topology from a winning placement. *)
+
+val harmonize_rot :
+  Constraints.Symmetry_group.t list -> bool array -> bool array
+(** Copy each cell's rotation flag onto its higher-indexed symmetry
+    partner, in place (symmetry pairs must rotate together); returns
+    the same array. *)
+
+val sp_of_placed : int -> Geometry.Transform.placed list -> Seqpair.Sp.t
+(** Sequence-pair whose packing reproduces the placed list's relative
+    order: cells sorted along the two diagonals of the doubled-center
+    grid ([n] is the cell count). Not symmetric-feasible by itself —
+    follow with [Seqpair.Symmetry.make_feasible] when groups apply. *)
+
+val tree_of_placed : Geometry.Transform.placed list -> Bstar.Tree.t
+(** B*-tree warm start from bottom-up rows of equal bottom edge. *)
+
 val race :
   ?weights:Cost.weights ->
   ?params:Anneal.Sa.params ->
   ?groups:Constraints.Symmetry_group.t list ->
+  ?pool:Anneal.Pool.t ->
   ?workers:int ->
   ?chains:int ->
   ?engines:engine list ->
@@ -59,6 +83,11 @@ val race :
   outcome
 (** Race the portfolio. [chains] (default 1) annealing chains per
     engine; [workers] domains as {!Anneal.Parallel.default_workers}.
+    [pool] races on a caller-owned {!Anneal.Pool} instead (left
+    running afterwards; [workers] is then ignored in favor of the
+    pool's width) — the placement service's miss path shares one pool
+    across every request this way, so a request never pays a domain
+    spawn.
 
     [engines] defaults to [Sp; Bstar] plus [Tcg] when the circuit has
     at most 62 modules and [Esf] when [hierarchy] is given and the

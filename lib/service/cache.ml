@@ -1,0 +1,85 @@
+(* Memoizing multi-placement cache: fingerprint -> Multi.t with LRU
+   eviction under a fixed capacity. The service's dispatch phase and
+   its pool workers both touch the table (a failed hit re-check evicts
+   from a worker), so every operation holds the mutex; entries
+   themselves are immutable after insertion, so readers never see a
+   torn Multi.t. *)
+
+type entry = {
+  multi : Multi.t;
+  mutable last_used : int;  (* logical clock, not wall time *)
+  mutable hits : int;
+}
+
+type t = {
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable clock : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity < 1";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 64);
+    mutex = Mutex.create ();
+    clock = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | None -> None
+      | Some e ->
+          t.clock <- t.clock + 1;
+          e.last_used <- t.clock;
+          e.hits <- e.hits + 1;
+          Some e.multi)
+
+let evict_lru_locked t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best.last_used <= e.last_used -> acc
+        | _ -> Some (key, e))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1
+
+let insert t key multi =
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.table key with
+      | Some _ -> Hashtbl.remove t.table key
+      | None -> ());
+      while Hashtbl.length t.table >= t.capacity do
+        evict_lru_locked t
+      done;
+      t.clock <- t.clock + 1;
+      Hashtbl.replace t.table key { multi; last_used = t.clock; hits = 0 })
+
+let remove t key =
+  locked t (fun () ->
+      if Hashtbl.mem t.table key then begin
+        Hashtbl.remove t.table key;
+        t.evictions <- t.evictions + 1;
+        true
+      end
+      else false)
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+let evictions t = locked t (fun () -> t.evictions)
+let capacity t = t.capacity
+
+let mem t key = locked t (fun () -> Hashtbl.mem t.table key)

@@ -1,0 +1,31 @@
+(** Memoizing multi-placement cache.
+
+    Maps {!Fingerprint} keys to {!Multi.t} structures under a fixed
+    capacity with least-recently-used eviction (logical clock, bumped
+    by hits and inserts). All operations are mutex-protected: the
+    service's pool workers evict entries that fail the hit-path
+    {!Analysis.Verify} re-check while the dispatcher reads. Entries
+    are immutable once inserted. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 256; raises [Invalid_argument] below 1. *)
+
+val find : t -> string -> Multi.t option
+(** Lookup; bumps the entry's recency and hit count. *)
+
+val insert : t -> string -> Multi.t -> unit
+(** Insert (replacing any previous binding), evicting
+    least-recently-used entries while at capacity. *)
+
+val remove : t -> string -> bool
+(** Evict one key explicitly — the verify-failure path. True when the
+    key was present; counts toward {!evictions}. *)
+
+val mem : t -> string -> bool
+val length : t -> int
+val capacity : t -> int
+
+val evictions : t -> int
+(** Capacity and explicit evictions since creation. *)

@@ -1,0 +1,77 @@
+(* Cache keys for the placement service.
+
+   A key must equate exactly the requests one multi-placement entry can
+   answer: same netlist content (the circuit digest), same constraint
+   obligations (canonical signatures, so naming/ordering noise does not
+   split the cache), same cost scale, same effort, same seed — and the
+   outline *class* rather than the outline itself, because the whole
+   point of the multi-placement structure is that one cached topology
+   instantiates packings for many concrete outlines. Classes bucket by
+   aspect so a topology annealed toward a wide box is not asked to
+   answer tall requests. *)
+
+type effort = Quick | Standard | Thorough
+
+let effort_to_string = function
+  | Quick -> "quick"
+  | Standard -> "standard"
+  | Thorough -> "thorough"
+
+let effort_of_string = function
+  | "quick" -> Some Quick
+  | "standard" -> Some Standard
+  | "thorough" -> Some Thorough
+  | _ -> None
+
+type outline_class = Free | Square | Wide | Tall
+
+let classify = function
+  | None -> Free
+  | Some (w, h) ->
+      if h <= 0 || w <= 0 then Square
+      else
+        let r = float_of_int w /. float_of_int h in
+        if r >= 2.0 then Wide else if r <= 0.5 then Tall else Square
+
+let class_to_string = function
+  | Free -> "free"
+  | Square -> "square"
+  | Wide -> "wide"
+  | Tall -> "tall"
+
+(* The class's representative w/h ratio — the aspect target the miss
+   path anneals toward when the request carries a fixed outline. *)
+let class_target_aspect = function
+  | Free -> None
+  | Square -> Some 1.0
+  | Wide -> Some 2.0
+  | Tall -> Some 0.5
+
+let canonical ?(groups = []) ?hierarchy ?outline
+    ?(weights = Placer.Cost.default) ?(seed = 0) ~effort () =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "groups:";
+  List.map Constraints.Symmetry_group.signature groups
+  |> List.sort_uniq compare
+  |> List.iter (Buffer.add_string buf);
+  Buffer.add_string buf ";hier:";
+  (match hierarchy with
+  | None -> ()
+  | Some h -> Buffer.add_string buf (Netlist.Hierarchy.constraint_signature h));
+  Buffer.add_string buf ";outline:";
+  Buffer.add_string buf (class_to_string (classify outline));
+  Buffer.add_string buf ";effort:";
+  Buffer.add_string buf (effort_to_string effort);
+  Buffer.add_string buf ";seed:";
+  Buffer.add_string buf (string_of_int seed);
+  Buffer.add_string buf
+    (Printf.sprintf ";weights:%.17g,%.17g,%.17g,%.17g"
+       weights.Placer.Cost.area weights.Placer.Cost.wirelength
+       weights.Placer.Cost.aspect weights.Placer.Cost.target_aspect);
+  Buffer.contents buf
+
+let make ?groups ?hierarchy ?outline ?weights ?seed ~effort circuit =
+  Netlist.Circuit.digest circuit
+  ^ "-"
+  ^ Netlist.Circuit.fnv1a
+      (canonical ?groups ?hierarchy ?outline ?weights ?seed ~effort ())

@@ -1,0 +1,55 @@
+(** Cache keys for the placement service.
+
+    A key is [<circuit digest>-<fnv1a of the canonical request
+    rendering>]: the FNV-1a content hash of the netlist
+    ({!Netlist.Circuit.digest}) joined with a hash of the constraint
+    set (canonical {!Constraints.Symmetry_group.signature} /
+    {!Netlist.Hierarchy.constraint_signature} renderings, so naming
+    and ordering noise cannot split the cache), the cost weights, the
+    effort, the request seed, and the {e outline class} — never the
+    concrete outline, because one cached multi-placement structure
+    answers every outline of its class by re-instantiation. *)
+
+type effort = Quick | Standard | Thorough
+(** How hard the miss path anneals (scales {!Anneal.Sa.params}). *)
+
+val effort_to_string : effort -> string
+(** ["quick"] | ["standard"] | ["thorough"]. *)
+
+val effort_of_string : string -> effort option
+
+type outline_class = Free | Square | Wide | Tall
+(** Aspect bucket of a request outline: no outline, or w/h within
+    (0.5, 2), at least 2, at most 0.5. *)
+
+val classify : (int * int) option -> outline_class
+val class_to_string : outline_class -> string
+
+val class_target_aspect : outline_class -> float option
+(** The class's representative w/h ratio — what the miss path anneals
+    toward when the request is fixed-outline ([None] for {!Free}). *)
+
+val canonical :
+  ?groups:Constraints.Symmetry_group.t list ->
+  ?hierarchy:Netlist.Hierarchy.t ->
+  ?outline:int * int ->
+  ?weights:Placer.Cost.weights ->
+  ?seed:int ->
+  effort:effort ->
+  unit ->
+  string
+(** The canonical rendering the key hashes (exposed for the QCheck
+    fingerprint-stability properties). Group signatures are sorted and
+    deduplicated, so group order never matters; [seed] defaults to 0,
+    [weights] to {!Placer.Cost.default}. *)
+
+val make :
+  ?groups:Constraints.Symmetry_group.t list ->
+  ?hierarchy:Netlist.Hierarchy.t ->
+  ?outline:int * int ->
+  ?weights:Placer.Cost.weights ->
+  ?seed:int ->
+  effort:effort ->
+  Netlist.Circuit.t ->
+  string
+(** The cache key. *)

@@ -1,0 +1,236 @@
+(* Request/response wire format: one JSON object per line.
+
+   A request names its circuit (a built-in bench, a netlist file, or a
+   seeded synthetic design), an optional fixed outline, an effort tier
+   and a seed. A response carries a [served] tag and latency in the
+   envelope and everything deterministic inside [result] — identical
+   requests must produce byte-identical [result] objects whether they
+   were answered by the miss path or the cache, so anything that can
+   legitimately differ between the two (latency, hit/miss status,
+   annealing effort) stays out of [result]. *)
+
+module J = Telemetry.Json
+
+type source =
+  | Bench of string
+  | Netlist_file of string
+  | Synthetic of { n : int; seed : int }
+
+type t = {
+  id : string;
+  source : source;
+  outline : (int * int) option;
+  effort : Fingerprint.effort;
+  seed : int;
+}
+
+let source_label = function
+  | Bench name -> "bench:" ^ name
+  | Netlist_file path -> "netlist:" ^ path
+  | Synthetic { n; seed } -> Printf.sprintf "synthetic:n%d:s%d" n seed
+
+(* ---- parsing ------------------------------------------------------- *)
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let* source =
+    match (J.member "bench" json, J.member "netlist" json,
+           J.member "synthetic" json)
+    with
+    | Some b, None, None -> (
+        match J.to_str b with
+        | Some name -> Ok (Bench name)
+        | None -> Error "\"bench\" must be a string")
+    | None, Some p, None -> (
+        match J.to_str p with
+        | Some path -> Ok (Netlist_file path)
+        | None -> Error "\"netlist\" must be a string")
+    | None, None, Some s -> (
+        match
+          ( Option.bind (J.member "n" s) J.to_int,
+            Option.bind (J.member "seed" s) J.to_int )
+        with
+        | Some n, Some seed when n > 0 -> Ok (Synthetic { n; seed })
+        | _ -> Error "\"synthetic\" needs integer fields n > 0 and seed")
+    | None, None, None ->
+        Error "request needs one of \"bench\", \"netlist\", \"synthetic\""
+    | _ -> Error "request must name exactly one circuit source"
+  in
+  let* outline =
+    match J.member "outline" json with
+    | None | Some J.Null -> Ok None
+    | Some (J.Arr [ w; h ]) -> (
+        match (J.to_int w, J.to_int h) with
+        | Some w, Some h when w > 0 && h > 0 -> Ok (Some (w, h))
+        | _ -> Error "\"outline\" must be [w, h] with positive integers")
+    | Some _ -> Error "\"outline\" must be [w, h]"
+  in
+  let* effort =
+    match J.member "effort" json with
+    | None -> Ok Fingerprint.Standard
+    | Some e -> (
+        match Option.bind (J.to_str e) Fingerprint.effort_of_string with
+        | Some eff -> Ok eff
+        | None -> Error "\"effort\" must be quick | standard | thorough")
+  in
+  let* seed =
+    match J.member "seed" json with
+    | None -> Ok 0
+    | Some s -> (
+        match J.to_int s with
+        | Some v -> Ok v
+        | None -> Error "\"seed\" must be an integer")
+  in
+  let id =
+    match Option.bind (J.member "id" json) J.to_str with
+    | Some id -> id
+    | None -> source_label source
+  in
+  Ok { id; source; outline; effort; seed }
+
+let of_line line =
+  match J.parse line with
+  | Error e -> Error ("request line: " ^ e)
+  | Ok json -> of_json json
+
+let to_json r =
+  let source_fields =
+    match r.source with
+    | Bench name -> [ ("bench", J.str name) ]
+    | Netlist_file path -> [ ("netlist", J.str path) ]
+    | Synthetic { n; seed } ->
+        [ ("synthetic", J.Obj [ ("n", J.int n); ("seed", J.int seed) ]) ]
+  in
+  J.Obj
+    (("id", J.str r.id) :: source_fields
+    @ (match r.outline with
+      | None -> []
+      | Some (w, h) -> [ ("outline", J.Arr [ J.int w; J.int h ]) ])
+    @ (("effort", J.str (Fingerprint.effort_to_string r.effort))
+       :: (if r.seed = 0 then [] else [ ("seed", J.int r.seed) ])))
+
+(* ---- circuit resolution -------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let resolve_source = function
+  | Bench name -> (
+      match name with
+      | "miller" -> Ok (Netlist.Benchmarks.miller ())
+      | "fig2" -> Ok (Netlist.Benchmarks.fig2_design ())
+      | _ -> (
+          match
+            List.find_opt
+              (fun (b : Netlist.Benchmarks.bench) ->
+                String.lowercase_ascii b.label
+                = String.lowercase_ascii
+                    (String.map (function '-' -> ' ' | c -> c) name))
+              (Netlist.Benchmarks.table1_suite ())
+          with
+          | Some b -> Ok b
+          | None -> Error (Printf.sprintf "unknown benchmark %S" name)))
+  | Synthetic { n; seed } ->
+      Ok
+        (Netlist.Benchmarks.synthetic
+           ~label:(Printf.sprintf "syn-n%d-s%d" n seed)
+           ~n ~seed)
+  | Netlist_file path -> (
+      match read_file path with
+      | exception Sys_error msg -> Error msg
+      | contents -> (
+          match Netlist.Parser.parse_string contents with
+          | Error (e : Netlist.Parser.error) ->
+              Error
+                (Printf.sprintf "%s:%d: %s" path e.Netlist.Parser.line
+                   e.Netlist.Parser.message)
+          | Ok devices -> (
+              let name =
+                Filename.remove_extension (Filename.basename path)
+              in
+              let circuit = Netlist.Parser.to_circuit ~name devices in
+              match Netlist.Recognize.recognize circuit with
+              | exception Invalid_argument msg ->
+                  Error ("structure recognition failed: " ^ msg)
+              | { Netlist.Recognize.hierarchy; _ } ->
+                  Ok { Netlist.Benchmarks.label = name; circuit; hierarchy })))
+
+(* ---- responses ----------------------------------------------------- *)
+
+type result_body = {
+  label : string;
+  digest : string;
+  fingerprint : string;
+  outline : (int * int) option;
+  outline_fit : bool option;
+  cost : float;
+  width : int;
+  height : int;
+  area : int;
+  hpwl : float;
+  dead_space_pct : float;
+  violations : int;
+  placement : Telemetry.Ledger.rect list;
+}
+
+type response = {
+  request_id : string;
+  served : string;  (** "hit" | "miss" | "evict-miss" | "error" *)
+  latency_us : int;
+  sa_rounds : int;
+  evaluated : int;
+  body : (result_body, string) Stdlib.result;
+}
+
+let result_json (b : result_body) =
+  J.Obj
+    [
+      ("label", J.str b.label);
+      ("digest", J.str b.digest);
+      ("fingerprint", J.str b.fingerprint);
+      ( "outline",
+        match b.outline with
+        | None -> J.Null
+        | Some (w, h) -> J.Arr [ J.int w; J.int h ] );
+      ( "outline_fit",
+        match b.outline_fit with None -> J.Null | Some f -> J.bool f );
+      ("cost", J.float b.cost);
+      ("width", J.int b.width);
+      ("height", J.int b.height);
+      ("area", J.int b.area);
+      ("hpwl", J.float b.hpwl);
+      ("dead_space_pct", J.float b.dead_space_pct);
+      ("violations", J.int b.violations);
+      ( "placement",
+        J.Arr
+          (List.map
+             (fun (r : Telemetry.Ledger.rect) ->
+               J.Obj
+                 [
+                   ("cell", J.str r.Telemetry.Ledger.cell);
+                   ("x", J.int r.Telemetry.Ledger.x);
+                   ("y", J.int r.Telemetry.Ledger.y);
+                   ("w", J.int r.Telemetry.Ledger.w);
+                   ("h", J.int r.Telemetry.Ledger.h);
+                 ])
+             b.placement) );
+    ]
+
+let response_json r =
+  J.Obj
+    [
+      ("id", J.str r.request_id);
+      ("served", J.str r.served);
+      ("latency_us", J.int r.latency_us);
+      ("sa_rounds", J.int r.sa_rounds);
+      ("evaluated", J.int r.evaluated);
+      ( (match r.body with Ok _ -> "result" | Error _ -> "error"),
+        match r.body with
+        | Ok b -> result_json b
+        | Error msg -> J.str msg );
+    ]
+
+let response_line r = J.emit (response_json r)

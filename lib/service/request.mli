@@ -1,0 +1,67 @@
+(** JSONL wire format of the placement service.
+
+    One JSON object per line in both directions. A request names its
+    circuit — a built-in bench ([{"bench":"miller"}]), a netlist file
+    ([{"netlist":"path.cir"}]) or a seeded synthetic design
+    ([{"synthetic":{"n":100,"seed":3}}]) — plus optional
+    [outline:[w,h]], [effort] and [seed]. The response envelope
+    carries the [served] tag, latency and annealing effort; everything
+    deterministic lives in the [result] object, so identical requests
+    produce byte-identical [result]s whether served cold or from the
+    cache. *)
+
+type source =
+  | Bench of string
+  | Netlist_file of string
+  | Synthetic of { n : int; seed : int }
+
+type t = {
+  id : string;  (** echoed in the response; defaults to a source label *)
+  source : source;
+  outline : (int * int) option;
+  effort : Fingerprint.effort;  (** default Standard *)
+  seed : int;  (** default 0; part of the cache key *)
+}
+
+val source_label : source -> string
+
+val of_json : Telemetry.Json.t -> (t, string) result
+val of_line : string -> (t, string) result
+val to_json : t -> Telemetry.Json.t
+
+val resolve_source : source -> (Netlist.Benchmarks.bench, string) result
+(** Load the circuit + hierarchy behind a source. Bench names match
+    the CLI's: miller, fig2, and the Table I suite labels. *)
+
+type result_body = {
+  label : string;
+  digest : string;
+  fingerprint : string;
+  outline : (int * int) option;
+  outline_fit : bool option;  (** [None] for free-outline requests *)
+  cost : float;
+  width : int;
+  height : int;
+  area : int;
+  hpwl : float;
+  dead_space_pct : float;
+  violations : int;
+  placement : Telemetry.Ledger.rect list;
+}
+
+type response = {
+  request_id : string;
+  served : string;  (** "hit" | "miss" | "evict-miss" | "error" *)
+  latency_us : int;
+  sa_rounds : int;
+  evaluated : int;
+  body : (result_body, string) Stdlib.result;
+}
+
+val result_json : result_body -> Telemetry.Json.t
+(** The deterministic part alone — what byte-identity is asserted
+    over. *)
+
+val response_json : response -> Telemetry.Json.t
+val response_line : response -> string
+(** Envelope + result (or [error]) as one JSONL line. *)

@@ -74,6 +74,9 @@ let best_within ?(max_w = max_int) ?(max_h = max_int) t =
 
 let fits ?max_w ?max_h t = best_within ?max_w ?max_h t <> None
 
+let instantiate ?max_w ?max_h t =
+  Option.map Shape.realize (best_within ?max_w ?max_h t)
+
 let points t = List.map (fun (s : Shape.t) -> (s.Shape.w, s.Shape.h)) t
 let merge ?cap a b = of_shapes ?cap (a @ b)
 

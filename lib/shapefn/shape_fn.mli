@@ -45,6 +45,15 @@ val best_within : ?max_w:int -> ?max_h:int -> t -> Shape.t option
     the survey's §V geometric constraints, applied to shape functions.
     [None] when no front point fits. *)
 
+val instantiate :
+  ?max_w:int -> ?max_h:int -> t -> Geometry.Transform.placed list option
+(** Instantiate-from-curve: {!best_within} followed by
+    {!Shape.realize} — the concrete placement of the minimum-area
+    front point honoring the box, or [None] when no point fits. This
+    is how a cached topology answers a new outline request without
+    re-annealing (the placement service's rigid hit path; Badaoui &
+    Vemuri's multi-placement query). *)
+
 val points : t -> (int * int) list
 (** The (w, h) Pareto points (for plotting Fig. 8). *)
 
