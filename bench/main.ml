@@ -1057,6 +1057,37 @@ let perf ?(smoke = false) () =
      \"p99\": %.3f},\n"
     tn (q 0.5) (q 0.9) (q 0.99);
   hr ();
+  (* routability estimate overhead: the same arena SA move loop with
+     the RUDY congestion estimator folded into the cost (non-zero
+     routability weight) against the plain three-term cost. The
+     routed-query budget is 2x the plain query — the contract that
+     lets anneals run routability-driven. *)
+  let routed_weights =
+    { weights with Placer.Cost.routability = 1.0 }
+  in
+  let est_move weights estimator =
+    let arena = Placer.Eval.create ?estimator c in
+    let rng = Prelude.Rng.create 45 in
+    let sp = ref (Seqpair.Sp.random rng tn) in
+    let rot = Array.make tn false in
+    fun () ->
+      sp := Seqpair.Moves.random_neighbor rng !sp;
+      ignore (Placer.Eval.cost_seqpair arena weights !sp ~rot)
+  in
+  let r_plain = time_ops (est_move weights None) in
+  let r_routed =
+    time_ops (est_move routed_weights (Some (Route.Estimate.estimator c ())))
+  in
+  let slowdown = r_plain /. max 1.0 r_routed in
+  Printf.printf
+    "route estimate (n=%d): plain %.0f moves/s, routed %.0f moves/s \
+     (%.2fx the plain query; budget 2x)\n"
+    tn r_plain r_routed slowdown;
+  Printf.bprintf buf
+    "  \"route_estimate\": {\"n\": %d, \"moves_per_s_plain\": %.0f, \
+     \"moves_per_s_routed\": %.0f, \"slowdown\": %.2f, \"budget\": 2.0},\n"
+    tn r_plain r_routed slowdown;
+  hr ();
   (* parallel multi-start on the persistent pool: 4 chains spread over
      1/2/4 domains, for both annealing-instrumented engines and both
      exchange disciplines. Deterministic rows must produce the same
@@ -1154,7 +1185,8 @@ let qor () =
     | Some p when String.trim p <> "" -> p
     | _ -> "BENCH_ledger.jsonl"
   in
-  let run_entry (b : Netlist.Benchmarks.bench) engine seed chains =
+  let run_entry ?(route = false) (b : Netlist.Benchmarks.bench) engine seed
+      chains =
     let circuit = b.Netlist.Benchmarks.circuit in
     let hierarchy = b.Netlist.Benchmarks.hierarchy in
     let groups = Constraints.Symmetry_group.of_hierarchy hierarchy in
@@ -1199,9 +1231,20 @@ let qor () =
     let move_rates =
       Telemetry.Qor.move_rates_of_counters (Telemetry.Sink.counters telemetry)
     in
+    (* routed entries carry the router's QoR so the regression gate
+       covers routed wirelength and overflow alongside HPWL *)
+    let routed_wl, route_overflow, route_failed =
+      if not route then (None, None, None)
+      else
+        let r = Route.Router.route_all ~symmetric:groups placement in
+        ( Some r.Route.Router.wirelength,
+          Some r.Route.Router.overflow,
+          Some (List.length r.Route.Router.failed) )
+    in
     let q =
-      Placer.Qor.extract ~groups ~hierarchy ~move_rates ~cost ~wall_s
-        ~sa_rounds ~evaluated placement
+      Placer.Qor.extract ~groups ~hierarchy ~move_rates ?routed_wl
+        ?route_overflow ?route_failed ~cost ~wall_s ~sa_rounds ~evaluated
+        placement
     in
     let chain_qors =
       List.filter
@@ -1213,7 +1256,8 @@ let qor () =
         ~placement:(Placer.Qor.rects placement)
         ~label:b.Netlist.Benchmarks.label
         ~netlist_hash:(Netlist.Circuit.digest circuit)
-        ~engine ~seed
+        ~engine:(if route then engine ^ "+route" else engine)
+        ~seed
         ~schedule:(Anneal.Schedule.to_string Anneal.Schedule.default)
         ~workers:
           (match chains with
@@ -1239,7 +1283,13 @@ let qor () =
   run_entry fig2 "sp" 2 (Some 2);
   run_entry miller "esf" 1 None;
   run_entry miller "hbstar" 1 None;
-  Printf.printf "appended 5 entries to %s\n" path
+  (* the routed suite: deterministic esf placements of the six Table-I
+     circuits, routed to completion — the ledger entries carry
+     routed_wl / route_overflow / route_failed, so `analog_place
+     report` gates routed wirelength and overflow alongside HPWL *)
+  let suite = Netlist.Benchmarks.table1_suite () in
+  List.iter (fun b -> run_entry ~route:true b "esf" 1 None) suite;
+  Printf.printf "appended %d entries to %s\n" (5 + List.length suite) path
 
 (* ------------------------------------------------------------------ *)
 (* E19: placement-as-a-service — cold-miss vs warm-hit latency and     *)
@@ -1345,6 +1395,172 @@ let service_exp ?(smoke = false) () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* E20: negotiated-congestion routing across the Table-I suite —      *)
+(* routed wirelength vs HPWL, estimate vs full-route latency, and     *)
+(* routability-weighted vs HPWL-only annealing                        *)
+
+let pearson xs ys =
+  let n = float_of_int (List.length xs) in
+  if n < 2.0 then 0.0
+  else
+    let mx = Prelude.Stats.mean xs and my = Prelude.Stats.mean ys in
+    let num, dx2, dy2 =
+      List.fold_left2
+        (fun (num, dx2, dy2) x y ->
+          let dx = x -. mx and dy = y -. my in
+          (num +. (dx *. dy), dx2 +. (dx *. dx), dy2 +. (dy *. dy)))
+        (0.0, 0.0, 0.0) xs ys
+    in
+    if dx2 = 0.0 || dy2 = 0.0 then 0.0 else num /. sqrt (dx2 *. dy2)
+
+(* The congestion estimate is ~0.2% of the cost magnitude on the
+   Table-I suite; this weight makes the routability term roughly a
+   tenth of the total so the anneal trades a little HPWL for spread. *)
+let route_weight_for_comparison = 60.0
+
+let route_suite ?(smoke = false) () =
+  section
+    (if smoke then "E20 (route, smoke): negotiated routing sanity run"
+     else
+       "E20 (route): negotiated routing across the Table-I suite — routed \
+        wirelength vs HPWL, estimate vs full route, routability-driven \
+        annealing");
+  let suite = Netlist.Benchmarks.table1_suite () in
+  let suite = if smoke then [ List.hd suite ] else suite in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"schema_version\": 1,\n";
+  Printf.bprintf buf "  \"git_rev\": \"%s\",\n" (Telemetry.Ledger.git_rev ());
+  Printf.bprintf buf "  \"generated_at\": \"%s\",\n"
+    (Telemetry.Ledger.timestamp ());
+  Printf.printf "%-16s | %8s %9s %8s %5s %6s | %12s %12s\n" "circuit" "hpwl"
+    "routed_wl" "overflow" "fail" "iters" "route_ms" "estimate_us";
+  hr ();
+  let last = List.length suite - 1 in
+  let hpwls = ref [] and rwls = ref [] in
+  Buffer.add_string buf "  \"circuits\": [\n";
+  List.iteri
+    (fun i (b : Netlist.Benchmarks.bench) ->
+      let circuit = b.Netlist.Benchmarks.circuit in
+      let hierarchy = b.Netlist.Benchmarks.hierarchy in
+      let groups = Constraints.Symmetry_group.of_hierarchy hierarchy in
+      let r0 =
+        Shapefn.Combine.place ~mode:Shapefn.Combine.Esf circuit hierarchy
+      in
+      let placement = Placer.Placement.make circuit r0.Shapefn.Combine.placed in
+      let hpwl = Placer.Placement.hpwl placement in
+      let t0 = Unix.gettimeofday () in
+      let r = Route.Router.route_all ~symmetric:groups placement in
+      let route_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+      (* the incremental estimate this full route is traded against *)
+      let est = Route.Estimate.create circuit in
+      let est_per_s =
+        time_ops ~budget:(if smoke then 0.02 else 0.1) (fun () ->
+            ignore (Route.Estimate.score_placement est placement))
+      in
+      let estimate_us = 1e6 /. est_per_s in
+      hpwls := hpwl :: !hpwls;
+      rwls := float_of_int r.Route.Router.wirelength :: !rwls;
+      Printf.printf "%-16s | %8.0f %9d %8d %5d %6d | %12.1f %12.2f\n"
+        b.Netlist.Benchmarks.label hpwl r.Route.Router.wirelength
+        r.Route.Router.overflow
+        (List.length r.Route.Router.failed)
+        r.Route.Router.iterations route_ms estimate_us;
+      Printf.bprintf buf
+        "    {\"label\": \"%s\", \"n\": %d, \"hpwl\": %.0f, \"routed_wl\": \
+         %d, \"overflow\": %d, \"failed\": %d, \"iterations\": %d, \
+         \"route_ms\": %.2f, \"estimate_us\": %.2f}%s\n"
+        b.Netlist.Benchmarks.label
+        (Netlist.Circuit.size circuit)
+        hpwl r.Route.Router.wirelength r.Route.Router.overflow
+        (List.length r.Route.Router.failed)
+        r.Route.Router.iterations route_ms estimate_us
+        (if i = last then "" else ","))
+    suite;
+  Buffer.add_string buf "  ],\n";
+  hr ();
+  let corr = pearson !hpwls !rwls in
+  Printf.printf
+    "routed wirelength vs HPWL across the suite: Pearson r = %.3f\n" corr;
+  Printf.bprintf buf "  \"hpwl_routed_wl_pearson\": %.4f,\n" corr;
+  (* routability-driven annealing: the same sp anneal with and without
+     the congestion estimate folded into the cost, both routed with
+     the full negotiated router afterwards *)
+  hr ();
+  Printf.printf "%-16s | %10s %10s | %s\n" "circuit" "wl (hpwl)" "wl (rout)"
+    "routability-weighted wins";
+  hr ();
+  let wins = ref 0 and total = ref 0 in
+  Buffer.add_string buf "  \"anneal_comparison\": [\n";
+  List.iteri
+    (fun i (b : Netlist.Benchmarks.bench) ->
+      let circuit = b.Netlist.Benchmarks.circuit in
+      let hierarchy = b.Netlist.Benchmarks.hierarchy in
+      let groups = Constraints.Symmetry_group.of_hierarchy hierarchy in
+      let n = Netlist.Circuit.size circuit in
+      (* per-move cost grows ~n^2, so the move budget shrinks with n
+         to keep the comparison's wall-clock bounded across the suite *)
+      let params =
+        {
+          (Anneal.Sa.default_params ~n) with
+          Anneal.Sa.max_rounds =
+            (if smoke then 10 else if n > 80 then 15 else if n > 50 then 30
+             else 60);
+          moves_per_round =
+            (if smoke then 30 else if n > 80 then 60 else 120);
+          frozen_rounds = 5;
+        }
+      in
+      let routed_wl_of weights estimator seed =
+        let rng = Prelude.Rng.create seed in
+        let o =
+          Placer.Sa_seqpair.place ~weights ~params ~groups ?estimator ~rng
+            circuit
+        in
+        let r =
+          Route.Router.route_all ~symmetric:groups
+            o.Placer.Sa_seqpair.placement
+        in
+        r.Route.Router.wirelength
+      in
+      let wl_plain = routed_wl_of Placer.Cost.default None 7 in
+      let wl_routed =
+        routed_wl_of
+          {
+            Placer.Cost.default with
+            Placer.Cost.routability = route_weight_for_comparison;
+          }
+          (Some (Route.Estimate.estimator circuit))
+          7
+      in
+      let win = wl_routed < wl_plain in
+      if win then incr wins;
+      incr total;
+      Printf.printf "%-16s | %10d %10d | %s\n" b.Netlist.Benchmarks.label
+        wl_plain wl_routed
+        (if win then "yes" else "no");
+      Printf.bprintf buf
+        "    {\"label\": \"%s\", \"routed_wl_hpwl_only\": %d, \
+         \"routed_wl_routability\": %d, \"win\": %b}%s\n"
+        b.Netlist.Benchmarks.label wl_plain wl_routed win
+        (if i = last then "" else ","))
+    suite;
+  Buffer.add_string buf "  ],\n";
+  Printf.bprintf buf "  \"routability_wins\": {\"wins\": %d, \"of\": %d}\n"
+    !wins !total;
+  Buffer.add_string buf "}\n";
+  Printf.printf "routability-weighted anneal shortened routed wirelength on \
+                 %d of %d circuits\n"
+    !wins !total;
+  if smoke then print_endline "smoke mode: BENCH_route.json left untouched"
+  else begin
+    let oc = open_out "BENCH_route.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_endline "wrote BENCH_route.json"
+  end
+
 let experiments =
   [
     ("fig1", fig1);
@@ -1365,6 +1581,7 @@ let experiments =
     ("perf", fun () -> perf ());
     ("qor", qor);
     ("service", fun () -> service_exp ());
+    ("route-suite", fun () -> route_suite ());
   ]
 
 let () =
@@ -1382,19 +1599,20 @@ let () =
             match name with
             | "perf" -> fun () -> perf ~smoke:true ()
             | "service" -> fun () -> service_exp ~smoke:true ()
+            | "route-suite" -> fun () -> route_suite ~smoke:true ()
             | _ -> f ))
         experiments
     else experiments
   in
   match args with
   | [] ->
-      (* micro/perf/service take minutes and qor writes a ledger file;
-         all four run only when named *)
+      (* micro/perf/service/route-suite take minutes and qor writes a
+         ledger file; all five run only when named *)
       List.iter
         (fun (name, f) ->
           if
             name <> "micro" && name <> "perf" && name <> "qor"
-            && name <> "service"
+            && name <> "service" && name <> "route-suite"
           then f ())
         experiments
   | names ->

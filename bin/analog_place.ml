@@ -136,8 +136,11 @@ let engine_conv =
   let print ppf e = Format.pp_print_string ppf (engine_name e) in
   Arg.conv (parse, print)
 
-let run_place netlist bench engine seed svg quiet cluster validate trace conv
-    metrics workers chains async portfolio ledger infeasible_check outline =
+(* [do_route] comes first so the `route` subcommand is a partial
+   application of the same runner the `--route` flag drives. *)
+let run_place do_route netlist bench engine seed svg quiet cluster validate
+    trace conv metrics workers chains async portfolio ledger infeasible_check
+    outline route_weight =
   let b =
     match (netlist, bench) with
     | Some path, _ -> load_netlist path
@@ -184,6 +187,27 @@ let run_place netlist bench engine seed svg quiet cluster validate trace conv
       exit 1
     end
   end;
+  (* Routability-driven annealing: a non-zero --route-weight folds the
+     probabilistic congestion estimate into the cost of the annealing
+     engines (sp, bstar, tcg, portfolio). Each chain builds its own
+     estimator instance, so parallel chains share nothing mutable. *)
+  let weights =
+    if route_weight > 0.0 then
+      { Placer.Cost.default with Placer.Cost.routability = route_weight }
+    else Placer.Cost.default
+  in
+  let estimator =
+    if route_weight > 0.0 then Some (Route.Estimate.estimator circuit)
+    else None
+  in
+  if
+    route_weight > 0.0 && (not portfolio)
+    && match engine with Sp | Bstar_flat | Tcg -> false | _ -> true
+  then
+    Printf.eprintf
+      "note: --route-weight only drives the annealing engines (sp, bstar, \
+       tcg, --portfolio); %s ignores it\n"
+      (engine_name engine);
   let mode = if async then `Async else `Deterministic in
   (* --async with no explicit geometry still means the parallel path:
      default to one chain per available worker *)
@@ -201,9 +225,9 @@ let run_place netlist bench engine seed svg quiet cluster validate trace conv
     if portfolio then (
       let o =
         try
-          Placer.Portfolio.race ~groups ?workers ?chains ~hierarchy ?validate
-            ~feasibility_check:infeasible_check ?outline ~telemetry ~rng
-            circuit
+          Placer.Portfolio.race ~weights ~groups ?workers ?chains ~hierarchy
+            ?validate ~feasibility_check:infeasible_check ?outline ?estimator
+            ~telemetry ~rng circuit
         with Analysis.Invariant.Violation (ctx, ds) ->
           Format.eprintf "%s:@.%a" ctx Analysis.Diagnostic.pp_list ds;
           Printf.eprintf "input proven infeasible; not placing\n";
@@ -229,8 +253,8 @@ let run_place netlist bench engine seed svg quiet cluster validate trace conv
       match engine with
       | Sp ->
           let o =
-            Placer.Sa_seqpair.place ~groups ?validate ?workers ?chains ~mode
-              ~telemetry ~rng circuit
+            Placer.Sa_seqpair.place ~weights ~groups ?validate ?workers
+              ?chains ~mode ?estimator ~telemetry ~rng circuit
           in
           ( o.Placer.Sa_seqpair.placement.Placer.Placement.placed,
             Some o.Placer.Sa_seqpair.cost,
@@ -238,8 +262,8 @@ let run_place netlist bench engine seed svg quiet cluster validate trace conv
             o.Placer.Sa_seqpair.evaluated )
       | Bstar_flat ->
           let o =
-            Placer.Sa_bstar.place ?validate ?workers ?chains ~mode ~telemetry
-              ~rng circuit
+            Placer.Sa_bstar.place ~weights ?validate ?workers ?chains ~mode
+              ?estimator ~telemetry ~rng circuit
           in
           ( o.Placer.Sa_bstar.placement.Placer.Placement.placed,
             Some o.Placer.Sa_bstar.cost,
@@ -247,8 +271,8 @@ let run_place netlist bench engine seed svg quiet cluster validate trace conv
             o.Placer.Sa_bstar.evaluated )
       | Tcg ->
           let o =
-            Placer.Sa_tcg.place ?validate ?workers ?chains ~mode ~telemetry
-              ~rng circuit
+            Placer.Sa_tcg.place ~weights ?validate ?workers ?chains ~mode
+              ?estimator ~telemetry ~rng circuit
           in
           ( o.Placer.Sa_tcg.placement.Placer.Placement.placed,
             Some o.Placer.Sa_tcg.cost,
@@ -305,6 +329,35 @@ let run_place netlist bench engine seed svg quiet cluster validate trace conv
         | Ok _ -> "exact"
         | Error _ -> "not enforced by this engine"))
     groups;
+  (* The routed flow: negotiated-congestion routing over the final
+     placement, mirrored across the symmetry axes, power comb first. *)
+  let route_result =
+    if not do_route then None
+    else begin
+      let r0 = Unix.gettimeofday () in
+      let r = Route.Router.route_all ~symmetric:groups placement in
+      let r_s = Unix.gettimeofday () -. r0 in
+      Printf.printf
+        "routed %d/%d nets: wirelength %d, overflow %d, %d iterations, %d \
+         mirrored pairs, %.2fs\n"
+        (List.length r.Route.Router.routed)
+        (List.length r.Route.Router.routed
+        + List.length r.Route.Router.failed)
+        r.Route.Router.wirelength r.Route.Router.overflow
+        r.Route.Router.iterations
+        (List.length r.Route.Router.mirrored_pairs)
+        r_s;
+      List.iter
+        (fun (f : Route.Router.failure) ->
+          Printf.printf "  failed %s (%s)\n" f.Route.Router.failed_net
+            (Route.Router.reason_to_string f.Route.Router.reason))
+        r.Route.Router.failed;
+      List.iter
+        (fun (a, b) -> Printf.printf "  mirrored %s <-> %s\n" a b)
+        r.Route.Router.mirrored_pairs;
+      Some r
+    end
+  in
   if not quiet then
     print_string
       (Placer.Plot.ascii ~width:72
@@ -312,7 +365,23 @@ let run_place netlist bench engine seed svg quiet cluster validate trace conv
          placement);
   (match svg with
   | Some path ->
-      write_or_die path (Placer.Plot.svg placement);
+      (match route_result with
+      | None -> write_or_die path (Placer.Plot.svg placement)
+      | Some r ->
+          (* grid cell -> layout coordinates (inverse of Grid.snap) *)
+          let layout_of =
+            List.map (fun (c, rr) ->
+                ( (c - Route.Router.default_margin) * Route.Router.default_pitch,
+                  (rr - Route.Router.default_margin) * Route.Router.default_pitch
+                ))
+          in
+          let wires =
+            List.map
+              (fun (rt : Route.Router.route) -> layout_of rt.Route.Router.points)
+              r.Route.Router.routed
+          in
+          let power = List.map layout_of r.Route.Router.power in
+          write_or_die path (Placer.Plot.svg_full ~power ~wires placement));
       Printf.printf "wrote %s\n" path
   | None -> ());
   (match trace with
@@ -345,9 +414,18 @@ let run_place netlist bench engine seed svg quiet cluster validate trace conv
       let move_rates =
         Telemetry.Qor.move_rates_of_counters (Telemetry.Sink.counters telemetry)
       in
+      let routed_wl, route_overflow, route_failed =
+        match route_result with
+        | None -> (None, None, None)
+        | Some r ->
+            ( Some r.Route.Router.wirelength,
+              Some r.Route.Router.overflow,
+              Some (List.length r.Route.Router.failed) )
+      in
       let qor =
-        Placer.Qor.extract ~groups ~hierarchy ~move_rates ~cost ~wall_s
-          ~sa_rounds ~evaluated placement
+        Placer.Qor.extract ~groups ~hierarchy ~move_rates ?routed_wl
+          ?route_overflow ?route_failed ~cost ~wall_s ~sa_rounds ~evaluated
+          placement
       in
       let chain_qors =
         List.filter
@@ -387,7 +465,10 @@ let run_place netlist bench engine seed svg quiet cluster validate trace conv
           Printf.eprintf "error: cannot write %s: %s\n" path msg;
           exit 2)
 
-let place_cmd =
+(* One argument spec serves both `place` (routing behind --route) and
+   `route` (routing always on) — the commands differ only in how the
+   leading [do_route] parameter of [run_place] is bound. *)
+let place_term ~route =
   let netlist =
     Arg.(
       value
@@ -545,12 +626,46 @@ let place_cmd =
              prover's fit obligations. Without it, only outline-independent \
              checks run.")
   in
+  let do_route =
+    if route then Term.const true
+    else
+      Arg.(
+        value & flag
+        & info [ "route" ]
+            ~doc:
+              "Route every net after placing: power comb first, then \
+               negotiated rip-up-and-reroute with mirrored symmetric \
+               twins. Prints routed wirelength / overflow / failures, \
+               records them in the ledger, and layers the wiring into \
+               --svg output.")
+  in
+  let route_weight =
+    Arg.(
+      value & opt float 0.0
+      & info [ "route-weight" ] ~docv:"W"
+          ~doc:
+            "Fold the probabilistic congestion estimate into the annealing \
+             cost with this weight (sp, bstar, tcg and --portfolio \
+             engines): the anneal becomes routability-driven. 0 keeps the \
+             classic three-term cost.")
+  in
+  Term.(
+    const run_place $ do_route $ netlist $ bench $ engine $ seed $ svg $ quiet
+    $ cluster $ validate $ trace $ conv $ metrics $ workers $ chains $ async
+    $ portfolio $ ledger $ infeasible_check $ outline $ route_weight)
+
+let place_cmd =
+  Cmd.v (Cmd.info "place" ~doc:"Place an analog circuit") (place_term ~route:false)
+
+let route_cmd =
   Cmd.v
-    (Cmd.info "place" ~doc:"Place an analog circuit")
-    Term.(
-      const run_place $ netlist $ bench $ engine $ seed $ svg $ quiet $ cluster
-      $ validate $ trace $ conv $ metrics $ workers $ chains $ async
-      $ portfolio $ ledger $ infeasible_check $ outline)
+    (Cmd.info "route"
+       ~doc:
+         "Place and route an analog circuit: placement as $(b,place), then \
+          power distribution and negotiated-congestion routing with \
+          mirrored symmetric nets. Same flags as $(b,place); --svg layers \
+          the power comb and signal wiring over the floorplan.")
+    (place_term ~route:true)
 
 (* ---- report ------------------------------------------------------ *)
 
@@ -1195,6 +1310,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "analog_place" ~version:"1.0" ~doc)
           [
-            place_cmd; report_cmd; size_cmd; info_cmd; lint_cmd;
+            place_cmd; route_cmd; report_cmd; size_cmd; info_cmd; lint_cmd;
             verify_cmd; batch_cmd; serve_cmd;
           ]))

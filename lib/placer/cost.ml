@@ -3,13 +3,26 @@ type weights = {
   wirelength : float;
   aspect : float;
   target_aspect : float;
+  routability : float;
 }
 
 let area_only =
-  { area = 1.0; wirelength = 0.0; aspect = 0.0; target_aspect = 1.0 }
+  {
+    area = 1.0;
+    wirelength = 0.0;
+    aspect = 0.0;
+    target_aspect = 1.0;
+    routability = 0.0;
+  }
 
 let default =
-  { area = 1.0; wirelength = 0.2; aspect = 0.0; target_aspect = 1.0 }
+  {
+    area = 1.0;
+    wirelength = 0.2;
+    aspect = 0.0;
+    target_aspect = 1.0;
+    routability = 0.0;
+  }
 
 (* The full weighted sum from already-computed scalars: the single
    definition both the list path ([evaluate]) and the allocation-free
@@ -34,6 +47,13 @@ let terms w ~width ~height ~hpwl =
 let compose w ~width ~height ~hpwl =
   let t_area, t_wl, t_aspect = terms w ~width ~height ~hpwl in
   t_area +. t_wl +. t_aspect
+
+(* [route] is a raw congestion estimate (e.g. [Route.Estimate]); its
+   addend is [routability *. route], so with the default zero weight —
+   or a zero estimate — the product is +0.0 and the sum is bit-identical
+   to the three-term [compose] every existing caller sees. *)
+let compose_routed w ~route ~width ~height ~hpwl =
+  compose w ~width ~height ~hpwl +. (w.routability *. route)
 
 let evaluate w p =
   compose w ~width:(Placement.width p) ~height:(Placement.height p)

@@ -9,11 +9,16 @@ type weights = {
   wirelength : float;
   aspect : float;  (** weight of the aspect-ratio deviation term *)
   target_aspect : float;  (** desired w/h, usually 1.0 *)
+  routability : float;
+      (** weight of the routing-congestion estimate (see
+          [Route.Estimate] and {!Eval.create}'s [estimator]); 0 in
+          {!default}, which keeps every cost bit-identical to the
+          pre-routability three-term sum *)
 }
 
 val area_only : weights
 val default : weights
-(** area 1.0, wirelength 0.2, aspect 0. *)
+(** area 1.0, wirelength 0.2, aspect 0, routability 0. *)
 
 val evaluate : weights -> Placement.t -> float
 
@@ -22,6 +27,14 @@ val compose : weights -> width:int -> height:int -> hpwl:float -> float
     wirelength. [evaluate] and the allocation-free {!Eval} arena both
     delegate here, so list-based and array-based evaluation agree to
     the last bit. *)
+
+val compose_routed :
+  weights -> route:float -> width:int -> height:int -> hpwl:float -> float
+(** {!compose} plus the routability addend [routability *. route],
+    where [route] is a raw congestion estimate (see [Route.Estimate]
+    and {!Eval.estimator}). Delegates to {!compose} for the first
+    three terms, so with a zero [routability] weight or a zero
+    estimate the sum is bit-identical to {!compose}. *)
 
 val terms : weights -> width:int -> height:int -> hpwl:float -> float * float * float
 (** The three addends of {!compose} — (area term, wirelength term,

@@ -8,6 +8,9 @@
    area + HPWL in one pass over them. The list-returning APIs remain
    available for materializing the final best state. *)
 
+type estimator =
+  x:int array -> y:int array -> w:int array -> h:int array -> float
+
 type t = {
   circuit : Netlist.Circuit.t;
   n : int;
@@ -22,6 +25,7 @@ type t = {
   scratch : Seqpair.Pack.scratch;
   contour : Geometry.Contour.scratch;  (* B*-tree packing profile *)
   nets : Netlist.Wirelength.flat;
+  estimator : estimator option;  (* congestion term for [finish] *)
   tel : Telemetry.Sink.t;
   evals : Telemetry.Counter.t;  (* pre-resolved handles; dead when off *)
   bstar_packs : Telemetry.Counter.t;
@@ -30,7 +34,7 @@ type t = {
   mutable last_hpwl : float;
 }
 
-let create ?(telemetry = Telemetry.Sink.null) circuit =
+let create ?(telemetry = Telemetry.Sink.null) ?estimator circuit =
   let n = Netlist.Circuit.size circuit in
   let base_w = Array.make (max 1 n) 0 and base_h = Array.make (max 1 n) 0 in
   for c = 0 to n - 1 do
@@ -52,6 +56,7 @@ let create ?(telemetry = Telemetry.Sink.null) circuit =
     scratch = Seqpair.Pack.scratch ~telemetry (max 1 n);
     contour = Geometry.Contour.scratch ((2 * max 1 n) + 1);
     nets = Netlist.Wirelength.flatten circuit.Netlist.Circuit.nets;
+    estimator;
     tel = telemetry;
     evals = Telemetry.Sink.counter telemetry "eval.costs";
     bstar_packs = Telemetry.Sink.counter telemetry "bstar.packs";
@@ -96,7 +101,18 @@ let finish t weights =
   t.last_h <- !height;
   t.last_hpwl <- hpwl;
   let t1 = Telemetry.Sink.lap t.tel "eval.hpwl" t0 in
-  let cost = Cost.compose weights ~width:!width ~height:!height ~hpwl in
+  (* the congestion estimate only runs when a non-zero weight can see
+     it: a zero-weight query stays exactly the three-term cost at
+     exactly the old latency *)
+  let route =
+    match t.estimator with
+    | Some f when weights.Cost.routability <> 0.0 ->
+        f ~x:t.x ~y:t.y ~w:t.w ~h:t.h
+    | _ -> 0.0
+  in
+  let cost =
+    Cost.compose_routed weights ~route ~width:!width ~height:!height ~hpwl
+  in
   Telemetry.Sink.span_end t.tel "eval.compose" t1;
   cost
 

@@ -20,8 +20,20 @@
 
 type t
 
-val create : ?telemetry:Telemetry.Sink.t -> Netlist.Circuit.t -> t
-(** Buffers sized to the circuit; nets flattened once.
+type estimator =
+  x:int array -> y:int array -> w:int array -> h:int array -> float
+(** A routing-congestion estimate over the arena's per-cell geometry
+    arrays (indexed by cell, lengths [max 1 n]). Called on every cost
+    query whose weights carry a non-zero [routability], so
+    implementations must be allocation-light and may keep private
+    mutable scratch — one closure per arena, never shared across
+    domains. [Route.Estimate.estimator] is the canonical producer. *)
+
+val create :
+  ?telemetry:Telemetry.Sink.t -> ?estimator:estimator -> Netlist.Circuit.t -> t
+(** Buffers sized to the circuit; nets flattened once. [estimator]
+    (default none) adds a congestion addend to every cost query under
+    non-zero [Cost.routability] — see {!estimator}.
 
     With a live [telemetry] sink (default {!Telemetry.Sink.null}) every
     cost query records nested spans — [eval.cost] over [eval.pack],

@@ -95,7 +95,7 @@ let svg ?(scale = 0.25) ?labels p =
   Buffer.add_string buf "</svg>\n";
   Buffer.contents buf
 
-let svg_full ?(scale = 0.25) ?(rings = []) ?(wires = []) p =
+let svg_full ?(scale = 0.25) ?(rings = []) ?(power = []) ?(wires = []) p =
   let base = svg ~scale p in
   (* splice extra elements before the closing tag *)
   let cut = String.length base - String.length "</svg>\n" in
@@ -105,6 +105,26 @@ let svg_full ?(scale = 0.25) ?(rings = []) ?(wires = []) p =
   ignore bw;
   let buf = Buffer.create 1024 in
   Buffer.add_string buf head;
+  (* power rails under the signal wires: thick dark strokes, no hue
+     rotation, so the supply comb reads as infrastructure *)
+  List.iter
+    (fun points ->
+      match points with
+      | [] | [ _ ] -> ()
+      | _ ->
+          let coords =
+            String.concat " "
+              (List.map
+                 (fun (x, y) -> Printf.sprintf "%.1f,%.1f" (s x) (bh -. s y))
+                 points)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<polyline points=\"%s\" fill=\"none\" stroke=\"#555\" \
+                stroke-width=\"2.4\" stroke-opacity=\"0.6\" \
+                stroke-linecap=\"square\"/>\n"
+               coords))
+    power;
   List.iter
     (fun (r : Geometry.Rect.t) ->
       let y = bh -. s (Geometry.Rect.y_max r) in
@@ -137,9 +157,9 @@ let svg_full ?(scale = 0.25) ?(rings = []) ?(wires = []) p =
   Buffer.add_string buf "</svg>\n";
   Buffer.contents buf
 
-let write_svg_full ~path ?scale ?rings ?wires p =
+let write_svg_full ~path ?scale ?rings ?power ?wires p =
   let oc = open_out path in
-  output_string oc (svg_full ?scale ?rings ?wires p);
+  output_string oc (svg_full ?scale ?rings ?power ?wires p);
   close_out oc
 
 let write_svg ~path ?scale p =

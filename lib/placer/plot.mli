@@ -23,16 +23,20 @@ val write_svg : path:string -> ?scale:float -> Placement.t -> unit
 val svg_full :
   ?scale:float ->
   ?rings:Geometry.Rect.t list ->
+  ?power:(int * int) list list ->
   ?wires:(int * int) list list ->
   Placement.t ->
   string
-(** Like {!svg} plus guard-ring segments (hatched) and routed wires
-    (polylines through layout-coordinate points). *)
+(** Like {!svg} plus guard-ring segments (hatched), power-rail
+    segments ([power], drawn first as thick gray strokes so the
+    supply comb sits under the signals), and routed wires (colored
+    polylines). All coordinates are layout units. *)
 
 val write_svg_full :
   path:string ->
   ?scale:float ->
   ?rings:Geometry.Rect.t list ->
+  ?power:(int * int) list list ->
   ?wires:(int * int) list list ->
   Placement.t ->
   unit

@@ -164,10 +164,12 @@ let steps ~finished ~step k =
     decr budget
   done
 
-let sp_runner ~validate ~weights ~groups ~params circuit tel seed =
+let sp_runner ~validate ?estimator ~weights ~groups ~params circuit tel seed =
   let n = Netlist.Circuit.size circuit in
   let rng = Prelude.Rng.create seed in
-  let problem = Sa_seqpair.problem_of ~validate ~weights ~groups circuit tel rng in
+  let problem =
+    Sa_seqpair.problem_of ~validate ?estimator ~weights ~groups circuit tel rng
+  in
   let chain = Anneal.Sa.start ~telemetry:tel ~rng params problem in
   let extra = ref 0 in
   {
@@ -200,10 +202,12 @@ let sp_runner ~validate ~weights ~groups ~params circuit tel seed =
         (Anneal.Sa.outcome_of_chain chain).Anneal.Sa.evaluated + !extra);
   }
 
-let bstar_runner ~validate ~weights ~params circuit tel seed =
+let bstar_runner ~validate ?estimator ~weights ~params circuit tel seed =
   let rng = Prelude.Rng.create seed in
   let tbl = Sa_bstar.dims_table circuit in
-  let problem = Sa_bstar.problem_of ~validate ~weights circuit tel rng in
+  let problem =
+    Sa_bstar.problem_of ~validate ?estimator ~weights circuit tel rng
+  in
   let chain = Anneal.Sa.mstart ~telemetry:tel ~rng params problem in
   let extra = ref 0 in
   {
@@ -236,10 +240,12 @@ let bstar_runner ~validate ~weights ~params circuit tel seed =
         (Anneal.Sa.moutcome_of_chain chain).Anneal.Sa.evaluated + !extra);
   }
 
-let tcg_runner ~validate ~weights ~params circuit tel seed =
+let tcg_runner ~validate ?estimator ~weights ~params circuit tel seed =
   let n = Netlist.Circuit.size circuit in
   let rng = Prelude.Rng.create seed in
-  let problem = Sa_tcg.problem_of ~validate ~weights circuit tel rng in
+  let problem =
+    Sa_tcg.problem_of ~validate ?estimator ~weights circuit tel rng
+  in
   let chain = Anneal.Sa.start ~telemetry:tel ~rng params problem in
   let extra = ref 0 in
   {
@@ -313,8 +319,8 @@ let default_engines ~n ~groups ~hierarchy =
 
 let race ?(weights = Cost.default) ?params ?(groups = []) ?pool ?workers
     ?(chains = 1) ?engines ?hierarchy ?bar ?(exchange_every = 32) ?validate
-    ?(feasibility_check = false) ?outline ?(telemetry = Telemetry.Sink.null)
-    ~rng circuit =
+    ?(feasibility_check = false) ?outline ?estimator
+    ?(telemetry = Telemetry.Sink.null) ~rng circuit =
   let validate =
     match validate with
     | Some v -> v
@@ -380,12 +386,14 @@ let race ?(weights = Cost.default) ?params ?(groups = []) ?pool ?workers
     Array.init k (fun i ->
         match spec.(i) with
         | Sp ->
-            sp_runner ~validate ~weights ~groups ~params circuit tels.(i)
-              seeds.(i)
+            sp_runner ~validate ?estimator ~weights ~groups ~params circuit
+              tels.(i) seeds.(i)
         | Bstar ->
-            bstar_runner ~validate ~weights ~params circuit tels.(i) seeds.(i)
+            bstar_runner ~validate ?estimator ~weights ~params circuit tels.(i)
+              seeds.(i)
         | Tcg ->
-            tcg_runner ~validate ~weights ~params circuit tels.(i) seeds.(i)
+            tcg_runner ~validate ?estimator ~weights ~params circuit tels.(i)
+              seeds.(i)
         | Esf -> (
             match hierarchy with
             | Some h -> esf_runner ~weights circuit h tels.(i)

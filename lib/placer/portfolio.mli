@@ -77,6 +77,7 @@ val race :
   ?validate:bool ->
   ?feasibility_check:bool ->
   ?outline:int * int ->
+  ?estimator:(unit -> Eval.estimator) ->
   ?telemetry:Telemetry.Sink.t ->
   rng:Prelude.Rng.t ->
   Netlist.Circuit.t ->
@@ -110,6 +111,11 @@ val race :
     input is infeasible ([outline] is forwarded as the fixed-outline
     obligation) — every error the prover emits is engine-independent,
     so no entrant could have won.
+
+    [estimator] is the per-chain congestion-estimator factory
+    ({!Eval.estimator}); under a non-zero [weights.routability] every
+    SA entrant (SP, B*-tree, TCG) anneals routability-driven. The
+    one-shot Esf enumerator ignores it.
 
     [validate] (default the [ANALOG_VALIDATE=1] switch) runs each
     engine's own move-level sanitizer {e and} audits every published

@@ -24,6 +24,9 @@ val extract :
   ?hierarchy:Netlist.Hierarchy.t ->
   ?outline:int * int ->
   ?move_rates:(string * int * int) list ->
+  ?routed_wl:int ->
+  ?route_overflow:int ->
+  ?route_failed:int ->
   cost:float ->
   wall_s:float ->
   sa_rounds:int ->
@@ -33,7 +36,10 @@ val extract :
 (** The full run-level record: cost terms recomputed via {!Cost.terms}
     (default weights {!Cost.default}), geometry from the placement,
     dead-space percentage, [outline_fit] when a fixed [(w, h)] outline
-    is given, and {!violations} of the stated constraints. *)
+    is given, and {!violations} of the stated constraints. The routed
+    QoR triple ([routed_wl] / [route_overflow] / [route_failed]) is
+    passed through when the flow ran the router and omitted from the
+    JSON otherwise. *)
 
 val rects : Placement.t -> Telemetry.Ledger.rect list
 (** The placed rectangles with their cell names, in cell order — what

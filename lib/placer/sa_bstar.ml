@@ -67,9 +67,10 @@ let audit circuit tbl st =
     (Analysis.Invariant.audit_placed ~n
        (Bstar.Tree.pack tree (dims_of tbl st.rot)))
 
-let problem_of ?(validate = false) ~weights circuit telemetry rng =
+let problem_of ?(validate = false) ?estimator ~weights circuit telemetry rng =
   let n = Netlist.Circuit.size circuit in
-  let arena = Eval.create ~telemetry circuit in
+  (* per-chain estimator closure, as Sa_seqpair.problem_of *)
+  let arena = Eval.create ~telemetry ?estimator:(Option.map (fun f -> f ()) estimator) circuit in
   let mv = Telemetry.Sink.register_moves telemetry [| "tree"; "rotation" |] in
   let tbl = dims_table circuit in
   let state =
@@ -119,8 +120,8 @@ let problem_of ?(validate = false) ~weights circuit telemetry rng =
   end
 
 let place ?(weights = Cost.default) ?params ?workers ?chains
-    ?(mode = `Deterministic) ?validate ?(telemetry = Telemetry.Sink.null) ~rng
-    circuit =
+    ?(mode = `Deterministic) ?validate ?estimator
+    ?(telemetry = Telemetry.Sink.null) ~rng circuit =
   let validate =
     match validate with
     | Some v -> v
@@ -135,7 +136,7 @@ let place ?(weights = Cost.default) ?params ?workers ?chains
   | None, None ->
       let result =
         Anneal.Sa.run_mutable ~telemetry ~rng params
-          (problem_of ~validate ~weights circuit telemetry rng)
+          (problem_of ~validate ?estimator ~weights circuit telemetry rng)
       in
       {
         placement = evaluate circuit tbl result.Anneal.Sa.best;
@@ -161,7 +162,7 @@ let place ?(weights = Cost.default) ?params ?workers ?chains
       in
       let result =
         runner ?workers ?check ~telemetry ~engine:"bstar" ~seeds params
-          (problem_of ~validate ~weights circuit)
+          (problem_of ~validate ?estimator ~weights circuit)
       in
       {
         placement = evaluate circuit tbl result.Anneal.Parallel.best;

@@ -29,6 +29,7 @@ val dims_table : Netlist.Circuit.t -> (int * int) array array
 
 val problem_of :
   ?validate:bool ->
+  ?estimator:(unit -> Eval.estimator) ->
   weights:Cost.weights ->
   Netlist.Circuit.t ->
   Telemetry.Sink.t ->
@@ -36,7 +37,8 @@ val problem_of :
   state Anneal.Sa.mproblem
 (** One in-place annealing problem for one chain (private flat tree,
     rotation vector and {!Eval} arena); see
-    {!Sa_seqpair.problem_of}. *)
+    {!Sa_seqpair.problem_of}, including the per-chain [estimator]
+    factory semantics. *)
 
 val evaluate : Netlist.Circuit.t -> (int * int) array array -> state -> Placement.t
 (** Materialize a state through the pointer-tree packer. *)
@@ -48,6 +50,7 @@ val place :
   ?chains:int ->
   ?mode:[ `Deterministic | `Async ] ->
   ?validate:bool ->
+  ?estimator:(unit -> Eval.estimator) ->
   ?telemetry:Telemetry.Sink.t ->
   rng:Prelude.Rng.t ->
   Netlist.Circuit.t ->

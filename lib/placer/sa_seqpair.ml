@@ -82,9 +82,12 @@ let evaluate circuit groups st =
    chain's rng, its own evaluation arena (the arena is mutable and must
    never be shared across domains) and its own telemetry sink (ditto —
    Parallel hands each chain a private child). *)
-let problem_of ?(validate = false) ~weights ~groups circuit telemetry rng =
+let problem_of ?(validate = false) ?estimator ~weights ~groups circuit telemetry
+    rng =
   let n = Netlist.Circuit.size circuit in
-  let arena = Eval.create ~telemetry circuit in
+  (* the factory runs per chain: each arena gets a private estimator
+     closure (they carry mutable scratch and chains cross domains) *)
+  let arena = Eval.create ~telemetry ?estimator:(Option.map (fun f -> f ()) estimator) circuit in
   let mv = Telemetry.Sink.register_moves telemetry [| "seqpair"; "rotation" |] in
   let init_sp =
     match groups with
@@ -123,8 +126,8 @@ let problem_of ?(validate = false) ~weights ~groups circuit telemetry rng =
   end
 
 let place ?(weights = Cost.default) ?params ?(groups = []) ?workers ?chains
-    ?(mode = `Deterministic) ?validate ?(telemetry = Telemetry.Sink.null) ~rng
-    circuit =
+    ?(mode = `Deterministic) ?validate ?estimator
+    ?(telemetry = Telemetry.Sink.null) ~rng circuit =
   let validate =
     match validate with
     | Some v -> v
@@ -136,7 +139,9 @@ let place ?(weights = Cost.default) ?params ?(groups = []) ?workers ?chains
   in
   match (workers, chains) with
   | None, None ->
-      let problem = problem_of ~validate ~weights ~groups circuit telemetry rng in
+      let problem =
+        problem_of ~validate ?estimator ~weights ~groups circuit telemetry rng
+      in
       let result = Anneal.Sa.run ~telemetry ~rng params problem in
       {
         placement = evaluate circuit groups result.Anneal.Sa.best;
@@ -166,7 +171,7 @@ let place ?(weights = Cost.default) ?params ?(groups = []) ?workers ?chains
       in
       let result =
         runner ?workers ?check ~telemetry ~engine:"sp" ~seeds params
-          (problem_of ~validate ~weights ~groups circuit)
+          (problem_of ~validate ?estimator ~weights ~groups circuit)
       in
       {
         placement = evaluate circuit groups result.Anneal.Parallel.best;

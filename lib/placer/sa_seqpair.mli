@@ -24,6 +24,7 @@ type outcome = {
 
 val problem_of :
   ?validate:bool ->
+  ?estimator:(unit -> Eval.estimator) ->
   weights:Cost.weights ->
   groups:Constraints.Symmetry_group.t list ->
   Netlist.Circuit.t ->
@@ -33,7 +34,11 @@ val problem_of :
 (** One annealing problem for one chain: its own initial code drawn
     from [rng], its own {!Eval} arena, its own move tallies in the
     given sink. This is what {!place} hands to {!Anneal.Parallel};
-    {!Portfolio} uses it to enter sequence-pair chains in a race. *)
+    {!Portfolio} uses it to enter sequence-pair chains in a race.
+    [estimator] is a factory for per-chain congestion estimators
+    (called once here, so every chain owns its scratch — see
+    {!Eval.estimator}); it only affects costs under a non-zero
+    [weights.routability]. *)
 
 val evaluate :
   Netlist.Circuit.t ->
@@ -59,12 +64,14 @@ val place :
   ?chains:int ->
   ?mode:[ `Deterministic | `Async ] ->
   ?validate:bool ->
+  ?estimator:(unit -> Eval.estimator) ->
   ?telemetry:Telemetry.Sink.t ->
   rng:Prelude.Rng.t ->
   Netlist.Circuit.t ->
   outcome
 (** Default weights {!Cost.default}; default SA parameters scale with
-    the circuit size.
+    the circuit size. [estimator] makes the anneal routability-driven
+    under a non-zero [weights.routability] — see {!problem_of}.
 
     When [workers] or [chains] is given, runs {!Anneal.Parallel}
     multi-start annealing: [chains] independent seeded chains (default

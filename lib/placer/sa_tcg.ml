@@ -30,9 +30,33 @@ let audit circuit st =
    initial graph drawn from the chain's rng, private telemetry sink.
    The TCG arm evaluates through the list path; a single enclosing
    span still puts its evaluation cost on the trace. *)
-let problem_of ?(validate = false) ~weights circuit telemetry rng =
+let problem_of ?(validate = false) ?estimator ~weights circuit telemetry rng =
   let n = Netlist.Circuit.size circuit in
   let mv = Telemetry.Sink.register_moves telemetry [| "tcg"; "rotation" |] in
+  (* the TCG arm evaluates through the list path; with a routability
+     weight the congestion estimate reads per-cell geometry copied
+     from the materialized placement into per-chain arrays *)
+  let route_term =
+    match estimator with
+    | Some f when weights.Cost.routability <> 0.0 ->
+        let est = f () in
+        let xs = Array.make (max 1 n) 0
+        and ys = Array.make (max 1 n) 0
+        and ws = Array.make (max 1 n) 0
+        and hs = Array.make (max 1 n) 0 in
+        fun (p : Placement.t) ->
+          List.iter
+            (fun (pl : Geometry.Transform.placed) ->
+              let r = pl.Geometry.Transform.rect in
+              let c = pl.Geometry.Transform.cell in
+              xs.(c) <- r.Geometry.Rect.x;
+              ys.(c) <- r.Geometry.Rect.y;
+              ws.(c) <- r.Geometry.Rect.w;
+              hs.(c) <- r.Geometry.Rect.h)
+            p.Placement.placed;
+          est ~x:xs ~y:ys ~w:ws ~h:hs
+    | _ -> fun _ -> 0.0
+  in
   let init =
     {
       tcg = Seqpair.Tcg.of_seqpair (Seqpair.Sp.random rng n);
@@ -54,7 +78,10 @@ let problem_of ?(validate = false) ~weights circuit telemetry rng =
   in
   let cost st =
     Telemetry.Sink.time telemetry "eval.cost" (fun () ->
-        Cost.evaluate weights (evaluate circuit st))
+        let p = evaluate circuit st in
+        let route = route_term p in
+        Cost.compose_routed weights ~route ~width:(Placement.width p)
+          ~height:(Placement.height p) ~hpwl:(Placement.hpwl p))
   in
   if not validate then { Anneal.Sa.init; neighbor; cost }
   else begin
@@ -68,8 +95,8 @@ let problem_of ?(validate = false) ~weights circuit telemetry rng =
   end
 
 let place ?(weights = Cost.default) ?params ?workers ?chains
-    ?(mode = `Deterministic) ?validate ?(telemetry = Telemetry.Sink.null) ~rng
-    circuit =
+    ?(mode = `Deterministic) ?validate ?estimator
+    ?(telemetry = Telemetry.Sink.null) ~rng circuit =
   let validate =
     match validate with
     | Some v -> v
@@ -81,7 +108,9 @@ let place ?(weights = Cost.default) ?params ?workers ?chains
   in
   match (workers, chains) with
   | None, None ->
-      let problem = problem_of ~validate ~weights circuit telemetry rng in
+      let problem =
+        problem_of ~validate ?estimator ~weights circuit telemetry rng
+      in
       let result = Anneal.Sa.run ~telemetry ~rng params problem in
       {
         placement = evaluate circuit result.Anneal.Sa.best;
@@ -107,7 +136,7 @@ let place ?(weights = Cost.default) ?params ?workers ?chains
       in
       let result =
         runner ?workers ?check ~telemetry ~engine:"tcg" ~seeds params
-          (problem_of ~validate ~weights circuit)
+          (problem_of ~validate ?estimator ~weights circuit)
       in
       {
         placement = evaluate circuit result.Anneal.Parallel.best;

@@ -15,13 +15,17 @@ type outcome = {
 
 val problem_of :
   ?validate:bool ->
+  ?estimator:(unit -> Eval.estimator) ->
   weights:Cost.weights ->
   Netlist.Circuit.t ->
   Telemetry.Sink.t ->
   Prelude.Rng.t ->
   state Anneal.Sa.problem
 (** One annealing problem for one chain; see
-    {!Sa_seqpair.problem_of}. *)
+    {!Sa_seqpair.problem_of}, including the per-chain [estimator]
+    factory. The TCG arm evaluates through the list path, so a
+    routability-weighted query copies the materialized geometry into
+    per-chain arrays before estimating. *)
 
 val evaluate : Netlist.Circuit.t -> state -> Placement.t
 (** Materialize a state through the TCG packer. *)
@@ -33,6 +37,7 @@ val place :
   ?chains:int ->
   ?mode:[ `Deterministic | `Async ] ->
   ?validate:bool ->
+  ?estimator:(unit -> Eval.estimator) ->
   ?telemetry:Telemetry.Sink.t ->
   rng:Prelude.Rng.t ->
   Netlist.Circuit.t ->

@@ -1,0 +1,74 @@
+(** Negotiated-congestion routing state (PathFinder).
+
+    Shared substrate for the rip-up-and-reroute loop in {!Router}:
+    per-cell capacity / present-usage / history arrays and a
+    deterministic Dijkstra searcher whose entering cost
+
+    {[ (base + history) * (1 + pres_fac * overuse) ]}
+
+    lets nets share cells cheaply in early iterations and prices the
+    sharing out as [pres_fac] grows, while history accumulated on
+    chronically over-used cells steers later routes around them even
+    when they are momentarily free. This converges where one-shot
+    sequential routing deadlocks on net ordering.
+
+    Determinism: the heap orders by (distance, cell index), expansion
+    visits neighbours in a fixed order, and nothing reads a clock or an
+    RNG — identical inputs give byte-identical routes. *)
+
+type t
+
+val create : cols:int -> rows:int -> t
+(** All cells capacity 1, no usage, no history. Raises
+    [Invalid_argument] on non-positive sizes. *)
+
+val of_grid : ?capacity:int -> Grid.t -> t
+(** Same extents as the grid; blocked cells become capacity 0, open
+    cells [capacity] (default 1 — a single-track cell; routers
+    modelling a gcell with one horizontal and one vertical track pass
+    2, which makes orthogonal crossings legal). *)
+
+val set_capacity : t -> Grid.point -> int -> unit
+(** Out-of-bounds points are ignored; capacity is clamped at 0.
+    Capacity-0 cells are impassable to the search except as a net's
+    own terminals. *)
+
+val claim : t -> Grid.point list -> unit
+(** Add one present use to each cell (a routed net's tree). *)
+
+val release : t -> Grid.point list -> unit
+(** Undo {!claim} before rerouting a net. *)
+
+val overflow : t -> int
+(** Total overuse: sum over cells of [max 0 (present - capacity)].
+    Zero means the current routes are simultaneously legal. *)
+
+val overused_cells : t -> int
+(** Number of cells with [present > capacity]. *)
+
+val cell_overuse : t -> Grid.point -> int
+
+val add_history : t -> hfac:float -> unit
+(** End-of-iteration update: every over-used cell's history grows by
+    [hfac * overuse]. *)
+
+val route_tree :
+  t ->
+  ?mirror:int ->
+  pres_fac:float ->
+  terminals:Grid.point list ->
+  unit ->
+  Grid.point list option
+(** Grow a Steiner-ish tree connecting [terminals] (clamped in
+    bounds): route each terminal to the tree-so-far by one Dijkstra
+    wave. Returns the tree's cells (deduplicated, deterministic
+    order), [Some []] for no terminals, a singleton for one terminal,
+    or [None] when some terminal is unreachable.
+
+    With [~mirror:axis2_grid] every step is priced {e and} gated on
+    both the cell and its reflection under [c -> axis2_grid - c]:
+    the returned reference tree is legal and equally costed for the
+    twin's image, which is what makes mirrored pairs identical in
+    wirelength by construction. Cells on the axis column (self-mirror)
+    count their own double use. The caller claims the tree (and its
+    image) via {!claim}. *)

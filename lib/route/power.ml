@@ -1,0 +1,94 @@
+(* Power/ground distribution.
+
+   Analog blocks want supply rails laid down before signal routing:
+   the rails are wide, immovable, and every later net must clear them.
+   The plan here is the classic trunk-and-strap comb on the routing
+   grid — a VDD trunk on the left edge, a GND trunk on the right, and
+   horizontal straps alternating between the two every few rows so no
+   module is far from either rail. Cells holding signal pins are
+   carved out of the straps (splitting a strap into segments) so the
+   rails never swallow a pin and strand its net, and so are the
+   symmetry-axis channel columns: a mirrored twin pair can only cross
+   a strap where both the crossing cell and its reflection are free,
+   which is exactly the self-mirror gap at the axis.
+
+   Straps additionally leave a crossunder gap every [strap_every]
+   columns. A gap-free strap is a wall across the whole grid: every
+   signal net crossing that row would have to squeeze through the few
+   axis-channel cells, and anything beyond a handful of crossing nets
+   could never reach zero overflow. The periodic gaps model the
+   layer-2 crossunders of a real single-metal channel comb; the strap
+   stays one logical rail (segments either side of a gap belong to the
+   same net), the router just gets a crossing column per period.
+
+   The router claims these cells as capacity-0 obstacles before any
+   signal net routes — "claimed before signal nets" is the contract
+   the QoR ledger's overflow numbers rest on. *)
+
+type rails = {
+  vdd : Grid.point list list;
+  gnd : Grid.point list list;
+}
+
+let default_strap_every = 8
+
+let segments points =
+  (* split a sorted run of collinear cells at carved-out gaps *)
+  let rec go cur acc = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | p :: rest -> (
+        match cur with
+        | [] -> go [ p ] acc rest
+        | (pc, pr) :: _ ->
+            let c, r = p in
+            if abs (c - pc) + abs (r - pr) = 1 then go (p :: cur) acc rest
+            else go [ p ] (List.rev cur :: acc) rest)
+  in
+  go [] [] points
+
+let distribute ?(strap_every = default_strap_every) ?(channels = []) ~cols
+    ~rows ~keepout () =
+  if strap_every < 2 then invalid_arg "Power.distribute: strap_every < 2";
+  let keep = Hashtbl.create (List.length keepout * 2) in
+  List.iter (fun p -> Hashtbl.replace keep p ()) keepout;
+  let channel = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.replace channel c ()) channels;
+  let free p = not (Hashtbl.mem keep p) in
+  let crossunder c = c mod strap_every = strap_every / 2 in
+  let strap_free ((c, _) as p) =
+    free p && (not (Hashtbl.mem channel c)) && not (crossunder c)
+  in
+  let column c r0 r1 =
+    let pts = ref [] in
+    for r = r1 downto r0 do
+      if free (c, r) then pts := (c, r) :: !pts
+    done;
+    segments !pts
+  in
+  let row r c0 c1 =
+    let pts = ref [] in
+    for c = c1 downto c0 do
+      if strap_free (c, r) then pts := (c, r) :: !pts
+    done;
+    segments !pts
+  in
+  if cols < 5 || rows < 4 then { vdd = []; gnd = [] }
+  else begin
+    let vdd_col = 1 and gnd_col = cols - 2 in
+    let vdd = ref (column vdd_col 1 (rows - 2)) in
+    let gnd = ref (column gnd_col 1 (rows - 2)) in
+    (* straps between the trunks, alternating nets; each strap joins
+       its own trunk and stops one cell short of the other's *)
+    let k = ref 0 in
+    let r = ref (1 + (strap_every / 2)) in
+    while !r <= rows - 2 do
+      if !k mod 2 = 0 then vdd := row !r vdd_col (gnd_col - 2) @ !vdd
+      else gnd := row !r (vdd_col + 2) gnd_col @ !gnd;
+      incr k;
+      r := !r + strap_every
+    done;
+    { vdd = !vdd; gnd = !gnd }
+  end
+
+let all_points rails =
+  List.concat rails.vdd @ List.concat rails.gnd

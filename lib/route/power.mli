@@ -1,0 +1,38 @@
+(** Power/ground distribution: trunk-and-strap comb claimed on the
+    routing grid {e before} any signal net routes.
+
+    VDD trunk on the left edge column, GND trunk on the right, and
+    horizontal straps alternating between the two every [strap_every]
+    rows. Cells holding signal pins are carved out (straps split into
+    segments around them) so the rails never swallow a pin, and the
+    [channels] columns — the symmetry-axis routing channels — are
+    carved from every strap so mirrored twin pairs keep a self-mirror
+    crossing. Straps also leave a crossunder gap every [strap_every]
+    columns (modelling layer-2 crossunders), so signal nets can cross
+    a strap row away from the axis channel — without the gaps a strap
+    is a wall and dense designs could never reach zero overflow. *)
+
+type rails = {
+  vdd : Grid.point list list;  (** each list is one contiguous segment *)
+  gnd : Grid.point list list;
+}
+
+val default_strap_every : int
+(** 8 rows between straps. *)
+
+val distribute :
+  ?strap_every:int ->
+  ?channels:int list ->
+  cols:int ->
+  rows:int ->
+  keepout:Grid.point list ->
+  unit ->
+  rails
+(** Build the comb for a [cols] x [rows] grid, skipping [keepout]
+    cells (signal pins) everywhere and [channels] columns in the
+    straps (trunks are never carved). Grids too small for a comb
+    (under 5 x 4) yield empty rails. Deterministic. Raises
+    [Invalid_argument] when [strap_every < 2]. *)
+
+val all_points : rails -> Grid.point list
+(** Every rail cell, for claiming as obstacles. *)

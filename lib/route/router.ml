@@ -2,16 +2,49 @@ open Geometry
 
 type route = { net : string; points : Grid.point list }
 
+type reason =
+  | Single_pin  (** fewer than two pins: nothing to connect *)
+  | Unplaced of string  (** a pin's module has no placed rectangle *)
+  | No_path  (** negotiation could not connect the terminals *)
+
+type failure = { failed_net : string; reason : reason }
+
 type result = {
   routed : route list;
-  failed : string list;
+  failed : failure list;
   wirelength : int;
   mirrored_pairs : (string * string) list;
+  overflow : int;
+  iterations : int;
+  power : Grid.point list list;
   grid : Grid.t;
 }
 
 let default_pitch = 20
 let default_margin = 4
+let default_max_iterations = 40
+let first_pres_fac = 0.5
+let pres_mult = 1.8
+
+(* Each routing cell is a gcell holding one horizontal and one
+   vertical track, so two orthogonal wires may legally cross in it.
+   Strictly planar capacity 1 would make zero overflow unattainable
+   for any circuit whose net topology forces a crossing — which is
+   nearly all of them. *)
+let gcell_capacity = 2
+
+(* pres_fac saturates here: unbounded exponential growth reaches
+   [infinity] within ~40 iterations, where every congested candidate
+   costs the same and Dijkstra degenerates into tie-breaking on cell
+   index instead of actual congestion. 1e6 is already far beyond any
+   finite detour on a realistic grid. *)
+let max_pres_fac = 1.0e6
+let hfac = 0.4
+
+let reason_to_string = function
+  | Single_pin -> "single-pin"
+  | Unplaced m -> "unplaced:" ^ m
+  | No_path -> "no-path"
 
 let pin_point ~pitch ~margin placement m =
   match Placer.Placement.rect_of placement m with
@@ -22,6 +55,26 @@ let pin_point ~pitch ~margin placement m =
 
 let net_pins ~pitch ~margin placement (net : Netlist.Net.t) =
   List.filter_map (pin_point ~pitch ~margin placement) net.Netlist.Net.pins
+
+(* Routability triage: a net either yields its grid terminals or the
+   reason it can never route. Unlike [net_pins] this refuses to drop
+   an unplaced pin silently — the net goes to [failed] with the
+   module's name instead of quietly routing a partial tree. *)
+let classify ~pitch ~margin placement (net : Netlist.Net.t) =
+  match net.Netlist.Net.pins with
+  | [] | [ _ ] -> Error Single_pin
+  | pins ->
+      let circuit = placement.Placer.Placement.circuit in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | m :: rest -> (
+            match pin_point ~pitch ~margin placement m with
+            | Some p -> go (p :: acc) rest
+            | None ->
+                Error
+                  (Unplaced circuit.Netlist.Circuit.modules.(m).Netlist.Circuit.name))
+      in
+      go [] pins
 
 (* Grid-column reflection constant for a group: derived from an actual
    mirrored pair so pin images land exactly on pins. *)
@@ -87,36 +140,43 @@ let mirror_twins ~axis2 ~pitch ~margin placement =
   in
   pairs [] with_pins
 
-let bbox_semi pins =
-  match pins with
-  | [] -> 0
-  | (c0, r0) :: rest ->
-      let minc, maxc, minr, maxr =
-        List.fold_left
-          (fun (a, b, c, d) (pc, pr) ->
-            (min a pc, max b pc, min c pr, max d pr))
-          (c0, c0, r0, r0) rest
-      in
-      maxc - minc + maxr - minr
-
 let is_mirror_route ~axis2_grid a b =
   let reflect (c, r) = (axis2_grid - c, r) in
   let norm pts = List.sort_uniq compare pts in
   norm (List.map reflect a) = norm b
 
 let route_all ?(pitch = default_pitch) ?(margin = default_margin)
-    ?(symmetric = []) placement =
+    ?(symmetric = []) ?(power = true)
+    ?(max_iterations = default_max_iterations) placement =
   let grid = Grid.of_placement ~pitch ~margin placement in
   let nets = placement.Placer.Placement.circuit.Netlist.Circuit.nets in
-  let pins_of = net_pins ~pitch ~margin placement in
+  (* triage: routable nets carry terminals, the rest carry reasons *)
+  let pins_tbl = Hashtbl.create 32 in
+  let pre_failed = ref [] in
+  let routable =
+    List.filter
+      (fun (net : Netlist.Net.t) ->
+        match classify ~pitch ~margin placement net with
+        | Ok pins ->
+            Hashtbl.replace pins_tbl net.Netlist.Net.name pins;
+            true
+        | Error reason ->
+            pre_failed :=
+              { failed_net = net.Netlist.Net.name; reason } :: !pre_failed;
+            false)
+      nets
+  in
+  let pins_of (net : Netlist.Net.t) =
+    Hashtbl.find pins_tbl net.Netlist.Net.name
+  in
+  (* twin detection per symmetry axis, first match wins, disjoint *)
   let axes =
     List.filter_map (axis2_grid_of_group ~pitch ~margin placement) symmetric
   in
-  (* twin detection per axis, first match wins, disjoint *)
   let twin_of = Hashtbl.create 8 in
   List.iter
     (fun axis2_grid ->
-      let with_pins = List.map (fun n -> (n, pins_of n)) nets in
+      let with_pins = List.map (fun n -> (n, pins_of n)) routable in
       let reflect (c, r) = (axis2_grid - c, r) in
       let rec scan = function
         | [] -> ()
@@ -132,9 +192,9 @@ let route_all ?(pitch = default_pitch) ?(margin = default_margin)
               with
               | Some ((n2 : Netlist.Net.t), _) ->
                   Hashtbl.replace twin_of n1.Netlist.Net.name
-                    (n2.Netlist.Net.name, axis2_grid, true);
+                    (n2.Netlist.Net.name, axis2_grid);
                   Hashtbl.replace twin_of n2.Netlist.Net.name
-                    (n1.Netlist.Net.name, axis2_grid, false);
+                    (n1.Netlist.Net.name, axis2_grid);
                   scan rest
               | None -> scan rest
             end
@@ -142,77 +202,179 @@ let route_all ?(pitch = default_pitch) ?(margin = default_margin)
       in
       scan with_pins)
     axes;
-  let order =
-    List.sort
-      (fun (a : Netlist.Net.t) b ->
-        let twin n = if Hashtbl.mem twin_of n.Netlist.Net.name then 0 else 1 in
-        let c = Int.compare (twin a) (twin b) in
-        if c <> 0 then c
-        else Int.compare (bbox_semi (pins_of a)) (bbox_semi (pins_of b)))
+  (* power before signals: the comb claims its cells at capacity 0, so
+     every signal net negotiates around the rails from the start; each
+     symmetry axis keeps a channel through the straps so twin pairs
+     retain a self-mirror crossing *)
+  let keepout = Hashtbl.fold (fun _ pins acc -> pins @ acc) pins_tbl [] in
+  let channels =
+    List.sort_uniq Int.compare
+      (List.concat_map
+         (fun a -> [ (a / 2) - 1; a / 2; (a + 1) / 2; ((a + 1) / 2) + 1 ])
+         axes)
+  in
+  let rails =
+    if power then
+      Power.distribute ~channels ~cols:(Grid.cols grid) ~rows:(Grid.rows grid)
+        ~keepout ()
+    else { Power.vdd = []; gnd = [] }
+  in
+  let rail_points = Power.all_points rails in
+  let nego = Negotiate.of_grid ~capacity:gcell_capacity grid in
+  List.iter (fun p -> Negotiate.set_capacity nego p 0) rail_points;
+  (* a module center is one grid cell shared by every net pinning on
+     that module; when more nets pin there than the gcell holds, give
+     the cell exactly that much capacity so legitimate pin fan-out is
+     neither negotiated against nor counted as residual overflow *)
+  let pin_demand = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun _ pins ->
+      List.iter
+        (fun p ->
+          Hashtbl.replace pin_demand p
+            (1 + Option.value ~default:0 (Hashtbl.find_opt pin_demand p)))
+        (List.sort_uniq compare pins))
+    pins_tbl;
+  Hashtbl.iter
+    (fun p n -> if n > gcell_capacity then Negotiate.set_capacity nego p n)
+    pin_demand;
+  (* negotiation: rip up and reroute every net each iteration under a
+     growing present-sharing factor until no cell is over-used *)
+  let routes = Hashtbl.create 32 in
+  let mirror_ok = Hashtbl.create 8 in
+  let hard_failed = Hashtbl.create 8 in
+  let done_this_iter = Hashtbl.create 32 in
+  let rip name =
+    match Hashtbl.find_opt routes name with
+    | Some points ->
+        Negotiate.release nego points;
+        Hashtbl.remove routes name
+    | None -> ()
+  in
+  let set_route name points =
+    Negotiate.claim nego points;
+    Hashtbl.replace routes name points
+  in
+  let find_net name =
+    List.find (fun (n : Netlist.Net.t) -> n.Netlist.Net.name = name) routable
+  in
+  let route_plain pres_fac (net : Netlist.Net.t) =
+    let name = net.Netlist.Net.name in
+    rip name;
+    match
+      Negotiate.route_tree nego ~pres_fac ~terminals:(pins_of net) ()
+    with
+    | Some points -> set_route name points
+    | None -> Hashtbl.replace hard_failed name No_path
+  in
+  let process pres_fac (net : Netlist.Net.t) =
+    let name = net.Netlist.Net.name in
+    if Hashtbl.mem done_this_iter name || Hashtbl.mem hard_failed name then ()
+    else begin
+      Hashtbl.replace done_this_iter name ();
+      match Hashtbl.find_opt twin_of name with
+      | Some (twin, axis2_grid) when not (Hashtbl.mem hard_failed twin) ->
+          Hashtbl.replace done_this_iter twin ();
+          rip name;
+          rip twin;
+          (match
+             Negotiate.route_tree nego ~mirror:axis2_grid ~pres_fac
+               ~terminals:(pins_of net) ()
+           with
+          | Some tree ->
+              let image = List.map (fun (c, r) -> (axis2_grid - c, r)) tree in
+              set_route name tree;
+              set_route twin image;
+              Hashtbl.replace mirror_ok name twin;
+              (* the pair may have been led from the other side in an
+                 earlier iteration; keep exactly one direction so
+                 [mirrored_pairs] lists each pair once *)
+              Hashtbl.remove mirror_ok twin
+          | None ->
+              (* asymmetric blockage: fall back to independent routes *)
+              Hashtbl.remove mirror_ok name;
+              Hashtbl.remove mirror_ok twin;
+              route_plain pres_fac net;
+              route_plain pres_fac (find_net twin))
+      | _ -> route_plain pres_fac net
+    end
+  in
+  let overuse_of name =
+    match Hashtbl.find_opt routes name with
+    | None -> 0
+    | Some points ->
+        List.fold_left (fun acc p -> acc + Negotiate.cell_overuse nego p) 0 points
+  in
+  let iterations = ref 0 in
+  let converged = ref (routable = []) in
+  while (not !converged) && !iterations < max_iterations do
+    let pres_fac =
+      min max_pres_fac (first_pres_fac *. (pres_mult ** float_of_int !iterations))
+    in
+    (* Iteration 0 routes everything in the initial order. Later
+       iterations rip up only nets that currently sit on an over-used
+       cell: rerouting clean nets too re-randomizes the whole instance
+       every round and the endgame (two nets contesting one corridor)
+       never settles. Every 8th iteration still reroutes everything,
+       so a clean net pinned across the only escape corridor cannot
+       deadlock the offenders forever. *)
+    let order =
+      if !iterations = 0 then
+        Order.initial
+          ~is_twin:(fun n -> Hashtbl.mem twin_of n)
+          ~pins_of routable
+      else
+        let pool =
+          if !iterations mod 8 = 0 then routable
+          else
+            List.filter
+              (fun (n : Netlist.Net.t) -> overuse_of n.Netlist.Net.name > 0)
+              routable
+        in
+        Order.by_congestion ~overuse_of pool
+    in
+    Hashtbl.reset done_this_iter;
+    List.iter (process pres_fac) order;
+    incr iterations;
+    if Negotiate.overflow nego = 0 then converged := true
+    else Negotiate.add_history nego ~hfac
+  done;
+  (* materialize, in circuit net order for determinism *)
+  let routed =
+    List.filter_map
+      (fun (net : Netlist.Net.t) ->
+        match Hashtbl.find_opt routes net.Netlist.Net.name with
+        | Some points -> Some { net = net.Netlist.Net.name; points }
+        | None -> None)
       nets
   in
-  let routed = ref [] and failed = ref [] and mirrored = ref [] in
-  let done_nets = Hashtbl.create 16 in
-  let claim points = Grid.block_many grid points in
-  let route_plain (net : Netlist.Net.t) =
-    match Maze.route_net grid ~terminals:(pins_of net) with
-    | Some points ->
-        claim points;
-        routed := { net = net.Netlist.Net.name; points } :: !routed
-    | None -> failed := net.Netlist.Net.name :: !failed
+  let failed =
+    List.filter_map
+      (fun (net : Netlist.Net.t) ->
+        let name = net.Netlist.Net.name in
+        match Hashtbl.find_opt hard_failed name with
+        | Some reason -> Some { failed_net = name; reason }
+        | None ->
+            List.find_opt (fun f -> f.failed_net = name) !pre_failed)
+      nets
   in
-  List.iter
-    (fun (net : Netlist.Net.t) ->
-      let name = net.Netlist.Net.name in
-      if not (Hashtbl.mem done_nets name) then begin
-        Hashtbl.replace done_nets name ();
-        match Hashtbl.find_opt twin_of name with
-        | Some (twin, axis2_grid, _) when not (Hashtbl.mem done_nets twin) ->
-            Hashtbl.replace done_nets twin ();
-            (* route the reference, mirror for the twin *)
-            let reflect (c, r) = (axis2_grid - c, r) in
-            (match Maze.route_net grid ~terminals:(pins_of net) with
-            | Some points ->
-                let image = List.map reflect points in
-                let image_free =
-                  List.for_all
-                    (fun p -> Grid.in_bounds grid p && not (Grid.blocked grid p))
-                    image
-                in
-                if image_free then begin
-                  claim points;
-                  claim image;
-                  routed := { net = name; points } :: !routed;
-                  routed := { net = twin; points = image } :: !routed;
-                  mirrored := (name, twin) :: !mirrored
-                end
-                else begin
-                  (* mirrored tracks taken: route both independently *)
-                  claim points;
-                  routed := { net = name; points } :: !routed;
-                  let twin_net =
-                    List.find
-                      (fun (n : Netlist.Net.t) -> n.Netlist.Net.name = twin)
-                      nets
-                  in
-                  route_plain twin_net
-                end
-            | None ->
-                failed := name :: !failed;
-                let twin_net =
-                  List.find
-                    (fun (n : Netlist.Net.t) -> n.Netlist.Net.name = twin)
-                    nets
-                in
-                route_plain twin_net)
-        | Some _ | None -> route_plain net
-      end)
-    order;
+  let mirrored =
+    List.filter_map
+      (fun (net : Netlist.Net.t) ->
+        Hashtbl.find_opt mirror_ok net.Netlist.Net.name
+        |> Option.map (fun twin -> (net.Netlist.Net.name, twin)))
+      nets
+  in
+  Grid.block_many grid rail_points;
+  List.iter (fun r -> Grid.block_many grid r.points) routed;
   {
-    routed = List.rev !routed;
-    failed = List.rev !failed;
+    routed;
+    failed;
     wirelength =
-      List.fold_left (fun acc r -> acc + List.length r.points) 0 !routed;
-    mirrored_pairs = List.rev !mirrored;
+      List.fold_left (fun acc r -> acc + List.length r.points) 0 routed;
+    mirrored_pairs = mirrored;
+    overflow = Negotiate.overflow nego;
+    iterations = !iterations;
+    power = rails.Power.vdd @ rails.Power.gnd;
     grid;
   }

@@ -1,23 +1,55 @@
-(** Net-by-net global routing with mirrored symmetric nets (§II:
-    "symmetric placement (and routing, as well)" matches the
-    layout-induced parasitics of the two differential half-circuits).
+(** Negotiated-congestion multi-net routing with mirrored symmetric
+    nets and power distribution (§II: "symmetric placement (and
+    routing, as well)" matches the layout-induced parasitics of the
+    two differential half-circuits).
 
-    Nets are routed shortest-first by Lee maze expansion; each finished
-    route claims its tracks. Nets recognized as mirror twins — their
-    pin sets map onto each other under the symmetry group's axis — are
-    routed as a pair: the reference net is routed, its mirror image is
-    claimed for the twin, so both halves see {e identical} wire lengths
-    and topology by construction. *)
+    The flow is PathFinder-shaped: the power comb ({!Power}) claims
+    its cells first at capacity 0; then every signal net is ripped up
+    and rerouted each iteration under a growing present-sharing factor
+    ({!Negotiate}), with history accumulating on over-used cells,
+    until no cell is over-used or the iteration cap is hit. Nets
+    recognized as mirror twins — their pin sets map onto each other
+    under a symmetry group's axis — are routed as a pair: one
+    mirror-priced search produces the reference tree, its reflection
+    is claimed for the twin, so both halves see {e identical}
+    wirelength and topology by construction.
+
+    Everything is deterministic: same placement, same nets, same
+    options give byte-identical routes. *)
 
 type route = { net : string; points : Grid.point list }
 
+type reason =
+  | Single_pin  (** fewer than two pins: nothing to connect *)
+  | Unplaced of string  (** this pin's module has no placed rectangle *)
+  | No_path  (** negotiation could not connect the terminals *)
+
+type failure = { failed_net : string; reason : reason }
+
 type result = {
   routed : route list;
-  failed : string list;  (** nets with no legal path left *)
-  wirelength : int;  (** total grid cells used *)
+  failed : failure list;
+      (** every net that was not routed, with why — including
+          single-pin and unplaced-module nets that older versions
+          silently dropped *)
+  wirelength : int;  (** total grid cells used by signal routes *)
   mirrored_pairs : (string * string) list;
-  grid : Grid.t;  (** final occupancy *)
+      (** twin pairs whose final routes are mirror images *)
+  overflow : int;
+      (** residual over-use after the last iteration; 0 = all routes
+          simultaneously legal *)
+  iterations : int;  (** negotiation iterations performed *)
+  power : Grid.point list list;  (** claimed rail segments, VDD then GND *)
+  grid : Grid.t;  (** final occupancy: rails + signal routes *)
 }
+
+val default_pitch : int
+val default_margin : int
+val default_max_iterations : int
+
+val reason_to_string : reason -> string
+(** ["single-pin"], ["unplaced:<module>"], ["no-path"] — stable
+    strings for reports and ledgers. *)
 
 val mirror_twins :
   axis2:int ->
@@ -32,12 +64,16 @@ val route_all :
   ?pitch:int ->
   ?margin:int ->
   ?symmetric:Constraints.Symmetry_group.t list ->
+  ?power:bool ->
+  ?max_iterations:int ->
   Placer.Placement.t ->
   result
 (** Route every net of the placement's circuit (pins at module
     centers). [symmetric] groups contribute their placement axes; twin
-    nets across each axis are routed mirrored. Default [pitch] 20 grid
-    units, [margin] 4 tracks. *)
+    nets across each axis are routed mirrored. [power] (default true)
+    lays the trunk-and-strap comb before any signal net. Defaults:
+    [pitch] 20 layout units per track, [margin] 4 tracks,
+    [max_iterations] 40. *)
 
 val is_mirror_route :
   axis2_grid:int -> Grid.point list -> Grid.point list -> bool

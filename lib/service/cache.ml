@@ -11,9 +11,18 @@ type entry = {
   mutable hits : int;
 }
 
+(* Negative entries are much smaller than Multi.t structures (one
+   proof string), but still bounded by the same capacity so a stream
+   of distinct infeasible requests cannot grow the table forever. *)
+type negative = {
+  proof : string;
+  mutable neg_last_used : int;
+}
+
 type t = {
   capacity : int;
   table : (string, entry) Hashtbl.t;
+  negative : (string, negative) Hashtbl.t;
   mutex : Mutex.t;
   mutable clock : int;
   mutable evictions : int;
@@ -24,6 +33,7 @@ let create ?(capacity = 256) () =
   {
     capacity;
     table = Hashtbl.create (min capacity 64);
+    negative = Hashtbl.create 16;
     mutex = Mutex.create ();
     clock = 0;
     evictions = 0;
@@ -83,3 +93,38 @@ let evictions t = locked t (fun () -> t.evictions)
 let capacity t = t.capacity
 
 let mem t key = locked t (fun () -> Hashtbl.mem t.table key)
+
+(* ---- negative cache ------------------------------------------------ *)
+
+let insert_negative t key proof =
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.negative key with
+      | Some _ -> Hashtbl.remove t.negative key
+      | None -> ());
+      while Hashtbl.length t.negative >= t.capacity do
+        let victim =
+          Hashtbl.fold
+            (fun k e acc ->
+              match acc with
+              | Some (_, best) when best.neg_last_used <= e.neg_last_used ->
+                  acc
+              | _ -> Some (k, e))
+            t.negative None
+        in
+        match victim with
+        | None -> ()
+        | Some (k, _) -> Hashtbl.remove t.negative k
+      done;
+      t.clock <- t.clock + 1;
+      Hashtbl.replace t.negative key { proof; neg_last_used = t.clock })
+
+let find_negative t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.negative key with
+      | None -> None
+      | Some e ->
+          t.clock <- t.clock + 1;
+          e.neg_last_used <- t.clock;
+          Some e.proof)
+
+let negatives t = locked t (fun () -> Hashtbl.length t.negative)

@@ -29,3 +29,23 @@ val capacity : t -> int
 
 val evictions : t -> int
 (** Capacity and explicit evictions since creation. *)
+
+(** {2 Negative cache}
+
+    Keys proven infeasible by {!Analysis.Feasibility} — served as
+    instant rejects so a repeated impossible request never burns an
+    annealing budget twice. Negative entries live in their own table
+    (a negative key can never collide with a placement entry: the
+    service salts it with the exact outline, which the fingerprint
+    deliberately classifies away), bounded by the same capacity with
+    the same LRU rule. *)
+
+val insert_negative : t -> string -> string -> unit
+(** [insert_negative t key proof] records that [key] is infeasible,
+    with the prover's diagnostics as the proof string. *)
+
+val find_negative : t -> string -> string option
+(** The cached proof, bumping recency — [Some] means "reject now". *)
+
+val negatives : t -> int
+(** Number of cached negative entries. *)

@@ -65,9 +65,10 @@ let canonical ?(groups = []) ?hierarchy ?outline
   Buffer.add_string buf ";seed:";
   Buffer.add_string buf (string_of_int seed);
   Buffer.add_string buf
-    (Printf.sprintf ";weights:%.17g,%.17g,%.17g,%.17g"
+    (Printf.sprintf ";weights:%.17g,%.17g,%.17g,%.17g,%.17g"
        weights.Placer.Cost.area weights.Placer.Cost.wirelength
-       weights.Placer.Cost.aspect weights.Placer.Cost.target_aspect);
+       weights.Placer.Cost.aspect weights.Placer.Cost.target_aspect
+       weights.Placer.Cost.routability);
   Buffer.contents buf
 
 let make ?groups ?hierarchy ?outline ?weights ?seed ~effort circuit =

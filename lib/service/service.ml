@@ -389,13 +389,70 @@ let miss_serve t job ~served =
           finish_job job ~served:"error" ~t0 ~t1
             (Error ("fresh placement failed verification: " ^ msg)))
 
+(* The negative-cache key. The fingerprint classifies the outline into
+   coarse aspect classes (so near-identical outlines share placement
+   entries), but a feasibility proof is relative to the {e exact} box —
+   a request 1 unit wider may be perfectly placeable. Salt the key with
+   the exact outline so proofs never leak across boxes. *)
+let negative_key (job : job) =
+  match job.req.Request.outline with
+  | None -> job.fp ^ ";neg-outline:none"
+  | Some (w, h) -> Printf.sprintf "%s;neg-outline:%dx%d" job.fp w h
+
+(* Instant reject on a cached (or freshly proven) infeasibility. Only
+   [Error]-severity findings count: they are sound proofs for any
+   engine, while warnings are merely evidence and must not block the
+   anneal. Returns true when the job was served. *)
+let reject_if_infeasible t job =
+  let t0 = Unix.gettimeofday () in
+  let key = negative_key job in
+  match Cache.find_negative t.cache key with
+  | Some proof ->
+      bump job "service.neg_hits";
+      let t1 = Unix.gettimeofday () in
+      finish_job job ~served:"infeasible" ~t0 ~t1
+        (Error ("infeasible: " ^ proof));
+      true
+  | None -> (
+      let { Netlist.Benchmarks.circuit; hierarchy; _ } = job.bench in
+      let diags =
+        Analysis.Feasibility.check ~groups:job.groups ~hierarchy
+          ?outline:job.req.Request.outline circuit
+      in
+      let errors =
+        List.filter
+          (fun (d : Analysis.Diagnostic.t) ->
+            d.Analysis.Diagnostic.severity = Analysis.Diagnostic.Error)
+          diags
+      in
+      match errors with
+      | [] -> false
+      | _ ->
+          let proof =
+            String.concat "; "
+              (List.map
+                 (fun (d : Analysis.Diagnostic.t) ->
+                   d.Analysis.Diagnostic.code ^ " "
+                   ^ d.Analysis.Diagnostic.message)
+                 errors)
+          in
+          Cache.insert_negative t.cache key proof;
+          bump job "service.infeasible";
+          let t1 = Unix.gettimeofday () in
+          finish_job job ~served:"infeasible" ~t0 ~t1
+            (Error ("infeasible: " ^ proof));
+          true)
+
 let process_wave t jobs =
-  (* misses first, one anneal per unique fingerprint, on the caller *)
+  (* misses first, one anneal per unique fingerprint, on the caller —
+     but a key proven unplaceable rejects instantly instead *)
   List.iter
     (fun job ->
       if not (Cache.mem t.cache job.fp) then begin
-        bump job "service.misses";
-        miss_serve t job ~served:"miss"
+        if not (reject_if_infeasible t job) then begin
+          bump job "service.misses";
+          miss_serve t job ~served:"miss"
+        end
       end)
     jobs;
   (* everything still unserved is a hit: instantiate concurrently *)

@@ -27,13 +27,17 @@ type t = {
   outline_fit : bool option;
   engine : string option;
   mode : string option;
+  routed_wl : int option;
+  route_overflow : int option;
+  route_failed : int option;
   violations : violation list;
   move_rates : (string * int * int) list;
 }
 
-let run ?outline_fit ?engine ?mode ?(violations = []) ?(move_rates = [])
-    ~cost ~wall_s ~sa_rounds ~evaluated ~area ~width ~height ~hpwl ~term_area
-    ~term_wirelength ~term_aspect ~dead_space_pct () =
+let run ?outline_fit ?engine ?mode ?routed_wl ?route_overflow ?route_failed
+    ?(violations = []) ?(move_rates = []) ~cost ~wall_s ~sa_rounds ~evaluated
+    ~area ~width ~height ~hpwl ~term_area ~term_wirelength ~term_aspect
+    ~dead_space_pct () =
   {
     kind = "run";
     cost;
@@ -51,6 +55,9 @@ let run ?outline_fit ?engine ?mode ?(violations = []) ?(move_rates = [])
     outline_fit;
     engine;
     mode;
+    routed_wl;
+    route_overflow;
+    route_failed;
     violations;
     move_rates = List.sort compare move_rates;
   }
@@ -74,6 +81,9 @@ let chain ?engine ?mode ?(move_rates = []) ~cost ~wall_s ~sa_rounds ~evaluated
     outline_fit = None;
     engine;
     mode;
+    routed_wl = None;
+    route_overflow = None;
+    route_failed = None;
     violations = [];
     move_rates = List.sort compare move_rates;
   }
@@ -161,6 +171,16 @@ let to_json t =
     match v with None -> [] | Some s -> [ (name, Json.str s) ]
   in
   let tags = opt_str "engine" t.engine @ opt_str "mode" t.mode in
+  (* routed QoR, present only when the flow actually routed — ledgers
+     written before the router existed re-emit byte-identically *)
+  let opt_int name v =
+    match v with None -> [] | Some i -> [ (name, Json.int i) ]
+  in
+  let routed =
+    opt_int "routed_wl" t.routed_wl
+    @ opt_int "route_overflow" t.route_overflow
+    @ opt_int "route_failed" t.route_failed
+  in
   let tail =
     [
       ("violations", Json.Arr (List.map violation_to_json t.violations));
@@ -177,7 +197,7 @@ let to_json t =
              t.move_rates) );
     ]
   in
-  Json.Obj (base @ outline @ tags @ tail)
+  Json.Obj (base @ outline @ tags @ routed @ tail)
 
 (* of_json: each getter threads an error string so a malformed record
    names the field that broke, not just "parse error". *)
@@ -238,6 +258,12 @@ let of_json j =
   in
   let engine = opt_str "engine" in
   let mode = opt_str "mode" in
+  let opt_int name =
+    match Json.member name j with Some v -> Json.to_int v | None -> None
+  in
+  let routed_wl = opt_int "routed_wl" in
+  let route_overflow = opt_int "route_overflow" in
+  let route_failed = opt_int "route_failed" in
   let* violations_js = field Json.to_list "violations" j in
   let* violations = map_result violation_of_json violations_js in
   let* moves_js = field Json.to_list "move_rates" j in
@@ -260,6 +286,9 @@ let of_json j =
       outline_fit;
       engine;
       mode;
+      routed_wl;
+      route_overflow;
+      route_failed;
       violations;
       move_rates;
     }

@@ -44,6 +44,13 @@ type t = {
           [None] for records predating portfolio runs *)
   mode : string option;
       (** "deterministic" | "async"; [None] when not a parallel run *)
+  routed_wl : int option;
+      (** routed wirelength in grid cells; [None] when the flow never
+          routed — the field is then omitted from the JSON so ledgers
+          predating the router re-emit byte-identically *)
+  route_overflow : int option;
+      (** residual track over-use after negotiation (0 = legal) *)
+  route_failed : int option;  (** nets the router could not connect *)
   violations : violation list;
   move_rates : (string * int * int) list;
       (** (class, accepted, rejected), name-sorted *)
@@ -53,6 +60,9 @@ val run :
   ?outline_fit:bool ->
   ?engine:string ->
   ?mode:string ->
+  ?routed_wl:int ->
+  ?route_overflow:int ->
+  ?route_failed:int ->
   ?violations:violation list ->
   ?move_rates:(string * int * int) list ->
   cost:float ->

@@ -90,6 +90,32 @@ let metrics_of th (baseline : Ledger.entry list) (cand : Ledger.entry) =
       (pick (fun q -> q.Qor.wall_s))
       q.Qor.wall_s ~gated:false;
   ]
+  (* routed wirelength gates only when both sides carry it: baselines
+     written before the router (or candidates run without --route)
+     simply don't grow the metric, keeping old ledgers comparable *)
+  @
+  match
+    ( List.filter_map
+        (fun (e : Ledger.entry) ->
+          Option.map float_of_int e.Ledger.qor.Qor.routed_wl)
+        baseline,
+      q.Qor.routed_wl )
+  with
+  | (_ :: _ as samples), Some cand
+    when List.length samples = List.length baseline ->
+      [
+        tolerance_metric "routed_wl" th.hpwl_pct samples (float_of_int cand)
+          ~gated:true;
+        max_metric "route_overflow"
+          (List.map
+             (fun (e : Ledger.entry) ->
+               float_of_int
+                 (Option.value ~default:0 e.Ledger.qor.Qor.route_overflow))
+             baseline)
+          (float_of_int (Option.value ~default:0 q.Qor.route_overflow))
+          ~gated:true;
+      ]
+  | _ -> []
 
 let compare_entries ?(thresholds = default_thresholds) ~baseline ~candidate () =
   (* latest candidate per key, in first-appearance order *)

@@ -123,6 +123,35 @@ let test_qor_accessors () =
       Alcotest.(check bool) "error names the field" true (contains e "cost")
   | Ok _ -> Alcotest.fail "accepted truncated record")
 
+let test_qor_routed_fields () =
+  (* a routed run carries the router's QoR triple through JSON intact *)
+  let routed =
+    T.Qor.run ~routed_wl:1234 ~route_overflow:0 ~route_failed:1
+      ~cost:15345749.0 ~wall_s:0.125 ~sa_rounds:368 ~evaluated:26496
+      ~area:15342200 ~width:4100 ~height:3742 ~hpwl:17745.0
+      ~term_area:15342200.0 ~term_wirelength:3549.0 ~term_aspect:0.0
+      ~dead_space_pct:7.975 ()
+  in
+  (match T.Qor.of_json (T.Qor.to_json routed) with
+  | Error e -> Alcotest.failf "routed of_json: %s" e
+  | Ok q' ->
+      Alcotest.(check bool) "routed triple preserved" true
+        (q'.T.Qor.routed_wl = Some 1234
+        && q'.T.Qor.route_overflow = Some 0
+        && q'.T.Qor.route_failed = Some 1));
+  (* a pre-router record emits no routed keys at all, so old ledgers
+     and new ones are the same wire format *)
+  let plain_json = T.Json.emit (T.Qor.to_json (sample_qor ())) in
+  Alcotest.(check bool) "absent fields emit no keys" false
+    (contains plain_json "routed_wl");
+  match T.Qor.of_json (T.Qor.to_json (sample_qor ())) with
+  | Error e -> Alcotest.failf "plain of_json: %s" e
+  | Ok q' ->
+      Alcotest.(check bool) "absent fields parse as None" true
+        (q'.T.Qor.routed_wl = None
+        && q'.T.Qor.route_overflow = None
+        && q'.T.Qor.route_failed = None)
+
 (* ---- Ledger --------------------------------------------------------- *)
 
 let sample_entry ?(seed = 1) ?(qor = sample_qor ()) () =
@@ -137,6 +166,27 @@ let sample_entry ?(seed = 1) ?(qor = sample_qor ()) () =
       ]
     ~label:"miller" ~netlist_hash:"27086a14fdb1f99d" ~engine:"sp" ~seed
     ~schedule:"geometric(0.95)" ~workers:1 ~chains:1 ~qor ()
+
+let test_ledger_routed_roundtrip () =
+  (* a ledger line whose QoR carries routed fields must write -> read
+     -> re-write byte-identically, like every other entry *)
+  let routed =
+    T.Qor.run ~routed_wl:831 ~route_overflow:0 ~route_failed:0
+      ~cost:776881.0 ~wall_s:0.2 ~sa_rounds:0 ~evaluated:0 ~area:775971
+      ~width:1017 ~height:763 ~hpwl:4550.0 ~term_area:775971.0
+      ~term_wirelength:910.0 ~term_aspect:0.0 ~dead_space_pct:2.1 ()
+  in
+  let e = sample_entry ~qor:routed () in
+  let line = T.Ledger.to_line e in
+  (match T.Export.check_json line with
+  | Ok () -> ()
+  | Error err -> Alcotest.failf "routed line invalid JSON: %s" err);
+  match T.Ledger.of_line line with
+  | Error err -> Alcotest.failf "of_line: %s" err
+  | Ok e' ->
+      Alcotest.(check bool) "routed entry round-trips" true (e = e');
+      Alcotest.(check string) "re-emission byte-identical" line
+        (T.Ledger.to_line e')
 
 let test_ledger_roundtrip () =
   let e = sample_entry () in
@@ -407,10 +457,13 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_qor_roundtrip;
           Alcotest.test_case "accessors" `Quick test_qor_accessors;
+          Alcotest.test_case "routed fields" `Quick test_qor_routed_fields;
         ] );
       ( "ledger",
         [
           Alcotest.test_case "line round-trip" `Quick test_ledger_roundtrip;
+          Alcotest.test_case "routed line round-trip" `Quick
+            test_ledger_routed_roundtrip;
           Alcotest.test_case "file round-trip byte-identical" `Quick
             test_ledger_file_roundtrip;
           Alcotest.test_case "bad lines rejected" `Quick

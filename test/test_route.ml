@@ -105,7 +105,10 @@ let sym_placement () =
 let test_mirrored_routing () =
   let placement, grp = sym_placement () in
   let result = Route.Router.route_all ~pitch:20 ~symmetric:[ grp ] placement in
-  Alcotest.(check (list string)) "nothing failed" [] result.Route.Router.failed;
+  Alcotest.(check (list string)) "nothing failed" []
+    (List.map
+       (fun f -> f.Route.Router.failed_net)
+       result.Route.Router.failed);
   Alcotest.(check int) "both nets routed" 2
     (List.length result.Route.Router.routed);
   Alcotest.(check int) "one mirrored pair" 1
@@ -125,19 +128,234 @@ let test_mirrored_routing () =
   Alcotest.(check bool) "exact mirror" true
     (Route.Router.is_mirror_route ~axis2_grid nl nr)
 
-let test_routes_disjoint () =
+(* A gcell holds one horizontal and one vertical track: two routes may
+   legally cross in a cell, but three sharing one cell (or any residual
+   overflow) means negotiation failed. *)
+let test_routes_within_capacity () =
   let placement, grp = sym_placement () in
   let result = Route.Router.route_all ~pitch:20 ~symmetric:[ grp ] placement in
-  let all =
-    List.concat_map (fun r -> r.Route.Router.points) result.Route.Router.routed
+  Alcotest.(check int) "no overflow" 0 result.Route.Router.overflow;
+  let usage = Hashtbl.create 97 in
+  List.iter
+    (fun (r : Route.Router.route) ->
+      List.iter
+        (fun p ->
+          Hashtbl.replace usage p
+            (1 + Option.value ~default:0 (Hashtbl.find_opt usage p)))
+        r.Route.Router.points)
+    result.Route.Router.routed;
+  let worst = Hashtbl.fold (fun _ n acc -> max n acc) usage 0 in
+  Alcotest.(check bool) "within gcell capacity" true (worst <= 2)
+
+(* Randomized mirrored fixture: [k] units of a device pair plus a load
+   pair, exactly mirrored about doubled-layout axis 1200, one net per
+   side connecting device to load. Geometry is derived from [seed] so
+   QCheck shrinks over a compact space. *)
+let random_sym_fixture ~k ~seed =
+  let rng = Prelude.Rng.create (seed + 1) in
+  let axis2 = 1200 in
+  let modules = ref [] and nets = ref [] and placed = ref [] in
+  let pairs = ref [] in
+  let place cell x y w h =
+    Geometry.Transform.place ~cell ~x ~y ~w ~h ~orient:Geometry.Orientation.R0
   in
-  let sorted = List.sort compare all in
-  let rec dup = function
-    | a :: b :: _ when a = b -> true
-    | _ :: rest -> dup rest
-    | [] -> false
+  for i = 0 to k - 1 do
+    let base = 4 * i in
+    let w = 40 + (20 * Prelude.Rng.int rng 5)
+    and h = 40 + (20 * Prelude.Rng.int rng 5)
+    and xl = 20 * Prelude.Rng.int rng 15
+    and y = 300 * i in
+    let w2 = 40 + (20 * Prelude.Rng.int rng 3)
+    and x2 = 20 * Prelude.Rng.int rng 10
+    and y2 = (300 * i) + 160 in
+    modules :=
+      !modules
+      @ [
+          Netlist.Circuit.block ~name:(Printf.sprintf "dl%d" i) ~w ~h;
+          Netlist.Circuit.block ~name:(Printf.sprintf "dr%d" i) ~w ~h;
+          Netlist.Circuit.block ~name:(Printf.sprintf "ol%d" i) ~w:w2 ~h:40;
+          Netlist.Circuit.block ~name:(Printf.sprintf "or%d" i) ~w:w2 ~h:40;
+        ];
+    nets :=
+      !nets
+      @ [
+          Netlist.Net.make ~name:(Printf.sprintf "nl%d" i)
+            ~pins:[ base; base + 2 ] ();
+          Netlist.Net.make ~name:(Printf.sprintf "nr%d" i)
+            ~pins:[ base + 1; base + 3 ] ();
+        ];
+    placed :=
+      !placed
+      @ [
+          place base xl y w h;
+          place (base + 1) (axis2 - xl - w) y w h;
+          place (base + 2) x2 y2 w2 40;
+          place (base + 3) (axis2 - x2 - w2) y2 w2 40;
+        ];
+    pairs := !pairs @ [ (base, base + 1); (base + 2, base + 3) ]
+  done;
+  let circuit =
+    Netlist.Circuit.make ~name:"qsym" ~modules:!modules ~nets:!nets
   in
-  Alcotest.(check bool) "no shared tracks" false (dup sorted)
+  let group = Constraints.Symmetry_group.make ~pairs:!pairs ~selfs:[] () in
+  (Placer.Placement.make circuit !placed, group)
+
+(* every twin pair the router reports mirrored must be an exact mirror
+   image with equal per-pair wirelength — by construction, not luck *)
+let prop_twin_mirror =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:25 ~name:"twin routes are exact mirrors"
+       QCheck.(pair (int_range 1 3) (int_range 0 999))
+       (fun (k, seed) ->
+         (* the shrinker can step outside int_range; clamp to the
+            fixture's domain *)
+         let k = max 1 (min 3 k) and seed = abs seed in
+         let placement, grp = random_sym_fixture ~k ~seed in
+         let result =
+           Route.Router.route_all ~pitch:20 ~symmetric:[ grp ] placement
+         in
+         if result.Route.Router.failed <> [] then
+           QCheck.Test.fail_reportf "failed nets on a sparse fixture";
+         if List.length result.Route.Router.mirrored_pairs <> k then
+           QCheck.Test.fail_reportf "expected %d mirrored pairs, got %d" k
+             (List.length result.Route.Router.mirrored_pairs);
+         (* recover the reflection constant exactly as the router does:
+            from the first pair's snapped pin cells *)
+         let route name =
+           (List.find
+              (fun r -> r.Route.Router.net = name)
+              result.Route.Router.routed)
+             .Route.Router.points
+         in
+         let gc m =
+           match Placer.Placement.rect_of placement m with
+           | None -> QCheck.Test.fail_reportf "unplaced module"
+           | Some r ->
+               fst
+                 (Route.Grid.snap ~pitch:20 ~margin:Route.Router.default_margin
+                    (r.Geometry.Rect.x + (r.Geometry.Rect.w / 2), 0))
+         in
+         let axis2_grid = gc 0 + gc 1 in
+         List.for_all
+           (fun i ->
+             let nl = route (Printf.sprintf "nl%d" i)
+             and nr = route (Printf.sprintf "nr%d" i) in
+             List.length nl = List.length nr
+             && Route.Router.is_mirror_route ~axis2_grid nl nr)
+           (List.init k (fun i -> i))))
+
+let test_route_deterministic () =
+  (* identical inputs give byte-identical routes: same nets, points,
+     wirelength, iteration count *)
+  let placement, grp = sym_placement () in
+  let r1 = Route.Router.route_all ~pitch:20 ~symmetric:[ grp ] placement in
+  let r2 = Route.Router.route_all ~pitch:20 ~symmetric:[ grp ] placement in
+  Alcotest.(check int) "same wirelength" r1.Route.Router.wirelength
+    r2.Route.Router.wirelength;
+  Alcotest.(check int) "same iterations" r1.Route.Router.iterations
+    r2.Route.Router.iterations;
+  Alcotest.(check bool) "identical routes" true
+    (List.for_all2
+       (fun (a : Route.Router.route) (b : Route.Router.route) ->
+         a.Route.Router.net = b.Route.Router.net
+         && a.Route.Router.points = b.Route.Router.points)
+       r1.Route.Router.routed r2.Route.Router.routed);
+  let b = Netlist.Benchmarks.table1_suite () |> List.hd in
+  let r =
+    Shapefn.Combine.place ~mode:Shapefn.Combine.Esf b.Netlist.Benchmarks.circuit
+      b.Netlist.Benchmarks.hierarchy
+  in
+  let pl =
+    Placer.Placement.make b.Netlist.Benchmarks.circuit r.Shapefn.Combine.placed
+  in
+  let r1 = Route.Router.route_all pl and r2 = Route.Router.route_all pl in
+  Alcotest.(check int) "bench route deterministic" r1.Route.Router.wirelength
+    r2.Route.Router.wirelength
+
+let test_negotiation_converges () =
+  (* the Buffer bench forces nets through contested gcells: negotiation
+     must actually iterate (rip-up engaged) and still end overflow-free
+     with every net routed *)
+  let b =
+    List.find
+      (fun (b : Netlist.Benchmarks.bench) ->
+        b.Netlist.Benchmarks.label = "Buffer")
+      (Netlist.Benchmarks.table1_suite ())
+  in
+  let groups =
+    Constraints.Symmetry_group.of_hierarchy b.Netlist.Benchmarks.hierarchy
+  in
+  let r =
+    Shapefn.Combine.place ~mode:Shapefn.Combine.Esf b.Netlist.Benchmarks.circuit
+      b.Netlist.Benchmarks.hierarchy
+  in
+  let pl =
+    Placer.Placement.make b.Netlist.Benchmarks.circuit r.Shapefn.Combine.placed
+  in
+  let result = Route.Router.route_all ~symmetric:groups pl in
+  Alcotest.(check bool) "negotiation engaged" true
+    (result.Route.Router.iterations > 1);
+  Alcotest.(check int) "zero overflow" 0 result.Route.Router.overflow;
+  Alcotest.(check (list string)) "no failed nets" []
+    (List.map
+       (fun f -> f.Route.Router.failed_net)
+       result.Route.Router.failed)
+
+let estimate_fixture () =
+  (* four routable 50x50 modules, one far 10x10 marker pinning the die
+     extents so crowded and spread variants share bin geometry *)
+  Netlist.Circuit.make ~name:"est"
+    ~modules:
+      [
+        Netlist.Circuit.block ~name:"a" ~w:50 ~h:50;
+        Netlist.Circuit.block ~name:"b" ~w:50 ~h:50;
+        Netlist.Circuit.block ~name:"c" ~w:50 ~h:50;
+        Netlist.Circuit.block ~name:"d" ~w:50 ~h:50;
+        Netlist.Circuit.block ~name:"far" ~w:10 ~h:10;
+      ]
+    ~nets:
+      [
+        Netlist.Net.make ~name:"n1" ~pins:[ 0; 1 ] ();
+        Netlist.Net.make ~name:"n2" ~pins:[ 2; 3 ] ();
+      ]
+
+let test_estimate_properties () =
+  let place cell x y w h =
+    Geometry.Transform.place ~cell ~x ~y ~w ~h ~orient:Geometry.Orientation.R0
+  in
+  let placement coords =
+    Placer.Placement.make (estimate_fixture ())
+      (List.mapi (fun i (x, y, w, h) -> place i x y w h) coords)
+  in
+  let far = (2000, 2000, 10, 10) in
+  let est = Route.Estimate.create (estimate_fixture ()) in
+  (* two identical-demand nets crowded into one region score strictly
+     worse than the same nets spread across the die *)
+  let crowded =
+    placement
+      [ (0, 0, 50, 50); (200, 0, 50, 50); (0, 100, 50, 50); (200, 100, 50, 50); far ]
+  in
+  let spread =
+    placement
+      [ (0, 0, 50, 50); (200, 0, 50, 50); (0, 1800, 50, 50); (200, 1800, 50, 50); far ]
+  in
+  let sc = Route.Estimate.score_placement est crowded
+  and ss = Route.Estimate.score_placement est spread in
+  Alcotest.(check bool) "crowding costs more" true (sc > ss);
+  Alcotest.(check bool) "both positive" true (sc > 0.0 && ss > 0.0);
+  (* determinism *)
+  Alcotest.(check (float 0.0)) "score deterministic" sc
+    (Route.Estimate.score_placement est crowded);
+  (* a circuit with no multi-pin nets carries no demand *)
+  let lonely =
+    Netlist.Circuit.make ~name:"lonely"
+      ~modules:[ Netlist.Circuit.block ~name:"a" ~w:50 ~h:50 ]
+      ~nets:[ Netlist.Net.make ~name:"n" ~pins:[ 0 ] () ]
+  in
+  let e0 = Route.Estimate.create lonely in
+  Alcotest.(check (float 0.0)) "zero demand scores zero" 0.0
+    (Route.Estimate.score_placement e0
+       (Placer.Placement.make lonely [ place 0 0 0 50 50 ]))
 
 let test_route_random_circuits () =
   let rng = Prelude.Rng.create 4 in
@@ -179,7 +397,14 @@ let () =
       ( "router",
         [
           Alcotest.test_case "mirrored routing" `Quick test_mirrored_routing;
-          Alcotest.test_case "disjoint tracks" `Quick test_routes_disjoint;
+          prop_twin_mirror;
+          Alcotest.test_case "deterministic" `Quick test_route_deterministic;
+          Alcotest.test_case "negotiation converges" `Quick
+            test_negotiation_converges;
+          Alcotest.test_case "estimate properties" `Quick
+            test_estimate_properties;
+          Alcotest.test_case "within capacity" `Quick
+            test_routes_within_capacity;
           Alcotest.test_case "random circuits" `Quick test_route_random_circuits;
         ] );
     ]

@@ -400,6 +400,50 @@ let test_service_error_request () =
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "error response carries no result")
 
+let test_service_negative_cache () =
+  Service.with_service ~workers:1 (fun svc ->
+      (* miller needs ~15.3M units^2 of module area: a 1000x1000 box is
+         provably unplaceable, so the request must be rejected by the
+         feasibility prover without burning an anneal *)
+      let req =
+        quick_req ~outline:(1000, 1000) (Service.Request.Bench "miller")
+      in
+      let r1 = Service.submit svc req in
+      Alcotest.(check string) "served infeasible" "infeasible"
+        r1.Service.Request.served;
+      (match r1.Service.Request.body with
+      | Error msg ->
+          Alcotest.(check bool) "carries the proof" true
+            (String.length msg > 0)
+      | Ok _ -> Alcotest.fail "infeasible response carries no result");
+      Alcotest.(check int) "proved once" 1
+        (Service.counter_value svc "service.infeasible");
+      Alcotest.(check int) "no anneal burned" 0
+        (Service.counter_value svc "service.misses");
+      (* the second identical request is answered from the negative
+         cache: no prover run, no anneal, just a neg hit *)
+      let r2 = Service.submit svc req in
+      Alcotest.(check string) "still infeasible" "infeasible"
+        r2.Service.Request.served;
+      Alcotest.(check int) "negative-cache hit" 1
+        (Service.counter_value svc "service.neg_hits");
+      Alcotest.(check int) "prover not re-run" 1
+        (Service.counter_value svc "service.infeasible");
+      Alcotest.(check int) "still no anneal" 0
+        (Service.counter_value svc "service.misses");
+      (* proofs are salted with the exact box: one unit wider is a new
+         key, so it re-proves instead of reusing the cached verdict *)
+      let r3 =
+        Service.submit svc
+          (quick_req ~outline:(1001, 1000) (Service.Request.Bench "miller"))
+      in
+      Alcotest.(check string) "nearby box re-proved" "infeasible"
+        r3.Service.Request.served;
+      Alcotest.(check int) "second proof" 2
+        (Service.counter_value svc "service.infeasible");
+      Alcotest.(check int) "no stale neg hit" 1
+        (Service.counter_value svc "service.neg_hits"))
+
 let test_request_json_roundtrip () =
   let line =
     {|{"id":"q1","synthetic":{"n":9,"seed":4},"outline":[50,40],"effort":"quick","seed":3}|}
@@ -426,7 +470,9 @@ let test_concurrent_stress () =
     ]
   in
   (* repeat-heavy mixed workload: every source queried repeatedly,
-     with same-class outline variation to exercise instantiation *)
+     with same-class outline variation to exercise instantiation.
+     Outlines are generous: a provably-too-small box would now be
+     rejected by the feasibility gate instead of served best-effort *)
   let workload =
     List.concat_map
       (fun k ->
@@ -435,8 +481,8 @@ let test_concurrent_stress () =
             let outline =
               match k mod 3 with
               | 0 -> None
-              | 1 -> Some (500 + (10 * k), 450)
-              | _ -> Some (520, 460 + (5 * k))
+              | 1 -> Some (5_000 + (100 * k), 4_500)
+              | _ -> Some (5_200, 4_600 + (50 * k))
             in
             quick_req ~id:(Printf.sprintf "w%d-s%d" k i) ?outline src)
           sources)
@@ -519,6 +565,8 @@ let () =
             test_service_varied_outline_hit;
           Alcotest.test_case "verify evicts" `Quick test_service_verify_evicts;
           Alcotest.test_case "error request" `Quick test_service_error_request;
+          Alcotest.test_case "negative cache" `Quick
+            test_service_negative_cache;
           Alcotest.test_case "request json" `Quick test_request_json_roundtrip;
         ] );
       ( "concurrent",
