@@ -1,4 +1,4 @@
-.PHONY: all check test bench perf qor report clean
+.PHONY: all check test bench perf qor report dashboard clean
 
 all:
 	dune build @all
@@ -30,6 +30,13 @@ qor:
 # trend report over the local bench ledger (no baseline)
 report:
 	dune exec bin/analog_place.exe -- report BENCH_ledger.jsonl
+
+# the flight recorder: one self-contained HTML page over the local
+# bench ledger, with a live instrumented place-and-route for the
+# convergence and congestion panels (writes flight-recorder.html)
+dashboard:
+	dune exec bin/analog_place.exe -- dashboard BENCH_ledger.jsonl \
+	  --out flight-recorder.html --bench miller --engine sp --route
 
 clean:
 	dune clean

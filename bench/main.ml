@@ -1218,6 +1218,14 @@ let qor () =
             Placer.Placement.make circuit r.Shapefn.Combine.placed
           in
           (placement, Placer.Cost.evaluate Placer.Cost.default placement, 0, 0)
+      | "rsf" ->
+          let r =
+            Shapefn.Combine.place ~mode:Shapefn.Combine.Rsf circuit hierarchy
+          in
+          let placement =
+            Placer.Placement.make circuit r.Shapefn.Combine.placed
+          in
+          (placement, Placer.Cost.evaluate Placer.Cost.default placement, 0, 0)
       | "hbstar" ->
           let o = Bstar.Hbstar.place ~rng circuit hierarchy in
           let placement = Placer.Placement.make circuit o.Bstar.Hbstar.placed in
@@ -1233,18 +1241,19 @@ let qor () =
     in
     (* routed entries carry the router's QoR so the regression gate
        covers routed wirelength and overflow alongside HPWL *)
-    let routed_wl, route_overflow, route_failed =
-      if not route then (None, None, None)
+    let routed_wl, route_overflow, route_failed, route_iterations =
+      if not route then (None, None, None, None)
       else
-        let r = Route.Router.route_all ~symmetric:groups placement in
+        let r = Route.Router.route_all ~symmetric:groups ~telemetry placement in
         ( Some r.Route.Router.wirelength,
           Some r.Route.Router.overflow,
-          Some (List.length r.Route.Router.failed) )
+          Some (List.length r.Route.Router.failed),
+          Some r.Route.Router.iterations )
     in
     let q =
       Placer.Qor.extract ~groups ~hierarchy ~move_rates ?routed_wl
-        ?route_overflow ?route_failed ~cost ~wall_s ~sa_rounds ~evaluated
-        placement
+        ?route_overflow ?route_failed ?route_iterations ~cost ~wall_s
+        ~sa_rounds ~evaluated placement
     in
     let chain_qors =
       List.filter
@@ -1282,6 +1291,7 @@ let qor () =
   run_entry miller "bstar" 1 None;
   run_entry fig2 "sp" 2 (Some 2);
   run_entry miller "esf" 1 None;
+  run_entry miller "rsf" 1 None;
   run_entry miller "hbstar" 1 None;
   (* the routed suite: deterministic esf placements of the six Table-I
      circuits, routed to completion — the ledger entries carry
@@ -1289,7 +1299,7 @@ let qor () =
      report` gates routed wirelength and overflow alongside HPWL *)
   let suite = Netlist.Benchmarks.table1_suite () in
   List.iter (fun b -> run_entry ~route:true b "esf" 1 None) suite;
-  Printf.printf "appended %d entries to %s\n" (5 + List.length suite) path
+  Printf.printf "appended %d entries to %s\n" (6 + List.length suite) path
 
 (* ------------------------------------------------------------------ *)
 (* E19: placement-as-a-service — cold-miss vs warm-hit latency and     *)

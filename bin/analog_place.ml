@@ -1,10 +1,11 @@
 (* Command-line front end.
 
-     analog_place place  -- place a netlist (or a built-in benchmark)
-     analog_place size   -- layout-aware sizing of the Miller op amp
-     analog_place info   -- parse + recognize only
-     analog_place lint   -- static constraint/netlist diagnostics
-     analog_place verify -- re-verify recorded placements, DRC style
+     analog_place place     -- place a netlist (or a built-in benchmark)
+     analog_place size      -- layout-aware sizing of the Miller op amp
+     analog_place info      -- parse + recognize only
+     analog_place lint      -- static constraint/netlist diagnostics
+     analog_place verify    -- re-verify recorded placements, DRC style
+     analog_place dashboard -- the flight recorder: one-page HTML telemetry
 
    Examples:
      analog_place place --netlist opamp.cir --engine hbstar --svg out.svg
@@ -13,6 +14,7 @@
      analog_place size --mode aware
      analog_place lint opamp.cir --json
      analog_place verify --ledger runs.jsonl --all --sarif verify.sarif
+     analog_place dashboard runs.jsonl --out flight.html --bench miller --route
 *)
 
 open Cmdliner
@@ -335,7 +337,7 @@ let run_place do_route netlist bench engine seed svg quiet cluster validate
     if not do_route then None
     else begin
       let r0 = Unix.gettimeofday () in
-      let r = Route.Router.route_all ~symmetric:groups placement in
+      let r = Route.Router.route_all ~symmetric:groups ~telemetry placement in
       let r_s = Unix.gettimeofday () -. r0 in
       Printf.printf
         "routed %d/%d nets: wirelength %d, overflow %d, %d iterations, %d \
@@ -414,18 +416,19 @@ let run_place do_route netlist bench engine seed svg quiet cluster validate
       let move_rates =
         Telemetry.Qor.move_rates_of_counters (Telemetry.Sink.counters telemetry)
       in
-      let routed_wl, route_overflow, route_failed =
+      let routed_wl, route_overflow, route_failed, route_iterations =
         match route_result with
-        | None -> (None, None, None)
+        | None -> (None, None, None, None)
         | Some r ->
             ( Some r.Route.Router.wirelength,
               Some r.Route.Router.overflow,
-              Some (List.length r.Route.Router.failed) )
+              Some (List.length r.Route.Router.failed),
+              Some r.Route.Router.iterations )
       in
       let qor =
         Placer.Qor.extract ~groups ~hierarchy ~move_rates ?routed_wl
-          ?route_overflow ?route_failed ~cost ~wall_s ~sa_rounds ~evaluated
-          placement
+          ?route_overflow ?route_failed ?route_iterations ~cost ~wall_s
+          ~sa_rounds ~evaluated placement
       in
       let chain_qors =
         List.filter
@@ -741,7 +744,7 @@ let annotated_svg (e : Telemetry.Ledger.entry) p =
 let sanitize_key k =
   String.map (function '/' | ' ' | '.' -> '_' | c -> c) k
 
-let run_report ledger baseline last svg_dir cost_tol hpwl_tol area_tol =
+let run_report ledger baseline last svg_dir cost_tol hpwl_tol area_tol json =
   let read_or_die path =
     match Telemetry.Ledger.read path with
     | Ok [] ->
@@ -788,7 +791,18 @@ let run_report ledger baseline last svg_dir cost_tol hpwl_tol area_tol =
     Telemetry.Regress.compare_entries ~thresholds ~baseline:base_entries
       ~candidate:cand_entries ()
   in
-  print_string (Telemetry.Regress.render verdict);
+  if json then begin
+    (* machine-readable verdict, self-checked: the emitted document
+       must parse back before anything downstream sees it *)
+    let doc = Telemetry.Json.emit (Telemetry.Regress.to_json verdict) in
+    (match Telemetry.Json.parse doc with
+    | Ok _ -> ()
+    | Error e ->
+        Printf.eprintf "internal error: invalid report JSON: %s\n" e;
+        exit 2);
+    print_endline doc
+  end
+  else print_string (Telemetry.Regress.render verdict);
   (match svg_dir with
   | None -> ()
   | Some dir ->
@@ -859,6 +873,16 @@ let report_cmd =
   let cost_tol = tol "cost-tol" 1.0 "Cost regression tolerance, percent." in
   let hpwl_tol = tol "hpwl-tol" 2.0 "HPWL regression tolerance, percent." in
   let area_tol = tol "area-tol" 2.0 "Area regression tolerance, percent." in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the verdict as one machine-readable JSON object \
+             (verdict, per-configuration comparisons, per-metric \
+             baselines and deltas) instead of the text table. The exit \
+             status gates the same way.")
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:
@@ -866,7 +890,7 @@ let report_cmd =
           gated metric regressed)")
     Term.(
       const run_report $ ledger $ baseline $ last $ svg_dir $ cost_tol
-      $ hpwl_tol $ area_tol)
+      $ hpwl_tol $ area_tol $ json)
 
 (* ---- size -------------------------------------------------------- *)
 
@@ -1304,6 +1328,256 @@ let serve_cmd =
           the cache.")
     Term.(const run_serve $ service_workers $ service_cache_size $ service_prom)
 
+(* ---- dashboard: the flight recorder ------------------------------ *)
+
+(* The trend panels come straight from the ledger; the convergence,
+   negotiation and heatmap panels need live telemetry, so an optional
+   instrumented run (--bench/--netlist, --route) feeds them; the
+   service panel replays a request file through the real service,
+   snapshotting the counters after every request. The rendered page is
+   self-checked with the hand-rolled well-formedness checker before it
+   touches disk — a malformed document is a bug here, not data. *)
+let run_dashboard ledger out title last netlist bench engine seed do_route
+    requests =
+  let entries =
+    match Telemetry.Ledger.read ledger with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    | Ok [] ->
+        Printf.eprintf "error: %s holds no ledger entries\n" ledger;
+        exit 2
+    | Ok es -> es
+  in
+  let entries =
+    match last with
+    | None -> entries
+    | Some n ->
+        let len = List.length entries in
+        List.filteri (fun i _ -> i >= len - n) entries
+  in
+  let sink, route_iters, heatmaps =
+    match (netlist, bench) with
+    | None, None ->
+        if do_route then begin
+          prerr_endline "error: --route needs --bench NAME or --netlist FILE";
+          exit 1
+        end;
+        (None, [], [])
+    | _ ->
+        let b =
+          match (netlist, bench) with
+          | Some path, _ -> load_netlist path
+          | None, Some name -> load_bench name
+          | None, None -> assert false
+        in
+        let circuit = b.Netlist.Benchmarks.circuit in
+        let hierarchy = b.Netlist.Benchmarks.hierarchy in
+        let groups = Constraints.Symmetry_group.of_hierarchy hierarchy in
+        let rng = Prelude.Rng.create seed in
+        let telemetry = Telemetry.Sink.create ~trace_capacity:65536 () in
+        let placed =
+          match engine with
+          | Sp ->
+              (Placer.Sa_seqpair.place ~groups ~telemetry ~rng circuit)
+                .Placer.Sa_seqpair.placement.Placer.Placement.placed
+          | Bstar_flat ->
+              (Placer.Sa_bstar.place ~telemetry ~rng circuit)
+                .Placer.Sa_bstar.placement.Placer.Placement.placed
+          | Tcg ->
+              (Placer.Sa_tcg.place ~telemetry ~rng circuit)
+                .Placer.Sa_tcg.placement.Placer.Placement.placed
+          | Hbstar ->
+              (Bstar.Hbstar.place ~rng circuit hierarchy).Bstar.Hbstar.placed
+          | Esf ->
+              (Shapefn.Combine.place ~mode:Shapefn.Combine.Esf circuit
+                 hierarchy)
+                .Shapefn.Combine.placed
+          | Rsf ->
+              (Shapefn.Combine.place ~mode:Shapefn.Combine.Rsf circuit
+                 hierarchy)
+                .Shapefn.Combine.placed
+          | Slicing ->
+              (Placer.Slicing.place ~rng circuit)
+                .Placer.Slicing.placement.Placer.Placement.placed
+        in
+        let placement = Placer.Placement.make circuit placed in
+        let route_iters, heatmaps =
+          if not do_route then ([], [])
+          else begin
+            let r =
+              Route.Router.route_all ~symmetric:groups ~telemetry placement
+            in
+            let iters =
+              List.map
+                (fun (it : Route.Router.iteration) ->
+                  {
+                    Telemetry.Dashboard.ri_iter = it.Route.Router.it_index;
+                    ri_pres_fac = it.Route.Router.it_pres_fac;
+                    ri_overflow = it.Route.Router.it_overflow;
+                    ri_overused = it.Route.Router.it_overused;
+                    ri_ripped = it.Route.Router.it_ripped;
+                    ri_pops = it.Route.Router.it_pops;
+                  })
+                r.Route.Router.negotiation
+            in
+            let s = r.Route.Router.occupancy in
+            let hm =
+              {
+                Telemetry.Dashboard.hm_label = b.Netlist.Benchmarks.label;
+                hm_cols = s.Route.Negotiate.Snapshot.cols;
+                hm_rows = s.Route.Negotiate.Snapshot.rows;
+                hm_capacity = s.Route.Negotiate.Snapshot.capacity;
+                hm_present = s.Route.Negotiate.Snapshot.present;
+                hm_history = s.Route.Negotiate.Snapshot.history;
+              }
+            in
+            (iters, [ hm ])
+          end
+        in
+        (Some telemetry, route_iters, heatmaps)
+  in
+  let service_points =
+    match requests with
+    | None -> []
+    | Some path ->
+        let ic = if path = "-" then stdin else open_in path in
+        let lines = read_request_lines ic in
+        if ic != stdin then close_in ic;
+        List.iter
+          (function
+            | Error (n, msg) ->
+                Printf.eprintf "line %d: bad request: %s\n%!" n msg;
+                exit 1
+            | Ok _ -> ())
+          lines;
+        let requests =
+          List.filter_map (function Ok r -> Some r | Error _ -> None) lines
+        in
+        Service.with_service (fun svc ->
+            List.map
+              (fun req ->
+                ignore (Service.submit svc req);
+                let v = Service.counter_value svc in
+                {
+                  Telemetry.Dashboard.sp_requests = v "service.requests";
+                  sp_hits = v "service.hits";
+                  sp_misses = v "service.misses";
+                  sp_evictions = v "service.verify_evictions";
+                  sp_neg_hits = v "service.neg_hits";
+                  sp_infeasible = v "service.infeasible";
+                })
+              requests)
+  in
+  let html =
+    Telemetry.Dashboard.render ?title ~entries ?sink ~route:route_iters
+      ~heatmaps ~service:service_points ()
+  in
+  (match Telemetry.Html.check html with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "internal error: dashboard failed HTML check: %s\n" e;
+      exit 2);
+  write_or_die out html;
+  Printf.printf "wrote %s (%d ledger entries%s%s%s)\n" out
+    (List.length entries)
+    (if sink <> None then ", live run" else "")
+    (if heatmaps <> [] then ", routed" else "")
+    (match service_points with
+    | [] -> ""
+    | l -> Printf.sprintf ", %d service requests" (List.length l))
+
+let dashboard_cmd =
+  let ledger =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"LEDGER"
+          ~doc:
+            "QoR ledger (JSONL) to render: every entry feeds the \
+             per-configuration trend sparklines and the run table.")
+  in
+  let out =
+    Arg.(
+      value & opt string "dashboard.html"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Output path for the dashboard document.")
+  in
+  let title =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "title" ] ~docv:"TEXT" ~doc:"Dashboard heading.")
+  in
+  let last =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "last" ] ~docv:"N"
+          ~doc:"Render only the last N entries of LEDGER.")
+  in
+  let netlist =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "netlist"; "n" ] ~docv:"FILE"
+          ~doc:
+            "Also run a live instrumented placement of this netlist: \
+             adds the SA convergence, acceptance and counter panels.")
+  in
+  let bench =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench"; "b" ] ~docv:"NAME"
+          ~doc:"Live-run a built-in benchmark instead of a netlist file.")
+  in
+  let engine =
+    Arg.(
+      value & opt engine_conv Sp
+      & info [ "engine"; "e" ] ~docv:"ENGINE"
+          ~doc:
+            "Engine for the live run (default sp, which carries full \
+             annealing telemetry).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"INT" ~doc:"RNG seed for the live run.")
+  in
+  let route =
+    Arg.(
+      value & flag
+      & info [ "route" ]
+          ~doc:
+            "Route the live placement too: adds the negotiation \
+             convergence panel and the occupancy / history congestion \
+             heatmaps.")
+  in
+  let requests =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "requests" ] ~docv:"FILE"
+          ~doc:
+            "Replay this JSONL request file (same wire format as \
+             $(b,batch)) through the placement service and chart the \
+             cache hit/miss/eviction trend per request; $(b,-) for \
+             stdin.")
+  in
+  Cmd.v
+    (Cmd.info "dashboard"
+       ~doc:
+         "Render the flight recorder: one self-contained HTML+SVG page \
+          (no scripts, no external assets) with QoR trends from the \
+          ledger, and optionally live SA convergence, route congestion \
+          heatmaps and service cache telemetry. The page is checked \
+          for well-formedness before it is written; a check failure \
+          exits 2, so this doubles as a render gate in CI.")
+    Term.(
+      const run_dashboard $ ledger $ out $ title $ last $ netlist $ bench
+      $ engine $ seed $ route $ requests)
+
 let () =
   let doc = "Analog layout synthesis: topological placement and sizing" in
   exit
@@ -1311,5 +1585,5 @@ let () =
        (Cmd.group (Cmd.info "analog_place" ~version:"1.0" ~doc)
           [
             place_cmd; route_cmd; report_cmd; size_cmd; info_cmd; lint_cmd;
-            verify_cmd; batch_cmd; serve_cmd;
+            verify_cmd; batch_cmd; serve_cmd; dashboard_cmd;
           ]))

@@ -41,8 +41,8 @@ let violations ?(groups = []) ?hierarchy p =
   sym @ hier
 
 let extract ?(weights = Cost.default) ?groups ?hierarchy ?outline ?move_rates
-    ?routed_wl ?route_overflow ?route_failed ~cost ~wall_s ~sa_rounds
-    ~evaluated p =
+    ?routed_wl ?route_overflow ?route_failed ?route_iterations ~cost ~wall_s
+    ~sa_rounds ~evaluated p =
   let width = Placement.width p and height = Placement.height p in
   let hpwl = Placement.hpwl p in
   let area = Placement.area p in
@@ -59,7 +59,7 @@ let extract ?(weights = Cost.default) ?groups ?hierarchy ?outline ?move_rates
     | Some (ow, oh) -> Some (width <= ow && height <= oh)
   in
   Telemetry.Qor.run
-    ?outline_fit ?routed_wl ?route_overflow ?route_failed
+    ?outline_fit ?routed_wl ?route_overflow ?route_failed ?route_iterations
     ~violations:(violations ?groups ?hierarchy p)
     ?move_rates ~cost ~wall_s ~sa_rounds ~evaluated ~area ~width ~height ~hpwl
     ~term_area ~term_wirelength ~term_aspect ~dead_space_pct ()

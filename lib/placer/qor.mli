@@ -27,6 +27,7 @@ val extract :
   ?routed_wl:int ->
   ?route_overflow:int ->
   ?route_failed:int ->
+  ?route_iterations:int ->
   cost:float ->
   wall_s:float ->
   sa_rounds:int ->
@@ -37,9 +38,9 @@ val extract :
     (default weights {!Cost.default}), geometry from the placement,
     dead-space percentage, [outline_fit] when a fixed [(w, h)] outline
     is given, and {!violations} of the stated constraints. The routed
-    QoR triple ([routed_wl] / [route_overflow] / [route_failed]) is
-    passed through when the flow ran the router and omitted from the
-    JSON otherwise. *)
+    QoR fields ([routed_wl] / [route_overflow] / [route_failed] /
+    [route_iterations]) are passed through when the flow ran the
+    router and omitted from the JSON otherwise. *)
 
 val rects : Placement.t -> Telemetry.Ledger.rect list
 (** The placed rectangles with their cell names, in cell order — what

@@ -36,6 +36,11 @@ type t = {
   (* current net's tree cells, epoch-stamped *)
   tree_mark : int array;
   mutable tree_epoch : int;
+  (* cumulative Dijkstra heap pops: a plain integer so counting it
+     costs one increment, stays deterministic, and leaves this module
+     free of any telemetry dependency — Router snapshots deltas into
+     its sink *)
+  mutable pops : int;
 }
 
 let base_cost = 1.0
@@ -59,6 +64,7 @@ let create ~cols ~rows =
     heap_len = 0;
     tree_mark = Array.make n 0;
     tree_epoch = 0;
+    pops = 0;
   }
 
 let of_grid ?(capacity = 1) grid =
@@ -108,6 +114,27 @@ let add_history t ~hfac =
     if over > 0 then t.history.(i) <- t.history.(i) +. (hfac *. float_of_int over)
   done
 
+let search_pops t = t.pops
+
+module Snapshot = struct
+  type t = {
+    cols : int;
+    rows : int;
+    capacity : int array;
+    present : int array;
+    history : float array;
+  }
+end
+
+let snapshot t =
+  {
+    Snapshot.cols = t.cols;
+    rows = t.rows;
+    capacity = Array.copy t.capacity;
+    present = Array.copy t.present;
+    history = Array.copy t.history;
+  }
+
 (* ---- heap ---------------------------------------------------------- *)
 
 let less t a b = t.dist.(a) < t.dist.(b) || (t.dist.(a) = t.dist.(b) && a < b)
@@ -146,6 +173,7 @@ let heap_push t cell =
 let heap_decrease t cell = sift_up t t.handle.(cell)
 
 let heap_pop t =
+  t.pops <- t.pops + 1;
   let top = t.heap.(0) in
   t.heap_len <- t.heap_len - 1;
   t.handle.(top) <- -1;

@@ -52,6 +52,27 @@ val add_history : t -> hfac:float -> unit
 (** End-of-iteration update: every over-used cell's history grows by
     [hfac * overuse]. *)
 
+val search_pops : t -> int
+(** Cumulative Dijkstra heap pops across every search this state has
+    run — the router diffs it per iteration for the
+    [route.search.pops] counter. Plain integer bookkeeping: always on,
+    deterministic, no telemetry dependency. *)
+
+module Snapshot : sig
+  type t = {
+    cols : int;
+    rows : int;
+    capacity : int array;  (** row-major, index [r * cols + c] *)
+    present : int array;
+    history : float array;
+  }
+end
+
+val snapshot : t -> Snapshot.t
+(** Deep copy of the per-gcell capacity / occupancy / history state —
+    the congestion-heatmap export. Mutating the snapshot never touches
+    the live router state. *)
+
 val route_tree :
   t ->
   ?mirror:int ->

@@ -9,6 +9,15 @@ type reason =
 
 type failure = { failed_net : string; reason : reason }
 
+type iteration = {
+  it_index : int;
+  it_pres_fac : float;
+  it_overflow : int;
+  it_overused : int;
+  it_ripped : int;
+  it_pops : int;
+}
+
 type result = {
   routed : route list;
   failed : failure list;
@@ -16,6 +25,8 @@ type result = {
   mirrored_pairs : (string * string) list;
   overflow : int;
   iterations : int;
+  negotiation : iteration list;
+  occupancy : Negotiate.Snapshot.t;
   power : Grid.point list list;
   grid : Grid.t;
 }
@@ -147,7 +158,19 @@ let is_mirror_route ~axis2_grid a b =
 
 let route_all ?(pitch = default_pitch) ?(margin = default_margin)
     ?(symmetric = []) ?(power = true)
-    ?(max_iterations = default_max_iterations) placement =
+    ?(max_iterations = default_max_iterations)
+    ?(telemetry = Telemetry.Sink.null) placement =
+  (* Instrumentation discipline, as everywhere else: handles resolved
+     once, every op on a dead sink is one branch, and nothing here
+     consumes randomness — traced routes are bit-identical to
+     untraced ones (tested). *)
+  let c_ripped = Telemetry.Sink.counter telemetry "route.ripped" in
+  let c_pops = Telemetry.Sink.counter telemetry "route.search.pops" in
+  let h_ovf = Telemetry.Sink.histogram telemetry "route.iter.overflow" in
+  let h_ripped = Telemetry.Sink.histogram telemetry "route.iter.ripped" in
+  let h_pops = Telemetry.Sink.histogram telemetry "route.iter.pops" in
+  let h_pres = Telemetry.Sink.histogram telemetry "route.iter.pres_fac" in
+  let t_total = Telemetry.Sink.span_begin telemetry in
   let grid = Grid.of_placement ~pitch ~margin placement in
   let nets = placement.Placer.Placement.circuit.Netlist.Circuit.nets in
   (* triage: routable nets carry terminals, the rest carry reasons *)
@@ -244,11 +267,13 @@ let route_all ?(pitch = default_pitch) ?(margin = default_margin)
   let mirror_ok = Hashtbl.create 8 in
   let hard_failed = Hashtbl.create 8 in
   let done_this_iter = Hashtbl.create 32 in
+  let iter_ripped = ref 0 in
   let rip name =
     match Hashtbl.find_opt routes name with
     | Some points ->
         Negotiate.release nego points;
-        Hashtbl.remove routes name
+        Hashtbl.remove routes name;
+        incr iter_ripped
     | None -> ()
   in
   let set_route name points =
@@ -307,7 +332,11 @@ let route_all ?(pitch = default_pitch) ?(margin = default_margin)
   in
   let iterations = ref 0 in
   let converged = ref (routable = []) in
+  let nego_log = ref [] in
   while (not !converged) && !iterations < max_iterations do
+    let t_iter = Telemetry.Sink.span_begin telemetry in
+    let pops0 = Negotiate.search_pops nego in
+    iter_ripped := 0;
     let pres_fac =
       min max_pres_fac (first_pres_fac *. (pres_mult ** float_of_int !iterations))
     in
@@ -336,8 +365,26 @@ let route_all ?(pitch = default_pitch) ?(margin = default_margin)
     Hashtbl.reset done_this_iter;
     List.iter (process pres_fac) order;
     incr iterations;
-    if Negotiate.overflow nego = 0 then converged := true
-    else Negotiate.add_history nego ~hfac
+    let ovf = Negotiate.overflow nego in
+    if ovf = 0 then converged := true else Negotiate.add_history nego ~hfac;
+    let pops = Negotiate.search_pops nego - pops0 in
+    nego_log :=
+      {
+        it_index = !iterations;
+        it_pres_fac = pres_fac;
+        it_overflow = ovf;
+        it_overused = Negotiate.overused_cells nego;
+        it_ripped = !iter_ripped;
+        it_pops = pops;
+      }
+      :: !nego_log;
+    Telemetry.Counter.add c_ripped !iter_ripped;
+    Telemetry.Counter.add c_pops pops;
+    Telemetry.Hist.observe h_ovf (float_of_int ovf);
+    Telemetry.Hist.observe h_ripped (float_of_int !iter_ripped);
+    Telemetry.Hist.observe h_pops (float_of_int pops);
+    Telemetry.Hist.observe h_pres pres_fac;
+    Telemetry.Sink.span_end telemetry "route.iteration" t_iter
   done;
   (* materialize, in circuit net order for determinism *)
   let routed =
@@ -367,14 +414,30 @@ let route_all ?(pitch = default_pitch) ?(margin = default_margin)
   in
   Grid.block_many grid rail_points;
   List.iter (fun r -> Grid.block_many grid r.points) routed;
+  let final_overflow = Negotiate.overflow nego in
+  Telemetry.Counter.add
+    (Telemetry.Sink.counter telemetry "route.iterations")
+    !iterations;
+  Telemetry.Counter.add
+    (Telemetry.Sink.counter telemetry "route.overflow")
+    final_overflow;
+  Telemetry.Counter.add
+    (Telemetry.Sink.counter telemetry "route.nets.routed")
+    (List.length routed);
+  Telemetry.Counter.add
+    (Telemetry.Sink.counter telemetry "route.nets.failed")
+    (List.length failed);
+  Telemetry.Sink.span_end telemetry "route.total" t_total;
   {
     routed;
     failed;
     wirelength =
       List.fold_left (fun acc r -> acc + List.length r.points) 0 routed;
     mirrored_pairs = mirrored;
-    overflow = Negotiate.overflow nego;
+    overflow = final_overflow;
     iterations = !iterations;
+    negotiation = List.rev !nego_log;
+    occupancy = Negotiate.snapshot nego;
     power = rails.Power.vdd @ rails.Power.gnd;
     grid;
   }

@@ -26,6 +26,18 @@ type reason =
 
 type failure = { failed_net : string; reason : reason }
 
+type iteration = {
+  it_index : int;  (** 1-based negotiation pass number *)
+  it_pres_fac : float;  (** present-sharing factor the pass ran at *)
+  it_overflow : int;  (** total over-capacity usage after the pass *)
+  it_overused : int;  (** over-capacity gcells after the pass *)
+  it_ripped : int;  (** previously-routed nets ripped up this pass *)
+  it_pops : int;  (** Dijkstra heap pops spent this pass *)
+}
+(** One negotiation pass, always recorded (the log is at most
+    [max_iterations] entries): this is what distinguishes a healthy
+    converging run from one thrashing against the iteration cap. *)
+
 type result = {
   routed : route list;
   failed : failure list;
@@ -39,6 +51,10 @@ type result = {
       (** residual over-use after the last iteration; 0 = all routes
           simultaneously legal *)
   iterations : int;  (** negotiation iterations performed *)
+  negotiation : iteration list;  (** per-pass log, oldest first *)
+  occupancy : Negotiate.Snapshot.t;
+      (** final per-gcell capacity / occupancy / history — the
+          congestion-heatmap export *)
   power : Grid.point list list;  (** claimed rail segments, VDD then GND *)
   grid : Grid.t;  (** final occupancy: rails + signal routes *)
 }
@@ -66,6 +82,7 @@ val route_all :
   ?symmetric:Constraints.Symmetry_group.t list ->
   ?power:bool ->
   ?max_iterations:int ->
+  ?telemetry:Telemetry.Sink.t ->
   Placer.Placement.t ->
   result
 (** Route every net of the placement's circuit (pins at module
@@ -73,7 +90,15 @@ val route_all :
     nets across each axis are routed mirrored. [power] (default true)
     lays the trunk-and-strap comb before any signal net. Defaults:
     [pitch] 20 layout units per track, [margin] 4 tracks,
-    [max_iterations] 40. *)
+    [max_iterations] 40.
+
+    [telemetry] (default {!Telemetry.Sink.null}) records
+    [route.iteration] / [route.total] spans, [route.*] counters
+    (iterations, ripped nets, search pops, routed / failed nets,
+    residual overflow) and per-iteration [route.iter.*] histograms.
+    Instrumentation draws no randomness and the null sink costs one
+    branch per site: traced routes are bit-identical to untraced
+    ones. *)
 
 val is_mirror_route :
   axis2_grid:int -> Grid.point list -> Grid.point list -> bool

@@ -1,0 +1,831 @@
+type heatmap = {
+  hm_label : string;
+  hm_cols : int;
+  hm_rows : int;
+  hm_capacity : int array;
+  hm_present : int array;
+  hm_history : float array;
+}
+
+type route_iter = {
+  ri_iter : int;
+  ri_pres_fac : float;
+  ri_overflow : int;
+  ri_overused : int;
+  ri_ripped : int;
+  ri_pops : int;
+}
+
+type service_point = {
+  sp_requests : int;
+  sp_hits : int;
+  sp_misses : int;
+  sp_evictions : int;
+  sp_neg_hits : int;
+  sp_infeasible : int;
+}
+
+(* Validated categorical slots (fixed order, never cycled), the
+   sequential blue ramp for magnitude, and the reserved status red for
+   overuse. Text always wears ink tokens, never a series color. *)
+let slot = [| "#2a78d6"; "#eb6834"; "#1baf7a"; "#eda100"; "#e87ba4" |]
+let bad_color = "#e34948"
+
+let ramp =
+  [| "#cde2fb"; "#9ec5f4"; "#6da7ec"; "#3987e5"; "#256abf"; "#184f95";
+     "#0d366b" |]
+
+let blocked_color = "#52514e"
+let empty_color = "#f0efec"
+
+let fnum v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4g" v
+
+(* ---- small chart builders --------------------------------------- *)
+
+let sparkline ?(w = 150) ?(h = 40) ~color ~label values =
+  match values with
+  | [] -> Html.el "span" [ ("class", "sub") ] [ Html.text "no data" ]
+  | _ ->
+      let vs = Array.of_list values in
+      let n = Array.length vs in
+      let lo = Array.fold_left min vs.(0) vs in
+      let hi = Array.fold_left max vs.(0) vs in
+      let pad = 5. in
+      let fw = float_of_int w and fh = float_of_int h in
+      let x i =
+        if n = 1 then fw /. 2.
+        else pad +. (float_of_int i /. float_of_int (n - 1) *. (fw -. (2. *. pad)))
+      in
+      let y v =
+        if hi = lo then fh /. 2.
+        else fh -. pad -. ((v -. lo) /. (hi -. lo) *. (fh -. (2. *. pad)))
+      in
+      let pts =
+        String.concat " "
+          (List.mapi (fun i v -> Printf.sprintf "%.1f,%.1f" (x i) (y v)) values)
+      in
+      let last = vs.(n - 1) in
+      let tip =
+        Printf.sprintf "%s: min %s, max %s, last %s (%d points)" label
+          (fnum lo) (fnum hi) (fnum last) n
+      in
+      Html.el "svg"
+        [
+          ("width", string_of_int w);
+          ("height", string_of_int h);
+          ("viewBox", Printf.sprintf "0 0 %d %d" w h);
+          ("role", "img");
+          ("aria-label", tip);
+        ]
+        [
+          Html.el "title" [] [ Html.text tip ];
+          (if n = 1 then ""
+           else
+             Html.leaf "polyline"
+               [
+                 ("points", pts);
+                 ("fill", "none");
+                 ("stroke", color);
+                 ("stroke-width", "2");
+                 ("stroke-linejoin", "round");
+                 ("stroke-linecap", "round");
+               ]);
+          Html.leaf "circle"
+            [
+              ("cx", Printf.sprintf "%.1f" (x (n - 1)));
+              ("cy", Printf.sprintf "%.1f" (y last));
+              ("r", "3.5");
+              ("fill", color);
+            ];
+        ]
+
+let spark_cell ~color ~label values =
+  let last =
+    match List.rev values with [] -> "-" | v :: _ -> fnum v
+  in
+  Html.el "div"
+    [ ("class", "spark") ]
+    [
+      Html.el "div" [ ("class", "k") ] [ Html.text label ];
+      sparkline ~color ~label values;
+      Html.el "div" [ ("class", "v") ] [ Html.text last ];
+    ]
+
+let legend series =
+  Html.el "div"
+    [ ("class", "legend") ]
+    (List.map
+       (fun (name, color, _) ->
+         Html.el "span" []
+           [
+             Html.el "span"
+               [ ("class", "chip"); ("style", "background:" ^ color) ]
+               [];
+             Html.text name;
+           ])
+       series)
+
+(* Multi-series line chart: one y axis, recessive gridlines, legend +
+   per-series direct end labels, <title> hover tooltips. [series] is
+   [(name, color, (x, y) points)]. *)
+let line_chart ?(w = 540) ?(h = 190) ~x_name ~y_name series =
+  let series = List.filter (fun (_, _, pts) -> pts <> []) series in
+  let all = List.concat_map (fun (_, _, pts) -> pts) series in
+  match all with
+  | [] -> Html.el "p" [ ("class", "sub") ] [ Html.text "no data" ]
+  | (x0, y0) :: _ ->
+      let fold f init sel = List.fold_left (fun a p -> f a (sel p)) init all in
+      let xmin = fold min x0 fst and xmax = fold max x0 fst in
+      let ymin = fold min y0 snd and ymax = fold max y0 snd in
+      let fw = float_of_int w and fh = float_of_int h in
+      let ml = 10. and mr = 86. and mt = 10. and mb = 20. in
+      let px x =
+        if xmax = xmin then (ml +. (fw -. mr)) /. 2.
+        else ml +. ((x -. xmin) /. (xmax -. xmin) *. (fw -. ml -. mr))
+      in
+      let py y =
+        if ymax = ymin then fh /. 2.
+        else fh -. mb -. ((y -. ymin) /. (ymax -. ymin) *. (fh -. mt -. mb))
+      in
+      let grid =
+        List.map
+          (fun k ->
+            let gy = mt +. (float_of_int k *. (fh -. mt -. mb) /. 2.) in
+            Html.leaf "line"
+              [
+                ("x1", Printf.sprintf "%.1f" ml);
+                ("x2", Printf.sprintf "%.1f" (fw -. mr));
+                ("y1", Printf.sprintf "%.1f" gy);
+                ("y2", Printf.sprintf "%.1f" gy);
+                ("stroke", "#f0efec");
+                ("stroke-width", "1");
+              ])
+          [ 0; 1; 2 ]
+      in
+      let axis_labels =
+        [
+          Html.el "text"
+            [ ("x", Printf.sprintf "%.1f" ml); ("y", Printf.sprintf "%.1f" (mt -. 2.)) ]
+            [ Html.text (y_name ^ " " ^ fnum ymax) ];
+          Html.el "text"
+            [
+              ("x", Printf.sprintf "%.1f" ml);
+              ("y", Printf.sprintf "%.1f" (fh -. mb +. 12.));
+            ]
+            [ Html.text (fnum ymin) ];
+          Html.el "text"
+            [
+              ("x", Printf.sprintf "%.1f" (fw -. mr));
+              ("y", Printf.sprintf "%.1f" (fh -. 6.));
+              ("text-anchor", "end");
+            ]
+            [ Html.text (x_name ^ " " ^ fnum xmax) ];
+        ]
+      in
+      let lines =
+        List.map
+          (fun (name, color, pts) ->
+            let pstr =
+              String.concat " "
+                (List.map
+                   (fun (x, y) -> Printf.sprintf "%.1f,%.1f" (px x) (py y))
+                   pts)
+            in
+            let lx, ly =
+              match List.rev pts with
+              | (x, y) :: _ -> (px x, py y)
+              | [] -> (0., 0.)
+            in
+            Html.el "g" []
+              [
+                Html.el "title" [] [ Html.text name ];
+                Html.leaf "polyline"
+                  [
+                    ("points", pstr);
+                    ("fill", "none");
+                    ("stroke", color);
+                    ("stroke-width", "2");
+                    ("stroke-linejoin", "round");
+                    ("stroke-linecap", "round");
+                  ];
+                Html.leaf "circle"
+                  [
+                    ("cx", Printf.sprintf "%.1f" lx);
+                    ("cy", Printf.sprintf "%.1f" ly);
+                    ("r", "3");
+                    ("fill", color);
+                  ];
+                Html.el "text"
+                  [
+                    ("x", Printf.sprintf "%.1f" (lx +. 6.));
+                    ("y", Printf.sprintf "%.1f" (ly +. 3.));
+                  ]
+                  [ Html.text name ];
+              ])
+          series
+      in
+      Html.el "div" []
+        [
+          legend series;
+          Html.el "svg"
+            [
+              ("width", string_of_int w);
+              ("height", string_of_int h);
+              ("viewBox", Printf.sprintf "0 0 %d %d" w h);
+              ("role", "img");
+              ("aria-label", y_name ^ " vs " ^ x_name);
+            ]
+            (grid @ axis_labels @ lines);
+        ]
+
+(* ---- congestion heatmap ----------------------------------------- *)
+
+(* Grids can run to hundreds of tracks a side; a rect per gcell would
+   dominate the whole document. Two reductions keep the page small
+   without losing the congestion story: cells beyond a 120-a-side
+   budget are max-pooled into k-by-k blocks (utilization and history
+   pool by maximum — a washed-out hotspot would defeat the panel's
+   purpose), and untouched cells are not emitted at all; one full-size
+   background rect carries the empty color instead. *)
+let heatmap_svg ~history hm =
+  let raw_cols = max 1 hm.hm_cols and raw_rows = max 1 hm.hm_rows in
+  let blk =
+    max 1 (max ((raw_cols + 119) / 120) ((raw_rows + 119) / 120))
+  in
+  let cols = (raw_cols + blk - 1) / blk and rows = (raw_rows + blk - 1) / blk in
+  let cs = max 3 (min 14 (560 / cols)) in
+  let gap = if cs >= 6 then 2 else 1 in
+  let w = cols * cs and h = rows * cs in
+  let hmax = Array.fold_left max 0. hm.hm_history in
+  let tooltips = cols * rows <= 16384 in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Html.leaf "rect"
+       [
+         ("x", "0"); ("y", "0");
+         ("width", string_of_int w);
+         ("height", string_of_int h);
+         ("fill", empty_color);
+       ]);
+  for yy = 0 to rows - 1 do
+    for xx = 0 to cols - 1 do
+      (* pool the block: history by max; occupancy by the worst
+         utilization ratio (keeping that cell's pres/cap for the
+         tooltip), blocked only when every pooled cell is blocked *)
+      let cap = ref 0 and pres = ref 0 and ratio = ref 0.0 in
+      let overused = ref false and all_blocked = ref true in
+      let hv = ref 0.0 in
+      for dy = 0 to blk - 1 do
+        for dx = 0 to blk - 1 do
+          let cy = (yy * blk) + dy and cx = (xx * blk) + dx in
+          if cy < raw_rows && cx < raw_cols then begin
+            let i = (cy * raw_cols) + cx in
+            let c = hm.hm_capacity.(i) and p = hm.hm_present.(i) in
+            if hm.hm_history.(i) > !hv then hv := hm.hm_history.(i);
+            if c > 0 then begin
+              all_blocked := false;
+              if p > c then overused := true;
+              let r = float_of_int p /. float_of_int c in
+              if r > !ratio || !cap = 0 then begin
+                ratio := r;
+                cap := c;
+                pres := p
+              end
+            end
+          end
+        done
+      done;
+      let fill, state =
+        if history then
+          if hmax <= 0. || !hv <= 0. then (empty_color, "history 0")
+          else
+            let k =
+              min 6 (max 0 (int_of_float (!hv /. hmax *. 6.99)))
+            in
+            (ramp.(k), Printf.sprintf "history %s" (fnum !hv))
+        else if !all_blocked then (blocked_color, "blocked")
+        else if !overused then
+          (bad_color, Printf.sprintf "OVERUSED %d/%d" !pres !cap)
+        else if !pres = 0 then (empty_color, Printf.sprintf "free 0/%d" !cap)
+        else
+          let k = min 6 (max 0 (int_of_float (!ratio *. 6.99))) in
+          (ramp.(k), Printf.sprintf "used %d/%d" !pres !cap)
+      in
+      if fill <> empty_color then begin
+        let attrs =
+          [
+            ("x", string_of_int (xx * cs));
+            ("y", string_of_int ((rows - 1 - yy) * cs));
+            ("width", string_of_int (cs - gap));
+            ("height", string_of_int (cs - gap));
+            ("fill", fill);
+          ]
+        in
+        let state =
+          if blk = 1 then state
+          else Printf.sprintf "%s (%dx%d block)" state blk blk
+        in
+        if tooltips then
+          Buffer.add_string b
+            (Html.el "rect" attrs
+               [
+                 Html.el "title" []
+                   [ Html.text (Printf.sprintf "(%d,%d) %s" xx yy state) ];
+               ])
+        else Buffer.add_string b (Html.leaf "rect" attrs)
+      end
+    done
+  done;
+  Html.el "svg"
+    [
+      ("width", string_of_int w);
+      ("height", string_of_int h);
+      ("viewBox", Printf.sprintf "0 0 %d %d" w h);
+      ("role", "img");
+      ("aria-label", hm.hm_label);
+    ]
+    [ Buffer.contents b ]
+
+let heatmap_legend ~history =
+  let chip color txt =
+    Html.el "span" []
+      [
+        Html.el "span" [ ("class", "chip"); ("style", "background:" ^ color) ] [];
+        Html.text txt;
+      ]
+  in
+  let ramp_strip =
+    Html.el "span" []
+      (Array.to_list
+         (Array.map
+            (fun c ->
+              Html.el "span"
+                [ ("class", "chip"); ("style", "background:" ^ c) ]
+                [])
+            ramp)
+      @ [ Html.text (if history then " low \xe2\x86\x92 high history" else " low \xe2\x86\x92 full") ])
+  in
+  Html.el "div"
+    [ ("class", "legend") ]
+    (if history then [ chip empty_color "zero"; ramp_strip ]
+     else
+       [
+         chip empty_color "free"; ramp_strip; chip blocked_color "blocked";
+         chip bad_color "\xe2\x9a\xa0 overused";
+       ])
+
+(* ---- panels ------------------------------------------------------ *)
+
+let panel ~id title sub children =
+  Html.el "section"
+    [ ("class", "panel"); ("id", id) ]
+    (Html.el "h2" [] [ Html.text title ]
+    :: Html.el "p" [ ("class", "sub") ] [ Html.text sub ]
+    :: children)
+
+let tile v k =
+  Html.el "div"
+    [ ("class", "tile") ]
+    [
+      Html.el "div" [ ("class", "v") ] [ Html.text v ];
+      Html.el "div" [ ("class", "k") ] [ Html.text k ];
+    ]
+
+let td ?(num = false) s =
+  Html.el "td" (if num then [ ("class", "num") ] else []) [ Html.text s ]
+
+let th ?(num = false) s =
+  Html.el "th" (if num then [ ("class", "num") ] else []) [ Html.text s ]
+
+let opt_int = function None -> "-" | Some v -> string_of_int v
+
+let qor_groups entries =
+  let keys =
+    List.fold_left
+      (fun acc e ->
+        let k = Regress.key_of e in
+        if List.mem k acc then acc else acc @ [ k ])
+      [] entries
+  in
+  List.map
+    (fun k ->
+      (k, List.filter (fun e -> Regress.key_of e = k) entries))
+    keys
+
+let trends_panel entries =
+  let groups = qor_groups entries in
+  let rows =
+    List.map
+      (fun (key, es) ->
+        let qs = List.map (fun (e : Ledger.entry) -> e.Ledger.qor) es in
+        let cost = List.map (fun (q : Qor.t) -> q.Qor.cost) qs in
+        let hpwl = List.map (fun (q : Qor.t) -> q.Qor.hpwl) qs in
+        let dead = List.map (fun (q : Qor.t) -> q.Qor.dead_space_pct) qs in
+        let routed =
+          List.filter_map
+            (fun (q : Qor.t) ->
+              Option.map float_of_int q.Qor.routed_wl)
+            qs
+        in
+        Html.el "div"
+          [ ("class", "trend-row") ]
+          (Html.el "div"
+             [ ("class", "trend-key") ]
+             [
+               Html.text key;
+               Html.el "div"
+                 [ ("class", "n") ]
+                 [ Html.text (Printf.sprintf "%d runs" (List.length es)) ];
+             ]
+          :: spark_cell ~color:slot.(0) ~label:"cost" cost
+          :: spark_cell ~color:slot.(1) ~label:"hpwl" hpwl
+          :: spark_cell ~color:slot.(2) ~label:"dead space %" dead
+          ::
+          (if routed = [] then []
+           else [ spark_cell ~color:slot.(3) ~label:"routed wl" routed ])))
+      groups
+  in
+  let table =
+    Html.el "details" []
+      [
+        Html.el "summary" [] [ Html.text "table view: every ledger entry" ];
+        Html.el "table" []
+          [
+            Html.el "tr" []
+              [
+                th "configuration"; th "recorded"; th ~num:true "seed";
+                th ~num:true "cost"; th ~num:true "hpwl"; th ~num:true "area";
+                th ~num:true "dead %"; th ~num:true "violations";
+                th ~num:true "routed wl"; th ~num:true "overflow";
+              ];
+            String.concat ""
+              (List.map
+                 (fun (e : Ledger.entry) ->
+                   let q = e.Ledger.qor in
+                   Html.el "tr" []
+                     [
+                       td (Regress.key_of e); td e.Ledger.generated_at;
+                       td ~num:true (string_of_int e.Ledger.seed);
+                       td ~num:true (fnum q.Qor.cost);
+                       td ~num:true (fnum q.Qor.hpwl);
+                       td ~num:true (string_of_int q.Qor.area);
+                       td ~num:true (fnum q.Qor.dead_space_pct);
+                       td ~num:true (string_of_int (Qor.violation_total q));
+                       td ~num:true (opt_int q.Qor.routed_wl);
+                       td ~num:true (opt_int q.Qor.route_overflow);
+                     ])
+                 entries);
+          ];
+      ]
+  in
+  panel ~id:"trends" "QoR trends"
+    "cost / HPWL / dead-space per configuration, oldest run first"
+    (rows @ [ table ])
+
+let convergence_panel samples =
+  let tids =
+    List.sort_uniq compare (List.map (fun s -> s.Convergence.tid) samples)
+  in
+  let shown = List.filteri (fun i _ -> i < Array.length slot) tids in
+  let folded = List.length tids - List.length shown in
+  let series_of f =
+    List.mapi
+      (fun i tid ->
+        ( Printf.sprintf "chain %d" tid,
+          slot.(i),
+          List.filter_map
+            (fun s ->
+              if s.Convergence.tid = tid then
+                Some (float_of_int s.Convergence.round, f s)
+              else None)
+            samples ))
+      shown
+  in
+  let fold_note =
+    if folded = 0 then []
+    else
+      [
+        Html.el "p"
+          [ ("class", "sub") ]
+          [
+            Html.text
+              (Printf.sprintf
+                 "%d more chains not drawn (first %d shown; table view \
+                  has all samples)"
+                 folded (List.length shown));
+          ];
+      ]
+  in
+  panel ~id:"convergence" "SA convergence"
+    "best cost and acceptance per temperature round, one series per chain"
+    ([
+       line_chart ~x_name:"round" ~y_name:"best cost"
+         (series_of (fun s -> s.Convergence.best_cost));
+       line_chart ~h:130 ~x_name:"round" ~y_name:"acceptance"
+         (series_of (fun s -> s.Convergence.acceptance));
+     ]
+    @ fold_note)
+
+let moves_panel move_rates =
+  let rows =
+    List.map
+      (fun (cls, acc, rej) ->
+        let tot = acc + rej in
+        let pct =
+          if tot = 0 then 0. else 100. *. float_of_int acc /. float_of_int tot
+        in
+        Html.el "tr" []
+          [
+            td cls;
+            Html.el "td" []
+              [
+                Html.el "div"
+                  [ ("class", "track") ]
+                  [
+                    Html.el "div"
+                      [
+                        ("class", "fill");
+                        ("style", Printf.sprintf "width:%.1f%%" pct);
+                      ]
+                      [];
+                  ];
+              ];
+            td ~num:true
+              (Printf.sprintf "%.1f%% (%d/%d)" pct acc tot);
+          ])
+      move_rates
+  in
+  panel ~id:"moves" "Move-class accept rates"
+    "accepted share of proposed moves, per perturbation class"
+    [
+      Html.el "table" []
+        (Html.el "tr" [] [ th "class"; th "accept rate"; th ~num:true "accepted/proposed" ]
+        :: rows);
+    ]
+
+let route_panel iters =
+  let v f = List.map f iters in
+  let last_overflow =
+    match List.rev iters with [] -> 0 | it :: _ -> it.ri_overflow
+  in
+  let table =
+    Html.el "details" []
+      [
+        Html.el "summary" [] [ Html.text "table view: every iteration" ];
+        Html.el "table" []
+          (Html.el "tr" []
+             [
+               th ~num:true "iter"; th ~num:true "pres_fac";
+               th ~num:true "overflow"; th ~num:true "overused cells";
+               th ~num:true "ripped nets"; th ~num:true "heap pops";
+             ]
+          :: List.map
+               (fun it ->
+                 Html.el "tr" []
+                   [
+                     td ~num:true (string_of_int it.ri_iter);
+                     td ~num:true (fnum it.ri_pres_fac);
+                     td ~num:true (string_of_int it.ri_overflow);
+                     td ~num:true (string_of_int it.ri_overused);
+                     td ~num:true (string_of_int it.ri_ripped);
+                     td ~num:true (string_of_int it.ri_pops);
+                   ])
+               iters);
+      ]
+  in
+  panel ~id:"route" "Route negotiation"
+    (Printf.sprintf
+       "PathFinder rip-up-and-reroute across %d iterations; final overflow %d"
+       (List.length iters) last_overflow)
+    [
+      Html.el "div"
+        [ ("class", "sparks") ]
+        [
+          spark_cell ~color:slot.(0) ~label:"overflow"
+            (v (fun i -> float_of_int i.ri_overflow));
+          spark_cell ~color:slot.(1) ~label:"ripped nets"
+            (v (fun i -> float_of_int i.ri_ripped));
+          spark_cell ~color:slot.(2) ~label:"heap pops"
+            (v (fun i -> float_of_int i.ri_pops));
+          spark_cell ~color:slot.(3) ~label:"pres_fac"
+            (v (fun i -> i.ri_pres_fac));
+        ];
+      table;
+    ]
+
+let heatmaps_panel maps =
+  let one hm =
+    Html.el "div"
+      [ ("class", "hm") ]
+      [
+        Html.el "h3" [] [ Html.text hm.hm_label ];
+        Html.el "div"
+          [ ("class", "hmwrap") ]
+          [
+            Html.el "div" []
+              [
+                heatmap_svg ~history:false hm;
+                Html.el "div" [ ("class", "cap") ] [ Html.text "occupancy" ];
+                heatmap_legend ~history:false;
+              ];
+            Html.el "div" []
+              [
+                heatmap_svg ~history:true hm;
+                Html.el "div" [ ("class", "cap") ]
+                  [ Html.text "negotiation history cost" ];
+                heatmap_legend ~history:true;
+              ];
+          ];
+      ]
+  in
+  panel ~id:"heatmaps" "Route congestion"
+    "per-gcell occupancy and accumulated PathFinder history"
+    (List.map one maps)
+
+let service_panel points =
+  let pts f =
+    List.map (fun p -> (float_of_int p.sp_requests, float_of_int (f p))) points
+  in
+  let series =
+    [
+      ("hits", slot.(0), pts (fun p -> p.sp_hits));
+      ("misses", slot.(1), pts (fun p -> p.sp_misses));
+      ("evictions", slot.(2), pts (fun p -> p.sp_evictions));
+      ("neg hits", slot.(3), pts (fun p -> p.sp_neg_hits));
+      ("infeasible", slot.(4), pts (fun p -> p.sp_infeasible));
+    ]
+  in
+  let last =
+    match List.rev points with
+    | p :: _ -> p
+    | [] ->
+        {
+          sp_requests = 0; sp_hits = 0; sp_misses = 0; sp_evictions = 0;
+          sp_neg_hits = 0; sp_infeasible = 0;
+        }
+  in
+  panel ~id:"service" "Service cache"
+    "cumulative cache outcomes over the request stream"
+    [
+      line_chart ~x_name:"requests" ~y_name:"count" series;
+      Html.el "table" []
+        [
+          Html.el "tr" []
+            [
+              th ~num:true "requests"; th ~num:true "hits"; th ~num:true "misses";
+              th ~num:true "evictions"; th ~num:true "neg hits";
+              th ~num:true "infeasible";
+            ];
+          Html.el "tr" []
+            [
+              td ~num:true (string_of_int last.sp_requests);
+              td ~num:true (string_of_int last.sp_hits);
+              td ~num:true (string_of_int last.sp_misses);
+              td ~num:true (string_of_int last.sp_evictions);
+              td ~num:true (string_of_int last.sp_neg_hits);
+              td ~num:true (string_of_int last.sp_infeasible);
+            ];
+        ];
+    ]
+
+let counters_panel sink =
+  let counters = Sink.counters sink in
+  let hists = Sink.histograms sink in
+  let ctable =
+    Html.el "table" []
+      (Html.el "tr" [] [ th "counter"; th ~num:true "value" ]
+      :: List.map
+           (fun (name, v) ->
+             Html.el "tr" [] [ td name; td ~num:true (string_of_int v) ])
+           counters)
+  in
+  let htable =
+    if hists = [] then ""
+    else
+      Html.el "table" []
+        (Html.el "tr" []
+           [
+             th "histogram"; th ~num:true "count"; th ~num:true "mean";
+             th ~num:true "p50"; th ~num:true "p90"; th ~num:true "max";
+           ]
+        :: List.map
+             (fun (name, h) ->
+               Html.el "tr" []
+                 [
+                   td name;
+                   td ~num:true (string_of_int (Hist.count h));
+                   td ~num:true (fnum (Hist.mean h));
+                   td ~num:true (fnum (Hist.quantile h 0.5));
+                   td ~num:true (fnum (Hist.quantile h 0.9));
+                   td ~num:true (fnum (Hist.max_value h));
+                 ])
+             hists)
+  in
+  panel ~id:"counters" "Counters & histograms"
+    "raw telemetry snapshot (name-sorted)"
+    [ Html.el "div" [ ("class", "hmwrap") ] [ ctable; htable ] ]
+
+(* ---- page -------------------------------------------------------- *)
+
+let css =
+  "body{font:14px/1.45 system-ui,-apple-system,'Segoe UI',sans-serif;\
+   margin:0;padding:24px;background:#fcfcfb;color:#0b0b0b}\
+   h1{font-size:20px;margin:0 0 4px}\
+   h2{font-size:15px;margin:0 0 2px}\
+   h3{font-size:13px;margin:12px 0 4px}\
+   .sub{color:#52514e;margin:0 0 12px;font-size:12px}\
+   .panel{background:#ffffff;border:1px solid #e7e6e2;border-radius:8px;\
+   padding:16px 18px;margin:16px 0}\
+   .tiles{display:flex;gap:12px;flex-wrap:wrap;margin:12px 0}\
+   .tile{background:#ffffff;border:1px solid #e7e6e2;border-radius:8px;\
+   padding:10px 16px;min-width:110px}\
+   .tile .v{font-size:22px;font-weight:600}\
+   .tile .k{font-size:11px;color:#52514e}\
+   .sparks{display:flex;gap:18px;flex-wrap:wrap;align-items:flex-end}\
+   .spark .k{font-size:11px;color:#52514e}\
+   .spark .v{font-size:12px}\
+   .trend-row{display:flex;gap:18px;align-items:center;\
+   border-top:1px solid #f0efec;padding:8px 0;flex-wrap:wrap}\
+   .trend-key{min-width:220px;font-size:13px}\
+   .trend-key .n{color:#52514e;font-size:11px}\
+   table{border-collapse:collapse;font-size:12px}\
+   th,td{text-align:left;padding:3px 10px 3px 0;\
+   border-bottom:1px solid #f0efec}\
+   th{color:#52514e;font-weight:500}\
+   td.num,th.num{text-align:right;font-variant-numeric:tabular-nums}\
+   .legend{display:flex;gap:14px;font-size:12px;color:#52514e;\
+   margin:4px 0;flex-wrap:wrap}\
+   .chip{display:inline-block;width:10px;height:10px;border-radius:2px;\
+   margin-right:4px}\
+   .track{background:#f0efec;border-radius:4px;width:220px;height:8px}\
+   .fill{background:#2a78d6;border-radius:4px;height:8px}\
+   svg text{font:10px system-ui,sans-serif;fill:#52514e}\
+   .hmwrap{display:flex;gap:28px;flex-wrap:wrap;align-items:flex-start}\
+   .hm .cap{font-size:11px;color:#52514e;margin-top:4px}\
+   details{margin-top:10px;font-size:12px}\
+   summary{cursor:pointer;color:#52514e}"
+
+let render ?(title = "analog_place flight recorder") ?(entries = [])
+    ?(sink = Sink.null) ?(route = []) ?(heatmaps = []) ?(service = []) () =
+  let samples = Sink.convergence sink in
+  let counters = Sink.counters sink in
+  let move_rates =
+    match Qor.move_rates_of_counters counters with
+    | [] ->
+        let rec last_rates = function
+          | [] -> []
+          | (e : Ledger.entry) :: rest -> (
+              match last_rates rest with
+              | [] -> e.Ledger.qor.Qor.move_rates
+              | r -> r)
+        in
+        last_rates entries
+    | r -> r
+  in
+  let groups = qor_groups entries in
+  let routed_entries =
+    List.length
+      (List.filter
+         (fun (e : Ledger.entry) -> e.Ledger.qor.Qor.routed_wl <> None)
+         entries)
+  in
+  let tiles =
+    Html.el "div"
+      [ ("class", "tiles") ]
+      [
+        tile (string_of_int (List.length entries)) "ledger entries";
+        tile (string_of_int (List.length groups)) "configurations";
+        tile (string_of_int routed_entries) "routed runs";
+        tile (string_of_int (List.length samples)) "convergence samples";
+      ]
+  in
+  let panels =
+    (if entries = [] then [] else [ trends_panel entries ])
+    @ (if samples = [] then [] else [ convergence_panel samples ])
+    @ (if move_rates = [] then [] else [ moves_panel move_rates ])
+    @ (if route = [] then [] else [ route_panel route ])
+    @ (if heatmaps = [] then [] else [ heatmaps_panel heatmaps ])
+    @ (if service = [] then [] else [ service_panel service ])
+    @ if counters = [] then [] else [ counters_panel sink ]
+  in
+  let panels =
+    if panels = [] then
+      [
+        Html.el "p"
+          [ ("class", "sub") ]
+          [ Html.text "no data: pass a ledger, trace or service log" ];
+      ]
+    else panels
+  in
+  Html.page ~title ~css
+    (Html.el "h1" [] [ Html.text title ]
+    :: Html.el "p"
+         [ ("class", "sub") ]
+         [
+           Html.text
+             "self-contained flight recorder \xe2\x80\x94 rendered from \
+              ledger / trace / service data, no external assets";
+         ]
+    :: tiles :: panels)

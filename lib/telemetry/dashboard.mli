@@ -1,0 +1,62 @@
+(** The flight recorder: one self-contained HTML+SVG dashboard over
+    everything the telemetry layer records.
+
+    [render] is a pure function of its inputs — it never reads the
+    clock, the environment or the filesystem, so rendering the same
+    ledger twice yields byte-identical documents (tested). All markup
+    goes through {!Html}; the output embeds its own CSS, references no
+    external asset and contains no script.
+
+    Inputs mirror the recording surfaces: ledger entries give the
+    per-configuration QoR trend sparklines (grouped by
+    {!Regress.key_of}), a live {!Sink} gives SA convergence curves,
+    per-move-class accept rates and the counter/histogram tables, the
+    router's per-iteration log gives the negotiation panel, a
+    {!heatmap} gives the congestion view, and {!service_point}s give
+    the cache hit/miss/evict trend. Every input is optional; panels
+    without data are omitted. *)
+
+type heatmap = {
+  hm_label : string;
+  hm_cols : int;
+  hm_rows : int;
+  hm_capacity : int array;  (** row-major, index [y * cols + x] *)
+  hm_present : int array;  (** current per-gcell occupancy *)
+  hm_history : float array;  (** accumulated PathFinder history cost *)
+}
+(** A per-gcell congestion snapshot, shaped like
+    [Route.Negotiate.Snapshot.t] but owned by the telemetry layer so
+    the dashboard stays below the router in the dependency order. *)
+
+type route_iter = {
+  ri_iter : int;
+  ri_pres_fac : float;
+  ri_overflow : int;  (** total over-capacity usage after the pass *)
+  ri_overused : int;  (** number of over-capacity gcells *)
+  ri_ripped : int;  (** nets ripped up and rerouted in the pass *)
+  ri_pops : int;  (** Dijkstra heap pops spent in the pass *)
+}
+(** One negotiation iteration, as logged by [Route.Router.route_all]. *)
+
+type service_point = {
+  sp_requests : int;
+  sp_hits : int;
+  sp_misses : int;
+  sp_evictions : int;
+  sp_neg_hits : int;
+  sp_infeasible : int;
+}
+(** Cumulative service counters after [sp_requests] requests. *)
+
+val render :
+  ?title:string ->
+  ?entries:Ledger.entry list ->
+  ?sink:Sink.t ->
+  ?route:route_iter list ->
+  ?heatmaps:heatmap list ->
+  ?service:service_point list ->
+  unit ->
+  string
+(** The complete document. Self-checks are the caller's business:
+    pipe the result through {!Html.check} (the CLI does, and exits
+    non-zero on failure). *)

@@ -1,0 +1,208 @@
+let escape s =
+  let n = String.length s in
+  let b = Buffer.create (n + 8) in
+  for i = 0 to n - 1 do
+    match s.[i] with
+    | '&' -> Buffer.add_string b "&amp;"
+    | '<' -> Buffer.add_string b "&lt;"
+    | '>' -> Buffer.add_string b "&gt;"
+    | '"' -> Buffer.add_string b "&quot;"
+    | '\'' -> Buffer.add_string b "&#39;"
+    | c -> Buffer.add_char b c
+  done;
+  Buffer.contents b
+
+let attrs_to_string attrs =
+  List.fold_left
+    (fun acc (k, v) -> acc ^ Printf.sprintf " %s=\"%s\"" k (escape v))
+    "" attrs
+
+let el name attrs children =
+  Printf.sprintf "<%s%s>%s</%s>" name (attrs_to_string attrs)
+    (String.concat "" children)
+    name
+
+let leaf name attrs = Printf.sprintf "<%s%s/>" name (attrs_to_string attrs)
+let text = escape
+
+let page ~title ~css body =
+  String.concat ""
+    [
+      "<!DOCTYPE html>\n";
+      "<html lang=\"en\"><head><meta charset=\"utf-8\"/>";
+      el "title" [] [ text title ];
+      el "style" [] [ css ];
+      "</head><body>";
+      String.concat "" body;
+      "</body></html>\n";
+    ]
+
+(* ---- well-formedness checker ------------------------------------ *)
+
+(* Elements that never take a closing tag in HTML; the emitters above
+   always self-close them, but the checker accepts the bare form too so
+   it stays useful on hand-written documents. *)
+let void_elements =
+  [
+    "area"; "base"; "br"; "col"; "embed"; "hr"; "img"; "input"; "link";
+    "meta"; "param"; "source"; "track"; "wbr";
+  ]
+
+exception Bad of int * string
+
+let check doc =
+  let n = String.length doc in
+  let pos = ref 0 in
+  let stack = ref [] in
+  let fail i msg = raise (Bad (i, msg)) in
+  let peek i = if i < n then Some doc.[i] else None in
+  let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  let is_name_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+  in
+  let is_name c =
+    is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '_' || c = ':'
+    || c = '.'
+  in
+  let skip_ws () =
+    while !pos < n && is_ws doc.[!pos] do
+      incr pos
+    done
+  in
+  let read_name () =
+    let start = !pos in
+    if !pos >= n || not (is_name_start doc.[!pos]) then
+      fail !pos "expected a name";
+    while !pos < n && is_name doc.[!pos] do
+      incr pos
+    done;
+    String.lowercase_ascii (String.sub doc start (!pos - start))
+  in
+  let read_entity start =
+    (* [start] points at '&'. *)
+    let i = ref (start + 1) in
+    if peek !i = Some '#' then incr i;
+    let len0 = !i in
+    while
+      !i < n
+      && (let c = doc.[!i] in
+          (c >= 'a' && c <= 'z')
+          || (c >= 'A' && c <= 'Z')
+          || (c >= '0' && c <= '9'))
+      && !i - start < 12
+    do
+      incr i
+    done;
+    if !i = len0 || peek !i <> Some ';' then
+      fail start "bare '&' (use &amp;)";
+    !i + 1
+  in
+  let read_quoted () =
+    match peek !pos with
+    | Some (('"' | '\'') as q) ->
+        incr pos;
+        while !pos < n && doc.[!pos] <> q && doc.[!pos] <> '<' do
+          if doc.[!pos] = '&' then pos := read_entity !pos else incr pos
+        done;
+        if peek !pos <> Some q then fail !pos "unterminated attribute value";
+        incr pos
+    | _ -> fail !pos "attribute value must be quoted"
+  in
+  let read_raw_text name =
+    (* After <style> / <script>: raw text until the matching close tag. *)
+    let close = "</" ^ name in
+    let cl = String.length close in
+    let rec find i =
+      if i + cl > n then fail !pos ("unterminated <" ^ name ^ ">")
+      else if
+        String.lowercase_ascii (String.sub doc i cl) = close
+      then i
+      else find (i + 1)
+    in
+    let i = find !pos in
+    pos := i + cl;
+    skip_ws ();
+    if peek !pos <> Some '>' then fail !pos ("malformed </" ^ name ^ ">");
+    incr pos
+  in
+  let open_tag () =
+    let name = read_name () in
+    let rec attrs () =
+      skip_ws ();
+      match peek !pos with
+      | Some '>' ->
+          incr pos;
+          if
+            (not (List.mem name void_elements))
+            && name <> "style" && name <> "script"
+          then stack := name :: !stack
+          else if name = "style" || name = "script" then read_raw_text name
+      | Some '/' ->
+          incr pos;
+          if peek !pos <> Some '>' then fail !pos "expected '>' after '/'";
+          incr pos
+      | Some c when is_name_start c ->
+          let _ = read_name () in
+          skip_ws ();
+          if peek !pos = Some '=' then (
+            incr pos;
+            skip_ws ();
+            read_quoted ());
+          attrs ()
+      | Some _ -> fail !pos "malformed attribute"
+      | None -> fail !pos "unterminated tag"
+    in
+    attrs ()
+  in
+  let close_tag () =
+    let name = read_name () in
+    skip_ws ();
+    if peek !pos <> Some '>' then fail !pos ("malformed </" ^ name ^ ">");
+    incr pos;
+    match !stack with
+    | top :: rest when top = name -> stack := rest
+    | top :: _ ->
+        fail !pos (Printf.sprintf "</%s> closes <%s>" name top)
+    | [] -> fail !pos (Printf.sprintf "</%s> with nothing open" name)
+  in
+  let comment () =
+    let rec find i =
+      if i + 3 > n then fail !pos "unterminated comment"
+      else if String.sub doc i 3 = "-->" then i + 3
+      else find (i + 1)
+    in
+    pos := find !pos
+  in
+  let declaration () =
+    (* <!DOCTYPE ...> — no '<' allowed inside. *)
+    while !pos < n && doc.[!pos] <> '>' do
+      if doc.[!pos] = '<' then fail !pos "'<' inside declaration";
+      incr pos
+    done;
+    if !pos >= n then fail !pos "unterminated declaration";
+    incr pos
+  in
+  try
+    while !pos < n do
+      match doc.[!pos] with
+      | '<' ->
+          if !pos + 3 < n && String.sub doc !pos 4 = "<!--" then (
+            pos := !pos + 4;
+            comment ())
+          else if peek (!pos + 1) = Some '!' then (
+            pos := !pos + 2;
+            declaration ())
+          else if peek (!pos + 1) = Some '/' then (
+            pos := !pos + 2;
+            close_tag ())
+          else (
+            incr pos;
+            open_tag ())
+      | '&' -> pos := read_entity !pos
+      | '>' -> fail !pos "stray '>' in text (use &gt;)"
+      | _ -> incr pos
+    done;
+    match !stack with
+    | [] -> Ok ()
+    | top :: _ -> Error (Printf.sprintf "unclosed <%s> at end of input" top)
+  with Bad (i, msg) -> Error (Printf.sprintf "offset %d: %s" i msg)

@@ -36,17 +36,67 @@ let value v =
     let s = Printf.sprintf "%.12g" v in
     if float_of_string s = v then s else Printf.sprintf "%.17g" v
 
+(* HELP text per raw metric name. Known families get real prose; the
+   fallback names the raw dotted metric so every family still carries
+   a HELP line ([check] validates the shape either way). *)
+let help raw =
+  let moves_help () =
+    let pre = "sa.moves." and plen = 9 in
+    if String.length raw > plen && String.sub raw 0 plen = pre then
+      let rest = String.sub raw plen (String.length raw - plen) in
+      match String.rindex_opt rest '.' with
+      | Some i -> (
+          let cls = String.sub rest 0 i in
+          match String.sub rest (i + 1) (String.length rest - i - 1) with
+          | "accept" -> Some ("Accepted " ^ cls ^ " SA moves.")
+          | "reject" -> Some ("Rejected " ^ cls ^ " SA moves.")
+          | _ -> None)
+      | None -> None
+    else None
+  in
+  match raw with
+  | "service.requests" -> "Placement requests received."
+  | "service.hits" -> "Requests served from the placement cache."
+  | "service.misses" -> "Requests that ran a full placement."
+  | "service.instantiations" -> "Cached families instantiated for a hit."
+  | "service.verify_evictions" ->
+      "Cache entries evicted by the verify-on-hit audit."
+  | "service.unfit" -> "Requests whose outline no cached family fits."
+  | "service.neg_hits" -> "Requests answered by the negative cache."
+  | "service.infeasible" -> "Requests proven infeasible."
+  | "service.hit_us" -> "Cache-hit service latency in microseconds."
+  | "service.miss_us" -> "Cache-miss service latency in microseconds."
+  | "service.instantiate_us" ->
+      "Family instantiation latency in microseconds."
+  | "route.iterations" -> "Negotiation passes run by the router."
+  | "route.nets.routed" -> "Nets successfully routed."
+  | "route.nets.failed" -> "Nets the router could not connect."
+  | "route.ripped" -> "Nets ripped up and rerouted during negotiation."
+  | "route.search.pops" -> "Dijkstra heap pops spent searching."
+  | "route.overflow" -> "Residual over-capacity usage after negotiation."
+  | "route.iter.overflow" -> "Per-iteration total overflow."
+  | "route.iter.overused" -> "Per-iteration over-capacity gcell count."
+  | "route.iter.ripped" -> "Per-iteration ripped-net count."
+  | "route.iter.pops" -> "Per-iteration Dijkstra heap pops."
+  | "route.iter.pres_fac" -> "Per-iteration present-sharing factor."
+  | _ -> (
+      match moves_help () with
+      | Some h -> h
+      | None -> "Telemetry metric " ^ raw ^ "." )
+
 let render sink =
   let buf = Buffer.create 1024 in
   List.iter
     (fun (raw, v) ->
       let name = metric_name raw in
+      buf_addf buf "# HELP %s %s\n" name (help raw);
       buf_addf buf "# TYPE %s counter\n" name;
       buf_addf buf "%s %d\n" name v)
     (Sink.counters sink);
   List.iter
     (fun (raw, h) ->
       let name = metric_name raw in
+      buf_addf buf "# HELP %s %s\n" name (help raw);
       buf_addf buf "# TYPE %s summary\n" name;
       List.iter
         (fun q ->
@@ -57,6 +107,9 @@ let render sink =
       buf_addf buf "%s_count %d\n" name (Hist.count h))
     (Sink.histograms sink);
   if Sink.dropped_spans sink > 0 then begin
+    buf_addf buf
+      "# HELP analog_trace_dropped_spans Spans overwritten in the trace \
+       ring.\n";
     buf_addf buf "# TYPE analog_trace_dropped_spans gauge\n";
     buf_addf buf "analog_trace_dropped_spans %d\n" (Sink.dropped_spans sink)
   end;
@@ -183,6 +236,19 @@ let check doc =
         end
     | _ -> err lineno "malformed # TYPE line"
   in
+  let check_help lineno line =
+    (* "# HELP <name> <text...>" — free text after the name, but the
+       name itself must be a legal metric name. *)
+    match String.split_on_char ' ' line with
+    | "#" :: "HELP" :: name :: _ :: _ ->
+        if
+          name = ""
+          || (not (is_name_start name.[0]))
+          || not (String.for_all is_name_char name)
+        then err lineno "bad metric name in # HELP"
+        else Ok ()
+    | _ -> err lineno "malformed # HELP line"
+  in
   let rec go lineno = function
     | [] -> Ok ()
     | line :: rest ->
@@ -190,6 +256,8 @@ let check doc =
           if line = "" then Ok ()
           else if String.length line >= 6 && String.sub line 0 6 = "# TYPE" then
             check_type lineno line
+          else if String.length line >= 6 && String.sub line 0 6 = "# HELP" then
+            check_help lineno line
           else if String.length line >= 1 && line.[0] = '#' then Ok ()
           else check_sample lineno line
         in

@@ -15,14 +15,20 @@ val metric_name : string -> string
 (** [analog_] + the sink-registry name with every character outside
     [[a-zA-Z0-9_:]] replaced by ['_']. *)
 
+val help : string -> string
+(** HELP prose for a raw (dotted) sink-registry name: real text for
+    the known [service.*] / [route.*] / [sa.moves.*] families, a
+    generic fallback naming the metric otherwise. *)
+
 val render : Sink.t -> string
-(** Text exposition: one [# TYPE] comment per family followed by its
-    samples, families in name-sorted order, trailing newline. Empty
-    sinks render to an empty string. *)
+(** Text exposition: one [# HELP] + [# TYPE] comment pair per family
+    followed by its samples, families in name-sorted order, trailing
+    newline. Empty sinks render to an empty string. *)
 
 val check : string -> (unit, string) result
 (** Validate a text exposition document: every sample line must parse
     (metric name, optional {name="value"} labels, a finite float value)
     and belong to a family declared by a preceding [# TYPE] line
-    ([_sum]/[_count]/quantile samples attach to their summary family).
+    ([_sum]/[_count]/quantile samples attach to their summary family);
+    [# HELP] lines must name a legal metric and carry text.
     Errors carry the offending line number. *)

@@ -30,14 +30,15 @@ type t = {
   routed_wl : int option;
   route_overflow : int option;
   route_failed : int option;
+  route_iterations : int option;
   violations : violation list;
   move_rates : (string * int * int) list;
 }
 
 let run ?outline_fit ?engine ?mode ?routed_wl ?route_overflow ?route_failed
-    ?(violations = []) ?(move_rates = []) ~cost ~wall_s ~sa_rounds ~evaluated
-    ~area ~width ~height ~hpwl ~term_area ~term_wirelength ~term_aspect
-    ~dead_space_pct () =
+    ?route_iterations ?(violations = []) ?(move_rates = []) ~cost ~wall_s
+    ~sa_rounds ~evaluated ~area ~width ~height ~hpwl ~term_area
+    ~term_wirelength ~term_aspect ~dead_space_pct () =
   {
     kind = "run";
     cost;
@@ -58,6 +59,7 @@ let run ?outline_fit ?engine ?mode ?routed_wl ?route_overflow ?route_failed
     routed_wl;
     route_overflow;
     route_failed;
+    route_iterations;
     violations;
     move_rates = List.sort compare move_rates;
   }
@@ -84,6 +86,7 @@ let chain ?engine ?mode ?(move_rates = []) ~cost ~wall_s ~sa_rounds ~evaluated
     routed_wl = None;
     route_overflow = None;
     route_failed = None;
+    route_iterations = None;
     violations = [];
     move_rates = List.sort compare move_rates;
   }
@@ -180,6 +183,7 @@ let to_json t =
     opt_int "routed_wl" t.routed_wl
     @ opt_int "route_overflow" t.route_overflow
     @ opt_int "route_failed" t.route_failed
+    @ opt_int "route_iterations" t.route_iterations
   in
   let tail =
     [
@@ -264,6 +268,7 @@ let of_json j =
   let routed_wl = opt_int "routed_wl" in
   let route_overflow = opt_int "route_overflow" in
   let route_failed = opt_int "route_failed" in
+  let route_iterations = opt_int "route_iterations" in
   let* violations_js = field Json.to_list "violations" j in
   let* violations = map_result violation_of_json violations_js in
   let* moves_js = field Json.to_list "move_rates" j in
@@ -289,6 +294,7 @@ let of_json j =
       routed_wl;
       route_overflow;
       route_failed;
+      route_iterations;
       violations;
       move_rates;
     }

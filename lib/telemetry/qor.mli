@@ -51,6 +51,9 @@ type t = {
   route_overflow : int option;
       (** residual track over-use after negotiation (0 = legal) *)
   route_failed : int option;  (** nets the router could not connect *)
+  route_iterations : int option;
+      (** negotiation passes the router spent converging; omitted from
+          the JSON when absent like every routed field *)
   violations : violation list;
   move_rates : (string * int * int) list;
       (** (class, accepted, rejected), name-sorted *)
@@ -63,6 +66,7 @@ val run :
   ?routed_wl:int ->
   ?route_overflow:int ->
   ?route_failed:int ->
+  ?route_iterations:int ->
   ?violations:violation list ->
   ?move_rates:(string * int * int) list ->
   cost:float ->

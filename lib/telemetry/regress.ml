@@ -154,6 +154,47 @@ let compare_entries ?(thresholds = default_thresholds) ~baseline ~candidate () =
 
 let ok v = v.regressions = 0
 
+(* Machine-readable verdict for bots: the same facts render prints,
+   as one JSON object. Numbers go through Json.float, so re-parsing
+   with Json.parse round-trips (tested); infinite deltas (q50 = 0)
+   are clamped to a sentinel since JSON has no infinity literal. *)
+let to_json v =
+  let num f =
+    if Float.is_nan f then Json.float 0.0
+    else if f = Float.infinity then Json.float 1e308
+    else if f = Float.neg_infinity then Json.float (-1e308)
+    else Json.float f
+  in
+  let metric_json m =
+    Json.Obj
+      [
+        ("name", Json.str m.mname);
+        ("gated", Json.bool m.gated);
+        ("regressed", Json.bool m.regressed);
+        ("candidate", num m.candidate);
+        ("baseline_q50", num m.baseline_q50);
+        ("baseline_q90", num m.baseline_q90);
+        ("delta_pct", num m.delta_pct);
+      ]
+  in
+  let comparison_json c =
+    Json.Obj
+      [
+        ("key", Json.str c.key);
+        ("baseline_runs", Json.int c.baseline_runs);
+        ("missing_baseline", Json.bool c.missing_baseline);
+        ( "pass",
+          Json.bool (not (List.exists (fun m -> m.regressed) c.metrics)) );
+        ("metrics", Json.Arr (List.map metric_json c.metrics));
+      ]
+  in
+  Json.Obj
+    [
+      ("verdict", Json.str (if ok v then "ok" else "regression"));
+      ("regressions", Json.int v.regressions);
+      ("comparisons", Json.Arr (List.map comparison_json v.comparisons));
+    ]
+
 let render v =
   let buf = Buffer.create 1024 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in

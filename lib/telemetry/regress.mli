@@ -59,6 +59,13 @@ val compare_entries :
 val ok : verdict -> bool
 (** No gated metric regressed. *)
 
+val to_json : verdict -> Json.t
+(** Machine-readable verdict for bots: top-level pass/fail and
+    regression count, then one object per comparison with its own
+    [pass] flag and the full gated/ungated metric list (candidate,
+    baseline q50/q90, delta percent). Infinite deltas are clamped to
+    [±1e308] so the document always re-parses. *)
+
 val render : verdict -> string
 (** Human-readable report: one block per comparison, one line per
     metric, closed by an [OK] / [REGRESSION] verdict line. *)

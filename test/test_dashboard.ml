@@ -1,0 +1,235 @@
+(* The flight recorder: the hand-rolled HTML well-formedness checker,
+   deterministic rendering from fixed ledger fixtures, panel
+   selection, and the congestion heatmap's color policy. *)
+
+module T = Telemetry
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ---- fixtures ----------------------------------------------------- *)
+
+let fixture_qor ?(cost = 1000.0) ?(hpwl = 500.0) ?(routed = false) () =
+  let routed_wl = if routed then Some 220 else None in
+  let route_overflow = if routed then Some 0 else None in
+  let route_failed = if routed then Some 0 else None in
+  let route_iterations = if routed then Some 4 else None in
+  T.Qor.run ?routed_wl ?route_overflow ?route_failed ?route_iterations
+    ~move_rates:[ ("swap", 10, 20); ("rotate", 5, 15) ]
+    ~cost ~wall_s:0.25 ~sa_rounds:100 ~evaluated:1000 ~area:1200 ~width:40
+    ~height:30 ~hpwl ~term_area:1.0 ~term_wirelength:2.0 ~term_aspect:0.1
+    ~dead_space_pct:8.5 ()
+
+(* generated_at / git_rev pinned: entries must not depend on the clock
+   or the checkout, or the byte-identical render test below lies *)
+let fixture_entry ?(label = "fixture") ?(seed = 1) ?(cost = 1000.0)
+    ?(hpwl = 500.0) ?(routed = false) () =
+  T.Ledger.make ~generated_at:"2026-08-08T00:00:00Z" ~git_rev:"0000000"
+    ~placement:[ { T.Ledger.cell = "m1"; x = 0; y = 0; w = 4; h = 4 } ]
+    ~label ~netlist_hash:"cafebabe" ~engine:"sp" ~seed ~schedule:"geometric"
+    ~workers:1 ~chains:1
+    ~qor:(fixture_qor ~cost ~hpwl ~routed ())
+    ()
+
+let fixture_entries () =
+  [
+    fixture_entry ~cost:1000.0 ~hpwl:500.0 ();
+    fixture_entry ~cost:980.0 ~hpwl:490.0 ();
+    fixture_entry ~cost:960.0 ~hpwl:495.0 ();
+    fixture_entry ~label:"routed" ~seed:2 ~cost:2000.0 ~hpwl:900.0
+      ~routed:true ();
+  ]
+
+let fixture_heatmap =
+  {
+    T.Dashboard.hm_label = "fixture";
+    hm_cols = 3;
+    hm_rows = 2;
+    (* row-major: (0,0) overused, (1,0) blocked, (2,0) half used,
+       (0,1) free, rest empty-ish *)
+    hm_capacity = [| 1; 0; 2; 2; 2; 2 |];
+    hm_present = [| 2; 0; 1; 0; 0; 0 |];
+    hm_history = [| 1.5; 0.0; 0.3; 0.0; 0.0; 0.0 |];
+  }
+
+let fixture_route =
+  [
+    {
+      T.Dashboard.ri_iter = 1;
+      ri_pres_fac = 0.5;
+      ri_overflow = 12;
+      ri_overused = 5;
+      ri_ripped = 0;
+      ri_pops = 900;
+    };
+    {
+      T.Dashboard.ri_iter = 2;
+      ri_pres_fac = 0.9;
+      ri_overflow = 0;
+      ri_overused = 0;
+      ri_ripped = 3;
+      ri_pops = 400;
+    };
+  ]
+
+let fixture_service =
+  [
+    {
+      T.Dashboard.sp_requests = 1;
+      sp_hits = 0;
+      sp_misses = 1;
+      sp_evictions = 0;
+      sp_neg_hits = 0;
+      sp_infeasible = 0;
+    };
+    {
+      T.Dashboard.sp_requests = 2;
+      sp_hits = 1;
+      sp_misses = 1;
+      sp_evictions = 0;
+      sp_neg_hits = 0;
+      sp_infeasible = 0;
+    };
+  ]
+
+(* ---- the well-formedness checker ---------------------------------- *)
+
+let test_check_accepts () =
+  let ok doc =
+    match T.Html.check doc with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "rejected well-formed document: %s" e
+  in
+  ok (T.Html.page ~title:"t" ~css:"body{margin:0}" [ "<p>hi</p>" ]);
+  ok "<div><span class=\"a\">x &amp; y</span><br/></div>";
+  ok "<svg viewBox=\"0 0 10 10\"><rect x=\"1\" y=\"1\"/></svg>";
+  ok "<p>&#169; &lt;tag&gt;</p>";
+  ok "<!-- note --><p>after</p>";
+  ok "<style>a < b { }</style>"
+
+let test_check_rejects () =
+  let bad doc why =
+    match T.Html.check doc with
+    | Ok () -> Alcotest.failf "checker accepted %s" why
+    | Error _ -> ()
+  in
+  bad "<div><span></div>" "mismatched close tag";
+  bad "<div>" "unclosed element";
+  bad "<p class=x>y</p>" "unquoted attribute value";
+  bad "<p>&bad</p>" "entity without semicolon";
+  bad "<p>a > b</p>" "stray raw >";
+  bad "<p>a & b</p>" "raw ampersand";
+  bad "</p>" "close without open";
+  bad "<p><!-- unterminated</p>" "unterminated comment"
+
+let test_check_reports_offset () =
+  match T.Html.check "<div></span>" with
+  | Ok () -> Alcotest.fail "accepted mismatched tags"
+  | Error e ->
+      Alcotest.(check bool) "error mentions a byte offset" true
+        (contains e "offset" || contains e "byte")
+
+(* ---- rendering ---------------------------------------------------- *)
+
+let full_render () =
+  let sink = T.Sink.create ~clock:(fun () -> 0.0) () in
+  T.Counter.add (T.Sink.counter sink "sa.moves.swap.accept") 10;
+  T.Counter.add (T.Sink.counter sink "sa.moves.swap.reject") 20;
+  T.Hist.observe (T.Sink.histogram sink "eval.cost") 1.5;
+  T.Dashboard.render ~title:"Test flight" ~entries:(fixture_entries ()) ~sink
+    ~route:fixture_route ~heatmaps:[ fixture_heatmap ]
+    ~service:fixture_service ()
+
+let test_render_well_formed () =
+  match T.Html.check (full_render ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "dashboard fails its own checker: %s" e
+
+let test_render_deterministic () =
+  (* the fixture pins every timestamp, so two renders must agree to
+     the byte — the property the CI artifact diffing rests on *)
+  Alcotest.(check string) "byte-identical renders" (full_render ())
+    (full_render ())
+
+let test_panels_present () =
+  let doc = full_render () in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) ("panel " ^ id) true
+        (contains doc (Printf.sprintf "id=\"%s\"" id)))
+    [ "trends"; "moves"; "route"; "heatmaps"; "service"; "counters" ]
+
+let test_panels_omitted () =
+  (* no inputs: no panels, an explicit no-data note instead *)
+  let doc = T.Dashboard.render () in
+  (match T.Html.check doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "empty dashboard fails the checker: %s" e);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) ("no panel " ^ id) false
+        (contains doc (Printf.sprintf "id=\"%s\"" id)))
+    [ "trends"; "route"; "heatmaps"; "service" ];
+  Alcotest.(check bool) "says no data" true (contains doc "no data")
+
+let test_trend_groups () =
+  (* two configurations in the fixture: both keys must appear *)
+  let doc = T.Dashboard.render ~entries:(fixture_entries ()) () in
+  Alcotest.(check bool) "fixture key shown" true (contains doc "fixture/sp/1/c1");
+  Alcotest.(check bool) "routed key shown" true (contains doc "routed/sp/2/c1")
+
+let test_heatmap_colors () =
+  let doc =
+    T.Dashboard.render ~heatmaps:[ fixture_heatmap ] ()
+  in
+  Alcotest.(check bool) "overused cell wears the status red" true
+    (contains doc "#e34948");
+  Alcotest.(check bool) "blocked cell wears the blocked gray" true
+    (contains doc "#52514e");
+  Alcotest.(check bool) "overused tooltip names the overflow" true
+    (contains doc "OVERUSED 2/1")
+
+let test_escaping () =
+  (* a hostile label must come out entity-escaped, and the page must
+     still satisfy the checker *)
+  let e = fixture_entry ~label:"<evil> & \"co\"" () in
+  let doc = T.Dashboard.render ~entries:[ e ] () in
+  (match T.Html.check doc with
+  | Ok () -> ()
+  | Error err -> Alcotest.failf "escaped render fails the checker: %s" err);
+  Alcotest.(check bool) "label is escaped" true (contains doc "&lt;evil&gt;");
+  Alcotest.(check bool) "no raw label" false (contains doc "<evil>")
+
+let test_self_contained () =
+  (* one file, zero dependencies: no scripts, no external fetches *)
+  let doc = full_render () in
+  Alcotest.(check bool) "no script element" false (contains doc "<script");
+  Alcotest.(check bool) "no external href" false (contains doc "href=\"http");
+  Alcotest.(check bool) "no external src" false (contains doc "src=\"http");
+  Alcotest.(check bool) "declares itself html" true
+    (contains doc "<!DOCTYPE html>")
+
+let () =
+  Alcotest.run "dashboard"
+    [
+      ( "html-checker",
+        [
+          Alcotest.test_case "accepts well-formed" `Quick test_check_accepts;
+          Alcotest.test_case "rejects malformed" `Quick test_check_rejects;
+          Alcotest.test_case "errors carry offset" `Quick
+            test_check_reports_offset;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "well-formed" `Quick test_render_well_formed;
+          Alcotest.test_case "deterministic" `Quick test_render_deterministic;
+          Alcotest.test_case "panels present" `Quick test_panels_present;
+          Alcotest.test_case "panels omitted" `Quick test_panels_omitted;
+          Alcotest.test_case "trend groups" `Quick test_trend_groups;
+          Alcotest.test_case "heatmap colors" `Quick test_heatmap_colors;
+          Alcotest.test_case "labels escaped" `Quick test_escaping;
+          Alcotest.test_case "self-contained" `Quick test_self_contained;
+        ] );
+    ]

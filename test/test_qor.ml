@@ -272,9 +272,56 @@ let test_prom_check_rejects () =
   bad "# TYPE analog_x counter\nanalog_x notanumber\n" "bad value";
   bad "# TYPE analog_x flavour\nanalog_x 1\n" "unknown type";
   bad "# TYPE analog_x counter\nanalog_x{open 1\n" "malformed labels";
+  bad "# HELP analog_x\n# TYPE analog_x counter\nanalog_x 1\n"
+    "HELP without text";
+  bad "# HELP 9bad some text\n" "HELP with invalid metric name";
   match T.Prom.check "# HELP analog_x something\n# TYPE analog_x counter\nanalog_x 1\n" with
   | Ok () -> ()
   | Error e -> Alcotest.failf "rejected valid doc: %s" e
+
+let index_of hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let test_prom_help_lines () =
+  (* every rendered family leads with # HELP, HELP precedes TYPE, and
+     the service/route metrics get real prose, not the fallback *)
+  let s = T.Sink.create ~clock:(fun () -> 0.0) () in
+  T.Counter.add (T.Sink.counter s "service.hits") 3;
+  T.Counter.add (T.Sink.counter s "route.iterations") 7;
+  T.Hist.observe (T.Sink.histogram s "route.iter.pres_fac") 0.5;
+  let doc = T.Prom.render s in
+  (match T.Prom.check doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "exposition with HELP rejected: %s" e);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains doc needle))
+    [
+      "# HELP analog_service_hits ";
+      "# HELP analog_route_iterations ";
+      "# HELP analog_route_iter_pres_fac ";
+    ];
+  List.iter
+    (fun fam ->
+      match
+        ( index_of doc ("# HELP " ^ fam ^ " "),
+          index_of doc ("# TYPE " ^ fam ^ " ") )
+      with
+      | Some h, Some t ->
+          Alcotest.(check bool) (fam ^ " HELP precedes TYPE") true (h < t)
+      | _ -> Alcotest.failf "%s misses HELP or TYPE" fam)
+    [
+      "analog_service_hits"; "analog_route_iterations";
+      "analog_route_iter_pres_fac";
+    ];
+  Alcotest.(check bool) "service.hits HELP is prose, not the fallback" false
+    (contains doc "Telemetry metric service.hits")
 
 (* ---- Regress -------------------------------------------------------- *)
 
@@ -301,6 +348,42 @@ let test_regress_flags_hpwl () =
   Alcotest.(check bool) "it is hpwl" true m.T.Regress.regressed;
   Alcotest.(check bool) "report names it" true
     (contains (T.Regress.render v) "REGRESSION")
+
+let test_regress_to_json () =
+  let baseline =
+    List.init 3 (fun _ -> entry_with ~hpwl:1000.0 ~cost:1200.0 ())
+  in
+  let candidate = [ entry_with ~hpwl:1100.0 ~cost:1200.0 () ] in
+  let v = T.Regress.compare_entries ~baseline ~candidate () in
+  let doc = T.Json.emit (T.Regress.to_json v) in
+  match T.Json.parse doc with
+  | Error e -> Alcotest.failf "verdict JSON does not parse: %s" e
+  | Ok j ->
+      Alcotest.(check (option string))
+        "verdict string" (Some "regression")
+        (Option.bind (T.Json.member "verdict" j) T.Json.to_str);
+      Alcotest.(check (option int))
+        "regression count" (Some v.T.Regress.regressions)
+        (Option.bind (T.Json.member "regressions" j) T.Json.to_int);
+      let comps =
+        Option.value ~default:[]
+          (Option.bind (T.Json.member "comparisons" j) T.Json.to_list)
+      in
+      Alcotest.(check int) "one comparison" 1 (List.length comps);
+      let c = List.hd comps in
+      let metrics =
+        Option.value ~default:[]
+          (Option.bind (T.Json.member "metrics" c) T.Json.to_list)
+      in
+      let hpwl =
+        List.find
+          (fun m ->
+            Option.bind (T.Json.member "name" m) T.Json.to_str = Some "hpwl")
+          metrics
+      in
+      Alcotest.(check (option bool))
+        "hpwl marked regressed" (Some true)
+        (Option.bind (T.Json.member "regressed" hpwl) T.Json.to_bool)
 
 let test_regress_identical_clean () =
   let e () = entry_with ~hpwl:1000.0 ~cost:1200.0 () in
@@ -473,6 +556,7 @@ let () =
         [
           Alcotest.test_case "render validates" `Quick test_prom_render_and_check;
           Alcotest.test_case "validator rejects" `Quick test_prom_check_rejects;
+          Alcotest.test_case "help lines" `Quick test_prom_help_lines;
         ] );
       ( "regress",
         [
@@ -484,6 +568,7 @@ let () =
             test_regress_noisy_baseline_widens;
           Alcotest.test_case "chain count separates keys" `Quick
             test_regress_keys;
+          Alcotest.test_case "verdict as json" `Quick test_regress_to_json;
         ] );
       ( "export",
         [ Alcotest.test_case "write_file" `Quick test_write_file ] );

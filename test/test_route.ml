@@ -272,6 +272,102 @@ let test_route_deterministic () =
   Alcotest.(check int) "bench route deterministic" r1.Route.Router.wirelength
     r2.Route.Router.wirelength
 
+let test_traced_route_identical () =
+  (* the flight-recorder contract: routing under a live sink draws no
+     randomness and changes nothing — routes, wirelength, overflow and
+     the iteration log are bit-identical to the untraced run, and the
+     sink actually observed the run *)
+  let b = Netlist.Benchmarks.table1_suite () |> List.hd in
+  let r =
+    Shapefn.Combine.place ~mode:Shapefn.Combine.Esf b.Netlist.Benchmarks.circuit
+      b.Netlist.Benchmarks.hierarchy
+  in
+  let pl =
+    Placer.Placement.make b.Netlist.Benchmarks.circuit r.Shapefn.Combine.placed
+  in
+  let groups =
+    Constraints.Symmetry_group.of_hierarchy b.Netlist.Benchmarks.hierarchy
+  in
+  let quiet = Route.Router.route_all ~symmetric:groups pl in
+  let sink = Telemetry.Sink.create () in
+  let traced = Route.Router.route_all ~symmetric:groups ~telemetry:sink pl in
+  Alcotest.(check int) "same wirelength" quiet.Route.Router.wirelength
+    traced.Route.Router.wirelength;
+  Alcotest.(check int) "same overflow" quiet.Route.Router.overflow
+    traced.Route.Router.overflow;
+  Alcotest.(check int) "same iterations" quiet.Route.Router.iterations
+    traced.Route.Router.iterations;
+  Alcotest.(check bool) "identical routes" true
+    (List.for_all2
+       (fun (a : Route.Router.route) (b : Route.Router.route) ->
+         a.Route.Router.net = b.Route.Router.net
+         && a.Route.Router.points = b.Route.Router.points)
+       quiet.Route.Router.routed traced.Route.Router.routed);
+  Alcotest.(check bool) "identical negotiation log" true
+    (quiet.Route.Router.negotiation = traced.Route.Router.negotiation);
+  let counters = Telemetry.Sink.counters sink in
+  let v name =
+    match List.assoc_opt name counters with Some n -> n | None -> 0
+  in
+  Alcotest.(check int) "route.iterations counter matches"
+    traced.Route.Router.iterations (v "route.iterations");
+  Alcotest.(check int) "route.nets.routed counter matches"
+    (List.length traced.Route.Router.routed)
+    (v "route.nets.routed")
+
+let test_negotiation_log_shape () =
+  (* the per-pass log: one entry per iteration, 1-based and ordered,
+     ending at the result's residual overflow *)
+  let placement, grp = sym_placement () in
+  let r = Route.Router.route_all ~pitch:20 ~symmetric:[ grp ] placement in
+  let log = r.Route.Router.negotiation in
+  Alcotest.(check int) "one entry per iteration" r.Route.Router.iterations
+    (List.length log);
+  List.iteri
+    (fun i (it : Route.Router.iteration) ->
+      Alcotest.(check int) "indices count from 1" (i + 1)
+        it.Route.Router.it_index;
+      Alcotest.(check bool) "pres_fac positive" true
+        (it.Route.Router.it_pres_fac > 0.0);
+      Alcotest.(check bool) "pops non-negative" true
+        (it.Route.Router.it_pops >= 0))
+    log;
+  match List.rev log with
+  | [] -> Alcotest.fail "empty negotiation log"
+  | last :: _ ->
+      Alcotest.(check int) "last pass overflow is the residual"
+        r.Route.Router.overflow last.Route.Router.it_overflow
+
+let test_occupancy_snapshot () =
+  (* the heatmap export: snapshot dimensions cover the grid, rails are
+     capacity-0 cells, and total present occupancy equals the routed
+     wirelength exactly (each tree claims each of its cells once) *)
+  let b = Netlist.Benchmarks.table1_suite () |> List.hd in
+  let r =
+    Shapefn.Combine.place ~mode:Shapefn.Combine.Esf b.Netlist.Benchmarks.circuit
+      b.Netlist.Benchmarks.hierarchy
+  in
+  let pl =
+    Placer.Placement.make b.Netlist.Benchmarks.circuit r.Shapefn.Combine.placed
+  in
+  let res = Route.Router.route_all pl in
+  let s = res.Route.Router.occupancy in
+  let cells =
+    s.Route.Negotiate.Snapshot.cols * s.Route.Negotiate.Snapshot.rows
+  in
+  Alcotest.(check int) "capacity array covers the grid" cells
+    (Array.length s.Route.Negotiate.Snapshot.capacity);
+  Alcotest.(check int) "present array covers the grid" cells
+    (Array.length s.Route.Negotiate.Snapshot.present);
+  Alcotest.(check int) "history array covers the grid" cells
+    (Array.length s.Route.Negotiate.Snapshot.history);
+  Alcotest.(check int) "occupancy sums to routed wirelength"
+    res.Route.Router.wirelength
+    (Array.fold_left ( + ) 0 s.Route.Negotiate.Snapshot.present);
+  if res.Route.Router.power <> [] then
+    Alcotest.(check bool) "power rails appear as capacity-0 cells" true
+      (Array.exists (fun c -> c = 0) s.Route.Negotiate.Snapshot.capacity)
+
 let test_negotiation_converges () =
   (* the Buffer bench forces nets through contested gcells: negotiation
      must actually iterate (rip-up engaged) and still end overflow-free
@@ -399,6 +495,12 @@ let () =
           Alcotest.test_case "mirrored routing" `Quick test_mirrored_routing;
           prop_twin_mirror;
           Alcotest.test_case "deterministic" `Quick test_route_deterministic;
+          Alcotest.test_case "traced run bit-identical" `Quick
+            test_traced_route_identical;
+          Alcotest.test_case "negotiation log shape" `Quick
+            test_negotiation_log_shape;
+          Alcotest.test_case "occupancy snapshot" `Quick
+            test_occupancy_snapshot;
           Alcotest.test_case "negotiation converges" `Quick
             test_negotiation_converges;
           Alcotest.test_case "estimate properties" `Quick
